@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation: training batch-size sensitivity. The paper evaluates at
+ * batch 8192; this sweep shows how per-batch latency and the
+ * Disagg-vs-PreSto comparison move with the mini-batch (partition)
+ * size.
+ */
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "models/cpu_model.h"
+#include "models/isp_model.h"
+
+using namespace presto;
+
+int
+main()
+{
+    printSection("Ablation: mini-batch size sensitivity (RM5)");
+
+    TablePrinter table({"Batch size", "Disagg latency", "PreSto latency",
+                        "Speedup", "PreSto throughput (b/s)",
+                        "Samples/s (PreSto)"});
+
+    for (size_t batch : {1024u, 2048u, 4096u, 8192u, 16384u, 32768u}) {
+        RmConfig cfg = rmConfig(5);
+        cfg.batch_size = batch;
+        CpuWorkerModel cpu(cfg);
+        IspDeviceModel ssd(IspParams::smartSsd(), cfg);
+        const double disagg = cpu.batchLatency().total();
+        const double presto = ssd.batchLatency().total();
+        table.addRow({std::to_string(batch), formatTime(disagg),
+                      formatTime(presto),
+                      formatDouble(disagg / presto, 1) + "x",
+                      formatDouble(ssd.throughput(), 1),
+                      formatRate(ssd.throughput() *
+                                     static_cast<double>(batch),
+                                 "samples")});
+    }
+    table.print();
+
+    std::printf("\nSmall batches are overhead-dominated (fixed per-batch "
+                "costs on both sides); the speedup stabilizes once "
+                "per-value work dominates -- the paper's 8192 sits on the "
+                "flat part of the curve.\n");
+    return 0;
+}

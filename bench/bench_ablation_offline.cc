@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Motivation study (Sections I-II): offline vs online preprocessing
+ * storage cost. Offline preprocessing materializes train-ready tensors
+ * per *model variant*; online preprocessing stores the raw features
+ * once and transforms on-the-fly. With hundreds of model variants under
+ * development, offline storage becomes intractable — the shift that
+ * motivates online preprocessing and, in turn, PreSto.
+ */
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "models/data_size.h"
+
+using namespace presto;
+
+int
+main()
+{
+    printSection("Motivation: storage for offline vs online preprocessing "
+                 "(1000 partitions of RM5)");
+
+    const RmConfig& cfg = rmConfig(5);
+    const double partitions = 1000.0;
+    const double raw = rawEncodedBytes(cfg) * partitions;
+    const double per_variant = miniBatchBytes(cfg) * partitions;
+
+    TablePrinter table({"Model variants in development", "Online (raw once)",
+                        "Offline (tensors per variant)", "Amplification"});
+    for (double variants : {1.0, 10.0, 100.0, 1000.0}) {
+        const double offline = per_variant * variants;
+        table.addRow({formatDouble(variants, 0), formatBytes(raw),
+                      formatBytes(offline),
+                      formatDouble(offline / raw, 1) + "x"});
+    }
+    table.print();
+
+    std::printf("\nOnline preprocessing stores the raw columnar features "
+                "once (%s for this corpus) regardless of how many RecSys "
+                "variants ML engineers iterate on; offline preprocessing "
+                "re-materializes %s per variant and cannot adapt when the "
+                "feature set changes (Section II-A).\n",
+                formatBytes(raw).c_str(), formatBytes(per_variant).c_str());
+    return 0;
+}

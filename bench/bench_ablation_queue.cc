@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: train-manager input-queue depth (Figure 9's input queue).
+ * Sweeps the bounded queue capacity and the provisioned ISP unit count
+ * around the T/P rule to show (a) shallow queues already decouple
+ * producers from the GPU and (b) under-provisioning by one unit costs
+ * utilization linearly.
+ */
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/provisioner.h"
+#include "core/training_pipeline.h"
+
+using namespace presto;
+
+int
+main()
+{
+    printSection("Ablation: input-queue depth and ISP provisioning "
+                 "(RM5, 8 GPUs)");
+
+    const RmConfig& cfg = rmConfig(5);
+    Provisioner prov(cfg);
+    const Provision isp = prov.provisionIsp(8, IspParams::smartSsd());
+
+    {
+        TablePrinter table({"Queue capacity", "GPU util", "Train b/s",
+                            "Stalled producers (max)"});
+        for (size_t capacity : {1, 2, 4, 8, 32, 128}) {
+            PipelineOptions opts;
+            opts.backend = PreprocBackend::kIsp;
+            opts.isp_params = IspParams::smartSsd();
+            opts.num_workers = isp.workers;
+            opts.num_gpus = 8;
+            opts.queue_capacity = capacity;
+            opts.batches_to_train = 2048;
+            const PipelineResult r = TrainingPipeline(cfg, opts).run();
+            table.addRow({std::to_string(capacity),
+                          formatDouble(r.gpu_utilization * 100, 1) + "%",
+                          formatDouble(r.train_throughput, 1),
+                          std::to_string(r.max_stalled_producers)});
+        }
+        table.print();
+    }
+
+    {
+        printSection("Provisioning sensitivity around T/P = " +
+                     std::to_string(isp.workers) + " units");
+        TablePrinter table({"ISP units", "GPU util", "Train b/s",
+                            "Demand b/s"});
+        for (int delta : {-2, -1, 0, 1, 2}) {
+            const int units = std::max(1, isp.workers + delta);
+            PipelineOptions opts;
+            opts.backend = PreprocBackend::kIsp;
+            opts.isp_params = IspParams::smartSsd();
+            opts.num_workers = units;
+            opts.num_gpus = 8;
+            opts.batches_to_train = 2048;
+            const PipelineResult r = TrainingPipeline(cfg, opts).run();
+            table.addRow({std::to_string(units),
+                          formatDouble(r.gpu_utilization * 100, 1) + "%",
+                          formatDouble(r.train_throughput, 1),
+                          formatDouble(r.gpu_max_throughput, 1)});
+        }
+        table.print();
+    }
+    return 0;
+}

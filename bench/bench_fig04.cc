@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 4: number of disaggregated CPU cores required for preprocessing
+ * to fully utilize a training node with 8 A100 GPUs, per workload.
+ */
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/provisioner.h"
+#include "models/calibration.h"
+
+using namespace presto;
+
+int
+main()
+{
+    printSection("Figure 4: CPU cores required to saturate an 8xA100 "
+                 "training node");
+
+    TablePrinter table({"Model", "TrainDemand (batch/s)",
+                        "PerCoreThroughput (batch/s)", "CoresRequired",
+                        "CpuNodes"});
+    for (const auto& cfg : allRmConfigs()) {
+        Provisioner prov(cfg);
+        const Provision p = prov.provisionCpu(cal::kGpusPerTrainingNode);
+        const int nodes =
+            (p.workers + cal::kCpuCoresPerNode - 1) / cal::kCpuCoresPerNode;
+        table.addRow({cfg.name, formatDouble(p.demand_batches_per_sec, 1),
+                      formatDouble(p.per_worker_throughput, 3),
+                      std::to_string(p.workers), std::to_string(nodes)});
+    }
+    table.print();
+
+    std::printf("\nPaper reference: several hundred cores for the synthetic "
+                "production workloads, up to 367 cores (12 nodes) for RM5.\n");
+    return 0;
+}

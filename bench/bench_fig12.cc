@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 12: single-worker mini-batch latency breakdown of Disagg vs
+ * PreSto (normalized to Disagg per model) and PreSto's end-to-end
+ * speedup.
+ */
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "models/cpu_model.h"
+#include "models/isp_model.h"
+
+using namespace presto;
+
+namespace {
+
+void
+addBreakdownRow(TablePrinter& table, const std::string& label,
+                const LatencyBreakdown& b, double norm)
+{
+    table.addRow({label,
+                  formatDouble(b.extract_read / norm, 3),
+                  formatDouble(b.extract_decode / norm, 3),
+                  formatDouble(b.bucketize / norm, 3),
+                  formatDouble(b.sigrid_hash / norm, 3),
+                  formatDouble(b.log / norm, 3),
+                  formatDouble(b.other / norm, 3),
+                  formatDouble(b.total() / norm, 3),
+                  formatTime(b.total())});
+}
+
+}  // namespace
+
+int
+main()
+{
+    printSection("Figure 12: Disagg vs PreSto latency breakdown and "
+                 "end-to-end preprocessing speedup");
+
+    TablePrinter table({"System", "Extract(Read)", "Extract(Decode)",
+                        "Bucketize", "SigridHash", "Log", "Others", "Total",
+                        "Latency"});
+    double speedup_sum = 0, speedup_max = 0;
+    double extract_share_sum = 0;
+    for (const auto& cfg : allRmConfigs()) {
+        const LatencyBreakdown disagg =
+            CpuWorkerModel(cfg).batchLatency();
+        const LatencyBreakdown presto =
+            IspDeviceModel(IspParams::smartSsd(), cfg).batchLatency();
+        const double norm = disagg.total();
+        addBreakdownRow(table, cfg.name + " Disagg", disagg, norm);
+        addBreakdownRow(table, cfg.name + " PreSto", presto, norm);
+        table.addSeparator();
+
+        const double speedup = disagg.total() / presto.total();
+        speedup_sum += speedup;
+        speedup_max = std::max(speedup_max, speedup);
+        extract_share_sum += presto.extractShare();
+    }
+    table.print();
+
+    std::printf("\nEnd-to-end speedup: average %.1fx, max %.1fx "
+                "(paper: 9.6x avg, 11.6x max)\n",
+                speedup_sum / 5, speedup_max);
+    std::printf("PreSto Extract share of its own latency: %.1f%% average "
+                "(paper: 40.8%%)\n",
+                extract_share_sum / 5 * 100.0);
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 13: aggregate RPC time for inter-node data movement per
+ * mini-batch, Disagg vs PreSto.
+ */
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "models/network_model.h"
+
+using namespace presto;
+
+int
+main()
+{
+    printSection("Figure 13: RPC-invoked inter-node communication time "
+                 "per mini-batch");
+
+    const NetworkModel net = NetworkModel::datacenter();
+
+    TablePrinter table({"Model", "Disagg raw-in", "Disagg tensors-out",
+                        "Disagg total", "PreSto tensors-out", "PreSto total",
+                        "Reduction"});
+    double reduction_sum = 0;
+    for (const auto& cfg : allRmConfigs()) {
+        const RpcBreakdown d = net.disaggRpc(cfg);
+        const RpcBreakdown p = net.prestoRpc(cfg);
+        const double reduction = d.total() / p.total();
+        reduction_sum += reduction;
+        table.addRow({cfg.name, formatTime(d.raw_in_seconds),
+                      formatTime(d.tensors_out_seconds), formatTime(d.total()),
+                      formatTime(p.tensors_out_seconds), formatTime(p.total()),
+                      formatDouble(reduction, 2) + "x"});
+    }
+    table.print();
+
+    std::printf("\nAverage RPC communication-time reduction: %.2fx "
+                "(paper: 2.9x)\n", reduction_sum / 5);
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 14: ISP units (PreSto) vs CPU cores (Disagg) required to sustain
+ * an 8xA100 training node, per workload.
+ */
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/provisioner.h"
+#include "models/calibration.h"
+
+using namespace presto;
+
+int
+main()
+{
+    printSection("Figure 14: ISP units vs CPU cores needed to feed an "
+                 "8xA100 node");
+
+    TablePrinter table({"Model", "TrainDemand (batch/s)", "ISP units",
+                        "ISP power (W)", "CPU cores", "CPU power (W)"});
+    int max_units = 0;
+    for (const auto& cfg : allRmConfigs()) {
+        Provisioner prov(cfg);
+        const Provision cpus = prov.provisionCpu(cal::kGpusPerTrainingNode);
+        const Provision isps =
+            prov.provisionIsp(cal::kGpusPerTrainingNode,
+                              IspParams::smartSsd());
+        max_units = std::max(max_units, isps.workers);
+        table.addRow({cfg.name,
+                      formatDouble(cpus.demand_batches_per_sec, 1),
+                      std::to_string(isps.workers),
+                      formatDouble(isps.deployment.power_watts, 0),
+                      std::to_string(cpus.workers),
+                      formatDouble(cpus.deployment.power_watts, 0)});
+    }
+    table.print();
+
+    std::printf("\nMax ISP units across workloads: %d (paper: at most 9 "
+                "units = 225 W worst-case vs 367 cores = 12 nodes)\n",
+                max_units);
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 15: (a) energy-efficiency and (b) cost-efficiency of PreSto
+ * vs Disagg, using the Section V-C metric over provisioned deployments.
+ */
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/provisioner.h"
+#include "models/calibration.h"
+#include "models/cost_model.h"
+
+using namespace presto;
+
+int
+main()
+{
+    const IspParams ssd = IspParams::smartSsd();
+
+    printSection("Figure 15(a): energy-efficiency (normalized to Disagg)");
+    {
+        TablePrinter table({"Model", "Disagg power (W)", "PreSto power (W)",
+                            "Energy-efficiency gain"});
+        double sum = 0, max = 0;
+        for (const auto& cfg : allRmConfigs()) {
+            Provisioner prov(cfg);
+            const Provision c = prov.provisionCpu(cal::kGpusPerTrainingNode);
+            const Provision i =
+                prov.provisionIsp(cal::kGpusPerTrainingNode, ssd);
+            const double demand = c.demand_batches_per_sec;
+            const double gain = energyEfficiency(i.deployment, demand) /
+                                energyEfficiency(c.deployment, demand);
+            sum += gain;
+            max = std::max(max, gain);
+            table.addRow({cfg.name,
+                          formatDouble(c.deployment.power_watts, 0),
+                          formatDouble(i.deployment.power_watts, 0),
+                          formatDouble(gain, 1) + "x"});
+        }
+        table.print();
+        std::printf("Average %.1fx, max %.1fx (paper: 11.3x avg, 15.1x "
+                    "max)\n", sum / 5, max);
+    }
+
+    printSection("Figure 15(b): cost-efficiency (normalized to Disagg)");
+    {
+        TablePrinter table({"Model", "Disagg CapEx+OpEx ($)",
+                            "PreSto CapEx+OpEx ($)",
+                            "Cost-efficiency gain"});
+        double sum = 0, max = 0;
+        for (const auto& cfg : allRmConfigs()) {
+            Provisioner prov(cfg);
+            const Provision c = prov.provisionCpu(cal::kGpusPerTrainingNode);
+            const Provision i =
+                prov.provisionIsp(cal::kGpusPerTrainingNode, ssd);
+            const double demand = c.demand_batches_per_sec;
+            const double gain = costEfficiency(i.deployment, demand) /
+                                costEfficiency(c.deployment, demand);
+            sum += gain;
+            max = std::max(max, gain);
+            table.addRow({cfg.name,
+                          formatDouble(c.deployment.totalCostDollars(), 0),
+                          formatDouble(i.deployment.totalCostDollars(), 0),
+                          formatDouble(gain, 2) + "x"});
+        }
+        table.print();
+        std::printf("Average %.2fx, max %.2fx (paper: 4.3x avg, 5.6x max)\n",
+                    sum / 5, max);
+    }
+    return 0;
+}

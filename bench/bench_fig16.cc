@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 16: preprocessing performance and performance/Watt across four
+ * accelerated design points: a disaggregated A100 (NVTabular), a
+ * disaggregated U280, PreSto on a discrete U280, and PreSto on a
+ * SmartSSD.
+ */
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "models/gpu_model.h"
+#include "models/isp_model.h"
+
+using namespace presto;
+
+int
+main()
+{
+    printSection("Figure 16: PreSto vs alternative accelerated "
+                 "preprocessing (performance normalized to PreSto "
+                 "(SmartSSD) per workload)");
+
+    TablePrinter table({"Model", "A100", "U280", "PreSto (U280)",
+                        "PreSto (SmartSSD)", "A100 perf/W", "U280 perf/W",
+                        "PreSto(U280) perf/W", "PreSto(SmartSSD) perf/W"});
+
+    double a100_sum = 0, perfw_u280_ratio_sum = 0;
+    for (const auto& cfg : allRmConfigs()) {
+        IspDeviceModel ssd(IspParams::smartSsd(), cfg);
+        IspDeviceModel du280(IspParams::disaggU280(), cfg);
+        IspDeviceModel pu280(IspParams::prestoU280(), cfg);
+        GpuPreprocModel a100(cfg);
+
+        // Performance = single-worker end-to-end preprocessing speed.
+        const double perf_ssd = 1.0 / ssd.batchLatency().total();
+        const double perf_du = 1.0 / du280.batchLatency().total();
+        const double perf_pu = 1.0 / pu280.batchLatency().total();
+        const double perf_a100 = 1.0 / a100.batchLatency().total();
+
+        const double pw_ssd = perf_ssd / ssd.params().watts;
+        const double pw_du = perf_du / du280.params().watts;
+        const double pw_pu = perf_pu / pu280.params().watts;
+        const double pw_a100 = perf_a100 / a100.watts();
+
+        a100_sum += perf_ssd / perf_a100;
+        perfw_u280_ratio_sum += pw_ssd / pw_pu;
+
+        table.addRow({cfg.name,
+                      formatDouble(perf_a100 / perf_ssd, 2),
+                      formatDouble(perf_du / perf_ssd, 2),
+                      formatDouble(perf_pu / perf_ssd, 2),
+                      "1.00",
+                      formatDouble(pw_a100 / pw_ssd, 3),
+                      formatDouble(pw_du / pw_ssd, 3),
+                      formatDouble(pw_pu / pw_ssd, 3),
+                      "1.000"});
+    }
+    table.print();
+
+    std::printf("\nPreSto (SmartSSD) vs A100: %.2fx average speedup "
+                "(paper: 2.5x)\n", a100_sum / 5);
+    std::printf("PreSto (SmartSSD) vs PreSto (U280) energy-efficiency: "
+                "%.2fx average (paper: 2.9x)\n", perfw_u280_ratio_sum / 5);
+    std::printf("Device powers: SmartSSD %.0f W, U280 %.0f W, A100 %.0f W "
+                "(measured active, not TDP).\n",
+                IspParams::smartSsd().watts, IspParams::prestoU280().watts,
+                GpuPreprocModel(rmConfig(1)).watts());
+    return 0;
+}

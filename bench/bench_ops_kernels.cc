@@ -1,0 +1,181 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the real (functional) kernels on
+ * this host: the preprocessing operators, columnar encode/decode, and
+ * the full Transform pipeline. These measure the library itself (not the
+ * calibrated device models).
+ */
+#include <benchmark/benchmark.h>
+
+#include "columnar/columnar_file.h"
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "ops/fast_ops.h"
+#include "ops/ops.h"
+#include "ops/preprocessor.h"
+
+using namespace presto;
+
+namespace {
+
+std::vector<float>
+denseValues(size_t n)
+{
+    Rng rng(42);
+    std::vector<float> v(n);
+    for (auto& x : v)
+        x = static_cast<float>(rng.logNormal(2.0, 1.5));
+    return v;
+}
+
+std::vector<int64_t>
+sparseIds(size_t n)
+{
+    Rng rng(43);
+    std::vector<int64_t> v(n);
+    for (auto& x : v)
+        x = static_cast<int64_t>(rng.next() >> 1);
+    return v;
+}
+
+void
+BM_Bucketize(benchmark::State& state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    const size_t m = static_cast<size_t>(state.range(1));
+    const auto values = denseValues(n);
+    const auto bounds =
+        BucketBoundaries::makeLogSpaced(m, 0.02f, 3000.0f);
+    std::vector<int64_t> out(n);
+    for (auto _ : state) {
+        bucketizeInto(values, bounds, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_Bucketize)
+    ->Args({8192, 1024})
+    ->Args({8192, 4096})
+    ->Args({65536, 4096});
+
+void
+BM_BucketizeEytzinger(benchmark::State& state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    const size_t m = static_cast<size_t>(state.range(1));
+    const auto values = denseValues(n);
+    const auto bounds =
+        BucketBoundaries::makeLogSpaced(m, 0.02f, 3000.0f);
+    const EytzingerBucketizer fast(bounds);
+    std::vector<int64_t> out(n);
+    for (auto _ : state) {
+        fast.bucketizeInto(values, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_BucketizeEytzinger)
+    ->Args({8192, 1024})
+    ->Args({8192, 4096})
+    ->Args({65536, 4096});
+
+void
+BM_SigridHashUnrolled(benchmark::State& state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    auto ids = sparseIds(n);
+    for (auto _ : state) {
+        auto copy = ids;
+        sigridHashInPlaceUnrolled(copy, 0x5eed, 500000);
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_SigridHashUnrolled)->Arg(65536)->Arg(1 << 20);
+
+void
+BM_SigridHash(benchmark::State& state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    auto ids = sparseIds(n);
+    for (auto _ : state) {
+        auto copy = ids;
+        sigridHashInPlace(copy, 0x5eed, 500000);
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_SigridHash)->Arg(8192)->Arg(65536)->Arg(1 << 20);
+
+void
+BM_LogTransform(benchmark::State& state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    auto values = denseValues(n);
+    for (auto _ : state) {
+        auto copy = values;
+        logTransformInPlace(copy);
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_LogTransform)->Arg(8192)->Arg(65536)->Arg(1 << 20);
+
+void
+BM_ColumnarWrite(benchmark::State& state)
+{
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = static_cast<size_t>(state.range(0));
+    RawDataGenerator gen(cfg);
+    const RowBatch batch = gen.generatePartition(0);
+    ColumnarFileWriter writer;
+    size_t bytes = 0;
+    for (auto _ : state) {
+        auto out = writer.write(batch, 0);
+        bytes = out.size();
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_ColumnarWrite)->Arg(1024)->Arg(8192);
+
+void
+BM_ColumnarReadAll(benchmark::State& state)
+{
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = static_cast<size_t>(state.range(0));
+    RawDataGenerator gen(cfg);
+    const auto bytes = ColumnarFileWriter().write(gen.generatePartition(0),
+                                                  0);
+    for (auto _ : state) {
+        ColumnarFileReader reader;
+        auto st = reader.open(bytes);
+        auto batch = reader.readAll();
+        benchmark::DoNotOptimize(batch.ok());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_ColumnarReadAll)->Arg(1024)->Arg(8192);
+
+void
+BM_TransformPipeline(benchmark::State& state)
+{
+    RmConfig cfg = rmConfig(static_cast<int>(state.range(0)));
+    cfg.batch_size = 1024;  // keep single-host iteration times sane
+    RawDataGenerator gen(cfg);
+    const RowBatch raw = gen.generatePartition(0);
+    Preprocessor pre(cfg);
+    for (auto _ : state) {
+        MiniBatch mb = pre.preprocess(raw);
+        benchmark::DoNotOptimize(mb.dense.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * cfg.batch_size));
+}
+BENCHMARK(BM_TransformPipeline)->Arg(1)->Arg(2)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Elastic pool scenario: a day of training-job arrivals against a
+ * storage cluster's SmartSSD pool, showing PreSto keeps the baseline's
+ * elastic on-demand allocation (Section II-D) at device granularity.
+ */
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/pool_scheduler.h"
+
+using namespace presto;
+
+namespace {
+
+std::vector<PoolJob>
+makeDayTrace()
+{
+    // 36 jobs over 24h: mixed workloads, bursty morning arrivals.
+    Rng rng(0xda71);
+    std::vector<PoolJob> jobs;
+    for (int i = 0; i < 36; ++i) {
+        PoolJob job;
+        const double burst = i < 18 ? 0.25 : 1.0;  // morning burst
+        job.arrival_sec = i * burst * 2400.0 +
+                          rng.uniform(0.0, 1200.0);
+        job.duration_sec = rng.uniform(0.5, 6.0) * kHour;
+        job.rm_id = static_cast<int>(rng.uniformInt(uint64_t{5})) + 1;
+        job.num_gpus = rng.bernoulli(0.25) ? 16 : 8;
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+}  // namespace
+
+int
+main()
+{
+    printSection("Elastic SmartSSD pool: 36 training jobs over one day");
+
+    const auto jobs = makeDayTrace();
+
+    TablePrinter table({"Pool size", "Peak in use", "Utilization",
+                        "Mean wait", "Makespan", "Device-hours"});
+    for (int pool_size : {32, 48, 64, 96, 128}) {
+        PoolScheduler pool(pool_size);
+        const PoolResult r = pool.run(jobs);
+        table.addRow({std::to_string(pool_size),
+                      std::to_string(r.peak_devices_in_use),
+                      formatDouble(r.utilization(pool_size) * 100, 1) + "%",
+                      formatTime(r.mean_wait_sec),
+                      formatTime(r.makespan_sec),
+                      formatDouble(r.device_busy_sec / kHour, 0)});
+    }
+    table.print();
+
+    std::printf("\nEach job is allocated ceil(T/P) SmartSSDs on arrival and "
+                "returns them on completion; a modest pool absorbs the "
+                "day's demand with near-zero queueing, replacing thousands "
+                "of pooled CPU cores.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table I: RecSys training dataset configurations and target model
+ * architectures (RM1 public / RM2-5 synthetic production-scale).
+ */
+#include <string>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "datagen/rm_config.h"
+
+using namespace presto;
+
+namespace {
+
+std::string
+mlpString(const std::vector<size_t>& layers)
+{
+    std::string s;
+    for (size_t i = 0; i < layers.size(); ++i) {
+        if (i > 0)
+            s += "-";
+        s += std::to_string(layers[i]);
+    }
+    return s;
+}
+
+}  // namespace
+
+int
+main()
+{
+    printSection("Table I: RecSys dataset configuration and model "
+                 "architecture");
+
+    TablePrinter table({"Model", "Type", "#Dense", "#Sparse",
+                        "AvgSparseLen", "#Generated", "BucketSize",
+                        "BottomMLP", "TopMLP", "#Tables", "AvgEmbeddings"});
+    for (const auto& cfg : allRmConfigs()) {
+        table.addRow({cfg.name, cfg.name == "RM1" ? "Public" : "Synthetic",
+                      std::to_string(cfg.num_dense),
+                      std::to_string(cfg.num_sparse),
+                      cfg.fixed_sparse_length
+                          ? formatDouble(cfg.avg_sparse_length, 0) + " (fixed)"
+                          : formatDouble(cfg.avg_sparse_length, 0),
+                      std::to_string(cfg.num_generated),
+                      std::to_string(cfg.bucket_size),
+                      mlpString(cfg.bottom_mlp), mlpString(cfg.top_mlp),
+                      std::to_string(cfg.num_tables),
+                      std::to_string(cfg.avg_embeddings)});
+    }
+    table.print();
+    return 0;
+}

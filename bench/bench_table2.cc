@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table II: FPGA resource utilization of PreSto's preprocessing
+ * accelerator (Decode / Bucketize / SigridHash / Log units at 223 MHz).
+ */
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "models/fpga_resources.h"
+
+using namespace presto;
+
+int
+main()
+{
+    printSection("Table II: FPGA resource utilization of the PreSto "
+                 "accelerator");
+    std::printf("Synthesized clock: %.0f MHz\n",
+                prestoAcceleratorClockHz() / kMHz);
+
+    TablePrinter table({"Unit", "LUT", "REG", "BRAM", "URAM", "DSP"});
+    for (const auto& unit : prestoAcceleratorUtilization()) {
+        if (unit.name == "Total")
+            table.addSeparator();
+        table.addRow({unit.name,
+                      formatDouble(unit.percent.lut, 2) + "%",
+                      formatDouble(unit.percent.reg, 2) + "%",
+                      formatDouble(unit.percent.bram, 2) + "%",
+                      formatDouble(unit.percent.uram, 2) + "%",
+                      formatDouble(unit.percent.dsp, 2) + "%"});
+    }
+    table.print();
+
+    std::printf("\nPaper reference: Decode 18.84/8.49/25.08/0/0, Bucketize "
+                "7.88/4.28/6.19/27.59/0,\nSigridHash 23.11/12.47/11.89/0/"
+                "19.19, Log 4.18/2.79/4.89/0/10.62,\nTotal 54.02/28.03/"
+                "48.05/27.59/29.81 (%% of LUT/REG/BRAM/URAM/DSP).\n");
+    return 0;
+}

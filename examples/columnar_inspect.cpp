@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Columnar storage scenario: write a partition to disk as a PSF file,
+ * inspect its layout, demonstrate selective-column Extract (the reason
+ * the storage stage uses a columnar format), and show integrity checking
+ * catching corruption.
+ *
+ * Build & run:  ./build/examples/columnar_inspect [path]
+ */
+#include <cstdio>
+#include <string>
+
+#include "columnar/columnar_file.h"
+#include "common/units.h"
+#include "datagen/generator.h"
+
+using namespace presto;
+
+int
+main(int argc, char** argv)
+{
+    const std::string path =
+        argc > 1 ? argv[1] : "/tmp/presto_partition.psf";
+
+    RmConfig config = rmConfig(1);
+    config.batch_size = 2048;
+    RawDataGenerator generator(config);
+    const RowBatch raw = generator.generatePartition(7);
+
+    // Write the partition to disk.
+    const auto encoded = ColumnarFileWriter().write(raw, 7);
+    if (Status st = saveToFile(path, encoded); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.toString().c_str());
+        return 1;
+    }
+    std::printf("wrote %s (%s, %zu rows)\n\n", path.c_str(),
+                formatBytes(static_cast<double>(encoded.size())).c_str(),
+                raw.numRows());
+
+    // Re-open and dump the column directory.
+    auto bytes = loadFromFile(path);
+    ColumnarFileReader reader;
+    if (Status st = reader.open(*bytes); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.toString().c_str());
+        return 1;
+    }
+    std::printf("%-12s %-7s %10s %10s\n", "column", "kind", "values",
+                "bytes");
+    size_t shown = 0;
+    for (const auto& col : reader.footer().columns) {
+        if (shown++ == 8 && reader.footer().columns.size() > 10) {
+            std::printf("  ... %zu more columns ...\n",
+                        reader.footer().columns.size() - 8);
+            break;
+        }
+        uint64_t values = 0;
+        for (const auto& s : col.streams)
+            values = std::max(values, s.value_count);
+        std::printf("%-12s %-7s %10llu %10llu\n", col.name.c_str(),
+                    featureKindName(col.kind),
+                    static_cast<unsigned long long>(values),
+                    static_cast<unsigned long long>(col.byteSize()));
+    }
+
+    // Selective Extract: fetch two features for every user; row-oriented
+    // storage would have read the whole file.
+    auto projection = reader.readColumns({"dense_3", "sparse_11"});
+    if (!projection.ok()) {
+        std::fprintf(stderr, "%s\n", projection.status().toString().c_str());
+        return 1;
+    }
+    std::printf("\nprojection of 2/%zu columns touched %s of %s (%.1f%%) "
+                "-- no overfetch\n",
+                reader.footer().columns.size(),
+                formatBytes(static_cast<double>(reader.bytesTouched()))
+                    .c_str(),
+                formatBytes(static_cast<double>(bytes->size())).c_str(),
+                100.0 * static_cast<double>(reader.bytesTouched()) /
+                    static_cast<double>(bytes->size()));
+
+    // Integrity: flip one byte in the middle of the data region and show
+    // the per-page CRC catching it.
+    auto corrupted = *bytes;
+    corrupted[corrupted.size() / 2] ^= 0x40;
+    ColumnarFileReader bad_reader;
+    Status open_st = bad_reader.open(corrupted);
+    Status read_st =
+        open_st.ok() ? bad_reader.readAll().status() : open_st;
+    std::printf("\nafter flipping one byte: %s\n",
+                read_st.toString().c_str());
+    return read_st.ok() ? 1 : 0;  // corruption *must* be detected
+}

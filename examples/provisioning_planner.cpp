@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Capacity-planning scenario: given a fleet of GPU training nodes and a
+ * workload mix, size the preprocessing tier three ways (disaggregated
+ * CPUs, disaggregated U280s, in-storage SmartSSDs) and compare power and
+ * 3-year TCO — the decision the paper's TCO analysis informs.
+ *
+ * Build & run:  ./build/examples/provisioning_planner [num_gpu_nodes]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/provisioner.h"
+#include "models/calibration.h"
+
+using namespace presto;
+
+int
+main(int argc, char** argv)
+{
+    int gpu_nodes = 16;
+    if (argc > 1)
+        gpu_nodes = std::atoi(argv[1]);
+    if (gpu_nodes < 1) {
+        std::fprintf(stderr, "usage: %s [num_gpu_nodes >= 1]\n", argv[0]);
+        return 1;
+    }
+    const int gpus = gpu_nodes * cal::kGpusPerTrainingNode;
+
+    // A typical mix: many concurrent jobs across the workload spectrum,
+    // weighted toward the production-scale models.
+    const int job_share[5] = {1, 2, 2, 2, 3};
+
+    std::printf("Provisioning a preprocessing tier for %d GPU nodes "
+                "(%d A100s), workload mix RM1..RM5 = 1:2:2:2:3\n\n",
+                gpu_nodes, gpus);
+
+    TablePrinter table({"System", "Workers", "Power", "CapEx", "3yr OpEx",
+                        "3yr TCO", "TCO vs PreSto"});
+
+    double total_cpu_cost = 0, total_u280_cost = 0, total_ssd_cost = 0;
+    int cpu_workers = 0, u280_workers = 0, ssd_workers = 0;
+    double cpu_watts = 0, u280_watts = 0, ssd_watts = 0;
+
+    int total_share = 0;
+    for (int s : job_share)
+        total_share += s;
+
+    for (int rm = 1; rm <= 5; ++rm) {
+        const auto& cfg = rmConfig(rm);
+        const int rm_gpus =
+            std::max(1, gpus * job_share[rm - 1] / total_share);
+        Provisioner prov(cfg);
+
+        const Provision c = prov.provisionCpu(rm_gpus);
+        cpu_workers += c.workers;
+        cpu_watts += c.deployment.power_watts;
+        total_cpu_cost += c.deployment.totalCostDollars();
+
+        const Provision u = prov.provisionIsp(rm_gpus,
+                                              IspParams::prestoU280());
+        u280_workers += u.workers;
+        u280_watts += u.deployment.power_watts;
+        total_u280_cost += u.deployment.totalCostDollars();
+
+        const Provision s = prov.provisionIsp(rm_gpus,
+                                              IspParams::smartSsd());
+        ssd_workers += s.workers;
+        ssd_watts += s.deployment.power_watts;
+        total_ssd_cost += s.deployment.totalCostDollars();
+    }
+
+    auto addRow = [&](const char* name, int workers, double watts,
+                      double capex_less_opex_total, double opex_share) {
+        const double capex = capex_less_opex_total - opex_share;
+        table.addRow({name, std::to_string(workers),
+                      formatDouble(watts / 1000.0, 1) + " kW",
+                      "$" + formatDouble(capex, 0),
+                      "$" + formatDouble(opex_share, 0),
+                      "$" + formatDouble(capex_less_opex_total, 0),
+                      formatDouble(capex_less_opex_total / total_ssd_cost,
+                                   2) +
+                          "x"});
+    };
+
+    auto opex = [](double watts) {
+        return watts / 1000.0 * (cal::kDurationSec / kHour) *
+               cal::kElectricityPerKwh;
+    };
+
+    addRow("Disagg CPU pool", cpu_workers, cpu_watts, total_cpu_cost,
+           opex(cpu_watts));
+    addRow("PreSto (U280)", u280_workers, u280_watts, total_u280_cost,
+           opex(u280_watts));
+    addRow("PreSto (SmartSSD)", ssd_workers, ssd_watts, total_ssd_cost,
+           opex(ssd_watts));
+    table.print();
+
+    std::printf("\nSmartSSD tier saves $%.0f (%.1fx) over the CPU pool "
+                "across the 3-year deployment.\n",
+                total_cpu_cost - total_ssd_cost,
+                total_cpu_cost / total_ssd_cost);
+    return 0;
+}

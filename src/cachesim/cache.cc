@@ -1,0 +1,81 @@
+#include "cachesim/cache.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace presto {
+
+CacheSim::CacheSim(CacheConfig config)
+    : config_(config), num_sets_(config.numSets()),
+      line_shift_(std::countr_zero(
+          static_cast<uint64_t>(config.line_bytes)))
+{
+    PRESTO_CHECK(std::has_single_bit(
+                     static_cast<uint64_t>(config_.line_bytes)),
+                 "line size must be a power of two");
+    PRESTO_CHECK(num_sets_ > 0, "cache too small for its associativity");
+    PRESTO_CHECK(std::has_single_bit(num_sets_),
+                 "set count must be a power of two");
+    lines_.resize(num_sets_ * config_.ways);
+}
+
+bool
+CacheSim::access(uint64_t addr, bool is_write)
+{
+    ++stats_.accesses;
+    ++tick_;
+    const uint64_t line_addr = addr >> line_shift_;
+    const uint64_t set = line_addr & (num_sets_ - 1);
+    const uint64_t tag = line_addr >> std::countr_zero(num_sets_);
+    Line* begin = &lines_[set * config_.ways];
+
+    Line* victim = begin;
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+        Line& line = begin[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = tick_;
+            line.dirty |= is_write;
+            ++stats_.hits;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+
+    ++stats_.misses;
+    if (victim->valid) {
+        ++stats_.evictions;
+        if (victim->dirty)
+            ++stats_.writebacks;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+    victim->dirty = is_write;
+    return false;
+}
+
+void
+CacheSim::accessRange(uint64_t addr, uint64_t bytes, bool is_write)
+{
+    const uint64_t line = config_.line_bytes;
+    const uint64_t first = addr & ~(line - 1);
+    const uint64_t last = (addr + (bytes ? bytes - 1 : 0)) & ~(line - 1);
+    for (uint64_t a = first; a <= last; a += line)
+        access(a, is_write);
+}
+
+void
+CacheSim::reset()
+{
+    for (auto& line : lines_)
+        line = Line();
+    tick_ = 0;
+    stats_ = CacheStats();
+}
+
+}  // namespace presto

@@ -1,0 +1,119 @@
+#include "cachesim/op_traces.h"
+
+#include <cmath>
+
+namespace presto {
+
+namespace {
+
+// Disjoint virtual regions for the operator's data structures.
+constexpr uint64_t kInputBase = 0x1'0000'0000ULL;
+constexpr uint64_t kOutputBase = 0x2'0000'0000ULL;
+constexpr uint64_t kBoundaryBase = 0x3'0000'0000ULL;
+
+}  // namespace
+
+OpTraceRunner::OpTraceRunner(CacheConfig cache_config, uint64_t seed)
+    : cache_(cache_config), rng_(seed)
+{
+}
+
+OpTraceResult
+OpTraceRunner::runBucketize(const RmConfig& config)
+{
+    const CacheStats before = cache_.stats();
+    uint64_t touched = 0;
+
+    const uint64_t batch = config.batch_size;
+    const uint64_t m = config.bucket_size;
+    for (uint64_t f = 0; f < config.num_generated; ++f) {
+        const uint64_t in_base = kInputBase + f * batch * 4;
+        const uint64_t out_base = kOutputBase + f * batch * 8;
+        for (uint64_t r = 0; r < batch; ++r) {
+            cache_.access(in_base + r * 4, false);
+            touched += 4;
+            // Binary search over m float boundaries: probe the midpoint
+            // of a halving interval. The searched value's bucket is
+            // uniform over the boundary array.
+            uint64_t lo = 0;
+            uint64_t hi = m;
+            const uint64_t target = rng_.uniformInt(m + 1);
+            while (lo < hi) {
+                const uint64_t mid = (lo + hi) / 2;
+                cache_.access(kBoundaryBase + mid * 4, false);
+                touched += 4;
+                if (mid < target)
+                    lo = mid + 1;
+                else
+                    hi = mid;
+            }
+            cache_.access(out_base + r * 8, true);
+            touched += 8;
+        }
+    }
+
+    OpTraceResult result;
+    result.stats.accesses = cache_.stats().accesses - before.accesses;
+    result.stats.hits = cache_.stats().hits - before.hits;
+    result.stats.misses = cache_.stats().misses - before.misses;
+    result.stats.evictions = cache_.stats().evictions - before.evictions;
+    result.stats.writebacks = cache_.stats().writebacks - before.writebacks;
+    result.total_access_bytes = touched;
+    result.dram_bytes = result.stats.dramBytes(cache_.config().line_bytes);
+    return result;
+}
+
+OpTraceResult
+OpTraceRunner::runSigridHash(const RmConfig& config)
+{
+    const CacheStats before = cache_.stats();
+    uint64_t touched = 0;
+
+    const auto total_ids = static_cast<uint64_t>(
+        static_cast<double>(config.num_sparse) * config.avg_sparse_length *
+            static_cast<double>(config.batch_size) +
+        static_cast<double>(config.num_generated * config.batch_size));
+    // Hash is read-modify-write over a contiguous id buffer.
+    for (uint64_t i = 0; i < total_ids; ++i) {
+        cache_.access(kInputBase + i * 8, false);
+        cache_.access(kInputBase + i * 8, true);
+        touched += 16;
+    }
+
+    OpTraceResult result;
+    result.stats.accesses = cache_.stats().accesses - before.accesses;
+    result.stats.hits = cache_.stats().hits - before.hits;
+    result.stats.misses = cache_.stats().misses - before.misses;
+    result.stats.evictions = cache_.stats().evictions - before.evictions;
+    result.stats.writebacks = cache_.stats().writebacks - before.writebacks;
+    result.total_access_bytes = touched;
+    result.dram_bytes = result.stats.dramBytes(cache_.config().line_bytes);
+    return result;
+}
+
+OpTraceResult
+OpTraceRunner::runLog(const RmConfig& config)
+{
+    const CacheStats before = cache_.stats();
+    uint64_t touched = 0;
+
+    const uint64_t total =
+        static_cast<uint64_t>(config.num_dense) * config.batch_size;
+    for (uint64_t i = 0; i < total; ++i) {
+        cache_.access(kInputBase + i * 4, false);
+        cache_.access(kInputBase + i * 4, true);
+        touched += 8;
+    }
+
+    OpTraceResult result;
+    result.stats.accesses = cache_.stats().accesses - before.accesses;
+    result.stats.hits = cache_.stats().hits - before.hits;
+    result.stats.misses = cache_.stats().misses - before.misses;
+    result.stats.evictions = cache_.stats().evictions - before.evictions;
+    result.stats.writebacks = cache_.stats().writebacks - before.writebacks;
+    result.total_access_bytes = touched;
+    result.dram_bytes = result.stats.dramBytes(cache_.config().line_bytes);
+    return result;
+}
+
+}  // namespace presto

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Memory-access trace generators for the three key preprocessing operators,
+ * replayed through CacheSim to characterize their locality (Figure 6).
+ *
+ * Address maps place each operator's input, output, and lookup structures
+ * in disjoint regions. The traces reflect the access pattern of the real
+ * kernels in ops/: streaming reads/writes plus, for Bucketize, the binary
+ * search probe sequence into the boundary array.
+ */
+#ifndef PRESTO_CACHESIM_OP_TRACES_H_
+#define PRESTO_CACHESIM_OP_TRACES_H_
+
+#include <cstdint>
+
+#include "cachesim/cache.h"
+#include "common/rng.h"
+#include "datagen/rm_config.h"
+
+namespace presto {
+
+/** Result of replaying one operator's trace. */
+struct OpTraceResult {
+    CacheStats stats;
+    uint64_t total_access_bytes = 0;  ///< bytes touched by instructions
+    uint64_t dram_bytes = 0;          ///< bytes moved to/from memory
+};
+
+/**
+ * Replays op access traces for a given workload configuration.
+ *
+ * One instance owns one cache; run*() methods accumulate into it unless
+ * reset() is called between runs.
+ */
+class OpTraceRunner
+{
+  public:
+    explicit OpTraceRunner(CacheConfig cache_config = {},
+                           uint64_t seed = 0xcac4e5eedULL);
+
+    /**
+     * Bucketize over all generated features of @p config: per value,
+     * sequential 4-byte input read, log2(m) boundary probes (binary
+     * search midpoints), sequential 8-byte output write.
+     */
+    OpTraceResult runBucketize(const RmConfig& config);
+
+    /** SigridHash over all sparse ids: 8-byte read + 8-byte write. */
+    OpTraceResult runSigridHash(const RmConfig& config);
+
+    /** Log over all dense values: 4-byte read + 4-byte write in place. */
+    OpTraceResult runLog(const RmConfig& config);
+
+    CacheSim& cache() { return cache_; }
+    void reset() { cache_.reset(); }
+
+  private:
+    CacheSim cache_;
+    Rng rng_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CACHESIM_OP_TRACES_H_

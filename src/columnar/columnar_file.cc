@@ -1,0 +1,430 @@
+#include "columnar/columnar_file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "common/crc32.h"
+
+namespace presto {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'S', 'F', '1'};
+
+void
+putU32(std::vector<uint8_t>& out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t
+getU32(std::span<const uint8_t> in, size_t pos)
+{
+    return static_cast<uint32_t>(in[pos]) |
+           static_cast<uint32_t>(in[pos + 1]) << 8 |
+           static_cast<uint32_t>(in[pos + 2]) << 16 |
+           static_cast<uint32_t>(in[pos + 3]) << 24;
+}
+
+void
+putString(std::vector<uint8_t>& out, const std::string& s)
+{
+    enc::putVarint(out, s.size());
+    // Element-wise append sidesteps a GCC 12 -Wstringop-overflow false
+    // positive on vector::insert from string iterators.
+    for (char c : s)
+        out.push_back(static_cast<uint8_t>(c));
+}
+
+Status
+getString(std::span<const uint8_t> in, size_t& pos, std::string& s)
+{
+    uint64_t len = 0;
+    PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, len));
+    if (pos + len > in.size())
+        return Status::corruption("truncated string in footer");
+    s.assign(reinterpret_cast<const char*>(in.data() + pos), len);
+    pos += len;
+    return Status::okStatus();
+}
+
+/** Append framed pages for an int64 sequence; returns stream metadata. */
+StreamMeta
+writeI64Stream(std::vector<uint8_t>& out, std::span<const int64_t> values,
+               bool force_plain)
+{
+    StreamMeta meta;
+    meta.offset = out.size();
+    meta.value_count = values.size();
+    size_t pos = 0;
+    do {
+        const size_t n = std::min(values.size() - pos, kMaxValuesPerPage);
+        const auto slice = values.subspan(pos, n);
+        const Encoding encoding =
+            force_plain ? Encoding::kPlainI64 : enc::chooseIntEncoding(slice);
+        std::vector<uint8_t> payload;
+        switch (encoding) {
+          case Encoding::kPlainI64:
+            payload = enc::encodePlainI64(slice);
+            break;
+          case Encoding::kVarint:
+            payload = enc::encodeVarint(slice);
+            break;
+          case Encoding::kDeltaVarint:
+            payload = enc::encodeDeltaVarint(slice);
+            break;
+          case Encoding::kRle:
+            payload = enc::encodeRle(slice);
+            break;
+          case Encoding::kDictionary:
+            payload = enc::encodeDictionary(slice);
+            break;
+          case Encoding::kPlainF32:
+            PRESTO_PANIC("float encoding chosen for int stream");
+        }
+        writePageFrame(out, encoding, static_cast<uint32_t>(n), payload);
+        ++meta.num_pages;
+        pos += n;
+    } while (pos < values.size());
+    meta.byte_size = out.size() - meta.offset;
+    return meta;
+}
+
+/** Append framed pages for a float sequence; returns stream metadata. */
+StreamMeta
+writeF32Stream(std::vector<uint8_t>& out, std::span<const float> values)
+{
+    StreamMeta meta;
+    meta.offset = out.size();
+    meta.value_count = values.size();
+    size_t pos = 0;
+    do {
+        const size_t n = std::min(values.size() - pos, kMaxValuesPerPage);
+        const auto payload = enc::encodePlainF32(values.subspan(pos, n));
+        writePageFrame(out, Encoding::kPlainF32, static_cast<uint32_t>(n),
+                       payload);
+        ++meta.num_pages;
+        pos += n;
+    } while (pos < values.size());
+    meta.byte_size = out.size() - meta.offset;
+    return meta;
+}
+
+}  // namespace
+
+uint64_t
+ColumnMeta::byteSize() const
+{
+    uint64_t total = 0;
+    for (const auto& s : streams)
+        total += s.byte_size;
+    return total;
+}
+
+Schema
+FileFooter::schema() const
+{
+    Schema schema;
+    for (const auto& col : columns)
+        schema.add({col.name, col.kind});
+    return schema;
+}
+
+std::vector<uint8_t>
+ColumnarFileWriter::write(const RowBatch& batch, uint64_t partition_id) const
+{
+    PRESTO_CHECK(batch.complete(), "cannot write an incomplete batch");
+
+    std::vector<uint8_t> out;
+    for (char c : kMagic)
+        out.push_back(static_cast<uint8_t>(c));
+
+    std::vector<ColumnMeta> columns;
+    columns.reserve(batch.numColumns());
+
+    for (size_t c = 0; c < batch.numColumns(); ++c) {
+        const auto& spec = batch.schema().feature(c);
+        ColumnMeta meta;
+        meta.name = spec.name;
+        meta.kind = spec.kind;
+        if (spec.kind == FeatureKind::kSparse) {
+            const auto& col = batch.sparse(c);
+            // Lengths stream: one entry per row.
+            std::vector<int64_t> lengths(col.numRows());
+            for (size_t r = 0; r < col.numRows(); ++r)
+                lengths[r] = static_cast<int64_t>(col.rowLength(r));
+            meta.streams.push_back(
+                writeI64Stream(out, lengths, options_.force_plain));
+            meta.streams.push_back(
+                writeI64Stream(out, col.values(), options_.force_plain));
+        } else {
+            const auto& col = batch.dense(c);
+            meta.streams.push_back(writeF32Stream(out, col.values()));
+        }
+        columns.push_back(std::move(meta));
+    }
+
+    // Footer.
+    std::vector<uint8_t> footer;
+    enc::putVarint(footer, batch.numRows());
+    enc::putVarint(footer, partition_id);
+    enc::putVarint(footer, columns.size());
+    for (const auto& col : columns) {
+        putString(footer, col.name);
+        footer.push_back(static_cast<uint8_t>(col.kind));
+        enc::putVarint(footer, col.streams.size());
+        for (const auto& s : col.streams) {
+            enc::putVarint(footer, s.offset);
+            enc::putVarint(footer, s.byte_size);
+            enc::putVarint(footer, s.value_count);
+            enc::putVarint(footer, s.num_pages);
+        }
+    }
+
+    const uint32_t footer_crc = crc32c(footer.data(), footer.size());
+    out.insert(out.end(), footer.begin(), footer.end());
+    putU32(out, static_cast<uint32_t>(footer.size()));
+    putU32(out, footer_crc);
+    for (char c : kMagic)
+        out.push_back(static_cast<uint8_t>(c));
+    return out;
+}
+
+Status
+ColumnarFileReader::open(std::span<const uint8_t> data)
+{
+    open_ = false;
+    bytes_touched_ = 0;
+    data_ = data;
+    footer_ = FileFooter();
+
+    const size_t trailer = 4 + 4 + 4;  // size + crc + magic
+    if (data.size() < 4 + trailer)
+        return Status::corruption("file too small for PSF framing");
+    if (std::memcmp(data.data(), kMagic, 4) != 0)
+        return Status::corruption("bad header magic");
+    if (std::memcmp(data.data() + data.size() - 4, kMagic, 4) != 0)
+        return Status::corruption("bad trailer magic");
+
+    const size_t size_pos = data.size() - trailer;
+    const uint32_t footer_size = getU32(data, size_pos);
+    const uint32_t footer_crc = getU32(data, size_pos + 4);
+    if (footer_size > size_pos - 4)
+        return Status::corruption("footer size exceeds file");
+    const size_t footer_pos = size_pos - footer_size;
+    const auto footer_bytes = data.subspan(footer_pos, footer_size);
+    if (crc32c(footer_bytes.data(), footer_bytes.size()) != footer_crc)
+        return Status::corruption("footer checksum mismatch");
+
+    size_t pos = 0;
+    PRESTO_RETURN_IF_ERROR(
+        enc::getVarint(footer_bytes, pos, footer_.num_rows));
+    PRESTO_RETURN_IF_ERROR(
+        enc::getVarint(footer_bytes, pos, footer_.partition_id));
+    uint64_t num_columns = 0;
+    PRESTO_RETURN_IF_ERROR(enc::getVarint(footer_bytes, pos, num_columns));
+    if (num_columns > footer_size)
+        return Status::corruption("implausible column count");
+    for (uint64_t c = 0; c < num_columns; ++c) {
+        ColumnMeta col;
+        PRESTO_RETURN_IF_ERROR(getString(footer_bytes, pos, col.name));
+        if (pos >= footer_bytes.size())
+            return Status::corruption("truncated column kind");
+        const uint8_t kind = footer_bytes[pos++];
+        if (kind > static_cast<uint8_t>(FeatureKind::kLabel))
+            return Status::corruption("unknown feature kind");
+        col.kind = static_cast<FeatureKind>(kind);
+        uint64_t num_streams = 0;
+        PRESTO_RETURN_IF_ERROR(
+            enc::getVarint(footer_bytes, pos, num_streams));
+        if (num_streams > 2)
+            return Status::corruption("implausible stream count");
+        for (uint64_t s = 0; s < num_streams; ++s) {
+            StreamMeta stream;
+            uint64_t num_pages = 0;
+            PRESTO_RETURN_IF_ERROR(
+                enc::getVarint(footer_bytes, pos, stream.offset));
+            PRESTO_RETURN_IF_ERROR(
+                enc::getVarint(footer_bytes, pos, stream.byte_size));
+            PRESTO_RETURN_IF_ERROR(
+                enc::getVarint(footer_bytes, pos, stream.value_count));
+            PRESTO_RETURN_IF_ERROR(
+                enc::getVarint(footer_bytes, pos, num_pages));
+            stream.num_pages = static_cast<uint32_t>(num_pages);
+            if (stream.offset + stream.byte_size > footer_pos)
+                return Status::corruption("stream extends past data region");
+            col.streams.push_back(stream);
+        }
+        footer_.columns.push_back(std::move(col));
+    }
+    if (pos != footer_bytes.size())
+        return Status::corruption("trailing bytes in footer");
+
+    bytes_touched_ = footer_size + trailer + 4;
+    open_ = true;
+    return Status::okStatus();
+}
+
+Status
+ColumnarFileReader::decodeI64Stream(const StreamMeta& stream,
+                                    std::vector<int64_t>& out)
+{
+    out.clear();
+    out.reserve(stream.value_count);
+    size_t pos = stream.offset;
+    const size_t end = stream.offset + stream.byte_size;
+    std::vector<int64_t> page_values;
+    for (uint32_t p = 0; p < stream.num_pages; ++p) {
+        PageView page;
+        PRESTO_RETURN_IF_ERROR(readPageFrame(data_, pos, page));
+        PRESTO_RETURN_IF_ERROR(enc::decodeI64(page.encoding, page.payload,
+                                              page.value_count, page_values));
+        out.insert(out.end(), page_values.begin(), page_values.end());
+    }
+    if (pos != end)
+        return Status::corruption("stream page sizes disagree with footer");
+    if (out.size() != stream.value_count)
+        return Status::corruption("stream value count mismatch");
+    bytes_touched_ += stream.byte_size;
+    return Status::okStatus();
+}
+
+Status
+ColumnarFileReader::decodeDense(const ColumnMeta& meta, DenseColumn& out)
+{
+    if (meta.streams.size() != 1)
+        return Status::corruption("dense column must have one stream");
+    const auto& stream = meta.streams[0];
+    std::vector<float> values;
+    values.reserve(stream.value_count);
+    size_t pos = stream.offset;
+    std::vector<float> page_values;
+    for (uint32_t p = 0; p < stream.num_pages; ++p) {
+        PageView page;
+        PRESTO_RETURN_IF_ERROR(readPageFrame(data_, pos, page));
+        PRESTO_RETURN_IF_ERROR(enc::decodeF32(page.encoding, page.payload,
+                                              page.value_count, page_values));
+        values.insert(values.end(), page_values.begin(), page_values.end());
+    }
+    if (values.size() != stream.value_count)
+        return Status::corruption("dense stream value count mismatch");
+    if (values.size() != footer_.num_rows)
+        return Status::corruption("dense column row count mismatch");
+    bytes_touched_ += stream.byte_size;
+    out = DenseColumn(std::move(values));
+    return Status::okStatus();
+}
+
+Status
+ColumnarFileReader::decodeSparse(const ColumnMeta& meta, SparseColumn& out)
+{
+    if (meta.streams.size() != 2)
+        return Status::corruption("sparse column must have two streams");
+    std::vector<int64_t> lengths;
+    std::vector<int64_t> values;
+    PRESTO_RETURN_IF_ERROR(decodeI64Stream(meta.streams[0], lengths));
+    PRESTO_RETURN_IF_ERROR(decodeI64Stream(meta.streams[1], values));
+    if (lengths.size() != footer_.num_rows)
+        return Status::corruption("sparse lengths row count mismatch");
+
+    std::vector<uint32_t> offsets;
+    offsets.reserve(lengths.size() + 1);
+    offsets.push_back(0);
+    uint64_t running = 0;
+    for (int64_t len : lengths) {
+        if (len < 0)
+            return Status::corruption("negative sparse row length");
+        running += static_cast<uint64_t>(len);
+        if (running > values.size())
+            return Status::corruption("sparse lengths exceed values");
+        offsets.push_back(static_cast<uint32_t>(running));
+    }
+    if (running != values.size())
+        return Status::corruption("sparse lengths do not cover values");
+    out = SparseColumn(std::move(values), std::move(offsets));
+    return Status::okStatus();
+}
+
+StatusOr<RowBatch>
+ColumnarFileReader::readColumns(const std::vector<std::string>& names)
+{
+    if (!open_)
+        return Status::failedPrecondition("reader is not open");
+
+    Schema schema;
+    std::vector<const ColumnMeta*> selected;
+    for (const auto& name : names) {
+        const ColumnMeta* found = nullptr;
+        for (const auto& col : footer_.columns) {
+            if (col.name == name) {
+                found = &col;
+                break;
+            }
+        }
+        if (found == nullptr)
+            return Status::notFound("no column named " + name);
+        schema.add({found->name, found->kind});
+        selected.push_back(found);
+    }
+
+    RowBatch batch(schema);
+    for (const ColumnMeta* meta : selected) {
+        if (meta->kind == FeatureKind::kSparse) {
+            SparseColumn col;
+            PRESTO_RETURN_IF_ERROR(decodeSparse(*meta, col));
+            batch.addColumn(std::move(col));
+        } else {
+            DenseColumn col;
+            PRESTO_RETURN_IF_ERROR(decodeDense(*meta, col));
+            batch.addColumn(std::move(col));
+        }
+    }
+    return batch;
+}
+
+StatusOr<RowBatch>
+ColumnarFileReader::readAll()
+{
+    if (!open_)
+        return Status::failedPrecondition("reader is not open");
+    std::vector<std::string> names;
+    names.reserve(footer_.columns.size());
+    for (const auto& col : footer_.columns)
+        names.push_back(col.name);
+    return readColumns(names);
+}
+
+Status
+saveToFile(const std::string& path, std::span<const uint8_t> bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return Status::notFound("cannot open for writing: " + path);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out)
+        return Status::corruption("short write to " + path);
+    return Status::okStatus();
+}
+
+StatusOr<std::vector<uint8_t>>
+loadFromFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return Status::notFound("cannot open for reading: " + path);
+    const auto size = static_cast<size_t>(in.tellg());
+    in.seekg(0);
+    std::vector<uint8_t> bytes(size);
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(size));
+    if (!in)
+        return Status::corruption("short read from " + path);
+    return bytes;
+}
+
+}  // namespace presto

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The PSF ("PreSto columnar File") format: our self-contained stand-in for
+ * Apache Parquet.
+ *
+ * One file holds one partition (a mutually-exclusive shard of rows, as in
+ * Figure 1 of the paper). Data is laid out column-major so a reader can
+ * selectively fetch any subset of features without touching the rest —
+ * the property the Extract stage depends on.
+ *
+ * Layout:
+ *   "PSF1"                            4-byte header magic
+ *   column chunks (per schema order)  each a run of framed pages
+ *   footer                            schema + per-stream directory
+ *   footer_size u32, footer_crc u32
+ *   "PSF1"                            4-byte trailer magic
+ *
+ * Dense/label features have one value stream. Sparse features have a
+ * lengths stream (RLE/varint) and a values stream (dictionary/varint).
+ */
+#ifndef PRESTO_COLUMNAR_COLUMNAR_FILE_H_
+#define PRESTO_COLUMNAR_COLUMNAR_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/page.h"
+#include "common/status.h"
+#include "tabular/row_batch.h"
+
+namespace presto {
+
+/** Directory entry for one encoded stream of one column. */
+struct StreamMeta {
+    uint64_t offset = 0;       ///< byte offset of the first page frame
+    uint64_t byte_size = 0;    ///< total framed bytes of this stream
+    uint64_t value_count = 0;  ///< decoded values across all pages
+    uint32_t num_pages = 0;
+};
+
+/** Directory entry for one column. */
+struct ColumnMeta {
+    std::string name;
+    FeatureKind kind = FeatureKind::kDense;
+    std::vector<StreamMeta> streams;  ///< 1 (dense) or 2 (sparse: len, val)
+
+    /** Total framed bytes across streams. */
+    uint64_t byteSize() const;
+};
+
+/** Parsed footer of a PSF file. */
+struct FileFooter {
+    uint64_t num_rows = 0;
+    uint64_t partition_id = 0;
+    std::vector<ColumnMeta> columns;
+
+    /** Reconstruct the schema described by the footer. */
+    Schema schema() const;
+};
+
+/** Writer knobs. */
+struct WriterOptions {
+    /** Force a specific encoding for sparse values (nullopt = choose). */
+    bool force_plain = false;
+};
+
+/**
+ * Serializes RowBatch partitions into PSF bytes.
+ */
+class ColumnarFileWriter
+{
+  public:
+    explicit ColumnarFileWriter(WriterOptions options = {})
+        : options_(options)
+    {}
+
+    /**
+     * Encode @p batch as one PSF file.
+     * @param partition_id Recorded in the footer.
+     */
+    std::vector<uint8_t> write(const RowBatch& batch,
+                               uint64_t partition_id) const;
+
+  private:
+    WriterOptions options_;
+};
+
+/**
+ * Reads PSF bytes with column projection and byte-touch accounting.
+ *
+ * The reader counts the bytes it actually inspects (pages of selected
+ * columns + footer), which the storage model uses to credit columnar
+ * layouts for avoiding overfetch.
+ */
+class ColumnarFileReader
+{
+  public:
+    /** Parse and validate the footer. Keeps a reference to @p data. */
+    Status open(std::span<const uint8_t> data);
+
+    const FileFooter& footer() const { return footer_; }
+    bool isOpen() const { return open_; }
+
+    /**
+     * Decode the named columns (schema order preserved) into a RowBatch
+     * whose schema contains exactly those features.
+     * @return kNotFound for unknown names, kCorruption for damaged pages.
+     */
+    StatusOr<RowBatch> readColumns(const std::vector<std::string>& names);
+
+    /** Decode every column. */
+    StatusOr<RowBatch> readAll();
+
+    /** Bytes of the file inspected so far (footer + selected pages). */
+    uint64_t bytesTouched() const { return bytes_touched_; }
+
+    /** Bytes a row-oriented layout would have to read for any projection. */
+    uint64_t
+    totalDataBytes() const
+    {
+        return data_.size();
+    }
+
+  private:
+    Status decodeDense(const ColumnMeta& meta, DenseColumn& out);
+    Status decodeSparse(const ColumnMeta& meta, SparseColumn& out);
+    Status decodeI64Stream(const StreamMeta& stream,
+                           std::vector<int64_t>& out);
+
+    std::span<const uint8_t> data_;
+    FileFooter footer_;
+    bool open_ = false;
+    uint64_t bytes_touched_ = 0;
+};
+
+/** Write PSF bytes to a filesystem path. */
+Status saveToFile(const std::string& path, std::span<const uint8_t> bytes);
+
+/** Read a whole file from a filesystem path. */
+StatusOr<std::vector<uint8_t>> loadFromFile(const std::string& path);
+
+}  // namespace presto
+
+#endif  // PRESTO_COLUMNAR_COLUMNAR_FILE_H_

@@ -1,0 +1,139 @@
+#include "columnar/dataset.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "columnar/columnar_file.h"
+#include "common/crc32.h"
+
+namespace presto {
+
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kManifestMagic = "PSFDATASET";
+constexpr int kManifestVersion = 1;
+
+std::string
+partitionFileName(uint64_t partition_id)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "part-%08" PRIu64 ".psf", partition_id);
+    return buf;
+}
+
+}  // namespace
+
+DatasetWriter::DatasetWriter(std::string directory)
+    : directory_(std::move(directory))
+{
+}
+
+Status
+DatasetWriter::addPartition(const RowBatch& batch, uint64_t partition_id)
+{
+    if (finished_)
+        return Status::failedPrecondition("dataset already finished");
+    if (rows_per_partition_ == 0) {
+        rows_per_partition_ = batch.numRows();
+    } else if (batch.numRows() != rows_per_partition_) {
+        return Status::invalidArgument(
+            "partitions must have equal row counts");
+    }
+    for (const auto& e : entries_) {
+        if (e.partition_id == partition_id)
+            return Status::invalidArgument("duplicate partition id");
+    }
+
+    const auto bytes = ColumnarFileWriter().write(batch, partition_id);
+    PartitionEntry entry;
+    entry.partition_id = partition_id;
+    entry.file_name = partitionFileName(partition_id);
+    entry.byte_size = bytes.size();
+    entry.crc = crc32c(bytes.data(), bytes.size());
+    PRESTO_RETURN_IF_ERROR(
+        saveToFile(directory_ + "/" + entry.file_name, bytes));
+    entries_.push_back(std::move(entry));
+    return Status::okStatus();
+}
+
+Status
+DatasetWriter::finish()
+{
+    if (finished_)
+        return Status::failedPrecondition("dataset already finished");
+    std::ostringstream out;
+    out << kManifestMagic << " " << kManifestVersion << " "
+        << entries_.size() << " " << rows_per_partition_ << "\n";
+    for (const auto& e : entries_) {
+        out << e.partition_id << " " << e.file_name << " " << e.byte_size
+            << " " << e.crc << "\n";
+    }
+    const std::string text = out.str();
+    PRESTO_RETURN_IF_ERROR(saveToFile(
+        directory_ + "/" + kManifestName,
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(text.data()), text.size())));
+    finished_ = true;
+    return Status::okStatus();
+}
+
+Status
+DatasetReader::open(const std::string& directory)
+{
+    open_ = false;
+    directory_ = directory;
+    manifest_ = DatasetManifest();
+
+    auto bytes = loadFromFile(directory + "/" + kManifestName);
+    if (!bytes.ok())
+        return bytes.status();
+    std::istringstream in(std::string(bytes->begin(), bytes->end()));
+
+    std::string magic;
+    int version = 0;
+    if (!(in >> magic >> version >> manifest_.num_partitions >>
+          manifest_.rows_per_partition) ||
+        magic != kManifestMagic) {
+        return Status::corruption("bad manifest header");
+    }
+    if (version != kManifestVersion)
+        return Status::unimplemented("unsupported manifest version");
+
+    for (uint64_t i = 0; i < manifest_.num_partitions; ++i) {
+        PartitionEntry e;
+        if (!(in >> e.partition_id >> e.file_name >> e.byte_size >> e.crc))
+            return Status::corruption("truncated manifest");
+        manifest_.partitions.push_back(std::move(e));
+    }
+    open_ = true;
+    return Status::okStatus();
+}
+
+StatusOr<RowBatch>
+DatasetReader::readPartition(size_t index) const
+{
+    if (!open_)
+        return Status::failedPrecondition("dataset is not open");
+    if (index >= manifest_.partitions.size())
+        return Status::outOfRange("partition index out of range");
+    const auto& entry = manifest_.partitions[index];
+
+    auto bytes = loadFromFile(directory_ + "/" + entry.file_name);
+    if (!bytes.ok())
+        return bytes.status();
+    if (bytes->size() != entry.byte_size)
+        return Status::corruption("partition size disagrees with manifest");
+    if (crc32c(bytes->data(), bytes->size()) != entry.crc)
+        return Status::corruption("partition checksum mismatch");
+
+    ColumnarFileReader reader;
+    PRESTO_RETURN_IF_ERROR(reader.open(*bytes));
+    if (reader.footer().partition_id != entry.partition_id)
+        return Status::corruption("partition id mismatch");
+    return reader.readAll();
+}
+
+}  // namespace presto

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * On-disk dataset: a directory of PSF partition files plus a manifest,
+ * mirroring the paper's storage layout where a dataset is a set of
+ * mutually-exclusive partitions, each stored contiguously on one device.
+ *
+ * Manifest (text, one header line + one line per partition):
+ *   PSFDATASET 1 <num_partitions> <rows_per_partition>
+ *   <partition_id> <file_name> <byte_size> <crc32c>
+ */
+#ifndef PRESTO_COLUMNAR_DATASET_H_
+#define PRESTO_COLUMNAR_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tabular/row_batch.h"
+
+namespace presto {
+
+/** Manifest entry for one stored partition. */
+struct PartitionEntry {
+    uint64_t partition_id = 0;
+    std::string file_name;
+    uint64_t byte_size = 0;
+    uint32_t crc = 0;
+};
+
+/** Parsed dataset manifest. */
+struct DatasetManifest {
+    uint64_t num_partitions = 0;
+    uint64_t rows_per_partition = 0;
+    std::vector<PartitionEntry> partitions;
+};
+
+/**
+ * Writes partitions and a manifest into a directory.
+ */
+class DatasetWriter
+{
+  public:
+    /** @param directory Must already exist and be writable. */
+    explicit DatasetWriter(std::string directory);
+
+    /** Append one partition (encodes @p batch as PSF). */
+    Status addPartition(const RowBatch& batch, uint64_t partition_id);
+
+    /** Write the manifest; call once after the last partition. */
+    Status finish();
+
+    size_t numPartitions() const { return entries_.size(); }
+
+  private:
+    std::string directory_;
+    std::vector<PartitionEntry> entries_;
+    uint64_t rows_per_partition_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Opens a dataset directory and reads partitions with integrity checks.
+ */
+class DatasetReader
+{
+  public:
+    /** Parse the manifest in @p directory. */
+    Status open(const std::string& directory);
+
+    const DatasetManifest& manifest() const { return manifest_; }
+
+    /**
+     * Load and decode one partition by manifest index; verifies the
+     * manifest CRC before decoding pages.
+     */
+    StatusOr<RowBatch> readPartition(size_t index) const;
+
+  private:
+    std::string directory_;
+    DatasetManifest manifest_;
+    bool open_ = false;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_COLUMNAR_DATASET_H_

@@ -1,0 +1,250 @@
+#include "columnar/encoding.h"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace presto {
+
+const char*
+encodingName(Encoding encoding)
+{
+    switch (encoding) {
+      case Encoding::kPlainF32:    return "plain_f32";
+      case Encoding::kPlainI64:    return "plain_i64";
+      case Encoding::kVarint:      return "varint";
+      case Encoding::kDeltaVarint: return "delta_varint";
+      case Encoding::kRle:         return "rle";
+      case Encoding::kDictionary:  return "dictionary";
+    }
+    return "?";
+}
+
+namespace enc {
+
+void
+putVarint(std::vector<uint8_t>& out, uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(value));
+}
+
+Status
+getVarint(std::span<const uint8_t> in, size_t& pos, uint64_t& value)
+{
+    value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+        if (pos >= in.size())
+            return Status::corruption("truncated varint");
+        const uint8_t byte = in[pos++];
+        value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return Status::okStatus();
+    }
+    return Status::corruption("varint longer than 10 bytes");
+}
+
+std::vector<uint8_t>
+encodePlainF32(std::span<const float> values)
+{
+    std::vector<uint8_t> out(values.size() * sizeof(float));
+    if (!values.empty())
+        std::memcpy(out.data(), values.data(), out.size());
+    return out;
+}
+
+std::vector<uint8_t>
+encodePlainI64(std::span<const int64_t> values)
+{
+    std::vector<uint8_t> out(values.size() * sizeof(int64_t));
+    if (!values.empty())
+        std::memcpy(out.data(), values.data(), out.size());
+    return out;
+}
+
+std::vector<uint8_t>
+encodeVarint(std::span<const int64_t> values)
+{
+    std::vector<uint8_t> out;
+    out.reserve(values.size() * 3);
+    for (int64_t v : values)
+        putVarint(out, zigZag(v));
+    return out;
+}
+
+std::vector<uint8_t>
+encodeDeltaVarint(std::span<const int64_t> values)
+{
+    std::vector<uint8_t> out;
+    out.reserve(values.size() * 2);
+    int64_t prev = 0;
+    for (int64_t v : values) {
+        putVarint(out, zigZag(v - prev));
+        prev = v;
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+encodeRle(std::span<const int64_t> values)
+{
+    std::vector<uint8_t> out;
+    size_t i = 0;
+    while (i < values.size()) {
+        size_t run = 1;
+        while (i + run < values.size() && values[i + run] == values[i])
+            ++run;
+        putVarint(out, run);
+        putVarint(out, zigZag(values[i]));
+        i += run;
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+encodeDictionary(std::span<const int64_t> values)
+{
+    std::unordered_map<int64_t, uint64_t> dict;
+    std::vector<int64_t> distinct;
+    std::vector<uint64_t> indices;
+    indices.reserve(values.size());
+    for (int64_t v : values) {
+        auto [it, inserted] = dict.try_emplace(v, distinct.size());
+        if (inserted)
+            distinct.push_back(v);
+        indices.push_back(it->second);
+    }
+    std::vector<uint8_t> out;
+    putVarint(out, distinct.size());
+    for (int64_t v : distinct)
+        putVarint(out, zigZag(v));
+    for (uint64_t idx : indices)
+        putVarint(out, idx);
+    return out;
+}
+
+Status
+decodeF32(Encoding encoding, std::span<const uint8_t> payload, size_t count,
+          std::vector<float>& out)
+{
+    if (encoding != Encoding::kPlainF32)
+        return Status::corruption("float page with non-float encoding");
+    if (payload.size() != count * sizeof(float))
+        return Status::corruption("plain_f32 payload size mismatch");
+    out.resize(count);
+    if (count > 0)
+        std::memcpy(out.data(), payload.data(), payload.size());
+    return Status::okStatus();
+}
+
+Status
+decodeI64(Encoding encoding, std::span<const uint8_t> payload, size_t count,
+          std::vector<int64_t>& out)
+{
+    out.clear();
+    out.reserve(count);
+    size_t pos = 0;
+    switch (encoding) {
+      case Encoding::kPlainI64: {
+        if (payload.size() != count * sizeof(int64_t))
+            return Status::corruption("plain_i64 payload size mismatch");
+        out.resize(count);
+        if (count > 0)
+            std::memcpy(out.data(), payload.data(), payload.size());
+        return Status::okStatus();
+      }
+      case Encoding::kVarint: {
+        for (size_t i = 0; i < count; ++i) {
+            uint64_t u = 0;
+            PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, u));
+            out.push_back(unZigZag(u));
+        }
+        break;
+      }
+      case Encoding::kDeltaVarint: {
+        int64_t prev = 0;
+        for (size_t i = 0; i < count; ++i) {
+            uint64_t u = 0;
+            PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, u));
+            prev += unZigZag(u);
+            out.push_back(prev);
+        }
+        break;
+      }
+      case Encoding::kRle: {
+        while (out.size() < count) {
+            uint64_t run = 0;
+            uint64_t u = 0;
+            PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, run));
+            PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, u));
+            if (run == 0 || out.size() + run > count)
+                return Status::corruption("rle run overflows page");
+            out.insert(out.end(), run, unZigZag(u));
+        }
+        break;
+      }
+      case Encoding::kDictionary: {
+        uint64_t dict_size = 0;
+        PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, dict_size));
+        if (dict_size > payload.size())
+            return Status::corruption("dictionary size exceeds payload");
+        std::vector<int64_t> dict;
+        dict.reserve(dict_size);
+        for (uint64_t i = 0; i < dict_size; ++i) {
+            uint64_t u = 0;
+            PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, u));
+            dict.push_back(unZigZag(u));
+        }
+        for (size_t i = 0; i < count; ++i) {
+            uint64_t idx = 0;
+            PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, idx));
+            if (idx >= dict.size())
+                return Status::corruption("dictionary index out of range");
+            out.push_back(dict[idx]);
+        }
+        break;
+      }
+      case Encoding::kPlainF32:
+        return Status::corruption("int page with float encoding");
+    }
+    if (pos != payload.size())
+        return Status::corruption("trailing bytes after decoded page");
+    return Status::okStatus();
+}
+
+Encoding
+chooseIntEncoding(std::span<const int64_t> values)
+{
+    if (values.empty())
+        return Encoding::kVarint;
+
+    size_t distinct_cap = 4096;
+    std::unordered_map<int64_t, size_t> seen;
+    bool monotone = true;
+    size_t runs = 1;
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) {
+            if (values[i] < values[i - 1])
+                monotone = false;
+            if (values[i] != values[i - 1])
+                ++runs;
+        }
+        if (seen.size() < distinct_cap)
+            seen.try_emplace(values[i], seen.size());
+    }
+    // Few runs -> RLE wins outright.
+    if (runs * 8 < values.size())
+        return Encoding::kRle;
+    if (monotone)
+        return Encoding::kDeltaVarint;
+    // Modest distinct set -> dictionary indices are much smaller than
+    // full-width ids.
+    if (seen.size() < distinct_cap && seen.size() * 4 < values.size() * 3)
+        return Encoding::kDictionary;
+    return Encoding::kVarint;
+}
+
+}  // namespace enc
+}  // namespace presto

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Value encodings for columnar pages.
+ *
+ * The columnar file format (our stand-in for Apache Parquet) stores each
+ * page's payload with one of these encodings:
+ *  - kPlainF32 / kPlainI64: raw little-endian values.
+ *  - kVarint:   LEB128 unsigned varints (ZigZag applied for signed data).
+ *  - kDeltaVarint: first value ZigZag-varint, then ZigZag-varint deltas;
+ *    compact for monotonically increasing offset arrays.
+ *  - kRle: (run_length varint, value ZigZag-varint) pairs; compact for
+ *    label columns and repeated lengths.
+ *  - kDictionary: distinct-value dictionary (ZigZag-varint) followed by
+ *    varint indices; compact for Zipf-popular categorical ids.
+ */
+#ifndef PRESTO_COLUMNAR_ENCODING_H_
+#define PRESTO_COLUMNAR_ENCODING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace presto {
+
+/** Page payload encoding identifiers (stable on-disk values). */
+enum class Encoding : uint8_t {
+    kPlainF32 = 0,
+    kPlainI64 = 1,
+    kVarint = 2,
+    kDeltaVarint = 3,
+    kRle = 4,
+    kDictionary = 5,
+};
+
+/** Human-readable encoding name. */
+const char* encodingName(Encoding encoding);
+
+namespace enc {
+
+// --- primitive varint helpers (also used by the file footer) -------------
+
+/** Append an unsigned LEB128 varint. */
+void putVarint(std::vector<uint8_t>& out, uint64_t value);
+
+/**
+ * Read an unsigned LEB128 varint at @p pos (advanced past the varint).
+ * @return kCorruption on truncated or over-long input.
+ */
+Status getVarint(std::span<const uint8_t> in, size_t& pos, uint64_t& value);
+
+/** ZigZag-map a signed value to unsigned. */
+constexpr uint64_t
+zigZag(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+/** Inverse of zigZag(). */
+constexpr int64_t
+unZigZag(uint64_t v)
+{
+    return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+// --- whole-buffer encoders ------------------------------------------------
+
+std::vector<uint8_t> encodePlainF32(std::span<const float> values);
+std::vector<uint8_t> encodePlainI64(std::span<const int64_t> values);
+std::vector<uint8_t> encodeVarint(std::span<const int64_t> values);
+std::vector<uint8_t> encodeDeltaVarint(std::span<const int64_t> values);
+std::vector<uint8_t> encodeRle(std::span<const int64_t> values);
+std::vector<uint8_t> encodeDictionary(std::span<const int64_t> values);
+
+/**
+ * Decode @p count floats; only kPlainF32 is valid for float payloads.
+ */
+Status decodeF32(Encoding encoding, std::span<const uint8_t> payload,
+                 size_t count, std::vector<float>& out);
+
+/**
+ * Decode @p count int64 values with any integer encoding.
+ */
+Status decodeI64(Encoding encoding, std::span<const uint8_t> payload,
+                 size_t count, std::vector<int64_t>& out);
+
+/**
+ * Pick a compact integer encoding for @p values by estimating encoded
+ * sizes (dictionary vs varint vs RLE; delta for monotone sequences).
+ */
+Encoding chooseIntEncoding(std::span<const int64_t> values);
+
+}  // namespace enc
+}  // namespace presto
+
+#endif  // PRESTO_COLUMNAR_ENCODING_H_

@@ -1,0 +1,71 @@
+#include "columnar/page.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace presto {
+
+namespace {
+
+void
+putU32(std::vector<uint8_t>& out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t
+getU32(std::span<const uint8_t> in, size_t pos)
+{
+    return static_cast<uint32_t>(in[pos]) |
+           static_cast<uint32_t>(in[pos + 1]) << 8 |
+           static_cast<uint32_t>(in[pos + 2]) << 16 |
+           static_cast<uint32_t>(in[pos + 3]) << 24;
+}
+
+}  // namespace
+
+void
+writePageFrame(std::vector<uint8_t>& out, Encoding encoding,
+               uint32_t value_count, std::span<const uint8_t> payload)
+{
+    const size_t header_pos = out.size();
+    out.push_back(static_cast<uint8_t>(encoding));
+    putU32(out, value_count);
+    putU32(out, static_cast<uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    const uint32_t crc =
+        crc32c(out.data() + header_pos, out.size() - header_pos);
+    putU32(out, crc);
+}
+
+Status
+readPageFrame(std::span<const uint8_t> in, size_t& pos, PageView& page)
+{
+    const size_t header_size = 1 + 4 + 4;
+    if (pos + header_size > in.size())
+        return Status::corruption("truncated page header");
+    const uint8_t enc_byte = in[pos];
+    if (enc_byte > static_cast<uint8_t>(Encoding::kDictionary))
+        return Status::corruption("unknown page encoding");
+    const uint32_t value_count = getU32(in, pos + 1);
+    const uint32_t payload_size = getU32(in, pos + 5);
+    if (pos + header_size + payload_size + 4 > in.size())
+        return Status::corruption("truncated page payload");
+    const uint32_t stored_crc = getU32(in, pos + header_size + payload_size);
+    const uint32_t actual_crc =
+        crc32c(in.data() + pos, header_size + payload_size);
+    if (stored_crc != actual_crc)
+        return Status::corruption("page checksum mismatch");
+
+    page.encoding = static_cast<Encoding>(enc_byte);
+    page.value_count = value_count;
+    page.payload = in.subspan(pos + header_size, payload_size);
+    pos += header_size + payload_size + 4;
+    return Status::okStatus();
+}
+
+}  // namespace presto

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Page framing for columnar files.
+ *
+ * A page is the unit of encoding and integrity checking:
+ *   [encoding u8][value_count u32][payload_size u32][payload][crc32c u32]
+ * The CRC covers the header fields and the payload, so any bit flip in a
+ * stored page is detected at read time.
+ */
+#ifndef PRESTO_COLUMNAR_PAGE_H_
+#define PRESTO_COLUMNAR_PAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "columnar/encoding.h"
+#include "common/status.h"
+
+namespace presto {
+
+/** In-memory view of one decoded page frame. */
+struct PageView {
+    Encoding encoding = Encoding::kPlainF32;
+    uint32_t value_count = 0;
+    std::span<const uint8_t> payload;
+};
+
+/** Maximum values per page; streams longer than this are split. */
+inline constexpr size_t kMaxValuesPerPage = 65536;
+
+/** Serialized page-frame overhead in bytes (header + crc). */
+inline constexpr size_t kPageFrameBytes = 1 + 4 + 4 + 4;
+
+/** Append one framed page to @p out. */
+void writePageFrame(std::vector<uint8_t>& out, Encoding encoding,
+                    uint32_t value_count, std::span<const uint8_t> payload);
+
+/**
+ * Parse the page frame at @p pos (advanced past the frame) and verify its
+ * checksum.
+ * @return kCorruption for truncation or CRC mismatch.
+ */
+Status readPageFrame(std::span<const uint8_t> in, size_t& pos,
+                     PageView& page);
+
+}  // namespace presto
+
+#endif  // PRESTO_COLUMNAR_PAGE_H_

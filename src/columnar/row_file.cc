@@ -1,0 +1,235 @@
+#include "columnar/row_file.h"
+
+#include <cstring>
+
+#include "columnar/encoding.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace presto {
+
+namespace {
+
+constexpr char kRowMagic[4] = {'R', 'S', 'F', '1'};
+
+void
+putU32(std::vector<uint8_t>& out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t
+getU32(std::span<const uint8_t> in, size_t pos)
+{
+    return static_cast<uint32_t>(in[pos]) |
+           static_cast<uint32_t>(in[pos + 1]) << 8 |
+           static_cast<uint32_t>(in[pos + 2]) << 16 |
+           static_cast<uint32_t>(in[pos + 3]) << 24;
+}
+
+void
+putF32(std::vector<uint8_t>& out, float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    putU32(out, bits);
+}
+
+Status
+getF32(std::span<const uint8_t> in, size_t& pos, float& v)
+{
+    if (pos + 4 > in.size())
+        return Status::corruption("truncated f32 in row record");
+    const uint32_t bits = getU32(in, pos);
+    std::memcpy(&v, &bits, 4);
+    pos += 4;
+    return Status::okStatus();
+}
+
+}  // namespace
+
+std::vector<uint8_t>
+RowFileWriter::write(const RowBatch& batch, uint64_t partition_id) const
+{
+    PRESTO_CHECK(batch.complete(), "cannot write an incomplete batch");
+    std::vector<uint8_t> out;
+    for (char c : kRowMagic)
+        out.push_back(static_cast<uint8_t>(c));
+
+    const auto& schema = batch.schema();
+    for (size_t r = 0; r < batch.numRows(); ++r) {
+        for (size_t c = 0; c < batch.numColumns(); ++c) {
+            if (schema.feature(c).kind == FeatureKind::kSparse) {
+                const auto row = batch.sparse(c).row(r);
+                enc::putVarint(out, row.size());
+                for (int64_t id : row)
+                    enc::putVarint(out, enc::zigZag(id));
+            } else {
+                putF32(out, batch.dense(c).value(r));
+            }
+        }
+    }
+    const size_t records_end = out.size();
+
+    // Footer: schema + counts.
+    std::vector<uint8_t> footer;
+    enc::putVarint(footer, batch.numRows());
+    enc::putVarint(footer, partition_id);
+    enc::putVarint(footer, records_end - 4);  // record-region size
+    enc::putVarint(footer, schema.numFeatures());
+    for (const auto& f : schema.features()) {
+        enc::putVarint(footer, f.name.size());
+        // Element-wise append sidesteps a GCC 12 -Wstringop-overflow
+        // false positive on vector::insert from string iterators.
+        for (char c : f.name)
+            footer.push_back(static_cast<uint8_t>(c));
+        footer.push_back(static_cast<uint8_t>(f.kind));
+    }
+    const uint32_t footer_crc = crc32c(footer.data(), footer.size());
+    out.insert(out.end(), footer.begin(), footer.end());
+    putU32(out, static_cast<uint32_t>(footer.size()));
+    putU32(out, footer_crc);
+    for (char c : kRowMagic)
+        out.push_back(static_cast<uint8_t>(c));
+    return out;
+}
+
+Status
+RowFileReader::open(std::span<const uint8_t> data)
+{
+    open_ = false;
+    bytes_touched_ = 0;
+    data_ = data;
+    schema_ = Schema();
+
+    const size_t trailer = 12;
+    if (data.size() < 4 + trailer)
+        return Status::corruption("file too small for RSF framing");
+    if (std::memcmp(data.data(), kRowMagic, 4) != 0 ||
+        std::memcmp(data.data() + data.size() - 4, kRowMagic, 4) != 0)
+        return Status::corruption("bad RSF magic");
+
+    const size_t size_pos = data.size() - trailer;
+    const uint32_t footer_size = getU32(data, size_pos);
+    const uint32_t footer_crc = getU32(data, size_pos + 4);
+    if (footer_size > size_pos - 4)
+        return Status::corruption("footer size exceeds file");
+    const size_t footer_pos = size_pos - footer_size;
+    const auto footer = data.subspan(footer_pos, footer_size);
+    if (crc32c(footer.data(), footer.size()) != footer_crc)
+        return Status::corruption("footer checksum mismatch");
+
+    size_t pos = 0;
+    uint64_t record_bytes = 0;
+    uint64_t num_features = 0;
+    PRESTO_RETURN_IF_ERROR(enc::getVarint(footer, pos, num_rows_));
+    PRESTO_RETURN_IF_ERROR(enc::getVarint(footer, pos, partition_id_));
+    PRESTO_RETURN_IF_ERROR(enc::getVarint(footer, pos, record_bytes));
+    PRESTO_RETURN_IF_ERROR(enc::getVarint(footer, pos, num_features));
+    if (4 + record_bytes > footer_pos)
+        return Status::corruption("record region exceeds file");
+    for (uint64_t f = 0; f < num_features; ++f) {
+        uint64_t name_len = 0;
+        PRESTO_RETURN_IF_ERROR(enc::getVarint(footer, pos, name_len));
+        if (pos + name_len + 1 > footer.size())
+            return Status::corruption("truncated feature spec");
+        std::string name(reinterpret_cast<const char*>(footer.data() + pos),
+                         name_len);
+        pos += name_len;
+        const uint8_t kind = footer[pos++];
+        if (kind > static_cast<uint8_t>(FeatureKind::kLabel))
+            return Status::corruption("unknown feature kind");
+        schema_.add({std::move(name), static_cast<FeatureKind>(kind)});
+    }
+
+    records_begin_ = 4;
+    records_end_ = 4 + record_bytes;
+    bytes_touched_ = footer_size + trailer + 4;
+    open_ = true;
+    return Status::okStatus();
+}
+
+StatusOr<RowBatch>
+RowFileReader::readColumns(const std::vector<std::string>& names)
+{
+    if (!open_)
+        return Status::failedPrecondition("reader is not open");
+
+    // Resolve the projection.
+    Schema out_schema;
+    std::vector<size_t> selected;
+    for (const auto& name : names) {
+        const auto idx = schema_.indexOf(name);
+        if (!idx.has_value())
+            return Status::notFound("no feature named " + name);
+        out_schema.add(schema_.feature(*idx));
+        selected.push_back(*idx);
+    }
+
+    // Row-major scan: every record must be parsed in full, even for a
+    // one-column projection. This is the overfetch.
+    std::vector<std::vector<float>> dense_out(selected.size());
+    std::vector<SparseColumn> sparse_out(selected.size());
+
+    size_t pos = records_begin_;
+    std::vector<int64_t> ids;
+    for (uint64_t r = 0; r < num_rows_; ++r) {
+        for (size_t c = 0; c < schema_.numFeatures(); ++c) {
+            const bool is_sparse =
+                schema_.feature(c).kind == FeatureKind::kSparse;
+            float fval = 0;
+            ids.clear();
+            if (is_sparse) {
+                uint64_t len = 0;
+                PRESTO_RETURN_IF_ERROR(enc::getVarint(data_, pos, len));
+                if (len > records_end_ - pos)
+                    return Status::corruption("row length overruns record");
+                for (uint64_t k = 0; k < len; ++k) {
+                    uint64_t u = 0;
+                    PRESTO_RETURN_IF_ERROR(enc::getVarint(data_, pos, u));
+                    ids.push_back(enc::unZigZag(u));
+                }
+            } else {
+                PRESTO_RETURN_IF_ERROR(getF32(data_, pos, fval));
+            }
+            for (size_t s = 0; s < selected.size(); ++s) {
+                if (selected[s] != c)
+                    continue;
+                if (is_sparse)
+                    sparse_out[s].appendRow(ids);
+                else
+                    dense_out[s].push_back(fval);
+            }
+        }
+        if (pos > records_end_)
+            return Status::corruption("records overrun footer");
+    }
+    if (pos != records_end_)
+        return Status::corruption("record region size mismatch");
+    bytes_touched_ += records_end_ - records_begin_;
+
+    RowBatch batch(out_schema);
+    for (size_t s = 0; s < selected.size(); ++s) {
+        if (schema_.feature(selected[s]).kind == FeatureKind::kSparse)
+            batch.addColumn(std::move(sparse_out[s]));
+        else
+            batch.addColumn(DenseColumn(std::move(dense_out[s])));
+    }
+    return batch;
+}
+
+StatusOr<RowBatch>
+RowFileReader::readAll()
+{
+    if (!open_)
+        return Status::failedPrecondition("reader is not open");
+    std::vector<std::string> names;
+    for (const auto& f : schema_.features())
+        names.push_back(f.name);
+    return readColumns(names);
+}
+
+}  // namespace presto

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Row-oriented partition format (RSF) — the layout the paper's Extract
+ * stage argues *against* (Section II-B): with row-major storage, fetching
+ * any feature subset forces reading every row in full, wasting read
+ * bandwidth on unwanted features.
+ *
+ * Included as the baseline for the overfetch ablation; the library's real
+ * storage path is the columnar PSF format.
+ *
+ * Layout:
+ *   "RSF1"
+ *   row records: per row, per schema feature: dense -> f32;
+ *                sparse -> varint length + zigzag-varint ids
+ *   footer: schema, num_rows, partition_id, record offsets every
+ *           kRowGroupRows rows
+ *   footer_size u32, footer_crc u32, "RSF1"
+ */
+#ifndef PRESTO_COLUMNAR_ROW_FILE_H_
+#define PRESTO_COLUMNAR_ROW_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tabular/row_batch.h"
+
+namespace presto {
+
+/** Serializes a RowBatch in row-major order. */
+class RowFileWriter
+{
+  public:
+    /** Encode @p batch as one RSF file. */
+    std::vector<uint8_t> write(const RowBatch& batch,
+                               uint64_t partition_id) const;
+};
+
+/**
+ * Reads RSF bytes. Any projection must scan every record, so
+ * bytesTouched() ~= the whole data region regardless of the subset —
+ * the overfetch the columnar format exists to avoid.
+ */
+class RowFileReader
+{
+  public:
+    /** Parse and validate the footer. Keeps a reference to @p data. */
+    Status open(std::span<const uint8_t> data);
+
+    /** Decode the named features for all rows (scans every record). */
+    StatusOr<RowBatch> readColumns(const std::vector<std::string>& names);
+
+    /** Decode every feature. */
+    StatusOr<RowBatch> readAll();
+
+    uint64_t numRows() const { return num_rows_; }
+    uint64_t partitionId() const { return partition_id_; }
+    const Schema& schema() const { return schema_; }
+
+    /** Bytes inspected so far; for any projection this covers the whole
+     *  record region. */
+    uint64_t bytesTouched() const { return bytes_touched_; }
+
+  private:
+    std::span<const uint8_t> data_;
+    Schema schema_;
+    uint64_t num_rows_ = 0;
+    uint64_t partition_id_ = 0;
+    size_t records_begin_ = 0;
+    size_t records_end_ = 0;
+    uint64_t bytes_touched_ = 0;
+    bool open_ = false;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_COLUMNAR_ROW_FILE_H_

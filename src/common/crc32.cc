@@ -1,0 +1,38 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace presto {
+
+namespace {
+
+/** Build the CRC32C (polynomial 0x82f63b78, reflected) lookup table. */
+constexpr std::array<uint32_t, 256>
+makeTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc & 1) ? (crc >> 1) ^ 0x82f63b78u : crc >> 1;
+        }
+        table[i] = crc;
+    }
+    return table;
+}
+
+constexpr auto kTable = makeTable();
+
+}  // namespace
+
+uint32_t
+crc32c(const void* data, size_t size, uint32_t seed)
+{
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    uint32_t crc = ~seed;
+    for (size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xff];
+    return ~crc;
+}
+
+}  // namespace presto

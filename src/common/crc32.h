@@ -1,0 +1,25 @@
+/**
+ * @file
+ * CRC32C (Castagnoli) checksum used to validate columnar file pages.
+ */
+#ifndef PRESTO_COMMON_CRC32_H_
+#define PRESTO_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace presto {
+
+/**
+ * Compute the CRC32C checksum of a byte buffer.
+ *
+ * @param data Pointer to the bytes to checksum (may be null iff size == 0).
+ * @param size Number of bytes.
+ * @param seed Initial CRC value; chain calls by passing a previous result.
+ * @return The CRC32C checksum.
+ */
+uint32_t crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_CRC32_H_

@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace presto {
+
+namespace {
+
+std::atomic<bool> g_quiet{false};
+
+const char*
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kInform: return "info";
+      case LogLevel::kWarn:   return "warn";
+      case LogLevel::kFatal:  return "fatal";
+      case LogLevel::kPanic:  return "panic";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+setQuietLogging(bool quiet)
+{
+    g_quiet.store(quiet, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+log(LogLevel level, const std::string& msg)
+{
+    if (level == LogLevel::kInform && g_quiet.load(std::memory_order_relaxed))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
+}
+
+void
+logAndDie(LogLevel level, const std::string& msg, const char* file, int line)
+{
+    std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelTag(level), msg.c_str(),
+                 file, line);
+    if (level == LogLevel::kPanic)
+        std::abort();
+    std::exit(1);
+}
+
+}  // namespace detail
+}  // namespace presto

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Logging and error-termination helpers.
+ *
+ * Follows the gem5 convention:
+ *  - inform(): status messages with no connotation of misbehaviour.
+ *  - warn():   something is off but the run can continue.
+ *  - fatal():  the run cannot continue due to a *user* error (bad config,
+ *              invalid argument); exits with code 1.
+ *  - panic():  an internal invariant was violated (a library bug); aborts.
+ */
+#ifndef PRESTO_COMMON_LOGGING_H_
+#define PRESTO_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace presto {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    kInform,
+    kWarn,
+    kFatal,
+    kPanic,
+};
+
+namespace detail {
+
+/** Emit a formatted log line; terminates for kFatal/kPanic. */
+[[noreturn]] void logAndDie(LogLevel level, const std::string& msg,
+                            const char* file, int line);
+void log(LogLevel level, const std::string& msg);
+
+/** Stringify a pack of arguments via operator<<. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+}  // namespace detail
+
+/** Print an informational message to stderr. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::log(LogLevel::kInform, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning message to stderr. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::log(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Globally silence inform() output (warnings still print). */
+void setQuietLogging(bool quiet);
+
+/** Abort the process due to a user-level error (exit code 1). */
+#define PRESTO_FATAL(...)                                                     \
+    ::presto::detail::logAndDie(::presto::LogLevel::kFatal,                   \
+                                ::presto::detail::concat(__VA_ARGS__),        \
+                                __FILE__, __LINE__)
+
+/** Abort the process due to an internal bug (calls std::abort). */
+#define PRESTO_PANIC(...)                                                     \
+    ::presto::detail::logAndDie(::presto::LogLevel::kPanic,                   \
+                                ::presto::detail::concat(__VA_ARGS__),        \
+                                __FILE__, __LINE__)
+
+/** Panic unless an internal invariant holds. */
+#define PRESTO_CHECK(cond, ...)                                               \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            PRESTO_PANIC("check failed: " #cond " ", ##__VA_ARGS__);          \
+        }                                                                     \
+    } while (false)
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_LOGGING_H_

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All synthetic data and simulation randomness flows through these
+ * generators so that every bench/test run is bit-reproducible across
+ * machines (std::mt19937 distributions are not portable across standard
+ * library implementations, so we implement our own).
+ */
+#ifndef PRESTO_COMMON_RNG_H_
+#define PRESTO_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace presto {
+
+/** SplitMix64 step; used for seeding and as a cheap stateless mixer. */
+constexpr uint64_t
+splitMix64(uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mix of a value (SplitMix64 finalizer). */
+constexpr uint64_t
+mix64(uint64_t x)
+{
+    uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Xoshiro256** PRNG.
+ *
+ * Fast, high-quality, and fully deterministic given a seed. Satisfies the
+ * UniformRandomBitGenerator concept.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL)
+    {
+        uint64_t sm = seed;
+        for (auto& word : s_)
+            word = splitMix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit output. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    uint64_t operator()() { return next(); }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n); n must be > 0. Unbiased via rejection. */
+    uint64_t
+    uniformInt(uint64_t n)
+    {
+        PRESTO_CHECK(n > 0, "uniformInt(0)");
+        const uint64_t threshold = (0 - n) % n;
+        for (;;) {
+            uint64_t r = next();
+            if (r >= threshold)
+                return r % n;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        PRESTO_CHECK(lo <= hi, "uniformInt range inverted");
+        return lo + static_cast<int64_t>(
+                        uniformInt(static_cast<uint64_t>(hi - lo) + 1));
+    }
+
+    /** Standard normal via Box-Muller (deterministic, portable). */
+    double
+    normal()
+    {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        double u1 = 0.0;
+        do {
+            u1 = uniform();
+        } while (u1 <= 1e-300);
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 6.283185307179586 * u2;
+        spare_ = r * std::sin(theta);
+        have_spare_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /** Log-normal: exp(N(mu, sigma)). */
+    double
+    logNormal(double mu, double sigma)
+    {
+        return std::exp(normal(mu, sigma));
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Fork an independent stream (e.g. one per worker/partition). */
+    Rng
+    fork(uint64_t stream_id)
+    {
+        return Rng(mix64(next() ^ mix64(stream_id)));
+    }
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t s_[4] = {};
+    bool have_spare_ = false;
+    double spare_ = 0.0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_RNG_H_

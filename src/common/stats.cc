@@ -1,0 +1,112 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace presto {
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Accumulator::merge(const Accumulator& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    PRESTO_CHECK(hi > lo, "Histogram range inverted");
+    PRESTO_CHECK(bins > 0, "Histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        auto bin = static_cast<size_t>((x - lo_) / bin_width_);
+        if (bin >= counts_.size())
+            bin = counts_.size() - 1;  // guard FP edge at hi
+        ++counts_[bin];
+    }
+}
+
+double
+Histogram::binLow(size_t bin) const
+{
+    PRESTO_CHECK(bin < counts_.size(), "bin out of range");
+    return lo_ + bin_width_ * static_cast<double>(bin);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    PRESTO_CHECK(q >= 0.0 && q <= 1.0, "quantile outside [0,1]");
+    if (total_ == 0)
+        return lo_;
+    const double target = q * static_cast<double>(total_);
+    double cum = static_cast<double>(underflow_);
+    if (cum >= target && underflow_ > 0)
+        return lo_;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        const double next = cum + static_cast<double>(counts_[i]);
+        if (next >= target && counts_[i] > 0) {
+            const double frac =
+                (target - cum) / static_cast<double>(counts_[i]);
+            return binLow(i) + frac * bin_width_;
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::toString(size_t max_width) const
+{
+    uint64_t peak = 1;
+    for (uint64_t c : counts_)
+        peak = std::max(peak, c);
+    std::string out;
+    char buf[128];
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar_len = static_cast<size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            static_cast<double>(max_width));
+        std::snprintf(buf, sizeof(buf), "[%12.4g, %12.4g) %8llu ", binLow(i),
+                      binLow(i) + bin_width_,
+                      static_cast<unsigned long long>(counts_[i]));
+        out += buf;
+        out.append(bar_len, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace presto

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Small statistics toolkit: streaming accumulators and fixed-bin histograms.
+ *
+ * Used by the simulators to summarize latency/queue-depth samples and by
+ * tests to check distribution properties of synthetic data.
+ */
+#ifndef PRESTO_COMMON_STATS_H_
+#define PRESTO_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace presto {
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm).
+ */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        sum_ += x;
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+    }
+
+    double stddev() const;
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator& other);
+
+    /** Reset to the empty state. */
+    void
+    reset()
+    {
+        *this = Accumulator();
+    }
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width-bin histogram over [lo, hi); out-of-range samples land in
+ * saturating underflow/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the tracked range.
+     * @param hi Upper bound (exclusive); must be > lo.
+     * @param bins Number of equal-width bins; must be > 0.
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    void add(double x);
+
+    size_t numBins() const { return counts_.size(); }
+    uint64_t binCount(size_t bin) const { return counts_.at(bin); }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    uint64_t totalCount() const { return total_; }
+
+    /** Inclusive lower edge of a bin. */
+    double binLow(size_t bin) const;
+
+    /**
+     * Approximate quantile (0 <= q <= 1) by linear interpolation within the
+     * containing bin. Returns lo/hi bounds for empty histograms.
+     */
+    double quantile(double q) const;
+
+    /** Render a compact multi-line ASCII bar chart. */
+    std::string toString(size_t max_width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double bin_width_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_STATS_H_

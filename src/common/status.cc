@@ -1,0 +1,28 @@
+#include "common/status.h"
+
+namespace presto {
+
+const char*
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk:                 return "OK";
+      case StatusCode::kInvalidArgument:    return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound:           return "NOT_FOUND";
+      case StatusCode::kCorruption:         return "CORRUPTION";
+      case StatusCode::kOutOfRange:         return "OUT_OF_RANGE";
+      case StatusCode::kUnimplemented:      return "UNIMPLEMENTED";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "OK";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+}
+
+}  // namespace presto

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Lightweight Status / StatusOr error propagation.
+ *
+ * Used on paths where failure is a *data* problem (corrupt file, bad
+ * projection) rather than a programming bug; bugs use PRESTO_PANIC.
+ */
+#ifndef PRESTO_COMMON_STATUS_H_
+#define PRESTO_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace presto {
+
+/** Machine-readable error category. */
+enum class StatusCode {
+    kOk,
+    kInvalidArgument,
+    kNotFound,
+    kCorruption,
+    kOutOfRange,
+    kUnimplemented,
+    kFailedPrecondition,
+};
+
+/** Human-readable name for a StatusCode. */
+const char* statusCodeName(StatusCode code);
+
+/**
+ * Success-or-error result of an operation.
+ *
+ * A default-constructed Status is OK. Error statuses carry a code and a
+ * message describing what went wrong.
+ */
+class Status
+{
+  public:
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+        PRESTO_CHECK(code != StatusCode::kOk,
+                     "error Status must not use kOk");
+    }
+
+    static Status okStatus() { return Status(); }
+
+    static Status
+    invalidArgument(std::string msg)
+    {
+        return Status(StatusCode::kInvalidArgument, std::move(msg));
+    }
+
+    static Status
+    notFound(std::string msg)
+    {
+        return Status(StatusCode::kNotFound, std::move(msg));
+    }
+
+    static Status
+    corruption(std::string msg)
+    {
+        return Status(StatusCode::kCorruption, std::move(msg));
+    }
+
+    static Status
+    outOfRange(std::string msg)
+    {
+        return Status(StatusCode::kOutOfRange, std::move(msg));
+    }
+
+    static Status
+    unimplemented(std::string msg)
+    {
+        return Status(StatusCode::kUnimplemented, std::move(msg));
+    }
+
+    static Status
+    failedPrecondition(std::string msg)
+    {
+        return Status(StatusCode::kFailedPrecondition, std::move(msg));
+    }
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** "OK" or "<code>: <message>". */
+    std::string toString() const;
+
+    bool
+    operator==(const Status& other) const
+    {
+        return code_ == other.code_ && message_ == other.message_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/**
+ * Either a value of type T or an error Status.
+ *
+ * Access to value() on an error StatusOr panics; callers must check ok().
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** Construct from a value (implicit, like absl::StatusOr). */
+    StatusOr(T value) : data_(std::move(value)) {}
+
+    /** Construct from an error status. */
+    StatusOr(Status status) : data_(std::move(status))
+    {
+        PRESTO_CHECK(!std::get<Status>(data_).ok(),
+                     "StatusOr must not hold an OK status");
+    }
+
+    bool ok() const { return std::holds_alternative<T>(data_); }
+
+    /** Error status, or OK when a value is held. */
+    Status
+    status() const
+    {
+        if (ok())
+            return Status::okStatus();
+        return std::get<Status>(data_);
+    }
+
+    const T&
+    value() const&
+    {
+        PRESTO_CHECK(ok(), "value() on error StatusOr: ", status().toString());
+        return std::get<T>(data_);
+    }
+
+    T&
+    value() &
+    {
+        PRESTO_CHECK(ok(), "value() on error StatusOr: ", status().toString());
+        return std::get<T>(data_);
+    }
+
+    T&&
+    value() &&
+    {
+        PRESTO_CHECK(ok(), "value() on error StatusOr: ", status().toString());
+        return std::get<T>(std::move(data_));
+    }
+
+    const T& operator*() const& { return value(); }
+    T& operator*() & { return value(); }
+    const T* operator->() const { return &value(); }
+    T* operator->() { return &value(); }
+
+  private:
+    std::variant<T, Status> data_;
+};
+
+/** Propagate an error status out of the current function. */
+#define PRESTO_RETURN_IF_ERROR(expr)                                          \
+    do {                                                                      \
+        ::presto::Status _st = (expr);                                        \
+        if (!_st.ok())                                                        \
+            return _st;                                                       \
+    } while (false)
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_STATUS_H_

@@ -1,0 +1,96 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace presto {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    PRESTO_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    PRESTO_CHECK(cells.size() == headers_.size(),
+                 "row has ", cells.size(), " cells, expected ",
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addRow(const std::string& label,
+                     const std::vector<double>& values, int decimals)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(formatDouble(v, decimals));
+    addRow(std::move(cells));
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TablePrinter::toString() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string>& cells) {
+        std::string line;
+        for (size_t c = 0; c < cells.size(); ++c) {
+            line += "| ";
+            line += cells[c];
+            line.append(widths[c] - cells[c].size() + 1, ' ');
+        }
+        line += "|\n";
+        return line;
+    };
+
+    auto renderRule = [&]() {
+        std::string line;
+        for (size_t c = 0; c < widths.size(); ++c) {
+            line += "+";
+            line.append(widths[c] + 2, '-');
+        }
+        line += "+\n";
+        return line;
+    };
+
+    std::string out = renderRule() + renderRow(headers_) + renderRule();
+    for (const auto& row : rows_) {
+        out += row.empty() ? renderRule() : renderRow(row);
+    }
+    out += renderRule();
+    return out;
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+void
+printSection(const std::string& title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace presto

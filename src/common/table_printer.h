@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Aligned plain-text table rendering for bench output.
+ *
+ * Every bench binary prints the rows/series of one paper table or figure
+ * through this printer so outputs share a consistent, diffable layout.
+ */
+#ifndef PRESTO_COMMON_TABLE_PRINTER_H_
+#define PRESTO_COMMON_TABLE_PRINTER_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace presto {
+
+/**
+ * Collects header + rows of strings and renders them with per-column
+ * alignment and a separator rule under the header.
+ */
+class TablePrinter
+{
+  public:
+    /** Set the column headers; defines the column count. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must match the header column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: values are formatted with formatDouble(decimals). */
+    void addRow(const std::string& label, const std::vector<double>& values,
+                int decimals = 2);
+
+    /** Insert a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table as a string (trailing newline included). */
+    std::string toString() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/** Print a titled section header for bench output. */
+void printSection(const std::string& title);
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace presto {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    PRESTO_CHECK(num_threads >= 1, "ThreadPool needs at least one thread");
+    threads_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock lock(mu_);
+        shutting_down_ = true;
+    }
+    task_available_.notify_all();
+    for (auto& t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock lock(mu_);
+        PRESTO_CHECK(!shutting_down_, "submit after shutdown");
+        tasks_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    task_available_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)>& fn)
+{
+    if (n == 0)
+        return;
+    const size_t shards = std::min(n, threads_.size());
+    const size_t chunk = (n + shards - 1) / shards;
+    for (size_t s = 0; s < shards; ++s) {
+        const size_t lo = s * chunk;
+        const size_t hi = std::min(n, lo + chunk);
+        if (lo >= hi)
+            break;
+        submit([&fn, lo, hi] {
+            for (size_t i = lo; i < hi; ++i)
+                fn(i);
+        });
+    }
+    wait();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mu_);
+            task_available_.wait(
+                lock, [this] { return shutting_down_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                // Only reachable when shutting down with an empty queue.
+                return;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+        {
+            std::unique_lock lock(mu_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                all_done_.notify_all();
+        }
+    }
+}
+
+}  // namespace presto

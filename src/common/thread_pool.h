@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fixed-size worker thread pool used by the functional preprocessing path
+ * to exploit inter-feature parallelism on the host CPU.
+ */
+#ifndef PRESTO_COMMON_THREAD_POOL_H_
+#define PRESTO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace presto {
+
+/**
+ * A simple FIFO thread pool.
+ *
+ * Tasks are std::function<void()>; exceptions escaping a task terminate the
+ * process (tasks are expected to handle their own errors).
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p num_threads workers (>= 1). */
+    explicit ThreadPool(size_t num_threads);
+
+    /** Drains outstanding tasks, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Enqueue a task for execution. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /**
+     * Run fn(i) for i in [0, n) across the pool and wait for completion.
+     * Work is divided into contiguous index ranges, one per worker.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+    size_t numThreads() const { return threads_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> tasks_;
+    std::mutex mu_;
+    std::condition_variable task_available_;
+    std::condition_variable all_done_;
+    size_t in_flight_ = 0;
+    bool shutting_down_ = false;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_THREAD_POOL_H_

@@ -1,0 +1,88 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace presto {
+
+namespace {
+
+std::string
+formatScaled(double value, const char* const* suffixes, int n_suffixes,
+             double base)
+{
+    int idx = 0;
+    double v = value;
+    while (std::fabs(v) >= base && idx < n_suffixes - 1) {
+        v /= base;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffixes[idx]);
+    return buf;
+}
+
+}  // namespace
+
+std::string
+formatBytes(double bytes)
+{
+    static const char* const suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB",
+                                           "PiB"};
+    return formatScaled(bytes, suffixes, 6, 1024.0);
+}
+
+std::string
+formatTime(double seconds)
+{
+    char buf[64];
+    double abs = std::fabs(seconds);
+    if (abs < kMicroSec) {
+        std::snprintf(buf, sizeof(buf), "%.2f ns", seconds / kNanoSec);
+    } else if (abs < kMilliSec) {
+        std::snprintf(buf, sizeof(buf), "%.2f us", seconds / kMicroSec);
+    } else if (abs < 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds / kMilliSec);
+    } else if (abs < kMinute) {
+        std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    } else if (abs < kHour) {
+        std::snprintf(buf, sizeof(buf), "%.2f min", seconds / kMinute);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f h", seconds / kHour);
+    }
+    return buf;
+}
+
+std::string
+formatBandwidth(double bytes_per_sec)
+{
+    static const char* const suffixes[] = {"B/s", "KB/s", "MB/s", "GB/s",
+                                           "TB/s"};
+    return formatScaled(bytes_per_sec, suffixes, 5, 1000.0);
+}
+
+std::string
+formatRate(double per_sec, const std::string& unit)
+{
+    static const char* const prefixes[] = {"", "K", "M", "G", "T"};
+    int idx = 0;
+    double v = per_sec;
+    while (std::fabs(v) >= 1000.0 && idx < 4) {
+        v /= 1000.0;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s%s/s", v, prefixes[idx],
+                  unit.c_str());
+    return buf;
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+}  // namespace presto

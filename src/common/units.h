@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit helpers for bytes, time, bandwidth, power, and money.
+ *
+ * Model math uses plain doubles in SI base units (bytes, seconds, watts,
+ * dollars); this header centralizes the conversion constants and the
+ * human-readable formatting used by benches and examples.
+ */
+#ifndef PRESTO_COMMON_UNITS_H_
+#define PRESTO_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace presto {
+
+// --- byte sizes --------------------------------------------------------
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+// --- time ---------------------------------------------------------------
+
+inline constexpr double kNanoSec = 1e-9;
+inline constexpr double kMicroSec = 1e-6;
+inline constexpr double kMilliSec = 1e-3;
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 24.0 * kHour;
+inline constexpr double kYear = 365.0 * kDay;
+
+// --- frequency / bandwidth ---------------------------------------------
+
+inline constexpr double kMHz = 1e6;
+inline constexpr double kGHz = 1e9;
+
+/** 10 Gbit Ethernet payload bandwidth in bytes/second. */
+inline constexpr double kTenGbEBytesPerSec = 10e9 / 8.0;
+
+// --- formatting ----------------------------------------------------------
+
+/** Format a byte count, e.g. "1.25 MiB". */
+std::string formatBytes(double bytes);
+
+/** Format a duration in seconds, e.g. "3.42 ms". */
+std::string formatTime(double seconds);
+
+/** Format a bandwidth in bytes/sec, e.g. "1.25 GB/s". */
+std::string formatBandwidth(double bytes_per_sec);
+
+/** Format a rate, e.g. "12.3 Kitems/s". */
+std::string formatRate(double per_sec, const std::string& unit);
+
+/** Format a double with the given number of significant decimals. */
+std::string formatDouble(double value, int decimals = 2);
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_UNITS_H_

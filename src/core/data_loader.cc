@@ -1,0 +1,49 @@
+#include "core/data_loader.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace presto {
+
+EpochPartitionLoader::EpochPartitionLoader(uint64_t num_partitions,
+                                           uint64_t seed, bool shuffle)
+    : num_partitions_(num_partitions), seed_(seed), shuffle_(shuffle)
+{
+    PRESTO_CHECK(num_partitions_ > 0, "dataset needs >= 1 partition");
+    loadEpoch(0);
+}
+
+std::vector<uint64_t>
+EpochPartitionLoader::epochOrder(uint64_t epoch) const
+{
+    std::vector<uint64_t> order(num_partitions_);
+    std::iota(order.begin(), order.end(), 0);
+    if (!shuffle_)
+        return order;
+    // Independent stream per epoch; Fisher-Yates.
+    Rng rng(mix64(seed_ ^ mix64(epoch + 0x5b111e70ULL)));
+    for (uint64_t i = num_partitions_ - 1; i > 0; --i) {
+        const uint64_t j = rng.uniformInt(i + 1);
+        std::swap(order[i], order[j]);
+    }
+    return order;
+}
+
+void
+EpochPartitionLoader::loadEpoch(uint64_t epoch)
+{
+    epoch_ = epoch;
+    cursor_ = 0;
+    order_ = epochOrder(epoch);
+}
+
+uint64_t
+EpochPartitionLoader::next()
+{
+    if (cursor_ >= order_.size())
+        loadEpoch(epoch_ + 1);
+    return order_[cursor_++];
+}
+
+}  // namespace presto

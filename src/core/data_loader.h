@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Epoch-based data loading over a partitioned dataset: deterministic
+ * per-epoch shuffling of partition order (Fisher-Yates over a seeded
+ * stream), the access pattern a multi-epoch RecSys training job drives
+ * into the preprocessing tier.
+ */
+#ifndef PRESTO_CORE_DATA_LOADER_H_
+#define PRESTO_CORE_DATA_LOADER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace presto {
+
+/**
+ * Yields partition ids epoch by epoch, each epoch a fresh deterministic
+ * permutation of [0, num_partitions).
+ */
+class EpochPartitionLoader
+{
+  public:
+    /**
+     * @param num_partitions Partitions in the dataset (> 0).
+     * @param seed Base seed; epoch e uses an independent stream.
+     * @param shuffle When false, epochs iterate in ascending order.
+     */
+    EpochPartitionLoader(uint64_t num_partitions, uint64_t seed,
+                         bool shuffle = true);
+
+    /** Next partition id; advances to the next epoch transparently. */
+    uint64_t next();
+
+    /** Epoch of the id most recently returned by next() (0 before). */
+    uint64_t currentEpoch() const { return epoch_; }
+
+    /** Position within the current epoch (ids consumed so far). */
+    uint64_t positionInEpoch() const { return cursor_; }
+
+    uint64_t numPartitions() const { return num_partitions_; }
+
+    /** The full permutation used for @p epoch (for tests/replay). */
+    std::vector<uint64_t> epochOrder(uint64_t epoch) const;
+
+  private:
+    void loadEpoch(uint64_t epoch);
+
+    uint64_t num_partitions_;
+    uint64_t seed_;
+    bool shuffle_;
+    uint64_t epoch_ = 0;
+    uint64_t cursor_ = 0;
+    std::vector<uint64_t> order_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CORE_DATA_LOADER_H_

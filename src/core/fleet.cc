@@ -1,0 +1,63 @@
+#include "core/fleet.h"
+
+#include "common/logging.h"
+#include "models/data_size.h"
+
+namespace presto {
+
+FleetModel::FleetModel(std::vector<JobSpec> jobs) : jobs_(std::move(jobs))
+{
+    PRESTO_CHECK(!jobs_.empty(), "fleet needs at least one job");
+    for (const auto& job : jobs_) {
+        PRESTO_CHECK(job.rm_id >= 1 && job.rm_id <= 5, "bad RM id");
+        PRESTO_CHECK(job.num_gpus >= 1, "job needs at least one GPU");
+    }
+}
+
+FleetSummary
+FleetModel::evaluate(FleetSystem system) const
+{
+    FleetSummary summary;
+    summary.system = system == FleetSystem::kDisaggCpu
+                         ? "Disagg CPU"
+                         : "PreSto (SmartSSD)";
+
+    for (const auto& job : jobs_) {
+        const RmConfig& cfg = rmConfig(job.rm_id);
+        Provisioner prov(cfg);
+
+        Provision p;
+        if (system == FleetSystem::kDisaggCpu) {
+            p = prov.provisionCpu(job.num_gpus);
+        } else {
+            p = prov.provisionIsp(job.num_gpus, IspParams::smartSsd());
+        }
+        summary.total_workers += p.workers;
+        summary.total_power_watts += p.deployment.power_watts;
+        summary.total_cost_dollars += p.deployment.totalCostDollars();
+        summary.total_demand_batches_per_sec += p.demand_batches_per_sec;
+
+        // Steady state: the preprocessing tier produces exactly the
+        // GPU demand; each batch moves its raw bytes in (Disagg only)
+        // and its train-ready bytes out.
+        const double batches = p.demand_batches_per_sec;
+        if (system == FleetSystem::kDisaggCpu) {
+            summary.raw_in_bytes_per_sec += batches * rawEncodedBytes(cfg);
+        }
+        summary.tensors_out_bytes_per_sec +=
+            batches * miniBatchBytes(cfg);
+    }
+    return summary;
+}
+
+double
+FleetModel::networkReliefFactor() const
+{
+    const double disagg =
+        evaluate(FleetSystem::kDisaggCpu).networkBytesPerSec();
+    const double presto =
+        evaluate(FleetSystem::kPrestoSmartSsd).networkBytesPerSec();
+    return disagg / presto;
+}
+
+}  // namespace presto

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Datacenter fleet model: many concurrent training jobs sharing the
+ * storage system and the datacenter network (the setting Section VI-A
+ * appeals to when arguing PreSto's network relief matters at fleet
+ * scale).
+ *
+ * For a mix of jobs, the model provisions each job's preprocessing tier
+ * (Disagg CPUs or PreSto ISP units), then aggregates worker counts,
+ * power, 3-year TCO, and the steady-state preprocessing traffic offered
+ * to the datacenter network.
+ */
+#ifndef PRESTO_CORE_FLEET_H_
+#define PRESTO_CORE_FLEET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/provisioner.h"
+#include "datagen/rm_config.h"
+
+namespace presto {
+
+/** One training job in the fleet. */
+struct JobSpec {
+    int rm_id = 1;     ///< workload (Table I row)
+    int num_gpus = 8;  ///< GPUs training this job
+};
+
+/** Aggregated outcome for one preprocessing-system choice. */
+struct FleetSummary {
+    std::string system;
+    int total_workers = 0;       ///< CPU cores or ISP units
+    double total_power_watts = 0;
+    double total_cost_dollars = 0;   ///< 3-year CapEx + OpEx
+    double raw_in_bytes_per_sec = 0; ///< storage -> preproc network flow
+    double tensors_out_bytes_per_sec = 0;  ///< preproc -> trainers flow
+    double total_demand_batches_per_sec = 0;
+
+    /** All preprocessing-related network traffic (bytes/sec). */
+    double
+    networkBytesPerSec() const
+    {
+        return raw_in_bytes_per_sec + tensors_out_bytes_per_sec;
+    }
+};
+
+/** Which preprocessing tier serves the fleet. */
+enum class FleetSystem {
+    kDisaggCpu,
+    kPrestoSmartSsd,
+};
+
+/**
+ * Provisions and aggregates a job mix under one preprocessing system.
+ */
+class FleetModel
+{
+  public:
+    explicit FleetModel(std::vector<JobSpec> jobs);
+
+    /** Aggregate provisioning outcome for @p system. */
+    FleetSummary evaluate(FleetSystem system) const;
+
+    /** Network traffic reduction of PreSto vs Disagg (>= 1). */
+    double networkReliefFactor() const;
+
+    const std::vector<JobSpec>& jobs() const { return jobs_; }
+
+  private:
+    std::vector<JobSpec> jobs_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CORE_FLEET_H_

@@ -1,0 +1,164 @@
+#include "core/isp_emulator.h"
+
+#include <cmath>
+
+#include "columnar/columnar_file.h"
+#include "common/logging.h"
+#include "ops/fast_ops.h"
+#include "ops/hash.h"
+#include "ops/ops.h"
+
+namespace presto {
+
+namespace {
+
+/** On-chip buffer capacity of one PE (values per double-buffer half). */
+constexpr size_t kPeBufferValues = 4096;
+
+}  // namespace
+
+IspEmulator::IspEmulator(const RmConfig& config, int num_feature_units)
+    : config_(config), num_feature_units_(num_feature_units),
+      reference_plan_(config)
+{
+    PRESTO_CHECK(num_feature_units_ >= 1, "need at least one feature unit");
+}
+
+MiniBatch
+IspEmulator::process(std::span<const uint8_t> encoded_partition)
+{
+    counters_ = IspUnitCounters();
+
+    // --- P2P transfer: the encoded partition streams SSD -> FPGA DRAM.
+    counters_.p2p_bytes = encoded_partition.size();
+
+    // --- Decoder unit: parse the columnar pages into feature streams.
+    ColumnarFileReader reader;
+    Status st = reader.open(encoded_partition);
+    PRESTO_CHECK(st.ok(), "ISP decode failed: ", st.toString());
+    auto decoded = reader.readAll();
+    PRESTO_CHECK(decoded.ok(), "ISP decode failed: ",
+                 decoded.status().toString());
+    const RowBatch& raw = *decoded;
+    counters_.decoded_values = raw.totalValues();
+
+    const auto& schema = raw.schema();
+    const size_t batch = raw.numRows();
+    const auto label_idx = schema.indexOf("label");
+    PRESTO_CHECK(label_idx.has_value(), "partition lacks a label column");
+    const auto dense_idx = schema.indicesOfKind(FeatureKind::kDense);
+    const auto sparse_idx = schema.indicesOfKind(FeatureKind::kSparse);
+    PRESTO_CHECK(dense_idx.size() == config_.num_dense &&
+                     sparse_idx.size() == config_.num_sparse,
+                 "partition schema does not match the workload");
+
+    MiniBatch mb;
+    mb.batch_size = batch;
+    mb.num_dense = config_.num_dense;
+    mb.dense.resize(batch * config_.num_dense);
+    mb.labels.assign(raw.dense(*label_idx).values().begin(),
+                     raw.dense(*label_idx).values().end());
+    mb.sparse.resize(config_.totalSparseFeatures());
+    counters_.convert_values += batch;  // labels through the out stage
+
+    const EytzingerBucketizer bucketizer(reference_plan_.boundaries());
+    const auto levels = static_cast<uint64_t>(
+        std::log2(static_cast<double>(config_.bucket_size)) + 1.0);
+
+    std::vector<bool> unit_used(
+        static_cast<size_t>(num_feature_units_), false);
+    auto engageUnit = [&](size_t feature) {
+        unit_used[feature % unit_used.size()] = true;
+    };
+
+    // Process one feature's value stream through a PE in double-buffered
+    // chunks: while chunk i is being transformed, chunk i+1 would be
+    // fetched from device DRAM — each chunk boundary is a buffer swap.
+    auto chunked = [&](size_t total, auto&& body) {
+        for (size_t pos = 0; pos < total; pos += kPeBufferValues) {
+            const size_t len = std::min(kPeBufferValues, total - pos);
+            body(pos, len);
+            ++counters_.buffer_swaps;
+        }
+    };
+
+    // --- Generation + dense Normalization units (one stream per dense
+    // feature, PEs engaged round-robin).
+    for (size_t f = 0; f < config_.num_dense; ++f) {
+        engageUnit(f);
+        const auto& col = raw.dense(dense_idx[f]);
+        std::vector<float> values(col.values().begin(),
+                                  col.values().end());
+
+        chunked(values.size(), [&](size_t pos, size_t len) {
+            std::span<float> chunk(values.data() + pos, len);
+            fillMissingInPlace(chunk, 0.0f);
+        });
+
+        if (f < config_.num_generated) {
+            auto& jag = mb.sparse[config_.num_sparse + f];
+            jag.feature_name = "generated_" + std::to_string(f);
+            jag.values.resize(batch);
+            chunked(batch, [&](size_t pos, size_t len) {
+                bucketizer.bucketizeInto(
+                    std::span<const float>(values.data() + pos, len),
+                    std::span<int64_t>(jag.values.data() + pos, len));
+            });
+            counters_.bucketize_values += batch;
+            counters_.bucketize_levels += batch * levels;
+
+            const uint64_t seed =
+                reference_plan_.hashSeed(config_.num_sparse + f);
+            chunked(batch, [&](size_t pos, size_t len) {
+                sigridHashInPlaceUnrolled(
+                    std::span<int64_t>(jag.values.data() + pos, len),
+                    seed, reference_plan_.tableSize());
+            });
+            counters_.hash_values += batch;
+            jag.lengths.assign(batch, 1);
+            // Generated indices also leave through the conversion stage.
+            counters_.convert_values += batch;
+        }
+
+        chunked(values.size(), [&](size_t pos, size_t len) {
+            logTransformInPlaceStrided(
+                std::span<float>(values.data() + pos, len));
+        });
+        counters_.log_values += values.size();
+
+        // Conversion unit: gather the column into the row-major matrix.
+        for (size_t r = 0; r < batch; ++r)
+            mb.dense[r * config_.num_dense + f] = values[r];
+        counters_.convert_values += values.size();
+    }
+
+    // --- Sparse Normalization units.
+    for (size_t f = 0; f < config_.num_sparse; ++f) {
+        engageUnit(config_.num_dense + f);
+        const auto& col = raw.sparse(sparse_idx[f]);
+        auto& jag = mb.sparse[f];
+        jag.feature_name = schema.feature(sparse_idx[f]).name;
+        jag.values.assign(col.values().begin(), col.values().end());
+
+        const uint64_t seed = reference_plan_.hashSeed(f);
+        chunked(jag.values.size(), [&](size_t pos, size_t len) {
+            sigridHashInPlaceUnrolled(
+                std::span<int64_t>(jag.values.data() + pos, len), seed,
+                reference_plan_.tableSize());
+        });
+        counters_.hash_values += jag.values.size();
+
+        jag.lengths.resize(batch);
+        for (size_t r = 0; r < batch; ++r)
+            jag.lengths[r] = static_cast<uint32_t>(col.rowLength(r));
+        counters_.convert_values += jag.values.size();
+    }
+
+    for (bool used : unit_used)
+        counters_.feature_units_used += used;
+
+    PRESTO_CHECK(mb.consistent(), "emulator produced a bad batch");
+    return mb;
+}
+
+}  // namespace presto

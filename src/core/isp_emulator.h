@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Functional emulation of the PreSto accelerator datapath (Figure 10):
+ * a Decoder unit, per-feature Generation and Normalization processing
+ * elements with double buffering, and a conversion/DMA-out stage —
+ * executed in software over real encoded partitions.
+ *
+ * The emulator's outputs are bit-identical to the plain Preprocessor
+ * path (verified in tests); its value is (a) validating that the
+ * microarchitecture's dataflow computes the right thing and (b)
+ * producing per-unit work counters that cross-check the analytical
+ * TransformWork model priced by models/isp_model.
+ */
+#ifndef PRESTO_CORE_ISP_EMULATOR_H_
+#define PRESTO_CORE_ISP_EMULATOR_H_
+
+#include <cstdint>
+#include <span>
+
+#include "datagen/rm_config.h"
+#include "ops/preprocessor.h"
+#include "tabular/minibatch.h"
+
+namespace presto {
+
+/** Per-unit activity counters of one emulated batch. */
+struct IspUnitCounters {
+    uint64_t p2p_bytes = 0;          ///< SSD -> FPGA transfer
+    uint64_t decoded_values = 0;     ///< Decoder unit output
+    uint64_t bucketize_values = 0;   ///< Generation unit input values
+    uint64_t bucketize_levels = 0;   ///< total search levels executed
+    uint64_t hash_values = 0;        ///< SigridHash unit values
+    uint64_t log_values = 0;         ///< Log unit values
+    uint64_t convert_values = 0;     ///< conversion/DMA-out scalars
+    uint64_t buffer_swaps = 0;       ///< double-buffer flips observed
+    uint32_t feature_units_used = 0; ///< distinct PEs engaged
+};
+
+/**
+ * Emulates one SmartSSD's FPGA processing a single encoded partition.
+ */
+class IspEmulator
+{
+  public:
+    /**
+     * @param config Workload (selects the transform plan).
+     * @param num_feature_units PEs available for inter-feature
+     *        parallelism (features are assigned round-robin).
+     */
+    explicit IspEmulator(const RmConfig& config, int num_feature_units = 8);
+
+    /**
+     * Run the datapath over one encoded PSF partition (as stored on the
+     * device's local SSD). Panics on corrupt input — device-local data
+     * is ECC-protected upstream; integrity tests live in the reader.
+     */
+    MiniBatch process(std::span<const uint8_t> encoded_partition);
+
+    /** Counters of the most recent process() call. */
+    const IspUnitCounters& counters() const { return counters_; }
+
+    const RmConfig& config() const { return config_; }
+
+  private:
+    RmConfig config_;
+    int num_feature_units_;
+    Preprocessor reference_plan_;  ///< seeds/boundaries shared with CPU path
+    IspUnitCounters counters_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CORE_ISP_EMULATOR_H_

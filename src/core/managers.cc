@@ -1,0 +1,186 @@
+#include "core/managers.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "models/cpu_model.h"
+#include "models/gpu_model.h"
+#include "models/isp_model.h"
+
+namespace presto {
+
+PreprocessManager::PreprocessManager(const RmConfig& config,
+                                     PartitionStore& store,
+                                     PreprocessMode mode, int num_workers,
+                                     size_t queue_capacity)
+    : config_(config), store_(store), mode_(mode), preprocessor_(config),
+      queue_capacity_(queue_capacity), num_workers_(num_workers)
+{
+    PRESTO_CHECK(num_workers_ >= 1, "need at least one worker");
+    PRESTO_CHECK(queue_capacity_ >= 1, "queue capacity must be positive");
+}
+
+PreprocessManager::~PreprocessManager()
+{
+    {
+        std::unique_lock lock(mu_);
+        stopping_ = true;
+    }
+    queue_not_full_.notify_all();
+    queue_not_empty_.notify_all();
+    for (auto& w : workers_)
+        w.join();
+}
+
+void
+PreprocessManager::start(size_t total_batches)
+{
+    PRESTO_CHECK(workers_.empty(), "manager already started");
+    total_batches_ = total_batches;
+    workers_.reserve(num_workers_);
+    for (int w = 0; w < num_workers_; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+bool
+PreprocessManager::claimPartition(uint64_t& id)
+{
+    std::unique_lock lock(mu_);
+    if (next_partition_ >= total_batches_ || stopping_)
+        return false;
+    id = next_partition_++;
+    return true;
+}
+
+void
+PreprocessManager::workerLoop()
+{
+    for (;;) {
+        uint64_t pid = 0;
+        if (!claimPartition(pid))
+            return;
+
+        // Extract: fetch the encoded partition from the (local) SSD and
+        // decode it. In Disagg mode the encoded bytes crossed the
+        // datacenter network first; in PreSto mode they moved SSD->FPGA
+        // over the device-internal P2P path.
+        const auto& encoded = store_.partition(pid);
+        ColumnarFileReader reader;
+        Status st = reader.open(encoded);
+        PRESTO_CHECK(st.ok(), "partition ", pid, " unreadable: ",
+                     st.toString());
+        auto batch_or = reader.readAll();
+        PRESTO_CHECK(batch_or.ok(), "partition ", pid, " corrupt: ",
+                     batch_or.status().toString());
+
+        // Transform: the full operator pipeline.
+        auto mb = std::make_unique<MiniBatch>(
+            preprocessor_.preprocess(*batch_or));
+        const uint64_t tensor_bytes = mb->byteSize();
+
+        std::unique_lock lock(mu_);
+        queue_not_full_.wait(lock, [this] {
+            return queue_.size() < queue_capacity_ || stopping_;
+        });
+        if (stopping_)
+            return;
+        if (mode_ == PreprocessMode::kDisaggCpu) {
+            stats_.raw_bytes_over_network += encoded.size();
+        } else {
+            stats_.raw_bytes_p2p += encoded.size();
+        }
+        stats_.tensor_bytes_over_network += tensor_bytes;
+        stats_.columnar_bytes_touched += reader.bytesTouched();
+        queue_.push_back(std::move(mb));
+        lock.unlock();
+        queue_not_empty_.notify_one();
+    }
+}
+
+std::unique_ptr<MiniBatch>
+PreprocessManager::nextBatch()
+{
+    std::unique_lock lock(mu_);
+    if (delivered_ >= total_batches_)
+        return nullptr;
+    queue_not_empty_.wait(lock, [this] {
+        return !queue_.empty() || stopping_;
+    });
+    if (queue_.empty())
+        return nullptr;
+    auto mb = std::move(queue_.front());
+    queue_.pop_front();
+    ++delivered_;
+    ++stats_.batches_delivered;
+    lock.unlock();
+    queue_not_full_.notify_one();
+    return mb;
+}
+
+TrainManager::TrainManager(const RmConfig& config, PartitionStore& store,
+                           PreprocessMode mode)
+    : config_(config), store_(store), mode_(mode)
+{
+}
+
+double
+TrainManager::measuredTrainingThroughput() const
+{
+    // Figure 9 step 2: stress-test the GPU with dummy mini-batches. With
+    // no physical GPU, the calibrated A100 model plays that role.
+    return GpuTrainModel(config_).maxThroughput();
+}
+
+RunStats
+TrainManager::train(size_t total_batches, int worker_override)
+{
+    // T/P rule: workers = ceil(T / P).
+    const double demand = measuredTrainingThroughput();
+    double per_worker = 0;
+    if (mode_ == PreprocessMode::kDisaggCpu) {
+        per_worker = CpuWorkerModel(config_).throughputPerCore();
+    } else {
+        per_worker =
+            IspDeviceModel(IspParams::smartSsd(), config_).throughput();
+    }
+    provisioned_workers_ = worker_override > 0
+                               ? worker_override
+                               : static_cast<int>(
+                                     std::ceil(demand / per_worker));
+    // The functional path runs on this host: cap the real thread count.
+    const int threads = std::clamp(provisioned_workers_, 1, 4);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    PreprocessManager manager(config_, store_, mode_, threads);
+    manager.start(total_batches);
+
+    checksum_ = 0;
+    for (;;) {
+        auto mb = manager.nextBatch();
+        if (mb == nullptr)
+            break;
+        PRESTO_CHECK(mb->consistent(), "train manager got a bad batch");
+        // "Training": fold a structural checksum so replays can assert
+        // byte-identical delivery.
+        uint64_t crc = crc32c(mb->dense.data(),
+                              mb->dense.size() * sizeof(float));
+        for (const auto& jag : mb->sparse) {
+            crc = crc32c(jag.values.data(),
+                         jag.values.size() * sizeof(int64_t), crc);
+        }
+        checksum_ ^= mix64(crc + mb->batch_size);
+    }
+
+    RunStats stats = manager.stats();
+    stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    return stats;
+}
+
+}  // namespace presto

@@ -1,0 +1,38 @@
+#include "core/partition_store.h"
+
+namespace presto {
+
+PartitionStore::PartitionStore(const RawDataGenerator& generator,
+                               WriterOptions writer_options)
+    : generator_(generator), writer_(writer_options)
+{
+}
+
+const std::vector<uint8_t>&
+PartitionStore::partition(uint64_t partition_id)
+{
+    std::scoped_lock lock(mu_);
+    auto it = partitions_.find(partition_id);
+    if (it == partitions_.end()) {
+        RowBatch raw = generator_.generatePartition(partition_id);
+        it = partitions_
+                 .emplace(partition_id, writer_.write(raw, partition_id))
+                 .first;
+    }
+    return it->second;
+}
+
+uint64_t
+PartitionStore::partitionBytes(uint64_t partition_id)
+{
+    return partition(partition_id).size();
+}
+
+size_t
+PartitionStore::materializedCount() const
+{
+    std::scoped_lock lock(mu_);
+    return partitions_.size();
+}
+
+}  // namespace presto

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * PartitionStore: the storage-node substrate holding encoded columnar
+ * partitions (Figure 1's data-storage stage).
+ *
+ * Each partition (one mini-batch worth of rows) is a self-contained PSF
+ * file stored contiguously on one device — the property (from Meta's
+ * Tectonic layout) that lets a SmartSSD preprocess a partition entirely
+ * locally. Partitions are materialized lazily and deterministically from
+ * the synthetic generator.
+ */
+#ifndef PRESTO_CORE_PARTITION_STORE_H_
+#define PRESTO_CORE_PARTITION_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "columnar/columnar_file.h"
+#include "datagen/generator.h"
+
+namespace presto {
+
+/** In-memory stand-in for one storage device's partition set. */
+class PartitionStore
+{
+  public:
+    /**
+     * @param generator Source of raw partitions (owned by the caller,
+     *        must outlive the store).
+     */
+    explicit PartitionStore(const RawDataGenerator& generator,
+                            WriterOptions writer_options = {});
+
+    /** Encoded PSF bytes of a partition (generated on first access). */
+    const std::vector<uint8_t>& partition(uint64_t partition_id);
+
+    /** Encoded size of a partition in bytes. */
+    uint64_t partitionBytes(uint64_t partition_id);
+
+    /** Number of partitions materialized so far. */
+    size_t materializedCount() const;
+
+    const RawDataGenerator& generator() const { return generator_; }
+
+  private:
+    const RawDataGenerator& generator_;
+    ColumnarFileWriter writer_;
+    mutable std::mutex mu_;
+    std::map<uint64_t, std::vector<uint8_t>> partitions_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CORE_PARTITION_STORE_H_

@@ -1,0 +1,118 @@
+#include "core/pool_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/logging.h"
+#include "core/provisioner.h"
+#include "sim/simulator.h"
+
+namespace presto {
+
+double
+PoolResult::utilization(int pool_size) const
+{
+    if (makespan_sec <= 0 || pool_size <= 0)
+        return 0.0;
+    return device_busy_sec / (makespan_sec * pool_size);
+}
+
+PoolScheduler::PoolScheduler(int pool_size, IspParams params)
+    : pool_size_(pool_size), params_(std::move(params))
+{
+    PRESTO_CHECK(pool_size_ >= 1, "pool needs at least one device");
+}
+
+int
+PoolScheduler::devicesForJob(const PoolJob& job) const
+{
+    Provisioner prov(rmConfig(job.rm_id));
+    return prov.provisionIsp(job.num_gpus, params_).workers;
+}
+
+PoolResult
+PoolScheduler::run(std::vector<PoolJob> jobs) const
+{
+    // Stable arrival order (FCFS admission by arrival time, then index).
+    std::vector<size_t> order(jobs.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return jobs[a].arrival_sec < jobs[b].arrival_sec;
+                     });
+
+    PoolResult result;
+    result.jobs.resize(jobs.size());
+
+    Simulator sim;
+    int free_devices = pool_size_;
+    int in_use = 0;
+    std::deque<size_t> admission_queue;  // job indices waiting FCFS
+
+    // Admit from the head of the queue while capacity allows. FCFS:
+    // a large job at the head blocks smaller jobs behind it (no
+    // backfilling), keeping admission order deterministic and fair.
+    std::function<void()> tryAdmit = [&] {
+        while (!admission_queue.empty()) {
+            const size_t idx = admission_queue.front();
+            const int need = result.jobs[idx].devices;
+            if (need > free_devices)
+                return;
+            admission_queue.pop_front();
+            free_devices -= need;
+            in_use += need;
+            result.peak_devices_in_use =
+                std::max(result.peak_devices_in_use, in_use);
+
+            PoolJobResult& job_result = result.jobs[idx];
+            job_result.start_sec = sim.now();
+            const double duration = jobs[idx].duration_sec;
+            job_result.finish_sec = sim.now() + duration;
+            result.device_busy_sec += duration * need;
+            sim.schedule(duration, [&, idx, need] {
+                free_devices += need;
+                in_use -= need;
+                result.makespan_sec =
+                    std::max(result.makespan_sec, sim.now());
+                tryAdmit();
+            });
+        }
+    };
+
+    for (size_t idx : order) {
+        const PoolJob& job = jobs[idx];
+        PRESTO_CHECK(job.arrival_sec >= 0 && job.duration_sec > 0,
+                     "job times must be positive");
+        PoolJobResult& job_result = result.jobs[idx];
+        job_result.job_index = idx;
+        job_result.arrival_sec = job.arrival_sec;
+        job_result.devices = devicesForJob(job);
+        if (job_result.devices > pool_size_) {
+            // Cannot ever fit: reject.
+            job_result.devices = 0;
+            job_result.start_sec = job_result.finish_sec = job.arrival_sec;
+            continue;
+        }
+        sim.scheduleAt(job.arrival_sec, [&, idx] {
+            admission_queue.push_back(idx);
+            tryAdmit();
+        });
+    }
+
+    sim.run();
+
+    double wait_sum = 0;
+    size_t admitted = 0;
+    for (const auto& job_result : result.jobs) {
+        if (job_result.devices == 0)
+            continue;
+        wait_sum += job_result.waitSec();
+        ++admitted;
+    }
+    result.mean_wait_sec = admitted ? wait_sum / admitted : 0.0;
+    return result;
+}
+
+}  // namespace presto

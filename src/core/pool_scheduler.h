@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Elastic ISP-device pool scheduling.
+ *
+ * The disaggregated-CPU baseline's key operational property is elastic,
+ * on-demand allocation of preprocessing capacity per training job
+ * (Section II-D). PreSto keeps that property at device granularity: a
+ * storage cluster exposes its SmartSSDs as a pool, and each arriving
+ * training job is allocated ceil(T/P) devices for its lifetime.
+ *
+ * This module simulates such a pool under a deterministic job trace:
+ * FCFS admission, per-job device counts from the Provisioner, and
+ * device-hour accounting.
+ */
+#ifndef PRESTO_CORE_POOL_SCHEDULER_H_
+#define PRESTO_CORE_POOL_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/rm_config.h"
+#include "models/isp_model.h"
+
+namespace presto {
+
+/** One training job in the trace. */
+struct PoolJob {
+    double arrival_sec = 0;
+    double duration_sec = 0;  ///< training time once running
+    int rm_id = 1;
+    int num_gpus = 8;
+};
+
+/** Per-job outcome. */
+struct PoolJobResult {
+    size_t job_index = 0;
+    int devices = 0;
+    double arrival_sec = 0;
+    double start_sec = 0;  ///< admission time (>= arrival under queueing)
+    double finish_sec = 0;
+
+    double waitSec() const { return start_sec - arrival_sec; }
+};
+
+/** Aggregate outcome of one pool simulation. */
+struct PoolResult {
+    std::vector<PoolJobResult> jobs;
+    double makespan_sec = 0;        ///< last finish time
+    double device_busy_sec = 0;     ///< sum of device x busy seconds
+    int peak_devices_in_use = 0;
+    double mean_wait_sec = 0;
+
+    /** Pool-wide device utilization over the makespan. */
+    double utilization(int pool_size) const;
+};
+
+/**
+ * FCFS elastic pool simulator for one accelerator build.
+ */
+class PoolScheduler
+{
+  public:
+    /**
+     * @param pool_size Devices in the storage cluster.
+     * @param params Accelerator build (sets per-device throughput).
+     */
+    PoolScheduler(int pool_size, IspParams params = IspParams::smartSsd());
+
+    /** Devices the T/P rule assigns to one job. */
+    int devicesForJob(const PoolJob& job) const;
+
+    /**
+     * Simulate a trace. Jobs are admitted FCFS; a job whose device
+     * demand exceeds the whole pool is rejected (dropped with devices=0
+     * in the result). Deterministic.
+     */
+    PoolResult run(std::vector<PoolJob> jobs) const;
+
+    int poolSize() const { return pool_size_; }
+
+  private:
+    int pool_size_;
+    IspParams params_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CORE_POOL_SCHEDULER_H_

@@ -1,0 +1,48 @@
+#include "core/provisioner.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "models/calibration.h"
+
+namespace presto {
+
+Provisioner::Provisioner(const RmConfig& config)
+    : config_(config), cpu_(config), gpu_(config)
+{
+}
+
+double
+Provisioner::trainingDemand(int num_gpus) const
+{
+    PRESTO_CHECK(num_gpus > 0, "need at least one GPU");
+    return gpu_.maxThroughput() * num_gpus;
+}
+
+Provision
+Provisioner::provisionCpu(int num_gpus) const
+{
+    Provision p;
+    p.demand_batches_per_sec = trainingDemand(num_gpus);
+    p.per_worker_throughput = cpu_.throughputPerCore();
+    p.workers = static_cast<int>(
+        std::ceil(p.demand_batches_per_sec / p.per_worker_throughput));
+    p.deployment = makeCpuDeployment(p.workers);
+    return p;
+}
+
+Provision
+Provisioner::provisionIsp(int num_gpus, const IspParams& params) const
+{
+    Provision p;
+    p.demand_batches_per_sec = trainingDemand(num_gpus);
+    IspDeviceModel device(params, config_);
+    p.per_worker_throughput = device.throughput();
+    p.workers = static_cast<int>(
+        std::ceil(p.demand_batches_per_sec / p.per_worker_throughput));
+    p.deployment =
+        makeIspDeployment(p.workers, params.watts, params.dollars);
+    return p;
+}
+
+}  // namespace presto

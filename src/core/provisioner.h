@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The T/P provisioning rule (Section IV-B, step 2): measure the GPUs'
+ * maximum training throughput T, measure one preprocessing worker's
+ * throughput P, and allocate ceil(T/P) workers so the training stage
+ * never starves.
+ */
+#ifndef PRESTO_CORE_PROVISIONER_H_
+#define PRESTO_CORE_PROVISIONER_H_
+
+#include "datagen/rm_config.h"
+#include "models/cost_model.h"
+#include "models/cpu_model.h"
+#include "models/gpu_model.h"
+#include "models/isp_model.h"
+
+namespace presto {
+
+/** Result of provisioning one preprocessing system for one job. */
+struct Provision {
+    double demand_batches_per_sec = 0;  ///< T x num_gpus
+    double per_worker_throughput = 0;   ///< P
+    int workers = 0;                    ///< ceil(demand / P)
+    Deployment deployment;              ///< cost/power of those workers
+};
+
+/** Sizes preprocessing deployments against GPU training demand. */
+class Provisioner
+{
+  public:
+    explicit Provisioner(const RmConfig& config);
+
+    /** Aggregate training demand of @p num_gpus A100s (batches/sec). */
+    double trainingDemand(int num_gpus) const;
+
+    /** Disaggregated CPU cores needed (Figure 4 / Figure 14 right axis). */
+    Provision provisionCpu(int num_gpus) const;
+
+    /** ISP units needed for a given accelerator build (Figure 14). */
+    Provision provisionIsp(int num_gpus, const IspParams& params) const;
+
+    const RmConfig& config() const { return config_; }
+    const CpuWorkerModel& cpuModel() const { return cpu_; }
+    const GpuTrainModel& gpuModel() const { return gpu_; }
+
+  private:
+    RmConfig config_;
+    CpuWorkerModel cpu_;
+    GpuTrainModel gpu_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CORE_PROVISIONER_H_

@@ -1,0 +1,120 @@
+#include "core/training_pipeline.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "models/cpu_model.h"
+#include "models/gpu_model.h"
+#include "sim/sim_queue.h"
+#include "sim/simulator.h"
+#include "sim/utilization.h"
+
+namespace presto {
+
+TrainingPipeline::TrainingPipeline(const RmConfig& config,
+                                   PipelineOptions options)
+    : config_(config), options_(std::move(options))
+{
+    PRESTO_CHECK(options_.num_workers >= 1, "need at least one worker");
+    PRESTO_CHECK(options_.num_gpus >= 1, "need at least one GPU");
+    PRESTO_CHECK(options_.batches_to_train >= 1, "nothing to simulate");
+}
+
+double
+TrainingPipeline::workerPeriodSeconds() const
+{
+    switch (options_.backend) {
+      case PreprocBackend::kColocatedCpu: {
+        CpuWorkerModel cpu(config_);
+        return 1.0 / cpu.colocatedThroughputPerCore();
+      }
+      case PreprocBackend::kDisaggCpu: {
+        CpuWorkerModel cpu(config_);
+        return 1.0 / cpu.throughputPerCore();
+      }
+      case PreprocBackend::kIsp: {
+        IspDeviceModel device(options_.isp_params, config_);
+        return 1.0 / device.throughput();
+      }
+    }
+    PRESTO_PANIC("unknown backend");
+}
+
+PipelineResult
+TrainingPipeline::run() const
+{
+    Simulator sim;
+    SimQueue<size_t> queue(options_.queue_capacity);
+    UtilizationTracker gpu_busy;
+
+    GpuTrainModel gpu(config_);
+    const double step_time = 1.0 / gpu.maxThroughput();
+    const double worker_period = workerPeriodSeconds();
+
+    size_t produced = 0;
+    size_t trained = 0;
+    double end_time = 0.0;
+    bool done = false;
+
+    // Preprocessing workers: each is an independent produce loop. Worker
+    // start offsets are staggered so producers do not fire in lockstep.
+    std::function<void(int)> produce = [&](int worker) {
+        if (done)
+            return;
+        sim.schedule(worker_period, [&, worker] {
+            if (done)
+                return;
+            queue.push(produced++, [&, worker] {
+                // Space acknowledged: immediately begin the next batch.
+                produce(worker);
+            });
+        });
+    };
+
+    // GPU training workers: consume, train for step_time, repeat.
+    std::function<void(int)> consume = [&](int g) {
+        if (done)
+            return;
+        queue.pop([&, g](size_t) {
+            gpu_busy.addBusy(step_time);
+            sim.schedule(step_time, [&, g] {
+                ++trained;
+                if (trained >= options_.batches_to_train) {
+                    done = true;
+                    end_time = sim.now();
+                    return;
+                }
+                consume(g);
+            });
+        });
+    };
+
+    for (int w = 0; w < options_.num_workers; ++w) {
+        const double offset =
+            worker_period * static_cast<double>(w) /
+            static_cast<double>(options_.num_workers);
+        sim.schedule(offset, [&, w] { produce(w); });
+    }
+    for (int g = 0; g < options_.num_gpus; ++g)
+        consume(g);
+
+    sim.run();
+    PRESTO_CHECK(done, "pipeline deadlocked before training finished");
+
+    PipelineResult r;
+    r.sim_seconds = end_time;
+    r.batches_trained = trained;
+    r.train_throughput =
+        end_time > 0 ? static_cast<double>(trained) / end_time : 0.0;
+    r.preproc_throughput =
+        end_time > 0 ? static_cast<double>(queue.totalPushed()) / end_time
+                     : 0.0;
+    r.gpu_utilization = gpu_busy.utilization(
+        end_time * static_cast<double>(options_.num_gpus));
+    r.gpu_max_throughput =
+        gpu.maxThroughput() * static_cast<double>(options_.num_gpus);
+    r.max_stalled_producers = queue.maxWaitingProducers();
+    return r;
+}
+
+}  // namespace presto

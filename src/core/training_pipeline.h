@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Discrete-event simulation of the end-to-end RecSys training pipeline
+ * (Figure 9): preprocessing workers produce mini-batches into the train
+ * manager's bounded input queue; the GPU training worker consumes them.
+ *
+ * This is where Figure 3's GPU utilization and the throughput numbers of
+ * Figure 11 come from: when the aggregate preprocessing throughput falls
+ * short of the GPU's demand, the queue runs dry and the GPU idles.
+ */
+#ifndef PRESTO_CORE_TRAINING_PIPELINE_H_
+#define PRESTO_CORE_TRAINING_PIPELINE_H_
+
+#include <string>
+
+#include "datagen/rm_config.h"
+#include "models/isp_model.h"
+
+namespace presto {
+
+/** Which device executes the preprocessing workers. */
+enum class PreprocBackend {
+    kColocatedCpu,  ///< training-node cores, local storage reads
+    kDisaggCpu,     ///< disaggregated pool cores, remote Extract
+    kIsp,           ///< accelerator devices (SmartSSD / U280 builds)
+};
+
+/** Pipeline simulation knobs. */
+struct PipelineOptions {
+    PreprocBackend backend = PreprocBackend::kDisaggCpu;
+    int num_workers = 1;          ///< CPU cores or ISP devices
+    int num_gpus = 1;             ///< training consumers
+    size_t queue_capacity = 32;   ///< train-manager input queue depth
+    size_t batches_to_train = 512;///< simulation length
+    IspParams isp_params;         ///< used when backend == kIsp
+};
+
+/** Measured outcome of one pipeline simulation. */
+struct PipelineResult {
+    double sim_seconds = 0;
+    size_t batches_trained = 0;
+    double train_throughput = 0;      ///< batches/sec actually trained
+    double preproc_throughput = 0;    ///< batches/sec produced
+    double gpu_utilization = 0;       ///< busy fraction of the GPU(s)
+    double gpu_max_throughput = 0;    ///< demand line (dotted in Fig 3)
+    size_t max_stalled_producers = 0; ///< backpressure high-water mark
+};
+
+/**
+ * Runs the producer-consumer pipeline simulation for one workload.
+ */
+class TrainingPipeline
+{
+  public:
+    TrainingPipeline(const RmConfig& config, PipelineOptions options);
+
+    /** Simulate until batches_to_train are consumed; deterministic. */
+    PipelineResult run() const;
+
+    /** Per-worker batch production period for the configured backend. */
+    double workerPeriodSeconds() const;
+
+  private:
+    RmConfig config_;
+    PipelineOptions options_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CORE_TRAINING_PIPELINE_H_

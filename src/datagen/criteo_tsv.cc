@@ -1,0 +1,167 @@
+#include "datagen/criteo_tsv.h"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace presto {
+
+namespace {
+
+/** Split a line on tabs; empty fields are preserved. */
+std::vector<std::string_view>
+splitTabs(std::string_view line)
+{
+    std::vector<std::string_view> fields;
+    size_t start = 0;
+    for (;;) {
+        const size_t tab = line.find('\t', start);
+        if (tab == std::string_view::npos) {
+            fields.push_back(line.substr(start));
+            return fields;
+        }
+        fields.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+}
+
+Status
+parseIntField(std::string_view field, long& out)
+{
+    const auto* begin = field.data();
+    const auto* end = field.data() + field.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc() || ptr != end)
+        return Status::invalidArgument("bad integer field: " +
+                                       std::string(field));
+    return Status::okStatus();
+}
+
+Status
+parseHexField(std::string_view field, uint64_t& out)
+{
+    const auto* begin = field.data();
+    const auto* end = field.data() + field.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out, 16);
+    if (ec != std::errc() || ptr != end)
+        return Status::invalidArgument("bad hex id field: " +
+                                       std::string(field));
+    return Status::okStatus();
+}
+
+}  // namespace
+
+CriteoTsvParser::CriteoTsvParser()
+    : schema_(Schema::makeRecSys(kCriteoDenseFeatures,
+                                 kCriteoSparseFeatures)),
+      dense_(kCriteoDenseFeatures), sparse_(kCriteoSparseFeatures)
+{
+}
+
+Status
+CriteoTsvParser::addLine(std::string_view line)
+{
+    // Trim a trailing carriage return (Windows-styled dumps).
+    if (!line.empty() && line.back() == '\r')
+        line.remove_suffix(1);
+
+    const auto fields = splitTabs(line);
+    const size_t expected =
+        1 + kCriteoDenseFeatures + kCriteoSparseFeatures;
+    if (fields.size() != expected) {
+        return Status::invalidArgument(
+            "expected " + std::to_string(expected) + " fields, got " +
+            std::to_string(fields.size()));
+    }
+
+    // Label.
+    long label = 0;
+    PRESTO_RETURN_IF_ERROR(parseIntField(fields[0], label));
+    if (label != 0 && label != 1)
+        return Status::invalidArgument("label must be 0 or 1");
+
+    // Dense counts (empty -> missing).
+    float dense_row[kCriteoDenseFeatures];
+    for (size_t f = 0; f < kCriteoDenseFeatures; ++f) {
+        const auto field = fields[1 + f];
+        if (field.empty()) {
+            dense_row[f] = std::numeric_limits<float>::quiet_NaN();
+        } else {
+            long v = 0;
+            PRESTO_RETURN_IF_ERROR(parseIntField(field, v));
+            dense_row[f] = static_cast<float>(v);
+        }
+    }
+
+    // Categorical hex ids (empty -> empty id list).
+    int64_t sparse_row[kCriteoSparseFeatures];
+    bool sparse_present[kCriteoSparseFeatures];
+    for (size_t f = 0; f < kCriteoSparseFeatures; ++f) {
+        const auto field = fields[1 + kCriteoDenseFeatures + f];
+        if (field.empty()) {
+            sparse_present[f] = false;
+            continue;
+        }
+        uint64_t id = 0;
+        PRESTO_RETURN_IF_ERROR(parseHexField(field, id));
+        sparse_row[f] = static_cast<int64_t>(id);
+        sparse_present[f] = true;
+    }
+
+    // All fields validated; commit the row.
+    labels_.push_back(static_cast<float>(label));
+    for (size_t f = 0; f < kCriteoDenseFeatures; ++f)
+        dense_[f].push_back(dense_row[f]);
+    for (size_t f = 0; f < kCriteoSparseFeatures; ++f) {
+        if (sparse_present[f])
+            sparse_[f].appendRow({&sparse_row[f], 1});
+        else
+            sparse_[f].appendRow({});
+    }
+    ++num_rows_;
+    return Status::okStatus();
+}
+
+RowBatch
+CriteoTsvParser::takeBatch()
+{
+    RowBatch batch(schema_);
+    batch.addColumn(DenseColumn(std::move(labels_)));
+    for (auto& col : dense_)
+        batch.addColumn(DenseColumn(std::move(col)));
+    for (auto& col : sparse_)
+        batch.addColumn(std::move(col));
+
+    // Reset for the next batch.
+    labels_ = {};
+    dense_.assign(kCriteoDenseFeatures, {});
+    sparse_.assign(kCriteoSparseFeatures, SparseColumn());
+    num_rows_ = 0;
+    return batch;
+}
+
+StatusOr<RowBatch>
+parseCriteoTsv(std::string_view text)
+{
+    CriteoTsvParser parser;
+    size_t line_no = 0;
+    size_t start = 0;
+    while (start < text.size()) {
+        ++line_no;
+        size_t nl = text.find('\n', start);
+        if (nl == std::string_view::npos)
+            nl = text.size();
+        const auto line = text.substr(start, nl - start);
+        start = nl + 1;
+        if (line.empty())
+            continue;
+        if (Status st = parser.addLine(line); !st.ok()) {
+            return Status::invalidArgument(
+                "line " + std::to_string(line_no) + ": " + st.message());
+        }
+    }
+    return parser.takeBatch();
+}
+
+}  // namespace presto

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Criteo click-logs TSV ingestion.
+ *
+ * The public Criteo dataset (the paper's RM1) ships as tab-separated
+ * lines: a binary label, 13 integer count features (possibly empty),
+ * and 26 categorical features as 8-hex-digit ids (possibly empty). This
+ * parser turns such lines into the library's RowBatch so real Criteo
+ * data can drive the pipeline in place of the synthetic generator.
+ */
+#ifndef PRESTO_DATAGEN_CRITEO_TSV_H_
+#define PRESTO_DATAGEN_CRITEO_TSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "tabular/row_batch.h"
+
+namespace presto {
+
+/** Criteo layout constants. */
+inline constexpr size_t kCriteoDenseFeatures = 13;
+inline constexpr size_t kCriteoSparseFeatures = 26;
+
+/**
+ * Streaming parser: feed lines, take the accumulated batch.
+ */
+class CriteoTsvParser
+{
+  public:
+    CriteoTsvParser();
+
+    /**
+     * Parse one TSV line and append it as a row.
+     * Empty dense fields become NaN (missing); empty categorical fields
+     * become an empty id list for that feature.
+     * @return kInvalidArgument on malformed lines (field count, bad
+     *         number, bad hex id); the row is not appended.
+     */
+    Status addLine(std::string_view line);
+
+    /** Rows successfully parsed so far. */
+    size_t numRows() const { return num_rows_; }
+
+    /**
+     * Move the accumulated rows out as a RowBatch with the standard
+     * RecSys schema (label, dense_0..12, sparse_0..25); resets the
+     * parser.
+     */
+    RowBatch takeBatch();
+
+  private:
+    Schema schema_;
+    std::vector<float> labels_;
+    std::vector<std::vector<float>> dense_;
+    std::vector<SparseColumn> sparse_;
+    size_t num_rows_ = 0;
+};
+
+/**
+ * Parse a whole TSV buffer (newline separated).
+ * @return the batch, or the first line's error annotated with its
+ *         1-based line number.
+ */
+StatusOr<RowBatch> parseCriteoTsv(std::string_view text);
+
+}  // namespace presto
+
+#endif  // PRESTO_DATAGEN_CRITEO_TSV_H_

@@ -1,0 +1,93 @@
+#include "datagen/distributions.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace presto {
+
+// --- ZipfSampler ---------------------------------------------------------
+//
+// Rejection-inversion sampling for the Zipf distribution
+// ("Rejection-inversion to generate variates from monotone discrete
+// distributions", Hormann & Derflinger, 1996). Item k (1-based) has
+// probability proportional to 1 / k^s.
+
+ZipfSampler::ZipfSampler(uint64_t num_items, double exponent)
+    : num_items_(num_items), exponent_(exponent)
+{
+    PRESTO_CHECK(num_items_ > 0, "Zipf needs at least one item");
+    PRESTO_CHECK(exponent_ > 0.0, "Zipf exponent must be positive");
+    s_ = exponent_;
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(num_items_) + 0.5);
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    // Integral of x^-s: x^(1-s)/(1-s), or log(x) when s == 1.
+    if (std::fabs(s_ - 1.0) < 1e-12)
+        return std::log(x);
+    return std::pow(x, 1.0 - s_) / (1.0 - s_);
+}
+
+double
+ZipfSampler::hInv(double x) const
+{
+    if (std::fabs(s_ - 1.0) < 1e-12)
+        return std::exp(x);
+    return std::pow((1.0 - s_) * x, 1.0 / (1.0 - s_));
+}
+
+uint64_t
+ZipfSampler::sample(Rng& rng) const
+{
+    if (num_items_ == 1)
+        return 0;
+    for (;;) {
+        const double u = h_x1_ + rng.uniform() * (h_n_ - h_x1_);
+        const double x = hInv(u);
+        auto k = static_cast<uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > num_items_)
+            k = num_items_;
+        const double kd = static_cast<double>(k);
+        // Accept when u falls under the histogram bar of item k.
+        if (u >= h(kd + 0.5) - std::pow(kd, -s_))
+            return k - 1;
+    }
+}
+
+// --- PoissonSampler ------------------------------------------------------
+
+PoissonSampler::PoissonSampler(double lambda)
+    : lambda_(lambda), exp_neg_lambda_(std::exp(-lambda))
+{
+    PRESTO_CHECK(lambda_ >= 0.0, "Poisson lambda must be non-negative");
+}
+
+uint64_t
+PoissonSampler::sample(Rng& rng) const
+{
+    if (lambda_ == 0.0)
+        return 0;
+    if (lambda_ < 30.0) {
+        // Knuth's product-of-uniforms method.
+        uint64_t k = 0;
+        double p = 1.0;
+        do {
+            ++k;
+            p *= rng.uniform();
+        } while (p > exp_neg_lambda_);
+        return k - 1;
+    }
+    // Normal approximation with continuity correction for large lambda.
+    const double x = rng.normal(lambda_, std::sqrt(lambda_)) + 0.5;
+    if (x < 0.0)
+        return 0;
+    return static_cast<uint64_t>(x);
+}
+
+}  // namespace presto

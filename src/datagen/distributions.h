@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Samplers for the value distributions observed in RecSys datasets:
+ * Zipfian categorical ids, log-normal dense magnitudes, and Poisson-like
+ * sparse feature lengths.
+ */
+#ifndef PRESTO_DATAGEN_DISTRIBUTIONS_H_
+#define PRESTO_DATAGEN_DISTRIBUTIONS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace presto {
+
+/**
+ * Zipf(s, N) sampler over {0, ..., N-1} using rejection-inversion
+ * (W. Hormann / Jason Crease formulation). O(1) per sample for any N,
+ * deterministic given the Rng stream.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param num_items N > 0.
+     * @param exponent s > 0 (s != 1 handled; s == 1 uses the log form).
+     */
+    ZipfSampler(uint64_t num_items, double exponent);
+
+    /** Draw one item index in [0, num_items). */
+    uint64_t sample(Rng& rng) const;
+
+    uint64_t numItems() const { return num_items_; }
+    double exponent() const { return exponent_; }
+
+  private:
+    double h(double x) const;
+    double hInv(double x) const;
+
+    uint64_t num_items_;
+    double exponent_;
+    double h_x1_;
+    double h_n_;
+    double s_;
+};
+
+/**
+ * Poisson(lambda) sampler; used for sparse-feature lengths around the
+ * configured average. Uses Knuth's method for small lambda and a
+ * normal approximation above 30.
+ */
+class PoissonSampler
+{
+  public:
+    explicit PoissonSampler(double lambda);
+
+    uint64_t sample(Rng& rng) const;
+
+    double lambda() const { return lambda_; }
+
+  private:
+    double lambda_;
+    double exp_neg_lambda_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_DATAGEN_DISTRIBUTIONS_H_

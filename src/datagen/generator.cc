@@ -1,0 +1,86 @@
+#include "datagen/generator.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace presto {
+
+RawDataGenerator::RawDataGenerator(const RmConfig& config,
+                                   GeneratorOptions options)
+    : config_(config), options_(options),
+      schema_(Schema::makeRecSys(config.num_dense, config.num_sparse)),
+      id_sampler_(options_.id_space, options_.zipf_exponent),
+      length_sampler_(config.avg_sparse_length)
+{
+    PRESTO_CHECK(config_.batch_size > 0, "batch size must be positive");
+}
+
+RowBatch
+RawDataGenerator::generatePartition(uint64_t partition_index,
+                                    size_t num_rows) const
+{
+    if (num_rows == 0)
+        num_rows = config_.batch_size;
+
+    Rng base(options_.seed);
+    Rng rng = base.fork(partition_index);
+
+    RowBatch batch(schema_);
+
+    // Label column.
+    {
+        std::vector<float> labels(num_rows);
+        for (auto& v : labels)
+            v = rng.bernoulli(options_.click_through_rate) ? 1.0f : 0.0f;
+        batch.addColumn(DenseColumn(std::move(labels)));
+    }
+
+    // Dense features: log-normal magnitudes with occasional missing (NaN)
+    // entries, like the count-valued Criteo integer features.
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    for (size_t f = 0; f < config_.num_dense; ++f) {
+        std::vector<float> values(num_rows);
+        for (auto& v : values) {
+            if (rng.bernoulli(options_.missing_dense_prob)) {
+                v = nan;
+            } else {
+                v = static_cast<float>(rng.logNormal(
+                    options_.dense_log_mu, options_.dense_log_sigma));
+            }
+        }
+        batch.addColumn(DenseColumn(std::move(values)));
+    }
+
+    // Sparse features: Zipf-popular ids scattered across a 64-bit space by
+    // a mixing hash, as logged categorical values are upstream of
+    // SigridHash range reduction.
+    for (size_t f = 0; f < config_.num_sparse; ++f) {
+        SparseColumn col;
+        std::vector<int64_t> row_ids;
+        for (size_t r = 0; r < num_rows; ++r) {
+            size_t len;
+            if (config_.fixed_sparse_length) {
+                len = static_cast<size_t>(config_.avg_sparse_length);
+            } else {
+                len = static_cast<size_t>(length_sampler_.sample(rng));
+            }
+            row_ids.clear();
+            row_ids.reserve(len);
+            for (size_t k = 0; k < len; ++k) {
+                const uint64_t item = id_sampler_.sample(rng);
+                // Scatter: distinct per feature, looks like a raw hash.
+                const uint64_t raw = mix64(item * 0x100000001b3ULL + f);
+                row_ids.push_back(static_cast<int64_t>(raw >> 1));
+            }
+            col.appendRow(row_ids);
+        }
+        batch.addColumn(std::move(col));
+    }
+
+    PRESTO_CHECK(batch.complete(), "generated batch missing columns");
+    return batch;
+}
+
+}  // namespace presto

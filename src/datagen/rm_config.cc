@@ -1,0 +1,58 @@
+#include "datagen/rm_config.h"
+
+#include "common/logging.h"
+
+namespace presto {
+
+namespace {
+
+RmConfig
+makeConfig(std::string name, size_t num_dense, size_t num_sparse,
+           double avg_len, bool fixed_len, size_t num_generated,
+           size_t bucket_size, size_t num_tables)
+{
+    RmConfig cfg;
+    cfg.name = std::move(name);
+    cfg.num_dense = num_dense;
+    cfg.num_sparse = num_sparse;
+    cfg.avg_sparse_length = avg_len;
+    cfg.fixed_sparse_length = fixed_len;
+    cfg.num_generated = num_generated;
+    cfg.bucket_size = bucket_size;
+    cfg.bottom_mlp = {512, 256, 128};
+    cfg.top_mlp = {1024, 1024, 512, 256, 1};
+    cfg.num_tables = num_tables;
+    cfg.avg_embeddings = 500000;
+    return cfg;
+}
+
+}  // namespace
+
+const std::vector<RmConfig>&
+allRmConfigs()
+{
+    // Table I. num_tables = raw sparse + generated sparse features.
+    static const std::vector<RmConfig> configs = {
+        makeConfig("RM1", 13, 26, 1.0, /*fixed_len=*/true, 13, 1024, 39),
+        makeConfig("RM2", 504, 42, 20.0, false, 21, 1024, 63),
+        makeConfig("RM3", 504, 42, 20.0, false, 42, 1024, 84),
+        makeConfig("RM4", 504, 42, 20.0, false, 42, 2048, 84),
+        makeConfig("RM5", 504, 42, 20.0, false, 42, 4096, 84),
+    };
+    return configs;
+}
+
+const RmConfig&
+rmConfig(int rm_id)
+{
+    PRESTO_CHECK(rm_id >= 1 && rm_id <= 5, "RM id must be 1..5, got ", rm_id);
+    return allRmConfigs()[static_cast<size_t>(rm_id - 1)];
+}
+
+size_t
+numRmConfigs()
+{
+    return allRmConfigs().size();
+}
+
+}  // namespace presto

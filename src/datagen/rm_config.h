@@ -1,0 +1,77 @@
+/**
+ * @file
+ * RecSys model/dataset configurations (Table I of the paper).
+ *
+ * RM1 follows the public Criteo click-logs dataset; RM2-RM5 are synthetic
+ * production-scale configurations patterned after Meta's published dataset
+ * characteristics (Zhao et al., ISCA 2022).
+ */
+#ifndef PRESTO_DATAGEN_RM_CONFIG_H_
+#define PRESTO_DATAGEN_RM_CONFIG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace presto {
+
+/**
+ * Data preprocessing configuration parameters plus the trained RecSys
+ * model architecture for one workload (one column group of Table I).
+ */
+struct RmConfig {
+    std::string name;
+
+    // --- data preprocessing configuration parameters ---
+    size_t num_dense = 0;          ///< # raw dense features
+    size_t num_sparse = 0;         ///< # raw sparse features
+    double avg_sparse_length = 1;  ///< mean ids per row per sparse feature
+    bool fixed_sparse_length = false;  ///< Criteo has exactly 1 id per row
+    size_t num_generated = 0;      ///< # sparse features made by Bucketize
+    size_t bucket_size = 1024;     ///< # bucket boundaries (m in Alg. 1)
+
+    // --- RecSys model architecture ---
+    std::vector<size_t> bottom_mlp;  ///< dense-path MLP layer widths
+    std::vector<size_t> top_mlp;     ///< prediction MLP layer widths
+    size_t num_tables = 0;           ///< # embedding tables
+    size_t avg_embeddings = 0;       ///< rows per embedding table
+    size_t embedding_dim = 128;      ///< embedding vector width
+
+    /** Training batch size used throughout the paper's evaluation. */
+    size_t batch_size = 8192;
+
+    /** Sparse features after generation (raw + Bucketize outputs). */
+    size_t
+    totalSparseFeatures() const
+    {
+        return num_sparse + num_generated;
+    }
+
+    /** Expected scalar values per row before preprocessing. */
+    double
+    rawValuesPerRow() const
+    {
+        return static_cast<double>(num_dense) +
+               static_cast<double>(num_sparse) * avg_sparse_length + 1.0;
+    }
+
+    /** Expected scalar values in one raw mini-batch partition. */
+    double
+    rawValuesPerBatch() const
+    {
+        return rawValuesPerRow() * static_cast<double>(batch_size);
+    }
+};
+
+/** The five Table I workloads, indexed 0..4 for RM1..RM5. */
+const std::vector<RmConfig>& allRmConfigs();
+
+/** Lookup by 1-based paper id (1..5). Panics when out of range. */
+const RmConfig& rmConfig(int rm_id);
+
+/** Number of paper workloads (5). */
+size_t numRmConfigs();
+
+}  // namespace presto
+
+#endif  // PRESTO_DATAGEN_RM_CONFIG_H_

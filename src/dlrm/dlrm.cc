@@ -1,0 +1,148 @@
+#include "dlrm/dlrm.h"
+
+namespace presto {
+
+namespace {
+
+Rng
+makeRng(uint64_t seed)
+{
+    return Rng(seed);
+}
+
+}  // namespace
+
+DlrmParams
+DlrmParams::fromRmConfig(const RmConfig& config, size_t embedding_dim,
+                         size_t embedding_rows)
+{
+    DlrmParams p;
+    p.num_dense = config.num_dense;
+    p.num_tables = config.totalSparseFeatures();
+    p.embedding_rows = embedding_rows;
+    p.embedding_dim = embedding_dim;
+    p.bottom_mlp = {64, 32, embedding_dim};
+    p.top_mlp = {64, 32, 1};
+    return p;
+}
+
+DlrmModel::DlrmModel(DlrmParams params)
+    : params_(std::move(params)),
+      bottom_([&] {
+          PRESTO_CHECK(params_.bottom_mlp.back() == params_.embedding_dim,
+                       "bottom MLP must end at the embedding dim");
+          Rng rng = makeRng(params_.seed);
+          return Mlp(params_.num_dense, params_.bottom_mlp,
+                     /*final_relu=*/true, rng);
+      }()),
+      interaction_(params_.num_tables + 1, params_.embedding_dim),
+      top_([&] {
+          PRESTO_CHECK(params_.top_mlp.back() == 1,
+                       "top MLP must end at one logit");
+          Rng rng = makeRng(mix64(params_.seed + 1));
+          return Mlp(interaction_.outputWidth(), params_.top_mlp,
+                     /*final_relu=*/false, rng);
+      }())
+{
+    Rng rng = makeRng(mix64(params_.seed + 2));
+    tables_.reserve(params_.num_tables);
+    for (size_t t = 0; t < params_.num_tables; ++t) {
+        tables_.emplace_back(params_.embedding_rows, params_.embedding_dim,
+                             rng);
+    }
+}
+
+JaggedIndices
+DlrmModel::clampIndices(const JaggedIndices& in, size_t rows)
+{
+    JaggedIndices out;
+    out.feature_name = in.feature_name;
+    out.lengths = in.lengths;
+    out.values.reserve(in.values.size());
+    for (int64_t v : in.values) {
+        out.values.push_back(
+            static_cast<int64_t>(static_cast<uint64_t>(v) % rows));
+    }
+    return out;
+}
+
+Matrix
+DlrmModel::forward(const MiniBatch& mb)
+{
+    PRESTO_CHECK(mb.num_dense == params_.num_dense,
+                 "dense feature count mismatch");
+    PRESTO_CHECK(mb.sparse.size() == params_.num_tables,
+                 "table count mismatch");
+
+    // Dense path.
+    Matrix dense(mb.batch_size, mb.num_dense);
+    dense.data() = mb.dense;
+    const Matrix& bottom_out = bottom_.forward(dense);
+
+    // Sparse path.
+    std::vector<const Matrix*> vectors;
+    vectors.reserve(params_.num_tables + 1);
+    vectors.push_back(&bottom_out);
+    for (size_t t = 0; t < params_.num_tables; ++t) {
+        const JaggedIndices clamped =
+            clampIndices(mb.sparse[t], params_.embedding_rows);
+        vectors.push_back(&tables_[t].forward(clamped));
+    }
+
+    const Matrix& interacted = interaction_.forward(vectors);
+    return top_.forward(interacted);
+}
+
+float
+DlrmModel::trainStep(const MiniBatch& mb)
+{
+    const Matrix logits = forward(mb);
+
+    Matrix grad_logits;
+    const float loss = bceWithLogits(logits, mb.labels, grad_logits);
+
+    // Backward through the top MLP and the interaction.
+    const Matrix grad_interacted = top_.backward(grad_logits);
+    std::vector<Matrix> grad_vectors =
+        interaction_.backward(grad_interacted);
+
+    // Dense path backward.
+    (void)bottom_.backward(grad_vectors[0]);
+
+    // Updates.
+    top_.step(params_.learning_rate);
+    bottom_.step(params_.learning_rate);
+    for (size_t t = 0; t < params_.num_tables; ++t) {
+        tables_[t].backwardAndStep(grad_vectors[t + 1],
+                                   params_.learning_rate);
+    }
+    return loss;
+}
+
+float
+DlrmModel::evaluate(const MiniBatch& mb)
+{
+    const Matrix logits = forward(mb);
+    Matrix grad_unused;
+    return bceWithLogits(logits, mb.labels, grad_unused);
+}
+
+size_t
+DlrmModel::parameterCount() const
+{
+    size_t count = params_.num_tables * params_.embedding_rows *
+                   params_.embedding_dim;
+    size_t in = params_.num_dense;
+    for (size_t w : params_.bottom_mlp) {
+        count += in * w + w;
+        in = w;
+    }
+    in = interaction_.outputWidth();
+    for (size_t w : params_.top_mlp) {
+        count += in * w + w;
+        in = w;
+    }
+    return count;
+}
+
+}  // namespace presto

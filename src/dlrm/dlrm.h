@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reference DLRM trainer: bottom MLP over dense features, sum-pooled
+ * embedding bags over every sparse table, pairwise-dot interaction,
+ * top MLP to a click logit, BCE loss, SGD — the model-training stage of
+ * Figure 1 consuming the MiniBatch tensors the preprocessing stage
+ * produces.
+ */
+#ifndef PRESTO_DLRM_DLRM_H_
+#define PRESTO_DLRM_DLRM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/rm_config.h"
+#include "dlrm/layers.h"
+#include "tabular/minibatch.h"
+
+namespace presto {
+
+/** Model hyperparameters (a scaled-down Table I architecture). */
+struct DlrmParams {
+    size_t num_dense = 13;
+    size_t num_tables = 39;
+    size_t embedding_rows = 1000;
+    size_t embedding_dim = 16;
+    std::vector<size_t> bottom_mlp = {64, 32, 16};  ///< ends at dim
+    std::vector<size_t> top_mlp = {64, 32, 1};      ///< ends at 1 logit
+    float learning_rate = 0.05f;
+    uint64_t seed = 0xd1a0;
+
+    /**
+     * Derive a trainable (shrunk) architecture from a Table I workload:
+     * same feature/table structure, small embedding dim and tables so it
+     * runs on one host.
+     */
+    static DlrmParams fromRmConfig(const RmConfig& config,
+                                   size_t embedding_dim = 16,
+                                   size_t embedding_rows = 1000);
+};
+
+/** DLRM model + SGD trainer. */
+class DlrmModel
+{
+  public:
+    explicit DlrmModel(DlrmParams params);
+
+    /**
+     * Forward pass: click logits [batch x 1].
+     * @param mb Must have num_dense dense features and num_tables sparse
+     *        tensors with indices < embedding_rows.
+     */
+    Matrix forward(const MiniBatch& mb);
+
+    /**
+     * One training step (forward + backward + SGD).
+     * @return mean BCE loss of the batch before the update.
+     */
+    float trainStep(const MiniBatch& mb);
+
+    /** Mean BCE loss without updating parameters. */
+    float evaluate(const MiniBatch& mb);
+
+    const DlrmParams& params() const { return params_; }
+
+    /** Number of trainable parameters. */
+    size_t parameterCount() const;
+
+  private:
+    /** Re-range indices into [0, embedding_rows) for shrunk tables. */
+    static JaggedIndices clampIndices(const JaggedIndices& in,
+                                      size_t rows);
+
+    DlrmParams params_;
+    Mlp bottom_;
+    std::vector<EmbeddingBag> tables_;
+    InteractionLayer interaction_;
+    Mlp top_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_DLRM_DLRM_H_

@@ -1,0 +1,265 @@
+#include "dlrm/layers.h"
+
+#include <cmath>
+
+namespace presto {
+
+// --- LinearLayer ------------------------------------------------------------
+
+LinearLayer::LinearLayer(size_t in_features, size_t out_features, bool relu,
+                         Rng& rng)
+    : weights_(out_features, in_features), bias_(out_features, 0.0f),
+      relu_(relu)
+{
+    const float scale =
+        std::sqrt(2.0f / static_cast<float>(in_features + out_features));
+    weights_.randomize(rng, scale);
+}
+
+const Matrix&
+LinearLayer::forward(const Matrix& input)
+{
+    input_ = input;
+    matmulBT(input, weights_, output_);  // [batch x out]
+    addBiasRows(output_, bias_);
+    if (relu_)
+        reluInPlace(output_);
+    return output_;
+}
+
+Matrix
+LinearLayer::backward(const Matrix& grad_out)
+{
+    Matrix grad = grad_out;
+    if (relu_)
+        reluBackward(output_, grad);
+
+    // dW = grad^T * input  -> [out x in]
+    matmulAT(grad, input_, grad_weights_);
+    grad_bias_.assign(bias_.size(), 0.0f);
+    for (size_t r = 0; r < grad.rows(); ++r) {
+        const float* row = grad.row(r);
+        for (size_t c = 0; c < grad.cols(); ++c)
+            grad_bias_[c] += row[c];
+    }
+
+    // dX = grad * W -> [batch x in]
+    Matrix grad_in;
+    matmul(grad, weights_, grad_in);
+    return grad_in;
+}
+
+void
+LinearLayer::step(float lr)
+{
+    PRESTO_CHECK(grad_weights_.rows() == weights_.rows(),
+                 "step before backward");
+    sgdStep(weights_, grad_weights_, lr);
+    for (size_t c = 0; c < bias_.size(); ++c)
+        bias_[c] -= lr * grad_bias_[c];
+}
+
+// --- Mlp ----------------------------------------------------------------------
+
+Mlp::Mlp(size_t input_width, const std::vector<size_t>& layer_widths,
+         bool final_relu, Rng& rng)
+{
+    PRESTO_CHECK(!layer_widths.empty(), "MLP needs at least one layer");
+    size_t in = input_width;
+    for (size_t i = 0; i < layer_widths.size(); ++i) {
+        const bool relu = final_relu || i + 1 < layer_widths.size();
+        layers_.emplace_back(in, layer_widths[i], relu, rng);
+        in = layer_widths[i];
+    }
+}
+
+const Matrix&
+Mlp::forward(const Matrix& input)
+{
+    const Matrix* x = &input;
+    for (auto& layer : layers_)
+        x = &layer.forward(*x);
+    return *x;
+}
+
+Matrix
+Mlp::backward(const Matrix& grad_out)
+{
+    Matrix grad = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        grad = it->backward(grad);
+    return grad;
+}
+
+void
+Mlp::step(float lr)
+{
+    for (auto& layer : layers_)
+        layer.step(lr);
+}
+
+size_t
+Mlp::outputWidth() const
+{
+    return layers_.back().outFeatures();
+}
+
+// --- EmbeddingBag ----------------------------------------------------------------
+
+EmbeddingBag::EmbeddingBag(size_t num_embeddings, size_t dim, Rng& rng)
+    : table_(num_embeddings, dim)
+{
+    table_.randomize(rng, 1.0f / std::sqrt(static_cast<float>(dim)));
+}
+
+const Matrix&
+EmbeddingBag::forward(const JaggedIndices& indices)
+{
+    last_indices_ = indices;
+    has_forward_ = true;
+    const size_t batch = indices.lengths.size();
+    pooled_ = Matrix(batch, table_.cols());
+    size_t cursor = 0;
+    for (size_t r = 0; r < batch; ++r) {
+        float* out = pooled_.row(r);
+        for (uint32_t k = 0; k < indices.lengths[r]; ++k) {
+            const auto id = static_cast<size_t>(indices.values[cursor++]);
+            PRESTO_CHECK(id < table_.rows(), "embedding index out of range");
+            const float* row = table_.row(id);
+            for (size_t c = 0; c < table_.cols(); ++c)
+                out[c] += row[c];
+        }
+    }
+    return pooled_;
+}
+
+void
+EmbeddingBag::backwardAndStep(const Matrix& grad_pooled, float lr)
+{
+    PRESTO_CHECK(has_forward_, "backward before forward");
+    PRESTO_CHECK(grad_pooled.rows() == last_indices_.lengths.size(),
+                 "embedding grad batch mismatch");
+    // Sparse SGD: each gathered row receives the pooled gradient.
+    size_t cursor = 0;
+    for (size_t r = 0; r < grad_pooled.rows(); ++r) {
+        const float* grad = grad_pooled.row(r);
+        for (uint32_t k = 0; k < last_indices_.lengths[r]; ++k) {
+            const auto id =
+                static_cast<size_t>(last_indices_.values[cursor++]);
+            float* row = table_.row(id);
+            for (size_t c = 0; c < table_.cols(); ++c)
+                row[c] -= lr * grad[c];
+        }
+    }
+}
+
+// --- InteractionLayer ---------------------------------------------------------------
+
+InteractionLayer::InteractionLayer(size_t num_vectors, size_t dim)
+    : num_vectors_(num_vectors), dim_(dim)
+{
+    PRESTO_CHECK(num_vectors_ >= 2, "interaction needs >= 2 vectors");
+}
+
+const Matrix&
+InteractionLayer::forward(const std::vector<const Matrix*>& vectors)
+{
+    PRESTO_CHECK(vectors.size() == num_vectors_, "vector count mismatch");
+    const size_t batch = vectors[0]->rows();
+    for (const auto* v : vectors) {
+        PRESTO_CHECK(v->rows() == batch && v->cols() == dim_,
+                     "interaction input shape mismatch");
+    }
+    last_vectors_ = vectors;
+
+    output_ = Matrix(batch, outputWidth());
+    for (size_t r = 0; r < batch; ++r) {
+        float* out = output_.row(r);
+        // Dense passthrough.
+        const float* dense = vectors[0]->row(r);
+        for (size_t c = 0; c < dim_; ++c)
+            out[c] = dense[c];
+        // Pairwise dots, i < j.
+        size_t slot = dim_;
+        for (size_t i = 0; i < num_vectors_; ++i) {
+            const float* vi = vectors[i]->row(r);
+            for (size_t j = i + 1; j < num_vectors_; ++j) {
+                const float* vj = vectors[j]->row(r);
+                float acc = 0.0f;
+                for (size_t c = 0; c < dim_; ++c)
+                    acc += vi[c] * vj[c];
+                out[slot++] = acc;
+            }
+        }
+    }
+    return output_;
+}
+
+std::vector<Matrix>
+InteractionLayer::backward(const Matrix& grad_out)
+{
+    PRESTO_CHECK(!last_vectors_.empty(), "backward before forward");
+    const size_t batch = grad_out.rows();
+    PRESTO_CHECK(grad_out.cols() == outputWidth(),
+                 "interaction grad shape mismatch");
+
+    std::vector<Matrix> grads(num_vectors_, Matrix(batch, dim_));
+    for (size_t r = 0; r < batch; ++r) {
+        const float* gout = grad_out.row(r);
+        // Dense passthrough gradient.
+        for (size_t c = 0; c < dim_; ++c)
+            grads[0].row(r)[c] += gout[c];
+        // d dot(vi, vj)/dvi = vj (and vice versa).
+        size_t slot = dim_;
+        for (size_t i = 0; i < num_vectors_; ++i) {
+            const float* vi = last_vectors_[i]->row(r);
+            for (size_t j = i + 1; j < num_vectors_; ++j) {
+                const float* vj = last_vectors_[j]->row(r);
+                const float g = gout[slot++];
+                float* gi = grads[i].row(r);
+                float* gj = grads[j].row(r);
+                for (size_t c = 0; c < dim_; ++c) {
+                    gi[c] += g * vj[c];
+                    gj[c] += g * vi[c];
+                }
+            }
+        }
+    }
+    return grads;
+}
+
+// --- loss ---------------------------------------------------------------------------
+
+float
+stableSigmoid(float logit)
+{
+    if (logit >= 0.0f) {
+        const float z = std::exp(-logit);
+        return 1.0f / (1.0f + z);
+    }
+    const float z = std::exp(logit);
+    return z / (1.0f + z);
+}
+
+float
+bceWithLogits(const Matrix& logits, std::span<const float> labels,
+              Matrix& grad_logits)
+{
+    PRESTO_CHECK(logits.cols() == 1, "logits must be [batch x 1]");
+    PRESTO_CHECK(logits.rows() == labels.size(),
+                 "label count mismatch");
+    const auto batch = static_cast<float>(logits.rows());
+    grad_logits = Matrix(logits.rows(), 1);
+    double loss = 0.0;
+    for (size_t r = 0; r < logits.rows(); ++r) {
+        const float x = logits.at(r, 0);
+        const float y = labels[r];
+        // log(1 + exp(-|x|)) formulation for stability.
+        loss += std::max(x, 0.0f) - x * y +
+                std::log1p(std::exp(-std::fabs(x)));
+        grad_logits.at(r, 0) = (stableSigmoid(x) - y) / batch;
+    }
+    return static_cast<float>(loss / batch);
+}
+
+}  // namespace presto

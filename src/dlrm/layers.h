@@ -1,0 +1,156 @@
+/**
+ * @file
+ * DLRM building blocks: fully-connected layers with ReLU, sum-pooled
+ * embedding bags, and the pairwise-dot feature-interaction layer — the
+ * three computations the paper lists for the training stage (embedding
+ * lookups + pooling, batched-GEMM interactions, MLP GEMMs).
+ */
+#ifndef PRESTO_DLRM_LAYERS_H_
+#define PRESTO_DLRM_LAYERS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dlrm/tensor.h"
+#include "tabular/minibatch.h"
+
+namespace presto {
+
+/** One fully-connected layer: y = relu?(x W^T + b). */
+class LinearLayer
+{
+  public:
+    /** @param relu Apply ReLU after the affine map. */
+    LinearLayer(size_t in_features, size_t out_features, bool relu,
+                Rng& rng);
+
+    /** Forward for a batch; caches activations for backward. */
+    const Matrix& forward(const Matrix& input);
+
+    /**
+     * Backward: given dL/dy, accumulates weight gradients and returns
+     * dL/dx. Must follow a forward() with the same batch.
+     */
+    Matrix backward(const Matrix& grad_out);
+
+    /** Apply SGD to weights and biases with the cached gradients. */
+    void step(float lr);
+
+    size_t inFeatures() const { return weights_.cols(); }
+    size_t outFeatures() const { return weights_.rows(); }
+    Matrix& weights() { return weights_; }
+    std::vector<float>& bias() { return bias_; }
+
+  private:
+    Matrix weights_;  ///< [out x in]
+    std::vector<float> bias_;
+    bool relu_;
+
+    Matrix input_;       ///< cached forward input
+    Matrix output_;      ///< cached forward output (post-activation)
+    Matrix grad_weights_;
+    std::vector<float> grad_bias_;
+};
+
+/** Multi-layer perceptron of LinearLayers (ReLU between, none at end). */
+class Mlp
+{
+  public:
+    /**
+     * @param layer_widths Output width of each layer.
+     * @param final_relu Apply ReLU after the last layer too (bottom MLP
+     *        does; the top MLP ends in a logit).
+     */
+    Mlp(size_t input_width, const std::vector<size_t>& layer_widths,
+        bool final_relu, Rng& rng);
+
+    const Matrix& forward(const Matrix& input);
+    Matrix backward(const Matrix& grad_out);
+    void step(float lr);
+
+    size_t outputWidth() const;
+
+  private:
+    std::vector<LinearLayer> layers_;
+};
+
+/**
+ * Sum-pooled embedding table (one per sparse feature).
+ *
+ * forward() gathers and sum-pools the rows selected by a jagged index
+ * tensor; backward() scatter-adds gradients into the touched rows only
+ * (sparse update), mirroring real RecSys trainers.
+ */
+class EmbeddingBag
+{
+  public:
+    EmbeddingBag(size_t num_embeddings, size_t dim, Rng& rng);
+
+    /** Pooled output [batch x dim] for one jagged index tensor. */
+    const Matrix& forward(const JaggedIndices& indices);
+
+    /** Scatter-add dL/dpooled into per-row gradients; apply SGD. */
+    void backwardAndStep(const Matrix& grad_pooled, float lr);
+
+    size_t numEmbeddings() const { return table_.rows(); }
+    size_t dim() const { return table_.cols(); }
+    const Matrix& table() const { return table_; }
+    Matrix& mutableTable() { return table_; }
+
+  private:
+    Matrix table_;  ///< [num_embeddings x dim]
+    JaggedIndices last_indices_;  ///< cached for the sparse backward
+    bool has_forward_ = false;
+    Matrix pooled_;
+};
+
+/**
+ * DLRM pairwise-dot feature interaction: given the bottom-MLP output and
+ * the pooled embedding of each table (all width dim), emits
+ * [dense_out, dot(v_i, v_j) for i < j] per row.
+ */
+class InteractionLayer
+{
+  public:
+    /** @param num_vectors Tables + 1 (the bottom-MLP vector). */
+    InteractionLayer(size_t num_vectors, size_t dim);
+
+    size_t
+    outputWidth() const
+    {
+        return dim_ + num_vectors_ * (num_vectors_ - 1) / 2;
+    }
+
+    /**
+     * @param vectors num_vectors matrices of shape [batch x dim]
+     *        (vectors[0] is the dense path).
+     */
+    const Matrix& forward(const std::vector<const Matrix*>& vectors);
+
+    /**
+     * @param grad_out [batch x outputWidth()]
+     * @return per-vector gradients, aligned with the forward input.
+     */
+    std::vector<Matrix> backward(const Matrix& grad_out);
+
+  private:
+    size_t num_vectors_;
+    size_t dim_;
+    std::vector<const Matrix*> last_vectors_;
+    Matrix output_;
+};
+
+/** Numerically-stable sigmoid. */
+float stableSigmoid(float logit);
+
+/**
+ * Binary cross-entropy with logits; fills dL/dlogit (mean reduction).
+ * @return mean loss over the batch.
+ */
+float bceWithLogits(const Matrix& logits, std::span<const float> labels,
+                    Matrix& grad_logits);
+
+}  // namespace presto
+
+#endif  // PRESTO_DLRM_LAYERS_H_

@@ -1,0 +1,69 @@
+#include "dlrm/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace presto {
+
+double
+rocAuc(std::span<const float> scores, std::span<const float> labels)
+{
+    PRESTO_CHECK(scores.size() == labels.size(),
+                 "scores/labels length mismatch");
+    const size_t n = scores.size();
+
+    // Sort indices by score; assign midranks to tie groups.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return scores[a] < scores[b];
+    });
+
+    double positive_rank_sum = 0;
+    size_t positives = 0;
+    size_t i = 0;
+    while (i < n) {
+        size_t j = i;
+        while (j < n && scores[order[j]] == scores[order[i]])
+            ++j;
+        // Midrank of the tie group [i, j), 1-based ranks.
+        const double midrank = (static_cast<double>(i) +
+                                static_cast<double>(j) + 1.0) / 2.0;
+        for (size_t k = i; k < j; ++k) {
+            if (labels[order[k]] > 0.5f) {
+                positive_rank_sum += midrank;
+                ++positives;
+            }
+        }
+        i = j;
+    }
+
+    const size_t negatives = n - positives;
+    if (positives == 0 || negatives == 0)
+        return 0.5;
+    const double p = static_cast<double>(positives);
+    const double u = positive_rank_sum - p * (p + 1.0) / 2.0;
+    return u / (p * static_cast<double>(negatives));
+}
+
+double
+accuracyAtZeroLogit(std::span<const float> logits,
+                    std::span<const float> labels)
+{
+    PRESTO_CHECK(logits.size() == labels.size(),
+                 "logits/labels length mismatch");
+    if (logits.empty())
+        return 0.0;
+    size_t correct = 0;
+    for (size_t i = 0; i < logits.size(); ++i) {
+        const bool predicted = logits[i] > 0.0f;
+        const bool actual = labels[i] > 0.5f;
+        correct += (predicted == actual);
+    }
+    return static_cast<double>(correct) / static_cast<double>(logits.size());
+}
+
+}  // namespace presto

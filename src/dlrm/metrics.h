@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Evaluation metrics for click prediction: ROC-AUC (the standard RecSys
+ * offline metric) and prediction accuracy.
+ */
+#ifndef PRESTO_DLRM_METRICS_H_
+#define PRESTO_DLRM_METRICS_H_
+
+#include <span>
+
+namespace presto {
+
+/**
+ * Area under the ROC curve via the rank-sum (Mann-Whitney) estimator,
+ * with ties handled by midranks.
+ *
+ * @param scores Model scores or logits (any monotone transform works).
+ * @param labels Binary labels (0/1), same length.
+ * @return AUC in [0, 1]; 0.5 when either class is absent.
+ */
+double rocAuc(std::span<const float> scores, std::span<const float> labels);
+
+/** Fraction of correct predictions at a 0.5 probability threshold
+ *  (logit threshold 0). */
+double accuracyAtZeroLogit(std::span<const float> logits,
+                           std::span<const float> labels);
+
+}  // namespace presto
+
+#endif  // PRESTO_DLRM_METRICS_H_

@@ -1,0 +1,108 @@
+#include "dlrm/tensor.h"
+
+namespace presto {
+
+void
+Matrix::randomize(Rng& rng, float scale)
+{
+    for (auto& v : data_)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0)) * scale;
+}
+
+void
+matmul(const Matrix& a, const Matrix& b, Matrix& out)
+{
+    PRESTO_CHECK(a.cols() == b.rows(), "matmul shape mismatch");
+    out = Matrix(a.rows(), b.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float* arow = a.row(i);
+        float* orow = out.row(i);
+        for (size_t k = 0; k < a.cols(); ++k) {
+            const float av = arow[k];
+            if (av == 0.0f)
+                continue;
+            const float* brow = b.row(k);
+            for (size_t j = 0; j < b.cols(); ++j)
+                orow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+matmulBT(const Matrix& a, const Matrix& b, Matrix& out)
+{
+    PRESTO_CHECK(a.cols() == b.cols(), "matmulBT shape mismatch");
+    out = Matrix(a.rows(), b.rows());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float* arow = a.row(i);
+        for (size_t j = 0; j < b.rows(); ++j) {
+            const float* brow = b.row(j);
+            float acc = 0.0f;
+            for (size_t k = 0; k < a.cols(); ++k)
+                acc += arow[k] * brow[k];
+            out.at(i, j) = acc;
+        }
+    }
+}
+
+void
+matmulAT(const Matrix& a, const Matrix& b, Matrix& out)
+{
+    PRESTO_CHECK(a.rows() == b.rows(), "matmulAT shape mismatch");
+    out = Matrix(a.cols(), b.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float* arow = a.row(i);
+        const float* brow = b.row(i);
+        for (size_t k = 0; k < a.cols(); ++k) {
+            const float av = arow[k];
+            if (av == 0.0f)
+                continue;
+            float* orow = out.row(k);
+            for (size_t j = 0; j < b.cols(); ++j)
+                orow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+addBiasRows(Matrix& m, const std::vector<float>& bias)
+{
+    PRESTO_CHECK(bias.size() == m.cols(), "bias width mismatch");
+    for (size_t r = 0; r < m.rows(); ++r) {
+        float* row = m.row(r);
+        for (size_t c = 0; c < m.cols(); ++c)
+            row[c] += bias[c];
+    }
+}
+
+void
+reluInPlace(Matrix& m)
+{
+    for (auto& v : m.data()) {
+        if (v < 0.0f)
+            v = 0.0f;
+    }
+}
+
+void
+reluBackward(const Matrix& activated, Matrix& grad)
+{
+    PRESTO_CHECK(activated.rows() == grad.rows() &&
+                     activated.cols() == grad.cols(),
+                 "relu backward shape mismatch");
+    for (size_t i = 0; i < grad.data().size(); ++i) {
+        if (activated.data()[i] <= 0.0f)
+            grad.data()[i] = 0.0f;
+    }
+}
+
+void
+sgdStep(Matrix& w, const Matrix& g, float lr)
+{
+    PRESTO_CHECK(w.rows() == g.rows() && w.cols() == g.cols(),
+                 "sgd shape mismatch");
+    for (size_t i = 0; i < w.data().size(); ++i)
+        w.data()[i] -= lr * g.data()[i];
+}
+
+}  // namespace presto

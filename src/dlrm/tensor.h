@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal dense-tensor helpers for the DLRM reference trainer: a
+ * row-major float matrix plus the handful of kernels DLRM needs
+ * (GEMM, bias, ReLU). Written for clarity, not peak FLOPs — the
+ * performance of training is modeled by models/gpu_model; this code
+ * exists so the end-to-end pipeline can *really* train.
+ */
+#ifndef PRESTO_DLRM_TENSOR_H_
+#define PRESTO_DLRM_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace presto {
+
+/** Row-major [rows x cols] float matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(size_t rows, size_t cols, float fill = 0.0f)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {}
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    float&
+    at(size_t r, size_t c)
+    {
+        PRESTO_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    float
+    at(size_t r, size_t c) const
+    {
+        PRESTO_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    float* row(size_t r) { return data_.data() + r * cols_; }
+    const float* row(size_t r) const { return data_.data() + r * cols_; }
+
+    std::vector<float>& data() { return data_; }
+    const std::vector<float>& data() const { return data_; }
+
+    /** Fill with scaled uniform noise (He-style init). */
+    void randomize(Rng& rng, float scale);
+
+    void
+    zero()
+    {
+        std::fill(data_.begin(), data_.end(), 0.0f);
+    }
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** out = a[m x k] * b[k x n]. */
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+
+/** out = a[m x k] * b^T where b is [n x k]. */
+void matmulBT(const Matrix& a, const Matrix& b, Matrix& out);
+
+/** out = a^T[k x m] * b[m(k?) x n] with a as [m x k]: out[k x n]. */
+void matmulAT(const Matrix& a, const Matrix& b, Matrix& out);
+
+/** Add a row vector of biases to every row in place. */
+void addBiasRows(Matrix& m, const std::vector<float>& bias);
+
+/** In-place ReLU; returns nothing (mask recoverable from output). */
+void reluInPlace(Matrix& m);
+
+/** Zero gradient entries where the activation was clipped (out <= 0). */
+void reluBackward(const Matrix& activated, Matrix& grad);
+
+/** SGD step: w -= lr * g, element-wise. */
+void sgdStep(Matrix& w, const Matrix& g, float lr);
+
+}  // namespace presto
+
+#endif  // PRESTO_DLRM_TENSOR_H_

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Per-stage latency breakdown of preprocessing one mini-batch — the rows
+ * plotted in Figures 5 and 12.
+ */
+#ifndef PRESTO_MODELS_BREAKDOWN_H_
+#define PRESTO_MODELS_BREAKDOWN_H_
+
+namespace presto {
+
+/** Seconds spent in each preprocessing step for one mini-batch. */
+struct LatencyBreakdown {
+    double extract_read = 0;    ///< fetch encoded bytes (network or P2P)
+    double extract_decode = 0;  ///< columnar page decode
+    double bucketize = 0;       ///< feature generation
+    double sigrid_hash = 0;     ///< sparse feature normalization
+    double log = 0;             ///< dense feature normalization
+    double other = 0;           ///< mini-batch conversion + fixed overheads
+
+    double
+    total() const
+    {
+        return extract_read + extract_decode + bucketize + sigrid_hash +
+               log + other;
+    }
+
+    /** Feature generation + normalization share of the total. */
+    double
+    transformShare() const
+    {
+        const double t = total();
+        return t > 0 ? (bucketize + sigrid_hash + log) / t : 0.0;
+    }
+
+    /** Extract (read + decode) share of the total. */
+    double
+    extractShare() const
+    {
+        const double t = total();
+        return t > 0 ? (extract_read + extract_decode) / t : 0.0;
+    }
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_MODELS_BREAKDOWN_H_

@@ -1,0 +1,62 @@
+#include "models/cost_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "models/calibration.h"
+
+namespace presto {
+
+double
+Deployment::opexDollars(double dollars_per_kwh) const
+{
+    const double kwh = power_watts / 1000.0 * (duration_sec / kHour);
+    return kwh * dollars_per_kwh;
+}
+
+double
+Deployment::totalCostDollars() const
+{
+    return capex_dollars + opexDollars(cal::kElectricityPerKwh);
+}
+
+Deployment
+makeCpuDeployment(int cores)
+{
+    PRESTO_CHECK(cores >= 0, "negative core count");
+    Deployment d;
+    const int nodes = static_cast<int>(
+        std::ceil(static_cast<double>(cores) / cal::kCpuCoresPerNode));
+    d.capex_dollars = nodes * cal::kCpuNodeDollars;
+    d.power_watts = cores * cal::kCpuWattsPerCore;
+    d.duration_sec = cal::kDurationSec;
+    return d;
+}
+
+Deployment
+makeIspDeployment(int units, double watts_per_unit, double dollars_per_unit)
+{
+    PRESTO_CHECK(units >= 0, "negative unit count");
+    Deployment d;
+    d.capex_dollars = units * dollars_per_unit;
+    d.power_watts = units * watts_per_unit;
+    d.duration_sec = cal::kDurationSec;
+    return d;
+}
+
+double
+costEfficiency(const Deployment& d, double throughput_batches_per_sec)
+{
+    const double work = throughput_batches_per_sec * d.duration_sec;
+    return work / d.totalCostDollars();
+}
+
+double
+energyEfficiency(const Deployment& d, double throughput_batches_per_sec)
+{
+    const double work = throughput_batches_per_sec * d.duration_sec;
+    return work / d.energyJoules();
+}
+
+}  // namespace presto

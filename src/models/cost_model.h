@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Power, energy, and TCO models (Section V-C):
+ *
+ *   cost-efficiency = Throughput x Duration / (CapEx + OpEx)
+ *   OpEx            = sum(Power x Duration x Electricity)
+ *
+ * Throughput x Duration is identical across systems that all sustain the
+ * GPU's training demand, so relative cost-efficiency reduces to the
+ * inverse ratio of (CapEx + OpEx).
+ */
+#ifndef PRESTO_MODELS_COST_MODEL_H_
+#define PRESTO_MODELS_COST_MODEL_H_
+
+namespace presto {
+
+/** A provisioned preprocessing deployment for one training job. */
+struct Deployment {
+    double capex_dollars = 0;
+    double power_watts = 0;
+    double duration_sec = 0;
+
+    /** Electricity cost over the deployment duration. */
+    double opexDollars(double dollars_per_kwh) const;
+
+    /** CapEx + OpEx at the calibrated electricity price. */
+    double totalCostDollars() const;
+
+    /** Energy consumed over the duration, in joules. */
+    double
+    energyJoules() const
+    {
+        return power_watts * duration_sec;
+    }
+};
+
+/** Disagg deployment: @p cores CPU cores (CapEx in whole nodes). */
+Deployment makeCpuDeployment(int cores);
+
+/** PreSto deployment: @p units accelerator devices. */
+Deployment makeIspDeployment(int units, double watts_per_unit,
+                             double dollars_per_unit);
+
+/**
+ * Cost-efficiency of @p d for a job of fixed throughput x duration work.
+ * Units: (batches over the deployment) per dollar.
+ */
+double costEfficiency(const Deployment& d, double throughput_batches_per_sec);
+
+/**
+ * Energy-efficiency: batches per joule for a job of fixed throughput.
+ */
+double energyEfficiency(const Deployment& d,
+                        double throughput_batches_per_sec);
+
+}  // namespace presto
+
+#endif  // PRESTO_MODELS_COST_MODEL_H_

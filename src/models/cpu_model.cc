@@ -1,0 +1,62 @@
+#include "models/cpu_model.h"
+
+#include "common/logging.h"
+#include "models/calibration.h"
+#include "models/data_size.h"
+
+namespace presto {
+
+CpuWorkerModel::CpuWorkerModel(const RmConfig& config)
+    : config_(config), work_(TransformWork::expected(config))
+{
+}
+
+LatencyBreakdown
+CpuWorkerModel::batchLatency() const
+{
+    LatencyBreakdown b = batchLatencyLocalRead();
+    // Remote Extract: encoded bytes over the 10 GbE link, chunked RPCs.
+    const double bytes = rawEncodedBytes(config_);
+    const double rpcs = bytes / cal::kRpcChunkBytes + 1.0;
+    b.extract_read =
+        bytes / cal::kNetworkBytesPerSec + rpcs * cal::kRpcFixedSec;
+    return b;
+}
+
+LatencyBreakdown
+CpuWorkerModel::batchLatencyLocalRead() const
+{
+    LatencyBreakdown b;
+    b.extract_read = rawEncodedBytes(config_) / cal::kSsdReadBytesPerSec;
+    b.extract_decode = work_.raw_values * cal::kCpuDecodeSecPerValue;
+    b.bucketize = work_.bucketize_values * work_.bucketize_levels *
+                  cal::kCpuBucketizeSecPerValueLevel;
+    b.sigrid_hash = work_.hash_values * cal::kCpuHashSecPerValue;
+    b.log = work_.dense_values * cal::kCpuLogSecPerValue;
+    b.other = work_.output_values * cal::kCpuConvertSecPerValue +
+              cal::kCpuFixedSecPerBatch +
+              static_cast<double>(work_.num_features) * cal::kCpuSecPerFeature;
+    return b;
+}
+
+double
+CpuWorkerModel::throughputPerCore() const
+{
+    return 1.0 / batchLatency().total();
+}
+
+double
+CpuWorkerModel::colocatedThroughputPerCore() const
+{
+    return cal::kColocatedInterference / batchLatencyLocalRead().total();
+}
+
+double
+CpuWorkerModel::throughput(int cores) const
+{
+    PRESTO_CHECK(cores >= 0, "negative core count");
+    // Embarrassingly parallel across workers (Section III): linear scaling.
+    return static_cast<double>(cores) * throughputPerCore();
+}
+
+}  // namespace presto

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Performance model of the baseline CPU-centric preprocessing worker
+ * (one core of a disaggregated Xeon node running the TorchArrow stack).
+ *
+ * Follows the paper's own scale-out methodology (Section V-B): a worker
+ * is a throughput unit whose single-batch latency is decomposed into the
+ * Figure 5 stages; aggregate throughput scales linearly with cores.
+ */
+#ifndef PRESTO_MODELS_CPU_MODEL_H_
+#define PRESTO_MODELS_CPU_MODEL_H_
+
+#include "datagen/rm_config.h"
+#include "models/breakdown.h"
+#include "ops/preprocessor.h"
+
+namespace presto {
+
+/** Baseline CPU preprocessing worker model. */
+class CpuWorkerModel
+{
+  public:
+    explicit CpuWorkerModel(const RmConfig& config);
+
+    /**
+     * Latency to preprocess one mini-batch on one dedicated core,
+     * including the remote Extract over the datacenter network
+     * (the Figure 5 / Figure 12 "Disagg" bars).
+     */
+    LatencyBreakdown batchLatency() const;
+
+    /** Same work with the Extract(Read) stage served from local storage
+     *  (used by the co-located configuration). */
+    LatencyBreakdown batchLatencyLocalRead() const;
+
+    /** Mini-batches per second of one dedicated disaggregated core. */
+    double throughputPerCore() const;
+
+    /** Effective per-core throughput when co-located with training
+     *  (Figure 3), reduced by host interference. */
+    double colocatedThroughputPerCore() const;
+
+    /** Aggregate throughput of @p cores disaggregated cores. */
+    double throughput(int cores) const;
+
+    const RmConfig& config() const { return config_; }
+    const TransformWork& work() const { return work_; }
+
+  private:
+    RmConfig config_;
+    TransformWork work_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_MODELS_CPU_MODEL_H_

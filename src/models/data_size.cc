@@ -1,0 +1,38 @@
+#include "models/data_size.h"
+
+#include "models/calibration.h"
+
+namespace presto {
+
+double
+rawEncodedBytes(const RmConfig& config)
+{
+    const auto batch = static_cast<double>(config.batch_size);
+    const double dense = static_cast<double>(config.num_dense) * batch *
+                         cal::kEncodedBytesPerDenseValue;
+    const double sparse = static_cast<double>(config.num_sparse) *
+                          config.avg_sparse_length * batch *
+                          cal::kEncodedBytesPerSparseValue;
+    const double bookkeeping =
+        batch * cal::kEncodedBytesPerRow *
+        (1.0 + static_cast<double>(config.num_sparse) * 0.25);
+    return dense + sparse + bookkeeping;
+}
+
+double
+miniBatchBytes(const RmConfig& config)
+{
+    const auto batch = static_cast<double>(config.batch_size);
+    const double dense = static_cast<double>(config.num_dense) * batch *
+                         cal::kTensorBytesPerDenseValue;
+    const double sparse_ids =
+        (static_cast<double>(config.num_sparse) * config.avg_sparse_length +
+         static_cast<double>(config.num_generated)) *
+        batch * cal::kTensorBytesPerSparseValue;
+    const double lengths = static_cast<double>(config.totalSparseFeatures()) *
+                           batch * cal::kTensorBytesPerLength;
+    const double labels = batch * 4.0;
+    return dense + sparse_ids + lengths + labels;
+}
+
+}  // namespace presto

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Analytic byte-size model of one mini-batch partition: encoded columnar
+ * bytes on storage (what Extract moves) and train-ready tensor bytes
+ * (what Load ships to the GPU).
+ */
+#ifndef PRESTO_MODELS_DATA_SIZE_H_
+#define PRESTO_MODELS_DATA_SIZE_H_
+
+#include "datagen/rm_config.h"
+
+namespace presto {
+
+/** Expected encoded PSF bytes of one raw partition of @p config. */
+double rawEncodedBytes(const RmConfig& config);
+
+/** Expected train-ready tensor bytes of one mini-batch of @p config. */
+double miniBatchBytes(const RmConfig& config);
+
+}  // namespace presto
+
+#endif  // PRESTO_MODELS_DATA_SIZE_H_

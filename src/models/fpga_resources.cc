@@ -1,0 +1,80 @@
+#include "models/fpga_resources.h"
+
+#include "models/calibration.h"
+
+namespace presto {
+
+FpgaResources
+FpgaResources::operator+(const FpgaResources& o) const
+{
+    return {lut + o.lut, reg + o.reg, bram + o.bram, uram + o.uram,
+            dsp + o.dsp};
+}
+
+FpgaResources
+FpgaResources::operator*(double k) const
+{
+    return {lut * k, reg * k, bram * k, uram * k, dsp * k};
+}
+
+FpgaResources
+FpgaResources::percentOf(const FpgaResources& capacity) const
+{
+    auto pct = [](double v, double cap) {
+        return cap > 0 ? v / cap * 100.0 : 0.0;
+    };
+    return {pct(lut, capacity.lut), pct(reg, capacity.reg),
+            pct(bram, capacity.bram), pct(uram, capacity.uram),
+            pct(dsp, capacity.dsp)};
+}
+
+FpgaResources
+smartSsdFabric()
+{
+    // Kintex UltraScale+ KU15P: 523k LUTs, 1045k registers, 984 BRAM36,
+    // 128 URAM, 1968 DSP slices.
+    return {523000, 1045000, 984, 128, 1968};
+}
+
+std::vector<UnitUtilization>
+prestoAcceleratorUtilization()
+{
+    const FpgaResources fabric = smartSsdFabric();
+
+    // Per-unit budgets reproducing Table II's utilization percentages:
+    //   Decode:     wide varint/dictionary parse datapath, page buffers.
+    //   Bucketize:  boundary arrays resident in URAM, search pipelines.
+    //   SigridHash: 64-bit multipliers (DSP heavy) + id buffers.
+    //   Log:        log1p CORDIC/poly pipelines (DSP) + small buffers.
+    const std::vector<std::pair<std::string, FpgaResources>> units = {
+        {"Decode",     {98533,  88721,  246.8, 0.0,   0.0}},
+        {"Bucketize",  {41212,  44726,  60.9,  35.3,  0.0}},
+        {"SigridHash", {120866, 130311, 117.0, 0.0,   377.7}},
+        {"Log",        {21861,  29156,  48.1,  0.0,   209.0}},
+    };
+
+    std::vector<UnitUtilization> out;
+    FpgaResources total;
+    for (const auto& [name, abs] : units) {
+        UnitUtilization u;
+        u.name = name;
+        u.absolute = abs;
+        u.percent = abs.percentOf(fabric);
+        total = total + abs;
+        out.push_back(std::move(u));
+    }
+    UnitUtilization total_row;
+    total_row.name = "Total";
+    total_row.absolute = total;
+    total_row.percent = total.percentOf(fabric);
+    out.push_back(std::move(total_row));
+    return out;
+}
+
+double
+prestoAcceleratorClockHz()
+{
+    return cal::kFpgaClockHz;
+}
+
+}  // namespace presto

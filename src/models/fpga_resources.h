@@ -1,0 +1,51 @@
+/**
+ * @file
+ * FPGA resource model reproducing Table II: per-unit LUT/REG/BRAM/URAM/DSP
+ * utilization of the PreSto accelerator synthesized at 223 MHz on the
+ * SmartSSD's KU15P-class fabric.
+ */
+#ifndef PRESTO_MODELS_FPGA_RESOURCES_H_
+#define PRESTO_MODELS_FPGA_RESOURCES_H_
+
+#include <string>
+#include <vector>
+
+namespace presto {
+
+/** Absolute resource counts of a unit instance or a device fabric. */
+struct FpgaResources {
+    double lut = 0;
+    double reg = 0;
+    double bram = 0;  ///< 36Kb block RAMs
+    double uram = 0;  ///< UltraRAM blocks
+    double dsp = 0;
+
+    FpgaResources operator+(const FpgaResources& o) const;
+    FpgaResources operator*(double k) const;
+
+    /** Element-wise percentage of @p capacity. */
+    FpgaResources percentOf(const FpgaResources& capacity) const;
+};
+
+/** One accelerator unit's name and resource budget. */
+struct UnitUtilization {
+    std::string name;
+    FpgaResources absolute;
+    FpgaResources percent;  ///< of the device fabric
+};
+
+/** SmartSSD (Kintex UltraScale+ KU15P-class) fabric capacity. */
+FpgaResources smartSsdFabric();
+
+/**
+ * Per-unit and total utilization of the PreSto accelerator build,
+ * matching Table II's rows (Decode, Bucketize, SigridHash, Log, Total).
+ */
+std::vector<UnitUtilization> prestoAcceleratorUtilization();
+
+/** Synthesized clock in Hz (223 MHz, Table II caption). */
+double prestoAcceleratorClockHz();
+
+}  // namespace presto
+
+#endif  // PRESTO_MODELS_FPGA_RESOURCES_H_

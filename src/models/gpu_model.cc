@@ -1,0 +1,143 @@
+#include "models/gpu_model.h"
+
+#include <algorithm>
+
+#include "models/calibration.h"
+#include "models/data_size.h"
+#include "ops/preprocessor.h"
+
+namespace presto {
+
+namespace {
+
+/** FLOPs of a dense MLP over one batch: 2 * B * sum(in_i * out_i). */
+double
+mlpFlops(size_t input_width, const std::vector<size_t>& layers, size_t batch)
+{
+    double flops = 0;
+    size_t in = input_width;
+    for (size_t out : layers) {
+        flops += 2.0 * static_cast<double>(batch) * static_cast<double>(in) *
+                 static_cast<double>(out);
+        in = out;
+    }
+    return flops;
+}
+
+}  // namespace
+
+GpuTrainModel::GpuTrainModel(const RmConfig& config) : config_(config) {}
+
+double
+GpuTrainModel::forwardFlops() const
+{
+    const size_t batch = config_.batch_size;
+    const double bottom =
+        mlpFlops(config_.num_dense, config_.bottom_mlp, batch);
+
+    // DLRM feature interaction: pairwise dots among (num_tables + 1)
+    // pooled embedding vectors of width kEmbeddingDim.
+    const double vectors = static_cast<double>(config_.num_tables) + 1.0;
+    const double pairs = vectors * (vectors - 1.0) / 2.0;
+    const double interaction = 2.0 * static_cast<double>(batch) * pairs *
+                               cal::kEmbeddingDim;
+
+    const auto top_input =
+        static_cast<size_t>(pairs) + static_cast<size_t>(cal::kEmbeddingDim);
+    const double top = mlpFlops(top_input, config_.top_mlp, batch);
+    return bottom + interaction + top;
+}
+
+double
+GpuTrainModel::embeddingGatherBytes() const
+{
+    // Every sparse id gathers one kEmbeddingDim fp32 vector.
+    const double ids =
+        (static_cast<double>(config_.num_sparse) *
+             config_.avg_sparse_length +
+         static_cast<double>(config_.num_generated)) *
+        static_cast<double>(config_.batch_size);
+    return ids * cal::kEmbeddingDim * 4.0;
+}
+
+TrainStepBreakdown
+GpuTrainModel::stepBreakdown() const
+{
+    TrainStepBreakdown b;
+    const double flop_rate = cal::kA100PeakFlops * cal::kA100GemmEfficiency;
+    const double gather_rate =
+        cal::kA100HbmBytesPerSec * cal::kA100GatherEfficiency;
+
+    const double fwd = forwardFlops() / flop_rate;
+    // Split the GEMM time between MLPs and interaction by FLOP share.
+    const double vectors = static_cast<double>(config_.num_tables) + 1.0;
+    const double pairs = vectors * (vectors - 1.0) / 2.0;
+    const double inter_flops = 2.0 * static_cast<double>(config_.batch_size) *
+                               pairs * cal::kEmbeddingDim;
+    const double inter_share = inter_flops / forwardFlops();
+
+    const double fwd_bwd = fwd * (1.0 + cal::kTrainBackwardFactor);
+    b.interaction_seconds = fwd_bwd * inter_share;
+    b.mlp_seconds = fwd_bwd - b.interaction_seconds;
+    b.embedding_seconds = embeddingGatherBytes() / gather_rate *
+                          (1.0 + cal::kEmbeddingUpdateFactor);
+    b.fixed_seconds = cal::kTrainFixedSecPerStep;
+    return b;
+}
+
+double
+GpuTrainModel::maxThroughput() const
+{
+    return 1.0 / stepBreakdown().total();
+}
+
+GpuPreprocModel::GpuPreprocModel(const RmConfig& config) : config_(config) {}
+
+double
+GpuPreprocModel::dispatchSeconds() const
+{
+    const double features =
+        static_cast<double>(config_.num_dense) +
+        static_cast<double>(config_.totalSparseFeatures());
+    return features * cal::kGpuOpsPerFeature * cal::kGpuPerFeatureOpSec;
+}
+
+LatencyBreakdown
+GpuPreprocModel::batchLatency() const
+{
+    const TransformWork work = TransformWork::expected(config_);
+    const double bytes = rawEncodedBytes(config_);
+    const double rpcs = bytes / cal::kRpcChunkBytes + 1.0;
+
+    LatencyBreakdown b;
+    b.extract_read =
+        bytes / cal::kNetworkBytesPerSec + rpcs * cal::kRpcFixedSec;
+    // Bulk element throughput is huge on the GPU; dispatch dominates.
+    const double dispatch = dispatchSeconds();
+    const double elements =
+        (work.raw_values + work.output_values) / cal::kGpuPreprocValuesPerSec;
+    b.extract_decode = work.raw_values / cal::kGpuPreprocValuesPerSec;
+    const double compute = dispatch + elements;
+    b.bucketize = compute * 0.15;
+    b.sigrid_hash = compute * 0.35;
+    b.log = compute * 0.30;
+    b.other = compute * 0.20 + cal::kGpuPreprocFixedSec;
+    return b;
+}
+
+double
+GpuPreprocModel::throughput() const
+{
+    const LatencyBreakdown b = batchLatency();
+    const double compute = b.total() - b.extract_read;
+    const double bottleneck = std::max(b.extract_read, compute);
+    return 1.0 / bottleneck;
+}
+
+double
+GpuPreprocModel::watts() const
+{
+    return cal::kA100PreprocWatts;
+}
+
+}  // namespace presto

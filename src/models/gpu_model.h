@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A100 GPU models:
+ *  - DLRM training-step model, giving the maximum training throughput T
+ *    that preprocessing must sustain (the dotted line in Figure 3 and the
+ *    numerator of the T/P provisioning rule);
+ *  - NVTabular-style GPU preprocessing model for the Figure 16 comparison
+ *    (per-feature-op dispatch dominated).
+ */
+#ifndef PRESTO_MODELS_GPU_MODEL_H_
+#define PRESTO_MODELS_GPU_MODEL_H_
+
+#include "datagen/rm_config.h"
+#include "models/breakdown.h"
+
+namespace presto {
+
+/** Components of one DLRM training step on a single A100. */
+struct TrainStepBreakdown {
+    double mlp_seconds = 0;        ///< bottom/top MLP GEMMs (fwd+bwd)
+    double interaction_seconds = 0;///< pairwise feature interaction
+    double embedding_seconds = 0;  ///< table gathers + gradient updates
+    double fixed_seconds = 0;      ///< launches, all-to-all, host logic
+
+    double
+    total() const
+    {
+        return mlp_seconds + interaction_seconds + embedding_seconds +
+               fixed_seconds;
+    }
+};
+
+/** Single-A100 DLRM training model. */
+class GpuTrainModel
+{
+  public:
+    explicit GpuTrainModel(const RmConfig& config);
+
+    /** Per-step cost breakdown for one mini-batch. */
+    TrainStepBreakdown stepBreakdown() const;
+
+    /** Maximum mini-batches per second one GPU can train. */
+    double maxThroughput() const;
+
+    /** Forward-pass FLOPs of one mini-batch (MLPs + interaction). */
+    double forwardFlops() const;
+
+    /** Bytes gathered from embedding tables per mini-batch (forward). */
+    double embeddingGatherBytes() const;
+
+  private:
+    RmConfig config_;
+};
+
+/**
+ * GPU-as-preprocessor model (NVTabular-style, Figure 16): a
+ * disaggregated A100 receiving raw data over the network and running
+ * many small per-feature kernels.
+ */
+class GpuPreprocModel
+{
+  public:
+    explicit GpuPreprocModel(const RmConfig& config);
+
+    /** Single mini-batch preprocessing latency breakdown. */
+    LatencyBreakdown batchLatency() const;
+
+    /** Sustained throughput (network-in pipelined with compute). */
+    double throughput() const;
+
+    /** Active power while preprocessing (underutilized A100). */
+    double watts() const;
+
+  private:
+    double dispatchSeconds() const;
+
+    RmConfig config_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_MODELS_GPU_MODEL_H_

@@ -1,0 +1,152 @@
+#include "models/isp_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "models/calibration.h"
+#include "models/data_size.h"
+
+namespace presto {
+
+IspParams
+IspParams::smartSsd()
+{
+    IspParams p;
+    p.name = "PreSto (SmartSSD)";
+    p.placement = AcceleratorPlacement::kInStorage;
+    p.clock_hz = cal::kFpgaClockHz;
+    p.decode_values_per_sec = cal::kIspDecodeValuesPerSec;
+    p.bucketize_pes = cal::kIspBucketizePes;
+    p.hash_pes = cal::kIspHashPes;
+    p.log_pes = cal::kIspLogPes;
+    p.convert_values_per_sec = cal::kIspConvertValuesPerSec;
+    p.deliver_bytes_per_sec = cal::kSmartSsdP2pBytesPerSec;
+    p.fixed_sec_per_batch = cal::kIspFixedSecPerBatch;
+    p.batch_concurrency = cal::kIspBatchConcurrency;
+    p.watts = cal::kSmartSsdWatts;
+    p.dollars = cal::kSmartSsdDollars;
+    return p;
+}
+
+IspParams
+IspParams::prestoU280()
+{
+    IspParams p = smartSsd();
+    p.name = "PreSto (U280)";
+    p.decode_values_per_sec *= cal::kU280DecodeScale;
+    p.bucketize_pes = static_cast<int>(p.bucketize_pes * cal::kU280UnitScale);
+    p.hash_pes = static_cast<int>(p.hash_pes * cal::kU280UnitScale);
+    p.log_pes = static_cast<int>(p.log_pes * cal::kU280UnitScale);
+    p.convert_values_per_sec *= cal::kU280UnitScale;
+    p.deliver_bytes_per_sec = cal::kU280DeliverBytesPerSec;
+    p.batch_concurrency = cal::kU280BatchConcurrency;
+    p.watts = cal::kU280Watts;
+    p.dollars = cal::kU280Dollars;
+    return p;
+}
+
+IspParams
+IspParams::disaggU280()
+{
+    IspParams p = prestoU280();
+    p.name = "U280 (disaggregated)";
+    p.placement = AcceleratorPlacement::kDisaggregated;
+    return p;
+}
+
+IspDeviceModel::IspDeviceModel(IspParams params, const RmConfig& config)
+    : params_(std::move(params)), config_(config),
+      work_(TransformWork::expected(config))
+{
+    PRESTO_CHECK(params_.batch_concurrency >= 1, "need >= 1 batch stream");
+}
+
+double
+IspDeviceModel::deliverSeconds() const
+{
+    const double bytes = rawEncodedBytes(config_);
+    if (params_.placement == AcceleratorPlacement::kDisaggregated) {
+        const double rpcs = bytes / cal::kRpcChunkBytes + 1.0;
+        return bytes / cal::kNetworkBytesPerSec + rpcs * cal::kRpcFixedSec;
+    }
+    return bytes / params_.deliver_bytes_per_sec;
+}
+
+double
+IspDeviceModel::decodeSeconds() const
+{
+    return work_.raw_values / params_.decode_values_per_sec;
+}
+
+double
+IspDeviceModel::bucketizeSeconds() const
+{
+    // A PE retires one search level per cycle; a value needs
+    // bucketize_levels sequential levels.
+    const double values_per_sec = params_.clock_hz /
+                                  work_.bucketize_levels *
+                                  params_.bucketize_pes;
+    return work_.bucketize_values / values_per_sec;
+}
+
+double
+IspDeviceModel::hashSeconds() const
+{
+    return work_.hash_values / (params_.clock_hz * params_.hash_pes);
+}
+
+double
+IspDeviceModel::logSeconds() const
+{
+    return work_.dense_values / (params_.clock_hz * params_.log_pes);
+}
+
+double
+IspDeviceModel::convertSeconds() const
+{
+    return work_.output_values / params_.convert_values_per_sec;
+}
+
+LatencyBreakdown
+IspDeviceModel::batchLatency() const
+{
+    LatencyBreakdown b;
+    // Double buffering overlaps the data delivery with decode; the
+    // visible Extract latency is the max of the two plus a pipeline
+    // fill term for the first buffer.
+    const double deliver = deliverSeconds();
+    const double decode = decodeSeconds();
+    b.extract_read = std::max(0.0, deliver - decode) + 0.05 * deliver;
+    b.extract_decode = decode;
+    b.bucketize = bucketizeSeconds();
+    b.sigrid_hash = hashSeconds();
+    b.log = logSeconds();
+    b.other = convertSeconds() + params_.fixed_sec_per_batch;
+    return b;
+}
+
+double
+IspDeviceModel::bottleneckStageSeconds() const
+{
+    const double stages[] = {
+        deliverSeconds(),
+        decodeSeconds(),
+        bucketizeSeconds() + hashSeconds() + logSeconds(),
+        convertSeconds(),
+        params_.fixed_sec_per_batch,
+    };
+    return *std::max_element(std::begin(stages), std::end(stages));
+}
+
+double
+IspDeviceModel::throughput() const
+{
+    const double per_stream = 1.0 / bottleneckStageSeconds();
+    double device = per_stream * params_.batch_concurrency;
+    // Concurrent streams still share the single delivery path.
+    const double delivery_cap = 1.0 / deliverSeconds();
+    device = std::min(device, delivery_cap);
+    return device;
+}
+
+}  // namespace presto

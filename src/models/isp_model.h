@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Performance model of the FPGA preprocessing accelerator (Figure 10
+ * microarchitecture): Decoder, Bucketize, SigridHash, and Log units fed
+ * by P2P transfers from the local SSD (SmartSSD) or by PCIe/network
+ * delivery (U280 variants).
+ */
+#ifndef PRESTO_MODELS_ISP_MODEL_H_
+#define PRESTO_MODELS_ISP_MODEL_H_
+
+#include <string>
+
+#include "datagen/rm_config.h"
+#include "models/breakdown.h"
+#include "ops/preprocessor.h"
+
+namespace presto {
+
+/** Where the accelerator sits relative to the raw data. */
+enum class AcceleratorPlacement {
+    kInStorage,       ///< local SSD -> FPGA P2P (PreSto)
+    kDisaggregated,   ///< storage node -> remote accelerator over 10 GbE
+};
+
+/** Hardware parameters of one FPGA accelerator build. */
+struct IspParams {
+    std::string name;
+    AcceleratorPlacement placement = AcceleratorPlacement::kInStorage;
+    double clock_hz = 0;
+    double decode_values_per_sec = 0;
+    int bucketize_pes = 0;         ///< each finishes one search level/cycle
+    int hash_pes = 0;              ///< 1 id/cycle/PE
+    int log_pes = 0;               ///< 1 value/cycle/PE
+    double convert_values_per_sec = 0;
+    double deliver_bytes_per_sec = 0;  ///< SSD P2P or PCIe staging path
+    double fixed_sec_per_batch = 0;    ///< kernel invocation + RPC
+    int batch_concurrency = 1;         ///< independent mini-batch streams
+    double watts = 0;                  ///< measured active power
+    double dollars = 0;                ///< CapEx per device
+
+    /** The SmartSSD build (Table II, 223 MHz, 25 W envelope). */
+    static IspParams smartSsd();
+
+    /** PreSto on a discrete U280 in the storage node (Fig 16). */
+    static IspParams prestoU280();
+
+    /** U280 in a disaggregated accelerator pool (Fig 16). */
+    static IspParams disaggU280();
+};
+
+/**
+ * Latency/throughput model of one accelerator device preprocessing one
+ * workload.
+ */
+class IspDeviceModel
+{
+  public:
+    IspDeviceModel(IspParams params, const RmConfig& config);
+
+    /** Single mini-batch latency, Figure 12 stages. */
+    LatencyBreakdown batchLatency() const;
+
+    /**
+     * Sustained mini-batches per second of one device. Stages pipeline
+     * across consecutive mini-batches and `batch_concurrency` streams run
+     * independently, so throughput = concurrency / bottleneck-stage time
+     * (bounded by the data-delivery path).
+     */
+    double throughput() const;
+
+    /** Slowest pipeline stage in seconds (the throughput bottleneck). */
+    double bottleneckStageSeconds() const;
+
+    /** Raw-data delivery time per batch (P2P or network, pre-overlap). */
+    double deliverSeconds() const;
+
+    const IspParams& params() const { return params_; }
+    const RmConfig& config() const { return config_; }
+
+  private:
+    double decodeSeconds() const;
+    double bucketizeSeconds() const;
+    double hashSeconds() const;
+    double logSeconds() const;
+    double convertSeconds() const;
+
+    IspParams params_;
+    RmConfig config_;
+    TransformWork work_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_MODELS_ISP_MODEL_H_

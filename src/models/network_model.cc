@@ -1,0 +1,55 @@
+#include "models/network_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "models/calibration.h"
+#include "models/data_size.h"
+
+namespace presto {
+
+NetworkModel::NetworkModel(double bytes_per_sec, double rpc_fixed_sec,
+                           double chunk_bytes)
+    : bytes_per_sec_(bytes_per_sec), rpc_fixed_sec_(rpc_fixed_sec),
+      chunk_bytes_(chunk_bytes)
+{
+    PRESTO_CHECK(bytes_per_sec_ > 0 && chunk_bytes_ > 0,
+                 "network parameters must be positive");
+}
+
+NetworkModel
+NetworkModel::datacenter()
+{
+    return NetworkModel(cal::kNetworkBytesPerSec, cal::kRpcFixedSec,
+                        cal::kRpcChunkBytes);
+}
+
+double
+NetworkModel::transferSeconds(double bytes) const
+{
+    const double rpcs = std::ceil(bytes / chunk_bytes_);
+    return bytes / bytes_per_sec_ + rpcs * rpc_fixed_sec_;
+}
+
+RpcBreakdown
+NetworkModel::disaggRpc(const RmConfig& config) const
+{
+    RpcBreakdown b;
+    b.raw_in_seconds = transferSeconds(rawEncodedBytes(config));
+    b.tensors_out_seconds = transferSeconds(miniBatchBytes(config));
+    // Batch request to storage + batch handoff ack to the trainer.
+    b.control_seconds = 2.0 * rpc_fixed_sec_;
+    return b;
+}
+
+RpcBreakdown
+NetworkModel::prestoRpc(const RmConfig& config) const
+{
+    RpcBreakdown b;
+    b.raw_in_seconds = 0.0;  // raw data never leaves the storage node
+    b.tensors_out_seconds = transferSeconds(miniBatchBytes(config));
+    b.control_seconds = rpc_fixed_sec_;
+    return b;
+}
+
+}  // namespace presto

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Datacenter network / RPC accounting (Figure 13).
+ *
+ * Disagg moves raw feature data storage->preprocessing-pool and
+ * train-ready tensors pool->trainer; PreSto eliminates the first hop
+ * entirely because preprocessing happens inside the storage node.
+ */
+#ifndef PRESTO_MODELS_NETWORK_MODEL_H_
+#define PRESTO_MODELS_NETWORK_MODEL_H_
+
+#include "datagen/rm_config.h"
+
+namespace presto {
+
+/** Aggregate RPC time per mini-batch, split by hop. */
+struct RpcBreakdown {
+    double raw_in_seconds = 0;    ///< storage -> preprocessing workers
+    double tensors_out_seconds = 0;  ///< preprocessing -> train manager
+    double control_seconds = 0;   ///< request/ack control RPCs
+
+    double
+    total() const
+    {
+        return raw_in_seconds + tensors_out_seconds + control_seconds;
+    }
+};
+
+/** Point-to-point link with per-RPC overhead. */
+class NetworkModel
+{
+  public:
+    NetworkModel(double bytes_per_sec, double rpc_fixed_sec,
+                 double chunk_bytes);
+
+    /** Default 10 GbE datacenter link from the calibration constants. */
+    static NetworkModel datacenter();
+
+    /** Seconds to move @p bytes as chunked RPCs. */
+    double transferSeconds(double bytes) const;
+
+    /** Per-batch RPC time of the Disagg preprocessing path. */
+    RpcBreakdown disaggRpc(const RmConfig& config) const;
+
+    /** Per-batch RPC time of the PreSto path (no raw-in hop). */
+    RpcBreakdown prestoRpc(const RmConfig& config) const;
+
+    double bytesPerSec() const { return bytes_per_sec_; }
+
+  private:
+    double bytes_per_sec_;
+    double rpc_fixed_sec_;
+    double chunk_bytes_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_MODELS_NETWORK_MODEL_H_

@@ -1,0 +1,72 @@
+#include "models/ssd_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace presto {
+
+SsdParams
+SsdParams::smartSsdClass()
+{
+    return SsdParams{};
+}
+
+SsdModel::SsdModel(SsdParams params) : params_(params)
+{
+    PRESTO_CHECK(params_.channels > 0 && params_.dies_per_channel > 0,
+                 "SSD geometry must be positive");
+    PRESTO_CHECK(params_.page_bytes > 0 && params_.page_read_sec > 0,
+                 "SSD timings must be positive");
+}
+
+double
+SsdModel::sequentialBandwidth() const
+{
+    // Each channel streams at its transfer rate as long as enough dies
+    // per channel can hide tR: dies_needed = tR / tTransfer(page).
+    const double t_transfer =
+        params_.page_bytes / params_.channel_bytes_per_sec;
+    const double dies_to_hide = params_.page_read_sec / t_transfer;
+    const double utilization =
+        std::min(1.0, params_.dies_per_channel / dies_to_hide);
+    return params_.channels * params_.channel_bytes_per_sec * utilization;
+}
+
+double
+SsdModel::sequentialReadSeconds(double bytes) const
+{
+    PRESTO_CHECK(bytes >= 0, "negative byte count");
+    if (bytes == 0)
+        return 0;
+    // Pipeline fill (first page) + streaming at the array bandwidth.
+    return params_.page_read_sec + bytes / sequentialBandwidth();
+}
+
+double
+SsdModel::randomReadSeconds(double bytes, double request_bytes,
+                            int queue_depth) const
+{
+    PRESTO_CHECK(bytes >= 0 && request_bytes > 0, "bad request sizing");
+    PRESTO_CHECK(queue_depth >= 1, "queue depth must be positive");
+    if (bytes == 0)
+        return 0;
+    const double requests = std::ceil(bytes / request_bytes);
+    const double pages_per_request =
+        std::ceil(request_bytes / params_.page_bytes);
+    // Service time of one request on one die.
+    const double service = pages_per_request * params_.page_read_sec +
+                           params_.controller_overhead_sec +
+                           request_bytes / params_.channel_bytes_per_sec;
+    // Effective parallel servers: limited by dies and by queue depth.
+    const double servers = std::min<double>(
+        queue_depth,
+        static_cast<double>(params_.channels) * params_.dies_per_channel);
+    const double parallel_time = requests * service / servers;
+    // Cannot beat the array's aggregate bandwidth.
+    const double bandwidth_floor = bytes / sequentialBandwidth();
+    return std::max(parallel_time, bandwidth_floor);
+}
+
+}  // namespace presto

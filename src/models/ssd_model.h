@@ -1,0 +1,60 @@
+/**
+ * @file
+ * NVMe SSD device model: channel-level parallelism and flash page
+ * latencies behind the sequential-read bandwidth the rest of the stack
+ * consumes (the SmartSSD's P2P path reads the same flash array).
+ */
+#ifndef PRESTO_MODELS_SSD_MODEL_H_
+#define PRESTO_MODELS_SSD_MODEL_H_
+
+#include <cstdint>
+
+namespace presto {
+
+/** Flash-array geometry and timings of one SSD. */
+struct SsdParams {
+    int channels = 8;
+    int dies_per_channel = 4;
+    double channel_bytes_per_sec = 500e6;  ///< ONFI-class channel rate
+    double page_bytes = 16384;
+    double page_read_sec = 60e-6;   ///< tR of a TLC read
+    double controller_overhead_sec = 8e-6;  ///< per request (FTL, ECC)
+
+    /** Samsung SmartSSD-class drive. */
+    static SsdParams smartSsdClass();
+};
+
+/** Analytic SSD read-performance model. */
+class SsdModel
+{
+  public:
+    explicit SsdModel(SsdParams params = SsdParams::smartSsdClass());
+
+    /** Peak sequential-read bandwidth (all channels streaming). */
+    double sequentialBandwidth() const;
+
+    /**
+     * Time to read @p bytes laid out contiguously (partition files are
+     * stored contiguously on one device — Section IV-B): page reads
+     * pipeline across dies, transfer saturates the channels.
+     */
+    double sequentialReadSeconds(double bytes) const;
+
+    /**
+     * Time to read @p bytes as random @p request_bytes chunks: each
+     * request pays a page read + controller overhead, with die-level
+     * parallelism across outstanding requests.
+     * @param queue_depth Outstanding NVMe commands.
+     */
+    double randomReadSeconds(double bytes, double request_bytes,
+                             int queue_depth = 32) const;
+
+    const SsdParams& params() const { return params_; }
+
+  private:
+    SsdParams params_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_MODELS_SSD_MODEL_H_

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Optimized CPU kernels for the bottleneck operators.
+ *
+ * The paper's diagnosis is that latency-optimized CPUs fail to exploit
+ * the inter-/intra-feature parallelism of feature generation and
+ * normalization. These kernels squeeze what a CPU *can* do —
+ * cache-friendly Eytzinger search layout and instruction-level
+ * parallelism — and are differentially tested against the reference
+ * implementations in ops.h. The `bench_ops_kernels` binary quantifies
+ * the (bounded) gains, motivating the move to domain-specific hardware.
+ */
+#ifndef PRESTO_OPS_FAST_OPS_H_
+#define PRESTO_OPS_FAST_OPS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ops/ops.h"
+
+namespace presto {
+
+/**
+ * Bucketize with an Eytzinger (BFS) boundary layout: the binary search
+ * walks k -> 2k+{1,2}, so the hot top levels share a few cache lines and
+ * the access pattern is prefetch-friendly.
+ *
+ * Produces bucket ids identical to BucketBoundaries::searchBucketId.
+ */
+class EytzingerBucketizer
+{
+  public:
+    explicit EytzingerBucketizer(const BucketBoundaries& boundaries);
+
+    /** Bucket id of one value (== upper_bound index; NaN -> 0). */
+    int64_t searchBucketId(float value) const;
+
+    /** Vector form over a batch. */
+    void bucketizeInto(std::span<const float> values,
+                       std::span<int64_t> out) const;
+
+    size_t size() const { return num_boundaries_; }
+
+  private:
+    void build(std::span<const float> sorted, size_t& src, size_t node);
+
+    size_t num_boundaries_;
+    std::vector<float> tree_;   ///< 1-based Eytzinger order
+    std::vector<size_t> rank_;  ///< node -> index in the sorted array
+};
+
+/**
+ * SigridHash over a buffer with 4-way unrolling; results identical to
+ * sigridHashInPlace.
+ */
+void sigridHashInPlaceUnrolled(std::span<int64_t> values, uint64_t seed,
+                               int64_t max_value);
+
+/**
+ * Log normalization with a fast-path polynomial avoided: still log1p,
+ * but processed in strides to expose ILP; identical results (same libm
+ * call per element, reordered only).
+ */
+void logTransformInPlaceStrided(std::span<float> values);
+
+}  // namespace presto
+
+#endif  // PRESTO_OPS_FAST_OPS_H_

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Seeded 64-bit hash used by the SigridHash normalization operator
+ * (Algorithm 2 of the paper; modeled after TorchArrow's sigrid hash).
+ *
+ * The exact hash family is an implementation detail of the preprocessing
+ * stack; what matters for training is that it is deterministic, seeded,
+ * and maps ids uniformly into embedding-table range. We use a
+ * Murmur3-style double-mix with seed folding at both ends.
+ */
+#ifndef PRESTO_OPS_HASH_H_
+#define PRESTO_OPS_HASH_H_
+
+#include <cstdint>
+
+namespace presto {
+
+/** Compute the seeded 64-bit hash of one categorical id. */
+constexpr uint64_t
+sigridHash64(uint64_t value, uint64_t seed)
+{
+    uint64_t h = value ^ (seed * 0xff51afd7ed558ccdULL);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    h ^= seed;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    return h;
+}
+
+/**
+ * SigridHash normalization of one id: hash then reduce modulo the
+ * embedding-table size @p max_value (d in Algorithm 2).
+ */
+constexpr int64_t
+sigridHashMod(int64_t value, uint64_t seed, int64_t max_value)
+{
+    const uint64_t h = sigridHash64(static_cast<uint64_t>(value), seed);
+    return static_cast<int64_t>(h % static_cast<uint64_t>(max_value));
+}
+
+}  // namespace presto
+
+#endif  // PRESTO_OPS_HASH_H_

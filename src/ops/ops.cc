@@ -1,0 +1,196 @@
+#include "ops/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "ops/hash.h"
+
+namespace presto {
+
+// --- BucketBoundaries ------------------------------------------------------
+
+BucketBoundaries::BucketBoundaries(std::vector<float> boundaries)
+    : boundaries_(std::move(boundaries))
+{
+    PRESTO_CHECK(!boundaries_.empty(), "need at least one boundary");
+    PRESTO_CHECK(std::is_sorted(boundaries_.begin(), boundaries_.end()),
+                 "bucket boundaries must be sorted ascending");
+}
+
+BucketBoundaries
+BucketBoundaries::makeLogSpaced(size_t num_boundaries, float lo, float hi)
+{
+    PRESTO_CHECK(num_boundaries > 0, "need at least one boundary");
+    PRESTO_CHECK(lo > 0.0f && hi > lo, "log-spaced range must be 0 < lo < hi");
+    std::vector<float> b(num_boundaries);
+    const double log_lo = std::log(static_cast<double>(lo));
+    const double log_hi = std::log(static_cast<double>(hi));
+    const double denom =
+        num_boundaries > 1 ? static_cast<double>(num_boundaries - 1) : 1.0;
+    for (size_t i = 0; i < num_boundaries; ++i) {
+        const double t = static_cast<double>(i) / denom;
+        b[i] = static_cast<float>(std::exp(log_lo + t * (log_hi - log_lo)));
+    }
+    // Guard against FP rounding breaking strict ordering for huge m.
+    for (size_t i = 1; i < b.size(); ++i)
+        b[i] = std::max(b[i], std::nextafter(b[i - 1], hi * 2.0f));
+    return BucketBoundaries(std::move(b));
+}
+
+int64_t
+BucketBoundaries::searchBucketId(float value) const
+{
+    // Missing values (NaN) map to the first bucket deterministically
+    // (FillMissing normally runs first; this is a safety net).
+    if (std::isnan(value))
+        return 0;
+    const auto it =
+        std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+    return static_cast<int64_t>(it - boundaries_.begin());
+}
+
+// --- Bucketize --------------------------------------------------------------
+
+void
+bucketizeInto(std::span<const float> values,
+              const BucketBoundaries& boundaries, std::span<int64_t> out)
+{
+    PRESTO_CHECK(out.size() == values.size(), "output size mismatch");
+    for (size_t i = 0; i < values.size(); ++i)
+        out[i] = boundaries.searchBucketId(values[i]);
+}
+
+SparseColumn
+bucketize(const DenseColumn& input, const BucketBoundaries& boundaries)
+{
+    const size_t n = input.numRows();
+    std::vector<int64_t> ids(n);
+    bucketizeInto(input.values(), boundaries, ids);
+    std::vector<uint32_t> offsets(n + 1);
+    for (size_t i = 0; i <= n; ++i)
+        offsets[i] = static_cast<uint32_t>(i);
+    return SparseColumn(std::move(ids), std::move(offsets));
+}
+
+// --- SigridHash --------------------------------------------------------------
+
+void
+sigridHashInPlace(std::span<int64_t> values, uint64_t seed, int64_t max_value)
+{
+    PRESTO_CHECK(max_value > 0, "SigridHash max_value must be positive");
+    for (auto& v : values)
+        v = sigridHashMod(v, seed, max_value);
+}
+
+SparseColumn
+sigridHash(const SparseColumn& input, uint64_t seed, int64_t max_value)
+{
+    std::vector<int64_t> values(input.values().begin(),
+                                input.values().end());
+    sigridHashInPlace(values, seed, max_value);
+    std::vector<uint32_t> offsets(input.offsets().begin(),
+                                  input.offsets().end());
+    return SparseColumn(std::move(values), std::move(offsets));
+}
+
+// --- Log ----------------------------------------------------------------------
+
+void
+logTransformInPlace(std::span<float> values)
+{
+    for (auto& v : values)
+        v = std::log1p(std::max(v, 0.0f));
+}
+
+DenseColumn
+logTransform(const DenseColumn& input)
+{
+    std::vector<float> values(input.values().begin(), input.values().end());
+    logTransformInPlace(values);
+    return DenseColumn(std::move(values));
+}
+
+// --- FillMissing ----------------------------------------------------------------
+
+void
+fillMissingInPlace(std::span<float> values, float fill_value)
+{
+    for (auto& v : values) {
+        if (std::isnan(v))
+            v = fill_value;
+    }
+}
+
+DenseColumn
+fillMissing(const DenseColumn& input, float fill_value)
+{
+    std::vector<float> values(input.values().begin(), input.values().end());
+    fillMissingInPlace(values, fill_value);
+    return DenseColumn(std::move(values));
+}
+
+// --- Clamp -----------------------------------------------------------------------
+
+DenseColumn
+clamp(const DenseColumn& input, float lo, float hi)
+{
+    PRESTO_CHECK(lo <= hi, "clamp range inverted");
+    std::vector<float> values(input.values().begin(), input.values().end());
+    for (auto& v : values) {
+        if (v < lo)
+            v = lo;
+        else if (v > hi)
+            v = hi;
+    }
+    return DenseColumn(std::move(values));
+}
+
+// --- MapIdList -------------------------------------------------------------------
+
+IdVocabulary::IdVocabulary(std::vector<int64_t> ids) : ids_(std::move(ids))
+{
+    std::sort(ids_.begin(), ids_.end());
+    const auto last = std::unique(ids_.begin(), ids_.end());
+    PRESTO_CHECK(last == ids_.end(), "vocabulary ids must be distinct");
+}
+
+int64_t
+IdVocabulary::lookup(int64_t id) const
+{
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end() || *it != id)
+        return -1;
+    return it - ids_.begin();
+}
+
+SparseColumn
+mapIdList(const SparseColumn& input, const IdVocabulary& vocab,
+          int64_t miss_value)
+{
+    std::vector<int64_t> values(input.values().begin(),
+                                input.values().end());
+    for (auto& v : values) {
+        const int64_t idx = vocab.lookup(v);
+        v = idx >= 0 ? idx : miss_value;
+    }
+    std::vector<uint32_t> offsets(input.offsets().begin(),
+                                  input.offsets().end());
+    return SparseColumn(std::move(values), std::move(offsets));
+}
+
+// --- FirstX ----------------------------------------------------------------------
+
+SparseColumn
+firstX(const SparseColumn& input, size_t max_ids)
+{
+    SparseColumn out;
+    for (size_t r = 0; r < input.numRows(); ++r) {
+        auto row = input.row(r);
+        const size_t keep = std::min(row.size(), max_ids);
+        out.appendRow(row.subspan(0, keep));
+    }
+    return out;
+}
+
+}  // namespace presto

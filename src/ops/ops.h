@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Element-wise preprocessing operators (the Transform phase).
+ *
+ * These are the TorchArrow operations the paper identifies as the
+ * preprocessing bottleneck:
+ *  - Bucketize (Algorithm 1): feature generation; digitizes a dense
+ *    feature into bucket ids via binary search over boundaries.
+ *  - SigridHash (Algorithm 2): sparse feature normalization; seeded hash
+ *    reduced into embedding-table range.
+ *  - Log: dense feature normalization, log1p of the non-negative part.
+ * Plus supporting ops: FillMissing, Clamp, FirstX.
+ *
+ * Every operator works element-wise with no cross-row dependencies
+ * (intra-feature parallelism) and independently per feature
+ * (inter-feature parallelism).
+ */
+#ifndef PRESTO_OPS_OPS_H_
+#define PRESTO_OPS_OPS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tabular/column.h"
+
+namespace presto {
+
+// --- Bucketize (feature generation) --------------------------------------
+
+/**
+ * Sorted bucket boundaries for Bucketize.
+ *
+ * With m boundaries b[0..m-1], a value v maps to the number of boundaries
+ * strictly below-or-equal v, i.e. bucket id in [0, m] such that
+ * b[id-1] <= v < b[id] (matching std::upper_bound semantics and
+ * torch.bucketize right=false behaviour on sorted boundaries).
+ */
+class BucketBoundaries
+{
+  public:
+    /** @param boundaries Must be sorted ascending (checked). */
+    explicit BucketBoundaries(std::vector<float> boundaries);
+
+    /** Deterministic log-spaced boundaries for synthetic dense data. */
+    static BucketBoundaries makeLogSpaced(size_t num_boundaries, float lo,
+                                          float hi);
+
+    size_t size() const { return boundaries_.size(); }
+    std::span<const float> values() const { return boundaries_; }
+
+    /** Binary-search the bucket id of one value (Algorithm 1 line 5). */
+    int64_t searchBucketId(float value) const;
+
+  private:
+    std::vector<float> boundaries_;
+};
+
+/**
+ * Digitize a dense column into a one-id-per-row sparse column of bucket
+ * ids (the generated sparse feature).
+ */
+SparseColumn bucketize(const DenseColumn& input,
+                       const BucketBoundaries& boundaries);
+
+/** Bucketize into a caller-provided id buffer (one id per value). */
+void bucketizeInto(std::span<const float> values,
+                   const BucketBoundaries& boundaries,
+                   std::span<int64_t> out);
+
+// --- SigridHash (sparse feature normalization) ----------------------------
+
+/**
+ * Normalize every id of a sparse column into [0, max_value) with the
+ * seeded hash (Algorithm 2). Offsets are preserved.
+ */
+SparseColumn sigridHash(const SparseColumn& input, uint64_t seed,
+                        int64_t max_value);
+
+/** In-place variant over a raw id buffer. */
+void sigridHashInPlace(std::span<int64_t> values, uint64_t seed,
+                       int64_t max_value);
+
+// --- Log (dense feature normalization) ------------------------------------
+
+/**
+ * Dense normalization: x -> log1p(max(x, 0)). NaNs propagate (FillMissing
+ * runs first in the standard plan).
+ */
+DenseColumn logTransform(const DenseColumn& input);
+
+/** In-place variant over a raw value buffer. */
+void logTransformInPlace(std::span<float> values);
+
+// --- Supporting ops --------------------------------------------------------
+
+/** Replace NaN entries with @p fill_value. */
+DenseColumn fillMissing(const DenseColumn& input, float fill_value);
+
+/** In-place variant. */
+void fillMissingInPlace(std::span<float> values, float fill_value);
+
+/** Clamp dense values into [lo, hi]. */
+DenseColumn clamp(const DenseColumn& input, float lo, float hi);
+
+/** Truncate each sparse row to at most its first @p max_ids ids. */
+SparseColumn firstX(const SparseColumn& input, size_t max_ids);
+
+/**
+ * Sorted id vocabulary for MapIdList: maps known raw ids to their dense
+ * vocabulary index (an alternative to SigridHash when the id set is
+ * closed and collision-free indices are required).
+ */
+class IdVocabulary
+{
+  public:
+    /** @param ids Distinct ids; sorted internally. */
+    explicit IdVocabulary(std::vector<int64_t> ids);
+
+    size_t size() const { return ids_.size(); }
+
+    /** Vocabulary index of @p id, or -1 when unknown. */
+    int64_t lookup(int64_t id) const;
+
+  private:
+    std::vector<int64_t> ids_;  ///< sorted ascending
+};
+
+/**
+ * Map every id of a sparse column through @p vocab; unknown ids become
+ * @p miss_value (commonly 0 or a dedicated OOV index).
+ */
+SparseColumn mapIdList(const SparseColumn& input, const IdVocabulary& vocab,
+                       int64_t miss_value);
+
+}  // namespace presto
+
+#endif  // PRESTO_OPS_OPS_H_

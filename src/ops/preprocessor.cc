@@ -1,0 +1,147 @@
+#include "ops/preprocessor.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "ops/hash.h"
+
+namespace presto {
+
+TransformWork
+TransformWork::expected(const RmConfig& config)
+{
+    TransformWork w;
+    const auto batch = static_cast<double>(config.batch_size);
+    w.batch_size = config.batch_size;
+    w.dense_values = static_cast<double>(config.num_dense) * batch;
+    w.bucketize_values = static_cast<double>(config.num_generated) * batch;
+    w.bucketize_levels =
+        std::log2(static_cast<double>(config.bucket_size)) + 1.0;
+    const double raw_sparse = static_cast<double>(config.num_sparse) *
+                              config.avg_sparse_length * batch;
+    w.hash_values = raw_sparse + w.bucketize_values;
+    w.raw_values = w.dense_values + raw_sparse + batch;  // + labels
+    w.output_values = w.dense_values + w.hash_values + batch;
+    w.num_features = 1 + config.num_dense + config.totalSparseFeatures();
+    return w;
+}
+
+TransformWork
+TransformWork::measure(const RmConfig& config, const RowBatch& raw)
+{
+    TransformWork w;
+    w.batch_size = raw.numRows();
+    const auto batch = static_cast<double>(raw.numRows());
+    w.dense_values = static_cast<double>(config.num_dense) * batch;
+    w.bucketize_values = static_cast<double>(config.num_generated) * batch;
+    w.bucketize_levels =
+        std::log2(static_cast<double>(config.bucket_size)) + 1.0;
+    double raw_sparse = 0;
+    for (size_t c = 0; c < raw.numColumns(); ++c) {
+        if (raw.schema().feature(c).kind == FeatureKind::kSparse)
+            raw_sparse += static_cast<double>(raw.sparse(c).numValues());
+    }
+    w.hash_values = raw_sparse + w.bucketize_values;
+    w.raw_values = w.dense_values + raw_sparse + batch;
+    w.output_values = w.dense_values + w.hash_values + batch;
+    w.num_features = 1 + config.num_dense + config.totalSparseFeatures();
+    return w;
+}
+
+Preprocessor::Preprocessor(const RmConfig& config)
+    : config_(config),
+      boundaries_(BucketBoundaries::makeLogSpaced(config.bucket_size,
+                                                  kStandardBucketLo,
+                                                  kStandardBucketHi)),
+      table_size_(static_cast<int64_t>(config.avg_embeddings))
+{
+    PRESTO_CHECK(config_.num_generated <= config_.num_dense,
+                 "cannot generate more sparse features than dense inputs");
+}
+
+uint64_t
+Preprocessor::hashSeed(size_t table_index) const
+{
+    return mix64(0x516ffd4005ULL ^ table_index);
+}
+
+MiniBatch
+Preprocessor::preprocess(const RowBatch& raw, ThreadPool* pool) const
+{
+    PRESTO_CHECK(raw.complete(), "raw batch is incomplete");
+    const auto& schema = raw.schema();
+    const size_t batch = raw.numRows();
+
+    const auto label_idx = schema.indexOf("label");
+    PRESTO_CHECK(label_idx.has_value(), "raw batch lacks a label column");
+    const auto dense_idx = schema.indicesOfKind(FeatureKind::kDense);
+    const auto sparse_idx = schema.indicesOfKind(FeatureKind::kSparse);
+    PRESTO_CHECK(dense_idx.size() == config_.num_dense,
+                 "dense feature count mismatch");
+    PRESTO_CHECK(sparse_idx.size() == config_.num_sparse,
+                 "sparse feature count mismatch");
+
+    MiniBatch mb;
+    mb.batch_size = batch;
+    mb.num_dense = config_.num_dense;
+    mb.dense.resize(batch * config_.num_dense);
+    mb.labels.assign(raw.dense(*label_idx).values().begin(),
+                     raw.dense(*label_idx).values().end());
+    mb.sparse.resize(config_.totalSparseFeatures());
+
+    // Dense path: FillMissing -> (maybe Bucketize into a generated table)
+    // -> Log, one task per feature (inter-feature parallelism).
+    auto denseTask = [&](size_t f) {
+        const auto& col = raw.dense(dense_idx[f]);
+        std::vector<float> values(col.values().begin(), col.values().end());
+        fillMissingInPlace(values, 0.0f);
+
+        if (f < config_.num_generated) {
+            auto& jag = mb.sparse[config_.num_sparse + f];
+            jag.feature_name = "generated_" + std::to_string(f);
+            jag.values.resize(batch);
+            bucketizeInto(values, boundaries_, jag.values);
+            sigridHashInPlace(jag.values,
+                              hashSeed(config_.num_sparse + f), table_size_);
+            jag.lengths.assign(batch, 1);
+        }
+
+        logTransformInPlace(values);
+        // Column-major gather into the row-major dense matrix.
+        for (size_t r = 0; r < batch; ++r)
+            mb.dense[r * config_.num_dense + f] = values[r];
+    };
+
+    // Sparse path: SigridHash per table.
+    auto sparseTask = [&](size_t f) {
+        const auto& col = raw.sparse(sparse_idx[f]);
+        auto& jag = mb.sparse[f];
+        jag.feature_name = schema.feature(sparse_idx[f]).name;
+        jag.values.assign(col.values().begin(), col.values().end());
+        sigridHashInPlace(jag.values, hashSeed(f), table_size_);
+        jag.lengths.resize(batch);
+        for (size_t r = 0; r < batch; ++r)
+            jag.lengths[r] = static_cast<uint32_t>(col.rowLength(r));
+    };
+
+    const size_t total_tasks = config_.num_dense + config_.num_sparse;
+    auto runTask = [&](size_t t) {
+        if (t < config_.num_dense)
+            denseTask(t);
+        else
+            sparseTask(t - config_.num_dense);
+    };
+
+    if (pool != nullptr) {
+        pool->parallelFor(total_tasks, runTask);
+    } else {
+        for (size_t t = 0; t < total_tasks; ++t)
+            runTask(t);
+    }
+
+    PRESTO_CHECK(mb.consistent(), "produced inconsistent minibatch");
+    return mb;
+}
+
+}  // namespace presto

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bounded producer-consumer queue for discrete-event simulations.
+ *
+ * Models the train manager's input queue (Figure 9): preprocessing
+ * workers push mini-batches, the GPU training worker pops them. When the
+ * queue is full, producers stall (backpressure); when empty, the consumer
+ * stalls (GPU idle time — exactly what Figure 3 measures).
+ */
+#ifndef PRESTO_SIM_SIM_QUEUE_H_
+#define PRESTO_SIM_SIM_QUEUE_H_
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace presto {
+
+/**
+ * Bounded FIFO whose push/pop complete via callbacks, allowing DES
+ * processes to block without threads.
+ */
+template <typename T>
+class SimQueue
+{
+  public:
+    using PushCallback = std::function<void()>;
+    using PopCallback = std::function<void(T)>;
+
+    explicit SimQueue(size_t capacity) : capacity_(capacity)
+    {
+        PRESTO_CHECK(capacity_ > 0, "queue capacity must be positive");
+    }
+
+    /**
+     * Deliver @p item to the queue; @p on_accepted fires once space exists
+     * (immediately when not full). Items are handed to waiting consumers
+     * directly, preserving FIFO order.
+     */
+    void
+    push(T item, PushCallback on_accepted)
+    {
+        if (!waiting_consumers_.empty()) {
+            PRESTO_CHECK(items_.empty(), "consumers waiting on non-empty queue");
+            auto consumer = std::move(waiting_consumers_.front());
+            waiting_consumers_.pop_front();
+            ++total_pushed_;
+            ++total_popped_;
+            if (on_accepted)
+                on_accepted();
+            consumer(std::move(item));
+            return;
+        }
+        if (items_.size() < capacity_) {
+            items_.push_back(std::move(item));
+            ++total_pushed_;
+            if (on_accepted)
+                on_accepted();
+            return;
+        }
+        waiting_producers_.emplace_back(std::move(item),
+                                        std::move(on_accepted));
+        max_waiting_producers_ =
+            std::max(max_waiting_producers_, waiting_producers_.size());
+    }
+
+    /**
+     * Request one item; @p on_item fires immediately when available,
+     * otherwise when the next producer pushes.
+     */
+    void
+    pop(PopCallback on_item)
+    {
+        if (!items_.empty()) {
+            T item = std::move(items_.front());
+            items_.pop_front();
+            ++total_popped_;
+            admitWaitingProducer();
+            on_item(std::move(item));
+            return;
+        }
+        waiting_consumers_.push_back(std::move(on_item));
+    }
+
+    size_t size() const { return items_.size(); }
+    size_t capacity() const { return capacity_; }
+    uint64_t totalPushed() const { return total_pushed_; }
+    uint64_t totalPopped() const { return total_popped_; }
+    size_t waitingConsumers() const { return waiting_consumers_.size(); }
+    size_t waitingProducers() const { return waiting_producers_.size(); }
+    size_t maxWaitingProducers() const { return max_waiting_producers_; }
+
+  private:
+    void
+    admitWaitingProducer()
+    {
+        if (waiting_producers_.empty())
+            return;
+        auto [item, cb] = std::move(waiting_producers_.front());
+        waiting_producers_.pop_front();
+        items_.push_back(std::move(item));
+        ++total_pushed_;
+        if (cb)
+            cb();
+    }
+
+    size_t capacity_;
+    std::deque<T> items_;
+    std::deque<PopCallback> waiting_consumers_;
+    std::deque<std::pair<T, PushCallback>> waiting_producers_;
+    uint64_t total_pushed_ = 0;
+    uint64_t total_popped_ = 0;
+    size_t max_waiting_producers_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_SIM_SIM_QUEUE_H_

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal discrete-event simulation engine.
+ *
+ * Time is a double in seconds. Events fire in (time, insertion-sequence)
+ * order, so simultaneous events run in the order they were scheduled and
+ * every run is deterministic.
+ */
+#ifndef PRESTO_SIM_SIMULATOR_H_
+#define PRESTO_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace presto {
+
+/** Discrete-event scheduler and clock. */
+class Simulator
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time in seconds. */
+    double now() const { return now_; }
+
+    /** Number of events executed so far. */
+    uint64_t eventsProcessed() const { return processed_; }
+
+    /** Schedule @p fn to run @p delay seconds from now (delay >= 0). */
+    void
+    schedule(double delay, Callback fn)
+    {
+        PRESTO_CHECK(delay >= 0.0, "cannot schedule into the past");
+        scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    void
+    scheduleAt(double when, Callback fn)
+    {
+        PRESTO_CHECK(when >= now_, "cannot schedule into the past");
+        queue_.push(Event{when, next_seq_++, std::move(fn)});
+    }
+
+    /** Execute the next event; returns false when the queue is empty. */
+    bool
+    step()
+    {
+        if (queue_.empty())
+            return false;
+        // std::priority_queue::top() is const; move via const_cast is the
+        // standard workaround (the element is popped immediately after).
+        Event ev = std::move(const_cast<Event&>(queue_.top()));
+        queue_.pop();
+        now_ = ev.when;
+        ++processed_;
+        ev.fn();
+        return true;
+    }
+
+    /** Run until the queue drains or the clock passes @p until seconds. */
+    void
+    run(double until = -1.0)
+    {
+        while (!queue_.empty()) {
+            if (until >= 0.0 && queue_.top().when > until) {
+                now_ = until;
+                return;
+            }
+            step();
+        }
+    }
+
+    bool empty() const { return queue_.empty(); }
+
+  private:
+    struct Event {
+        double when;
+        uint64_t seq;
+        Callback fn;
+
+        bool
+        operator>(const Event& other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    double now_ = 0.0;
+    uint64_t next_seq_ = 0;
+    uint64_t processed_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_SIM_SIMULATOR_H_

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Busy-time bookkeeping for simulated devices (GPU utilization in
+ * Figure 3 is busy_time / wall_time measured this way).
+ */
+#ifndef PRESTO_SIM_UTILIZATION_H_
+#define PRESTO_SIM_UTILIZATION_H_
+
+#include "common/logging.h"
+
+namespace presto {
+
+/** Accumulates busy seconds of one device across a simulation. */
+class UtilizationTracker
+{
+  public:
+    /** Record a busy interval of @p duration seconds ending at any time. */
+    void
+    addBusy(double duration)
+    {
+        PRESTO_CHECK(duration >= 0.0, "negative busy interval");
+        busy_ += duration;
+    }
+
+    double busySeconds() const { return busy_; }
+
+    /** Busy fraction of [0, total_seconds]. */
+    double
+    utilization(double total_seconds) const
+    {
+        if (total_seconds <= 0.0)
+            return 0.0;
+        const double u = busy_ / total_seconds;
+        return u > 1.0 ? 1.0 : u;
+    }
+
+    void reset() { busy_ = 0.0; }
+
+  private:
+    double busy_ = 0.0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_SIM_UTILIZATION_H_

@@ -1,0 +1,49 @@
+#include "tabular/column.h"
+
+#include <cstring>
+
+namespace presto {
+
+bool
+DenseColumn::operator==(const DenseColumn& other) const
+{
+    if (values_.size() != other.values_.size())
+        return false;
+    if (values_.empty())
+        return true;
+    // Bitwise comparison so NaN entries (missing values) compare equal.
+    return std::memcmp(values_.data(), other.values_.data(),
+                       values_.size() * sizeof(float)) == 0;
+}
+
+SparseColumn::SparseColumn(std::vector<int64_t> values,
+                           std::vector<uint32_t> offsets)
+    : values_(std::move(values)), offsets_(std::move(offsets))
+{
+    PRESTO_CHECK(!offsets_.empty(), "offsets must have at least one entry");
+    PRESTO_CHECK(offsets_.front() == 0, "offsets must start at 0");
+    PRESTO_CHECK(offsets_.back() == values_.size(),
+                 "last offset must equal the value count");
+    for (size_t i = 1; i < offsets_.size(); ++i) {
+        PRESTO_CHECK(offsets_[i] >= offsets_[i - 1],
+                     "offsets must be non-decreasing");
+    }
+}
+
+void
+SparseColumn::appendRow(std::span<const int64_t> ids)
+{
+    values_.insert(values_.end(), ids.begin(), ids.end());
+    offsets_.push_back(static_cast<uint32_t>(values_.size()));
+}
+
+double
+SparseColumn::averageLength() const
+{
+    const size_t rows = numRows();
+    if (rows == 0)
+        return 0.0;
+    return static_cast<double>(values_.size()) / static_cast<double>(rows);
+}
+
+}  // namespace presto

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Column containers for tabular feature data.
+ *
+ * DenseColumn stores one float per row. SparseColumn stores a jagged array
+ * of int64 ids in CSR form (values + row offsets), matching the
+ * variable-length sparse features of RecSys datasets.
+ */
+#ifndef PRESTO_TABULAR_COLUMN_H_
+#define PRESTO_TABULAR_COLUMN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace presto {
+
+/** Dense float column; one value per row. */
+class DenseColumn
+{
+  public:
+    DenseColumn() = default;
+    explicit DenseColumn(std::vector<float> values)
+        : values_(std::move(values))
+    {}
+
+    size_t numRows() const { return values_.size(); }
+
+    float
+    value(size_t row) const
+    {
+        PRESTO_CHECK(row < values_.size(), "row out of range");
+        return values_[row];
+    }
+
+    std::span<const float> values() const { return values_; }
+    std::vector<float>& mutableValues() { return values_; }
+
+    void append(float v) { values_.push_back(v); }
+
+    /** Total bytes the payload occupies in memory. */
+    size_t byteSize() const { return values_.size() * sizeof(float); }
+
+    /** Bitwise equality: NaN payloads (missing values) compare equal. */
+    bool operator==(const DenseColumn& other) const;
+
+  private:
+    std::vector<float> values_;
+};
+
+/**
+ * Sparse id-list column in CSR layout.
+ *
+ * offsets_ has numRows()+1 entries; row r's ids are
+ * values_[offsets_[r] .. offsets_[r+1]).
+ */
+class SparseColumn
+{
+  public:
+    SparseColumn() { offsets_.push_back(0); }
+
+    /** Construct from CSR arrays; validates monotonic offsets. */
+    SparseColumn(std::vector<int64_t> values, std::vector<uint32_t> offsets);
+
+    size_t numRows() const { return offsets_.size() - 1; }
+    size_t numValues() const { return values_.size(); }
+
+    /** Ids of one row. */
+    std::span<const int64_t>
+    row(size_t r) const
+    {
+        PRESTO_CHECK(r + 1 < offsets_.size(), "row out of range");
+        return {values_.data() + offsets_[r],
+                values_.data() + offsets_[r + 1]};
+    }
+
+    size_t
+    rowLength(size_t r) const
+    {
+        PRESTO_CHECK(r + 1 < offsets_.size(), "row out of range");
+        return offsets_[r + 1] - offsets_[r];
+    }
+
+    std::span<const int64_t> values() const { return values_; }
+    std::span<const uint32_t> offsets() const { return offsets_; }
+    std::vector<int64_t>& mutableValues() { return values_; }
+
+    /** Append one row of ids. */
+    void appendRow(std::span<const int64_t> ids);
+
+    /** Average ids per row (0 for empty columns). */
+    double averageLength() const;
+
+    /** Total bytes the payload occupies in memory. */
+    size_t
+    byteSize() const
+    {
+        return values_.size() * sizeof(int64_t) +
+               offsets_.size() * sizeof(uint32_t);
+    }
+
+    bool
+    operator==(const SparseColumn& other) const
+    {
+        return values_ == other.values_ && offsets_ == other.offsets_;
+    }
+
+  private:
+    std::vector<int64_t> values_;
+    std::vector<uint32_t> offsets_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_TABULAR_COLUMN_H_

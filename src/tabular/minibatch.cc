@@ -1,0 +1,46 @@
+#include "tabular/minibatch.h"
+
+#include <numeric>
+
+namespace presto {
+
+size_t
+MiniBatch::byteSize() const
+{
+    size_t bytes = dense.size() * sizeof(float) +
+                   labels.size() * sizeof(float);
+    for (const auto& j : sparse) {
+        bytes += j.values.size() * sizeof(int64_t) +
+                 j.lengths.size() * sizeof(uint32_t);
+    }
+    return bytes;
+}
+
+size_t
+MiniBatch::totalSparseValues() const
+{
+    size_t total = 0;
+    for (const auto& j : sparse)
+        total += j.values.size();
+    return total;
+}
+
+bool
+MiniBatch::consistent() const
+{
+    if (dense.size() != batch_size * num_dense)
+        return false;
+    if (!labels.empty() && labels.size() != batch_size)
+        return false;
+    for (const auto& j : sparse) {
+        if (j.lengths.size() != batch_size)
+            return false;
+        const uint64_t sum = std::accumulate(j.lengths.begin(),
+                                             j.lengths.end(), uint64_t{0});
+        if (sum != j.values.size())
+            return false;
+    }
+    return true;
+}
+
+}  // namespace presto

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MiniBatch: the train-ready tensor bundle produced by preprocessing and
+ * consumed by the GPU training stage (step 3 in Figure 1).
+ *
+ * Layout mirrors TorchRec's input: a dense feature matrix, per-table sparse
+ * embedding indices in jagged (values + lengths) form, and labels.
+ */
+#ifndef PRESTO_TABULAR_MINIBATCH_H_
+#define PRESTO_TABULAR_MINIBATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace presto {
+
+/** Jagged embedding-index tensor for one sparse feature / embedding table. */
+struct JaggedIndices {
+    std::string feature_name;
+    std::vector<int64_t> values;    ///< embedding indices, row-major
+    std::vector<uint32_t> lengths;  ///< ids per row; sums to values.size()
+};
+
+/**
+ * Train-ready tensors for one training step.
+ */
+struct MiniBatch {
+    size_t batch_size = 0;
+    size_t num_dense = 0;
+
+    /** Row-major [batch_size x num_dense] normalized dense features. */
+    std::vector<float> dense;
+
+    /** One entry per embedding table (original + generated sparse feats). */
+    std::vector<JaggedIndices> sparse;
+
+    /** [batch_size] binary click labels. */
+    std::vector<float> labels;
+
+    /** Total payload bytes (what gets shipped to GPU memory). */
+    size_t byteSize() const;
+
+    /** Total number of sparse embedding indices across all tables. */
+    size_t totalSparseValues() const;
+
+    /**
+     * Validate structural invariants: tensor extents match batch_size and
+     * each jagged tensor's lengths sum to its value count.
+     * @return true when consistent.
+     */
+    bool consistent() const;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_TABULAR_MINIBATCH_H_

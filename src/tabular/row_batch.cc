@@ -1,0 +1,102 @@
+#include "tabular/row_batch.h"
+
+namespace presto {
+
+void
+RowBatch::addColumn(ColumnData column)
+{
+    PRESTO_CHECK(columns_.size() < schema_.numFeatures(),
+                 "more columns than schema features");
+    const auto& spec = schema_.feature(columns_.size());
+    const bool is_sparse = std::holds_alternative<SparseColumn>(column);
+    PRESTO_CHECK(is_sparse == (spec.kind == FeatureKind::kSparse),
+                 "column kind mismatch for feature ", spec.name);
+
+    const size_t rows = is_sparse
+                            ? std::get<SparseColumn>(column).numRows()
+                            : std::get<DenseColumn>(column).numRows();
+    if (columns_.empty()) {
+        num_rows_ = rows;
+    } else {
+        PRESTO_CHECK(rows == num_rows_, "column row-count mismatch: got ",
+                     rows, ", expected ", num_rows_);
+    }
+    columns_.push_back(std::move(column));
+}
+
+const ColumnData&
+RowBatch::column(size_t idx) const
+{
+    PRESTO_CHECK(idx < columns_.size(), "column index out of range");
+    return columns_[idx];
+}
+
+const DenseColumn&
+RowBatch::dense(size_t idx) const
+{
+    const auto& col = column(idx);
+    PRESTO_CHECK(std::holds_alternative<DenseColumn>(col),
+                 "column ", idx, " is not dense");
+    return std::get<DenseColumn>(col);
+}
+
+const SparseColumn&
+RowBatch::sparse(size_t idx) const
+{
+    const auto& col = column(idx);
+    PRESTO_CHECK(std::holds_alternative<SparseColumn>(col),
+                 "column ", idx, " is not sparse");
+    return std::get<SparseColumn>(col);
+}
+
+DenseColumn&
+RowBatch::mutableDense(size_t idx)
+{
+    PRESTO_CHECK(idx < columns_.size(), "column index out of range");
+    PRESTO_CHECK(std::holds_alternative<DenseColumn>(columns_[idx]),
+                 "column ", idx, " is not dense");
+    return std::get<DenseColumn>(columns_[idx]);
+}
+
+SparseColumn&
+RowBatch::mutableSparse(size_t idx)
+{
+    PRESTO_CHECK(idx < columns_.size(), "column index out of range");
+    PRESTO_CHECK(std::holds_alternative<SparseColumn>(columns_[idx]),
+                 "column ", idx, " is not sparse");
+    return std::get<SparseColumn>(columns_[idx]);
+}
+
+size_t
+RowBatch::byteSize() const
+{
+    size_t total = 0;
+    for (const auto& col : columns_) {
+        if (std::holds_alternative<DenseColumn>(col))
+            total += std::get<DenseColumn>(col).byteSize();
+        else
+            total += std::get<SparseColumn>(col).byteSize();
+    }
+    return total;
+}
+
+size_t
+RowBatch::totalValues() const
+{
+    size_t total = 0;
+    for (const auto& col : columns_) {
+        if (std::holds_alternative<DenseColumn>(col))
+            total += std::get<DenseColumn>(col).numRows();
+        else
+            total += std::get<SparseColumn>(col).numValues();
+    }
+    return total;
+}
+
+bool
+RowBatch::operator==(const RowBatch& other) const
+{
+    return schema_ == other.schema_ && columns_ == other.columns_;
+}
+
+}  // namespace presto

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * RowBatch: a horizontal slice of a table (all features for a contiguous
+ * group of rows). One RowBatch corresponds to one mini-batch partition in
+ * the paper's data layout (Figure 1).
+ */
+#ifndef PRESTO_TABULAR_ROW_BATCH_H_
+#define PRESTO_TABULAR_ROW_BATCH_H_
+
+#include <variant>
+#include <vector>
+
+#include "tabular/column.h"
+#include "tabular/schema.h"
+
+namespace presto {
+
+/** A column is either dense (incl. labels) or sparse. */
+using ColumnData = std::variant<DenseColumn, SparseColumn>;
+
+/**
+ * Columnar batch of rows sharing one schema.
+ *
+ * All columns have the same row count. Dense and label features map to
+ * DenseColumn; sparse features map to SparseColumn.
+ */
+class RowBatch
+{
+  public:
+    RowBatch() = default;
+    explicit RowBatch(Schema schema) : schema_(std::move(schema)) {}
+
+    const Schema& schema() const { return schema_; }
+    size_t numRows() const { return num_rows_; }
+    size_t numColumns() const { return columns_.size(); }
+
+    /** Append the column for the next feature in schema order. */
+    void addColumn(ColumnData column);
+
+    const ColumnData& column(size_t idx) const;
+
+    /** Typed accessors; panic if the column has the other kind. */
+    const DenseColumn& dense(size_t idx) const;
+    const SparseColumn& sparse(size_t idx) const;
+    DenseColumn& mutableDense(size_t idx);
+    SparseColumn& mutableSparse(size_t idx);
+
+    /** True once every schema feature has its column. */
+    bool
+    complete() const
+    {
+        return columns_.size() == schema_.numFeatures();
+    }
+
+    /** Total in-memory payload bytes across all columns. */
+    size_t byteSize() const;
+
+    /** Total number of scalar values (dense values + sparse ids). */
+    size_t totalValues() const;
+
+    bool operator==(const RowBatch& other) const;
+
+  private:
+    Schema schema_;
+    std::vector<ColumnData> columns_;
+    size_t num_rows_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_TABULAR_ROW_BATCH_H_

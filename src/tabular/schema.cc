@@ -1,0 +1,84 @@
+#include "tabular/schema.h"
+
+#include "common/logging.h"
+
+namespace presto {
+
+const char*
+featureKindName(FeatureKind kind)
+{
+    switch (kind) {
+      case FeatureKind::kDense:  return "dense";
+      case FeatureKind::kSparse: return "sparse";
+      case FeatureKind::kLabel:  return "label";
+    }
+    return "?";
+}
+
+Schema::Schema(std::vector<FeatureSpec> features)
+{
+    for (auto& f : features)
+        add(std::move(f));
+}
+
+void
+Schema::add(FeatureSpec spec)
+{
+    PRESTO_CHECK(!indexOf(spec.name).has_value(),
+                 "duplicate feature name: ", spec.name);
+    switch (spec.kind) {
+      case FeatureKind::kDense:  ++num_dense_; break;
+      case FeatureKind::kSparse: ++num_sparse_; break;
+      case FeatureKind::kLabel:  ++num_labels_; break;
+    }
+    features_.push_back(std::move(spec));
+}
+
+const FeatureSpec&
+Schema::feature(size_t idx) const
+{
+    PRESTO_CHECK(idx < features_.size(), "feature index out of range");
+    return features_[idx];
+}
+
+std::optional<size_t>
+Schema::indexOf(const std::string& name) const
+{
+    for (size_t i = 0; i < features_.size(); ++i) {
+        if (features_[i].name == name)
+            return i;
+    }
+    return std::nullopt;
+}
+
+std::vector<size_t>
+Schema::indicesOfKind(FeatureKind kind) const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < features_.size(); ++i) {
+        if (features_[i].kind == kind)
+            out.push_back(i);
+    }
+    return out;
+}
+
+bool
+Schema::operator==(const Schema& other) const
+{
+    return features_ == other.features_;
+}
+
+Schema
+Schema::makeRecSys(size_t num_dense, size_t num_sparse, bool with_label)
+{
+    Schema schema;
+    if (with_label)
+        schema.add({"label", FeatureKind::kLabel});
+    for (size_t i = 0; i < num_dense; ++i)
+        schema.add({"dense_" + std::to_string(i), FeatureKind::kDense});
+    for (size_t i = 0; i < num_sparse; ++i)
+        schema.add({"sparse_" + std::to_string(i), FeatureKind::kSparse});
+    return schema;
+}
+
+}  // namespace presto

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Feature schema for tabular RecSys data.
+ *
+ * Each row of a table is a user interaction record; each column is a
+ * feature. Dense features hold one continuous value per row; sparse
+ * features hold a variable-length list of categorical ids per row
+ * (Section II-B of the paper).
+ */
+#ifndef PRESTO_TABULAR_SCHEMA_H_
+#define PRESTO_TABULAR_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace presto {
+
+/** Kind of a feature column. */
+enum class FeatureKind : uint8_t {
+    kDense = 0,   ///< one float per row (e.g. view timestamp)
+    kSparse = 1,  ///< variable-length list of int64 ids per row
+    kLabel = 2,   ///< binary click label (one float per row)
+};
+
+/** Human-readable name of a FeatureKind. */
+const char* featureKindName(FeatureKind kind);
+
+/** Static description of one feature column. */
+struct FeatureSpec {
+    std::string name;
+    FeatureKind kind = FeatureKind::kDense;
+
+    bool
+    operator==(const FeatureSpec& other) const
+    {
+        return name == other.name && kind == other.kind;
+    }
+};
+
+/**
+ * Ordered collection of feature specs with name lookup.
+ */
+class Schema
+{
+  public:
+    Schema() = default;
+    explicit Schema(std::vector<FeatureSpec> features);
+
+    /** Append a feature; panics on duplicate names. */
+    void add(FeatureSpec spec);
+
+    size_t numFeatures() const { return features_.size(); }
+    size_t numDense() const { return num_dense_; }
+    size_t numSparse() const { return num_sparse_; }
+    size_t numLabels() const { return num_labels_; }
+
+    const FeatureSpec& feature(size_t idx) const;
+    const std::vector<FeatureSpec>& features() const { return features_; }
+
+    /** Index of a feature by name, or nullopt. */
+    std::optional<size_t> indexOf(const std::string& name) const;
+
+    /** Indices of all features of a given kind, in schema order. */
+    std::vector<size_t> indicesOfKind(FeatureKind kind) const;
+
+    bool operator==(const Schema& other) const;
+
+    /**
+     * Build a conventional RecSys schema: `label`, dense features
+     * `dense_0..`, sparse features `sparse_0..`.
+     */
+    static Schema makeRecSys(size_t num_dense, size_t num_sparse,
+                             bool with_label = true);
+
+  private:
+    std::vector<FeatureSpec> features_;
+    size_t num_dense_ = 0;
+    size_t num_sparse_ = 0;
+    size_t num_labels_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_TABULAR_SCHEMA_H_

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the set-associative cache simulator and the operator trace
+ * generators behind Figure 6.
+ */
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.h"
+#include "cachesim/op_traces.h"
+#include "datagen/rm_config.h"
+
+namespace presto {
+namespace {
+
+CacheConfig
+tinyCache()
+{
+    CacheConfig cfg;
+    cfg.size_bytes = 4096;  // 64 lines
+    cfg.line_bytes = 64;
+    cfg.ways = 4;           // 16 sets
+    return cfg;
+}
+
+TEST(CacheSimTest, GeometryDerivation)
+{
+    const CacheConfig cfg = tinyCache();
+    EXPECT_EQ(cfg.numSets(), 16u);
+}
+
+TEST(CacheSimTest, FirstAccessMissesSecondHits)
+{
+    CacheSim cache(tinyCache());
+    EXPECT_FALSE(cache.access(0x1000, false));
+    EXPECT_TRUE(cache.access(0x1000, false));
+    EXPECT_TRUE(cache.access(0x103f, false));   // same line
+    EXPECT_FALSE(cache.access(0x1040, false));  // next line
+    EXPECT_EQ(cache.stats().accesses, 4u);
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CacheSimTest, LruEvictsOldest)
+{
+    CacheSim cache(tinyCache());
+    // Fill one set (4 ways): lines mapping to set 0 are 64*16 bytes apart.
+    const uint64_t stride = 64 * 16;
+    for (uint64_t i = 0; i < 4; ++i)
+        cache.access(i * stride, false);
+    cache.access(0, false);            // touch line 0 -> line 1 is LRU
+    cache.access(4 * stride, false);   // evicts line 1
+    EXPECT_TRUE(cache.access(0, false));
+    EXPECT_FALSE(cache.access(1 * stride, false));  // was evicted
+    EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(CacheSimTest, WritebackOnlyForDirtyLines)
+{
+    CacheSim cache(tinyCache());
+    const uint64_t stride = 64 * 16;
+    cache.access(0, true);  // dirty
+    for (uint64_t i = 1; i <= 4; ++i)
+        cache.access(i * stride, false);  // evicts the dirty line
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+
+    cache.reset();
+    cache.access(0, false);  // clean
+    for (uint64_t i = 1; i <= 4; ++i)
+        cache.access(i * stride, false);
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(CacheSimTest, ResetClearsEverything)
+{
+    CacheSim cache(tinyCache());
+    cache.access(0, true);
+    cache.reset();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_FALSE(cache.access(0, false));  // cold again
+}
+
+TEST(CacheSimTest, AccessRangeTouchesEveryLine)
+{
+    CacheSim cache(tinyCache());
+    cache.accessRange(10, 200, false);  // spans lines 0..3
+    EXPECT_EQ(cache.stats().accesses, 4u);
+    cache.reset();
+    cache.accessRange(0, 1, false);
+    EXPECT_EQ(cache.stats().accesses, 1u);
+}
+
+TEST(CacheSimTest, StreamingHitRateMatchesLineUtilization)
+{
+    CacheSim cache;  // default LLC-sized
+    for (uint64_t i = 0; i < 100000; ++i)
+        cache.access(i * 4, false);
+    // 16 4-byte accesses per 64B line: 1 miss + 15 hits.
+    EXPECT_NEAR(cache.stats().hitRate(), 15.0 / 16.0, 0.001);
+}
+
+TEST(CacheSimTest, WorkingSetSmallerThanCacheAllHitsAfterWarmup)
+{
+    CacheSim cache(tinyCache());
+    for (int pass = 0; pass < 2; ++pass) {
+        for (uint64_t addr = 0; addr < 2048; addr += 64)
+            cache.access(addr, false);
+    }
+    EXPECT_EQ(cache.stats().misses, 32u);  // cold misses only
+    EXPECT_EQ(cache.stats().hits, 32u);
+}
+
+TEST(CacheSimTest, DramBytesCountsMissesAndWritebacks)
+{
+    CacheStats stats;
+    stats.misses = 10;
+    stats.writebacks = 3;
+    EXPECT_EQ(stats.dramBytes(64), 13u * 64u);
+}
+
+TEST(CacheSimDeathTest, BadGeometryPanics)
+{
+    CacheConfig cfg;
+    cfg.line_bytes = 48;  // not a power of two
+    EXPECT_DEATH(CacheSim{cfg}, "power of two");
+}
+
+// --- Op traces ----------------------------------------------------------------------
+
+RmConfig
+traceConfig()
+{
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 1024;  // keep traces fast
+    return cfg;
+}
+
+TEST(OpTraceTest, BucketizeCountsMatchWorkload)
+{
+    const RmConfig cfg = traceConfig();
+    OpTraceRunner runner;
+    const OpTraceResult r = runner.runBucketize(cfg);
+    // Per value: 1 input read + ~ceil(log2(m+1)) probes + 1 output write.
+    const uint64_t values = cfg.num_generated * cfg.batch_size;
+    EXPECT_GE(r.stats.accesses, values * 12);
+    EXPECT_LE(r.stats.accesses, values * 14);
+    EXPECT_GT(r.total_access_bytes, 0u);
+}
+
+TEST(OpTraceTest, BucketizeHitRateIsHigh)
+{
+    // Boundary arrays fit in the LLC, so Bucketize exhibits the high hit
+    // rate the paper reports (~85% measured on real hardware).
+    OpTraceRunner runner;
+    const OpTraceResult r = runner.runBucketize(rmConfig(1));
+    EXPECT_GT(r.stats.hitRate(), 0.80);
+}
+
+TEST(OpTraceTest, SigridHashStreamsWithModerateHitRate)
+{
+    OpTraceRunner runner;
+    const OpTraceResult r = runner.runSigridHash(traceConfig());
+    // Read-modify-write streaming: 8B stride in 64B lines.
+    EXPECT_GT(r.stats.hitRate(), 0.85);
+    EXPECT_LT(r.stats.hitRate(), 1.0);
+}
+
+TEST(OpTraceTest, LogTraceCountsDenseValues)
+{
+    const RmConfig cfg = traceConfig();
+    OpTraceRunner runner;
+    const OpTraceResult r = runner.runLog(cfg);
+    EXPECT_EQ(r.stats.accesses, cfg.num_dense * cfg.batch_size * 2);
+}
+
+TEST(OpTraceTest, DramTrafficBelowTouchedBytes)
+{
+    OpTraceRunner runner;
+    const OpTraceResult r = runner.runSigridHash(traceConfig());
+    EXPECT_LT(r.dram_bytes, r.total_access_bytes);
+}
+
+TEST(OpTraceTest, LargerBucketSizeMeansMoreProbes)
+{
+    RmConfig rm3 = rmConfig(3);
+    RmConfig rm5 = rmConfig(5);
+    rm3.batch_size = rm5.batch_size = 512;
+    OpTraceRunner a, b;
+    EXPECT_LT(a.runBucketize(rm3).stats.accesses,
+              b.runBucketize(rm5).stats.accesses);
+}
+
+TEST(OpTraceTest, DeterministicAcrossRuns)
+{
+    OpTraceRunner a, b;
+    const OpTraceResult ra = a.runBucketize(traceConfig());
+    const OpTraceResult rb = b.runBucketize(traceConfig());
+    EXPECT_EQ(ra.stats.hits, rb.stats.hits);
+    EXPECT_EQ(ra.stats.misses, rb.stats.misses);
+}
+
+}  // namespace
+}  // namespace presto

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Shape-preservation tests: lock the calibrated models to the paper's
+ * headline results (within bands), so constant tweaks cannot silently
+ * break the reproduction. DESIGN.md Section 5 documents each band.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/provisioner.h"
+#include "core/training_pipeline.h"
+#include "models/calibration.h"
+#include "models/cost_model.h"
+#include "models/cpu_model.h"
+#include "models/gpu_model.h"
+#include "models/isp_model.h"
+#include "models/network_model.h"
+
+namespace presto {
+namespace {
+
+double
+averageOverRms(double (*metric)(const RmConfig&))
+{
+    double sum = 0;
+    for (const auto& cfg : allRmConfigs())
+        sum += metric(cfg);
+    return sum / static_cast<double>(numRmConfigs());
+}
+
+// --- Figure 5 ------------------------------------------------------------------
+
+TEST(CalibrationFig5, Rm5IsRoughly14xRm1)
+{
+    const double rm1 = CpuWorkerModel(rmConfig(1)).batchLatency().total();
+    const double rm5 = CpuWorkerModel(rmConfig(5)).batchLatency().total();
+    EXPECT_GE(rm5 / rm1, 12.0);
+    EXPECT_LE(rm5 / rm1, 16.0);
+}
+
+TEST(CalibrationFig5, LatencyIncreasesMonotonicallyAcrossRms)
+{
+    double prev = 0;
+    for (const auto& cfg : allRmConfigs()) {
+        const double t = CpuWorkerModel(cfg).batchLatency().total();
+        EXPECT_GT(t, prev) << cfg.name;
+        prev = t;
+    }
+}
+
+TEST(CalibrationFig5, TransformShareAverages79Percent)
+{
+    const double avg = averageOverRms([](const RmConfig& cfg) {
+        return CpuWorkerModel(cfg).batchLatency().transformShare();
+    });
+    EXPECT_GE(avg, 0.70);  // paper: 79% average
+    EXPECT_LE(avg, 0.88);
+}
+
+TEST(CalibrationFig5, ExtractReadIsMinorForCpuBaseline)
+{
+    for (const auto& cfg : allRmConfigs()) {
+        const LatencyBreakdown b = CpuWorkerModel(cfg).batchLatency();
+        EXPECT_LT(b.extract_read / b.total(), 0.12) << cfg.name;
+    }
+}
+
+TEST(CalibrationFig5, NormalizationDominatesForProductionModels)
+{
+    // Paper: Log + SigridHash reach up to ~55% for RM2-5.
+    for (int rm = 2; rm <= 5; ++rm) {
+        const LatencyBreakdown b = CpuWorkerModel(rmConfig(rm)).batchLatency();
+        const double norm_share = (b.sigrid_hash + b.log) / b.total();
+        EXPECT_GE(norm_share, 0.45) << "RM" << rm;
+        EXPECT_LE(norm_share, 0.70) << "RM" << rm;
+    }
+}
+
+// --- Figure 3 ------------------------------------------------------------------
+
+TEST(CalibrationFig3, SixteenColocatedCoresLeaveGpuUnder20Percent)
+{
+    const RmConfig& cfg = rmConfig(5);
+    CpuWorkerModel cpu(cfg);
+    GpuTrainModel gpu(cfg);
+    const double supply = 16 * cpu.colocatedThroughputPerCore();
+    const double ratio = supply / gpu.maxThroughput();
+    EXPECT_LT(ratio, 0.20);
+    EXPECT_GT(ratio, 0.10);  // not absurdly starved either
+}
+
+TEST(CalibrationFig3, DesScalingIsNearLinearTo16Workers)
+{
+    // The paper measures ~15x throughput from 1 -> 16 co-located
+    // workers; reproduce via the discrete-event pipeline.
+    auto run = [](int workers) {
+        PipelineOptions opts;
+        opts.backend = PreprocBackend::kColocatedCpu;
+        opts.num_workers = workers;
+        opts.batches_to_train = 256;
+        return TrainingPipeline(rmConfig(5), opts).run()
+            .preproc_throughput;
+    };
+    const double scaling = run(16) / run(1);
+    EXPECT_GE(scaling, 14.0);
+    EXPECT_LE(scaling, 16.0);
+}
+
+// --- Figure 4 / Figure 14 ---------------------------------------------------------
+
+TEST(CalibrationFig4, Rm5NeedsHundredsOfCores)
+{
+    Provisioner prov(rmConfig(5));
+    const int cores = prov.provisionCpu(cal::kGpusPerTrainingNode).workers;
+    EXPECT_GE(cores, 300);  // paper: 367
+    EXPECT_LE(cores, 420);
+}
+
+TEST(CalibrationFig14, AtMostNineIspUnits)
+{
+    int max_units = 0;
+    for (const auto& cfg : allRmConfigs()) {
+        Provisioner prov(cfg);
+        max_units = std::max(
+            max_units, prov.provisionIsp(cal::kGpusPerTrainingNode,
+                                         IspParams::smartSsd())
+                           .workers);
+    }
+    EXPECT_LE(max_units, 9);  // paper: at most 9 units
+    EXPECT_GE(max_units, 6);  // ...but not trivially few
+}
+
+TEST(CalibrationFig14, IspPowerStaysUnderWorstCaseEnvelope)
+{
+    for (const auto& cfg : allRmConfigs()) {
+        Provisioner prov(cfg);
+        const Provision p = prov.provisionIsp(cal::kGpusPerTrainingNode,
+                                              IspParams::smartSsd());
+        EXPECT_LE(p.deployment.power_watts, 9 * 25.0) << cfg.name;
+    }
+}
+
+// --- Figure 11 ----------------------------------------------------------------------
+
+TEST(CalibrationFig11, OneSmartSsdBeats32Cores)
+{
+    for (const auto& cfg : allRmConfigs()) {
+        CpuWorkerModel cpu(cfg);
+        IspDeviceModel ssd(IspParams::smartSsd(), cfg);
+        EXPECT_GT(ssd.throughput(), cpu.throughput(32)) << cfg.name;
+    }
+}
+
+TEST(CalibrationFig11, SixtyFourCoresWinByRoughly27Percent)
+{
+    double ratio_sum = 0;
+    for (const auto& cfg : allRmConfigs()) {
+        CpuWorkerModel cpu(cfg);
+        IspDeviceModel ssd(IspParams::smartSsd(), cfg);
+        ratio_sum += cpu.throughput(64) / ssd.throughput();
+    }
+    const double avg = ratio_sum / numRmConfigs();
+    EXPECT_GE(avg, 1.05);  // paper: 1.27x
+    EXPECT_LE(avg, 1.60);
+}
+
+// --- Figure 12 ----------------------------------------------------------------------
+
+TEST(CalibrationFig12, EndToEndSpeedupAverages9To11x)
+{
+    const double avg = averageOverRms([](const RmConfig& cfg) {
+        return CpuWorkerModel(cfg).batchLatency().total() /
+               IspDeviceModel(IspParams::smartSsd(), cfg)
+                   .batchLatency()
+                   .total();
+    });
+    EXPECT_GE(avg, 8.5);   // paper: 9.6x average
+    EXPECT_LE(avg, 11.5);
+}
+
+TEST(CalibrationFig12, MaxSpeedupBelow13x)
+{
+    for (const auto& cfg : allRmConfigs()) {
+        const double speedup =
+            CpuWorkerModel(cfg).batchLatency().total() /
+            IspDeviceModel(IspParams::smartSsd(), cfg).batchLatency()
+                .total();
+        EXPECT_LE(speedup, 13.0) << cfg.name;  // paper max: 11.6x
+        EXPECT_GE(speedup, 8.0) << cfg.name;
+    }
+}
+
+TEST(CalibrationFig12, PrestoExtractShareNear40Percent)
+{
+    // Decoding parallelizes worst, so Extract dominates PreSto's
+    // residual latency (paper: 40.8% average).
+    const double avg = averageOverRms([](const RmConfig& cfg) {
+        return IspDeviceModel(IspParams::smartSsd(), cfg)
+            .batchLatency()
+            .extractShare();
+    });
+    EXPECT_GE(avg, 0.28);
+    EXPECT_LE(avg, 0.50);
+}
+
+// --- Figure 13 ----------------------------------------------------------------------
+
+TEST(CalibrationFig13, RpcReductionRoughly3x)
+{
+    const NetworkModel net = NetworkModel::datacenter();
+    const double avg = [&] {
+        double sum = 0;
+        for (const auto& cfg : allRmConfigs())
+            sum += net.disaggRpc(cfg).total() / net.prestoRpc(cfg).total();
+        return sum / numRmConfigs();
+    }();
+    EXPECT_GE(avg, 2.0);  // paper: 2.9x
+    EXPECT_LE(avg, 3.6);
+}
+
+// --- Figure 15 ----------------------------------------------------------------------
+
+TEST(CalibrationFig15, EnergyEfficiencyGains)
+{
+    double sum = 0, max = 0;
+    std::string argmax;
+    for (const auto& cfg : allRmConfigs()) {
+        Provisioner prov(cfg);
+        const Provision c = prov.provisionCpu(cal::kGpusPerTrainingNode);
+        const Provision i = prov.provisionIsp(cal::kGpusPerTrainingNode,
+                                              IspParams::smartSsd());
+        const double gain =
+            c.deployment.power_watts / i.deployment.power_watts;
+        sum += gain;
+        if (gain > max) {
+            max = gain;
+            argmax = cfg.name;
+        }
+    }
+    EXPECT_GE(sum / 5, 9.0);   // paper: 11.3x average
+    EXPECT_LE(sum / 5, 16.0);
+    EXPECT_GE(max, 13.5);      // paper: 15.1x max...
+    EXPECT_LE(max, 16.5);
+    EXPECT_EQ(argmax, "RM5");  // ...reached on the largest workload
+}
+
+TEST(CalibrationFig15, CostEfficiencyGains)
+{
+    double sum = 0, max = 0;
+    for (const auto& cfg : allRmConfigs()) {
+        Provisioner prov(cfg);
+        const Provision c = prov.provisionCpu(cal::kGpusPerTrainingNode);
+        const Provision i = prov.provisionIsp(cal::kGpusPerTrainingNode,
+                                              IspParams::smartSsd());
+        const double gain = costEfficiency(i.deployment,
+                                           c.demand_batches_per_sec) /
+                            costEfficiency(c.deployment,
+                                           c.demand_batches_per_sec);
+        sum += gain;
+        max = std::max(max, gain);
+    }
+    EXPECT_GE(sum / 5, 3.5);  // paper: 4.3x average
+    EXPECT_LE(sum / 5, 6.0);
+    EXPECT_GE(max, 5.0);      // paper: 5.6x max
+    EXPECT_LE(max, 6.5);
+}
+
+// --- Figure 16 ----------------------------------------------------------------------
+
+TEST(CalibrationFig16, SmartSsdRoughly2point5xFasterThanA100)
+{
+    const double avg = averageOverRms([](const RmConfig& cfg) {
+        return GpuPreprocModel(cfg).batchLatency().total() /
+               IspDeviceModel(IspParams::smartSsd(), cfg).batchLatency()
+                   .total();
+    });
+    EXPECT_GE(avg, 2.0);  // paper: 2.5x
+    EXPECT_LE(avg, 3.2);
+}
+
+TEST(CalibrationFig16, SmartSsdRoughlyMatchesDisaggU280)
+{
+    // Paper: ~5% performance loss vs the 225 W disaggregated U280.
+    const double avg = averageOverRms([](const RmConfig& cfg) {
+        return IspDeviceModel(IspParams::disaggU280(), cfg)
+                   .batchLatency()
+                   .total() /
+               IspDeviceModel(IspParams::smartSsd(), cfg).batchLatency()
+                   .total();
+    });
+    EXPECT_GE(avg, 0.80);
+    EXPECT_LE(avg, 1.25);
+}
+
+TEST(CalibrationFig16, DisaggU280PaysLargeCopyOverhead)
+{
+    // Paper: data copy is 47.6% of the disaggregated U280's e2e time.
+    const LatencyBreakdown b =
+        IspDeviceModel(IspParams::disaggU280(), rmConfig(5)).batchLatency();
+    EXPECT_GE(b.extract_read / b.total(), 0.30);
+    EXPECT_LE(b.extract_read / b.total(), 0.55);
+}
+
+TEST(CalibrationFig16, SmartSsdMoreEnergyEfficientThanPrestoU280)
+{
+    // Paper: 2.9x better perf/W than PreSto (U280).
+    const double avg = averageOverRms([](const RmConfig& cfg) {
+        IspDeviceModel ssd(IspParams::smartSsd(), cfg);
+        IspDeviceModel u280(IspParams::prestoU280(), cfg);
+        const double pw_ssd =
+            1.0 / ssd.batchLatency().total() / ssd.params().watts;
+        const double pw_u280 =
+            1.0 / u280.batchLatency().total() / u280.params().watts;
+        return pw_ssd / pw_u280;
+    });
+    EXPECT_GE(avg, 2.0);
+    EXPECT_LE(avg, 3.5);
+}
+
+// --- Figure 17 ----------------------------------------------------------------------
+
+TEST(CalibrationFig17, DisaggLatencyScalesWithFeatures)
+{
+    RmConfig quarter = rmConfig(5);
+    quarter.num_dense /= 4;
+    quarter.num_sparse /= 4;
+    quarter.num_generated /= 4;
+    const LatencyBreakdown big = CpuWorkerModel(rmConfig(5)).batchLatency();
+    const LatencyBreakdown small = CpuWorkerModel(quarter).batchLatency();
+    EXPECT_NEAR(big.sigrid_hash / small.sigrid_hash, 4.0, 0.5);
+    EXPECT_NEAR(big.log / small.log, 4.0, 0.1);
+}
+
+TEST(CalibrationFig17, PrestoKeepsLargeSpeedupAcrossScales)
+{
+    for (double k : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        RmConfig cfg = rmConfig(5);
+        cfg.num_dense = static_cast<size_t>(cfg.num_dense * k);
+        cfg.num_sparse = static_cast<size_t>(cfg.num_sparse * k);
+        cfg.num_generated = static_cast<size_t>(cfg.num_generated * k);
+        const LatencyBreakdown d = CpuWorkerModel(cfg).batchLatency();
+        const LatencyBreakdown p =
+            IspDeviceModel(IspParams::smartSsd(), cfg).batchLatency();
+        const double gen_norm_speedup =
+            (d.bucketize + d.sigrid_hash + d.log) /
+            (p.bucketize + p.sigrid_hash + p.log);
+        EXPECT_GT(gen_norm_speedup, 15.0) << "scale " << k;
+    }
+}
+
+}  // namespace
+}  // namespace presto

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Unit tests for the common substrate: status, units, rng, crc32, stats,
+ * thread pool, and the table printer.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+
+namespace presto {
+namespace {
+
+// --- Status ----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk)
+{
+    Status st;
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kOk);
+    EXPECT_EQ(st.toString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage)
+{
+    Status st = Status::corruption("bad page");
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kCorruption);
+    EXPECT_EQ(st.message(), "bad page");
+    EXPECT_EQ(st.toString(), "CORRUPTION: bad page");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes)
+{
+    EXPECT_EQ(Status::invalidArgument("x").code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(Status::notFound("x").code(), StatusCode::kNotFound);
+    EXPECT_EQ(Status::outOfRange("x").code(), StatusCode::kOutOfRange);
+    EXPECT_EQ(Status::unimplemented("x").code(),
+              StatusCode::kUnimplemented);
+    EXPECT_EQ(Status::failedPrecondition("x").code(),
+              StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage)
+{
+    EXPECT_EQ(Status::notFound("a"), Status::notFound("a"));
+    EXPECT_FALSE(Status::notFound("a") == Status::notFound("b"));
+    EXPECT_EQ(Status(), Status::okStatus());
+}
+
+TEST(StatusTest, CodeNamesAreStable)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::kOk), "OK");
+    EXPECT_STREQ(statusCodeName(StatusCode::kCorruption), "CORRUPTION");
+}
+
+TEST(StatusOrTest, HoldsValue)
+{
+    StatusOr<int> v = 42;
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, 42);
+    EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError)
+{
+    StatusOr<int> v = Status::notFound("missing");
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue)
+{
+    StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+    std::vector<int> out = std::move(v).value();
+    EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorPanics)
+{
+    StatusOr<int> v = Status::notFound("missing");
+    EXPECT_DEATH((void)v.value(), "value\\(\\) on error StatusOr");
+}
+
+// --- Units -------------------------------------------------------------------
+
+TEST(UnitsTest, FormatBytesScales)
+{
+    EXPECT_EQ(formatBytes(512), "512.00 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+    EXPECT_EQ(formatBytes(3.5 * kMiB), "3.50 MiB");
+    EXPECT_EQ(formatBytes(kGiB), "1.00 GiB");
+}
+
+TEST(UnitsTest, FormatTimeScales)
+{
+    EXPECT_EQ(formatTime(5e-9), "5.00 ns");
+    EXPECT_EQ(formatTime(1.5e-6), "1.50 us");
+    EXPECT_EQ(formatTime(2.5e-3), "2.50 ms");
+    EXPECT_EQ(formatTime(12.0), "12.00 s");
+    EXPECT_EQ(formatTime(120.0), "2.00 min");
+    EXPECT_EQ(formatTime(7200.0), "2.00 h");
+}
+
+TEST(UnitsTest, FormatBandwidthScales)
+{
+    EXPECT_EQ(formatBandwidth(1.25e9), "1.25 GB/s");
+    EXPECT_EQ(formatBandwidth(500), "500.00 B/s");
+}
+
+TEST(UnitsTest, FormatRateUsesPrefixes)
+{
+    EXPECT_EQ(formatRate(1500, "batch"), "1.50 Kbatch/s");
+    EXPECT_EQ(formatRate(2, "item"), "2.00 item/s");
+}
+
+TEST(UnitsTest, FormatDoubleRespectsDecimals)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(3.14159, 0), "3");
+}
+
+TEST(UnitsTest, TenGbEConstant)
+{
+    EXPECT_DOUBLE_EQ(kTenGbEBytesPerSec, 1.25e9);
+}
+
+// --- Rng ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformIntInRange)
+{
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange)
+{
+    Rng rng(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniformInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 1000 draws
+}
+
+TEST(RngDeathTest, UniformIntZeroPanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.uniformInt(uint64_t{0}), "uniformInt");
+}
+
+TEST(RngTest, UniformIntRoughlyUnbiased)
+{
+    Rng rng(10);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(uint64_t{10})];
+    for (int c : counts) {
+        EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+    }
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(11);
+    Accumulator acc;
+    for (int i = 0; i < 100000; ++i)
+        acc.add(rng.normal());
+    EXPECT_NEAR(acc.mean(), 0.0, 0.02);
+    EXPECT_NEAR(acc.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, NormalShifted)
+{
+    Rng rng(12);
+    Accumulator acc;
+    for (int i = 0; i < 50000; ++i)
+        acc.add(rng.normal(5.0, 2.0));
+    EXPECT_NEAR(acc.mean(), 5.0, 0.1);
+    EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, LogNormalIsPositive)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.logNormal(2.0, 1.5), 0.0);
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(14);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.03);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.03, 0.005);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent)
+{
+    Rng base(15);
+    Rng a = base.fork(1);
+    Rng b = base.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, Mix64IsDeterministicAndMixing)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), mix64(43));
+    // Single-bit input flip changes roughly half the output bits.
+    const int bits = std::popcount(mix64(0x1000) ^ mix64(0x1001));
+    EXPECT_GT(bits, 16);
+    EXPECT_LT(bits, 48);
+}
+
+// --- CRC32C --------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVector)
+{
+    // CRC32C("123456789") = 0xE3069283 (iSCSI test vector).
+    const char* data = "123456789";
+    EXPECT_EQ(crc32c(data, 9), 0xE3069283u);
+}
+
+TEST(Crc32Test, EmptyIsZero)
+{
+    EXPECT_EQ(crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip)
+{
+    std::vector<uint8_t> buf(256);
+    for (size_t i = 0; i < buf.size(); ++i)
+        buf[i] = static_cast<uint8_t>(i);
+    const uint32_t base = crc32c(buf.data(), buf.size());
+    for (size_t i = 0; i < buf.size(); i += 17) {
+        buf[i] ^= 1;
+        EXPECT_NE(crc32c(buf.data(), buf.size()), base);
+        buf[i] ^= 1;
+    }
+}
+
+TEST(Crc32Test, SeedChaining)
+{
+    const char* data = "hello world";
+    const uint32_t whole = crc32c(data, 11);
+    const uint32_t first = crc32c(data, 5);
+    const uint32_t chained = crc32c(data + 5, 6, first);
+    EXPECT_EQ(chained, whole);
+}
+
+// --- Stats --------------------------------------------------------------------
+
+TEST(AccumulatorTest, BasicMoments)
+{
+    Accumulator acc;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        acc.add(v);
+    EXPECT_EQ(acc.count(), 4u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+    EXPECT_NEAR(acc.variance(), 1.25, 1e-12);
+}
+
+TEST(AccumulatorTest, EmptyIsSafe)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.mean(), 0.0);
+    EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(AccumulatorTest, MergeEqualsSequential)
+{
+    Accumulator all, left, right;
+    Rng rng(20);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.normal(3.0, 2.0);
+        all.add(v);
+        (i < 500 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(AccumulatorTest, MergeWithEmpty)
+{
+    Accumulator a, empty;
+    a.add(1.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(HistogramTest, BinsAndEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(-1.0);
+    h.add(10.0);  // hi is exclusive -> overflow
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.totalCount(), 4u);
+}
+
+TEST(HistogramTest, QuantileOfUniformData)
+{
+    Histogram h(0.0, 1.0, 100);
+    Rng rng(21);
+    for (int i = 0; i < 100000; ++i)
+        h.add(rng.uniform());
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+    EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(HistogramTest, ToStringHasOneLinePerBin)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.1);
+    const std::string s = h.toString();
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(HistogramDeathTest, InvalidRangePanics)
+{
+    EXPECT_DEATH(Histogram(1.0, 0.0, 4), "range inverted");
+}
+
+TEST(HistogramDeathTest, QuantileOutOfRangePanics)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_DEATH(h.quantile(1.5), "quantile");
+}
+
+// --- ThreadPool ------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallelFor(hits.size(),
+                     [&](size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyIsNoop)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns)
+{
+    ThreadPool pool(2);
+    pool.wait();  // must not hang
+    SUCCEED();
+}
+
+TEST(ThreadPoolTest, NumThreads)
+{
+    ThreadPool pool(5);
+    EXPECT_EQ(pool.numThreads(), 5u);
+}
+
+TEST(ThreadPoolDeathTest, ZeroThreadsPanics)
+{
+    EXPECT_DEATH(ThreadPool(0), "at least one thread");
+}
+
+// --- TablePrinter ----------------------------------------------------------------
+
+TEST(TablePrinterTest, RendersAlignedColumns)
+{
+    TablePrinter t({"A", "LongHeader"});
+    t.addRow({"x", "1"});
+    t.addRow({"yyyy", "2"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("| A    | LongHeader |"), std::string::npos);
+    EXPECT_NE(s.find("| yyyy | 2          |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericRowHelper)
+{
+    TablePrinter t({"name", "v1", "v2"});
+    t.addRow("row", {1.234, 5.678}, 1);
+    EXPECT_NE(t.toString().find("| row  | 1.2 | 5.7 |"),
+              std::string::npos);
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(TablePrinterTest, SeparatorAddsRule)
+{
+    TablePrinter t({"a"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    const std::string s = t.toString();
+    // Rules: top, under-header, separator, bottom = 4.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '+') / 2, 4);
+}
+
+TEST(TablePrinterDeathTest, WrongCellCountPanics)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only one"}), "row has");
+}
+
+TEST(TablePrinterDeathTest, EmptyHeaderPanics)
+{
+    EXPECT_DEATH(TablePrinter({}), "at least one column");
+}
+
+}  // namespace
+}  // namespace presto

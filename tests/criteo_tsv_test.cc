@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for Criteo TSV ingestion and its interplay with the rest of the
+ * pipeline (storage round-trip, preprocessing, training).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "columnar/columnar_file.h"
+#include "datagen/criteo_tsv.h"
+#include "ops/preprocessor.h"
+
+namespace presto {
+namespace {
+
+/** Build a syntactically valid Criteo line. */
+std::string
+makeLine(int label, const std::string& dense_fill = "5",
+         const std::string& sparse_fill = "68fd1e64")
+{
+    std::string line = std::to_string(label);
+    for (size_t i = 0; i < kCriteoDenseFeatures; ++i)
+        line += "\t" + dense_fill;
+    for (size_t i = 0; i < kCriteoSparseFeatures; ++i)
+        line += "\t" + sparse_fill;
+    return line;
+}
+
+TEST(CriteoTsvTest, ParsesWellFormedLine)
+{
+    CriteoTsvParser parser;
+    ASSERT_TRUE(parser.addLine(makeLine(1)).ok());
+    EXPECT_EQ(parser.numRows(), 1u);
+    RowBatch batch = parser.takeBatch();
+    EXPECT_EQ(batch.numRows(), 1u);
+    EXPECT_EQ(batch.schema().numDense(), kCriteoDenseFeatures);
+    EXPECT_EQ(batch.schema().numSparse(), kCriteoSparseFeatures);
+    EXPECT_FLOAT_EQ(batch.dense(0).value(0), 1.0f);  // label
+    EXPECT_FLOAT_EQ(batch.dense(1).value(0), 5.0f);
+    EXPECT_EQ(batch.sparse(14).row(0)[0], 0x68fd1e64);
+}
+
+TEST(CriteoTsvTest, EmptyDenseFieldBecomesNaN)
+{
+    CriteoTsvParser parser;
+    std::string line = "0";
+    line += "\t";  // dense_0 empty
+    for (size_t i = 1; i < kCriteoDenseFeatures; ++i)
+        line += "\t3";
+    for (size_t i = 0; i < kCriteoSparseFeatures; ++i)
+        line += "\tdeadbeef";
+    ASSERT_TRUE(parser.addLine(line).ok());
+    RowBatch batch = parser.takeBatch();
+    EXPECT_TRUE(std::isnan(batch.dense(1).value(0)));
+    EXPECT_FLOAT_EQ(batch.dense(2).value(0), 3.0f);
+}
+
+TEST(CriteoTsvTest, EmptySparseFieldBecomesEmptyList)
+{
+    CriteoTsvParser parser;
+    std::string line = "0";
+    for (size_t i = 0; i < kCriteoDenseFeatures; ++i)
+        line += "\t1";
+    line += "\t";  // sparse_0 empty
+    for (size_t i = 1; i < kCriteoSparseFeatures; ++i)
+        line += "\tcafe0001";
+    ASSERT_TRUE(parser.addLine(line).ok());
+    RowBatch batch = parser.takeBatch();
+    const size_t first_sparse = 1 + kCriteoDenseFeatures;
+    EXPECT_EQ(batch.sparse(first_sparse).rowLength(0), 0u);
+    EXPECT_EQ(batch.sparse(first_sparse + 1).rowLength(0), 1u);
+}
+
+TEST(CriteoTsvTest, NegativeDenseValuesAllowed)
+{
+    // Criteo's integer features include small negatives.
+    CriteoTsvParser parser;
+    ASSERT_TRUE(parser.addLine(makeLine(0, "-2")).ok());
+    RowBatch batch = parser.takeBatch();
+    EXPECT_FLOAT_EQ(batch.dense(1).value(0), -2.0f);
+}
+
+TEST(CriteoTsvTest, RejectsMalformedLines)
+{
+    CriteoTsvParser parser;
+    EXPECT_EQ(parser.addLine("1\t2\t3").code(),
+              StatusCode::kInvalidArgument);  // field count
+    EXPECT_EQ(parser.addLine(makeLine(2)).code(),
+              StatusCode::kInvalidArgument);  // label not binary
+    EXPECT_EQ(parser.addLine(makeLine(0, "xyz")).code(),
+              StatusCode::kInvalidArgument);  // bad integer
+    EXPECT_EQ(parser.addLine(makeLine(0, "1", "nothex!")).code(),
+              StatusCode::kInvalidArgument);  // bad hex
+    // No partial rows were committed.
+    EXPECT_EQ(parser.numRows(), 0u);
+}
+
+TEST(CriteoTsvTest, CarriageReturnTolerated)
+{
+    CriteoTsvParser parser;
+    ASSERT_TRUE(parser.addLine(makeLine(1) + "\r").ok());
+    EXPECT_EQ(parser.numRows(), 1u);
+}
+
+TEST(CriteoTsvTest, ParseWholeBufferReportsLineNumbers)
+{
+    const std::string text =
+        makeLine(0) + "\n" + makeLine(1) + "\n" + "garbage\n";
+    auto result = parseCriteoTsv(text);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("line 3"),
+              std::string::npos);
+}
+
+TEST(CriteoTsvTest, ParseWholeBufferSkipsBlankLines)
+{
+    const std::string text = makeLine(0) + "\n\n" + makeLine(1) + "\n";
+    auto result = parseCriteoTsv(text);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->numRows(), 2u);
+}
+
+TEST(CriteoTsvTest, ParsedBatchFlowsThroughTheWholePipeline)
+{
+    std::string text;
+    for (int i = 0; i < 32; ++i)
+        text += makeLine(i % 2, std::to_string(i),
+                         i % 3 ? "68fd1e64" : "") +
+                "\n";
+    auto batch = parseCriteoTsv(text);
+    ASSERT_TRUE(batch.ok());
+
+    // Storage round-trip.
+    const auto encoded = ColumnarFileWriter().write(*batch, 0);
+    ColumnarFileReader reader;
+    ASSERT_TRUE(reader.open(encoded).ok());
+    auto decoded = reader.readAll();
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, *batch);
+
+    // Transform with the RM1 plan (Criteo-shaped).
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 32;
+    Preprocessor pre(cfg);
+    const MiniBatch mb = pre.preprocess(*decoded);
+    EXPECT_TRUE(mb.consistent());
+    EXPECT_EQ(mb.batch_size, 32u);
+    EXPECT_EQ(mb.sparse.size(), cfg.totalSparseFeatures());
+}
+
+}  // namespace
+}  // namespace presto

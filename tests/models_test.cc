@@ -1,0 +1,529 @@
+/**
+ * @file
+ * Tests for the device/cost models: CPU worker, ISP accelerator, GPU
+ * training/preprocessing, data sizes, network/RPC, power/TCO, and the
+ * FPGA resource table.
+ */
+#include <gtest/gtest.h>
+
+#include "models/calibration.h"
+#include "models/cost_model.h"
+#include "models/cpu_model.h"
+#include "models/data_size.h"
+#include "models/fpga_resources.h"
+#include "models/gpu_model.h"
+#include "models/isp_model.h"
+#include "models/network_model.h"
+#include "models/ssd_model.h"
+
+namespace presto {
+namespace {
+
+// --- data sizes ----------------------------------------------------------------
+
+TEST(DataSizeTest, PositiveAndMonotoneInFeatures)
+{
+    double prev = 0;
+    for (const auto& cfg : allRmConfigs()) {
+        const double raw = rawEncodedBytes(cfg);
+        EXPECT_GT(raw, 0);
+        EXPECT_GE(raw, prev);
+        prev = raw;
+        EXPECT_GT(miniBatchBytes(cfg), 0);
+    }
+}
+
+TEST(DataSizeTest, RawScalesWithBatchSize)
+{
+    RmConfig cfg = rmConfig(1);
+    const double base = rawEncodedBytes(cfg);
+    cfg.batch_size *= 2;
+    EXPECT_NEAR(rawEncodedBytes(cfg) / base, 2.0, 0.01);
+}
+
+TEST(DataSizeTest, Rm5RawIsTensOfMegabytes)
+{
+    const double raw = rawEncodedBytes(rmConfig(5));
+    EXPECT_GT(raw, 30e6);
+    EXPECT_LT(raw, 150e6);
+}
+
+// --- CPU model -------------------------------------------------------------------
+
+class CpuModelAllRms : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CpuModelAllRms, BreakdownIsPositiveEverywhere)
+{
+    CpuWorkerModel cpu(rmConfig(GetParam()));
+    const LatencyBreakdown b = cpu.batchLatency();
+    EXPECT_GT(b.extract_read, 0);
+    EXPECT_GT(b.extract_decode, 0);
+    EXPECT_GT(b.bucketize, 0);
+    EXPECT_GT(b.sigrid_hash, 0);
+    EXPECT_GT(b.log, 0);
+    EXPECT_GT(b.other, 0);
+    EXPECT_DOUBLE_EQ(b.total(), b.extract_read + b.extract_decode +
+                                    b.bucketize + b.sigrid_hash + b.log +
+                                    b.other);
+}
+
+TEST_P(CpuModelAllRms, SharesSumToOne)
+{
+    CpuWorkerModel cpu(rmConfig(GetParam()));
+    const LatencyBreakdown b = cpu.batchLatency();
+    EXPECT_GT(b.transformShare(), 0.0);
+    EXPECT_LT(b.transformShare() + b.extractShare(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rms, CpuModelAllRms, ::testing::Range(1, 6));
+
+TEST(CpuModelTest, ThroughputIsLinearInCores)
+{
+    CpuWorkerModel cpu(rmConfig(3));
+    const double one = cpu.throughput(1);
+    EXPECT_DOUBLE_EQ(cpu.throughput(10), 10 * one);
+    EXPECT_DOUBLE_EQ(cpu.throughput(0), 0.0);
+    EXPECT_DOUBLE_EQ(one, cpu.throughputPerCore());
+}
+
+TEST(CpuModelTest, ColocatedSlowerThanDedicated)
+{
+    CpuWorkerModel cpu(rmConfig(5));
+    EXPECT_LT(cpu.colocatedThroughputPerCore(), cpu.throughputPerCore());
+}
+
+TEST(CpuModelTest, LocalReadFasterThanRemote)
+{
+    CpuWorkerModel cpu(rmConfig(5));
+    EXPECT_LT(cpu.batchLatencyLocalRead().extract_read,
+              cpu.batchLatency().extract_read);
+}
+
+TEST(CpuModelTest, LatencyGrowsWithBucketSize)
+{
+    // RM3 -> RM4 -> RM5 differ only in bucket size.
+    const double l3 = CpuWorkerModel(rmConfig(3)).batchLatency().total();
+    const double l4 = CpuWorkerModel(rmConfig(4)).batchLatency().total();
+    const double l5 = CpuWorkerModel(rmConfig(5)).batchLatency().total();
+    EXPECT_LT(l3, l4);
+    EXPECT_LT(l4, l5);
+    // ...and only the Bucketize component moves.
+    EXPECT_LT(CpuWorkerModel(rmConfig(3)).batchLatency().bucketize,
+              CpuWorkerModel(rmConfig(5)).batchLatency().bucketize);
+    EXPECT_DOUBLE_EQ(CpuWorkerModel(rmConfig(3)).batchLatency().sigrid_hash,
+                     CpuWorkerModel(rmConfig(5)).batchLatency().sigrid_hash);
+}
+
+TEST(CpuModelTest, LatencyGrowsWithGeneratedFeatures)
+{
+    // RM2 -> RM3 doubles the generated features at equal bucket size.
+    const LatencyBreakdown b2 = CpuWorkerModel(rmConfig(2)).batchLatency();
+    const LatencyBreakdown b3 = CpuWorkerModel(rmConfig(3)).batchLatency();
+    EXPECT_NEAR(b3.bucketize / b2.bucketize, 2.0, 0.01);
+}
+
+TEST(CpuModelDeathTest, NegativeCoresPanics)
+{
+    CpuWorkerModel cpu(rmConfig(1));
+    EXPECT_DEATH(cpu.throughput(-1), "negative");
+}
+
+// --- ISP model -------------------------------------------------------------------
+
+TEST(IspParamsTest, FactoriesAreDistinct)
+{
+    const IspParams ssd = IspParams::smartSsd();
+    const IspParams pu = IspParams::prestoU280();
+    const IspParams du = IspParams::disaggU280();
+    EXPECT_EQ(ssd.placement, AcceleratorPlacement::kInStorage);
+    EXPECT_EQ(pu.placement, AcceleratorPlacement::kInStorage);
+    EXPECT_EQ(du.placement, AcceleratorPlacement::kDisaggregated);
+    EXPECT_GT(pu.hash_pes, ssd.hash_pes);
+    EXPECT_GT(pu.watts, ssd.watts);
+    EXPECT_EQ(pu.watts, du.watts);
+    EXPECT_LE(ssd.watts, 25.0);  // NVMe power envelope
+}
+
+class IspModelAllRms : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IspModelAllRms, FasterThanOneCpuCore)
+{
+    const RmConfig& cfg = rmConfig(GetParam());
+    const double cpu = CpuWorkerModel(cfg).batchLatency().total();
+    const double isp =
+        IspDeviceModel(IspParams::smartSsd(), cfg).batchLatency().total();
+    EXPECT_LT(isp, cpu);
+}
+
+TEST_P(IspModelAllRms, ThroughputExceedsInverseLatency)
+{
+    const RmConfig& cfg = rmConfig(GetParam());
+    IspDeviceModel device(IspParams::smartSsd(), cfg);
+    // Inter-batch pipelining: throughput beats 1/latency.
+    EXPECT_GT(device.throughput(),
+              1.0 / device.batchLatency().total() * 1.05);
+}
+
+TEST_P(IspModelAllRms, BottleneckBoundsThroughput)
+{
+    const RmConfig& cfg = rmConfig(GetParam());
+    IspDeviceModel device(IspParams::smartSsd(), cfg);
+    EXPECT_LE(device.throughput(),
+              device.params().batch_concurrency /
+                  device.bottleneckStageSeconds() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rms, IspModelAllRms, ::testing::Range(1, 6));
+
+/** Invariants that must hold for every accelerator build x workload. */
+class IspBuildSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    static IspParams
+    build(int which)
+    {
+        switch (which) {
+          case 0: return IspParams::smartSsd();
+          case 1: return IspParams::prestoU280();
+          default: return IspParams::disaggU280();
+        }
+    }
+};
+
+TEST_P(IspBuildSweep, LatencyAndThroughputInvariants)
+{
+    const auto [which, rm] = GetParam();
+    const IspParams params = build(which);
+    IspDeviceModel device(params, rmConfig(rm));
+
+    const LatencyBreakdown b = device.batchLatency();
+    EXPECT_GT(b.total(), 0);
+    EXPECT_GE(b.extract_read, 0);
+    EXPECT_GT(b.extract_decode, 0);
+    EXPECT_GT(b.sigrid_hash, 0);
+    EXPECT_GT(device.throughput(), 0);
+    // Throughput never exceeds the delivery path's capacity.
+    EXPECT_LE(device.throughput(), 1.0 / device.deliverSeconds() + 1e-9);
+    // All builds beat a single CPU core end to end.
+    EXPECT_LT(b.total(),
+              CpuWorkerModel(rmConfig(rm)).batchLatency().total());
+}
+
+std::string
+ispBuildSweepName(const ::testing::TestParamInfo<std::tuple<int, int>>& info)
+{
+    const char* name = "DisaggU280";
+    if (std::get<0>(info.param) == 0)
+        name = "SmartSSD";
+    else if (std::get<0>(info.param) == 1)
+        name = "PreStoU280";
+    return std::string(name) + "_RM" +
+           std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BuildsAndWorkloads, IspBuildSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Range(1, 6)),
+    ispBuildSweepName);
+
+TEST(IspModelTest, DisaggPlacementPaysNetworkCost)
+{
+    const RmConfig& cfg = rmConfig(5);
+    const double in_storage =
+        IspDeviceModel(IspParams::prestoU280(), cfg).batchLatency().total();
+    const double disagg =
+        IspDeviceModel(IspParams::disaggU280(), cfg).batchLatency().total();
+    EXPECT_GT(disagg, in_storage);
+}
+
+TEST(IspModelTest, U280ComputeFasterThanSmartSsd)
+{
+    const RmConfig& cfg = rmConfig(5);
+    const LatencyBreakdown ssd =
+        IspDeviceModel(IspParams::smartSsd(), cfg).batchLatency();
+    const LatencyBreakdown u280 =
+        IspDeviceModel(IspParams::prestoU280(), cfg).batchLatency();
+    EXPECT_LT(u280.sigrid_hash, ssd.sigrid_hash);
+    EXPECT_LT(u280.log, ssd.log);
+    EXPECT_LT(u280.extract_decode, ssd.extract_decode);
+}
+
+// --- GPU models -------------------------------------------------------------------
+
+TEST(GpuTrainModelTest, StepComponentsPositive)
+{
+    GpuTrainModel gpu(rmConfig(5));
+    const TrainStepBreakdown b = gpu.stepBreakdown();
+    EXPECT_GT(b.mlp_seconds, 0);
+    EXPECT_GT(b.interaction_seconds, 0);
+    EXPECT_GT(b.embedding_seconds, 0);
+    EXPECT_GT(b.fixed_seconds, 0);
+    EXPECT_DOUBLE_EQ(1.0 / b.total(), gpu.maxThroughput());
+}
+
+TEST(GpuTrainModelTest, SmallModelTrainsFaster)
+{
+    EXPECT_GT(GpuTrainModel(rmConfig(1)).maxThroughput(),
+              GpuTrainModel(rmConfig(5)).maxThroughput());
+}
+
+TEST(GpuTrainModelTest, EmbeddingBytesScaleWithSparsity)
+{
+    EXPECT_GT(GpuTrainModel(rmConfig(5)).embeddingGatherBytes(),
+              GpuTrainModel(rmConfig(1)).embeddingGatherBytes() * 10);
+}
+
+TEST(GpuTrainModelTest, ForwardFlopsGrowWithTables)
+{
+    // More tables -> more pairwise interactions -> more FLOPs.
+    EXPECT_GT(GpuTrainModel(rmConfig(3)).forwardFlops(),
+              GpuTrainModel(rmConfig(2)).forwardFlops());
+}
+
+TEST(GpuPreprocModelTest, DispatchDominatedAndSlowerThanIsp)
+{
+    for (const auto& cfg : allRmConfigs()) {
+        GpuPreprocModel gpu(cfg);
+        IspDeviceModel ssd(IspParams::smartSsd(), cfg);
+        EXPECT_GT(gpu.batchLatency().total(),
+                  ssd.batchLatency().total())
+            << cfg.name;
+    }
+}
+
+TEST(GpuPreprocModelTest, ThroughputPositive)
+{
+    GpuPreprocModel gpu(rmConfig(2));
+    EXPECT_GT(gpu.throughput(), 0);
+    EXPECT_GT(gpu.watts(), 0);
+}
+
+// --- network model -------------------------------------------------------------------
+
+TEST(NetworkModelTest, TransferTimeHasBandwidthAndRpcTerms)
+{
+    NetworkModel net(1e9, 1e-4, 1e6);
+    // 10 MB -> 10 ms wire + 10 RPCs x 0.1 ms.
+    EXPECT_NEAR(net.transferSeconds(10e6), 0.011, 1e-6);
+}
+
+TEST(NetworkModelTest, PrestoEliminatesRawInHop)
+{
+    const NetworkModel net = NetworkModel::datacenter();
+    for (const auto& cfg : allRmConfigs()) {
+        const RpcBreakdown d = net.disaggRpc(cfg);
+        const RpcBreakdown p = net.prestoRpc(cfg);
+        EXPECT_GT(d.raw_in_seconds, 0);
+        EXPECT_DOUBLE_EQ(p.raw_in_seconds, 0);
+        EXPECT_DOUBLE_EQ(d.tensors_out_seconds, p.tensors_out_seconds);
+        EXPECT_GT(d.total(), p.total());
+    }
+}
+
+TEST(NetworkModelDeathTest, BadParamsPanic)
+{
+    EXPECT_DEATH(NetworkModel(0, 0, 1), "positive");
+}
+
+// --- cost model ----------------------------------------------------------------------
+
+TEST(CostModelTest, OpexMatchesHandComputation)
+{
+    Deployment d;
+    d.power_watts = 1000.0;  // 1 kW
+    d.duration_sec = kHour;  // 1 hour
+    EXPECT_NEAR(d.opexDollars(0.10), 0.10, 1e-9);
+}
+
+TEST(CostModelTest, CpuDeploymentUsesWholeNodes)
+{
+    const Deployment d33 = makeCpuDeployment(33);
+    EXPECT_DOUBLE_EQ(d33.capex_dollars, 2 * cal::kCpuNodeDollars);
+    EXPECT_DOUBLE_EQ(d33.power_watts, 33 * cal::kCpuWattsPerCore);
+    const Deployment d32 = makeCpuDeployment(32);
+    EXPECT_DOUBLE_EQ(d32.capex_dollars, cal::kCpuNodeDollars);
+}
+
+TEST(CostModelTest, IspDeploymentScalesWithUnits)
+{
+    const Deployment d = makeIspDeployment(9, 20.0, 2200.0);
+    EXPECT_DOUBLE_EQ(d.capex_dollars, 9 * 2200.0);
+    EXPECT_DOUBLE_EQ(d.power_watts, 180.0);
+    EXPECT_DOUBLE_EQ(d.duration_sec, cal::kDurationSec);
+}
+
+TEST(CostModelTest, EfficienciesScaleInversely)
+{
+    Deployment cheap = makeIspDeployment(1, 20.0, 1000.0);
+    Deployment pricey = makeIspDeployment(1, 20.0, 2000.0);
+    EXPECT_GT(costEfficiency(cheap, 10.0), costEfficiency(pricey, 10.0));
+
+    Deployment low_power = makeIspDeployment(1, 10.0, 1000.0);
+    Deployment high_power = makeIspDeployment(1, 100.0, 1000.0);
+    EXPECT_NEAR(energyEfficiency(low_power, 10.0) /
+                    energyEfficiency(high_power, 10.0),
+                10.0, 1e-9);
+}
+
+TEST(CostModelTest, EnergyJoules)
+{
+    Deployment d;
+    d.power_watts = 5.0;
+    d.duration_sec = 10.0;
+    EXPECT_DOUBLE_EQ(d.energyJoules(), 50.0);
+}
+
+// --- SSD model --------------------------------------------------------------------------
+
+TEST(SsdModelTest, SequentialBandwidthInNvmeClass)
+{
+    SsdModel ssd;
+    // A SmartSSD-class drive streams a few GB/s.
+    EXPECT_GT(ssd.sequentialBandwidth(), 1.5e9);
+    EXPECT_LT(ssd.sequentialBandwidth(), 8.0e9);
+}
+
+TEST(SsdModelTest, SequentialReadScalesWithBytes)
+{
+    SsdModel ssd;
+    const double t1 = ssd.sequentialReadSeconds(10e6);
+    const double t2 = ssd.sequentialReadSeconds(20e6);
+    EXPECT_GT(t2, t1);
+    // Doubling far above the pipeline-fill term ~doubles the time.
+    EXPECT_NEAR((t2 - ssd.params().page_read_sec) /
+                    (t1 - ssd.params().page_read_sec),
+                2.0, 0.01);
+    EXPECT_DOUBLE_EQ(ssd.sequentialReadSeconds(0), 0.0);
+}
+
+TEST(SsdModelTest, RandomReadsSlowerThanSequential)
+{
+    SsdModel ssd;
+    const double bytes = 64e6;
+    EXPECT_GE(ssd.randomReadSeconds(bytes, 4096, 1),
+              ssd.sequentialReadSeconds(bytes));
+    // Deep queues approach the bandwidth floor.
+    EXPECT_LT(ssd.randomReadSeconds(bytes, 65536, 256),
+              ssd.randomReadSeconds(bytes, 4096, 1));
+}
+
+TEST(SsdModelTest, QueueDepthHelpsUntilDiesSaturate)
+{
+    SsdModel ssd;
+    const double bytes = 16e6;
+    const double qd1 = ssd.randomReadSeconds(bytes, 4096, 1);
+    const double qd8 = ssd.randomReadSeconds(bytes, 4096, 8);
+    const double qd32 = ssd.randomReadSeconds(bytes, 4096, 32);
+    EXPECT_GT(qd1, qd8);
+    EXPECT_GE(qd8, qd32);
+}
+
+TEST(SsdModelTest, MoreChannelsMoreBandwidth)
+{
+    SsdParams narrow = SsdParams::smartSsdClass();
+    narrow.channels = 4;
+    SsdParams wide = SsdParams::smartSsdClass();
+    wide.channels = 16;
+    EXPECT_GT(SsdModel(wide).sequentialBandwidth(),
+              SsdModel(narrow).sequentialBandwidth());
+}
+
+TEST(SsdModelTest, FewDiesExposeReadLatency)
+{
+    SsdParams starved = SsdParams::smartSsdClass();
+    starved.dies_per_channel = 1;
+    EXPECT_LT(SsdModel(starved).sequentialBandwidth(),
+              SsdModel().sequentialBandwidth());
+}
+
+TEST(SsdModelDeathTest, BadParamsPanic)
+{
+    SsdParams bad = SsdParams::smartSsdClass();
+    bad.channels = 0;
+    EXPECT_DEATH(SsdModel{bad}, "positive");
+    SsdModel ok;
+    EXPECT_DEATH(ok.sequentialReadSeconds(-1), "negative");
+    EXPECT_DEATH(ok.randomReadSeconds(1, 0), "request");
+}
+
+TEST(SsdModelTest, CalibrationConsistentWithDeliveryConstant)
+{
+    // The P2P delivery constant used by the ISP model should sit at or
+    // below what the flash array can stream.
+    SsdModel ssd;
+    EXPECT_LE(cal::kSmartSsdP2pBytesPerSec,
+              ssd.sequentialBandwidth() * 1.05);
+}
+
+// --- FPGA resources ---------------------------------------------------------------------
+
+TEST(FpgaResourcesTest, RowsMatchTableTwoWithinTolerance)
+{
+    // Paper Table II percentages.
+    const struct {
+        const char* name;
+        double lut, reg, bram, uram, dsp;
+    } expected[] = {
+        {"Decode", 18.84, 8.49, 25.08, 0.00, 0.00},
+        {"Bucketize", 7.88, 4.28, 6.19, 27.59, 0.00},
+        {"SigridHash", 23.11, 12.47, 11.89, 0.00, 19.19},
+        {"Log", 4.18, 2.79, 4.89, 0.00, 10.62},
+        {"Total", 54.02, 28.03, 48.05, 27.59, 29.81},
+    };
+    const auto rows = prestoAcceleratorUtilization();
+    ASSERT_EQ(rows.size(), 5u);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].name, expected[i].name);
+        EXPECT_NEAR(rows[i].percent.lut, expected[i].lut, 0.1);
+        EXPECT_NEAR(rows[i].percent.reg, expected[i].reg, 0.1);
+        EXPECT_NEAR(rows[i].percent.bram, expected[i].bram, 0.1);
+        EXPECT_NEAR(rows[i].percent.uram, expected[i].uram, 0.1);
+        EXPECT_NEAR(rows[i].percent.dsp, expected[i].dsp, 0.1);
+    }
+}
+
+TEST(FpgaResourcesTest, TotalIsSumOfUnits)
+{
+    const auto rows = prestoAcceleratorUtilization();
+    FpgaResources sum;
+    for (size_t i = 0; i + 1 < rows.size(); ++i)
+        sum = sum + rows[i].absolute;
+    const auto& total = rows.back().absolute;
+    EXPECT_DOUBLE_EQ(sum.lut, total.lut);
+    EXPECT_DOUBLE_EQ(sum.dsp, total.dsp);
+}
+
+TEST(FpgaResourcesTest, FitsOnFabric)
+{
+    const auto& total = prestoAcceleratorUtilization().back().percent;
+    EXPECT_LT(total.lut, 100.0);
+    EXPECT_LT(total.reg, 100.0);
+    EXPECT_LT(total.bram, 100.0);
+    EXPECT_LT(total.uram, 100.0);
+    EXPECT_LT(total.dsp, 100.0);
+}
+
+TEST(FpgaResourcesTest, ClockIs223Mhz)
+{
+    EXPECT_NEAR(prestoAcceleratorClockHz(), 223e6, 1e3);
+}
+
+TEST(FpgaResourcesTest, ArithmeticOperators)
+{
+    FpgaResources a{1, 2, 3, 4, 5};
+    FpgaResources b = a * 2.0;
+    EXPECT_DOUBLE_EQ(b.lut, 2);
+    EXPECT_DOUBLE_EQ((a + b).dsp, 15);
+    FpgaResources pct = a.percentOf({10, 10, 10, 10, 10});
+    EXPECT_DOUBLE_EQ(pct.lut, 10.0);
+    EXPECT_DOUBLE_EQ(pct.dsp, 50.0);
+}
+
+}  // namespace
+}  // namespace presto

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for declarative TransformPlans: validation, equivalence of the
+ * standard plan with the Preprocessor fast path, and custom plans.
+ */
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "ops/plan.h"
+#include "ops/preprocessor.h"
+
+namespace presto {
+namespace {
+
+RmConfig
+smallConfig()
+{
+    RmConfig cfg = rmConfig(2);
+    cfg.batch_size = 96;
+    cfg.num_dense = 5;
+    cfg.num_sparse = 3;
+    cfg.num_generated = 2;
+    return cfg;
+}
+
+// --- validation -----------------------------------------------------------------
+
+TEST(PlanValidateTest, StandardPlanValidates)
+{
+    const RmConfig cfg = smallConfig();
+    const Schema schema = Schema::makeRecSys(cfg.num_dense, cfg.num_sparse);
+    EXPECT_TRUE(TransformPlan::standard(cfg).validate(schema).ok());
+}
+
+TEST(PlanValidateTest, UnknownSourceIsNotFound)
+{
+    TransformPlan plan;
+    PlanOutput out;
+    out.kind = PlanOutput::Kind::kDense;
+    out.output_name = "x";
+    out.source_feature = "nope";
+    plan.add(out);
+    EXPECT_EQ(plan.validate(Schema::makeRecSys(1, 1)).code(),
+              StatusCode::kNotFound);
+}
+
+TEST(PlanValidateTest, KindMismatchRejected)
+{
+    TransformPlan plan;
+    PlanOutput out;
+    out.kind = PlanOutput::Kind::kSparse;
+    out.output_name = "x";
+    out.source_feature = "dense_0";  // dense source for a sparse output
+    plan.add(out);
+    EXPECT_EQ(plan.validate(Schema::makeRecSys(1, 1)).code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(PlanValidateTest, DuplicateOutputNamesRejected)
+{
+    TransformPlan plan;
+    for (int i = 0; i < 2; ++i) {
+        PlanOutput out;
+        out.kind = PlanOutput::Kind::kDense;
+        out.output_name = "same";
+        out.source_feature = "dense_0";
+        plan.add(out);
+    }
+    EXPECT_EQ(plan.validate(Schema::makeRecSys(1, 0)).code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(PlanValidateTest, GeneratedNeedsBoundaries)
+{
+    TransformPlan plan;
+    PlanOutput out;
+    out.kind = PlanOutput::Kind::kGenerated;
+    out.output_name = "g";
+    out.source_feature = "dense_0";
+    out.bucket_boundaries = 0;
+    plan.add(out);
+    EXPECT_EQ(plan.validate(Schema::makeRecSys(1, 0)).code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(PlanValidateTest, BadOpParamsRejected)
+{
+    const Schema schema = Schema::makeRecSys(1, 1);
+    {
+        TransformPlan plan;
+        PlanOutput out;
+        out.kind = PlanOutput::Kind::kDense;
+        out.output_name = "d";
+        out.source_feature = "dense_0";
+        out.dense_ops = {DenseOp::clamp(2.0f, 1.0f)};
+        plan.add(out);
+        EXPECT_EQ(plan.validate(schema).code(),
+                  StatusCode::kInvalidArgument);
+    }
+    {
+        TransformPlan plan;
+        PlanOutput out;
+        out.kind = PlanOutput::Kind::kSparse;
+        out.output_name = "s";
+        out.source_feature = "sparse_0";
+        out.sparse_ops = {SparseOp::sigridHash(1, 0)};
+        plan.add(out);
+        EXPECT_EQ(plan.validate(schema).code(),
+                  StatusCode::kInvalidArgument);
+    }
+}
+
+TEST(PlanValidateTest, CrossKindOpsRejected)
+{
+    const Schema schema = Schema::makeRecSys(1, 1);
+    TransformPlan plan;
+    PlanOutput out;
+    out.kind = PlanOutput::Kind::kDense;
+    out.output_name = "d";
+    out.source_feature = "dense_0";
+    out.sparse_ops = {SparseOp::firstX(1)};
+    plan.add(out);
+    EXPECT_EQ(plan.validate(schema).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PlanExecutorDeathTest, InvalidPlanPanics)
+{
+    TransformPlan plan;
+    PlanOutput out;
+    out.kind = PlanOutput::Kind::kDense;
+    out.output_name = "x";
+    out.source_feature = "nope";
+    plan.add(out);
+    const Schema schema = Schema::makeRecSys(1, 0);
+    EXPECT_DEATH(PlanExecutor(plan, schema), "invalid plan");
+}
+
+// --- standard plan equals Preprocessor ----------------------------------------------
+
+class StandardPlanEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StandardPlanEquivalence, MatchesPreprocessorBitForBit)
+{
+    RmConfig cfg = rmConfig(GetParam());
+    cfg.batch_size = 64;
+    RawDataGenerator gen(cfg);
+    const RowBatch raw = gen.generatePartition(2);
+
+    const MiniBatch fast = Preprocessor(cfg).preprocess(raw);
+    PlanExecutor executor(TransformPlan::standard(cfg), raw.schema());
+    const MiniBatch planned = executor.run(raw);
+
+    EXPECT_EQ(fast.dense, planned.dense);
+    EXPECT_EQ(fast.labels, planned.labels);
+    ASSERT_EQ(fast.sparse.size(), planned.sparse.size());
+    for (size_t i = 0; i < fast.sparse.size(); ++i) {
+        EXPECT_EQ(fast.sparse[i].feature_name,
+                  planned.sparse[i].feature_name);
+        EXPECT_EQ(fast.sparse[i].values, planned.sparse[i].values);
+        EXPECT_EQ(fast.sparse[i].lengths, planned.sparse[i].lengths);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, StandardPlanEquivalence,
+                         ::testing::Values(1, 2, 5));
+
+// --- custom plans -----------------------------------------------------------------------
+
+TEST(PlanExecutorTest, FeatureSubsetPlan)
+{
+    // A model that uses only 2 of the dense and 1 of the sparse features.
+    const RmConfig cfg = smallConfig();
+    RawDataGenerator gen(cfg);
+    const RowBatch raw = gen.generatePartition(0);
+
+    TransformPlan plan;
+    {
+        PlanOutput out;
+        out.kind = PlanOutput::Kind::kLabel;
+        out.output_name = "label";
+        out.source_feature = "label";
+        plan.add(out);
+    }
+    for (const char* f : {"dense_1", "dense_3"}) {
+        PlanOutput out;
+        out.kind = PlanOutput::Kind::kDense;
+        out.output_name = f;
+        out.source_feature = f;
+        out.dense_ops = {DenseOp::fillMissing(0.0f), DenseOp::log()};
+        plan.add(out);
+    }
+    {
+        PlanOutput out;
+        out.kind = PlanOutput::Kind::kSparse;
+        out.output_name = "ids";
+        out.source_feature = "sparse_2";
+        out.sparse_ops = {SparseOp::firstX(4),
+                          SparseOp::sigridHash(9, 1000)};
+        plan.add(out);
+    }
+
+    PlanExecutor executor(plan, raw.schema());
+    const MiniBatch mb = executor.run(raw);
+    EXPECT_EQ(mb.num_dense, 2u);
+    ASSERT_EQ(mb.sparse.size(), 1u);
+    EXPECT_EQ(mb.sparse[0].feature_name, "ids");
+    for (uint32_t len : mb.sparse[0].lengths)
+        EXPECT_LE(len, 4u);  // FirstX applied before hashing
+    for (int64_t v : mb.sparse[0].values) {
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, 1000);
+    }
+}
+
+TEST(PlanExecutorTest, ClampChainOrderMatters)
+{
+    const Schema schema = Schema::makeRecSys(1, 0);
+    RowBatch batch(schema);
+    batch.addColumn(DenseColumn({0.0f, 1.0f}));
+    batch.addColumn(DenseColumn({100.0f, -5.0f}));
+
+    TransformPlan plan;
+    PlanOutput out;
+    out.kind = PlanOutput::Kind::kDense;
+    out.output_name = "d";
+    out.source_feature = "dense_0";
+    out.dense_ops = {DenseOp::clamp(0.0f, 10.0f), DenseOp::log()};
+    plan.add(out);
+
+    PlanExecutor executor(plan, schema);
+    const MiniBatch mb = executor.run(batch);
+    EXPECT_FLOAT_EQ(mb.dense[0], std::log1p(10.0f));  // clamped then log
+    EXPECT_FLOAT_EQ(mb.dense[1], 0.0f);               // clamped to 0
+}
+
+TEST(PlanExecutorTest, PlanWithoutLabelYieldsEmptyLabels)
+{
+    const RmConfig cfg = smallConfig();
+    RawDataGenerator gen(cfg);
+    const RowBatch raw = gen.generatePartition(0);
+
+    TransformPlan plan;
+    PlanOutput out;
+    out.kind = PlanOutput::Kind::kDense;
+    out.output_name = "d";
+    out.source_feature = "dense_0";
+    plan.add(out);
+
+    PlanExecutor executor(plan, raw.schema());
+    const MiniBatch mb = executor.run(raw);
+    EXPECT_TRUE(mb.labels.empty());
+    EXPECT_TRUE(mb.consistent());
+}
+
+TEST(PlanExecutorDeathTest, SchemaMismatchAtRunPanics)
+{
+    const RmConfig cfg = smallConfig();
+    RawDataGenerator gen(cfg);
+    const RowBatch raw = gen.generatePartition(0);
+    PlanExecutor executor(TransformPlan::standard(cfg), raw.schema());
+
+    RmConfig other = cfg;
+    other.num_dense += 1;
+    RawDataGenerator gen2(other);
+    const RowBatch wrong = gen2.generatePartition(0);
+    EXPECT_DEATH(executor.run(wrong), "schema");
+}
+
+TEST(PlanCountsTest, OutputCounts)
+{
+    const RmConfig cfg = smallConfig();
+    const TransformPlan plan = TransformPlan::standard(cfg);
+    EXPECT_EQ(plan.numDenseOutputs(), cfg.num_dense);
+    EXPECT_EQ(plan.numSparseOutputs(), cfg.totalSparseFeatures());
+    EXPECT_EQ(plan.outputs().size(),
+              1 + cfg.num_dense + cfg.totalSparseFeatures());
+}
+
+}  // namespace
+}  // namespace presto

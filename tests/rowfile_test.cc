@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the row-oriented (RSF) baseline format and the dataset
+ * directory (manifest + partitions).
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "columnar/columnar_file.h"
+#include "columnar/dataset.h"
+#include "columnar/row_file.h"
+#include "datagen/generator.h"
+
+namespace presto {
+namespace {
+
+RowBatch
+smallBatch(int rm, size_t rows, uint64_t partition = 0)
+{
+    RmConfig cfg = rmConfig(rm);
+    cfg.batch_size = rows;
+    RawDataGenerator gen(cfg);
+    return gen.generatePartition(partition);
+}
+
+// --- RowFile -------------------------------------------------------------------
+
+class RowFileRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RowFileRoundTrip, ReadAllRecoversBatch)
+{
+    const RowBatch batch = smallBatch(GetParam(), 150);
+    const auto bytes = RowFileWriter().write(batch, 9);
+    RowFileReader reader;
+    ASSERT_TRUE(reader.open(bytes).ok());
+    EXPECT_EQ(reader.numRows(), 150u);
+    EXPECT_EQ(reader.partitionId(), 9u);
+    EXPECT_EQ(reader.schema(), batch.schema());
+    auto out = reader.readAll();
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, batch);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, RowFileRoundTrip,
+                         ::testing::Values(1, 2, 5));
+
+TEST(RowFileTest, ProjectionMatchesColumnarContent)
+{
+    const RowBatch batch = smallBatch(1, 80);
+    const auto rsf = RowFileWriter().write(batch, 0);
+    const auto psf = ColumnarFileWriter().write(batch, 0);
+
+    const std::vector<std::string> names = {"dense_2", "sparse_5"};
+    RowFileReader row_reader;
+    ASSERT_TRUE(row_reader.open(rsf).ok());
+    auto from_row = row_reader.readColumns(names);
+    ASSERT_TRUE(from_row.ok());
+
+    ColumnarFileReader col_reader;
+    ASSERT_TRUE(col_reader.open(psf).ok());
+    auto from_col = col_reader.readColumns(names);
+    ASSERT_TRUE(from_col.ok());
+
+    EXPECT_EQ(*from_row, *from_col);
+}
+
+TEST(RowFileTest, AnyProjectionTouchesWholeRecordRegion)
+{
+    const RowBatch batch = smallBatch(2, 100);
+    const auto bytes = RowFileWriter().write(batch, 0);
+
+    RowFileReader one_col;
+    ASSERT_TRUE(one_col.open(bytes).ok());
+    ASSERT_TRUE(one_col.readColumns({"dense_0"}).ok());
+
+    RowFileReader all_cols;
+    ASSERT_TRUE(all_cols.open(bytes).ok());
+    ASSERT_TRUE(all_cols.readAll().ok());
+
+    // Overfetch: scanning one column costs the same as scanning all.
+    EXPECT_EQ(one_col.bytesTouched(), all_cols.bytesTouched());
+    EXPECT_GT(one_col.bytesTouched(), bytes.size() * 9 / 10);
+}
+
+TEST(RowFileTest, UnknownFeatureIsNotFound)
+{
+    const auto bytes = RowFileWriter().write(smallBatch(1, 10), 0);
+    RowFileReader reader;
+    ASSERT_TRUE(reader.open(bytes).ok());
+    EXPECT_EQ(reader.readColumns({"missing"}).status().code(),
+              StatusCode::kNotFound);
+}
+
+TEST(RowFileTest, MagicAndFooterCorruptionDetected)
+{
+    const auto bytes = RowFileWriter().write(smallBatch(1, 10), 0);
+    for (size_t pos : {size_t{0}, bytes.size() - 1, bytes.size() - 10}) {
+        auto corrupted = bytes;
+        corrupted[pos] ^= 0x20;
+        RowFileReader reader;
+        EXPECT_FALSE(reader.open(corrupted).ok()) << "flip at " << pos;
+    }
+}
+
+TEST(RowFileTest, ReadBeforeOpenFails)
+{
+    RowFileReader reader;
+    EXPECT_EQ(reader.readAll().status().code(),
+              StatusCode::kFailedPrecondition);
+}
+
+TEST(RowFileTest, RowFormatBiggerOrSimilarButNeverSelective)
+{
+    // Columnar wins on selective reads even when total sizes are close.
+    const RowBatch batch = smallBatch(5, 200);
+    const auto rsf = RowFileWriter().write(batch, 0);
+    const auto psf = ColumnarFileWriter().write(batch, 0);
+    ColumnarFileReader col_reader;
+    ASSERT_TRUE(col_reader.open(psf).ok());
+    ASSERT_TRUE(col_reader.readColumns({"dense_0"}).ok());
+    EXPECT_LT(col_reader.bytesTouched() * 10, rsf.size());
+}
+
+// --- Dataset --------------------------------------------------------------------
+
+std::string
+freshDir(const std::string& name)
+{
+    const std::string dir = ::testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+TEST(DatasetTest, WriteAndReadBack)
+{
+    const std::string dir = freshDir("dataset_roundtrip");
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 64;
+    RawDataGenerator gen(cfg);
+
+    DatasetWriter writer(dir);
+    for (uint64_t p = 0; p < 3; ++p)
+        ASSERT_TRUE(writer.addPartition(gen.generatePartition(p), p).ok());
+    ASSERT_TRUE(writer.finish().ok());
+
+    DatasetReader reader;
+    ASSERT_TRUE(reader.open(dir).ok());
+    EXPECT_EQ(reader.manifest().num_partitions, 3u);
+    EXPECT_EQ(reader.manifest().rows_per_partition, 64u);
+    for (size_t i = 0; i < 3; ++i) {
+        auto batch = reader.readPartition(i);
+        ASSERT_TRUE(batch.ok());
+        EXPECT_EQ(*batch, gen.generatePartition(i));
+    }
+}
+
+TEST(DatasetTest, RejectsDuplicateAndUnevenPartitions)
+{
+    const std::string dir = freshDir("dataset_invalid");
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 32;
+    RawDataGenerator gen(cfg);
+    DatasetWriter writer(dir);
+    ASSERT_TRUE(writer.addPartition(gen.generatePartition(0), 0).ok());
+    EXPECT_EQ(writer.addPartition(gen.generatePartition(1), 0).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(writer
+                  .addPartition(gen.generatePartition(1, 16), 1)
+                  .code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, FinishIsOneShot)
+{
+    const std::string dir = freshDir("dataset_finish");
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 16;
+    RawDataGenerator gen(cfg);
+    DatasetWriter writer(dir);
+    ASSERT_TRUE(writer.addPartition(gen.generatePartition(0), 0).ok());
+    ASSERT_TRUE(writer.finish().ok());
+    EXPECT_EQ(writer.finish().code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(writer.addPartition(gen.generatePartition(1), 1).code(),
+              StatusCode::kFailedPrecondition);
+}
+
+TEST(DatasetTest, DetectsTamperedPartitionFile)
+{
+    const std::string dir = freshDir("dataset_tamper");
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 32;
+    RawDataGenerator gen(cfg);
+    DatasetWriter writer(dir);
+    ASSERT_TRUE(writer.addPartition(gen.generatePartition(0), 0).ok());
+    ASSERT_TRUE(writer.finish().ok());
+
+    DatasetReader reader;
+    ASSERT_TRUE(reader.open(dir).ok());
+    const std::string part_path =
+        dir + "/" + reader.manifest().partitions[0].file_name;
+    auto bytes = loadFromFile(part_path);
+    ASSERT_TRUE(bytes.ok());
+    (*bytes)[bytes->size() / 2] ^= 0x04;
+    ASSERT_TRUE(saveToFile(part_path, *bytes).ok());
+
+    EXPECT_EQ(reader.readPartition(0).status().code(),
+              StatusCode::kCorruption);
+}
+
+TEST(DatasetTest, MissingManifestIsNotFound)
+{
+    const std::string dir = freshDir("dataset_empty");
+    DatasetReader reader;
+    EXPECT_EQ(reader.open(dir).code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetTest, OutOfRangePartitionIndex)
+{
+    const std::string dir = freshDir("dataset_range");
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 16;
+    RawDataGenerator gen(cfg);
+    DatasetWriter writer(dir);
+    ASSERT_TRUE(writer.addPartition(gen.generatePartition(0), 0).ok());
+    ASSERT_TRUE(writer.finish().ok());
+    DatasetReader reader;
+    ASSERT_TRUE(reader.open(dir).ok());
+    EXPECT_EQ(reader.readPartition(5).status().code(),
+              StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, CorruptManifestDetected)
+{
+    const std::string dir = freshDir("dataset_badmanifest");
+    const std::string text = "NOTADATASET 1 0 0\n";
+    ASSERT_TRUE(saveToFile(dir + "/MANIFEST",
+                           std::span<const uint8_t>(
+                               reinterpret_cast<const uint8_t*>(
+                                   text.data()),
+                               text.size()))
+                    .ok());
+    DatasetReader reader;
+    EXPECT_EQ(reader.open(dir).code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace presto

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the discrete-event engine, the bounded producer-consumer
+ * queue, and the utilization tracker.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/sim_queue.h"
+#include "sim/simulator.h"
+#include "sim/utilization.h"
+
+namespace presto {
+namespace {
+
+// --- Simulator -----------------------------------------------------------------
+
+TEST(SimulatorTest, StartsAtZero)
+{
+    Simulator sim;
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+    EXPECT_TRUE(sim.empty());
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(3.0, [&] { order.push_back(3); });
+    sim.schedule(1.0, [&] { order.push_back(1); });
+    sim.schedule(2.0, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+    EXPECT_EQ(sim.eventsProcessed(), 3u);
+}
+
+TEST(SimulatorTest, SimultaneousEventsFifo)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        sim.schedule(1.0, [&order, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            sim.schedule(1.0, chain);
+    };
+    sim.schedule(0.0, chain);
+    sim.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsEarly)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1.0, [&] { ++fired; });
+    sim.schedule(5.0, [&] { ++fired; });
+    sim.run(2.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime)
+{
+    Simulator sim;
+    double when = -1;
+    sim.schedule(2.0, [&] {
+        sim.schedule(0.0, [&] { when = sim.now(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(when, 2.0);
+}
+
+TEST(SimulatorDeathTest, NegativeDelayPanics)
+{
+    Simulator sim;
+    EXPECT_DEATH(sim.schedule(-1.0, [] {}), "past");
+}
+
+TEST(SimulatorDeathTest, ScheduleAtPastPanics)
+{
+    Simulator sim;
+    sim.schedule(5.0, [] {});
+    sim.run();
+    EXPECT_DEATH(sim.scheduleAt(1.0, [] {}), "past");
+}
+
+// --- SimQueue ------------------------------------------------------------------
+
+TEST(SimQueueTest, ImmediatePushPop)
+{
+    SimQueue<int> q(2);
+    bool accepted = false;
+    q.push(7, [&] { accepted = true; });
+    EXPECT_TRUE(accepted);
+    EXPECT_EQ(q.size(), 1u);
+
+    int got = 0;
+    q.pop([&](int v) { got = v; });
+    EXPECT_EQ(got, 7);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SimQueueTest, PopBeforePushWaits)
+{
+    SimQueue<std::string> q(1);
+    std::string got;
+    q.pop([&](std::string v) { got = std::move(v); });
+    EXPECT_EQ(q.waitingConsumers(), 1u);
+    q.push("hello", nullptr);
+    EXPECT_EQ(got, "hello");
+    EXPECT_EQ(q.waitingConsumers(), 0u);
+}
+
+TEST(SimQueueTest, FullQueueBlocksProducer)
+{
+    SimQueue<int> q(1);
+    q.push(1, nullptr);
+    bool second_accepted = false;
+    q.push(2, [&] { second_accepted = true; });
+    EXPECT_FALSE(second_accepted);
+    EXPECT_EQ(q.waitingProducers(), 1u);
+
+    int got = 0;
+    q.pop([&](int v) { got = v; });
+    EXPECT_EQ(got, 1);
+    EXPECT_TRUE(second_accepted);  // freed space admitted item 2
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(SimQueueTest, FifoOrderAcrossBackpressure)
+{
+    SimQueue<int> q(2);
+    for (int i = 0; i < 5; ++i)
+        q.push(i, nullptr);
+    std::vector<int> got;
+    for (int i = 0; i < 5; ++i)
+        q.pop([&](int v) { got.push_back(v); });
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimQueueTest, CountsPushedAndPopped)
+{
+    SimQueue<int> q(4);
+    q.push(1, nullptr);
+    q.push(2, nullptr);
+    q.pop([](int) {});
+    EXPECT_EQ(q.totalPushed(), 2u);
+    EXPECT_EQ(q.totalPopped(), 1u);
+}
+
+TEST(SimQueueTest, MaxWaitingProducersHighWaterMark)
+{
+    SimQueue<int> q(1);
+    q.push(0, nullptr);
+    q.push(1, nullptr);
+    q.push(2, nullptr);
+    EXPECT_EQ(q.maxWaitingProducers(), 2u);
+    q.pop([](int) {});
+    q.pop([](int) {});
+    EXPECT_EQ(q.maxWaitingProducers(), 2u);  // high-water mark persists
+}
+
+TEST(SimQueueTest, HandoffCountsThroughWaitingConsumer)
+{
+    SimQueue<int> q(1);
+    q.pop([](int) {});
+    q.push(9, nullptr);
+    EXPECT_EQ(q.totalPushed(), 1u);
+    EXPECT_EQ(q.totalPopped(), 1u);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SimQueueDeathTest, ZeroCapacityPanics)
+{
+    EXPECT_DEATH(SimQueue<int>{0}, "capacity");
+}
+
+// --- Producer-consumer integration over the simulator -----------------------------
+
+TEST(SimQueueTest, ProducerConsumerRatesDetermineThroughput)
+{
+    // Producer every 1s, consumer every 2s: consumer-bound.
+    Simulator sim;
+    SimQueue<int> q(2);
+    int produced = 0, consumed = 0;
+
+    std::function<void()> produce = [&] {
+        sim.schedule(1.0, [&] {
+            if (produced >= 20)
+                return;
+            q.push(produced++, [&] { produce(); });
+        });
+    };
+    std::function<void()> consume = [&] {
+        q.pop([&](int) {
+            sim.schedule(2.0, [&] {
+                ++consumed;
+                if (consumed < 20)
+                    consume();
+            });
+        });
+    };
+    produce();
+    consume();
+    sim.run();
+    EXPECT_EQ(consumed, 20);
+    // Consumer-bound end time ~ 2s per item.
+    EXPECT_NEAR(sim.now(), 41.0, 2.0);
+}
+
+// --- UtilizationTracker --------------------------------------------------------------
+
+TEST(UtilizationTrackerTest, AccumulatesBusyTime)
+{
+    UtilizationTracker t;
+    t.addBusy(2.0);
+    t.addBusy(3.0);
+    EXPECT_DOUBLE_EQ(t.busySeconds(), 5.0);
+    EXPECT_DOUBLE_EQ(t.utilization(10.0), 0.5);
+}
+
+TEST(UtilizationTrackerTest, ClampsToOne)
+{
+    UtilizationTracker t;
+    t.addBusy(20.0);
+    EXPECT_DOUBLE_EQ(t.utilization(10.0), 1.0);
+}
+
+TEST(UtilizationTrackerTest, ZeroTotalIsZero)
+{
+    UtilizationTracker t;
+    t.addBusy(1.0);
+    EXPECT_DOUBLE_EQ(t.utilization(0.0), 0.0);
+}
+
+TEST(UtilizationTrackerTest, ResetClears)
+{
+    UtilizationTracker t;
+    t.addBusy(1.0);
+    t.reset();
+    EXPECT_DOUBLE_EQ(t.busySeconds(), 0.0);
+}
+
+TEST(UtilizationTrackerDeathTest, NegativeBusyPanics)
+{
+    UtilizationTracker t;
+    EXPECT_DEATH(t.addBusy(-1.0), "negative");
+}
+
+}  // namespace
+}  // namespace presto

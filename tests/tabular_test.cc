@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Unit tests for the tabular data model: schema, columns, row batches,
+ * and train-ready mini-batch tensors.
+ */
+#include <gtest/gtest.h>
+
+#include "tabular/column.h"
+#include "tabular/minibatch.h"
+#include "tabular/row_batch.h"
+#include "tabular/schema.h"
+
+namespace presto {
+namespace {
+
+// --- Schema ----------------------------------------------------------------
+
+TEST(SchemaTest, CountsByKind)
+{
+    Schema s = Schema::makeRecSys(3, 2);
+    EXPECT_EQ(s.numFeatures(), 6u);
+    EXPECT_EQ(s.numDense(), 3u);
+    EXPECT_EQ(s.numSparse(), 2u);
+    EXPECT_EQ(s.numLabels(), 1u);
+}
+
+TEST(SchemaTest, MakeRecSysWithoutLabel)
+{
+    Schema s = Schema::makeRecSys(1, 1, /*with_label=*/false);
+    EXPECT_EQ(s.numFeatures(), 2u);
+    EXPECT_EQ(s.numLabels(), 0u);
+}
+
+TEST(SchemaTest, IndexOfFindsFeatures)
+{
+    Schema s = Schema::makeRecSys(2, 2);
+    EXPECT_EQ(s.indexOf("label"), 0u);
+    EXPECT_EQ(s.indexOf("dense_1"), 2u);
+    EXPECT_EQ(s.indexOf("sparse_0"), 3u);
+    EXPECT_FALSE(s.indexOf("nope").has_value());
+}
+
+TEST(SchemaTest, IndicesOfKindPreservesOrder)
+{
+    Schema s = Schema::makeRecSys(3, 2);
+    const auto dense = s.indicesOfKind(FeatureKind::kDense);
+    ASSERT_EQ(dense.size(), 3u);
+    EXPECT_EQ(dense[0], 1u);
+    EXPECT_EQ(dense[2], 3u);
+    const auto sparse = s.indicesOfKind(FeatureKind::kSparse);
+    ASSERT_EQ(sparse.size(), 2u);
+    EXPECT_EQ(sparse[0], 4u);
+}
+
+TEST(SchemaTest, EqualityIsStructural)
+{
+    EXPECT_EQ(Schema::makeRecSys(2, 2), Schema::makeRecSys(2, 2));
+    EXPECT_FALSE(Schema::makeRecSys(2, 2) == Schema::makeRecSys(2, 3));
+}
+
+TEST(SchemaTest, FeatureAccessor)
+{
+    Schema s = Schema::makeRecSys(1, 1);
+    EXPECT_EQ(s.feature(1).kind, FeatureKind::kDense);
+    EXPECT_EQ(s.feature(2).name, "sparse_0");
+}
+
+TEST(SchemaDeathTest, DuplicateNamePanics)
+{
+    Schema s;
+    s.add({"x", FeatureKind::kDense});
+    EXPECT_DEATH(s.add({"x", FeatureKind::kSparse}), "duplicate feature");
+}
+
+TEST(SchemaDeathTest, FeatureIndexOutOfRangePanics)
+{
+    Schema s = Schema::makeRecSys(1, 0);
+    EXPECT_DEATH(s.feature(5), "out of range");
+}
+
+TEST(SchemaTest, KindNames)
+{
+    EXPECT_STREQ(featureKindName(FeatureKind::kDense), "dense");
+    EXPECT_STREQ(featureKindName(FeatureKind::kSparse), "sparse");
+    EXPECT_STREQ(featureKindName(FeatureKind::kLabel), "label");
+}
+
+// --- DenseColumn -------------------------------------------------------------
+
+TEST(DenseColumnTest, StoresValues)
+{
+    DenseColumn c({1.0f, 2.0f, 3.0f});
+    EXPECT_EQ(c.numRows(), 3u);
+    EXPECT_FLOAT_EQ(c.value(1), 2.0f);
+    EXPECT_EQ(c.byteSize(), 12u);
+}
+
+TEST(DenseColumnTest, Append)
+{
+    DenseColumn c;
+    c.append(4.0f);
+    EXPECT_EQ(c.numRows(), 1u);
+    EXPECT_FLOAT_EQ(c.value(0), 4.0f);
+}
+
+TEST(DenseColumnDeathTest, OutOfRangePanics)
+{
+    DenseColumn c({1.0f});
+    EXPECT_DEATH(c.value(1), "out of range");
+}
+
+// --- SparseColumn ------------------------------------------------------------
+
+TEST(SparseColumnTest, EmptyHasZeroRows)
+{
+    SparseColumn c;
+    EXPECT_EQ(c.numRows(), 0u);
+    EXPECT_EQ(c.numValues(), 0u);
+    EXPECT_DOUBLE_EQ(c.averageLength(), 0.0);
+}
+
+TEST(SparseColumnTest, AppendRows)
+{
+    SparseColumn c;
+    const int64_t r0[] = {1, 2, 3};
+    const int64_t r2[] = {7};
+    c.appendRow(r0);
+    c.appendRow({});
+    c.appendRow(r2);
+    EXPECT_EQ(c.numRows(), 3u);
+    EXPECT_EQ(c.numValues(), 4u);
+    EXPECT_EQ(c.rowLength(0), 3u);
+    EXPECT_EQ(c.rowLength(1), 0u);
+    EXPECT_EQ(c.row(2)[0], 7);
+    EXPECT_DOUBLE_EQ(c.averageLength(), 4.0 / 3.0);
+}
+
+TEST(SparseColumnTest, CsrConstruction)
+{
+    SparseColumn c({10, 20, 30}, {0, 2, 3});
+    EXPECT_EQ(c.numRows(), 2u);
+    EXPECT_EQ(c.row(0).size(), 2u);
+    EXPECT_EQ(c.row(1)[0], 30);
+}
+
+TEST(SparseColumnDeathTest, BadOffsetsPanic)
+{
+    EXPECT_DEATH(SparseColumn({1}, {}), "at least one entry");
+    EXPECT_DEATH(SparseColumn({1}, {1, 1}), "start at 0");
+    EXPECT_DEATH(SparseColumn({1, 2}, {0, 1}), "last offset");
+    EXPECT_DEATH(SparseColumn({1, 2}, {0, 2, 1, 2}), "non-decreasing");
+}
+
+TEST(SparseColumnDeathTest, RowOutOfRangePanics)
+{
+    SparseColumn c({1}, {0, 1});
+    EXPECT_DEATH(c.row(1), "out of range");
+}
+
+TEST(SparseColumnTest, ByteSizeCountsValuesAndOffsets)
+{
+    SparseColumn c({1, 2}, {0, 1, 2});
+    EXPECT_EQ(c.byteSize(), 2 * sizeof(int64_t) + 3 * sizeof(uint32_t));
+}
+
+// --- RowBatch -----------------------------------------------------------------
+
+RowBatch
+makeBatch(size_t rows)
+{
+    RowBatch batch(Schema::makeRecSys(1, 1));
+    std::vector<float> labels(rows, 0.0f);
+    std::vector<float> dense(rows, 1.0f);
+    batch.addColumn(DenseColumn(labels));
+    batch.addColumn(DenseColumn(dense));
+    SparseColumn sparse;
+    for (size_t r = 0; r < rows; ++r) {
+        const int64_t id = static_cast<int64_t>(r);
+        sparse.appendRow({&id, 1});
+    }
+    batch.addColumn(std::move(sparse));
+    return batch;
+}
+
+TEST(RowBatchTest, BuildsCompleteBatch)
+{
+    RowBatch batch = makeBatch(4);
+    EXPECT_TRUE(batch.complete());
+    EXPECT_EQ(batch.numRows(), 4u);
+    EXPECT_EQ(batch.numColumns(), 3u);
+    EXPECT_EQ(batch.totalValues(), 12u);
+}
+
+TEST(RowBatchTest, TypedAccessors)
+{
+    RowBatch batch = makeBatch(2);
+    EXPECT_EQ(batch.dense(1).numRows(), 2u);
+    EXPECT_EQ(batch.sparse(2).numValues(), 2u);
+    batch.mutableDense(1).mutableValues()[0] = 9.0f;
+    EXPECT_FLOAT_EQ(batch.dense(1).value(0), 9.0f);
+}
+
+TEST(RowBatchTest, EqualityIsDeep)
+{
+    EXPECT_EQ(makeBatch(3), makeBatch(3));
+    EXPECT_FALSE(makeBatch(3) == makeBatch(4));
+}
+
+TEST(RowBatchDeathTest, KindMismatchPanics)
+{
+    RowBatch batch(Schema::makeRecSys(1, 0));
+    batch.addColumn(DenseColumn({0.0f}));
+    EXPECT_DEATH(batch.addColumn(SparseColumn()), "kind mismatch");
+}
+
+TEST(RowBatchDeathTest, RowCountMismatchPanics)
+{
+    RowBatch batch(Schema::makeRecSys(1, 0));
+    batch.addColumn(DenseColumn({0.0f, 1.0f}));
+    EXPECT_DEATH(batch.addColumn(DenseColumn({0.0f})),
+                 "row-count mismatch");
+}
+
+TEST(RowBatchDeathTest, TooManyColumnsPanics)
+{
+    RowBatch batch = makeBatch(1);
+    EXPECT_DEATH(batch.addColumn(DenseColumn({0.0f})),
+                 "more columns than schema");
+}
+
+TEST(RowBatchDeathTest, WrongKindAccessorPanics)
+{
+    RowBatch batch = makeBatch(1);
+    EXPECT_DEATH(batch.sparse(0), "not sparse");
+    EXPECT_DEATH(batch.dense(2), "not dense");
+}
+
+TEST(RowBatchTest, ByteSizeSumsColumns)
+{
+    RowBatch batch = makeBatch(2);
+    // 2 dense cols (2 rows x 4B) + sparse (2 ids x 8B + 3 offsets x 4B).
+    EXPECT_EQ(batch.byteSize(), 8u + 8u + 16u + 12u);
+}
+
+// --- MiniBatch -------------------------------------------------------------------
+
+MiniBatch
+makeMiniBatch()
+{
+    MiniBatch mb;
+    mb.batch_size = 2;
+    mb.num_dense = 3;
+    mb.dense.assign(6, 0.5f);
+    mb.labels.assign(2, 0.0f);
+    JaggedIndices j;
+    j.feature_name = "t0";
+    j.values = {1, 2, 3};
+    j.lengths = {2, 1};
+    mb.sparse.push_back(j);
+    return mb;
+}
+
+TEST(MiniBatchTest, ConsistentWhenWellFormed)
+{
+    EXPECT_TRUE(makeMiniBatch().consistent());
+}
+
+TEST(MiniBatchTest, InconsistentDenseExtent)
+{
+    MiniBatch mb = makeMiniBatch();
+    mb.dense.pop_back();
+    EXPECT_FALSE(mb.consistent());
+}
+
+TEST(MiniBatchTest, InconsistentLengthsSum)
+{
+    MiniBatch mb = makeMiniBatch();
+    mb.sparse[0].lengths = {1, 1};  // sums to 2, values has 3
+    EXPECT_FALSE(mb.consistent());
+}
+
+TEST(MiniBatchTest, InconsistentLengthsExtent)
+{
+    MiniBatch mb = makeMiniBatch();
+    mb.sparse[0].lengths = {3};
+    EXPECT_FALSE(mb.consistent());
+}
+
+TEST(MiniBatchTest, InconsistentLabels)
+{
+    MiniBatch mb = makeMiniBatch();
+    mb.labels.push_back(1.0f);
+    EXPECT_FALSE(mb.consistent());
+}
+
+TEST(MiniBatchTest, ByteSizeCountsAllTensors)
+{
+    const MiniBatch mb = makeMiniBatch();
+    EXPECT_EQ(mb.byteSize(), 6 * 4 + 2 * 4 + 3 * 8 + 2 * 4u);
+}
+
+TEST(MiniBatchTest, TotalSparseValues)
+{
+    EXPECT_EQ(makeMiniBatch().totalSparseValues(), 3u);
+}
+
+}  // namespace
+}  // namespace presto

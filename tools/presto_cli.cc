@@ -1,0 +1,247 @@
+/**
+ * @file
+ * presto_cli — command-line front end for the PreSto library.
+ *
+ * Subcommands:
+ *   gen <dir> --rm N [--partitions P] [--rows R] [--seed S]
+ *       Synthesize a PSF dataset directory with a manifest.
+ *   inspect <dir>
+ *       Print the manifest and per-partition layout of a dataset.
+ *   verify <dir>
+ *       Re-read every partition, checking manifest CRCs and page CRCs.
+ *   transform <dir> [--partition I]
+ *       Run the standard Transform plan on one partition and summarize
+ *       the train-ready tensors.
+ *   provision --rm N [--gpus G]
+ *       Print the T/P provisioning decision for a training job.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "columnar/dataset.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/provisioner.h"
+#include "datagen/generator.h"
+#include "ops/preprocessor.h"
+
+using namespace presto;
+
+namespace {
+
+/** Tiny flag parser: --name value pairs after positional args. */
+class Args
+{
+  public:
+    Args(int argc, char** argv)
+    {
+        for (int i = 2; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+                flags_.emplace_back(arg.substr(2), argv[i + 1]);
+                ++i;
+            } else {
+                positional_.push_back(std::move(arg));
+            }
+        }
+    }
+
+    long
+    getInt(const std::string& name, long fallback) const
+    {
+        for (const auto& [k, v] : flags_) {
+            if (k == name)
+                return std::atol(v.c_str());
+        }
+        return fallback;
+    }
+
+    const std::vector<std::string>& positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> flags_;
+    std::vector<std::string> positional_;
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: presto_cli <command> [args]\n"
+        "  gen <dir> --rm N [--partitions P] [--rows R] [--seed S]\n"
+        "  inspect <dir>\n"
+        "  verify <dir>\n"
+        "  transform <dir> [--partition I]\n"
+        "  provision --rm N [--gpus G]\n");
+    return 2;
+}
+
+int
+cmdGen(const Args& args)
+{
+    if (args.positional().empty())
+        return usage();
+    const std::string dir = args.positional()[0];
+    const int rm = static_cast<int>(args.getInt("rm", 1));
+    const long partitions = args.getInt("partitions", 4);
+    const long rows = args.getInt("rows", 1024);
+    const long seed = args.getInt("seed", 0x9e3779b9);
+
+    RmConfig cfg = rmConfig(rm);
+    cfg.batch_size = static_cast<size_t>(rows);
+    GeneratorOptions opts;
+    opts.seed = static_cast<uint64_t>(seed);
+    RawDataGenerator gen(cfg, opts);
+
+    DatasetWriter writer(dir);
+    for (long p = 0; p < partitions; ++p) {
+        if (Status st = writer.addPartition(
+                gen.generatePartition(static_cast<uint64_t>(p)),
+                static_cast<uint64_t>(p));
+            !st.ok()) {
+            std::fprintf(stderr, "gen failed: %s\n", st.toString().c_str());
+            return 1;
+        }
+    }
+    if (Status st = writer.finish(); !st.ok()) {
+        std::fprintf(stderr, "gen failed: %s\n", st.toString().c_str());
+        return 1;
+    }
+    std::printf("wrote %ld partitions x %ld rows of %s into %s\n",
+                partitions, rows, cfg.name.c_str(), dir.c_str());
+    return 0;
+}
+
+int
+cmdInspect(const Args& args)
+{
+    if (args.positional().empty())
+        return usage();
+    DatasetReader reader;
+    if (Status st = reader.open(args.positional()[0]); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.toString().c_str());
+        return 1;
+    }
+    const auto& m = reader.manifest();
+    std::printf("dataset: %llu partitions x %llu rows\n",
+                static_cast<unsigned long long>(m.num_partitions),
+                static_cast<unsigned long long>(m.rows_per_partition));
+    TablePrinter table({"Partition", "File", "Bytes", "CRC32C"});
+    for (const auto& e : m.partitions) {
+        char crc[16];
+        std::snprintf(crc, sizeof(crc), "%08x", e.crc);
+        table.addRow({std::to_string(e.partition_id), e.file_name,
+                      formatBytes(static_cast<double>(e.byte_size)), crc});
+    }
+    table.print();
+    return 0;
+}
+
+int
+cmdVerify(const Args& args)
+{
+    if (args.positional().empty())
+        return usage();
+    DatasetReader reader;
+    if (Status st = reader.open(args.positional()[0]); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.toString().c_str());
+        return 1;
+    }
+    size_t ok_count = 0;
+    for (size_t i = 0; i < reader.manifest().partitions.size(); ++i) {
+        auto batch = reader.readPartition(i);
+        if (!batch.ok()) {
+            std::fprintf(stderr, "partition %zu: %s\n", i,
+                         batch.status().toString().c_str());
+            continue;
+        }
+        ++ok_count;
+    }
+    std::printf("%zu/%zu partitions verified (manifest CRC + page CRC + "
+                "full decode)\n",
+                ok_count, reader.manifest().partitions.size());
+    return ok_count == reader.manifest().partitions.size() ? 0 : 1;
+}
+
+int
+cmdTransform(const Args& args)
+{
+    if (args.positional().empty())
+        return usage();
+    const auto index = static_cast<size_t>(args.getInt("partition", 0));
+    DatasetReader reader;
+    if (Status st = reader.open(args.positional()[0]); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.toString().c_str());
+        return 1;
+    }
+    auto raw = reader.readPartition(index);
+    if (!raw.ok()) {
+        std::fprintf(stderr, "%s\n", raw.status().toString().c_str());
+        return 1;
+    }
+
+    // Derive a config consistent with the stored schema.
+    RmConfig cfg = rmConfig(1);
+    cfg.num_dense = raw->schema().numDense();
+    cfg.num_sparse = raw->schema().numSparse();
+    cfg.num_generated = std::min(cfg.num_generated, cfg.num_dense);
+    cfg.batch_size = raw->numRows();
+
+    Preprocessor pre(cfg);
+    const MiniBatch mb = pre.preprocess(*raw);
+    std::printf("partition %zu -> %zu rows, %zu dense features, %zu "
+                "embedding tables, %zu sparse indices, %s of tensors\n",
+                index, mb.batch_size, mb.num_dense, mb.sparse.size(),
+                mb.totalSparseValues(),
+                formatBytes(static_cast<double>(mb.byteSize())).c_str());
+    return 0;
+}
+
+int
+cmdProvision(const Args& args)
+{
+    const int rm = static_cast<int>(args.getInt("rm", 5));
+    const int gpus = static_cast<int>(args.getInt("gpus", 8));
+    Provisioner prov(rmConfig(rm));
+    const Provision cpu = prov.provisionCpu(gpus);
+    const Provision isp = prov.provisionIsp(gpus, IspParams::smartSsd());
+    std::printf("%s on %d GPU(s): demand %.1f batches/s\n",
+                rmConfig(rm).name.c_str(), gpus,
+                cpu.demand_batches_per_sec);
+    std::printf("  Disagg CPU : %4d cores  (%.0f W, $%.0f over 3y)\n",
+                cpu.workers, cpu.deployment.power_watts,
+                cpu.deployment.totalCostDollars());
+    std::printf("  PreSto     : %4d SmartSSDs (%.0f W, $%.0f over 3y)\n",
+                isp.workers, isp.deployment.power_watts,
+                isp.deployment.totalCostDollars());
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+    const Args args(argc, argv);
+    const std::string cmd = argv[1];
+    if (cmd == "gen")
+        return cmdGen(args);
+    if (cmd == "inspect")
+        return cmdInspect(args);
+    if (cmd == "verify")
+        return cmdVerify(args);
+    if (cmd == "transform")
+        return cmdTransform(args);
+    if (cmd == "provision")
+        return cmdProvision(args);
+    return usage();
+}
