@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_isp.dir/bench_ablation_isp.cc.o"
+  "CMakeFiles/bench_ablation_isp.dir/bench_ablation_isp.cc.o.d"
+  "bench_ablation_isp"
+  "bench_ablation_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

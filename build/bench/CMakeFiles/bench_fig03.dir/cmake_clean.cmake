@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03.dir/bench_fig03.cc.o"
+  "CMakeFiles/bench_fig03.dir/bench_fig03.cc.o.d"
+  "bench_fig03"
+  "bench_fig03.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig16.cc" "bench/CMakeFiles/bench_fig16.dir/bench_fig16.cc.o" "gcc" "bench/CMakeFiles/bench_fig16.dir/bench_fig16.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cachesim/CMakeFiles/presto_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/presto_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/presto_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/presto_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/presto_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/presto_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/presto_tabular.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/presto_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ops_kernels.dir/bench_ops_kernels.cc.o"
+  "CMakeFiles/bench_ops_kernels.dir/bench_ops_kernels.cc.o.d"
+  "bench_ops_kernels"
+  "bench_ops_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ops_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/columnar_inspect.dir/columnar_inspect.cpp.o"
+  "CMakeFiles/columnar_inspect.dir/columnar_inspect.cpp.o.d"
+  "columnar_inspect"
+  "columnar_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/columnar_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

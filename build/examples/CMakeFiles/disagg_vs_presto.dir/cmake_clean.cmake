@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disagg_vs_presto.dir/disagg_vs_presto.cpp.o"
+  "CMakeFiles/disagg_vs_presto.dir/disagg_vs_presto.cpp.o.d"
+  "disagg_vs_presto"
+  "disagg_vs_presto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disagg_vs_presto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for disagg_vs_presto.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_dlrm.dir/train_dlrm.cpp.o"
+  "CMakeFiles/train_dlrm.dir/train_dlrm.cpp.o.d"
+  "train_dlrm"
+  "train_dlrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_dlrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

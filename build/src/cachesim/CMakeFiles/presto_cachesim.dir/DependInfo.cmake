@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachesim/cache.cc" "src/cachesim/CMakeFiles/presto_cachesim.dir/cache.cc.o" "gcc" "src/cachesim/CMakeFiles/presto_cachesim.dir/cache.cc.o.d"
+  "/root/repo/src/cachesim/op_traces.cc" "src/cachesim/CMakeFiles/presto_cachesim.dir/op_traces.cc.o" "gcc" "src/cachesim/CMakeFiles/presto_cachesim.dir/op_traces.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/presto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/presto_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/presto_tabular.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

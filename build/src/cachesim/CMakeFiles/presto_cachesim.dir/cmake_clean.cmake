@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presto_cachesim.dir/cache.cc.o"
+  "CMakeFiles/presto_cachesim.dir/cache.cc.o.d"
+  "CMakeFiles/presto_cachesim.dir/op_traces.cc.o"
+  "CMakeFiles/presto_cachesim.dir/op_traces.cc.o.d"
+  "libpresto_cachesim.a"
+  "libpresto_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presto_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnar/columnar_file.cc" "src/columnar/CMakeFiles/presto_columnar.dir/columnar_file.cc.o" "gcc" "src/columnar/CMakeFiles/presto_columnar.dir/columnar_file.cc.o.d"
+  "/root/repo/src/columnar/dataset.cc" "src/columnar/CMakeFiles/presto_columnar.dir/dataset.cc.o" "gcc" "src/columnar/CMakeFiles/presto_columnar.dir/dataset.cc.o.d"
+  "/root/repo/src/columnar/encoding.cc" "src/columnar/CMakeFiles/presto_columnar.dir/encoding.cc.o" "gcc" "src/columnar/CMakeFiles/presto_columnar.dir/encoding.cc.o.d"
+  "/root/repo/src/columnar/page.cc" "src/columnar/CMakeFiles/presto_columnar.dir/page.cc.o" "gcc" "src/columnar/CMakeFiles/presto_columnar.dir/page.cc.o.d"
+  "/root/repo/src/columnar/row_file.cc" "src/columnar/CMakeFiles/presto_columnar.dir/row_file.cc.o" "gcc" "src/columnar/CMakeFiles/presto_columnar.dir/row_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/presto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/presto_tabular.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

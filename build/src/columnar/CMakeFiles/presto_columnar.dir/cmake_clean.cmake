@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presto_columnar.dir/columnar_file.cc.o"
+  "CMakeFiles/presto_columnar.dir/columnar_file.cc.o.d"
+  "CMakeFiles/presto_columnar.dir/dataset.cc.o"
+  "CMakeFiles/presto_columnar.dir/dataset.cc.o.d"
+  "CMakeFiles/presto_columnar.dir/encoding.cc.o"
+  "CMakeFiles/presto_columnar.dir/encoding.cc.o.d"
+  "CMakeFiles/presto_columnar.dir/page.cc.o"
+  "CMakeFiles/presto_columnar.dir/page.cc.o.d"
+  "CMakeFiles/presto_columnar.dir/row_file.cc.o"
+  "CMakeFiles/presto_columnar.dir/row_file.cc.o.d"
+  "libpresto_columnar.a"
+  "libpresto_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presto_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

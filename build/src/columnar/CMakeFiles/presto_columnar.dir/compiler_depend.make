@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for presto_columnar.
+# This may be replaced when dependencies are built.

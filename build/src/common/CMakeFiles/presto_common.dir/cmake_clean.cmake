@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presto_common.dir/crc32.cc.o"
+  "CMakeFiles/presto_common.dir/crc32.cc.o.d"
+  "CMakeFiles/presto_common.dir/logging.cc.o"
+  "CMakeFiles/presto_common.dir/logging.cc.o.d"
+  "CMakeFiles/presto_common.dir/stats.cc.o"
+  "CMakeFiles/presto_common.dir/stats.cc.o.d"
+  "CMakeFiles/presto_common.dir/status.cc.o"
+  "CMakeFiles/presto_common.dir/status.cc.o.d"
+  "CMakeFiles/presto_common.dir/table_printer.cc.o"
+  "CMakeFiles/presto_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/presto_common.dir/thread_pool.cc.o"
+  "CMakeFiles/presto_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/presto_common.dir/units.cc.o"
+  "CMakeFiles/presto_common.dir/units.cc.o.d"
+  "libpresto_common.a"
+  "libpresto_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presto_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

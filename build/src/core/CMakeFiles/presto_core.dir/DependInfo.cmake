@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/data_loader.cc" "src/core/CMakeFiles/presto_core.dir/data_loader.cc.o" "gcc" "src/core/CMakeFiles/presto_core.dir/data_loader.cc.o.d"
+  "/root/repo/src/core/fleet.cc" "src/core/CMakeFiles/presto_core.dir/fleet.cc.o" "gcc" "src/core/CMakeFiles/presto_core.dir/fleet.cc.o.d"
+  "/root/repo/src/core/isp_emulator.cc" "src/core/CMakeFiles/presto_core.dir/isp_emulator.cc.o" "gcc" "src/core/CMakeFiles/presto_core.dir/isp_emulator.cc.o.d"
+  "/root/repo/src/core/managers.cc" "src/core/CMakeFiles/presto_core.dir/managers.cc.o" "gcc" "src/core/CMakeFiles/presto_core.dir/managers.cc.o.d"
+  "/root/repo/src/core/partition_store.cc" "src/core/CMakeFiles/presto_core.dir/partition_store.cc.o" "gcc" "src/core/CMakeFiles/presto_core.dir/partition_store.cc.o.d"
+  "/root/repo/src/core/pool_scheduler.cc" "src/core/CMakeFiles/presto_core.dir/pool_scheduler.cc.o" "gcc" "src/core/CMakeFiles/presto_core.dir/pool_scheduler.cc.o.d"
+  "/root/repo/src/core/provisioner.cc" "src/core/CMakeFiles/presto_core.dir/provisioner.cc.o" "gcc" "src/core/CMakeFiles/presto_core.dir/provisioner.cc.o.d"
+  "/root/repo/src/core/training_pipeline.cc" "src/core/CMakeFiles/presto_core.dir/training_pipeline.cc.o" "gcc" "src/core/CMakeFiles/presto_core.dir/training_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/columnar/CMakeFiles/presto_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/presto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/presto_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/presto_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/presto_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/presto_tabular.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

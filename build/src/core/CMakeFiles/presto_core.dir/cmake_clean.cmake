@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presto_core.dir/data_loader.cc.o"
+  "CMakeFiles/presto_core.dir/data_loader.cc.o.d"
+  "CMakeFiles/presto_core.dir/fleet.cc.o"
+  "CMakeFiles/presto_core.dir/fleet.cc.o.d"
+  "CMakeFiles/presto_core.dir/isp_emulator.cc.o"
+  "CMakeFiles/presto_core.dir/isp_emulator.cc.o.d"
+  "CMakeFiles/presto_core.dir/managers.cc.o"
+  "CMakeFiles/presto_core.dir/managers.cc.o.d"
+  "CMakeFiles/presto_core.dir/partition_store.cc.o"
+  "CMakeFiles/presto_core.dir/partition_store.cc.o.d"
+  "CMakeFiles/presto_core.dir/pool_scheduler.cc.o"
+  "CMakeFiles/presto_core.dir/pool_scheduler.cc.o.d"
+  "CMakeFiles/presto_core.dir/provisioner.cc.o"
+  "CMakeFiles/presto_core.dir/provisioner.cc.o.d"
+  "CMakeFiles/presto_core.dir/training_pipeline.cc.o"
+  "CMakeFiles/presto_core.dir/training_pipeline.cc.o.d"
+  "libpresto_core.a"
+  "libpresto_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presto_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

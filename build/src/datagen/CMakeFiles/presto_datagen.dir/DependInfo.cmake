@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/criteo_tsv.cc" "src/datagen/CMakeFiles/presto_datagen.dir/criteo_tsv.cc.o" "gcc" "src/datagen/CMakeFiles/presto_datagen.dir/criteo_tsv.cc.o.d"
+  "/root/repo/src/datagen/distributions.cc" "src/datagen/CMakeFiles/presto_datagen.dir/distributions.cc.o" "gcc" "src/datagen/CMakeFiles/presto_datagen.dir/distributions.cc.o.d"
+  "/root/repo/src/datagen/generator.cc" "src/datagen/CMakeFiles/presto_datagen.dir/generator.cc.o" "gcc" "src/datagen/CMakeFiles/presto_datagen.dir/generator.cc.o.d"
+  "/root/repo/src/datagen/rm_config.cc" "src/datagen/CMakeFiles/presto_datagen.dir/rm_config.cc.o" "gcc" "src/datagen/CMakeFiles/presto_datagen.dir/rm_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/presto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/presto_tabular.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

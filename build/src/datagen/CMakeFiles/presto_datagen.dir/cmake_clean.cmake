@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presto_datagen.dir/criteo_tsv.cc.o"
+  "CMakeFiles/presto_datagen.dir/criteo_tsv.cc.o.d"
+  "CMakeFiles/presto_datagen.dir/distributions.cc.o"
+  "CMakeFiles/presto_datagen.dir/distributions.cc.o.d"
+  "CMakeFiles/presto_datagen.dir/generator.cc.o"
+  "CMakeFiles/presto_datagen.dir/generator.cc.o.d"
+  "CMakeFiles/presto_datagen.dir/rm_config.cc.o"
+  "CMakeFiles/presto_datagen.dir/rm_config.cc.o.d"
+  "libpresto_datagen.a"
+  "libpresto_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presto_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

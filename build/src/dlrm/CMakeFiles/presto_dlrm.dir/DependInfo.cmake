@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dlrm/dlrm.cc" "src/dlrm/CMakeFiles/presto_dlrm.dir/dlrm.cc.o" "gcc" "src/dlrm/CMakeFiles/presto_dlrm.dir/dlrm.cc.o.d"
+  "/root/repo/src/dlrm/layers.cc" "src/dlrm/CMakeFiles/presto_dlrm.dir/layers.cc.o" "gcc" "src/dlrm/CMakeFiles/presto_dlrm.dir/layers.cc.o.d"
+  "/root/repo/src/dlrm/metrics.cc" "src/dlrm/CMakeFiles/presto_dlrm.dir/metrics.cc.o" "gcc" "src/dlrm/CMakeFiles/presto_dlrm.dir/metrics.cc.o.d"
+  "/root/repo/src/dlrm/tensor.cc" "src/dlrm/CMakeFiles/presto_dlrm.dir/tensor.cc.o" "gcc" "src/dlrm/CMakeFiles/presto_dlrm.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/presto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/presto_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/presto_tabular.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presto_dlrm.dir/dlrm.cc.o"
+  "CMakeFiles/presto_dlrm.dir/dlrm.cc.o.d"
+  "CMakeFiles/presto_dlrm.dir/layers.cc.o"
+  "CMakeFiles/presto_dlrm.dir/layers.cc.o.d"
+  "CMakeFiles/presto_dlrm.dir/metrics.cc.o"
+  "CMakeFiles/presto_dlrm.dir/metrics.cc.o.d"
+  "CMakeFiles/presto_dlrm.dir/tensor.cc.o"
+  "CMakeFiles/presto_dlrm.dir/tensor.cc.o.d"
+  "libpresto_dlrm.a"
+  "libpresto_dlrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presto_dlrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/cost_model.cc" "src/models/CMakeFiles/presto_models.dir/cost_model.cc.o" "gcc" "src/models/CMakeFiles/presto_models.dir/cost_model.cc.o.d"
+  "/root/repo/src/models/cpu_model.cc" "src/models/CMakeFiles/presto_models.dir/cpu_model.cc.o" "gcc" "src/models/CMakeFiles/presto_models.dir/cpu_model.cc.o.d"
+  "/root/repo/src/models/data_size.cc" "src/models/CMakeFiles/presto_models.dir/data_size.cc.o" "gcc" "src/models/CMakeFiles/presto_models.dir/data_size.cc.o.d"
+  "/root/repo/src/models/fpga_resources.cc" "src/models/CMakeFiles/presto_models.dir/fpga_resources.cc.o" "gcc" "src/models/CMakeFiles/presto_models.dir/fpga_resources.cc.o.d"
+  "/root/repo/src/models/gpu_model.cc" "src/models/CMakeFiles/presto_models.dir/gpu_model.cc.o" "gcc" "src/models/CMakeFiles/presto_models.dir/gpu_model.cc.o.d"
+  "/root/repo/src/models/isp_model.cc" "src/models/CMakeFiles/presto_models.dir/isp_model.cc.o" "gcc" "src/models/CMakeFiles/presto_models.dir/isp_model.cc.o.d"
+  "/root/repo/src/models/network_model.cc" "src/models/CMakeFiles/presto_models.dir/network_model.cc.o" "gcc" "src/models/CMakeFiles/presto_models.dir/network_model.cc.o.d"
+  "/root/repo/src/models/ssd_model.cc" "src/models/CMakeFiles/presto_models.dir/ssd_model.cc.o" "gcc" "src/models/CMakeFiles/presto_models.dir/ssd_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/presto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/presto_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/presto_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/presto_tabular.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presto_models.dir/cost_model.cc.o"
+  "CMakeFiles/presto_models.dir/cost_model.cc.o.d"
+  "CMakeFiles/presto_models.dir/cpu_model.cc.o"
+  "CMakeFiles/presto_models.dir/cpu_model.cc.o.d"
+  "CMakeFiles/presto_models.dir/data_size.cc.o"
+  "CMakeFiles/presto_models.dir/data_size.cc.o.d"
+  "CMakeFiles/presto_models.dir/fpga_resources.cc.o"
+  "CMakeFiles/presto_models.dir/fpga_resources.cc.o.d"
+  "CMakeFiles/presto_models.dir/gpu_model.cc.o"
+  "CMakeFiles/presto_models.dir/gpu_model.cc.o.d"
+  "CMakeFiles/presto_models.dir/isp_model.cc.o"
+  "CMakeFiles/presto_models.dir/isp_model.cc.o.d"
+  "CMakeFiles/presto_models.dir/network_model.cc.o"
+  "CMakeFiles/presto_models.dir/network_model.cc.o.d"
+  "CMakeFiles/presto_models.dir/ssd_model.cc.o"
+  "CMakeFiles/presto_models.dir/ssd_model.cc.o.d"
+  "libpresto_models.a"
+  "libpresto_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presto_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/fast_ops.cc" "src/ops/CMakeFiles/presto_ops.dir/fast_ops.cc.o" "gcc" "src/ops/CMakeFiles/presto_ops.dir/fast_ops.cc.o.d"
+  "/root/repo/src/ops/ops.cc" "src/ops/CMakeFiles/presto_ops.dir/ops.cc.o" "gcc" "src/ops/CMakeFiles/presto_ops.dir/ops.cc.o.d"
+  "/root/repo/src/ops/plan.cc" "src/ops/CMakeFiles/presto_ops.dir/plan.cc.o" "gcc" "src/ops/CMakeFiles/presto_ops.dir/plan.cc.o.d"
+  "/root/repo/src/ops/preprocessor.cc" "src/ops/CMakeFiles/presto_ops.dir/preprocessor.cc.o" "gcc" "src/ops/CMakeFiles/presto_ops.dir/preprocessor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/presto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/presto_tabular.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/presto_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presto_ops.dir/fast_ops.cc.o"
+  "CMakeFiles/presto_ops.dir/fast_ops.cc.o.d"
+  "CMakeFiles/presto_ops.dir/ops.cc.o"
+  "CMakeFiles/presto_ops.dir/ops.cc.o.d"
+  "CMakeFiles/presto_ops.dir/plan.cc.o"
+  "CMakeFiles/presto_ops.dir/plan.cc.o.d"
+  "CMakeFiles/presto_ops.dir/preprocessor.cc.o"
+  "CMakeFiles/presto_ops.dir/preprocessor.cc.o.d"
+  "libpresto_ops.a"
+  "libpresto_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presto_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

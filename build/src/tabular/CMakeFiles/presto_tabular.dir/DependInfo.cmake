@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tabular/column.cc" "src/tabular/CMakeFiles/presto_tabular.dir/column.cc.o" "gcc" "src/tabular/CMakeFiles/presto_tabular.dir/column.cc.o.d"
+  "/root/repo/src/tabular/minibatch.cc" "src/tabular/CMakeFiles/presto_tabular.dir/minibatch.cc.o" "gcc" "src/tabular/CMakeFiles/presto_tabular.dir/minibatch.cc.o.d"
+  "/root/repo/src/tabular/row_batch.cc" "src/tabular/CMakeFiles/presto_tabular.dir/row_batch.cc.o" "gcc" "src/tabular/CMakeFiles/presto_tabular.dir/row_batch.cc.o.d"
+  "/root/repo/src/tabular/schema.cc" "src/tabular/CMakeFiles/presto_tabular.dir/schema.cc.o" "gcc" "src/tabular/CMakeFiles/presto_tabular.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/presto_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

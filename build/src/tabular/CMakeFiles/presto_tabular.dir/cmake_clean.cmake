@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presto_tabular.dir/column.cc.o"
+  "CMakeFiles/presto_tabular.dir/column.cc.o.d"
+  "CMakeFiles/presto_tabular.dir/minibatch.cc.o"
+  "CMakeFiles/presto_tabular.dir/minibatch.cc.o.d"
+  "CMakeFiles/presto_tabular.dir/row_batch.cc.o"
+  "CMakeFiles/presto_tabular.dir/row_batch.cc.o.d"
+  "CMakeFiles/presto_tabular.dir/schema.cc.o"
+  "CMakeFiles/presto_tabular.dir/schema.cc.o.d"
+  "libpresto_tabular.a"
+  "libpresto_tabular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presto_tabular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for presto_tabular.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/criteo_tsv_test.dir/criteo_tsv_test.cc.o"
+  "CMakeFiles/criteo_tsv_test.dir/criteo_tsv_test.cc.o.d"
+  "criteo_tsv_test"
+  "criteo_tsv_test.pdb"
+  "criteo_tsv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/criteo_tsv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

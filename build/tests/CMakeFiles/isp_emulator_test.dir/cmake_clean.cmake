@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_emulator_test.dir/isp_emulator_test.cc.o"
+  "CMakeFiles/isp_emulator_test.dir/isp_emulator_test.cc.o.d"
+  "isp_emulator_test"
+  "isp_emulator_test.pdb"
+  "isp_emulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_emulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rowfile_test.dir/rowfile_test.cc.o"
+  "CMakeFiles/rowfile_test.dir/rowfile_test.cc.o.d"
+  "rowfile_test"
+  "rowfile_test.pdb"
+  "rowfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rowfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

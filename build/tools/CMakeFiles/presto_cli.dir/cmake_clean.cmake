@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presto_cli.dir/presto_cli.cc.o"
+  "CMakeFiles/presto_cli.dir/presto_cli.cc.o.d"
+  "presto_cli"
+  "presto_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presto_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
