@@ -110,7 +110,13 @@ main()
                 "plan):\n");
     const auto encoded = ColumnarFileWriter().write(raw, 0);
     IspEmulator emulator(cfg);
-    const MiniBatch on_device = emulator.process(encoded);
+    auto processed = emulator.process(encoded);
+    if (!processed.ok()) {
+        std::printf("  ISP decode failed: %s\n",
+                    processed.status().toString().c_str());
+        return 1;
+    }
+    const MiniBatch on_device = std::move(processed).value();
     const MiniBatch on_cpu = standard.run(raw);
     describe("FPGA datapath", on_device);
     describe("CPU reference", on_cpu);

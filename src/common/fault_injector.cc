@@ -1,0 +1,135 @@
+#include "common/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace presto {
+
+namespace {
+
+/** Domain-separation tags so fault classes draw independent streams. */
+enum : uint64_t {
+    kDrawReadError = 0x1ead,
+    kDrawCorruption = 0xc0de,
+    kDrawBitIndex = 0xb17,
+};
+
+}  // namespace
+
+bool
+FaultSpec::anyFaults() const
+{
+    return !fail_stops.empty() || !stragglers.empty() ||
+           transient_read_error_prob > 0.0 || corruption_prob > 0.0;
+}
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(std::move(spec))
+{
+    PRESTO_CHECK(spec_.transient_read_error_prob >= 0.0 &&
+                     spec_.transient_read_error_prob < 1.0,
+                 "transient read error probability must be in [0, 1)");
+    PRESTO_CHECK(spec_.corruption_prob >= 0.0 && spec_.corruption_prob <= 1.0,
+                 "corruption probability must be in [0, 1]");
+    PRESTO_CHECK(spec_.retry_backoff_base_sec >= 0.0,
+                 "retry backoff must be non-negative");
+    PRESTO_CHECK(spec_.max_read_retries >= 0, "negative retry budget");
+    for (const auto& fs : spec_.fail_stops)
+        PRESTO_CHECK(fs.time_sec >= 0.0, "fail-stop time must be >= 0");
+    for (const auto& s : spec_.stragglers)
+        PRESTO_CHECK(s.slowdown_factor >= 1.0,
+                     "straggler slowdown factor must be >= 1");
+    enabled_ = spec_.anyFaults();
+}
+
+std::optional<double>
+FaultInjector::failStopTime(int device) const
+{
+    std::optional<double> earliest;
+    for (const auto& fs : spec_.fail_stops) {
+        if (fs.device != device)
+            continue;
+        if (!earliest || fs.time_sec < *earliest)
+            earliest = fs.time_sec;
+    }
+    return earliest;
+}
+
+std::vector<FailStop>
+FaultInjector::failStopsByTime() const
+{
+    std::vector<FailStop> ordered = spec_.fail_stops;
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const FailStop& a, const FailStop& b) {
+                         if (a.time_sec != b.time_sec)
+                             return a.time_sec < b.time_sec;
+                         return a.device < b.device;
+                     });
+    return ordered;
+}
+
+double
+FaultInjector::slowdownFactor(int device) const
+{
+    double factor = 1.0;
+    for (const auto& s : spec_.stragglers) {
+        if (s.device == device)
+            factor = std::max(factor, s.slowdown_factor);
+    }
+    return factor;
+}
+
+double
+FaultInjector::unitDraw(uint64_t kind, uint64_t stream, uint64_t event) const
+{
+    // Counter-based: hash the (seed, kind, stream, event) tuple through
+    // two SplitMix64 finalizer rounds; no shared mutable state, so draw
+    // order across components cannot perturb outcomes.
+    const uint64_t h =
+        mix64(mix64(spec_.seed ^ mix64(kind)) ^
+              (mix64(stream) + 0x9e3779b97f4a7c15ULL * event));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool
+FaultInjector::transientReadError(uint64_t stream, uint64_t event) const
+{
+    if (spec_.transient_read_error_prob <= 0.0)
+        return false;
+    return unitDraw(kDrawReadError, stream, event) <
+           spec_.transient_read_error_prob;
+}
+
+bool
+FaultInjector::corruptionOccurs(uint64_t stream, uint64_t event) const
+{
+    if (spec_.corruption_prob <= 0.0)
+        return false;
+    return unitDraw(kDrawCorruption, stream, event) < spec_.corruption_prob;
+}
+
+double
+FaultInjector::retryBackoffSec(int retry) const
+{
+    PRESTO_CHECK(retry >= 0, "negative retry index");
+    return spec_.retry_backoff_base_sec *
+           static_cast<double>(uint64_t{1} << std::min(retry, 30));
+}
+
+std::optional<uint64_t>
+FaultInjector::corruptBytes(std::span<uint8_t> bytes, uint64_t stream,
+                            uint64_t event) const
+{
+    if (bytes.empty())
+        return std::nullopt;
+    const uint64_t total_bits = static_cast<uint64_t>(bytes.size()) * 8;
+    const uint64_t h =
+        mix64(mix64(spec_.seed ^ mix64(kDrawBitIndex)) ^
+              (mix64(stream) + 0x9e3779b97f4a7c15ULL * event));
+    const uint64_t bit = h % total_bits;
+    bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    return bit;
+}
+
+}  // namespace presto

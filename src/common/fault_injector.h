@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the preprocessing tier.
+ *
+ * Production ingestion systems treat preprocessing failures as routine
+ * (device fail-stop, transient read errors, stragglers, bit rot), and a
+ * small ISP pool amplifies the capacity impact of every single failure.
+ * This module provides the single source of fault randomness for the
+ * whole repo: every fault class is drawn by *stateless counter-based
+ * hashing* of (seed, fault class, stream, event index), so a draw's
+ * outcome does not depend on the order other components query the
+ * injector — the same seed and spec always produce the same fault
+ * timeline, bit for bit, on any machine.
+ *
+ * Consumers: PoolScheduler (device fail-stop, re-provisioning),
+ * TrainingPipeline (worker death, stragglers, retry/backoff,
+ * corruption re-fetch), PartitionStore (transient read errors and
+ * bit-flip corruption of encoded PSF bytes on the functional path).
+ */
+#ifndef PRESTO_COMMON_FAULT_INJECTOR_H_
+#define PRESTO_COMMON_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace presto {
+
+/** One scheduled fail-stop: device/worker @p device dies at @p time_sec. */
+struct FailStop {
+    int device = 0;
+    double time_sec = 0;
+};
+
+/** One straggler: device/worker @p device runs @p slowdown_factor slower. */
+struct Straggler {
+    int device = 0;
+    double slowdown_factor = 1.0;  ///< >= 1; 2.0 = half speed
+};
+
+/**
+ * Declarative description of the faults to inject into one run.
+ *
+ * A default-constructed spec injects nothing; components must behave
+ * bit-identically to their fault-free implementation when handed one.
+ */
+struct FaultSpec {
+    uint64_t seed = 0xfa17fa17fa17fa17ULL;
+
+    /** Fail-stop failures (device granularity, permanent). */
+    std::vector<FailStop> fail_stops;
+
+    /** Devices that run slower than their nominal throughput. */
+    std::vector<Straggler> stragglers;
+
+    /** Probability a partition read fails transiently (per attempt). */
+    double transient_read_error_prob = 0.0;
+
+    /** First retry backoff; doubles per retry (exponential backoff). */
+    double retry_backoff_base_sec = 0.010;
+
+    /** Retries before a read is declared permanently failed. */
+    int max_read_retries = 8;
+
+    /** Probability an encoded partition arrives bit-flipped (per fetch). */
+    double corruption_prob = 0.0;
+
+    /** True when any fault class is active. */
+    bool anyFaults() const;
+};
+
+/**
+ * Deterministic fault oracle over one FaultSpec.
+ *
+ * All probabilistic queries take an explicit (stream, event) pair which
+ * the caller must derive from stable identifiers (worker id, partition
+ * id, attempt number) — never from wall-clock state — to keep runs
+ * replayable.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultSpec spec);
+
+    const FaultSpec& spec() const { return spec_; }
+
+    /** False for a no-fault spec: callers can skip the fault path. */
+    bool enabled() const { return enabled_; }
+
+    /** Time at which @p device fail-stops (earliest if listed twice). */
+    std::optional<double> failStopTime(int device) const;
+
+    /** Fail-stop entries ordered by (time, device); for DES replay. */
+    std::vector<FailStop> failStopsByTime() const;
+
+    /** Slowdown factor of @p device (1.0 when not a straggler). */
+    double slowdownFactor(int device) const;
+
+    /** Whether read attempt @p event on @p stream transiently fails. */
+    bool transientReadError(uint64_t stream, uint64_t event) const;
+
+    /** Whether fetch @p event on @p stream delivers corrupted bytes. */
+    bool corruptionOccurs(uint64_t stream, uint64_t event) const;
+
+    /**
+     * Backoff before retry @p retry (0-based) of a failed read:
+     * retry_backoff_base_sec * 2^retry.
+     */
+    double retryBackoffSec(int retry) const;
+
+    /**
+     * Deterministically flip one bit of @p bytes (position derived from
+     * the seed and @p stream/@p event). No-op on empty input.
+     * @return Index of the flipped bit, or nullopt for empty input.
+     */
+    std::optional<uint64_t> corruptBytes(std::span<uint8_t> bytes,
+                                         uint64_t stream,
+                                         uint64_t event) const;
+
+  private:
+    /** Uniform [0,1) draw for (fault class @p kind, stream, event). */
+    double unitDraw(uint64_t kind, uint64_t stream, uint64_t event) const;
+
+    FaultSpec spec_;
+    bool enabled_ = false;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_FAULT_INJECTOR_H_

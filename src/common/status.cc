@@ -13,6 +13,7 @@ statusCodeName(StatusCode code)
       case StatusCode::kOutOfRange:         return "OUT_OF_RANGE";
       case StatusCode::kUnimplemented:      return "UNIMPLEMENTED";
       case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::kUnavailable:        return "UNAVAILABLE";
     }
     return "UNKNOWN";
 }

@@ -25,6 +25,7 @@ enum class StatusCode {
     kOutOfRange,
     kUnimplemented,
     kFailedPrecondition,
+    kUnavailable,  ///< transient failure; retrying may succeed
 };
 
 /** Human-readable name for a StatusCode. */
@@ -84,6 +85,12 @@ class Status
     failedPrecondition(std::string msg)
     {
         return Status(StatusCode::kFailedPrecondition, std::move(msg));
+    }
+
+    static Status
+    unavailable(std::string msg)
+    {
+        return Status(StatusCode::kUnavailable, std::move(msg));
     }
 
     bool ok() const { return code_ == StatusCode::kOk; }

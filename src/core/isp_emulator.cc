@@ -24,7 +24,7 @@ IspEmulator::IspEmulator(const RmConfig& config, int num_feature_units)
     PRESTO_CHECK(num_feature_units_ >= 1, "need at least one feature unit");
 }
 
-MiniBatch
+StatusOr<MiniBatch>
 IspEmulator::process(std::span<const uint8_t> encoded_partition)
 {
     counters_ = IspUnitCounters();
@@ -33,24 +33,30 @@ IspEmulator::process(std::span<const uint8_t> encoded_partition)
     counters_.p2p_bytes = encoded_partition.size();
 
     // --- Decoder unit: parse the columnar pages into feature streams.
+    // Page CRC32C checks run here; any damage surfaces as kCorruption.
     ColumnarFileReader reader;
-    Status st = reader.open(encoded_partition);
-    PRESTO_CHECK(st.ok(), "ISP decode failed: ", st.toString());
+    if (Status st = reader.open(encoded_partition); !st.ok())
+        return Status(st.code(), "ISP decode failed: " + st.message());
     auto decoded = reader.readAll();
-    PRESTO_CHECK(decoded.ok(), "ISP decode failed: ",
-                 decoded.status().toString());
+    if (!decoded.ok()) {
+        const Status st = decoded.status();
+        return Status(st.code(), "ISP decode failed: " + st.message());
+    }
     const RowBatch& raw = *decoded;
     counters_.decoded_values = raw.totalValues();
 
     const auto& schema = raw.schema();
     const size_t batch = raw.numRows();
     const auto label_idx = schema.indexOf("label");
-    PRESTO_CHECK(label_idx.has_value(), "partition lacks a label column");
+    if (!label_idx.has_value())
+        return Status::corruption("partition lacks a label column");
     const auto dense_idx = schema.indicesOfKind(FeatureKind::kDense);
     const auto sparse_idx = schema.indicesOfKind(FeatureKind::kSparse);
-    PRESTO_CHECK(dense_idx.size() == config_.num_dense &&
-                     sparse_idx.size() == config_.num_sparse,
-                 "partition schema does not match the workload");
+    if (dense_idx.size() != config_.num_dense ||
+        sparse_idx.size() != config_.num_sparse) {
+        return Status::corruption(
+            "partition schema does not match the workload");
+    }
 
     MiniBatch mb;
     mb.batch_size = batch;
@@ -158,7 +164,7 @@ IspEmulator::process(std::span<const uint8_t> encoded_partition)
         counters_.feature_units_used += used;
 
     PRESTO_CHECK(mb.consistent(), "emulator produced a bad batch");
-    return mb;
+    return StatusOr<MiniBatch>(std::move(mb));
 }
 
 }  // namespace presto

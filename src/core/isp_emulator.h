@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <span>
 
+#include "common/status.h"
 #include "datagen/rm_config.h"
 #include "ops/preprocessor.h"
 #include "tabular/minibatch.h"
@@ -51,10 +52,12 @@ class IspEmulator
 
     /**
      * Run the datapath over one encoded PSF partition (as stored on the
-     * device's local SSD). Panics on corrupt input — device-local data
-     * is ECC-protected upstream; integrity tests live in the reader.
+     * device's local SSD). Corruption-safe: page CRC32C mismatches,
+     * framing damage, and schema/workload disagreements surface as
+     * kCorruption so the caller can re-fetch the partition from a
+     * replica instead of crashing the device.
      */
-    MiniBatch process(std::span<const uint8_t> encoded_partition);
+    StatusOr<MiniBatch> process(std::span<const uint8_t> encoded_partition);
 
     /** Counters of the most recent process() call. */
     const IspUnitCounters& counters() const { return counters_; }

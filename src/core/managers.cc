@@ -56,9 +56,17 @@ PreprocessManager::claimPartition(uint64_t& id)
     return true;
 }
 
+namespace {
+
+/** Fetch+decode attempts before a partition is declared unrecoverable. */
+constexpr uint64_t kMaxFetchAttempts = 16;
+
+}  // namespace
+
 void
 PreprocessManager::workerLoop()
 {
+    const bool faulty = store_.faultInjectionEnabled();
     for (;;) {
         uint64_t pid = 0;
         if (!claimPartition(pid))
@@ -67,19 +75,65 @@ PreprocessManager::workerLoop()
         // Extract: fetch the encoded partition from the (local) SSD and
         // decode it. In Disagg mode the encoded bytes crossed the
         // datacenter network first; in PreSto mode they moved SSD->FPGA
-        // over the device-internal P2P path.
-        const auto& encoded = store_.partition(pid);
-        ColumnarFileReader reader;
-        Status st = reader.open(encoded);
-        PRESTO_CHECK(st.ok(), "partition ", pid, " unreadable: ",
-                     st.toString());
-        auto batch_or = reader.readAll();
-        PRESTO_CHECK(batch_or.ok(), "partition ", pid, " corrupt: ",
-                     batch_or.status().toString());
+        // over the device-internal P2P path. Under fault injection a
+        // fetch can fail transiently (retried) or deliver bit-flipped
+        // bytes — caught by the PSF page CRCs and answered by
+        // re-fetching the partition.
+        RowBatch raw;
+        uint64_t raw_bytes = 0;
+        uint64_t bytes_touched = 0;
+        uint64_t transient_errors = 0;
+        uint64_t corrupt_refetches = 0;
+        if (!faulty) {
+            const auto& encoded = store_.partition(pid);
+            ColumnarFileReader reader;
+            Status st = reader.open(encoded);
+            PRESTO_CHECK(st.ok(), "partition ", pid, " unreadable: ",
+                         st.toString());
+            auto batch_or = reader.readAll();
+            PRESTO_CHECK(batch_or.ok(), "partition ", pid, " corrupt: ",
+                         batch_or.status().toString());
+            raw = std::move(batch_or).value();
+            raw_bytes = encoded.size();
+            bytes_touched = reader.bytesTouched();
+        } else {
+            bool recovered = false;
+            for (uint64_t attempt = 0; attempt < kMaxFetchAttempts;
+                 ++attempt) {
+                auto fetched = store_.fetchPartition(pid, attempt);
+                if (!fetched.ok()) {
+                    PRESTO_CHECK(fetched.status().code() ==
+                                     StatusCode::kUnavailable,
+                                 "partition ", pid, " unreadable: ",
+                                 fetched.status().toString());
+                    ++transient_errors;
+                    continue;
+                }
+                ColumnarFileReader reader;
+                Status st = reader.open(*fetched);
+                StatusOr<RowBatch> batch_or =
+                    st.ok() ? reader.readAll() : StatusOr<RowBatch>(st);
+                if (!batch_or.ok()) {
+                    PRESTO_CHECK(batch_or.status().code() ==
+                                     StatusCode::kCorruption,
+                                 "partition ", pid, " unreadable: ",
+                                 batch_or.status().toString());
+                    ++corrupt_refetches;
+                    continue;
+                }
+                raw = std::move(batch_or).value();
+                raw_bytes = fetched->size();
+                bytes_touched = reader.bytesTouched();
+                recovered = true;
+                break;
+            }
+            PRESTO_CHECK(recovered, "partition ", pid,
+                         " unrecoverable after ", kMaxFetchAttempts,
+                         " fetch attempts");
+        }
 
         // Transform: the full operator pipeline.
-        auto mb = std::make_unique<MiniBatch>(
-            preprocessor_.preprocess(*batch_or));
+        auto mb = std::make_unique<MiniBatch>(preprocessor_.preprocess(raw));
         const uint64_t tensor_bytes = mb->byteSize();
 
         std::unique_lock lock(mu_);
@@ -89,12 +143,14 @@ PreprocessManager::workerLoop()
         if (stopping_)
             return;
         if (mode_ == PreprocessMode::kDisaggCpu) {
-            stats_.raw_bytes_over_network += encoded.size();
+            stats_.raw_bytes_over_network += raw_bytes;
         } else {
-            stats_.raw_bytes_p2p += encoded.size();
+            stats_.raw_bytes_p2p += raw_bytes;
         }
         stats_.tensor_bytes_over_network += tensor_bytes;
-        stats_.columnar_bytes_touched += reader.bytesTouched();
+        stats_.columnar_bytes_touched += bytes_touched;
+        stats_.transient_read_errors += transient_errors;
+        stats_.corrupt_partition_refetches += corrupt_refetches;
         queue_.push_back(std::move(mb));
         lock.unlock();
         queue_not_empty_.notify_one();

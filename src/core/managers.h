@@ -40,6 +40,10 @@ struct RunStats {
     uint64_t tensor_bytes_over_network = 0;  ///< preproc -> train manager
     uint64_t columnar_bytes_touched = 0;  ///< selective-read accounting
     double wall_seconds = 0;
+    /** Injected transient read errors retried (fault injection only). */
+    uint64_t transient_read_errors = 0;
+    /** Partitions re-fetched after a page-CRC corruption detection. */
+    uint64_t corrupt_partition_refetches = 0;
 };
 
 /**

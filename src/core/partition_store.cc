@@ -22,6 +22,38 @@ PartitionStore::partition(uint64_t partition_id)
     return it->second;
 }
 
+void
+PartitionStore::setFaultInjector(const FaultInjector* faults)
+{
+    std::scoped_lock lock(mu_);
+    faults_ = (faults != nullptr && faults->enabled()) ? faults : nullptr;
+}
+
+StatusOr<std::vector<uint8_t>>
+PartitionStore::fetchPartition(uint64_t partition_id, uint64_t attempt)
+{
+    // Fault draws key off (partition, attempt) — not thread schedule —
+    // so concurrent workers observe a reproducible fault pattern.
+    const std::vector<uint8_t>& pristine = partition(partition_id);
+    const FaultInjector* faults = nullptr;
+    {
+        std::scoped_lock lock(mu_);
+        faults = faults_;
+    }
+    if (faults == nullptr)
+        return std::vector<uint8_t>(pristine);
+    if (faults->transientReadError(partition_id, attempt)) {
+        return Status::unavailable(
+            "transient read error on partition " +
+            std::to_string(partition_id) + " (attempt " +
+            std::to_string(attempt) + ")");
+    }
+    std::vector<uint8_t> bytes(pristine);
+    if (faults->corruptionOccurs(partition_id, attempt))
+        faults->corruptBytes(bytes, partition_id, attempt);
+    return bytes;
+}
+
 uint64_t
 PartitionStore::partitionBytes(uint64_t partition_id)
 {
@@ -33,6 +65,13 @@ PartitionStore::materializedCount() const
 {
     std::scoped_lock lock(mu_);
     return partitions_.size();
+}
+
+bool
+PartitionStore::faultInjectionEnabled() const
+{
+    std::scoped_lock lock(mu_);
+    return faults_ != nullptr;
 }
 
 }  // namespace presto

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "columnar/columnar_file.h"
+#include "common/fault_injector.h"
 #include "datagen/generator.h"
 
 namespace presto {
@@ -36,17 +37,40 @@ class PartitionStore
     /** Encoded PSF bytes of a partition (generated on first access). */
     const std::vector<uint8_t>& partition(uint64_t partition_id);
 
+    /**
+     * Install a fault injector for fetchPartition (nullptr disables;
+     * the injector must outlive the store). The cached partitions stay
+     * pristine — faults only affect fetched copies.
+     */
+    void setFaultInjector(const FaultInjector* faults);
+
+    /**
+     * Fetch a copy of the partition the way a preprocessing worker
+     * reads it off the device. With a fault injector installed, the
+     * read can fail transiently (kUnavailable) or deliver bytes with a
+     * bit flipped — which the PSF page CRCs catch downstream, making
+     * this the hook for exercising the corruption-recovery path.
+     * @param attempt Retry ordinal of this fetch (0 = first try);
+     *        part of the deterministic fault-draw identity.
+     */
+    StatusOr<std::vector<uint8_t>> fetchPartition(uint64_t partition_id,
+                                                  uint64_t attempt = 0);
+
     /** Encoded size of a partition in bytes. */
     uint64_t partitionBytes(uint64_t partition_id);
 
     /** Number of partitions materialized so far. */
     size_t materializedCount() const;
 
+    /** True when a fault injector is installed and active. */
+    bool faultInjectionEnabled() const;
+
     const RawDataGenerator& generator() const { return generator_; }
 
   private:
     const RawDataGenerator& generator_;
     ColumnarFileWriter writer_;
+    const FaultInjector* faults_ = nullptr;
     mutable std::mutex mu_;
     std::map<uint64_t, std::vector<uint8_t>> partitions_;
 };

@@ -39,7 +39,7 @@ TEST_P(EmulatorEquivalence, MatchesCpuReferencePath)
 
     const MiniBatch reference = Preprocessor(cfg).preprocess(raw);
     IspEmulator emulator(cfg);
-    const MiniBatch emulated = emulator.process(encoded);
+    const MiniBatch emulated = emulator.process(encoded).value();
 
     EXPECT_EQ(reference.dense, emulated.dense);
     EXPECT_EQ(reference.labels, emulated.labels);
@@ -116,21 +116,39 @@ TEST(IspEmulatorTest, DeterministicAcrossInstances)
     const auto encoded =
         ColumnarFileWriter().write(gen.generatePartition(1), 1);
     IspEmulator a(cfg), b(cfg);
-    const MiniBatch ma = a.process(encoded);
-    const MiniBatch mb = b.process(encoded);
+    const MiniBatch ma = a.process(encoded).value();
+    const MiniBatch mb = b.process(encoded).value();
     EXPECT_EQ(ma.dense, mb.dense);
     for (size_t i = 0; i < ma.sparse.size(); ++i)
         EXPECT_EQ(ma.sparse[i].values, mb.sparse[i].values);
 }
 
-TEST(IspEmulatorDeathTest, CorruptPartitionPanics)
+TEST(IspEmulatorTest, CorruptPartitionReturnsCorruptionStatus)
 {
     const RmConfig cfg = emuConfig(1);
     RawDataGenerator gen(cfg);
     auto encoded = ColumnarFileWriter().write(gen.generatePartition(0), 0);
     encoded[encoded.size() / 2] ^= 0x01;
     IspEmulator emulator(cfg);
-    EXPECT_DEATH(emulator.process(encoded), "ISP decode failed");
+    const auto result = emulator.process(encoded);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+    EXPECT_NE(result.status().message().find("ISP decode failed"),
+              std::string::npos);
+}
+
+TEST(IspEmulatorTest, WorkloadMismatchReturnsCorruptionStatus)
+{
+    // A valid RM2-shaped partition fed to an RM1-configured device is a
+    // data-placement fault, not a crash.
+    const RmConfig stored = emuConfig(2);
+    RawDataGenerator gen(stored);
+    const auto encoded =
+        ColumnarFileWriter().write(gen.generatePartition(0), 0);
+    IspEmulator emulator(emuConfig(1));
+    const auto result = emulator.process(encoded);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
 }
 
 TEST(IspEmulatorDeathTest, BadUnitCountPanics)

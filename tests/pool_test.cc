@@ -73,7 +73,12 @@ TEST(PoolSchedulerTest, OversizedJobIsRejected)
     PoolScheduler pool(2);
     const PoolResult r = pool.run({job(0, 100, 5, 64), job(0, 10, 1, 1)});
     EXPECT_EQ(r.jobs[0].devices, 0);  // needs far more than 2 devices
+    EXPECT_TRUE(r.jobs[0].rejected);
+    EXPECT_NE(r.jobs[0].reject_reason.find("exceeds pool"),
+              std::string::npos);
     EXPECT_GT(r.jobs[1].devices, 0);  // small job still runs
+    EXPECT_FALSE(r.jobs[1].rejected);
+    EXPECT_TRUE(r.jobs[1].reject_reason.empty());
     EXPECT_DOUBLE_EQ(r.jobs[1].waitSec(), 0.0);
 }
 

@@ -12,9 +12,13 @@
 #include <optional>
 
 #include "cachesim/cache.h"
+#include "columnar/columnar_file.h"
 #include "columnar/encoding.h"
 #include "columnar/page.h"
+#include "common/fault_injector.h"
 #include "common/rng.h"
+#include "core/isp_emulator.h"
+#include "datagen/generator.h"
 #include "models/isp_model.h"
 #include "sim/sim_queue.h"
 #include "sim/simulator.h"
@@ -169,6 +173,87 @@ TEST_P(DecodeFuzz, RandomBytesNeverCrashPageReader)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DecodeFuzz, ::testing::Values(11, 22, 33));
+
+// --- single-bit-flip corruption of encoded PSF partitions ---------------------------
+
+/**
+ * Flipping any one bit of an encoded partition must never crash a
+ * reader and must never silently change the decoded data: every read
+ * either fails with kCorruption or yields output identical to the
+ * pristine reference (a flip can land in slack bytes the decode never
+ * consumes).
+ */
+class BitFlipCorruption : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitFlipCorruption, ReaderNeverReturnsWrongData)
+{
+    RmConfig cfg = rmConfig(GetParam());
+    cfg.batch_size = 64;
+    RawDataGenerator gen(cfg);
+    const RowBatch raw = gen.generatePartition(7);
+    const auto pristine = ColumnarFileWriter().write(raw, 7);
+
+    FaultSpec spec;
+    spec.corruption_prob = 1.0;  // activate the injector
+    const FaultInjector injector(spec);
+
+    size_t detected = 0, benign = 0;
+    for (uint64_t trial = 0; trial < 200; ++trial) {
+        auto corrupted = pristine;
+        injector.corruptBytes(corrupted, 7, trial);
+        ASSERT_NE(corrupted, pristine);
+
+        ColumnarFileReader reader;
+        Status st = reader.open(corrupted);
+        StatusOr<RowBatch> decoded =
+            st.ok() ? reader.readAll() : StatusOr<RowBatch>(st);
+        if (!decoded.ok()) {
+            EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption)
+                << "trial " << trial << ": "
+                << decoded.status().toString();
+            ++detected;
+        } else {
+            EXPECT_TRUE(*decoded == raw)
+                << "trial " << trial << " silently decoded wrong data";
+            ++benign;
+        }
+    }
+    // CRC framing must catch the overwhelming majority of flips.
+    EXPECT_GT(detected, benign);
+}
+
+TEST_P(BitFlipCorruption, IspEmulatorNeverReturnsWrongData)
+{
+    RmConfig cfg = rmConfig(GetParam());
+    cfg.batch_size = 64;
+    RawDataGenerator gen(cfg);
+    const RowBatch raw = gen.generatePartition(3);
+    const auto pristine = ColumnarFileWriter().write(raw, 3);
+    const MiniBatch reference = Preprocessor(cfg).preprocess(raw);
+
+    FaultSpec spec;
+    spec.corruption_prob = 1.0;
+    const FaultInjector injector(spec);
+
+    IspEmulator emulator(cfg);
+    for (uint64_t trial = 0; trial < 100; ++trial) {
+        auto corrupted = pristine;
+        injector.corruptBytes(corrupted, 3, trial);
+        const auto processed = emulator.process(corrupted);
+        if (!processed.ok()) {
+            EXPECT_EQ(processed.status().code(), StatusCode::kCorruption)
+                << "trial " << trial;
+        } else {
+            EXPECT_EQ(processed->dense, reference.dense);
+            EXPECT_EQ(processed->labels, reference.labels);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, BitFlipCorruption,
+                         ::testing::Values(1, 2, 5));
 
 // --- CacheSim vs oracle LRU ------------------------------------------------------------
 

@@ -21,9 +21,11 @@
 #include <string>
 #include <vector>
 
+#include "columnar/columnar_file.h"
 #include "columnar/dataset.h"
 #include "common/table_printer.h"
 #include "common/units.h"
+#include "core/isp_emulator.h"
 #include "core/provisioner.h"
 #include "datagen/generator.h"
 #include "ops/preprocessor.h"
@@ -59,6 +61,16 @@ class Args
         return fallback;
     }
 
+    std::string
+    getString(const std::string& name, std::string fallback) const
+    {
+        for (const auto& [k, v] : flags_) {
+            if (k == name)
+                return v;
+        }
+        return fallback;
+    }
+
     const std::vector<std::string>& positional() const
     {
         return positional_;
@@ -78,7 +90,7 @@ usage()
         "  gen <dir> --rm N [--partitions P] [--rows R] [--seed S]\n"
         "  inspect <dir>\n"
         "  verify <dir>\n"
-        "  transform <dir> [--partition I]\n"
+        "  transform <dir> [--partition I] [--backend cpu|isp]\n"
         "  provision --rm N [--gpus G]\n");
     return 2;
 }
@@ -194,8 +206,45 @@ cmdTransform(const Args& args)
     cfg.num_generated = std::min(cfg.num_generated, cfg.num_dense);
     cfg.batch_size = raw->numRows();
 
-    Preprocessor pre(cfg);
-    const MiniBatch mb = pre.preprocess(*raw);
+    const std::string backend = args.getString("backend", "cpu");
+    MiniBatch mb;
+    if (backend == "isp") {
+        // Run the FPGA-datapath emulator over the stored PSF bytes, the
+        // way a SmartSSD would consume its local partition. Corruption
+        // comes back as a Status instead of crashing the tool.
+        if (index >= reader.manifest().partitions.size()) {
+            std::fprintf(stderr, "no partition %zu\n", index);
+            return 1;
+        }
+        const auto& entry = reader.manifest().partitions[index];
+        auto bytes =
+            loadFromFile(args.positional()[0] + "/" + entry.file_name);
+        if (!bytes.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         bytes.status().toString().c_str());
+            return 1;
+        }
+        IspEmulator emulator(cfg);
+        auto processed = emulator.process(*bytes);
+        if (!processed.ok()) {
+            std::fprintf(stderr, "isp transform failed: %s\n",
+                         processed.status().toString().c_str());
+            return 1;
+        }
+        mb = std::move(processed).value();
+        std::printf("isp emulator: %u feature units engaged, %llu P2P "
+                    "bytes, %llu buffer swaps\n",
+                    emulator.counters().feature_units_used,
+                    static_cast<unsigned long long>(
+                        emulator.counters().p2p_bytes),
+                    static_cast<unsigned long long>(
+                        emulator.counters().buffer_swaps));
+    } else if (backend == "cpu") {
+        mb = Preprocessor(cfg).preprocess(*raw);
+    } else {
+        std::fprintf(stderr, "unknown backend: %s\n", backend.c_str());
+        return usage();
+    }
     std::printf("partition %zu -> %zu rows, %zu dense features, %zu "
                 "embedding tables, %zu sparse indices, %s of tensors\n",
                 index, mb.batch_size, mb.num_dense, mb.sparse.size(),
