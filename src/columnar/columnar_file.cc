@@ -200,7 +200,11 @@ ColumnarFileReader::open(std::span<const uint8_t> data)
     open_ = false;
     bytes_touched_ = 0;
     data_ = data;
-    footer_ = FileFooter();
+    // Reset the footer in place: column/stream vectors (and the name
+    // strings inside them) keep their capacity across open() calls, so
+    // re-opening same-shaped partitions does not allocate.
+    footer_.num_rows = 0;
+    footer_.partition_id = 0;
 
     const size_t trailer = 4 + 4 + 4;  // size + crc + magic
     if (data.size() < 4 + trailer)
@@ -229,8 +233,9 @@ ColumnarFileReader::open(std::span<const uint8_t> data)
     PRESTO_RETURN_IF_ERROR(enc::getVarint(footer_bytes, pos, num_columns));
     if (num_columns > footer_size)
         return Status::corruption("implausible column count");
+    footer_.columns.resize(num_columns);
     for (uint64_t c = 0; c < num_columns; ++c) {
-        ColumnMeta col;
+        ColumnMeta& col = footer_.columns[c];
         PRESTO_RETURN_IF_ERROR(getString(footer_bytes, pos, col.name));
         if (pos >= footer_bytes.size())
             return Status::corruption("truncated column kind");
@@ -243,6 +248,7 @@ ColumnarFileReader::open(std::span<const uint8_t> data)
             enc::getVarint(footer_bytes, pos, num_streams));
         if (num_streams > 2)
             return Status::corruption("implausible stream count");
+        col.streams.clear();
         for (uint64_t s = 0; s < num_streams; ++s) {
             StreamMeta stream;
             uint64_t num_pages = 0;
@@ -259,7 +265,6 @@ ColumnarFileReader::open(std::span<const uint8_t> data)
                 return Status::corruption("stream extends past data region");
             col.streams.push_back(stream);
         }
-        footer_.columns.push_back(std::move(col));
     }
     if (pos != footer_bytes.size())
         return Status::corruption("trailing bytes in footer");
@@ -277,13 +282,13 @@ ColumnarFileReader::decodeI64Stream(const StreamMeta& stream,
     out.reserve(stream.value_count);
     size_t pos = stream.offset;
     const size_t end = stream.offset + stream.byte_size;
-    std::vector<int64_t> page_values;
     for (uint32_t p = 0; p < stream.num_pages; ++p) {
         PageView page;
         PRESTO_RETURN_IF_ERROR(readPageFrame(data_, pos, page));
         PRESTO_RETURN_IF_ERROR(enc::decodeI64(page.encoding, page.payload,
-                                              page.value_count, page_values));
-        out.insert(out.end(), page_values.begin(), page_values.end());
+                                              page.value_count, page_i64_,
+                                              dict_));
+        out.insert(out.end(), page_i64_.begin(), page_i64_.end());
     }
     if (pos != end)
         return Status::corruption("stream page sizes disagree with footer");
@@ -294,48 +299,56 @@ ColumnarFileReader::decodeI64Stream(const StreamMeta& stream,
 }
 
 Status
-ColumnarFileReader::decodeDense(const ColumnMeta& meta, DenseColumn& out)
+ColumnarFileReader::decodeDenseInto(const ColumnMeta& meta,
+                                    std::vector<float>& values)
 {
     if (meta.streams.size() != 1)
         return Status::corruption("dense column must have one stream");
     const auto& stream = meta.streams[0];
-    std::vector<float> values;
+    values.clear();
     values.reserve(stream.value_count);
     size_t pos = stream.offset;
-    std::vector<float> page_values;
     for (uint32_t p = 0; p < stream.num_pages; ++p) {
         PageView page;
         PRESTO_RETURN_IF_ERROR(readPageFrame(data_, pos, page));
         PRESTO_RETURN_IF_ERROR(enc::decodeF32(page.encoding, page.payload,
-                                              page.value_count, page_values));
-        values.insert(values.end(), page_values.begin(), page_values.end());
+                                              page.value_count, page_f32_));
+        values.insert(values.end(), page_f32_.begin(), page_f32_.end());
     }
     if (values.size() != stream.value_count)
         return Status::corruption("dense stream value count mismatch");
     if (values.size() != footer_.num_rows)
         return Status::corruption("dense column row count mismatch");
     bytes_touched_ += stream.byte_size;
+    return Status::okStatus();
+}
+
+Status
+ColumnarFileReader::decodeDense(const ColumnMeta& meta, DenseColumn& out)
+{
+    std::vector<float> values;
+    PRESTO_RETURN_IF_ERROR(decodeDenseInto(meta, values));
     out = DenseColumn(std::move(values));
     return Status::okStatus();
 }
 
 Status
-ColumnarFileReader::decodeSparse(const ColumnMeta& meta, SparseColumn& out)
+ColumnarFileReader::decodeSparseInto(const ColumnMeta& meta,
+                                     std::vector<int64_t>& values,
+                                     std::vector<uint32_t>& offsets)
 {
     if (meta.streams.size() != 2)
         return Status::corruption("sparse column must have two streams");
-    std::vector<int64_t> lengths;
-    std::vector<int64_t> values;
-    PRESTO_RETURN_IF_ERROR(decodeI64Stream(meta.streams[0], lengths));
+    PRESTO_RETURN_IF_ERROR(decodeI64Stream(meta.streams[0], lengths_));
     PRESTO_RETURN_IF_ERROR(decodeI64Stream(meta.streams[1], values));
-    if (lengths.size() != footer_.num_rows)
+    if (lengths_.size() != footer_.num_rows)
         return Status::corruption("sparse lengths row count mismatch");
 
-    std::vector<uint32_t> offsets;
-    offsets.reserve(lengths.size() + 1);
+    offsets.clear();
+    offsets.reserve(lengths_.size() + 1);
     offsets.push_back(0);
     uint64_t running = 0;
-    for (int64_t len : lengths) {
+    for (int64_t len : lengths_) {
         if (len < 0)
             return Status::corruption("negative sparse row length");
         running += static_cast<uint64_t>(len);
@@ -345,6 +358,15 @@ ColumnarFileReader::decodeSparse(const ColumnMeta& meta, SparseColumn& out)
     }
     if (running != values.size())
         return Status::corruption("sparse lengths do not cover values");
+    return Status::okStatus();
+}
+
+Status
+ColumnarFileReader::decodeSparse(const ColumnMeta& meta, SparseColumn& out)
+{
+    std::vector<int64_t> values;
+    std::vector<uint32_t> offsets;
+    PRESTO_RETURN_IF_ERROR(decodeSparseInto(meta, values, offsets));
     out = SparseColumn(std::move(values), std::move(offsets));
     return Status::okStatus();
 }
@@ -396,6 +418,50 @@ ColumnarFileReader::readAll()
     for (const auto& col : footer_.columns)
         names.push_back(col.name);
     return readColumns(names);
+}
+
+bool
+ColumnarFileReader::schemaMatches(const RowBatch& batch) const
+{
+    if (!batch.complete() ||
+        batch.numColumns() != footer_.columns.size()) {
+        return false;
+    }
+    for (size_t c = 0; c < footer_.columns.size(); ++c) {
+        const auto& spec = batch.schema().feature(c);
+        if (spec.name != footer_.columns[c].name ||
+            spec.kind != footer_.columns[c].kind) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Status
+ColumnarFileReader::readAllInto(RowBatch& out)
+{
+    if (!open_)
+        return Status::failedPrecondition("reader is not open");
+    if (!schemaMatches(out)) {
+        auto fresh = readAll();
+        PRESTO_RETURN_IF_ERROR(fresh.status());
+        out = std::move(fresh).value();
+        return Status::okStatus();
+    }
+    for (size_t c = 0; c < footer_.columns.size(); ++c) {
+        const ColumnMeta& meta = footer_.columns[c];
+        if (meta.kind == FeatureKind::kSparse) {
+            SparseColumn& col = out.mutableSparse(c);
+            PRESTO_RETURN_IF_ERROR(decodeSparseInto(
+                meta, col.mutableValues(), col.mutableOffsets()));
+        } else {
+            DenseColumn& col = out.mutableDense(c);
+            PRESTO_RETURN_IF_ERROR(
+                decodeDenseInto(meta, col.mutableValues()));
+        }
+    }
+    out.resetRowCountFromColumns();
+    return Status::okStatus();
 }
 
 Status

@@ -112,6 +112,16 @@ class ColumnarFileReader
     /** Decode every column. */
     StatusOr<RowBatch> readAll();
 
+    /**
+     * Buffer-reusing form of readAll(): when @p out already has this
+     * file's schema (same names and kinds), columns are decoded in
+     * place into its existing vectors — after a warm-up batch, repeated
+     * open()+readAllInto() cycles on same-shaped partitions allocate
+     * nothing. Any other @p out (including a default-constructed one)
+     * is replaced wholesale. Byte-touch accounting matches readAll().
+     */
+    Status readAllInto(RowBatch& out);
+
     /** Bytes of the file inspected so far (footer + selected pages). */
     uint64_t bytesTouched() const { return bytes_touched_; }
 
@@ -125,13 +135,25 @@ class ColumnarFileReader
   private:
     Status decodeDense(const ColumnMeta& meta, DenseColumn& out);
     Status decodeSparse(const ColumnMeta& meta, SparseColumn& out);
+    Status decodeDenseInto(const ColumnMeta& meta,
+                           std::vector<float>& values);
+    Status decodeSparseInto(const ColumnMeta& meta,
+                            std::vector<int64_t>& values,
+                            std::vector<uint32_t>& offsets);
     Status decodeI64Stream(const StreamMeta& stream,
                            std::vector<int64_t>& out);
+    bool schemaMatches(const RowBatch& batch) const;
 
     std::span<const uint8_t> data_;
     FileFooter footer_;
     bool open_ = false;
     uint64_t bytes_touched_ = 0;
+    // Per-reader scratch reused across pages/partitions so the decode
+    // loop is allocation-free once warmed up.
+    std::vector<int64_t> page_i64_;
+    std::vector<float> page_f32_;
+    std::vector<int64_t> dict_;
+    std::vector<int64_t> lengths_;
 };
 
 /** Write PSF bytes to a filesystem path. */

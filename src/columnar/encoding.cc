@@ -143,6 +143,14 @@ Status
 decodeI64(Encoding encoding, std::span<const uint8_t> payload, size_t count,
           std::vector<int64_t>& out)
 {
+    std::vector<int64_t> dict_scratch;
+    return decodeI64(encoding, payload, count, out, dict_scratch);
+}
+
+Status
+decodeI64(Encoding encoding, std::span<const uint8_t> payload, size_t count,
+          std::vector<int64_t>& out, std::vector<int64_t>& dict_scratch)
+{
     out.clear();
     out.reserve(count);
     size_t pos = 0;
@@ -190,7 +198,8 @@ decodeI64(Encoding encoding, std::span<const uint8_t> payload, size_t count,
         PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, dict_size));
         if (dict_size > payload.size())
             return Status::corruption("dictionary size exceeds payload");
-        std::vector<int64_t> dict;
+        std::vector<int64_t>& dict = dict_scratch;
+        dict.clear();
         dict.reserve(dict_size);
         for (uint64_t i = 0; i < dict_size; ++i) {
             uint64_t u = 0;

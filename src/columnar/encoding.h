@@ -87,6 +87,14 @@ Status decodeI64(Encoding encoding, std::span<const uint8_t> payload,
                  size_t count, std::vector<int64_t>& out);
 
 /**
+ * Same, with a caller-owned scratch buffer for the page dictionary so
+ * repeated decodes reuse its capacity (allocation-free steady state).
+ */
+Status decodeI64(Encoding encoding, std::span<const uint8_t> payload,
+                 size_t count, std::vector<int64_t>& out,
+                 std::vector<int64_t>& dict_scratch);
+
+/**
  * Pick a compact integer encoding for @p values by estimating encoded
  * sizes (dictionary vs varint vs RLE; delta for monotone sequences).
  */

@@ -1,0 +1,46 @@
+#include "common/batch_arena.h"
+
+namespace presto {
+
+void
+BatchArena::prepareF32(size_t count)
+{
+    while (f32_.size() < count)
+        f32_.push_back(std::make_unique<std::vector<float>>());
+}
+
+void
+BatchArena::prepareI64(size_t count)
+{
+    while (i64_.size() < count)
+        i64_.push_back(std::make_unique<std::vector<int64_t>>());
+}
+
+std::vector<float>&
+BatchArena::f32(size_t slot)
+{
+    if (slot >= f32_.size())
+        prepareF32(slot + 1);
+    return *f32_[slot];
+}
+
+std::vector<int64_t>&
+BatchArena::i64(size_t slot)
+{
+    if (slot >= i64_.size())
+        prepareI64(slot + 1);
+    return *i64_[slot];
+}
+
+size_t
+BatchArena::bytesReserved() const
+{
+    size_t bytes = 0;
+    for (const auto& v : f32_)
+        bytes += v->capacity() * sizeof(float);
+    for (const auto& v : i64_)
+        bytes += v->capacity() * sizeof(int64_t);
+    return bytes;
+}
+
+}  // namespace presto

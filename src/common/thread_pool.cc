@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
 
@@ -49,18 +50,25 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)>& fn)
 {
     if (n == 0)
         return;
-    const size_t shards = std::min(n, threads_.size());
-    const size_t chunk = (n + shards - 1) / shards;
-    for (size_t s = 0; s < shards; ++s) {
-        const size_t lo = s * chunk;
-        const size_t hi = std::min(n, lo + chunk);
-        if (lo >= hi)
-            break;
-        submit([&fn, lo, hi] {
-            for (size_t i = lo; i < hi; ++i)
-                fn(i);
+    const size_t workers = std::min(n, threads_.size());
+    // Small chunks (several per worker) let fast workers steal the slack
+    // behind a skewed index without paying one atomic op per index.
+    const size_t chunk = std::max(size_t{1}, n / (workers * 8));
+    std::atomic<size_t> next{0};
+    for (size_t w = 0; w < workers; ++w) {
+        submit([&fn, &next, n, chunk] {
+            for (;;) {
+                const size_t lo =
+                    next.fetch_add(chunk, std::memory_order_relaxed);
+                if (lo >= n)
+                    return;
+                const size_t hi = std::min(n, lo + chunk);
+                for (size_t i = lo; i < hi; ++i)
+                    fn(i);
+            }
         });
     }
+    // wait() keeps `next` (and fn) alive until every claimed chunk runs.
     wait();
 }
 

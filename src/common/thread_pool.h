@@ -42,7 +42,9 @@ class ThreadPool
 
     /**
      * Run fn(i) for i in [0, n) across the pool and wait for completion.
-     * Work is divided into contiguous index ranges, one per worker.
+     * Workers claim small contiguous chunks from a shared atomic cursor,
+     * so skewed per-index costs rebalance instead of serializing on the
+     * worker that drew the expensive shard.
      */
     void parallelFor(size_t n, const std::function<void(size_t)>& fn);
 

@@ -19,7 +19,10 @@ constexpr size_t kPeBufferValues = 4096;
 
 IspEmulator::IspEmulator(const RmConfig& config, int num_feature_units)
     : config_(config), num_feature_units_(num_feature_units),
-      reference_plan_(config)
+      reference_plan_(config), bucketizer_(reference_plan_.boundaries()),
+      unit_used_(static_cast<size_t>(num_feature_units > 0
+                                         ? num_feature_units
+                                         : 1))
 {
     PRESTO_CHECK(num_feature_units_ >= 1, "need at least one feature unit");
 }
@@ -27,22 +30,28 @@ IspEmulator::IspEmulator(const RmConfig& config, int num_feature_units)
 StatusOr<MiniBatch>
 IspEmulator::process(std::span<const uint8_t> encoded_partition)
 {
+    MiniBatch mb;
+    PRESTO_RETURN_IF_ERROR(processInto(encoded_partition, mb));
+    return StatusOr<MiniBatch>(std::move(mb));
+}
+
+Status
+IspEmulator::processInto(std::span<const uint8_t> encoded_partition,
+                         MiniBatch& mb)
+{
     counters_ = IspUnitCounters();
 
     // --- P2P transfer: the encoded partition streams SSD -> FPGA DRAM.
     counters_.p2p_bytes = encoded_partition.size();
 
-    // --- Decoder unit: parse the columnar pages into feature streams.
-    // Page CRC32C checks run here; any damage surfaces as kCorruption.
-    ColumnarFileReader reader;
-    if (Status st = reader.open(encoded_partition); !st.ok())
+    // --- Decoder unit: parse the columnar pages into feature streams
+    // (into the device-resident raw_ buffers). Page CRC32C checks run
+    // here; any damage surfaces as kCorruption.
+    if (Status st = reader_.open(encoded_partition); !st.ok())
         return Status(st.code(), "ISP decode failed: " + st.message());
-    auto decoded = reader.readAll();
-    if (!decoded.ok()) {
-        const Status st = decoded.status();
+    if (Status st = reader_.readAllInto(raw_); !st.ok())
         return Status(st.code(), "ISP decode failed: " + st.message());
-    }
-    const RowBatch& raw = *decoded;
+    const RowBatch& raw = raw_;
     counters_.decoded_values = raw.totalValues();
 
     const auto& schema = raw.schema();
@@ -50,15 +59,14 @@ IspEmulator::process(std::span<const uint8_t> encoded_partition)
     const auto label_idx = schema.indexOf("label");
     if (!label_idx.has_value())
         return Status::corruption("partition lacks a label column");
-    const auto dense_idx = schema.indicesOfKind(FeatureKind::kDense);
-    const auto sparse_idx = schema.indicesOfKind(FeatureKind::kSparse);
+    const auto& dense_idx = schema.indicesOfKind(FeatureKind::kDense);
+    const auto& sparse_idx = schema.indicesOfKind(FeatureKind::kSparse);
     if (dense_idx.size() != config_.num_dense ||
         sparse_idx.size() != config_.num_sparse) {
         return Status::corruption(
             "partition schema does not match the workload");
     }
 
-    MiniBatch mb;
     mb.batch_size = batch;
     mb.num_dense = config_.num_dense;
     mb.dense.resize(batch * config_.num_dense);
@@ -67,14 +75,12 @@ IspEmulator::process(std::span<const uint8_t> encoded_partition)
     mb.sparse.resize(config_.totalSparseFeatures());
     counters_.convert_values += batch;  // labels through the out stage
 
-    const EytzingerBucketizer bucketizer(reference_plan_.boundaries());
     const auto levels = static_cast<uint64_t>(
         std::log2(static_cast<double>(config_.bucket_size)) + 1.0);
 
-    std::vector<bool> unit_used(
-        static_cast<size_t>(num_feature_units_), false);
+    std::fill(unit_used_.begin(), unit_used_.end(), 0);
     auto engageUnit = [&](size_t feature) {
-        unit_used[feature % unit_used.size()] = true;
+        unit_used_[feature % unit_used_.size()] = 1;
     };
 
     // Process one feature's value stream through a PE in double-buffered
@@ -93,12 +99,12 @@ IspEmulator::process(std::span<const uint8_t> encoded_partition)
     for (size_t f = 0; f < config_.num_dense; ++f) {
         engageUnit(f);
         const auto& col = raw.dense(dense_idx[f]);
-        std::vector<float> values(col.values().begin(),
-                                  col.values().end());
+        std::vector<float>& values = arena_.f32(f);
+        values.assign(col.values().begin(), col.values().end());
 
         chunked(values.size(), [&](size_t pos, size_t len) {
             std::span<float> chunk(values.data() + pos, len);
-            fillMissingInPlace(chunk, 0.0f);
+            fillMissingInPlaceFast(chunk, 0.0f);
         });
 
         if (f < config_.num_generated) {
@@ -106,7 +112,7 @@ IspEmulator::process(std::span<const uint8_t> encoded_partition)
             jag.feature_name = "generated_" + std::to_string(f);
             jag.values.resize(batch);
             chunked(batch, [&](size_t pos, size_t len) {
-                bucketizer.bucketizeInto(
+                bucketizer_.bucketizeInto(
                     std::span<const float>(values.data() + pos, len),
                     std::span<int64_t>(jag.values.data() + pos, len));
             });
@@ -116,7 +122,7 @@ IspEmulator::process(std::span<const uint8_t> encoded_partition)
             const uint64_t seed =
                 reference_plan_.hashSeed(config_.num_sparse + f);
             chunked(batch, [&](size_t pos, size_t len) {
-                sigridHashInPlaceUnrolled(
+                sigridHashInPlaceFast(
                     std::span<int64_t>(jag.values.data() + pos, len),
                     seed, reference_plan_.tableSize());
             });
@@ -127,7 +133,7 @@ IspEmulator::process(std::span<const uint8_t> encoded_partition)
         }
 
         chunked(values.size(), [&](size_t pos, size_t len) {
-            logTransformInPlaceStrided(
+            logTransformInPlaceFast(
                 std::span<float>(values.data() + pos, len));
         });
         counters_.log_values += values.size();
@@ -144,11 +150,12 @@ IspEmulator::process(std::span<const uint8_t> encoded_partition)
         const auto& col = raw.sparse(sparse_idx[f]);
         auto& jag = mb.sparse[f];
         jag.feature_name = schema.feature(sparse_idx[f]).name;
-        jag.values.assign(col.values().begin(), col.values().end());
+        jag.values.resize(col.values().size());
 
         const uint64_t seed = reference_plan_.hashSeed(f);
         chunked(jag.values.size(), [&](size_t pos, size_t len) {
-            sigridHashInPlaceUnrolled(
+            sigridHashInto(
+                std::span<const int64_t>(col.values().data() + pos, len),
                 std::span<int64_t>(jag.values.data() + pos, len), seed,
                 reference_plan_.tableSize());
         });
@@ -160,11 +167,12 @@ IspEmulator::process(std::span<const uint8_t> encoded_partition)
         counters_.convert_values += jag.values.size();
     }
 
-    for (bool used : unit_used)
-        counters_.feature_units_used += used;
+    for (char used : unit_used_)
+        counters_.feature_units_used += used != 0;
 
+    arena_.noteBatch();
     PRESTO_CHECK(mb.consistent(), "emulator produced a bad batch");
-    return StatusOr<MiniBatch>(std::move(mb));
+    return Status::okStatus();
 }
 
 }  // namespace presto

@@ -17,10 +17,14 @@
 #include <cstdint>
 #include <span>
 
+#include "columnar/columnar_file.h"
+#include "common/batch_arena.h"
 #include "common/status.h"
 #include "datagen/rm_config.h"
+#include "ops/fast_ops.h"
 #include "ops/preprocessor.h"
 #include "tabular/minibatch.h"
+#include "tabular/row_batch.h"
 
 namespace presto {
 
@@ -39,6 +43,11 @@ struct IspUnitCounters {
 
 /**
  * Emulates one SmartSSD's FPGA processing a single encoded partition.
+ *
+ * An emulator instance models one device: it owns its decode and
+ * transform buffers (the FPGA's DRAM), which are reused across
+ * process() calls so steady-state batches allocate nothing. Not
+ * thread-safe; use one instance per device/worker.
  */
 class IspEmulator
 {
@@ -59,6 +68,13 @@ class IspEmulator
      */
     StatusOr<MiniBatch> process(std::span<const uint8_t> encoded_partition);
 
+    /**
+     * Buffer-reusing form of process(): writes into @p out, whose
+     * tensors are recycled across calls. Identical output and counters.
+     */
+    Status processInto(std::span<const uint8_t> encoded_partition,
+                       MiniBatch& out);
+
     /** Counters of the most recent process() call. */
     const IspUnitCounters& counters() const { return counters_; }
 
@@ -68,7 +84,13 @@ class IspEmulator
     RmConfig config_;
     int num_feature_units_;
     Preprocessor reference_plan_;  ///< seeds/boundaries shared with CPU path
+    FastBucketizer bucketizer_;    ///< Generation unit search pipeline
     IspUnitCounters counters_;
+    // Device DRAM stand-ins, reused across partitions.
+    ColumnarFileReader reader_;
+    RowBatch raw_;
+    BatchArena arena_;
+    std::vector<char> unit_used_;  ///< per-PE engagement scratch
 };
 
 }  // namespace presto

@@ -16,9 +16,12 @@ namespace presto {
 PreprocessManager::PreprocessManager(const RmConfig& config,
                                      PartitionStore& store,
                                      PreprocessMode mode, int num_workers,
-                                     size_t queue_capacity)
+                                     size_t queue_capacity, bool prefetch)
     : config_(config), store_(store), mode_(mode), preprocessor_(config),
-      queue_capacity_(queue_capacity), num_workers_(num_workers)
+      queue_capacity_(queue_capacity), num_workers_(num_workers),
+      prefetch_(prefetch),
+      decoded_capacity_(2 * static_cast<size_t>(
+                                num_workers > 0 ? num_workers : 1))
 {
     PRESTO_CHECK(num_workers_ >= 1, "need at least one worker");
     PRESTO_CHECK(queue_capacity_ >= 1, "queue capacity must be positive");
@@ -32,6 +35,8 @@ PreprocessManager::~PreprocessManager()
     }
     queue_not_full_.notify_all();
     queue_not_empty_.notify_all();
+    decoded_not_full_.notify_all();
+    decoded_not_empty_.notify_all();
     for (auto& w : workers_)
         w.join();
 }
@@ -41,9 +46,24 @@ PreprocessManager::start(size_t total_batches)
 {
     PRESTO_CHECK(workers_.empty(), "manager already started");
     total_batches_ = total_batches;
-    workers_.reserve(num_workers_);
-    for (int w = 0; w < num_workers_; ++w)
-        workers_.emplace_back([this] { workerLoop(); });
+    if (!prefetch_) {
+        workers_.reserve(num_workers_);
+        for (int w = 0; w < num_workers_; ++w)
+            workers_.emplace_back([this] { workerLoop(); });
+        return;
+    }
+    // Staged pipeline: roughly half the budget fetches+decodes ahead
+    // while the other half transforms, so Extract of partition N+1
+    // overlaps Transform of partition N. A single-worker budget still
+    // gets one thread per stage — that is the minimal double buffer.
+    const int fetchers = std::max(1, num_workers_ / 2);
+    const int transformers = std::max(1, num_workers_ - fetchers);
+    active_fetchers_ = fetchers;
+    workers_.reserve(static_cast<size_t>(fetchers + transformers));
+    for (int w = 0; w < fetchers; ++w)
+        workers_.emplace_back([this] { fetchLoop(); });
+    for (int w = 0; w < transformers; ++w)
+        workers_.emplace_back([this] { transformLoop(); });
 }
 
 bool
@@ -64,97 +84,193 @@ constexpr uint64_t kMaxFetchAttempts = 16;
 }  // namespace
 
 void
+PreprocessManager::fetchDecode(uint64_t id, ColumnarFileReader& reader,
+                               DecodedPartition& dp)
+{
+    // Extract: fetch the encoded partition from the (local) SSD and
+    // decode it. In Disagg mode the encoded bytes crossed the
+    // datacenter network first; in PreSto mode they moved SSD->FPGA
+    // over the device-internal P2P path. Under fault injection a
+    // fetch can fail transiently (retried) or deliver bit-flipped
+    // bytes — caught by the PSF page CRCs and answered by
+    // re-fetching the partition.
+    dp.raw_bytes = 0;
+    dp.bytes_touched = 0;
+    dp.transient_errors = 0;
+    dp.corrupt_refetches = 0;
+    if (!store_.faultInjectionEnabled()) {
+        const auto& encoded = store_.partition(id);
+        Status st = reader.open(encoded);
+        PRESTO_CHECK(st.ok(), "partition ", id, " unreadable: ",
+                     st.toString());
+        st = reader.readAllInto(dp.batch);
+        PRESTO_CHECK(st.ok(), "partition ", id, " corrupt: ",
+                     st.toString());
+        dp.raw_bytes = encoded.size();
+        dp.bytes_touched = reader.bytesTouched();
+        return;
+    }
+    bool recovered = false;
+    for (uint64_t attempt = 0; attempt < kMaxFetchAttempts; ++attempt) {
+        auto fetched = store_.fetchPartition(id, attempt);
+        if (!fetched.ok()) {
+            PRESTO_CHECK(fetched.status().code() ==
+                             StatusCode::kUnavailable,
+                         "partition ", id, " unreadable: ",
+                         fetched.status().toString());
+            ++dp.transient_errors;
+            continue;
+        }
+        Status st = reader.open(*fetched);
+        if (st.ok())
+            st = reader.readAllInto(dp.batch);
+        if (!st.ok()) {
+            PRESTO_CHECK(st.code() == StatusCode::kCorruption,
+                         "partition ", id, " unreadable: ", st.toString());
+            ++dp.corrupt_refetches;
+            continue;
+        }
+        dp.raw_bytes = fetched->size();
+        dp.bytes_touched = reader.bytesTouched();
+        recovered = true;
+        break;
+    }
+    PRESTO_CHECK(recovered, "partition ", id, " unrecoverable after ",
+                 kMaxFetchAttempts, " fetch attempts");
+}
+
+std::unique_ptr<MiniBatch>
+PreprocessManager::takeRecycledBatch()
+{
+    std::unique_lock lock(mu_);
+    if (free_batches_.empty())
+        return nullptr;
+    auto mb = std::move(free_batches_.back());
+    free_batches_.pop_back();
+    return mb;
+}
+
+void
+PreprocessManager::transformAndDeliver(DecodedPartition& dp,
+                                       BatchArena& arena)
+{
+    // Transform: the full operator pipeline, into a recycled batch.
+    auto mb = takeRecycledBatch();
+    if (mb == nullptr)
+        mb = std::make_unique<MiniBatch>();
+    preprocessor_.preprocessInto(dp.batch, *mb, arena);
+    const uint64_t tensor_bytes = mb->byteSize();
+
+    std::unique_lock lock(mu_);
+    queue_not_full_.wait(lock, [this] {
+        return queue_.size() < queue_capacity_ || stopping_;
+    });
+    if (stopping_)
+        return;
+    if (mode_ == PreprocessMode::kDisaggCpu) {
+        stats_.raw_bytes_over_network += dp.raw_bytes;
+    } else {
+        stats_.raw_bytes_p2p += dp.raw_bytes;
+    }
+    stats_.tensor_bytes_over_network += tensor_bytes;
+    stats_.columnar_bytes_touched += dp.bytes_touched;
+    stats_.transient_read_errors += dp.transient_errors;
+    stats_.corrupt_partition_refetches += dp.corrupt_refetches;
+    queue_.push_back(std::move(mb));
+    lock.unlock();
+    queue_not_empty_.notify_one();
+}
+
+void
 PreprocessManager::workerLoop()
 {
-    const bool faulty = store_.faultInjectionEnabled();
+    // Unstaged (seed) schedule: each worker alternates Extract and
+    // Transform, but with the device-style persistent decode buffers.
+    ColumnarFileReader reader;
+    BatchArena arena;
+    DecodedPartition dp;
     for (;;) {
         uint64_t pid = 0;
         if (!claimPartition(pid))
             return;
-
-        // Extract: fetch the encoded partition from the (local) SSD and
-        // decode it. In Disagg mode the encoded bytes crossed the
-        // datacenter network first; in PreSto mode they moved SSD->FPGA
-        // over the device-internal P2P path. Under fault injection a
-        // fetch can fail transiently (retried) or deliver bit-flipped
-        // bytes — caught by the PSF page CRCs and answered by
-        // re-fetching the partition.
-        RowBatch raw;
-        uint64_t raw_bytes = 0;
-        uint64_t bytes_touched = 0;
-        uint64_t transient_errors = 0;
-        uint64_t corrupt_refetches = 0;
-        if (!faulty) {
-            const auto& encoded = store_.partition(pid);
-            ColumnarFileReader reader;
-            Status st = reader.open(encoded);
-            PRESTO_CHECK(st.ok(), "partition ", pid, " unreadable: ",
-                         st.toString());
-            auto batch_or = reader.readAll();
-            PRESTO_CHECK(batch_or.ok(), "partition ", pid, " corrupt: ",
-                         batch_or.status().toString());
-            raw = std::move(batch_or).value();
-            raw_bytes = encoded.size();
-            bytes_touched = reader.bytesTouched();
-        } else {
-            bool recovered = false;
-            for (uint64_t attempt = 0; attempt < kMaxFetchAttempts;
-                 ++attempt) {
-                auto fetched = store_.fetchPartition(pid, attempt);
-                if (!fetched.ok()) {
-                    PRESTO_CHECK(fetched.status().code() ==
-                                     StatusCode::kUnavailable,
-                                 "partition ", pid, " unreadable: ",
-                                 fetched.status().toString());
-                    ++transient_errors;
-                    continue;
-                }
-                ColumnarFileReader reader;
-                Status st = reader.open(*fetched);
-                StatusOr<RowBatch> batch_or =
-                    st.ok() ? reader.readAll() : StatusOr<RowBatch>(st);
-                if (!batch_or.ok()) {
-                    PRESTO_CHECK(batch_or.status().code() ==
-                                     StatusCode::kCorruption,
-                                 "partition ", pid, " unreadable: ",
-                                 batch_or.status().toString());
-                    ++corrupt_refetches;
-                    continue;
-                }
-                raw = std::move(batch_or).value();
-                raw_bytes = fetched->size();
-                bytes_touched = reader.bytesTouched();
-                recovered = true;
-                break;
-            }
-            PRESTO_CHECK(recovered, "partition ", pid,
-                         " unrecoverable after ", kMaxFetchAttempts,
-                         " fetch attempts");
-        }
-
-        // Transform: the full operator pipeline.
-        auto mb = std::make_unique<MiniBatch>(preprocessor_.preprocess(raw));
-        const uint64_t tensor_bytes = mb->byteSize();
-
-        std::unique_lock lock(mu_);
-        queue_not_full_.wait(lock, [this] {
-            return queue_.size() < queue_capacity_ || stopping_;
-        });
-        if (stopping_)
-            return;
-        if (mode_ == PreprocessMode::kDisaggCpu) {
-            stats_.raw_bytes_over_network += raw_bytes;
-        } else {
-            stats_.raw_bytes_p2p += raw_bytes;
-        }
-        stats_.tensor_bytes_over_network += tensor_bytes;
-        stats_.columnar_bytes_touched += bytes_touched;
-        stats_.transient_read_errors += transient_errors;
-        stats_.corrupt_partition_refetches += corrupt_refetches;
-        queue_.push_back(std::move(mb));
-        lock.unlock();
-        queue_not_empty_.notify_one();
+        fetchDecode(pid, reader, dp);
+        transformAndDeliver(dp, arena);
     }
+}
+
+void
+PreprocessManager::fetchLoop()
+{
+    ColumnarFileReader reader;
+    uint64_t pid = 0;
+    while (claimPartition(pid)) {
+        std::unique_ptr<DecodedPartition> dp;
+        {
+            std::unique_lock lock(mu_);
+            if (!free_shells_.empty()) {
+                dp = std::move(free_shells_.back());
+                free_shells_.pop_back();
+            }
+        }
+        if (dp == nullptr)
+            dp = std::make_unique<DecodedPartition>();
+        fetchDecode(pid, reader, *dp);
+
+        bool stopped = false;
+        {
+            std::unique_lock lock(mu_);
+            decoded_not_full_.wait(lock, [this] {
+                return decoded_.size() < decoded_capacity_ || stopping_;
+            });
+            stopped = stopping_;
+            if (!stopped)
+                decoded_.push_back(std::move(dp));
+        }
+        if (stopped)
+            break;
+        decoded_not_empty_.notify_one();
+    }
+    {
+        std::unique_lock lock(mu_);
+        --active_fetchers_;
+    }
+    // Wake every transformer so the last ones observe the drained queue.
+    decoded_not_empty_.notify_all();
+}
+
+void
+PreprocessManager::transformLoop()
+{
+    BatchArena arena;
+    for (;;) {
+        std::unique_ptr<DecodedPartition> dp;
+        {
+            std::unique_lock lock(mu_);
+            decoded_not_empty_.wait(lock, [this] {
+                return !decoded_.empty() || active_fetchers_ == 0 ||
+                       stopping_;
+            });
+            if (stopping_)
+                return;
+            if (decoded_.empty())
+                return;  // all fetchers finished and the queue drained
+            dp = std::move(decoded_.front());
+            decoded_.pop_front();
+        }
+        decoded_not_full_.notify_one();
+        transformAndDeliver(*dp, arena);
+        std::unique_lock lock(mu_);
+        free_shells_.push_back(std::move(dp));
+    }
+}
+
+void
+PreprocessManager::recycle(std::unique_ptr<MiniBatch> mb)
+{
+    if (mb == nullptr)
+        return;
+    std::unique_lock lock(mu_);
+    free_batches_.push_back(std::move(mb));
 }
 
 std::unique_ptr<MiniBatch>
@@ -229,6 +345,8 @@ TrainManager::train(size_t total_batches, int worker_override)
                          jag.values.size() * sizeof(int64_t), crc);
         }
         checksum_ ^= mix64(crc + mb->batch_size);
+        // Hand the tensors back so the next partition reuses them.
+        manager.recycle(std::move(mb));
     }
 
     RunStats stats = manager.stats();

@@ -19,10 +19,13 @@
 #include <thread>
 #include <vector>
 
+#include "columnar/columnar_file.h"
+#include "common/batch_arena.h"
 #include "core/partition_store.h"
 #include "datagen/rm_config.h"
 #include "ops/preprocessor.h"
 #include "tabular/minibatch.h"
+#include "tabular/row_batch.h"
 
 namespace presto {
 
@@ -57,12 +60,18 @@ class PreprocessManager
      * @param config Workload description (also selects the Transform plan).
      * @param store The storage node holding encoded partitions.
      * @param mode Disagg vs PreSto data-path accounting.
-     * @param num_workers Preprocessing worker threads to spawn.
+     * @param num_workers Preprocessing (transform) worker threads.
      * @param queue_capacity Bound of the mini-batch input queue.
+     * @param prefetch Stage the pipeline: dedicated fetcher threads
+     *        decode partition N+1 while transform workers run partition
+     *        N, connected by a bounded decoded-partition queue. Off
+     *        runs the seed's combined fetch+transform loop per worker.
+     *        Delivered batches are identical either way (ordering may
+     *        differ, as it already can between workers).
      */
     PreprocessManager(const RmConfig& config, PartitionStore& store,
                       PreprocessMode mode, int num_workers,
-                      size_t queue_capacity = 8);
+                      size_t queue_capacity = 8, bool prefetch = true);
 
     /** Stops workers and drains the queue. */
     ~PreprocessManager();
@@ -79,12 +88,37 @@ class PreprocessManager
      */
     std::unique_ptr<MiniBatch> nextBatch();
 
+    /**
+     * Return a consumed mini-batch so its tensors are reused for a
+     * later partition (steady-state zero-allocation delivery). Safe to
+     * skip — workers then allocate fresh batches as in the seed.
+     */
+    void recycle(std::unique_ptr<MiniBatch> mb);
+
     const RunStats& stats() const { return stats_; }
     PreprocessMode mode() const { return mode_; }
 
   private:
+    /** One fetched+decoded partition moving between pipeline stages. */
+    struct DecodedPartition {
+        RowBatch batch;
+        uint64_t raw_bytes = 0;       ///< encoded partition size
+        uint64_t bytes_touched = 0;   ///< columnar bytes read to decode
+        uint64_t transient_errors = 0;
+        uint64_t corrupt_refetches = 0;
+    };
+
     void workerLoop();
+    void fetchLoop();
+    void transformLoop();
     bool claimPartition(uint64_t& id);
+    /** Fetch + decode partition @p id with the seed's fault-retry
+     * semantics, reusing @p reader and dp.batch buffers. */
+    void fetchDecode(uint64_t id, ColumnarFileReader& reader,
+                     DecodedPartition& dp);
+    /** Transform + enqueue one decoded partition; returns its shell. */
+    void transformAndDeliver(DecodedPartition& dp, BatchArena& arena);
+    std::unique_ptr<MiniBatch> takeRecycledBatch();
 
     RmConfig config_;
     PartitionStore& store_;
@@ -92,11 +126,21 @@ class PreprocessManager
     Preprocessor preprocessor_;
     size_t queue_capacity_;
     int num_workers_;
+    bool prefetch_;
 
     std::mutex mu_;
     std::condition_variable queue_not_empty_;
     std::condition_variable queue_not_full_;
+    std::condition_variable decoded_not_empty_;
+    std::condition_variable decoded_not_full_;
     std::deque<std::unique_ptr<MiniBatch>> queue_;
+    // Staged-pipeline state: decoded partitions in flight, recycled
+    // shells, and recycled output batches.
+    std::deque<std::unique_ptr<DecodedPartition>> decoded_;
+    size_t decoded_capacity_ = 0;
+    std::vector<std::unique_ptr<DecodedPartition>> free_shells_;
+    std::vector<std::unique_ptr<MiniBatch>> free_batches_;
+    int active_fetchers_ = 0;
     std::vector<std::thread> workers_;
     uint64_t next_partition_ = 0;
     size_t total_batches_ = 0;

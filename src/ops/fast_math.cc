@@ -1,0 +1,71 @@
+// NOTE: this translation unit must be compiled with -ffp-contract=off
+// (set in src/ops/CMakeLists.txt). The vector Log kernels replay this
+// exact operation sequence with separate mul/add instructions; letting
+// the compiler contract a*b+c into an FMA here would break the
+// bit-identity contract between dispatch levels.
+#include "ops/fast_math.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace presto {
+
+namespace {
+
+/** Core logf for finite u >= 1 (cephes logf operation sequence). */
+inline float
+logfCore(float u)
+{
+    const uint32_t ui = std::bit_cast<uint32_t>(u);
+    int32_t e = static_cast<int32_t>((ui >> 23) & 0xff) - 126;
+    // Mantissa scaled into [0.5, 1).
+    float m = std::bit_cast<float>((ui & 0x807fffffu) | 0x3f000000u);
+    const float kSqrtHf = 0.707106781186547524f;
+    const bool lo = m < kSqrtHf;
+    e -= lo ? 1 : 0;
+    m = (m + (lo ? m : 0.0f)) - 1.0f;
+    const float z = m * m;
+    float y = 7.0376836292e-2f;
+    y = y * m + -1.1514610310e-1f;
+    y = y * m + 1.1676998740e-1f;
+    y = y * m + -1.2420140846e-1f;
+    y = y * m + 1.4249322787e-1f;
+    y = y * m + -1.6668057665e-1f;
+    y = y * m + 2.0000714765e-1f;
+    y = y * m + -2.4999993993e-1f;
+    y = y * m + 3.3333331174e-1f;
+    y = y * m * z;
+    const float fe = static_cast<float>(e);
+    y = y + fe * -2.12194440e-4f;
+    y = y - 0.5f * z;
+    float r = m + y;
+    r = r + fe * 0.693359375f;
+    return r;
+}
+
+}  // namespace
+
+float
+fastLog1p(float x)
+{
+    if (std::isnan(x) || x == INFINITY)
+        return x;
+    const float u = 1.0f + x;
+    if (u == 1.0f)
+        return x;  // x == 0 or tiny: log1p(x) ~= x exactly at this scale
+    // Goldberg's correction: log(u) * x / (u - 1) repairs the rounding
+    // of 1 + x, keeping the result within ~1 ulp of true log1p.
+    return logfCore(u) * (x / (u - 1.0f));
+}
+
+void
+fastLog1pArray(float* values, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        const float x = values[i] < 0.0f ? 0.0f : values[i];
+        values[i] = fastLog1p(x);
+    }
+}
+
+}  // namespace presto

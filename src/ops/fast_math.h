@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Bit-exact portable float math shared by every SIMD dispatch level.
+ *
+ * fastLog1p is a cephes-style polynomial log1p whose IEEE operation
+ * sequence is mirrored exactly by the AVX2 and AVX-512 Log kernels, so
+ * all dispatch levels produce bit-identical dense normalization output.
+ * Accuracy: within 2 ulp of glibc log1pf over adversarial inputs
+ * (verified in hotpath_test), well inside EXPECT_FLOAT_EQ's 4-ulp band.
+ *
+ * The definitions live in fast_math.cc, compiled with -ffp-contract=off:
+ * a fused multiply-add anywhere in the scalar sequence would diverge
+ * from the vector kernels (which use separate mul/add on purpose).
+ */
+#ifndef PRESTO_OPS_FAST_MATH_H_
+#define PRESTO_OPS_FAST_MATH_H_
+
+#include <cstddef>
+
+namespace presto {
+
+/**
+ * log1p(x) for x >= 0 (negative x must be clamped by the caller; NaN and
+ * +inf pass through unchanged, matching log1p(max(x, 0)) semantics).
+ */
+float fastLog1p(float x);
+
+/** Apply v -> fastLog1p(max(v, 0)) over a buffer (scalar reference). */
+void fastLog1pArray(float* values, size_t n);
+
+}  // namespace presto
+
+#endif  // PRESTO_OPS_FAST_MATH_H_

@@ -5,10 +5,13 @@
  * The paper's diagnosis is that latency-optimized CPUs fail to exploit
  * the inter-/intra-feature parallelism of feature generation and
  * normalization. These kernels squeeze what a CPU *can* do —
- * cache-friendly Eytzinger search layout and instruction-level
- * parallelism — and are differentially tested against the reference
- * implementations in ops.h. The `bench_ops_kernels` binary quantifies
- * the (bounded) gains, motivating the move to domain-specific hardware.
+ * cache-friendly search layouts, instruction-level parallelism, and
+ * runtime-dispatched SIMD (scalar / AVX2 / AVX-512, chosen once at
+ * startup by activeSimdLevel()) — and are differentially tested against
+ * the reference implementations in ops.h: every dispatch level returns
+ * bit-identical MiniBatch output. `bench_ops_kernels` and
+ * `bench_hotpath` quantify the (bounded) gains, motivating the move to
+ * domain-specific hardware. See docs/PERF.md.
  */
 #ifndef PRESTO_OPS_FAST_OPS_H_
 #define PRESTO_OPS_FAST_OPS_H_
@@ -58,11 +61,58 @@ void sigridHashInPlaceUnrolled(std::span<int64_t> values, uint64_t seed,
                                int64_t max_value);
 
 /**
- * Log normalization with a fast-path polynomial avoided: still log1p,
- * but processed in strides to expose ILP; identical results (same libm
- * call per element, reordered only).
+ * Log normalization processed in strides to expose ILP; bit-identical to
+ * logTransformInPlace (both apply fastLog1p per element).
  */
 void logTransformInPlaceStrided(std::span<float> values);
+
+// --- Runtime-dispatched SIMD kernels (scalar / AVX2 / AVX-512) -------------
+//
+// Each entry point picks the widest implementation the CPU supports (see
+// ops/simd.h; cap with PRESTO_SIMD=scalar|avx2|avx512). All levels are
+// bit-identical to the reference ops in ops.h.
+
+/** SigridHash + mod of @p src into @p dst (may alias; sizes must match). */
+void sigridHashInto(std::span<const int64_t> src, std::span<int64_t> dst,
+                    uint64_t seed, int64_t max_value);
+
+/** In-place form of sigridHashInto; replaces sigridHashInPlace. */
+void sigridHashInPlaceFast(std::span<int64_t> values, uint64_t seed,
+                           int64_t max_value);
+
+/** Vectorized v -> log1p(max(v, 0)); bit-identical to logTransformInPlace. */
+void logTransformInPlaceFast(std::span<float> values);
+
+/** Vectorized NaN -> fill; bit-identical to fillMissing's replacement. */
+void fillMissingInPlaceFast(std::span<float> values, float fill_value);
+
+/**
+ * Batch bucketizer with a branchless, value-independent bisection
+ * schedule ("halves" sequence): every value walks the same sequence of
+ * step sizes, so the vector form replaces the scalar upper_bound's
+ * data-dependent branches with gathers + compares. Bucket ids are
+ * identical to BucketBoundaries::searchBucketId (upper_bound index,
+ * NaN -> 0) on every dispatch level.
+ */
+class FastBucketizer
+{
+  public:
+    FastBucketizer() = default;
+    explicit FastBucketizer(const BucketBoundaries& boundaries);
+
+    /** Bucket id of one value (== upper_bound index; NaN -> 0). */
+    int64_t searchBucketId(float value) const;
+
+    /** Vector form over a batch (out.size() must equal values.size()). */
+    void bucketizeInto(std::span<const float> values,
+                       std::span<int64_t> out) const;
+
+    size_t size() const { return bounds_.size(); }
+
+  private:
+    std::vector<float> bounds_;    ///< sorted boundary copy (owned)
+    std::vector<int32_t> halves_;  ///< bisection step sizes, largest first
+};
 
 }  // namespace presto
 

@@ -15,18 +15,23 @@
 
 namespace presto {
 
+/** Mix multipliers; the vector hash kernels broadcast these per lane. */
+inline constexpr uint64_t kHashK1 = 0xff51afd7ed558ccdULL;
+inline constexpr uint64_t kHashK2 = 0xc4ceb9fe1a85ec53ULL;
+inline constexpr uint64_t kHashK3 = 0x9e3779b97f4a7c15ULL;
+
 /** Compute the seeded 64-bit hash of one categorical id. */
 constexpr uint64_t
 sigridHash64(uint64_t value, uint64_t seed)
 {
-    uint64_t h = value ^ (seed * 0xff51afd7ed558ccdULL);
+    uint64_t h = value ^ (seed * kHashK1);
     h ^= h >> 33;
-    h *= 0xff51afd7ed558ccdULL;
+    h *= kHashK1;
     h ^= h >> 33;
-    h *= 0xc4ceb9fe1a85ec53ULL;
+    h *= kHashK2;
     h ^= h >> 33;
     h ^= seed;
-    h *= 0x9e3779b97f4a7c15ULL;
+    h *= kHashK3;
     h ^= h >> 29;
     return h;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "ops/fast_math.h"
 #include "ops/hash.h"
 
 namespace presto {
@@ -99,8 +100,9 @@ sigridHash(const SparseColumn& input, uint64_t seed, int64_t max_value)
 void
 logTransformInPlace(std::span<float> values)
 {
-    for (auto& v : values)
-        v = std::log1p(std::max(v, 0.0f));
+    // fastLog1p (within 2 ulp of libm log1pf) keeps this reference
+    // bit-identical to the SIMD Log kernels on every dispatch level.
+    fastLog1pArray(values.data(), values.size());
 }
 
 DenseColumn
@@ -184,13 +186,22 @@ mapIdList(const SparseColumn& input, const IdVocabulary& vocab,
 SparseColumn
 firstX(const SparseColumn& input, size_t max_ids)
 {
-    SparseColumn out;
-    for (size_t r = 0; r < input.numRows(); ++r) {
+    const size_t num_rows = input.numRows();
+    size_t total = 0;
+    for (size_t r = 0; r < num_rows; ++r)
+        total += std::min(input.row(r).size(), max_ids);
+    std::vector<int64_t> values;
+    values.reserve(total);
+    std::vector<uint32_t> offsets;
+    offsets.reserve(num_rows + 1);
+    offsets.push_back(0);
+    for (size_t r = 0; r < num_rows; ++r) {
         auto row = input.row(r);
         const size_t keep = std::min(row.size(), max_ids);
-        out.appendRow(row.subspan(0, keep));
+        values.insert(values.end(), row.begin(), row.begin() + keep);
+        offsets.push_back(static_cast<uint32_t>(values.size()));
     }
-    return out;
+    return SparseColumn(std::move(values), std::move(offsets));
 }
 
 }  // namespace presto

@@ -54,6 +54,7 @@ Preprocessor::Preprocessor(const RmConfig& config)
       boundaries_(BucketBoundaries::makeLogSpaced(config.bucket_size,
                                                   kStandardBucketLo,
                                                   kStandardBucketHi)),
+      fast_bucketizer_(boundaries_),
       table_size_(static_cast<int64_t>(config.avg_embeddings))
 {
     PRESTO_CHECK(config_.num_generated <= config_.num_dense,
@@ -69,20 +70,29 @@ Preprocessor::hashSeed(size_t table_index) const
 MiniBatch
 Preprocessor::preprocess(const RowBatch& raw, ThreadPool* pool) const
 {
+    MiniBatch mb;
+    BatchArena arena;
+    preprocessInto(raw, mb, arena, pool);
+    return mb;
+}
+
+void
+Preprocessor::preprocessInto(const RowBatch& raw, MiniBatch& mb,
+                             BatchArena& arena, ThreadPool* pool) const
+{
     PRESTO_CHECK(raw.complete(), "raw batch is incomplete");
     const auto& schema = raw.schema();
     const size_t batch = raw.numRows();
 
     const auto label_idx = schema.indexOf("label");
     PRESTO_CHECK(label_idx.has_value(), "raw batch lacks a label column");
-    const auto dense_idx = schema.indicesOfKind(FeatureKind::kDense);
-    const auto sparse_idx = schema.indicesOfKind(FeatureKind::kSparse);
+    const auto& dense_idx = schema.indicesOfKind(FeatureKind::kDense);
+    const auto& sparse_idx = schema.indicesOfKind(FeatureKind::kSparse);
     PRESTO_CHECK(dense_idx.size() == config_.num_dense,
                  "dense feature count mismatch");
     PRESTO_CHECK(sparse_idx.size() == config_.num_sparse,
                  "sparse feature count mismatch");
 
-    MiniBatch mb;
     mb.batch_size = batch;
     mb.num_dense = config_.num_dense;
     mb.dense.resize(batch * config_.num_dense);
@@ -90,36 +100,42 @@ Preprocessor::preprocess(const RowBatch& raw, ThreadPool* pool) const
                      raw.dense(*label_idx).values().end());
     mb.sparse.resize(config_.totalSparseFeatures());
 
+    // One scratch slot per dense feature, created before the fan-out so
+    // parallel tasks only do (thread-safe) distinct-slot lookups.
+    arena.prepareF32(config_.num_dense);
+
     // Dense path: FillMissing -> (maybe Bucketize into a generated table)
     // -> Log, one task per feature (inter-feature parallelism).
     auto denseTask = [&](size_t f) {
         const auto& col = raw.dense(dense_idx[f]);
-        std::vector<float> values(col.values().begin(), col.values().end());
-        fillMissingInPlace(values, 0.0f);
+        std::vector<float>& values = arena.f32(f);
+        values.assign(col.values().begin(), col.values().end());
+        fillMissingInPlaceFast(values, 0.0f);
 
         if (f < config_.num_generated) {
             auto& jag = mb.sparse[config_.num_sparse + f];
             jag.feature_name = "generated_" + std::to_string(f);
             jag.values.resize(batch);
-            bucketizeInto(values, boundaries_, jag.values);
-            sigridHashInPlace(jag.values,
-                              hashSeed(config_.num_sparse + f), table_size_);
+            fast_bucketizer_.bucketizeInto(values, jag.values);
+            sigridHashInPlaceFast(
+                jag.values, hashSeed(config_.num_sparse + f), table_size_);
             jag.lengths.assign(batch, 1);
         }
 
-        logTransformInPlace(values);
+        logTransformInPlaceFast(values);
         // Column-major gather into the row-major dense matrix.
         for (size_t r = 0; r < batch; ++r)
             mb.dense[r * config_.num_dense + f] = values[r];
     };
 
-    // Sparse path: SigridHash per table.
+    // Sparse path: SigridHash per table, straight from the raw column
+    // into the output tensor (no intermediate copy).
     auto sparseTask = [&](size_t f) {
         const auto& col = raw.sparse(sparse_idx[f]);
         auto& jag = mb.sparse[f];
         jag.feature_name = schema.feature(sparse_idx[f]).name;
-        jag.values.assign(col.values().begin(), col.values().end());
-        sigridHashInPlace(jag.values, hashSeed(f), table_size_);
+        jag.values.resize(col.values().size());
+        sigridHashInto(col.values(), jag.values, hashSeed(f), table_size_);
         jag.lengths.resize(batch);
         for (size_t r = 0; r < batch; ++r)
             jag.lengths[r] = static_cast<uint32_t>(col.rowLength(r));
@@ -140,8 +156,8 @@ Preprocessor::preprocess(const RowBatch& raw, ThreadPool* pool) const
             runTask(t);
     }
 
+    arena.noteBatch();
     PRESTO_CHECK(mb.consistent(), "produced inconsistent minibatch");
-    return mb;
 }
 
 }  // namespace presto

@@ -18,8 +18,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/batch_arena.h"
 #include "common/thread_pool.h"
 #include "datagen/rm_config.h"
+#include "ops/fast_ops.h"
 #include "ops/ops.h"
 #include "tabular/minibatch.h"
 #include "tabular/row_batch.h"
@@ -78,6 +80,19 @@ class Preprocessor
      */
     MiniBatch preprocess(const RowBatch& raw, ThreadPool* pool = nullptr) const;
 
+    /**
+     * Allocation-free form of preprocess(): writes into @p out (whose
+     * buffers are reused across calls) and borrows scratch from
+     * @p arena. After a warm-up batch has sized the buffers, the
+     * steady-state loop performs zero heap allocations per batch.
+     * Output is identical to preprocess(). The arena belongs to the
+     * calling worker; the optional pool only splits per-feature tasks,
+     * each touching a distinct pre-prepared arena slot.
+     */
+    void preprocessInto(const RowBatch& raw, MiniBatch& out,
+                        BatchArena& arena,
+                        ThreadPool* pool = nullptr) const;
+
     const RmConfig& config() const { return config_; }
     const BucketBoundaries& boundaries() const { return boundaries_; }
 
@@ -90,6 +105,7 @@ class Preprocessor
   private:
     RmConfig config_;
     BucketBoundaries boundaries_;
+    FastBucketizer fast_bucketizer_;
     int64_t table_size_;
 };
 

@@ -87,6 +87,13 @@ class SparseColumn
     std::span<const uint32_t> offsets() const { return offsets_; }
     std::vector<int64_t>& mutableValues() { return values_; }
 
+    /**
+     * Direct access to the CSR offsets for buffer-reusing decoders.
+     * Callers must restore the invariant (monotone, starts at 0, last
+     * entry == values size) before the column is read again.
+     */
+    std::vector<uint32_t>& mutableOffsets() { return offsets_; }
+
     /** Append one row of ids. */
     void appendRow(std::span<const int64_t> ids);
 

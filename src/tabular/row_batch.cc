@@ -67,6 +67,27 @@ RowBatch::mutableSparse(size_t idx)
     return std::get<SparseColumn>(columns_[idx]);
 }
 
+void
+RowBatch::resetRowCountFromColumns()
+{
+    num_rows_ = 0;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+        const auto& col = columns_[c];
+        const size_t rows =
+            std::holds_alternative<SparseColumn>(col)
+                ? std::get<SparseColumn>(col).numRows()
+                : std::get<DenseColumn>(col).numRows();
+        if (c == 0) {
+            num_rows_ = rows;
+        } else {
+            PRESTO_CHECK(rows == num_rows_,
+                         "column row-count mismatch after in-place refill: "
+                         "got ",
+                         rows, ", expected ", num_rows_);
+        }
+    }
+}
+
 size_t
 RowBatch::byteSize() const
 {

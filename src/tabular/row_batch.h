@@ -52,6 +52,13 @@ class RowBatch
         return columns_.size() == schema_.numFeatures();
     }
 
+    /**
+     * Re-derive and validate num_rows after columns were refilled in
+     * place through the mutable accessors (buffer-reusing decoders).
+     * Panics if columns disagree on the row count.
+     */
+    void resetRowCountFromColumns();
+
     /** Total in-memory payload bytes across all columns. */
     size_t byteSize() const;
 

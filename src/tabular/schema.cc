@@ -31,6 +31,8 @@ Schema::add(FeatureSpec spec)
       case FeatureKind::kSparse: ++num_sparse_; break;
       case FeatureKind::kLabel:  ++num_labels_; break;
     }
+    kind_indices_[static_cast<size_t>(spec.kind)].push_back(
+        features_.size());
     features_.push_back(std::move(spec));
 }
 
@@ -51,15 +53,10 @@ Schema::indexOf(const std::string& name) const
     return std::nullopt;
 }
 
-std::vector<size_t>
+const std::vector<size_t>&
 Schema::indicesOfKind(FeatureKind kind) const
 {
-    std::vector<size_t> out;
-    for (size_t i = 0; i < features_.size(); ++i) {
-        if (features_[i].kind == kind)
-            out.push_back(i);
-    }
-    return out;
+    return kind_indices_[static_cast<size_t>(kind)];
 }
 
 bool

@@ -62,8 +62,12 @@ class Schema
     /** Index of a feature by name, or nullopt. */
     std::optional<size_t> indexOf(const std::string& name) const;
 
-    /** Indices of all features of a given kind, in schema order. */
-    std::vector<size_t> indicesOfKind(FeatureKind kind) const;
+    /**
+     * Indices of all features of a given kind, in schema order.
+     * Maintained incrementally by add(), so the hot path can call this
+     * per batch without allocating.
+     */
+    const std::vector<size_t>& indicesOfKind(FeatureKind kind) const;
 
     bool operator==(const Schema& other) const;
 
@@ -76,6 +80,7 @@ class Schema
 
   private:
     std::vector<FeatureSpec> features_;
+    std::vector<size_t> kind_indices_[3];  ///< per-FeatureKind positions
     size_t num_dense_ = 0;
     size_t num_sparse_ = 0;
     size_t num_labels_ = 0;

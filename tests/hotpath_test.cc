@@ -1,0 +1,537 @@
+/**
+ * @file
+ * Differential and allocation tests for the vectorized Transform hot
+ * path: every SIMD dispatch level must produce bit-identical results to
+ * the scalar reference ops, and the steady-state preprocess loop must
+ * run without per-batch heap allocations.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <random>
+#include <ranges>
+#include <vector>
+
+#include "columnar/columnar_file.h"
+#include "common/batch_arena.h"
+#include "common/crc32.h"
+#include "common/fault_injector.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/isp_emulator.h"
+#include "core/managers.h"
+#include "core/partition_store.h"
+#include "datagen/generator.h"
+#include "ops/fast_math.h"
+#include "ops/fast_ops.h"
+#include "ops/hash.h"
+#include "ops/ops.h"
+#include "ops/preprocessor.h"
+#include "ops/simd.h"
+
+// --- Global allocation-counting hook --------------------------------------
+// Replaces the global allocation functions for this test binary; counting
+// is off unless a test arms it, so gtest's own allocations don't count.
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<size_t> g_alloc_count{0};
+
+void*
+countedAlloc(std::size_t size)
+{
+    if (g_count_allocs.load(std::memory_order_relaxed))
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    void* p = std::malloc(size ? size : 1);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+}  // namespace
+
+void*
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void*
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace presto {
+namespace {
+
+/** Every dispatch level available on this machine, scalar first. */
+std::vector<SimdLevel>
+availableLevels()
+{
+    std::vector<SimdLevel> levels{SimdLevel::kScalar};
+    if (detectedSimdLevel() >= SimdLevel::kAvx2)
+        levels.push_back(SimdLevel::kAvx2);
+    if (detectedSimdLevel() >= SimdLevel::kAvx512)
+        levels.push_back(SimdLevel::kAvx512);
+    return levels;
+}
+
+/** RAII restore of the active SIMD level. */
+class ScopedSimdLevel
+{
+  public:
+    explicit ScopedSimdLevel(SimdLevel level) : saved_(activeSimdLevel())
+    {
+        setSimdLevel(level);
+    }
+    ~ScopedSimdLevel() { setSimdLevel(saved_); }
+
+  private:
+    SimdLevel saved_;
+};
+
+std::vector<float>
+adversarialFloats(size_t n, uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    std::vector<float> v(n);
+    for (size_t i = 0; i < n; ++i) {
+        switch (rng() % 8) {
+          case 0: v[i] = std::numeric_limits<float>::quiet_NaN(); break;
+          case 1: v[i] = std::numeric_limits<float>::infinity(); break;
+          case 2: v[i] = -std::numeric_limits<float>::infinity(); break;
+          case 3: v[i] = std::numeric_limits<float>::denorm_min(); break;
+          case 4: v[i] = -1.0f * static_cast<float>(rng() % 1000); break;
+          case 5:
+            // Random bit pattern (may be NaN/inf/denormal/negative).
+            v[i] = std::bit_cast<float>(static_cast<uint32_t>(rng()));
+            break;
+          default:
+            v[i] = std::ldexp(static_cast<float>(rng()),
+                              static_cast<int>(rng() % 40) - 20);
+        }
+    }
+    return v;
+}
+
+TEST(SimdDispatchTest, DetectionIsMonotonicAndSettable)
+{
+    const SimdLevel detected = detectedSimdLevel();
+    EXPECT_GE(detected, SimdLevel::kScalar);
+    ScopedSimdLevel scoped(SimdLevel::kScalar);
+    EXPECT_EQ(activeSimdLevel(), SimdLevel::kScalar);
+    // Requests above the detected level clamp down.
+    EXPECT_EQ(setSimdLevel(SimdLevel::kAvx512), detected);
+    EXPECT_EQ(activeSimdLevel(), detected);
+}
+
+TEST(HotpathDifferentialTest, SigridHashMatchesReferenceOnAllLevels)
+{
+    const std::vector<int64_t> divisors{
+        1,       2,         3,        7,         1024,
+        500000,  999983,    33554431, 33554432,  int64_t{1} << 26,
+        (int64_t{1} << 40) + 7};
+    std::mt19937_64 rng(42);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                     size_t{9}, size_t{4096}}) {
+        std::vector<int64_t> input(n);
+        for (auto& v : input)
+            v = static_cast<int64_t>(rng());
+        for (int64_t d : divisors) {
+            const uint64_t seed = rng();
+            std::vector<int64_t> expected(input);
+            sigridHashInPlace(expected, seed, d);
+            for (SimdLevel level : availableLevels()) {
+                ScopedSimdLevel scoped(level);
+                std::vector<int64_t> got(n, -1);
+                sigridHashInto(input, got, seed, d);
+                EXPECT_EQ(got, expected)
+                    << "level=" << simdLevelName(level) << " d=" << d
+                    << " n=" << n;
+                // In-place (aliased) form.
+                std::vector<int64_t> inplace(input);
+                sigridHashInPlaceFast(inplace, seed, d);
+                EXPECT_EQ(inplace, expected)
+                    << "level=" << simdLevelName(level) << " d=" << d;
+            }
+        }
+    }
+}
+
+TEST(HotpathDifferentialTest, LogMatchesReferenceOnAllLevels)
+{
+    for (size_t n : {size_t{0}, size_t{1}, size_t{15}, size_t{16},
+                     size_t{17}, size_t{4096}}) {
+        const auto input = adversarialFloats(n, 7 + n);
+        std::vector<float> expected(input);
+        logTransformInPlace(expected);
+        for (SimdLevel level : availableLevels()) {
+            ScopedSimdLevel scoped(level);
+            std::vector<float> got(input);
+            logTransformInPlaceFast(got);
+            for (size_t i = 0; i < n; ++i) {
+                EXPECT_EQ(std::bit_cast<uint32_t>(got[i]),
+                          std::bit_cast<uint32_t>(expected[i]))
+                    << "level=" << simdLevelName(level) << " i=" << i
+                    << " in=" << input[i];
+            }
+        }
+    }
+}
+
+TEST(HotpathDifferentialTest, FastLog1pNearLibm)
+{
+    // fastLog1p must stay within EXPECT_FLOAT_EQ's 4-ulp band of libm
+    // (existing ops tests compare transformed output against std::log1p).
+    const auto input = adversarialFloats(65536, 99);
+    for (float v : input) {
+        const float x = v < 0.0f ? 0.0f : v;
+        if (std::isnan(x)) {
+            EXPECT_TRUE(std::isnan(fastLog1p(x)));
+            continue;
+        }
+        EXPECT_FLOAT_EQ(fastLog1p(x), std::log1p(x)) << "x=" << x;
+    }
+}
+
+TEST(HotpathDifferentialTest, FillMissingMatchesReferenceOnAllLevels)
+{
+    for (size_t n : {size_t{0}, size_t{3}, size_t{16}, size_t{4097}}) {
+        const auto input = adversarialFloats(n, 11 + n);
+        std::vector<float> expected(input);
+        fillMissingInPlace(expected, -1.5f);
+        for (SimdLevel level : availableLevels()) {
+            ScopedSimdLevel scoped(level);
+            std::vector<float> got(input);
+            fillMissingInPlaceFast(got, -1.5f);
+            for (size_t i = 0; i < n; ++i) {
+                EXPECT_EQ(std::bit_cast<uint32_t>(got[i]),
+                          std::bit_cast<uint32_t>(expected[i]))
+                    << "level=" << simdLevelName(level) << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(HotpathDifferentialTest, BucketizeMatchesReferenceOnAllLevels)
+{
+    std::mt19937 rng(23);
+    for (size_t num_bounds : {size_t{1}, size_t{2}, size_t{3}, size_t{37},
+                              size_t{1024}, size_t{4096}}) {
+        std::vector<float> b(num_bounds);
+        float acc = -100.0f;
+        for (auto& v : b) {
+            // Duplicate boundaries are allowed (ties exercise the
+            // upper_bound-vs-lower_bound distinction).
+            acc += static_cast<float>(rng() % 3);
+            v = acc;
+        }
+        const BucketBoundaries bounds(b);
+        const FastBucketizer fast(bounds);
+        for (size_t n : {size_t{0}, size_t{1}, size_t{8}, size_t{9},
+                         size_t{4096}}) {
+            auto values = adversarialFloats(n, 31 + n);
+            // Mix in exact boundary hits.
+            for (size_t i = 0; i + 2 < n; i += 3)
+                values[i] = b[rng() % num_bounds];
+            std::vector<int64_t> expected(n);
+            bucketizeInto(values, bounds, expected);
+            for (SimdLevel level : availableLevels()) {
+                ScopedSimdLevel scoped(level);
+                std::vector<int64_t> got(n, -1);
+                fast.bucketizeInto(values, got);
+                EXPECT_EQ(got, expected)
+                    << "level=" << simdLevelName(level)
+                    << " bounds=" << num_bounds << " n=" << n;
+            }
+            for (size_t i = 0; i < std::min(n, size_t{64}); ++i)
+                EXPECT_EQ(fast.searchBucketId(values[i]), expected[i]);
+        }
+    }
+}
+
+/** Structural checksum over every tensor of a mini-batch. */
+uint64_t
+batchChecksum(const MiniBatch& mb)
+{
+    uint64_t crc = crc32c(mb.dense.data(), mb.dense.size() * sizeof(float));
+    crc = crc32c(mb.labels.data(), mb.labels.size() * sizeof(float), crc);
+    for (const auto& jag : mb.sparse) {
+        crc = crc32c(jag.values.data(),
+                     jag.values.size() * sizeof(int64_t), crc);
+        crc = crc32c(jag.lengths.data(),
+                     jag.lengths.size() * sizeof(uint32_t), crc);
+    }
+    return mix64(crc + mb.batch_size);
+}
+
+TEST(HotpathDifferentialTest, ArenaPreprocessMatchesAllocatingPath)
+{
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 512;
+    RawDataGenerator gen(cfg);
+    const RowBatch raw = gen.generatePartition(3);
+    const Preprocessor pre(cfg);
+
+    ScopedSimdLevel scalar(SimdLevel::kScalar);
+    const uint64_t want = batchChecksum(pre.preprocess(raw));
+
+    for (SimdLevel level : availableLevels()) {
+        ScopedSimdLevel scoped(level);
+        BatchArena arena;
+        MiniBatch mb;
+        // Repeated reuse of the same arena + output shell must keep
+        // producing the reference bits (second pass runs on recycled
+        // capacity).
+        for (int pass = 0; pass < 3; ++pass) {
+            pre.preprocessInto(raw, mb, arena);
+            EXPECT_EQ(batchChecksum(mb), want)
+                << "level=" << simdLevelName(level) << " pass=" << pass;
+        }
+        EXPECT_EQ(arena.batches(), 3u);
+    }
+}
+
+TEST(HotpathDifferentialTest, ReaderReuseMatchesFreshReader)
+{
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 256;
+    RawDataGenerator gen(cfg);
+    ColumnarFileWriter writer;
+
+    ColumnarFileReader reused;
+    RowBatch batch;
+    for (uint64_t pid = 0; pid < 3; ++pid) {
+        const auto encoded = writer.write(gen.generatePartition(pid), pid);
+        ASSERT_TRUE(reused.open(encoded).ok());
+        ASSERT_TRUE(reused.readAllInto(batch).ok());
+
+        ColumnarFileReader fresh;
+        ASSERT_TRUE(fresh.open(encoded).ok());
+        auto fresh_batch = fresh.readAll();
+        ASSERT_TRUE(fresh_batch.ok());
+
+        ASSERT_EQ(batch.numRows(), fresh_batch->numRows());
+        ASSERT_EQ(batch.numColumns(), fresh_batch->numColumns());
+        for (size_t c = 0; c < batch.numColumns(); ++c) {
+            if (batch.schema().feature(c).kind == FeatureKind::kSparse) {
+                EXPECT_TRUE(std::ranges::equal(
+                    batch.sparse(c).values(),
+                    fresh_batch->sparse(c).values()));
+                EXPECT_TRUE(std::ranges::equal(
+                    batch.sparse(c).offsets(),
+                    fresh_batch->sparse(c).offsets()));
+            } else {
+                // Bitwise compare: raw dense columns carry NaN missing
+                // values, which float == would reject.
+                EXPECT_TRUE(std::ranges::equal(
+                    batch.dense(c).values(),
+                    fresh_batch->dense(c).values(),
+                    [](float a, float b) {
+                        return std::bit_cast<uint32_t>(a) ==
+                               std::bit_cast<uint32_t>(b);
+                    }));
+            }
+        }
+        EXPECT_EQ(reused.bytesTouched(), fresh.bytesTouched());
+    }
+}
+
+TEST(ZeroAllocTest, SteadyStatePreprocessLoopDoesNotAllocate)
+{
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 512;
+    RawDataGenerator gen(cfg);
+    const auto encoded =
+        ColumnarFileWriter().write(gen.generatePartition(0), 0);
+    const Preprocessor pre(cfg);
+
+    ColumnarFileReader reader;
+    RowBatch raw;
+    BatchArena arena;
+    MiniBatch mb;
+    // Warm-up sizes every buffer (arena slots, decode scratch, output
+    // tensors); repeat so amortized growth is done too.
+    for (int warm = 0; warm < 3; ++warm) {
+        ASSERT_TRUE(reader.open(encoded).ok());
+        ASSERT_TRUE(reader.readAllInto(raw).ok());
+        pre.preprocessInto(raw, mb, arena);
+    }
+    const uint64_t want = batchChecksum(mb);
+    const size_t slots = arena.slotAllocations();
+
+    bool all_ok = true;
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    for (int i = 0; i < 8; ++i) {
+        all_ok = all_ok && reader.open(encoded).ok();
+        all_ok = all_ok && reader.readAllInto(raw).ok();
+        pre.preprocessInto(raw, mb, arena);
+    }
+    g_count_allocs.store(false);
+
+    ASSERT_TRUE(all_ok);
+    EXPECT_EQ(g_alloc_count.load(), 0u)
+        << "steady-state fetch+decode+transform loop heap-allocated";
+    EXPECT_EQ(arena.slotAllocations(), slots);
+    EXPECT_EQ(batchChecksum(mb), want);
+}
+
+TEST(ZeroAllocTest, SteadyStateIspEmulatorLoopDoesNotAllocate)
+{
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 512;
+    RawDataGenerator gen(cfg);
+    const auto encoded =
+        ColumnarFileWriter().write(gen.generatePartition(0), 0);
+
+    IspEmulator emulator(cfg);
+    MiniBatch mb;
+    for (int warm = 0; warm < 3; ++warm)
+        ASSERT_TRUE(emulator.processInto(encoded, mb).ok());
+    const uint64_t want = batchChecksum(mb);
+
+    bool all_ok = true;
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    for (int i = 0; i < 8; ++i)
+        all_ok = all_ok && emulator.processInto(encoded, mb).ok();
+    g_count_allocs.store(false);
+
+    ASSERT_TRUE(all_ok);
+    EXPECT_EQ(g_alloc_count.load(), 0u)
+        << "steady-state ISP emulator loop heap-allocated";
+    EXPECT_EQ(batchChecksum(mb), want);
+}
+
+TEST(ParallelForTest, SkewedWorkStillRunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<uint32_t>> hits(kN);
+    std::atomic<uint64_t> index_sum{0};
+    pool.parallelFor(kN, [&](size_t i) {
+        if (i == 0) {
+            // One pathologically expensive index: contiguous-split
+            // scheduling would serialize a whole range behind it.
+            volatile int sink = 0;
+            for (int spin = 0; spin < 2000000; ++spin)
+                sink = sink + 1;
+        }
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+        index_sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i)
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+    EXPECT_EQ(index_sum.load(), uint64_t{kN} * (kN - 1) / 2);
+}
+
+TEST(PrefetchPipelineTest, DeliveredBatchesMatchUnstagedPath)
+{
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 128;
+    RawDataGenerator gen(cfg);
+    PartitionStore store(gen);
+    constexpr size_t kBatches = 12;
+
+    auto runChecksum = [&](bool prefetch) {
+        PreprocessManager manager(cfg, store, PreprocessMode::kDisaggCpu,
+                                  2, 4, prefetch);
+        manager.start(kBatches);
+        uint64_t sum = 0;
+        size_t count = 0;
+        for (;;) {
+            auto mb = manager.nextBatch();
+            if (mb == nullptr)
+                break;
+            EXPECT_TRUE(mb->consistent());
+            sum ^= batchChecksum(*mb);
+            ++count;
+            manager.recycle(std::move(mb));
+        }
+        EXPECT_EQ(count, kBatches);
+        EXPECT_EQ(manager.stats().batches_delivered, kBatches);
+        return sum;
+    };
+
+    // XOR-folded checksums are order-independent, so the staged pipeline
+    // must reproduce the unstaged delivery bit for bit.
+    EXPECT_EQ(runChecksum(true), runChecksum(false));
+}
+
+TEST(PrefetchPipelineTest, FaultRecoverySurvivesStagedPipeline)
+{
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 128;
+    RawDataGenerator gen(cfg);
+    constexpr size_t kBatches = 10;
+
+    FaultSpec spec;
+    spec.transient_read_error_prob = 0.2;
+    spec.corruption_prob = 0.2;
+    const FaultInjector faults(spec);
+
+    auto runChecksum = [&](bool prefetch, RunStats& stats) {
+        PartitionStore store(gen);
+        store.setFaultInjector(&faults);
+        PreprocessManager manager(cfg, store, PreprocessMode::kDisaggCpu,
+                                  2, 4, prefetch);
+        manager.start(kBatches);
+        uint64_t sum = 0;
+        size_t count = 0;
+        for (;;) {
+            auto mb = manager.nextBatch();
+            if (mb == nullptr)
+                break;
+            sum ^= batchChecksum(*mb);
+            ++count;
+            manager.recycle(std::move(mb));
+        }
+        EXPECT_EQ(count, kBatches);
+        stats = manager.stats();
+        return sum;
+    };
+
+    RunStats staged, unstaged;
+    const uint64_t staged_sum = runChecksum(true, staged);
+    const uint64_t unstaged_sum = runChecksum(false, unstaged);
+    // Injected faults never change delivered bits — only retry counters.
+    EXPECT_EQ(staged_sum, unstaged_sum);
+    EXPECT_GT(staged.transient_read_errors, 0u);
+    EXPECT_EQ(staged.transient_read_errors, unstaged.transient_read_errors);
+    EXPECT_EQ(staged.corrupt_partition_refetches,
+              unstaged.corrupt_partition_refetches);
+}
+
+}  // namespace
+}  // namespace presto

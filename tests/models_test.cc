@@ -501,7 +501,7 @@ TEST(FpgaResourcesTest, TotalIsSumOfUnits)
 
 TEST(FpgaResourcesTest, FitsOnFabric)
 {
-    const auto& total = prestoAcceleratorUtilization().back().percent;
+    const auto total = prestoAcceleratorUtilization().back().percent;
     EXPECT_LT(total.lut, 100.0);
     EXPECT_LT(total.reg, 100.0);
     EXPECT_LT(total.bram, 100.0);
