@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/crc32.h"
+#include "common/thread_pool.h"
 
 namespace presto {
 
@@ -82,6 +83,9 @@ writeI64Stream(std::vector<uint8_t>& out, std::span<const int64_t> values,
             break;
           case Encoding::kDictionary:
             payload = enc::encodeDictionary(slice);
+            break;
+          case Encoding::kBitPacked:
+            payload = enc::encodeBitPacked(slice);
             break;
           case Encoding::kPlainF32:
             PRESTO_PANIC("float encoding chosen for int stream");
@@ -263,6 +267,12 @@ ColumnarFileReader::open(std::span<const uint8_t> data)
             stream.num_pages = static_cast<uint32_t>(num_pages);
             if (stream.offset + stream.byte_size > footer_pos)
                 return Status::corruption("stream extends past data region");
+            // Defensive: the writer caps pages at kMaxValuesPerPage, so
+            // a larger claim can only come from footer damage and would
+            // make the decoder allocate unbounded output.
+            if (stream.value_count >
+                static_cast<uint64_t>(stream.num_pages) * kMaxValuesPerPage)
+                return Status::corruption("stream value count implausible");
             col.streams.push_back(stream);
         }
     }
@@ -275,27 +285,140 @@ ColumnarFileReader::open(std::span<const uint8_t> data)
 }
 
 Status
-ColumnarFileReader::decodeI64Stream(const StreamMeta& stream,
-                                    std::vector<int64_t>& out)
+ColumnarFileReader::decodeStream(const StreamMeta& stream, bool as_f32,
+                                 int64_t* i64_out, float* f32_out)
 {
-    out.clear();
-    out.reserve(stream.value_count);
+    if (pool_ != nullptr && stream.num_pages > 1)
+        return decodeStreamParallel(stream, as_f32, i64_out, f32_out);
+    return decodeStreamSerial(stream, as_f32, i64_out, f32_out);
+}
+
+Status
+ColumnarFileReader::decodeStreamSerial(const StreamMeta& stream, bool as_f32,
+                                       int64_t* i64_out, float* f32_out)
+{
     size_t pos = stream.offset;
-    const size_t end = stream.offset + stream.byte_size;
+    uint64_t off = 0;
     for (uint32_t p = 0; p < stream.num_pages; ++p) {
         PageView page;
         PRESTO_RETURN_IF_ERROR(readPageFrame(data_, pos, page));
-        PRESTO_RETURN_IF_ERROR(enc::decodeI64(page.encoding, page.payload,
-                                              page.value_count, page_i64_,
-                                              dict_));
-        out.insert(out.end(), page_i64_.begin(), page_i64_.end());
+        if (off + page.value_count > stream.value_count)
+            return Status::corruption("stream value count mismatch");
+        if (as_f32) {
+            PRESTO_RETURN_IF_ERROR(enc::decodeF32Into(
+                page.encoding, page.payload, page.value_count,
+                f32_out + off));
+        } else if (enc::fastDecodeEnabled()) {
+            PRESTO_RETURN_IF_ERROR(enc::decodeI64Into(
+                page.encoding, page.payload, page.value_count,
+                i64_out + off, dict_));
+        } else {
+            PRESTO_RETURN_IF_ERROR(enc::decodeI64Reference(
+                page.encoding, page.payload, page.value_count, page_i64_,
+                dict_));
+            std::copy(page_i64_.begin(), page_i64_.end(), i64_out + off);
+        }
+        off += page.value_count;
     }
-    if (pos != end)
+    if (pos != stream.offset + stream.byte_size)
         return Status::corruption("stream page sizes disagree with footer");
-    if (out.size() != stream.value_count)
+    if (off != stream.value_count)
         return Status::corruption("stream value count mismatch");
     bytes_touched_ += stream.byte_size;
     return Status::okStatus();
+}
+
+Status
+ColumnarFileReader::decodeStreamParallel(const StreamMeta& stream,
+                                         bool as_f32, int64_t* i64_out,
+                                         float* f32_out)
+{
+    // Pass 1 (serial): frame-header scan to locate every page and its
+    // slice of the output. No CRC work here — each decode task verifies
+    // its own page, so corruption detection is unchanged.
+    tasks_.clear();
+    const size_t end = stream.offset + stream.byte_size;
+    size_t pos = stream.offset;
+    uint64_t off = 0;
+    for (uint32_t p = 0; p < stream.num_pages; ++p) {
+        PageTask task;
+        task.frame_pos = pos;
+        task.out_offset = off;
+        PageView page;
+        PRESTO_RETURN_IF_ERROR(scanPageFrame(data_, pos, page));
+        if (pos > end)
+            return Status::corruption(
+                "stream page sizes disagree with footer");
+        if (off + page.value_count > stream.value_count)
+            return Status::corruption("stream value count mismatch");
+        task.value_count = page.value_count;
+        tasks_.push_back(task);
+        off += page.value_count;
+    }
+    if (pos != end)
+        return Status::corruption("stream page sizes disagree with footer");
+    if (off != stream.value_count)
+        return Status::corruption("stream value count mismatch");
+
+    // Pass 2: decode pages concurrently, each into its disjoint output
+    // slice. Statuses land in per-task slots (no shared mutable state);
+    // parallelFor's completion is the synchronization point.
+    task_status_.clear();
+    task_status_.resize(tasks_.size());
+    par_f32_ = as_f32;
+    par_i64_out_ = i64_out;
+    par_f32_out_ = f32_out;
+    pool_->parallelFor(tasks_.size(),
+                       [this](size_t t) { decodePageTask(t); });
+    for (const Status& st : task_status_) {
+        if (!st.ok())
+            return st;
+    }
+    bytes_touched_ += stream.byte_size;
+    return Status::okStatus();
+}
+
+void
+ColumnarFileReader::decodePageTask(size_t t)
+{
+    const PageTask& task = tasks_[t];
+    size_t pos = task.frame_pos;
+    PageView page;
+    Status st = readPageFrame(data_, pos, page);
+    if (st.ok()) {
+        if (par_f32_) {
+            st = enc::decodeF32Into(page.encoding, page.payload,
+                                    page.value_count,
+                                    par_f32_out_ + task.out_offset);
+        } else if (enc::fastDecodeEnabled()) {
+            // Worker-local dictionary scratch: pages of one stream
+            // decode concurrently, so the member buffer cannot be
+            // shared here.
+            static thread_local std::vector<int64_t> tl_dict;
+            st = enc::decodeI64Into(page.encoding, page.payload,
+                                    page.value_count,
+                                    par_i64_out_ + task.out_offset,
+                                    tl_dict);
+        } else {
+            static thread_local std::vector<int64_t> tl_out;
+            static thread_local std::vector<int64_t> tl_dict;
+            st = enc::decodeI64Reference(page.encoding, page.payload,
+                                         page.value_count, tl_out, tl_dict);
+            if (st.ok()) {
+                std::copy(tl_out.begin(), tl_out.end(),
+                          par_i64_out_ + task.out_offset);
+            }
+        }
+    }
+    task_status_[t] = std::move(st);
+}
+
+Status
+ColumnarFileReader::decodeI64Stream(const StreamMeta& stream,
+                                    std::vector<int64_t>& out)
+{
+    out.resize(stream.value_count);
+    return decodeStream(stream, /*as_f32=*/false, out.data(), nullptr);
 }
 
 Status
@@ -305,22 +428,10 @@ ColumnarFileReader::decodeDenseInto(const ColumnMeta& meta,
     if (meta.streams.size() != 1)
         return Status::corruption("dense column must have one stream");
     const auto& stream = meta.streams[0];
-    values.clear();
-    values.reserve(stream.value_count);
-    size_t pos = stream.offset;
-    for (uint32_t p = 0; p < stream.num_pages; ++p) {
-        PageView page;
-        PRESTO_RETURN_IF_ERROR(readPageFrame(data_, pos, page));
-        PRESTO_RETURN_IF_ERROR(enc::decodeF32(page.encoding, page.payload,
-                                              page.value_count, page_f32_));
-        values.insert(values.end(), page_f32_.begin(), page_f32_.end());
-    }
-    if (values.size() != stream.value_count)
-        return Status::corruption("dense stream value count mismatch");
-    if (values.size() != footer_.num_rows)
+    if (stream.value_count != footer_.num_rows)
         return Status::corruption("dense column row count mismatch");
-    bytes_touched_ += stream.byte_size;
-    return Status::okStatus();
+    values.resize(stream.value_count);
+    return decodeStream(stream, /*as_f32=*/true, nullptr, values.data());
 }
 
 Status

@@ -31,6 +31,8 @@
 
 namespace presto {
 
+class ThreadPool;
+
 /** Directory entry for one encoded stream of one column. */
 struct StreamMeta {
     uint64_t offset = 0;       ///< byte offset of the first page frame
@@ -122,6 +124,17 @@ class ColumnarFileReader
      */
     Status readAllInto(RowBatch& out);
 
+    /**
+     * Decode multi-page streams page-parallel over @p pool (nullptr
+     * restores serial decode). Models the paper's FPGA Decoder unit,
+     * which works on independent pages concurrently. Results, error
+     * semantics (first page failure -> kCorruption), and byte-touch
+     * accounting are identical to serial decode; only the wall clock
+     * changes. The pool may be shared across readers, but one reader
+     * must not be used from two threads at once (as before).
+     */
+    void setThreadPool(ThreadPool* pool) { pool_ = pool; }
+
     /** Bytes of the file inspected so far (footer + selected pages). */
     uint64_t bytesTouched() const { return bytes_touched_; }
 
@@ -133,6 +146,13 @@ class ColumnarFileReader
     }
 
   private:
+    /** One page of a stream being decoded in parallel. */
+    struct PageTask {
+        size_t frame_pos = 0;      ///< absolute offset of the page frame
+        uint64_t out_offset = 0;   ///< first decoded value's index
+        uint32_t value_count = 0;
+    };
+
     Status decodeDense(const ColumnMeta& meta, DenseColumn& out);
     Status decodeSparse(const ColumnMeta& meta, SparseColumn& out);
     Status decodeDenseInto(const ColumnMeta& meta,
@@ -142,18 +162,36 @@ class ColumnarFileReader
                             std::vector<uint32_t>& offsets);
     Status decodeI64Stream(const StreamMeta& stream,
                            std::vector<int64_t>& out);
+    /** Decode a whole stream into the buffer selected by @p as_f32
+        (the other pointer is ignored; a zero-row stream's buffer may
+        legitimately be null, so the type cannot be inferred from
+        pointer nullness). Picks serial or page-parallel decode. */
+    Status decodeStream(const StreamMeta& stream, bool as_f32,
+                        int64_t* i64_out, float* f32_out);
+    Status decodeStreamSerial(const StreamMeta& stream, bool as_f32,
+                              int64_t* i64_out, float* f32_out);
+    Status decodeStreamParallel(const StreamMeta& stream, bool as_f32,
+                                int64_t* i64_out, float* f32_out);
+    void decodePageTask(size_t t);
     bool schemaMatches(const RowBatch& batch) const;
 
     std::span<const uint8_t> data_;
     FileFooter footer_;
     bool open_ = false;
     uint64_t bytes_touched_ = 0;
+    ThreadPool* pool_ = nullptr;
     // Per-reader scratch reused across pages/partitions so the decode
     // loop is allocation-free once warmed up.
     std::vector<int64_t> page_i64_;
-    std::vector<float> page_f32_;
     std::vector<int64_t> dict_;
     std::vector<int64_t> lengths_;
+    std::vector<PageTask> tasks_;
+    std::vector<Status> task_status_;
+    // Output type and base pointers of the stream currently decoding in
+    // parallel (the parallelFor closure captures only `this`).
+    bool par_f32_ = false;
+    int64_t* par_i64_out_ = nullptr;
+    float* par_f32_out_ = nullptr;
 };
 
 /** Write PSF bytes to a filesystem path. */

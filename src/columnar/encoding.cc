@@ -1,7 +1,12 @@
 #include "columnar/encoding.h"
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cstring>
 #include <unordered_map>
+
+#include "columnar/fast_decode_internal.h"
 
 namespace presto {
 
@@ -15,11 +20,103 @@ encodingName(Encoding encoding)
       case Encoding::kDeltaVarint: return "delta_varint";
       case Encoding::kRle:         return "rle";
       case Encoding::kDictionary:  return "dictionary";
+      case Encoding::kBitPacked:   return "bit_packed";
     }
     return "?";
 }
 
 namespace enc {
+
+namespace {
+
+std::atomic<bool> g_fast_decode{true};
+
+/** Distinct-value cap shared by the dictionary-flavored encoders. */
+constexpr size_t kDictDistinctCap = 4096;
+
+size_t
+packedBytes(size_t count, size_t width)
+{
+    return (count * width + 7) / 8;
+}
+
+/** Append @p width-bit values LSB-first (reference bit-by-bit packer). */
+void
+putPackedBits(std::vector<uint8_t>& out, std::span<const uint64_t> values,
+              size_t width)
+{
+    const size_t start = out.size();
+    out.resize(start + packedBytes(values.size(), width), 0);
+    uint8_t* bytes = out.data() + start;
+    size_t bit = 0;
+    for (uint64_t v : values) {
+        for (size_t k = 0; k < width; ++k, ++bit) {
+            if ((v >> k) & 1)
+                bytes[bit >> 3] |= static_cast<uint8_t>(1u << (bit & 7));
+        }
+    }
+}
+
+/** Parsed and validated kBitPacked header (see encoding.h framing). */
+struct BitPackedHeader {
+    uint8_t mode = 0;
+    int64_t base = 0;        ///< mode 0
+    uint64_t dict_size = 0;  ///< mode 1
+    size_t width = 0;
+    size_t packed_pos = 0;   ///< payload offset of the packed block
+};
+
+/**
+ * Parse everything before the packed block (decoding the mode-1
+ * dictionary into @p dict) and validate the packed block's exact size
+ * and zero trailing bits. Shared by the reference and dispatched
+ * decoders so both reject exactly the same malformed pages.
+ */
+Status
+parseBitPackedHeader(std::span<const uint8_t> payload, size_t count,
+                     BitPackedHeader& h, std::vector<int64_t>& dict)
+{
+    if (payload.empty())
+        return Status::corruption("truncated bit-packed page");
+    h.mode = payload[0];
+    size_t pos = 1;
+    if (h.mode > 1)
+        return Status::corruption("unknown bit-packed mode");
+    if (h.mode == 0) {
+        uint64_t zz = 0;
+        PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, zz));
+        h.base = unZigZag(zz);
+    } else {
+        PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, h.dict_size));
+        if (h.dict_size > payload.size())
+            return Status::corruption("dictionary size exceeds payload");
+        dict.resize(h.dict_size);
+        for (uint64_t i = 0; i < h.dict_size; ++i) {
+            uint64_t u = 0;
+            PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, u));
+            dict[i] = unZigZag(u);
+        }
+    }
+    if (pos >= payload.size())
+        return Status::corruption("truncated bit-packed page");
+    h.width = payload[pos++];
+    if (h.width > 64)
+        return Status::corruption("bit-packed width exceeds 64");
+    const uint64_t packed_bits = static_cast<uint64_t>(count) * h.width;
+    const uint64_t packed = (packed_bits + 7) / 8;
+    if (payload.size() - pos != packed)
+        return Status::corruption("bit-packed payload size mismatch");
+    if (packed_bits % 8 != 0) {
+        const uint8_t last = payload[pos + packed - 1];
+        if ((last >> (packed_bits % 8)) != 0)
+            return Status::corruption("nonzero trailing bits in "
+                                      "bit-packed page");
+    }
+    h.packed_pos = pos;
+    return Status::okStatus();
+}
+
+}  // namespace
 
 void
 putVarint(std::vector<uint8_t>& out, uint64_t value)
@@ -39,6 +136,10 @@ getVarint(std::span<const uint8_t> in, size_t& pos, uint64_t& value)
         if (pos >= in.size())
             return Status::corruption("truncated varint");
         const uint8_t byte = in[pos++];
+        // The 10th byte holds bits 63..69; anything past bit 63 would
+        // silently wrap, so reject instead.
+        if (shift == 63 && (byte & 0x7f) > 1)
+            return Status::corruption("varint overflows 64 bits");
         value |= static_cast<uint64_t>(byte & 0x7f) << shift;
         if ((byte & 0x80) == 0)
             return Status::okStatus();
@@ -79,10 +180,13 @@ encodeDeltaVarint(std::span<const int64_t> values)
 {
     std::vector<uint8_t> out;
     out.reserve(values.size() * 2);
-    int64_t prev = 0;
+    uint64_t prev = 0;
     for (int64_t v : values) {
-        putVarint(out, zigZag(v - prev));
-        prev = v;
+        // Unsigned subtraction: same bits as the signed delta wherever
+        // that is defined, and well-defined for any int64 range.
+        const uint64_t delta = static_cast<uint64_t>(v) - prev;
+        putVarint(out, zigZag(static_cast<int64_t>(delta)));
+        prev = static_cast<uint64_t>(v);
     }
     return out;
 }
@@ -125,6 +229,81 @@ encodeDictionary(std::span<const int64_t> values)
     return out;
 }
 
+std::vector<uint8_t>
+encodeBitPacked(std::span<const int64_t> values)
+{
+    // Frame-of-reference candidate.
+    int64_t lo = values.empty() ? 0 : values[0];
+    int64_t hi = lo;
+    for (int64_t v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const uint64_t range =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+    const size_t direct_width = std::bit_width(range);
+    const size_t direct_size =
+        2 + varintLen(zigZag(lo)) + packedBytes(values.size(), direct_width);
+
+    // Bit-packed-dictionary candidate (first-seen order, capped).
+    std::unordered_map<int64_t, uint64_t> seen;
+    std::vector<int64_t> distinct;
+    std::vector<uint64_t> indices;
+    indices.reserve(values.size());
+    size_t entry_bytes = 0;
+    bool dict_ok = true;
+    for (int64_t v : values) {
+        auto [it, inserted] = seen.try_emplace(v, distinct.size());
+        if (inserted) {
+            if (distinct.size() == kDictDistinctCap) {
+                dict_ok = false;
+                break;
+            }
+            distinct.push_back(v);
+            entry_bytes += varintLen(zigZag(v));
+        }
+        indices.push_back(it->second);
+    }
+    const size_t index_width =
+        distinct.empty() ? 0 : std::bit_width(distinct.size() - 1);
+    const size_t dict_size = 2 + varintLen(distinct.size()) + entry_bytes +
+                             packedBytes(values.size(), index_width);
+
+    std::vector<uint8_t> out;
+    if (!dict_ok || direct_size <= dict_size) {
+        out.push_back(0);
+        putVarint(out, zigZag(lo));
+        out.push_back(static_cast<uint8_t>(direct_width));
+        std::vector<uint64_t> deltas(values.size());
+        for (size_t i = 0; i < values.size(); ++i) {
+            deltas[i] = static_cast<uint64_t>(values[i]) -
+                        static_cast<uint64_t>(lo);
+        }
+        putPackedBits(out, deltas, direct_width);
+    } else {
+        out.push_back(1);
+        putVarint(out, distinct.size());
+        for (int64_t v : distinct)
+            putVarint(out, zigZag(v));
+        out.push_back(static_cast<uint8_t>(index_width));
+        putPackedBits(out, indices, index_width);
+    }
+    return out;
+}
+
+Status
+decodeF32Into(Encoding encoding, std::span<const uint8_t> payload,
+              size_t count, float* out)
+{
+    if (encoding != Encoding::kPlainF32)
+        return Status::corruption("float page with non-float encoding");
+    if (payload.size() != count * sizeof(float))
+        return Status::corruption("plain_f32 payload size mismatch");
+    if (count > 0)
+        std::memcpy(out, payload.data(), payload.size());
+    return Status::okStatus();
+}
+
 Status
 decodeF32(Encoding encoding, std::span<const uint8_t> payload, size_t count,
           std::vector<float>& out)
@@ -151,6 +330,112 @@ Status
 decodeI64(Encoding encoding, std::span<const uint8_t> payload, size_t count,
           std::vector<int64_t>& out, std::vector<int64_t>& dict_scratch)
 {
+    if (!g_fast_decode.load(std::memory_order_relaxed))
+        return decodeI64Reference(encoding, payload, count, out,
+                                  dict_scratch);
+    out.resize(count);
+    return decodeI64Into(encoding, payload, count, out.data(), dict_scratch);
+}
+
+Status
+decodeI64Into(Encoding encoding, std::span<const uint8_t> payload,
+              size_t count, int64_t* out, std::vector<int64_t>& dict_scratch)
+{
+    size_t pos = 0;
+    switch (encoding) {
+      case Encoding::kPlainI64: {
+        if (payload.size() != count * sizeof(int64_t))
+            return Status::corruption("plain_i64 payload size mismatch");
+        if (count > 0)
+            std::memcpy(out, payload.data(), payload.size());
+        return Status::okStatus();
+      }
+      case Encoding::kVarint: {
+        auto* u = reinterpret_cast<uint64_t*>(out);
+        if (!detail::decodeVarintsBatch(payload.data(), payload.size(), pos,
+                                        u, count))
+            return Status::corruption("truncated or malformed varint");
+        for (size_t i = 0; i < count; ++i)
+            out[i] = unZigZag(u[i]);
+        break;
+      }
+      case Encoding::kDeltaVarint: {
+        auto* u = reinterpret_cast<uint64_t*>(out);
+        if (!detail::decodeVarintsBatch(payload.data(), payload.size(), pos,
+                                        u, count))
+            return Status::corruption("truncated or malformed varint");
+        uint64_t prev = 0;
+        for (size_t i = 0; i < count; ++i) {
+            prev += static_cast<uint64_t>(unZigZag(u[i]));
+            out[i] = static_cast<int64_t>(prev);
+        }
+        break;
+      }
+      case Encoding::kRle: {
+        size_t filled = 0;
+        while (filled < count) {
+            uint64_t run = 0;
+            uint64_t u = 0;
+            PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, run));
+            PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, u));
+            if (run == 0 || run > count - filled)
+                return Status::corruption("rle run overflows page");
+            std::fill_n(out + filled, run, unZigZag(u));
+            filled += run;
+        }
+        break;
+      }
+      case Encoding::kDictionary: {
+        uint64_t dict_size = 0;
+        PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, dict_size));
+        if (dict_size > payload.size())
+            return Status::corruption("dictionary size exceeds payload");
+        dict_scratch.resize(dict_size);
+        auto* du = reinterpret_cast<uint64_t*>(dict_scratch.data());
+        if (!detail::decodeVarintsBatch(payload.data(), payload.size(), pos,
+                                        du, dict_size))
+            return Status::corruption("truncated or malformed varint");
+        for (uint64_t i = 0; i < dict_size; ++i)
+            dict_scratch[i] = unZigZag(du[i]);
+        if (!detail::decodeDictIndices(payload.data(), payload.size(), pos,
+                                       dict_scratch.data(), dict_size, out,
+                                       count)) {
+            return Status::corruption(
+                "malformed dictionary index stream");
+        }
+        break;
+      }
+      case Encoding::kBitPacked: {
+        BitPackedHeader h;
+        PRESTO_RETURN_IF_ERROR(
+            parseBitPackedHeader(payload, count, h, dict_scratch));
+        auto* u = reinterpret_cast<uint64_t*>(out);
+        detail::unpackBits(payload.data() + h.packed_pos,
+                           payload.size() - h.packed_pos, h.width, count, u);
+        if (h.mode == 0) {
+            const auto base = static_cast<uint64_t>(h.base);
+            for (size_t i = 0; i < count; ++i)
+                out[i] = static_cast<int64_t>(base + u[i]);
+        } else if (!detail::gatherDict(dict_scratch.data(), h.dict_size, out,
+                                       count)) {
+            return Status::corruption("dictionary index out of range");
+        }
+        // The header parse validated the exact packed-block size.
+        return Status::okStatus();
+      }
+      case Encoding::kPlainF32:
+        return Status::corruption("int page with float encoding");
+    }
+    if (pos != payload.size())
+        return Status::corruption("trailing bytes after decoded page");
+    return Status::okStatus();
+}
+
+Status
+decodeI64Reference(Encoding encoding, std::span<const uint8_t> payload,
+                   size_t count, std::vector<int64_t>& out,
+                   std::vector<int64_t>& dict_scratch)
+{
     out.clear();
     out.reserve(count);
     size_t pos = 0;
@@ -172,12 +457,12 @@ decodeI64(Encoding encoding, std::span<const uint8_t> payload, size_t count,
         break;
       }
       case Encoding::kDeltaVarint: {
-        int64_t prev = 0;
+        uint64_t prev = 0;
         for (size_t i = 0; i < count; ++i) {
             uint64_t u = 0;
             PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, u));
-            prev += unZigZag(u);
-            out.push_back(prev);
+            prev += static_cast<uint64_t>(unZigZag(u));
+            out.push_back(static_cast<int64_t>(prev));
         }
         break;
       }
@@ -215,6 +500,26 @@ decodeI64(Encoding encoding, std::span<const uint8_t> payload, size_t count,
         }
         break;
       }
+      case Encoding::kBitPacked: {
+        BitPackedHeader h;
+        PRESTO_RETURN_IF_ERROR(
+            parseBitPackedHeader(payload, count, h, dict_scratch));
+        const uint8_t* packed = payload.data() + h.packed_pos;
+        for (size_t i = 0; i < count; ++i) {
+            const uint64_t u = detail::getBitsRef(
+                packed, static_cast<uint64_t>(i) * h.width, h.width);
+            if (h.mode == 0) {
+                out.push_back(static_cast<int64_t>(
+                    static_cast<uint64_t>(h.base) + u));
+            } else {
+                if (u >= h.dict_size)
+                    return Status::corruption(
+                        "dictionary index out of range");
+                out.push_back(dict_scratch[u]);
+            }
+        }
+        return Status::okStatus();
+      }
       case Encoding::kPlainF32:
         return Status::corruption("int page with float encoding");
     }
@@ -223,36 +528,103 @@ decodeI64(Encoding encoding, std::span<const uint8_t> payload, size_t count,
     return Status::okStatus();
 }
 
+bool
+setFastDecodeEnabled(bool enabled)
+{
+    return g_fast_decode.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool
+fastDecodeEnabled()
+{
+    return g_fast_decode.load(std::memory_order_relaxed);
+}
+
 Encoding
 chooseIntEncoding(std::span<const int64_t> values)
 {
     if (values.empty())
         return Encoding::kVarint;
 
-    size_t distinct_cap = 4096;
-    std::unordered_map<int64_t, size_t> seen;
+    // One pass accumulating the exact encoded size of every candidate.
+    std::unordered_map<int64_t, uint64_t> seen;
+    size_t varint_bytes = 0;
+    size_t delta_bytes = 0;
+    size_t rle_bytes = 0;
+    size_t dict_entry_bytes = 0;
+    size_t dict_index_bytes = 0;
     bool monotone = true;
-    size_t runs = 1;
+    bool dict_ok = true;
+    int64_t lo = values[0];
+    int64_t hi = values[0];
+    int64_t run_value = values[0];
+    size_t run_len = 0;
+    uint64_t prev = 0;
     for (size_t i = 0; i < values.size(); ++i) {
-        if (i > 0) {
-            if (values[i] < values[i - 1])
-                monotone = false;
-            if (values[i] != values[i - 1])
-                ++runs;
+        const int64_t v = values[i];
+        varint_bytes += varintLen(zigZag(v));
+        const uint64_t delta = static_cast<uint64_t>(v) - prev;
+        delta_bytes += varintLen(zigZag(static_cast<int64_t>(delta)));
+        prev = static_cast<uint64_t>(v);
+        if (i > 0 && v < values[i - 1])
+            monotone = false;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        if (v == run_value && i > 0) {
+            ++run_len;
+        } else {
+            if (i > 0)
+                rle_bytes += varintLen(run_len) + varintLen(zigZag(run_value));
+            run_value = v;
+            run_len = 1;
         }
-        if (seen.size() < distinct_cap)
-            seen.try_emplace(values[i], seen.size());
+        if (dict_ok) {
+            auto [it, inserted] = seen.try_emplace(v, seen.size());
+            if (inserted && seen.size() > kDictDistinctCap)
+                dict_ok = false;
+            if (dict_ok) {
+                if (inserted)
+                    dict_entry_bytes += varintLen(zigZag(v));
+                dict_index_bytes += varintLen(it->second);
+            }
+        }
     }
-    // Few runs -> RLE wins outright.
-    if (runs * 8 < values.size())
-        return Encoding::kRle;
+    rle_bytes += varintLen(run_len) + varintLen(zigZag(run_value));
+
+    const size_t n = values.size();
+    const uint64_t range =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+    size_t bp_bytes =
+        2 + varintLen(zigZag(lo)) + packedBytes(n, std::bit_width(range));
+    size_t dict_bytes = 0;
+    if (dict_ok) {
+        const size_t d = seen.size();  // >= 1 here
+        const size_t index_width =
+            std::bit_width(static_cast<uint64_t>(d - 1));
+        const size_t bp_dict = 2 + varintLen(d) + dict_entry_bytes +
+                               packedBytes(n, index_width);
+        bp_bytes = std::min(bp_bytes, bp_dict);
+        dict_bytes = varintLen(d) + dict_entry_bytes + dict_index_bytes;
+    }
+
+    // Candidates in decode-speed order; a later one must be strictly
+    // smaller to win.
+    Encoding best = Encoding::kPlainI64;
+    size_t best_bytes = n * sizeof(int64_t);
+    const auto consider = [&](Encoding e, size_t bytes) {
+        if (bytes < best_bytes) {
+            best = e;
+            best_bytes = bytes;
+        }
+    };
+    consider(Encoding::kBitPacked, bp_bytes);
+    consider(Encoding::kRle, rle_bytes);
     if (monotone)
-        return Encoding::kDeltaVarint;
-    // Modest distinct set -> dictionary indices are much smaller than
-    // full-width ids.
-    if (seen.size() < distinct_cap && seen.size() * 4 < values.size() * 3)
-        return Encoding::kDictionary;
-    return Encoding::kVarint;
+        consider(Encoding::kDeltaVarint, delta_bytes);
+    if (dict_ok)
+        consider(Encoding::kDictionary, dict_bytes);
+    consider(Encoding::kVarint, varint_bytes);
+    return best;
 }
 
 }  // namespace enc

@@ -12,6 +12,33 @@
  *    label columns and repeated lengths.
  *  - kDictionary: distinct-value dictionary (ZigZag-varint) followed by
  *    varint indices; compact for Zipf-popular categorical ids.
+ *  - kBitPacked: fixed-width bit-packed values; compact for dictionary
+ *    indices and small-range columns, and the cheapest non-plain
+ *    encoding to decode (SIMD shift/mask, no byte-by-byte parse).
+ *
+ * kBitPacked payload framing (all multi-bit fields LSB-first):
+ *
+ *   [mode u8]
+ *   mode 0 (frame-of-reference):
+ *     [base  ZigZag-varint]            minimum value of the page
+ *     [width u8, 0..64]                bits per packed delta
+ *     [packed (value - base) deltas]   ceil(count * width / 8) bytes
+ *   mode 1 (bit-packed dictionary):
+ *     [dict_size varint]
+ *     [dict entries, ZigZag-varint]    dict_size values, first-seen order
+ *     [width u8, 0..64]                bits per packed index
+ *     [packed indices]                 ceil(count * width / 8) bytes
+ *
+ * The packed block's byte length must match exactly, and unused bits of
+ * the final byte must be zero; violations (as well as mode > 1,
+ * width > 64, or an index >= dict_size) decode to kCorruption. Deltas
+ * use two's-complement wraparound (base + delta mod 2^64), so any int64
+ * range round-trips.
+ *
+ * Decoding is runtime-dispatched over SWAR/AVX2 kernels bit-identical
+ * to the byte-wise reference decoders (see fast_decode_internal.h);
+ * setFastDecodeEnabled(false) pins the reference path for tests and
+ * benchmarks.
  */
 #ifndef PRESTO_COLUMNAR_ENCODING_H_
 #define PRESTO_COLUMNAR_ENCODING_H_
@@ -32,6 +59,7 @@ enum class Encoding : uint8_t {
     kDeltaVarint = 3,
     kRle = 4,
     kDictionary = 5,
+    kBitPacked = 6,
 };
 
 /** Human-readable encoding name. */
@@ -46,9 +74,22 @@ void putVarint(std::vector<uint8_t>& out, uint64_t value);
 
 /**
  * Read an unsigned LEB128 varint at @p pos (advanced past the varint).
- * @return kCorruption on truncated or over-long input.
+ * @return kCorruption on truncated, over-long (> 10 bytes), or
+ * overflowing (significant bits past 2^64) input.
  */
 Status getVarint(std::span<const uint8_t> in, size_t& pos, uint64_t& value);
+
+/** Encoded size of putVarint(value) in bytes (1..10). */
+constexpr size_t
+varintLen(uint64_t value)
+{
+    size_t n = 1;
+    while (value >= 0x80) {
+        value >>= 7;
+        ++n;
+    }
+    return n;
+}
 
 /** ZigZag-map a signed value to unsigned. */
 constexpr uint64_t
@@ -74,11 +115,18 @@ std::vector<uint8_t> encodeDeltaVarint(std::span<const int64_t> values);
 std::vector<uint8_t> encodeRle(std::span<const int64_t> values);
 std::vector<uint8_t> encodeDictionary(std::span<const int64_t> values);
 
+/** Encode with the smaller of the two kBitPacked modes (see framing). */
+std::vector<uint8_t> encodeBitPacked(std::span<const int64_t> values);
+
 /**
  * Decode @p count floats; only kPlainF32 is valid for float payloads.
  */
 Status decodeF32(Encoding encoding, std::span<const uint8_t> payload,
                  size_t count, std::vector<float>& out);
+
+/** Same, into caller-owned storage with room for @p count floats. */
+Status decodeF32Into(Encoding encoding, std::span<const uint8_t> payload,
+                     size_t count, float* out);
 
 /**
  * Decode @p count int64 values with any integer encoding.
@@ -95,8 +143,38 @@ Status decodeI64(Encoding encoding, std::span<const uint8_t> payload,
                  std::vector<int64_t>& dict_scratch);
 
 /**
- * Pick a compact integer encoding for @p values by estimating encoded
- * sizes (dictionary vs varint vs RLE; delta for monotone sequences).
+ * Dispatched decode into caller-owned storage with room for @p count
+ * values (what decodeI64 and the page-parallel reader run). On failure
+ * the output contents are unspecified.
+ */
+Status decodeI64Into(Encoding encoding, std::span<const uint8_t> payload,
+                     size_t count, int64_t* out,
+                     std::vector<int64_t>& dict_scratch);
+
+/**
+ * Byte-wise reference decoder: the semantics oracle the dispatched
+ * kernels are differentially tested against (identical outputs and
+ * identical accept/reject decisions).
+ */
+Status decodeI64Reference(Encoding encoding,
+                          std::span<const uint8_t> payload, size_t count,
+                          std::vector<int64_t>& out,
+                          std::vector<int64_t>& dict_scratch);
+
+/**
+ * Test/bench hook: when disabled, decodeI64 routes through
+ * decodeI64Reference instead of the dispatched kernels.
+ * @return the previous state.
+ */
+bool setFastDecodeEnabled(bool enabled);
+
+/** True when decodeI64 uses the dispatched kernels (the default). */
+bool fastDecodeEnabled();
+
+/**
+ * Pick the smallest integer encoding for @p values by computing exact
+ * encoded sizes for every candidate in one pass (ties go to the
+ * cheaper-to-decode encoding).
  */
 Encoding chooseIntEncoding(std::span<const int64_t> values);
 

@@ -42,30 +42,52 @@ writePageFrame(std::vector<uint8_t>& out, Encoding encoding,
     putU32(out, crc);
 }
 
+namespace {
+
 Status
-readPageFrame(std::span<const uint8_t> in, size_t& pos, PageView& page)
+parseFrame(std::span<const uint8_t> in, size_t& pos, PageView& page,
+           bool verify_crc)
 {
     const size_t header_size = 1 + 4 + 4;
     if (pos + header_size > in.size())
         return Status::corruption("truncated page header");
     const uint8_t enc_byte = in[pos];
-    if (enc_byte > static_cast<uint8_t>(Encoding::kDictionary))
+    if (enc_byte > static_cast<uint8_t>(Encoding::kBitPacked))
         return Status::corruption("unknown page encoding");
     const uint32_t value_count = getU32(in, pos + 1);
+    if (value_count > kMaxValuesPerPage)
+        return Status::corruption("page value count exceeds maximum");
     const uint32_t payload_size = getU32(in, pos + 5);
     if (pos + header_size + payload_size + 4 > in.size())
         return Status::corruption("truncated page payload");
-    const uint32_t stored_crc = getU32(in, pos + header_size + payload_size);
-    const uint32_t actual_crc =
-        crc32c(in.data() + pos, header_size + payload_size);
-    if (stored_crc != actual_crc)
-        return Status::corruption("page checksum mismatch");
+    if (verify_crc) {
+        const uint32_t stored_crc =
+            getU32(in, pos + header_size + payload_size);
+        const uint32_t actual_crc =
+            crc32c(in.data() + pos, header_size + payload_size);
+        if (stored_crc != actual_crc)
+            return Status::corruption("page checksum mismatch");
+    }
 
     page.encoding = static_cast<Encoding>(enc_byte);
     page.value_count = value_count;
     page.payload = in.subspan(pos + header_size, payload_size);
     pos += header_size + payload_size + 4;
     return Status::okStatus();
+}
+
+}  // namespace
+
+Status
+readPageFrame(std::span<const uint8_t> in, size_t& pos, PageView& page)
+{
+    return parseFrame(in, pos, page, /*verify_crc=*/true);
+}
+
+Status
+scanPageFrame(std::span<const uint8_t> in, size_t& pos, PageView& page)
+{
+    return parseFrame(in, pos, page, /*verify_crc=*/false);
 }
 
 }  // namespace presto

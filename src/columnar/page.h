@@ -39,9 +39,22 @@ void writePageFrame(std::vector<uint8_t>& out, Encoding encoding,
 /**
  * Parse the page frame at @p pos (advanced past the frame) and verify its
  * checksum.
- * @return kCorruption for truncation or CRC mismatch.
+ * @return kCorruption for truncation, CRC mismatch, an unknown encoding
+ * byte, or a value count above kMaxValuesPerPage (the writer never
+ * exceeds it, so larger counts can only come from damage and would
+ * otherwise make the decoder allocate unbounded output).
  */
 Status readPageFrame(std::span<const uint8_t> in, size_t& pos,
+                     PageView& page);
+
+/**
+ * Parse the frame at @p pos (advanced past the frame) WITHOUT verifying
+ * its checksum. The page-parallel reader uses this to split a stream
+ * into per-page tasks up front; the CRC is still verified by the
+ * readPageFrame call inside each decode task, so corruption detection
+ * is unchanged.
+ */
+Status scanPageFrame(std::span<const uint8_t> in, size_t& pos,
                      PageView& page);
 
 }  // namespace presto

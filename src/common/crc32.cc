@@ -1,8 +1,18 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
 
 namespace presto {
+
+#if defined(PRESTO_HAVE_SSE42_CRC)
+namespace crc_detail {
+bool sse42CrcSupported();
+uint32_t crc32cSse42(const void* data, size_t size, uint32_t seed);
+}  // namespace crc_detail
+#endif
 
 namespace {
 
@@ -23,16 +33,69 @@ makeTable()
 
 constexpr auto kTable = makeTable();
 
+bool
+initialHardwareState()
+{
+    if (!crc32cHardwareAvailable())
+        return false;
+    const char* env = std::getenv("PRESTO_CRC32");
+    if (env != nullptr && std::string_view(env) == "table")
+        return false;
+    return true;
+}
+
+/** Function-local so first use during static init is still safe. */
+std::atomic<bool>&
+hardwareActiveFlag()
+{
+    static std::atomic<bool> active{initialHardwareState()};
+    return active;
+}
+
 }  // namespace
 
 uint32_t
-crc32c(const void* data, size_t size, uint32_t seed)
+crc32cTable(const void* data, size_t size, uint32_t seed)
 {
     const auto* bytes = static_cast<const uint8_t*>(data);
     uint32_t crc = ~seed;
     for (size_t i = 0; i < size; ++i)
         crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xff];
     return ~crc;
+}
+
+bool
+crc32cHardwareAvailable()
+{
+#if defined(PRESTO_HAVE_SSE42_CRC)
+    return crc_detail::sse42CrcSupported();
+#else
+    return false;
+#endif
+}
+
+bool
+crc32cHardwareActive()
+{
+    return hardwareActiveFlag().load(std::memory_order_relaxed);
+}
+
+bool
+setCrc32cHardwareEnabled(bool enabled)
+{
+    const bool active = enabled && crc32cHardwareAvailable();
+    hardwareActiveFlag().store(active, std::memory_order_relaxed);
+    return active;
+}
+
+uint32_t
+crc32c(const void* data, size_t size, uint32_t seed)
+{
+#if defined(PRESTO_HAVE_SSE42_CRC)
+    if (hardwareActiveFlag().load(std::memory_order_relaxed))
+        return crc_detail::crc32cSse42(data, size, seed);
+#endif
+    return crc32cTable(data, size, seed);
 }
 
 }  // namespace presto

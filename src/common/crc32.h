@@ -1,6 +1,18 @@
 /**
  * @file
  * CRC32C (Castagnoli) checksum used to validate columnar file pages.
+ *
+ * crc32c() is runtime-dispatched: on x86 CPUs with SSE 4.2 it uses the
+ * hardware `crc32` instruction over three interleaved streams (the
+ * instruction has a 3-cycle latency but 1/cycle throughput, so three
+ * independent accumulators saturate the unit); everywhere else it falls
+ * back to the portable byte-wise table implementation. Both paths produce
+ * identical checksums for every (data, seed) pair — on-disk files and the
+ * fault-injection tests are unaffected by which path runs.
+ *
+ * The PRESTO_CRC32 environment variable ("table") disables the hardware
+ * path at startup for ad-hoc comparisons; tests and benchmarks toggle it
+ * explicitly with setCrc32cHardwareEnabled().
  */
 #ifndef PRESTO_COMMON_CRC32_H_
 #define PRESTO_COMMON_CRC32_H_
@@ -11,7 +23,7 @@
 namespace presto {
 
 /**
- * Compute the CRC32C checksum of a byte buffer.
+ * Compute the CRC32C checksum of a byte buffer (dispatched).
  *
  * @param data Pointer to the bytes to checksum (may be null iff size == 0).
  * @param size Number of bytes.
@@ -19,6 +31,21 @@ namespace presto {
  * @return The CRC32C checksum.
  */
 uint32_t crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+/** Portable byte-wise table implementation (the dispatch reference). */
+uint32_t crc32cTable(const void* data, size_t size, uint32_t seed = 0);
+
+/** True when this build + CPU can run the SSE 4.2 hardware path. */
+bool crc32cHardwareAvailable();
+
+/** True when crc32c() currently routes to the hardware path. */
+bool crc32cHardwareActive();
+
+/**
+ * Enable/disable the hardware path (clamped to crc32cHardwareAvailable()).
+ * @return the resulting active state.
+ */
+bool setCrc32cHardwareEnabled(bool enabled);
 
 }  // namespace presto
 

@@ -17,7 +17,8 @@ constexpr size_t kPeBufferValues = 4096;
 
 }  // namespace
 
-IspEmulator::IspEmulator(const RmConfig& config, int num_feature_units)
+IspEmulator::IspEmulator(const RmConfig& config, int num_feature_units,
+                         ThreadPool* decode_pool)
     : config_(config), num_feature_units_(num_feature_units),
       reference_plan_(config), bucketizer_(reference_plan_.boundaries()),
       unit_used_(static_cast<size_t>(num_feature_units > 0
@@ -25,6 +26,7 @@ IspEmulator::IspEmulator(const RmConfig& config, int num_feature_units)
                                          : 1))
 {
     PRESTO_CHECK(num_feature_units_ >= 1, "need at least one feature unit");
+    reader_.setThreadPool(decode_pool);
 }
 
 StatusOr<MiniBatch>

@@ -56,8 +56,13 @@ class IspEmulator
      * @param config Workload (selects the transform plan).
      * @param num_feature_units PEs available for inter-feature
      *        parallelism (features are assigned round-robin).
+     * @param decode_pool Optional thread pool for page-parallel decode
+     *        (models the Decoder unit working on independent pages
+     *        concurrently). nullptr keeps decode serial. The pool may
+     *        be shared by several emulators and must outlive them.
      */
-    explicit IspEmulator(const RmConfig& config, int num_feature_units = 8);
+    explicit IspEmulator(const RmConfig& config, int num_feature_units = 8,
+                         ThreadPool* decode_pool = nullptr);
 
     /**
      * Run the datapath over one encoded PSF partition (as stored on the

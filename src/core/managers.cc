@@ -16,10 +16,11 @@ namespace presto {
 PreprocessManager::PreprocessManager(const RmConfig& config,
                                      PartitionStore& store,
                                      PreprocessMode mode, int num_workers,
-                                     size_t queue_capacity, bool prefetch)
+                                     size_t queue_capacity, bool prefetch,
+                                     ThreadPool* decode_pool)
     : config_(config), store_(store), mode_(mode), preprocessor_(config),
       queue_capacity_(queue_capacity), num_workers_(num_workers),
-      prefetch_(prefetch),
+      prefetch_(prefetch), decode_pool_(decode_pool),
       decoded_capacity_(2 * static_cast<size_t>(
                                 num_workers > 0 ? num_workers : 1))
 {
@@ -187,6 +188,7 @@ PreprocessManager::workerLoop()
     // Unstaged (seed) schedule: each worker alternates Extract and
     // Transform, but with the device-style persistent decode buffers.
     ColumnarFileReader reader;
+    reader.setThreadPool(decode_pool_);
     BatchArena arena;
     DecodedPartition dp;
     for (;;) {
@@ -202,6 +204,7 @@ void
 PreprocessManager::fetchLoop()
 {
     ColumnarFileReader reader;
+    reader.setThreadPool(decode_pool_);
     uint64_t pid = 0;
     while (claimPartition(pid)) {
         std::unique_ptr<DecodedPartition> dp;

@@ -68,10 +68,15 @@ class PreprocessManager
      *        runs the seed's combined fetch+transform loop per worker.
      *        Delivered batches are identical either way (ordering may
      *        differ, as it already can between workers).
+     * @param decode_pool Optional thread pool the per-worker readers
+     *        use for page-parallel decode (models the FPGA Decoder
+     *        unit). nullptr keeps per-page decode serial within each
+     *        worker. Shared across workers; must outlive the manager.
      */
     PreprocessManager(const RmConfig& config, PartitionStore& store,
                       PreprocessMode mode, int num_workers,
-                      size_t queue_capacity = 8, bool prefetch = true);
+                      size_t queue_capacity = 8, bool prefetch = true,
+                      ThreadPool* decode_pool = nullptr);
 
     /** Stops workers and drains the queue. */
     ~PreprocessManager();
@@ -127,6 +132,7 @@ class PreprocessManager
     size_t queue_capacity_;
     int num_workers_;
     bool prefetch_;
+    ThreadPool* decode_pool_;
 
     std::mutex mu_;
     std::condition_variable queue_not_empty_;

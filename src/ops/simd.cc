@@ -12,6 +12,11 @@ namespace {
 SimdLevel
 probeCpu()
 {
+    // The vector tiers also require BMI2 (pext in the varint decoder).
+    // Every AVX2-capable core ships it, but the bits are independent in
+    // CPUID, so check rather than assume.
+    if (!__builtin_cpu_supports("bmi2"))
+        return SimdLevel::kScalar;
     if (__builtin_cpu_supports("avx512f") &&
         __builtin_cpu_supports("avx512dq")) {
         return SimdLevel::kAvx512;

@@ -133,6 +133,9 @@ TEST_P(IntEncodingRoundTrip, DecodeRecoversInput)
       case Encoding::kDictionary:
         payload = enc::encodeDictionary(data);
         break;
+      case Encoding::kBitPacked:
+        payload = enc::encodeBitPacked(data);
+        break;
       default:
         FAIL();
     }
@@ -147,7 +150,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values(Encoding::kPlainI64, Encoding::kVarint,
                           Encoding::kDeltaVarint, Encoding::kRle,
-                          Encoding::kDictionary),
+                          Encoding::kDictionary, Encoding::kBitPacked),
         ::testing::Values(DataShape::kUniform, DataShape::kSmall,
                           DataShape::kMonotone, DataShape::kRuns,
                           DataShape::kFewDistinct),
@@ -194,12 +197,16 @@ TEST(EncodingTest, ChooseIntEncodingPicksSensibly)
     EXPECT_EQ(
         enc::chooseIntEncoding(makeData(DataShape::kMonotone, 4096, 1)),
         Encoding::kDeltaVarint);
+    // Few-distinct data packs its dictionary indices into fixed-width
+    // bits, which beats the varint-index kDictionary encoding on size.
     EXPECT_EQ(
         enc::chooseIntEncoding(makeData(DataShape::kFewDistinct, 4096, 1)),
-        Encoding::kDictionary);
+        Encoding::kBitPacked);
+    // Uniform 64-bit values compress under no encoding; plain wins the
+    // size tie because it is the cheapest to decode.
     EXPECT_EQ(
         enc::chooseIntEncoding(makeData(DataShape::kUniform, 4096, 1)),
-        Encoding::kVarint);
+        Encoding::kPlainI64);
 }
 
 TEST(EncodingTest, DecodeWrongSizePlainFails)
@@ -248,6 +255,7 @@ TEST(EncodingTest, NamesAreStable)
 {
     EXPECT_STREQ(encodingName(Encoding::kPlainF32), "plain_f32");
     EXPECT_STREQ(encodingName(Encoding::kDictionary), "dictionary");
+    EXPECT_STREQ(encodingName(Encoding::kBitPacked), "bit_packed");
 }
 
 // --- page framing -------------------------------------------------------------------

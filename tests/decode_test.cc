@@ -1,0 +1,734 @@
+/**
+ * @file
+ * Differential, adversarial, and parallel-decode tests for the
+ * vectorized Extract path: the dispatched SWAR/AVX2 decoders and the
+ * hardware CRC32C must be bit-identical to their byte-wise references
+ * on every input — including malformed ones, where both sides must make
+ * the same accept/reject decision — and page-parallel stream decode
+ * must reproduce serial decode exactly.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "columnar/columnar_file.h"
+#include "columnar/encoding.h"
+#include "columnar/page.h"
+#include "common/crc32.h"
+#include "common/thread_pool.h"
+#include "core/isp_emulator.h"
+#include "datagen/generator.h"
+#include "ops/simd.h"
+
+namespace presto {
+namespace {
+
+/** Every dispatch level available on this machine, scalar first. */
+std::vector<SimdLevel>
+availableLevels()
+{
+    std::vector<SimdLevel> levels{SimdLevel::kScalar};
+    if (detectedSimdLevel() >= SimdLevel::kAvx2)
+        levels.push_back(SimdLevel::kAvx2);
+    if (detectedSimdLevel() >= SimdLevel::kAvx512)
+        levels.push_back(SimdLevel::kAvx512);
+    return levels;
+}
+
+/** RAII restore of the active SIMD level. */
+class ScopedSimdLevel
+{
+  public:
+    explicit ScopedSimdLevel(SimdLevel level) : saved_(activeSimdLevel())
+    {
+        setSimdLevel(level);
+    }
+    ~ScopedSimdLevel() { setSimdLevel(saved_); }
+
+  private:
+    SimdLevel saved_;
+};
+
+const std::vector<Encoding> kIntEncodings{
+    Encoding::kPlainI64,   Encoding::kVarint, Encoding::kDeltaVarint,
+    Encoding::kRle,        Encoding::kDictionary,
+    Encoding::kBitPacked};
+
+enum class Shape {
+    kUniform,
+    kSmallRange,
+    kZipfIds,
+    kMonotone,
+    kRuns,
+    kFewDistinct,
+    kExtremes,
+};
+
+const std::vector<Shape> kShapes{
+    Shape::kUniform, Shape::kSmallRange, Shape::kZipfIds, Shape::kMonotone,
+    Shape::kRuns,    Shape::kFewDistinct, Shape::kExtremes};
+
+std::vector<int64_t>
+makeValues(Shape shape, size_t n, uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<int64_t> v(n);
+    int64_t acc = -5000;
+    for (size_t i = 0; i < n; ++i) {
+        switch (shape) {
+          case Shape::kUniform:
+            v[i] = static_cast<int64_t>(rng());
+            break;
+          case Shape::kSmallRange:
+            v[i] = static_cast<int64_t>(rng() % 200) - 100;
+            break;
+          case Shape::kZipfIds:
+            // Crude Zipf-ish categorical ids: heavy head, long tail.
+            v[i] = static_cast<int64_t>(
+                (rng() % 4 != 0) ? rng() % 16
+                                 : rng() % 1'000'000);
+            break;
+          case Shape::kMonotone:
+            acc += static_cast<int64_t>(rng() % 37);
+            v[i] = acc;
+            break;
+          case Shape::kRuns:
+            v[i] = static_cast<int64_t>((i / 113) % 5) - 2;
+            break;
+          case Shape::kFewDistinct:
+            v[i] = static_cast<int64_t>(rng() % 11) * 999'983;
+            break;
+          case Shape::kExtremes:
+            switch (rng() % 4) {
+              case 0:
+                v[i] = std::numeric_limits<int64_t>::min();
+                break;
+              case 1:
+                v[i] = std::numeric_limits<int64_t>::max();
+                break;
+              case 2: v[i] = 0; break;
+              default: v[i] = static_cast<int64_t>(rng()); break;
+            }
+            break;
+        }
+    }
+    return v;
+}
+
+std::vector<uint8_t>
+encodeAs(Encoding encoding, std::span<const int64_t> values)
+{
+    switch (encoding) {
+      case Encoding::kPlainI64: return enc::encodePlainI64(values);
+      case Encoding::kVarint: return enc::encodeVarint(values);
+      case Encoding::kDeltaVarint: return enc::encodeDeltaVarint(values);
+      case Encoding::kRle: return enc::encodeRle(values);
+      case Encoding::kDictionary: return enc::encodeDictionary(values);
+      case Encoding::kBitPacked: return enc::encodeBitPacked(values);
+      case Encoding::kPlainF32: break;
+    }
+    ADD_FAILURE() << "not an int encoding";
+    return {};
+}
+
+/**
+ * Decode @p payload with the reference decoder and with the dispatched
+ * decoder at every available SIMD level; assert they agree on the
+ * status code and (when accepting) on every output bit.
+ */
+void
+expectReferenceAndFastAgree(Encoding encoding,
+                            std::span<const uint8_t> payload, size_t count,
+                            const std::string& what)
+{
+    std::vector<int64_t> want, ref_dict;
+    const Status ref =
+        enc::decodeI64Reference(encoding, payload, count, want, ref_dict);
+    for (SimdLevel level : availableLevels()) {
+        ScopedSimdLevel scoped(level);
+        // Poison the output so "fast path left bytes untouched" cannot
+        // pass by accident.
+        std::vector<int64_t> got(count, int64_t{0x5a5a5a5a5a5a5a5a});
+        std::vector<int64_t> dict;
+        const Status fast = enc::decodeI64Into(encoding, payload, count,
+                                               got.data(), dict);
+        ASSERT_EQ(fast.code(), ref.code())
+            << what << " level=" << simdLevelName(level)
+            << " ref=" << ref.toString() << " fast=" << fast.toString();
+        if (ref.ok()) {
+            ASSERT_EQ(got, want)
+                << what << " level=" << simdLevelName(level);
+        }
+    }
+}
+
+// --- encoder/decoder differential sweep -----------------------------------
+
+TEST(DecodeDifferentialTest, AllEncodingsShapesAndSizesMatchReference)
+{
+    const std::vector<size_t> sizes{0,  1,   2,    7,    8,    9,
+                                    31, 255, 256, 1000, 10000};
+    for (Encoding encoding : kIntEncodings) {
+        for (Shape shape : kShapes) {
+            for (size_t n : sizes) {
+                const auto values =
+                    makeValues(shape, n, 77 * n + static_cast<int>(shape));
+                const auto payload = encodeAs(encoding, values);
+                // Every encoder's output must decode back to the input
+                // through the reference path...
+                std::vector<int64_t> out, dict;
+                ASSERT_TRUE(enc::decodeI64Reference(encoding, payload, n,
+                                                    out, dict)
+                                .ok());
+                ASSERT_EQ(out, values)
+                    << encodingName(encoding) << " n=" << n;
+                // ...and the dispatched kernels must agree bit for bit.
+                expectReferenceAndFastAgree(
+                    encoding, payload, n,
+                    std::string(encodingName(encoding)) +
+                        " n=" + std::to_string(n));
+            }
+        }
+    }
+}
+
+TEST(DecodeDifferentialTest, FastDecodeToggleRoutesBothPaths)
+{
+    const auto values = makeValues(Shape::kZipfIds, 4096, 3);
+    const auto payload = encodeAs(Encoding::kDictionary, values);
+    std::vector<int64_t> fast_out, ref_out;
+    ASSERT_TRUE(enc::fastDecodeEnabled());
+    ASSERT_TRUE(enc::decodeI64(Encoding::kDictionary, payload,
+                               values.size(), fast_out)
+                    .ok());
+    const bool was = enc::setFastDecodeEnabled(false);
+    EXPECT_TRUE(was);
+    EXPECT_FALSE(enc::fastDecodeEnabled());
+    ASSERT_TRUE(enc::decodeI64(Encoding::kDictionary, payload,
+                               values.size(), ref_out)
+                    .ok());
+    EXPECT_TRUE(enc::setFastDecodeEnabled(true) == false);
+    EXPECT_EQ(fast_out, ref_out);
+    EXPECT_EQ(fast_out, values);
+}
+
+// --- varint validation -----------------------------------------------------
+
+TEST(VarintTest, RejectsOverlongAndOverflowingInput)
+{
+    auto decodeOne = [](std::vector<uint8_t> bytes, uint64_t* value) {
+        size_t pos = 0;
+        uint64_t v = 0;
+        const Status st = enc::getVarint(bytes, pos, v);
+        if (value != nullptr)
+            *value = v;
+        return st;
+    };
+
+    // 2^64 - 1: ten bytes, final byte 0x01 — the largest valid varint.
+    uint64_t v = 0;
+    std::vector<uint8_t> max_u64(9, 0xff);
+    max_u64.push_back(0x01);
+    ASSERT_TRUE(decodeOne(max_u64, &v).ok());
+    EXPECT_EQ(v, std::numeric_limits<uint64_t>::max());
+
+    // 2^63 exactly: bit 63 set via the tenth byte's low bit.
+    std::vector<uint8_t> two63(9, 0x80);
+    two63.push_back(0x01);
+    ASSERT_TRUE(decodeOne(two63, &v).ok());
+    EXPECT_EQ(v, uint64_t{1} << 63);
+
+    // Tenth byte with any significant bit past 2^64 must be rejected,
+    // not silently wrapped (these used to decode as truncated values).
+    std::vector<uint8_t> overflow(9, 0x80);
+    overflow.push_back(0x02);
+    EXPECT_EQ(decodeOne(overflow, nullptr).code(),
+              StatusCode::kCorruption);
+    std::vector<uint8_t> overflow7f(9, 0x80);
+    overflow7f.push_back(0x7f);
+    EXPECT_EQ(decodeOne(overflow7f, nullptr).code(),
+              StatusCode::kCorruption);
+
+    // Eleventh byte (continuation bit never drops) must be rejected.
+    EXPECT_EQ(decodeOne(std::vector<uint8_t>(11, 0x80), nullptr).code(),
+              StatusCode::kCorruption);
+    // A set-high-bit-forever stream must terminate with kCorruption.
+    EXPECT_EQ(decodeOne(std::vector<uint8_t>(64, 0xff), nullptr).code(),
+              StatusCode::kCorruption);
+    // Truncation (continuation bit on the last available byte).
+    EXPECT_EQ(decodeOne({0x80}, nullptr).code(), StatusCode::kCorruption);
+    EXPECT_EQ(decodeOne({}, nullptr).code(), StatusCode::kCorruption);
+
+    // The batch decoders must make the same rejections.
+    for (const auto& bad :
+         {overflow, overflow7f, std::vector<uint8_t>(11, 0x80),
+          std::vector<uint8_t>{0x80}}) {
+        expectReferenceAndFastAgree(Encoding::kVarint, bad, 1,
+                                    "overlong varint");
+    }
+    expectReferenceAndFastAgree(Encoding::kVarint, max_u64, 1,
+                                "max u64 varint");
+}
+
+TEST(VarintTest, NonCanonicalZeroPaddingStaysAccepted)
+{
+    // LEB128 allows redundant leading groups ({0x80, 0x00} == 0); the
+    // on-disk format has always accepted them, so the fast path must
+    // too — this pins the compatible behavior.
+    std::vector<uint8_t> padded{0x80, 0x00, 0x81, 0x00};
+    std::vector<int64_t> out, dict;
+    ASSERT_TRUE(enc::decodeI64Reference(Encoding::kVarint, padded, 2, out,
+                                        dict)
+                    .ok());
+    EXPECT_EQ(out, (std::vector<int64_t>{0, -1}));  // zigzag 0, 1
+    expectReferenceAndFastAgree(Encoding::kVarint, padded, 2,
+                                "non-canonical varint");
+}
+
+// --- bit-packed framing ----------------------------------------------------
+
+/** Test-local LSB-first bit packer, independent of the production one. */
+std::vector<uint8_t>
+packBits(const std::vector<uint64_t>& vals, unsigned width)
+{
+    std::vector<uint8_t> out((vals.size() * width + 7) / 8, 0);
+    for (size_t i = 0; i < vals.size(); ++i) {
+        for (unsigned b = 0; b < width; ++b) {
+            if ((vals[i] >> b) & 1) {
+                const uint64_t bit = i * width + b;
+                out[bit >> 3] |= static_cast<uint8_t>(1u << (bit & 7));
+            }
+        }
+    }
+    return out;
+}
+
+/** Build a mode-0 (frame-of-reference) kBitPacked payload by hand. */
+std::vector<uint8_t>
+makeDirectPayload(int64_t base, const std::vector<uint64_t>& deltas,
+                  unsigned width)
+{
+    std::vector<uint8_t> payload{0};  // mode 0
+    enc::putVarint(payload, enc::zigZag(base));
+    payload.push_back(static_cast<uint8_t>(width));
+    const auto packed = packBits(deltas, width);
+    payload.insert(payload.end(), packed.begin(), packed.end());
+    return payload;
+}
+
+/** Build a mode-1 (dictionary) kBitPacked payload by hand. */
+std::vector<uint8_t>
+makeDictPayload(const std::vector<int64_t>& dict,
+                const std::vector<uint64_t>& indices, unsigned width)
+{
+    std::vector<uint8_t> payload{1};  // mode 1
+    enc::putVarint(payload, dict.size());
+    for (int64_t d : dict)
+        enc::putVarint(payload, enc::zigZag(d));
+    payload.push_back(static_cast<uint8_t>(width));
+    const auto packed = packBits(indices, width);
+    payload.insert(payload.end(), packed.begin(), packed.end());
+    return payload;
+}
+
+TEST(BitPackedTest, DirectModeDecodesEveryWidth)
+{
+    std::mt19937_64 rng(5);
+    for (unsigned width = 0; width <= 64; ++width) {
+        for (size_t n : {size_t{1}, size_t{3}, size_t{64}, size_t{777}}) {
+            const uint64_t mask =
+                width == 64 ? ~uint64_t{0}
+                            : (uint64_t{1} << width) - 1;
+            const int64_t base =
+                static_cast<int64_t>(rng()) % 1'000'000;
+            std::vector<uint64_t> deltas(n);
+            std::vector<int64_t> expect(n);
+            for (size_t i = 0; i < n; ++i) {
+                deltas[i] = rng() & mask;
+                // Wraparound add is the documented semantics.
+                expect[i] = static_cast<int64_t>(
+                    static_cast<uint64_t>(base) + deltas[i]);
+            }
+            const auto payload = makeDirectPayload(base, deltas, width);
+            std::vector<int64_t> out, dict;
+            ASSERT_TRUE(enc::decodeI64Reference(Encoding::kBitPacked,
+                                                payload, n, out, dict)
+                            .ok())
+                << "width=" << width << " n=" << n;
+            ASSERT_EQ(out, expect) << "width=" << width << " n=" << n;
+            expectReferenceAndFastAgree(
+                Encoding::kBitPacked, payload, n,
+                "bitpacked direct width=" + std::to_string(width) +
+                    " n=" + std::to_string(n));
+        }
+    }
+}
+
+TEST(BitPackedTest, DictModeDecodesHandCraftedPayloads)
+{
+    std::mt19937_64 rng(6);
+    const std::vector<int64_t> dict{
+        -1, 0, 999'983, std::numeric_limits<int64_t>::min(),
+        std::numeric_limits<int64_t>::max()};
+    for (unsigned width = 3; width <= 16; ++width) {
+        const size_t n = 500;
+        std::vector<uint64_t> indices(n);
+        std::vector<int64_t> expect(n);
+        for (size_t i = 0; i < n; ++i) {
+            indices[i] = rng() % dict.size();
+            expect[i] = dict[indices[i]];
+        }
+        const auto payload = makeDictPayload(dict, indices, width);
+        std::vector<int64_t> out, scratch;
+        ASSERT_TRUE(enc::decodeI64Reference(Encoding::kBitPacked, payload,
+                                            n, out, scratch)
+                        .ok());
+        ASSERT_EQ(out, expect) << "width=" << width;
+        expectReferenceAndFastAgree(Encoding::kBitPacked, payload, n,
+                                    "bitpacked dict width=" +
+                                        std::to_string(width));
+    }
+}
+
+TEST(BitPackedTest, AdversarialPayloadsAreRejectedEverywhere)
+{
+    // Base 10 zigzags to a single varint byte, so the payload layout is
+    // [mode][base][width][packed...] with width at index 2.
+    const std::vector<uint64_t> deltas{1, 2, 3, 4, 5, 6, 7};
+    const auto good = makeDirectPayload(10, deltas, 5);
+    {
+        std::vector<int64_t> out, dict;
+        ASSERT_TRUE(enc::decodeI64Reference(Encoding::kBitPacked, good, 7,
+                                            out, dict)
+                        .ok());
+    }
+
+    std::vector<std::pair<std::string, std::vector<uint8_t>>> bad;
+    auto mutated = [&](const std::string& name, auto&& fn) {
+        std::vector<uint8_t> p = good;
+        fn(p);
+        bad.emplace_back(name, std::move(p));
+    };
+    mutated("mode 2", [](auto& p) { p[0] = 2; });
+    mutated("mode 255", [](auto& p) { p[0] = 255; });
+    mutated("width 65", [](auto& p) { p[2] = 65; });
+    mutated("packed block too long",
+            [](auto& p) { p.push_back(0); });
+    mutated("packed block too short", [](auto& p) { p.pop_back(); });
+    mutated("nonzero trailing bits", [](auto& p) { p.back() |= 0x80; });
+    bad.emplace_back("empty payload", std::vector<uint8_t>{});
+    bad.emplace_back("mode byte only", std::vector<uint8_t>{0});
+    bad.emplace_back("truncated base varint",
+                     std::vector<uint8_t>{0, 0x80});
+
+    // Dictionary-mode violations: width 4 can express index 15 against
+    // a 3-entry dictionary.
+    bad.emplace_back(
+        "dict index out of range",
+        makeDictPayload({10, 20, 30}, {0, 1, 2, 15, 1, 0, 2}, 4));
+    bad.emplace_back("dict truncated mid-entries",
+                     std::vector<uint8_t>{1, 0x05, 0x02, 0x04});
+    {
+        // dict_size claims more entries than the payload could hold.
+        std::vector<uint8_t> p{1};
+        enc::putVarint(p, 1'000'000);
+        bad.emplace_back("dict size exceeds payload", std::move(p));
+    }
+
+    for (const auto& [name, payload] : bad) {
+        std::vector<int64_t> out, dict;
+        EXPECT_EQ(enc::decodeI64Reference(Encoding::kBitPacked, payload, 7,
+                                          out, dict)
+                      .code(),
+                  StatusCode::kCorruption)
+            << name;
+        expectReferenceAndFastAgree(Encoding::kBitPacked, payload, 7,
+                                    name);
+    }
+
+    // A count the packed block cannot cover is also damage. (Count 8
+    // would still fit: 8 x 5 bits fills the same 5 bytes exactly, which
+    // the exact-length framing cannot distinguish — so probe with 9.)
+    expectReferenceAndFastAgree(Encoding::kBitPacked, good, 9,
+                                "count exceeds packed block");
+    std::vector<int64_t> out, dict;
+    EXPECT_EQ(enc::decodeI64Reference(Encoding::kBitPacked, good, 9, out,
+                                      dict)
+                  .code(),
+              StatusCode::kCorruption);
+}
+
+// --- random differential fuzz ---------------------------------------------
+
+TEST(DecodeFuzzTest, MutatedPayloadsKeepReferenceAndFastInAgreement)
+{
+    std::mt19937_64 rng(2024);
+    int accepted = 0;
+    for (int trial = 0; trial < 1500; ++trial) {
+        const Encoding encoding =
+            kIntEncodings[rng() % kIntEncodings.size()];
+        const Shape shape = kShapes[rng() % kShapes.size()];
+        const size_t n = rng() % 300;
+        const auto values = makeValues(shape, n, rng());
+        auto payload = encodeAs(encoding, values);
+
+        // Half the trials mutate the payload: byte flips, truncation,
+        // or appended garbage.
+        if (trial % 2 == 1) {
+            switch (rng() % 3) {
+              case 0:
+                if (!payload.empty())
+                    payload[rng() % payload.size()] ^=
+                        static_cast<uint8_t>(1u << (rng() % 8));
+                break;
+              case 1:
+                payload.resize(payload.size() -
+                               std::min(payload.size(), rng() % 4 + 1));
+                break;
+              default:
+                payload.push_back(static_cast<uint8_t>(rng()));
+                break;
+            }
+        }
+        std::vector<int64_t> out, dict;
+        if (enc::decodeI64Reference(encoding, payload, n, out, dict).ok())
+            ++accepted;
+        expectReferenceAndFastAgree(encoding, payload, n,
+                                    "fuzz trial " + std::to_string(trial));
+        if (HasFatalFailure())
+            return;
+    }
+    // The unmutated half must all decode; sanity-check the fuzz isn't
+    // vacuously rejecting everything.
+    EXPECT_GT(accepted, 700);
+}
+
+TEST(DecodeFuzzTest, RandomGarbagePayloadsAgree)
+{
+    std::mt19937_64 rng(99);
+    for (int trial = 0; trial < 1500; ++trial) {
+        const Encoding encoding =
+            kIntEncodings[rng() % kIntEncodings.size()];
+        const size_t n = rng() % 200;
+        std::vector<uint8_t> payload(rng() % 256);
+        for (auto& b : payload)
+            b = static_cast<uint8_t>(rng());
+        expectReferenceAndFastAgree(encoding, payload, n,
+                                    "garbage trial " +
+                                        std::to_string(trial));
+        if (HasFatalFailure())
+            return;
+    }
+}
+
+// --- CRC32C ----------------------------------------------------------------
+
+TEST(Crc32cTest, KnownVectorAndEmptyInput)
+{
+    const uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+    EXPECT_EQ(crc32c(digits, sizeof(digits)), 0xE3069283u);
+    EXPECT_EQ(crc32cTable(digits, sizeof(digits)), 0xE3069283u);
+    EXPECT_EQ(crc32c(nullptr, 0), 0u);
+    EXPECT_EQ(crc32cTable(nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, HardwareMatchesTableOnAllSizesOffsetsAndSeeds)
+{
+    if (!crc32cHardwareAvailable())
+        GTEST_SKIP() << "no SSE4.2 CRC32 on this machine";
+    // Sizes straddle the 3-way interleave block boundaries (3x4096 and
+    // 3x256) plus alignment heads/tails.
+    const std::vector<size_t> sizes{0,    1,     7,     8,    9,    63,
+                                    255,  256,   767,   768,  4095, 4096,
+                                    8191, 12288, 12289, 50000};
+    std::mt19937_64 rng(31);
+    std::vector<uint8_t> buf(50000 + 8);
+    for (auto& b : buf)
+        b = static_cast<uint8_t>(rng());
+    for (size_t size : sizes) {
+        for (size_t offset : {size_t{0}, size_t{1}, size_t{3}, size_t{7}}) {
+            for (uint32_t seed : {0u, 0xdeadbeefu}) {
+                EXPECT_EQ(crc32c(buf.data() + offset, size, seed),
+                          crc32cTable(buf.data() + offset, size, seed))
+                    << "size=" << size << " offset=" << offset
+                    << " seed=" << seed;
+            }
+        }
+    }
+}
+
+TEST(Crc32cTest, ChainingMatchesOneShot)
+{
+    std::mt19937_64 rng(32);
+    std::vector<uint8_t> buf(30000);
+    for (auto& b : buf)
+        b = static_cast<uint8_t>(rng());
+    const uint32_t whole = crc32c(buf.data(), buf.size());
+    for (size_t split : {size_t{0}, size_t{1}, size_t{4096},
+                         size_t{12289}, buf.size()}) {
+        const uint32_t head = crc32c(buf.data(), split);
+        EXPECT_EQ(crc32c(buf.data() + split, buf.size() - split, head),
+                  whole)
+            << "split=" << split;
+        const uint32_t thead = crc32cTable(buf.data(), split);
+        EXPECT_EQ(
+            crc32cTable(buf.data() + split, buf.size() - split, thead),
+            whole)
+            << "split=" << split;
+    }
+}
+
+TEST(Crc32cTest, HardwareToggleIsObservableAndBitIdentical)
+{
+    if (!crc32cHardwareAvailable())
+        GTEST_SKIP() << "no SSE4.2 CRC32 on this machine";
+    std::vector<uint8_t> buf(9999, 0xab);
+    const bool was = setCrc32cHardwareEnabled(false);
+    EXPECT_FALSE(crc32cHardwareActive());
+    const uint32_t via_table = crc32c(buf.data(), buf.size());
+    setCrc32cHardwareEnabled(true);
+    EXPECT_TRUE(crc32cHardwareActive());
+    const uint32_t via_hw = crc32c(buf.data(), buf.size());
+    setCrc32cHardwareEnabled(was);
+    EXPECT_EQ(via_table, via_hw);
+}
+
+// --- page-parallel stream decode -------------------------------------------
+
+/** A batch big enough that dense and sparse streams span many pages. */
+RowBatch
+multiPageBatch(size_t rows)
+{
+    Schema schema;
+    schema.add({"label", FeatureKind::kDense});
+    schema.add({"dense0", FeatureKind::kDense});
+    schema.add({"ids0", FeatureKind::kSparse});
+    RowBatch batch(schema);
+    std::mt19937_64 rng(8);
+    std::vector<float> labels(rows), dense(rows);
+    for (size_t i = 0; i < rows; ++i) {
+        labels[i] = static_cast<float>(rng() % 2);
+        dense[i] = static_cast<float>(rng() % 1000) * 0.25f;
+    }
+    std::vector<int64_t> ids;
+    std::vector<uint32_t> offsets{0};
+    for (size_t i = 0; i < rows; ++i) {
+        const size_t k = rng() % 5;
+        for (size_t j = 0; j < k; ++j)
+            ids.push_back(static_cast<int64_t>(rng() % 100'000));
+        offsets.push_back(static_cast<uint32_t>(ids.size()));
+    }
+    batch.addColumn(DenseColumn(std::move(labels)));
+    batch.addColumn(DenseColumn(std::move(dense)));
+    batch.addColumn(SparseColumn(std::move(ids), std::move(offsets)));
+    return batch;
+}
+
+TEST(PageParallelTest, MatchesSerialDecodeBitForBit)
+{
+    const size_t rows = 3 * kMaxValuesPerPage / 2 + 123;  // 2-3 pages
+    const RowBatch batch = multiPageBatch(rows);
+    const auto encoded = ColumnarFileWriter().write(batch, 0);
+
+    ColumnarFileReader serial;
+    ASSERT_TRUE(serial.open(encoded).ok());
+    auto want = serial.readAll();
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(*want, batch);
+
+    ThreadPool pool(4);
+    for (int threads_shared = 0; threads_shared < 2; ++threads_shared) {
+        ColumnarFileReader parallel;
+        parallel.setThreadPool(&pool);
+        ASSERT_TRUE(parallel.open(encoded).ok());
+        RowBatch got;
+        ASSERT_TRUE(parallel.readAllInto(got).ok());
+        EXPECT_EQ(got, *want);
+        EXPECT_EQ(parallel.bytesTouched(), serial.bytesTouched());
+        // Second pass reuses the same reader's buffers.
+        RowBatch again;
+        ASSERT_TRUE(parallel.readAllInto(again).ok());
+        EXPECT_EQ(again, *want);
+    }
+
+    // The reference-decode hook applies to the parallel path too.
+    enc::setFastDecodeEnabled(false);
+    ColumnarFileReader ref_parallel;
+    ref_parallel.setThreadPool(&pool);
+    ASSERT_TRUE(ref_parallel.open(encoded).ok());
+    auto ref_got = ref_parallel.readAll();
+    enc::setFastDecodeEnabled(true);
+    ASSERT_TRUE(ref_got.ok());
+    EXPECT_EQ(*ref_got, *want);
+}
+
+TEST(PageParallelTest, CorruptPagesSurfaceAsCorruption)
+{
+    const size_t rows = 2 * kMaxValuesPerPage + 7;
+    const RowBatch batch = multiPageBatch(rows);
+    const auto encoded = ColumnarFileWriter().write(batch, 0);
+
+    ThreadPool pool(4);
+    std::mt19937_64 rng(12);
+    ColumnarFileReader reader;
+    reader.setThreadPool(&pool);
+    ASSERT_TRUE(reader.open(encoded).ok());
+    // Flip bits inside page data of every column (footer damage is
+    // caught by open(), so target the page region only).
+    for (const auto& col : reader.footer().columns) {
+        for (const auto& stream : col.streams) {
+            auto corrupt = encoded;
+            const size_t pos =
+                stream.offset + rng() % stream.byte_size;
+            corrupt[pos] ^= static_cast<uint8_t>(1u << (rng() % 8));
+            ColumnarFileReader damaged;
+            damaged.setThreadPool(&pool);
+            ASSERT_TRUE(damaged.open(corrupt).ok());
+            auto out = damaged.readAll();
+            ASSERT_FALSE(out.ok()) << col.name << " pos=" << pos;
+            EXPECT_EQ(out.status().code(), StatusCode::kCorruption)
+                << col.name;
+        }
+    }
+}
+
+TEST(PageParallelTest, IspEmulatorWithDecodePoolMatchesSerial)
+{
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 512;
+    RawDataGenerator gen(cfg);
+    const auto encoded =
+        ColumnarFileWriter().write(gen.generatePartition(0), 0);
+
+    IspEmulator serial(cfg);
+    auto want = serial.process(encoded);
+    ASSERT_TRUE(want.ok());
+
+    ThreadPool pool(2);
+    IspEmulator parallel(cfg, 8, &pool);
+    auto got = parallel.process(encoded);
+    ASSERT_TRUE(got.ok());
+
+    EXPECT_EQ(got->batch_size, want->batch_size);
+    EXPECT_TRUE(std::equal(
+        got->dense.begin(), got->dense.end(), want->dense.begin(),
+        want->dense.end(), [](float a, float b) {
+            return std::bit_cast<uint32_t>(a) == std::bit_cast<uint32_t>(b);
+        }));
+    ASSERT_EQ(got->sparse.size(), want->sparse.size());
+    for (size_t f = 0; f < got->sparse.size(); ++f) {
+        EXPECT_EQ(got->sparse[f].values, want->sparse[f].values);
+        EXPECT_EQ(got->sparse[f].lengths, want->sparse[f].lengths);
+    }
+    EXPECT_EQ(parallel.counters().decoded_values,
+              serial.counters().decoded_values);
+}
+
+}  // namespace
+}  // namespace presto

@@ -407,6 +407,98 @@ TEST(ZeroAllocTest, SteadyStatePreprocessLoopDoesNotAllocate)
     EXPECT_EQ(batchChecksum(mb), want);
 }
 
+TEST(ZeroAllocTest, SteadyStateDecodeLoopCoversEveryIntEncoding)
+{
+    // A file whose pages exercise the breadth of the integer encodings
+    // (bit-packed dictionaries, RLE lengths, delta offsets, varints):
+    // serial decode of all of them must stay allocation-free once the
+    // reader's scratch buffers are warm.
+    Schema schema;
+    schema.add({"label", FeatureKind::kDense});
+    schema.add({"few_distinct", FeatureKind::kSparse});
+    schema.add({"monotone", FeatureKind::kSparse});
+    schema.add({"uniform", FeatureKind::kSparse});
+    schema.add({"runs", FeatureKind::kSparse});
+    RowBatch batch(schema);
+    constexpr size_t kRows = 4096;
+    std::mt19937_64 rng(17);
+    std::vector<float> labels(kRows);
+    for (auto& l : labels)
+        l = static_cast<float>(rng() % 2);
+    batch.addColumn(DenseColumn(std::move(labels)));
+    for (int shape = 0; shape < 4; ++shape) {
+        std::vector<int64_t> ids;
+        std::vector<uint32_t> offsets{0};
+        int64_t acc = 0;
+        for (size_t i = 0; i < kRows; ++i) {
+            for (size_t j = 0; j < 3; ++j) {
+                switch (shape) {
+                  case 0:
+                    ids.push_back(
+                        static_cast<int64_t>(rng() % 11) * 999'983);
+                    break;
+                  case 1:
+                    acc += static_cast<int64_t>(rng() % 50);
+                    ids.push_back(acc);
+                    break;
+                  case 2:
+                    ids.push_back(static_cast<int64_t>(rng()));
+                    break;
+                  default:
+                    // Long runs over a multi-bit value range: RLE beats
+                    // bit-packing here (width-0 packing only wins for
+                    // genuinely constant pages, like the lengths).
+                    ids.push_back(
+                        static_cast<int64_t>((ids.size() / 113) % 5));
+                    break;
+                }
+            }
+            offsets.push_back(static_cast<uint32_t>(ids.size()));
+        }
+        batch.addColumn(SparseColumn(std::move(ids), std::move(offsets)));
+    }
+    const auto encoded = ColumnarFileWriter().write(batch, 0);
+
+    ColumnarFileReader reader;
+    ASSERT_TRUE(reader.open(encoded).ok());
+    std::vector<bool> seen(7, false);
+    for (const auto& col : reader.footer().columns) {
+        for (const auto& stream : col.streams) {
+            size_t pos = stream.offset;
+            for (uint32_t p = 0; p < stream.num_pages; ++p) {
+                PageView page;
+                ASSERT_TRUE(scanPageFrame(encoded, pos, page).ok());
+                seen[static_cast<size_t>(page.encoding)] = true;
+            }
+        }
+    }
+    EXPECT_TRUE(seen[static_cast<size_t>(Encoding::kBitPacked)])
+        << "few-distinct ids were expected to choose kBitPacked";
+    EXPECT_TRUE(seen[static_cast<size_t>(Encoding::kRle)]);
+    EXPECT_TRUE(seen[static_cast<size_t>(Encoding::kPlainI64)]);
+
+    RowBatch raw;
+    for (int warm = 0; warm < 3; ++warm) {
+        ASSERT_TRUE(reader.open(encoded).ok());
+        ASSERT_TRUE(reader.readAllInto(raw).ok());
+    }
+    ASSERT_EQ(raw, batch);
+
+    bool all_ok = true;
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    for (int i = 0; i < 8; ++i) {
+        all_ok = all_ok && reader.open(encoded).ok();
+        all_ok = all_ok && reader.readAllInto(raw).ok();
+    }
+    g_count_allocs.store(false);
+
+    ASSERT_TRUE(all_ok);
+    EXPECT_EQ(g_alloc_count.load(), 0u)
+        << "steady-state decode loop heap-allocated";
+    EXPECT_EQ(raw, batch);
+}
+
 TEST(ZeroAllocTest, SteadyStateIspEmulatorLoopDoesNotAllocate)
 {
     RmConfig cfg = rmConfig(1);

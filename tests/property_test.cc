@@ -148,7 +148,7 @@ TEST_P(DecodeFuzz, RandomBytesNeverCrashIntDecoders)
         for (auto& b : bytes)
             b = static_cast<uint8_t>(rng.next());
         const auto encoding = static_cast<Encoding>(
-            1 + rng.uniformInt(uint64_t{5}));  // any int encoding
+            1 + rng.uniformInt(uint64_t{6}));  // any int encoding
         const size_t count = rng.uniformInt(uint64_t{64});
         std::vector<int64_t> out;
         // Must return a Status (ok or corruption), never crash or hang.

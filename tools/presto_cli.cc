@@ -12,12 +12,17 @@
  *   transform <dir> [--partition I]
  *       Run the standard Transform plan on one partition and summarize
  *       the train-ready tensors.
+ *   decode <dir> [--partition I] [--reps N]
+ *       Time page decode per encoding on one partition, reference vs.
+ *       dispatched SIMD kernels.
  *   provision --rm N [--gpus G]
  *       Print the T/P provisioning decision for a training job.
  */
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -29,6 +34,7 @@
 #include "core/provisioner.h"
 #include "datagen/generator.h"
 #include "ops/preprocessor.h"
+#include "ops/simd.h"
 
 using namespace presto;
 
@@ -91,6 +97,7 @@ usage()
         "  inspect <dir>\n"
         "  verify <dir>\n"
         "  transform <dir> [--partition I] [--backend cpu|isp]\n"
+        "  decode <dir> [--partition I] [--reps N]\n"
         "  provision --rm N [--gpus G]\n");
     return 2;
 }
@@ -254,6 +261,116 @@ cmdTransform(const Args& args)
 }
 
 int
+cmdDecode(const Args& args)
+{
+    if (args.positional().empty())
+        return usage();
+    const auto index = static_cast<size_t>(args.getInt("partition", 0));
+    const auto reps = static_cast<size_t>(args.getInt("reps", 5));
+    DatasetReader reader;
+    if (Status st = reader.open(args.positional()[0]); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.toString().c_str());
+        return 1;
+    }
+    if (index >= reader.manifest().partitions.size()) {
+        std::fprintf(stderr, "no partition %zu\n", index);
+        return 1;
+    }
+    const auto& entry = reader.manifest().partitions[index];
+    auto bytes = loadFromFile(args.positional()[0] + "/" + entry.file_name);
+    if (!bytes.ok()) {
+        std::fprintf(stderr, "%s\n", bytes.status().toString().c_str());
+        return 1;
+    }
+    ColumnarFileReader file;
+    if (Status st = file.open(*bytes); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.toString().c_str());
+        return 1;
+    }
+
+    // Bucket every page of every stream by encoding; the payload spans
+    // point into `bytes`, which outlives the timing loops.
+    struct Bucket {
+        std::vector<PageView> pages;
+        uint64_t values = 0;
+        uint64_t payload_bytes = 0;
+    };
+    std::map<Encoding, Bucket> buckets;
+    for (const auto& col : file.footer().columns) {
+        for (const auto& stream : col.streams) {
+            size_t pos = stream.offset;
+            for (uint32_t pg = 0; pg < stream.num_pages; ++pg) {
+                PageView page;
+                if (Status st = readPageFrame(*bytes, pos, page);
+                    !st.ok()) {
+                    std::fprintf(stderr, "column %s: %s\n",
+                                 col.name.c_str(), st.toString().c_str());
+                    return 1;
+                }
+                Bucket& b = buckets[page.encoding];
+                b.pages.push_back(page);
+                b.values += page.value_count;
+                b.payload_bytes += page.payload.size();
+            }
+        }
+    }
+
+    // Best-of-reps wall time for one full pass over a bucket's pages.
+    std::vector<float> f32;
+    std::vector<int64_t> i64;
+    std::vector<int64_t> dict;
+    const auto timeBucket = [&](Encoding e, const Bucket& b) -> double {
+        double best = 0;
+        for (size_t r = 0; r < reps; ++r) {
+            const auto t0 = std::chrono::steady_clock::now();
+            for (const PageView& page : b.pages) {
+                const Status st =
+                    e == Encoding::kPlainF32
+                        ? enc::decodeF32(e, page.payload,
+                                         page.value_count, f32)
+                        : enc::decodeI64(e, page.payload,
+                                         page.value_count, i64, dict);
+                if (!st.ok()) {
+                    std::fprintf(stderr, "decode failed: %s\n",
+                                 st.toString().c_str());
+                    std::exit(1);
+                }
+            }
+            const std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - t0;
+            if (r == 0 || dt.count() < best)
+                best = dt.count();
+        }
+        return best;
+    };
+
+    std::printf("partition %zu (%s), simd level %s, best of %zu reps\n",
+                index, entry.file_name.c_str(),
+                simdLevelName(activeSimdLevel()), reps);
+    TablePrinter table({"Encoding", "Pages", "Values", "Payload",
+                        "Ref Mval/s", "Fast Mval/s", "Speedup"});
+    for (const auto& [encoding, bucket] : buckets) {
+        const bool prev = enc::setFastDecodeEnabled(false);
+        const double ref = timeBucket(encoding, bucket);
+        enc::setFastDecodeEnabled(true);
+        const double fast = timeBucket(encoding, bucket);
+        enc::setFastDecodeEnabled(prev);
+        const double mvals = static_cast<double>(bucket.values) / 1e6;
+        char ref_s[32], fast_s[32], speedup[32];
+        std::snprintf(ref_s, sizeof(ref_s), "%.1f", mvals / ref);
+        std::snprintf(fast_s, sizeof(fast_s), "%.1f", mvals / fast);
+        std::snprintf(speedup, sizeof(speedup), "%.2fx", ref / fast);
+        table.addRow(
+            {encodingName(encoding), std::to_string(bucket.pages.size()),
+             std::to_string(bucket.values),
+             formatBytes(static_cast<double>(bucket.payload_bytes)),
+             ref_s, fast_s, speedup});
+    }
+    table.print();
+    return 0;
+}
+
+int
 cmdProvision(const Args& args)
 {
     const int rm = static_cast<int>(args.getInt("rm", 5));
@@ -290,6 +407,8 @@ main(int argc, char** argv)
         return cmdVerify(args);
     if (cmd == "transform")
         return cmdTransform(args);
+    if (cmd == "decode")
+        return cmdDecode(args);
     if (cmd == "provision")
         return cmdProvision(args);
     return usage();
