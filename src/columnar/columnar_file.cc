@@ -576,6 +576,174 @@ ColumnarFileReader::readAllInto(RowBatch& out)
 }
 
 Status
+ColumnarFileReader::planPageReads(std::vector<PageReadPlan>& plans)
+{
+    if (!open_)
+        return Status::failedPrecondition("reader is not open");
+    plans.clear();
+    for (size_t c = 0; c < footer_.columns.size(); ++c) {
+        const ColumnMeta& meta = footer_.columns[c];
+        for (size_t s = 0; s < meta.streams.size(); ++s) {
+            const StreamMeta& stream = meta.streams[s];
+            const size_t end = stream.offset + stream.byte_size;
+            size_t pos = stream.offset;
+            uint64_t off = 0;
+            for (uint32_t p = 0; p < stream.num_pages; ++p) {
+                PageReadPlan plan;
+                plan.offset = pos;
+                plan.out_offset = off;
+                plan.column = static_cast<uint32_t>(c);
+                plan.stream = static_cast<uint32_t>(s);
+                PageView page;
+                PRESTO_RETURN_IF_ERROR(scanPageFrame(data_, pos, page));
+                if (pos > end)
+                    return Status::corruption(
+                        "stream page sizes disagree with footer");
+                if (off + page.value_count > stream.value_count)
+                    return Status::corruption(
+                        "stream value count mismatch");
+                plan.frame_bytes =
+                    static_cast<uint32_t>(pos - plan.offset);
+                plan.value_count = page.value_count;
+                plans.push_back(plan);
+                off += page.value_count;
+            }
+            if (pos != end)
+                return Status::corruption(
+                    "stream page sizes disagree with footer");
+            if (off != stream.value_count)
+                return Status::corruption("stream value count mismatch");
+        }
+    }
+    return Status::okStatus();
+}
+
+Status
+ColumnarFileReader::beginReadInto(RowBatch& out)
+{
+    if (!open_)
+        return Status::failedPrecondition("reader is not open");
+    if (!schemaMatches(out)) {
+        // Fresh batch with this file's schema; columns start empty (all
+        // zero rows) and are sized below like the reused-buffer path.
+        RowBatch fresh(footer_.schema());
+        for (const auto& col : footer_.columns) {
+            if (col.kind == FeatureKind::kSparse)
+                fresh.addColumn(SparseColumn{});
+            else
+                fresh.addColumn(DenseColumn{});
+        }
+        out = std::move(fresh);
+    }
+    async_lengths_.resize(footer_.columns.size());
+    for (size_t c = 0; c < footer_.columns.size(); ++c) {
+        const ColumnMeta& meta = footer_.columns[c];
+        if (meta.kind == FeatureKind::kSparse) {
+            if (meta.streams.size() != 2)
+                return Status::corruption(
+                    "sparse column must have two streams");
+            if (meta.streams[0].value_count != footer_.num_rows)
+                return Status::corruption(
+                    "sparse lengths row count mismatch");
+            async_lengths_[c].resize(meta.streams[0].value_count);
+            out.mutableSparse(c).mutableValues().resize(
+                meta.streams[1].value_count);
+        } else {
+            if (meta.streams.size() != 1)
+                return Status::corruption(
+                    "dense column must have one stream");
+            if (meta.streams[0].value_count != footer_.num_rows)
+                return Status::corruption(
+                    "dense column row count mismatch");
+            async_lengths_[c].clear();
+            out.mutableDense(c).mutableValues().resize(
+                meta.streams[0].value_count);
+        }
+    }
+    async_active_ = true;
+    return Status::okStatus();
+}
+
+Status
+ColumnarFileReader::completePage(const PageReadPlan& plan,
+                                 std::span<const uint8_t> frame,
+                                 RowBatch& out)
+{
+    if (!async_active_)
+        return Status::failedPrecondition("no async read in progress");
+    // CRC verification happens here, before any decode, so a bit flip
+    // acquired in flight is caught per page.
+    size_t pos = 0;
+    PageView page;
+    PRESTO_RETURN_IF_ERROR(readPageFrame(frame, pos, page));
+    if (pos != frame.size() || page.value_count != plan.value_count)
+        return Status::corruption("page frame disagrees with read plan");
+
+    const ColumnMeta& meta = footer_.columns[plan.column];
+    if (meta.kind != FeatureKind::kSparse) {
+        float* dst = out.mutableDense(plan.column).mutableValues().data();
+        return enc::decodeF32Into(page.encoding, page.payload,
+                                  page.value_count,
+                                  dst + plan.out_offset);
+    }
+    int64_t* dst =
+        plan.stream == 0
+            ? async_lengths_[plan.column].data()
+            : out.mutableSparse(plan.column).mutableValues().data();
+    if (enc::fastDecodeEnabled()) {
+        // Worker-local dictionary scratch: pages may decode on a shared
+        // pool concurrently, so the member buffer cannot be used here.
+        static thread_local std::vector<int64_t> tl_dict;
+        return enc::decodeI64Into(page.encoding, page.payload,
+                                  page.value_count, dst + plan.out_offset,
+                                  tl_dict);
+    }
+    static thread_local std::vector<int64_t> tl_out;
+    static thread_local std::vector<int64_t> tl_dict;
+    PRESTO_RETURN_IF_ERROR(enc::decodeI64Reference(
+        page.encoding, page.payload, page.value_count, tl_out, tl_dict));
+    std::copy(tl_out.begin(), tl_out.end(), dst + plan.out_offset);
+    return Status::okStatus();
+}
+
+Status
+ColumnarFileReader::finishReadInto(RowBatch& out)
+{
+    if (!async_active_)
+        return Status::failedPrecondition("no async read in progress");
+    async_active_ = false;
+    for (size_t c = 0; c < footer_.columns.size(); ++c) {
+        const ColumnMeta& meta = footer_.columns[c];
+        if (meta.kind == FeatureKind::kSparse) {
+            SparseColumn& col = out.mutableSparse(c);
+            const std::vector<int64_t>& lengths = async_lengths_[c];
+            std::vector<uint32_t>& offsets = col.mutableOffsets();
+            offsets.clear();
+            offsets.reserve(lengths.size() + 1);
+            offsets.push_back(0);
+            uint64_t running = 0;
+            for (int64_t len : lengths) {
+                if (len < 0)
+                    return Status::corruption(
+                        "negative sparse row length");
+                running += static_cast<uint64_t>(len);
+                if (running > col.mutableValues().size())
+                    return Status::corruption(
+                        "sparse lengths exceed values");
+                offsets.push_back(static_cast<uint32_t>(running));
+            }
+            if (running != col.mutableValues().size())
+                return Status::corruption(
+                    "sparse lengths do not cover values");
+        }
+        for (const StreamMeta& stream : meta.streams)
+            bytes_touched_ += stream.byte_size;
+    }
+    out.resetRowCountFromColumns();
+    return Status::okStatus();
+}
+
+Status
 saveToFile(const std::string& path, std::span<const uint8_t> bytes)
 {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);

@@ -61,6 +61,21 @@ struct FileFooter {
     Schema schema() const;
 };
 
+/**
+ * One planned page-frame read of the async Extract path: where the
+ * framed page lives in the file and where its decoded values land.
+ * Produced by ColumnarFileReader::planPageReads() and consumed by
+ * completePage() once the frame bytes arrive (e.g. via an IoRing).
+ */
+struct PageReadPlan {
+    uint64_t offset = 0;       ///< absolute file offset of the page frame
+    uint32_t frame_bytes = 0;  ///< framed length: header + payload + CRC
+    uint32_t value_count = 0;  ///< decoded values in this page
+    uint64_t out_offset = 0;   ///< index of the first value in its stream
+    uint32_t column = 0;       ///< footer column index
+    uint32_t stream = 0;       ///< stream index within the column
+};
+
 /** Writer knobs. */
 struct WriterOptions {
     /** Force a specific encoding for sparse values (nullopt = choose). */
@@ -135,6 +150,56 @@ class ColumnarFileReader
      */
     void setThreadPool(ThreadPool* pool) { pool_ = pool; }
 
+    // --- plan/submit/complete split (async page-granular reads) ---------
+    //
+    // The blocking readAllInto() fetches and decodes whole streams in
+    // one call. The async path splits that into:
+    //   1. planPageReads()  - enumerate every page frame of the file
+    //   2. (caller)         - fetch each frame, e.g. through an IoRing
+    //   3. beginReadInto()  - size the output batch's buffers
+    //   4. completePage()   - CRC-check + decode one arrived frame
+    //   5. finishReadInto() - rebuild CSR offsets, finalize accounting
+    // so decode of page k can proceed while pages k+1..k+d are still in
+    // flight. Results, error semantics, and byte-touch accounting are
+    // identical to readAllInto() (the differential tests assert this).
+
+    /**
+     * Enumerate every page frame of every column (file order), with the
+     * same structural validation as whole-stream decode: a plan set is
+     * produced only for files whose page framing is consistent with the
+     * footer. @p plans is clear()ed first and reuses its capacity.
+     */
+    Status planPageReads(std::vector<PageReadPlan>& plans);
+
+    /**
+     * Prepare @p out to receive decoded pages: same buffer-reuse rules
+     * as readAllInto() (matching schema decodes in place; any other
+     * batch is replaced), with every value buffer sized from the
+     * footer. Must precede completePage()/finishReadInto().
+     */
+    Status beginReadInto(RowBatch& out);
+
+    /**
+     * Verify and decode one fetched page frame into its slice of
+     * @p out. @p frame holds exactly plan.frame_bytes bytes read from
+     * plan.offset; the per-page CRC is checked before any decode, so a
+     * bit-flipped in-flight read surfaces here as kCorruption and the
+     * caller can re-submit just that page. Thread-safe for concurrent
+     * calls on *distinct* plans of one begun read (pages decode onto
+     * disjoint output slices), which is what lets completed pages of
+     * different partitions share one decode ThreadPool.
+     */
+    Status completePage(const PageReadPlan& plan,
+                        std::span<const uint8_t> frame, RowBatch& out);
+
+    /**
+     * Finalize after every planned page completed: rebuilds sparse CSR
+     * offsets from the decoded lengths, validates row counts, and adds
+     * the streams' bytes to bytesTouched(). @p out must be the batch
+     * passed to beginReadInto().
+     */
+    Status finishReadInto(RowBatch& out);
+
     /** Bytes of the file inspected so far (footer + selected pages). */
     uint64_t bytesTouched() const { return bytes_touched_; }
 
@@ -192,6 +257,11 @@ class ColumnarFileReader
     bool par_f32_ = false;
     int64_t* par_i64_out_ = nullptr;
     float* par_f32_out_ = nullptr;
+    // Async split state: decoded sparse lengths per column (index =
+    // footer column; empty vectors for dense columns) and whether a
+    // beginReadInto() is pending its finishReadInto().
+    std::vector<std::vector<int64_t>> async_lengths_;
+    bool async_active_ = false;
 };
 
 /** Write PSF bytes to a filesystem path. */

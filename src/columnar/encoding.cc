@@ -60,7 +60,8 @@ putPackedBits(std::vector<uint8_t>& out, std::span<const uint64_t> values,
 /** Parsed and validated kBitPacked header (see encoding.h framing). */
 struct BitPackedHeader {
     uint8_t mode = 0;
-    int64_t base = 0;        ///< mode 0
+    int64_t base = 0;        ///< mode 0: min value; mode 2: min delta
+    int64_t first = 0;       ///< mode 2: value[0]
     uint64_t dict_size = 0;  ///< mode 1
     size_t width = 0;
     size_t packed_pos = 0;   ///< payload offset of the packed block
@@ -80,13 +81,13 @@ parseBitPackedHeader(std::span<const uint8_t> payload, size_t count,
         return Status::corruption("truncated bit-packed page");
     h.mode = payload[0];
     size_t pos = 1;
-    if (h.mode > 1)
+    if (h.mode > 2)
         return Status::corruption("unknown bit-packed mode");
     if (h.mode == 0) {
         uint64_t zz = 0;
         PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, zz));
         h.base = unZigZag(zz);
-    } else {
+    } else if (h.mode == 1) {
         PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, h.dict_size));
         if (h.dict_size > payload.size())
             return Status::corruption("dictionary size exceeds payload");
@@ -96,13 +97,22 @@ parseBitPackedHeader(std::span<const uint8_t> payload, size_t count,
             PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, u));
             dict[i] = unZigZag(u);
         }
+    } else {
+        if (count == 0)
+            return Status::corruption("delta bit-packed page without values");
+        uint64_t zz = 0;
+        PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, zz));
+        h.first = unZigZag(zz);
+        PRESTO_RETURN_IF_ERROR(getVarint(payload, pos, zz));
+        h.base = unZigZag(zz);
     }
     if (pos >= payload.size())
         return Status::corruption("truncated bit-packed page");
     h.width = payload[pos++];
     if (h.width > 64)
         return Status::corruption("bit-packed width exceeds 64");
-    const uint64_t packed_bits = static_cast<uint64_t>(count) * h.width;
+    const uint64_t packed_count = h.mode == 2 ? count - 1 : count;
+    const uint64_t packed_bits = packed_count * h.width;
     const uint64_t packed = (packed_bits + 7) / 8;
     if (payload.size() - pos != packed)
         return Status::corruption("bit-packed payload size mismatch");
@@ -269,8 +279,30 @@ encodeBitPacked(std::span<const int64_t> values)
     const size_t dict_size = 2 + varintLen(distinct.size()) + entry_bytes +
                              packedBytes(values.size(), index_width);
 
+    // Frame-of-reference-over-deltas candidate (monotone offset arrays
+    // and other near-constant-stride sequences).
+    int64_t d_lo = 0;
+    int64_t d_hi = 0;
+    for (size_t i = 1; i < values.size(); ++i) {
+        const auto d =
+            static_cast<int64_t>(static_cast<uint64_t>(values[i]) -
+                                 static_cast<uint64_t>(values[i - 1]));
+        d_lo = i == 1 ? d : std::min(d_lo, d);
+        d_hi = i == 1 ? d : std::max(d_hi, d);
+    }
+    const uint64_t d_range =
+        static_cast<uint64_t>(d_hi) - static_cast<uint64_t>(d_lo);
+    const size_t delta_width = std::bit_width(d_range);
+    const size_t delta_size =
+        values.size() < 2
+            ? SIZE_MAX
+            : 2 + varintLen(zigZag(values[0])) + varintLen(zigZag(d_lo)) +
+                  packedBytes(values.size() - 1, delta_width);
+
     std::vector<uint8_t> out;
-    if (!dict_ok || direct_size <= dict_size) {
+    const size_t best =
+        std::min({direct_size, delta_size, dict_ok ? dict_size : SIZE_MAX});
+    if (direct_size == best) {
         out.push_back(0);
         putVarint(out, zigZag(lo));
         out.push_back(static_cast<uint8_t>(direct_width));
@@ -280,6 +312,18 @@ encodeBitPacked(std::span<const int64_t> values)
                         static_cast<uint64_t>(lo);
         }
         putPackedBits(out, deltas, direct_width);
+    } else if (delta_size == best) {
+        out.push_back(2);
+        putVarint(out, zigZag(values[0]));
+        putVarint(out, zigZag(d_lo));
+        out.push_back(static_cast<uint8_t>(delta_width));
+        std::vector<uint64_t> excess(values.size() - 1);
+        for (size_t i = 1; i < values.size(); ++i) {
+            excess[i - 1] = static_cast<uint64_t>(values[i]) -
+                            static_cast<uint64_t>(values[i - 1]) -
+                            static_cast<uint64_t>(d_lo);
+        }
+        putPackedBits(out, excess, delta_width);
     } else {
         out.push_back(1);
         putVarint(out, distinct.size());
@@ -410,6 +454,21 @@ decodeI64Into(Encoding encoding, std::span<const uint8_t> payload,
         PRESTO_RETURN_IF_ERROR(
             parseBitPackedHeader(payload, count, h, dict_scratch));
         auto* u = reinterpret_cast<uint64_t*>(out);
+        if (h.mode == 2) {
+            // Unpack the count-1 delta excesses into slots 1..count-1 so
+            // the in-place prefix sum reads u[i] before writing out[i].
+            detail::unpackBits(payload.data() + h.packed_pos,
+                               payload.size() - h.packed_pos, h.width,
+                               count - 1, u + 1);
+            const auto base = static_cast<uint64_t>(h.base);
+            auto prev = static_cast<uint64_t>(h.first);
+            out[0] = h.first;
+            for (size_t i = 1; i < count; ++i) {
+                prev += base + u[i];
+                out[i] = static_cast<int64_t>(prev);
+            }
+            return Status::okStatus();
+        }
         detail::unpackBits(payload.data() + h.packed_pos,
                            payload.size() - h.packed_pos, h.width, count, u);
         if (h.mode == 0) {
@@ -505,6 +564,17 @@ decodeI64Reference(Encoding encoding, std::span<const uint8_t> payload,
         PRESTO_RETURN_IF_ERROR(
             parseBitPackedHeader(payload, count, h, dict_scratch));
         const uint8_t* packed = payload.data() + h.packed_pos;
+        if (h.mode == 2) {
+            auto prev = static_cast<uint64_t>(h.first);
+            out.push_back(h.first);
+            for (size_t i = 1; i < count; ++i) {
+                const uint64_t u = detail::getBitsRef(
+                    packed, static_cast<uint64_t>(i - 1) * h.width, h.width);
+                prev += static_cast<uint64_t>(h.base) + u;
+                out.push_back(static_cast<int64_t>(prev));
+            }
+            return Status::okStatus();
+        }
         for (size_t i = 0; i < count; ++i) {
             const uint64_t u = detail::getBitsRef(
                 packed, static_cast<uint64_t>(i) * h.width, h.width);
@@ -557,6 +627,8 @@ chooseIntEncoding(std::span<const int64_t> values)
     bool dict_ok = true;
     int64_t lo = values[0];
     int64_t hi = values[0];
+    int64_t d_lo = 0;
+    int64_t d_hi = 0;
     int64_t run_value = values[0];
     size_t run_len = 0;
     uint64_t prev = 0;
@@ -566,6 +638,11 @@ chooseIntEncoding(std::span<const int64_t> values)
         const uint64_t delta = static_cast<uint64_t>(v) - prev;
         delta_bytes += varintLen(zigZag(static_cast<int64_t>(delta)));
         prev = static_cast<uint64_t>(v);
+        if (i > 0) {
+            const auto d = static_cast<int64_t>(delta);
+            d_lo = i == 1 ? d : std::min(d_lo, d);
+            d_hi = i == 1 ? d : std::max(d_hi, d);
+        }
         if (i > 0 && v < values[i - 1])
             monotone = false;
         lo = std::min(lo, v);
@@ -596,6 +673,15 @@ chooseIntEncoding(std::span<const int64_t> values)
         static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
     size_t bp_bytes =
         2 + varintLen(zigZag(lo)) + packedBytes(n, std::bit_width(range));
+    if (n >= 2) {
+        // kBitPacked mode 2: frame-of-reference over consecutive deltas.
+        const uint64_t d_range =
+            static_cast<uint64_t>(d_hi) - static_cast<uint64_t>(d_lo);
+        const size_t bp_delta = 2 + varintLen(zigZag(values[0])) +
+                                varintLen(zigZag(d_lo)) +
+                                packedBytes(n - 1, std::bit_width(d_range));
+        bp_bytes = std::min(bp_bytes, bp_delta);
+    }
     size_t dict_bytes = 0;
     if (dict_ok) {
         const size_t d = seen.size();  // >= 1 here

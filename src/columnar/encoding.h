@@ -28,12 +28,20 @@
  *     [dict entries, ZigZag-varint]    dict_size values, first-seen order
  *     [width u8, 0..64]                bits per packed index
  *     [packed indices]                 ceil(count * width / 8) bytes
+ *   mode 2 (frame-of-reference over deltas; needs count >= 1):
+ *     [first ZigZag-varint]            value[0]
+ *     [base  ZigZag-varint]            minimum consecutive delta
+ *     [width u8, 0..64]                bits per packed delta excess
+ *     [packed (delta - base) excesses] ceil((count-1) * width / 8) bytes;
+ *     value[i] = value[i-1] + base + excess[i-1] — near-constant-stride
+ *     sequences (monotone offset arrays) pack in a few bits per value
+ *     yet keep the shift/mask decode path instead of byte-wise varints.
  *
  * The packed block's byte length must match exactly, and unused bits of
- * the final byte must be zero; violations (as well as mode > 1,
- * width > 64, or an index >= dict_size) decode to kCorruption. Deltas
- * use two's-complement wraparound (base + delta mod 2^64), so any int64
- * range round-trips.
+ * the final byte must be zero; violations (as well as mode > 2,
+ * width > 64, an index >= dict_size, or a mode-2 page with count == 0)
+ * decode to kCorruption. Deltas use two's-complement wraparound
+ * (base + delta mod 2^64), so any int64 range round-trips.
  *
  * Decoding is runtime-dispatched over SWAR/AVX2 kernels bit-identical
  * to the byte-wise reference decoders (see fast_decode_internal.h);
@@ -115,7 +123,7 @@ std::vector<uint8_t> encodeDeltaVarint(std::span<const int64_t> values);
 std::vector<uint8_t> encodeRle(std::span<const int64_t> values);
 std::vector<uint8_t> encodeDictionary(std::span<const int64_t> values);
 
-/** Encode with the smaller of the two kBitPacked modes (see framing). */
+/** Encode with the smallest of the three kBitPacked modes (see framing). */
 std::vector<uint8_t> encodeBitPacked(std::span<const int64_t> values);
 
 /**

@@ -14,6 +14,7 @@ enum : uint64_t {
     kDrawReadError = 0x1ead,
     kDrawCorruption = 0xc0de,
     kDrawBitIndex = 0xb17,
+    kDrawTimeout = 0x7173,
 };
 
 }  // namespace
@@ -22,7 +23,8 @@ bool
 FaultSpec::anyFaults() const
 {
     return !fail_stops.empty() || !stragglers.empty() ||
-           transient_read_error_prob > 0.0 || corruption_prob > 0.0;
+           transient_read_error_prob > 0.0 || corruption_prob > 0.0 ||
+           read_timeout_prob > 0.0;
 }
 
 FaultInjector::FaultInjector(FaultSpec spec) : spec_(std::move(spec))
@@ -32,6 +34,9 @@ FaultInjector::FaultInjector(FaultSpec spec) : spec_(std::move(spec))
                  "transient read error probability must be in [0, 1)");
     PRESTO_CHECK(spec_.corruption_prob >= 0.0 && spec_.corruption_prob <= 1.0,
                  "corruption probability must be in [0, 1]");
+    PRESTO_CHECK(spec_.read_timeout_prob >= 0.0 &&
+                     spec_.read_timeout_prob < 1.0,
+                 "read timeout probability must be in [0, 1)");
     PRESTO_CHECK(spec_.retry_backoff_base_sec >= 0.0,
                  "retry backoff must be non-negative");
     PRESTO_CHECK(spec_.max_read_retries >= 0, "negative retry budget");
@@ -107,6 +112,14 @@ FaultInjector::corruptionOccurs(uint64_t stream, uint64_t event) const
     if (spec_.corruption_prob <= 0.0)
         return false;
     return unitDraw(kDrawCorruption, stream, event) < spec_.corruption_prob;
+}
+
+bool
+FaultInjector::readTimeout(uint64_t stream, uint64_t event) const
+{
+    if (spec_.read_timeout_prob <= 0.0)
+        return false;
+    return unitDraw(kDrawTimeout, stream, event) < spec_.read_timeout_prob;
 }
 
 double

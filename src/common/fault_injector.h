@@ -66,6 +66,13 @@ struct FaultSpec {
     /** Probability an encoded partition arrives bit-flipped (per fetch). */
     double corruption_prob = 0.0;
 
+    /**
+     * Probability an in-flight storage request times out (per attempt).
+     * Timeouts are drawn independently from transient errors; both are
+     * retried with the same backoff/budget (see IoRing).
+     */
+    double read_timeout_prob = 0.0;
+
     /** True when any fault class is active. */
     bool anyFaults() const;
 };
@@ -102,6 +109,9 @@ class FaultInjector
 
     /** Whether fetch @p event on @p stream delivers corrupted bytes. */
     bool corruptionOccurs(uint64_t stream, uint64_t event) const;
+
+    /** Whether in-flight request attempt @p event on @p stream times out. */
+    bool readTimeout(uint64_t stream, uint64_t event) const;
 
     /**
      * Backoff before retry @p retry (0-based) of a failed read:

@@ -7,6 +7,7 @@
 #include "common/crc32.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "io/async_reader.h"
 #include "models/cpu_model.h"
 #include "models/gpu_model.h"
 #include "models/isp_model.h"
@@ -17,10 +18,11 @@ PreprocessManager::PreprocessManager(const RmConfig& config,
                                      PartitionStore& store,
                                      PreprocessMode mode, int num_workers,
                                      size_t queue_capacity, bool prefetch,
-                                     ThreadPool* decode_pool)
+                                     ThreadPool* decode_pool,
+                                     IoRing* io_ring)
     : config_(config), store_(store), mode_(mode), preprocessor_(config),
       queue_capacity_(queue_capacity), num_workers_(num_workers),
-      prefetch_(prefetch), decode_pool_(decode_pool),
+      prefetch_(prefetch), decode_pool_(decode_pool), io_ring_(io_ring),
       decoded_capacity_(2 * static_cast<size_t>(
                                 num_workers > 0 ? num_workers : 1))
 {
@@ -140,6 +142,29 @@ PreprocessManager::fetchDecode(uint64_t id, ColumnarFileReader& reader,
                  kMaxFetchAttempts, " fetch attempts");
 }
 
+void
+PreprocessManager::fetchDecodeAsync(uint64_t id,
+                                    AsyncPartitionReader& reader,
+                                    DecodedPartition& dp)
+{
+    // Extract over the ring: page frames of the partition stream
+    // through the IoRing and decode as they complete, so decode of
+    // page k overlaps the modeled storage latency of the pages behind
+    // it. Faults act on individual in-flight reads — transient errors
+    // and timeouts retry inside the ring with backoff, and a CRC-caught
+    // bit flip re-reads just that page instead of refetching the whole
+    // partition as the blocking path does.
+    const auto& encoded = store_.partition(id);
+    Status st = reader.read(encoded, id, dp.batch);
+    PRESTO_CHECK(st.ok(), "partition ", id,
+                 " unrecoverable over async ring: ", st.toString());
+    const AsyncReadStats& rs = reader.lastReadStats();
+    dp.raw_bytes = encoded.size();
+    dp.bytes_touched = reader.reader().bytesTouched();
+    dp.transient_errors = rs.device_retries;
+    dp.corrupt_refetches = rs.corrupt_page_rereads;
+}
+
 std::unique_ptr<MiniBatch>
 PreprocessManager::takeRecycledBatch()
 {
@@ -189,13 +214,21 @@ PreprocessManager::workerLoop()
     // Transform, but with the device-style persistent decode buffers.
     ColumnarFileReader reader;
     reader.setThreadPool(decode_pool_);
+    std::unique_ptr<AsyncPartitionReader> async;
+    if (io_ring_ != nullptr) {
+        async = std::make_unique<AsyncPartitionReader>(*io_ring_);
+        async->setDecodePool(decode_pool_);
+    }
     BatchArena arena;
     DecodedPartition dp;
     for (;;) {
         uint64_t pid = 0;
         if (!claimPartition(pid))
             return;
-        fetchDecode(pid, reader, dp);
+        if (async != nullptr)
+            fetchDecodeAsync(pid, *async, dp);
+        else
+            fetchDecode(pid, reader, dp);
         transformAndDeliver(dp, arena);
     }
 }
@@ -205,6 +238,11 @@ PreprocessManager::fetchLoop()
 {
     ColumnarFileReader reader;
     reader.setThreadPool(decode_pool_);
+    std::unique_ptr<AsyncPartitionReader> async;
+    if (io_ring_ != nullptr) {
+        async = std::make_unique<AsyncPartitionReader>(*io_ring_);
+        async->setDecodePool(decode_pool_);
+    }
     uint64_t pid = 0;
     while (claimPartition(pid)) {
         std::unique_ptr<DecodedPartition> dp;
@@ -217,7 +255,10 @@ PreprocessManager::fetchLoop()
         }
         if (dp == nullptr)
             dp = std::make_unique<DecodedPartition>();
-        fetchDecode(pid, reader, *dp);
+        if (async != nullptr)
+            fetchDecodeAsync(pid, *async, *dp);
+        else
+            fetchDecode(pid, reader, *dp);
 
         bool stopped = false;
         {

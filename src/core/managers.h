@@ -29,6 +29,9 @@
 
 namespace presto {
 
+class AsyncPartitionReader;
+class IoRing;
+
 /** Where preprocessing executes (determines data movement accounting). */
 enum class PreprocessMode {
     kDisaggCpu,  ///< raw partitions cross the network to a CPU pool
@@ -72,11 +75,21 @@ class PreprocessManager
      *        use for page-parallel decode (models the FPGA Decoder
      *        unit). nullptr keeps per-page decode serial within each
      *        worker. Shared across workers; must outlive the manager.
+     * @param io_ring Optional async I/O engine. When set, the Extract
+     *        stage streams page frames through the ring instead of the
+     *        blocking whole-file fetch: each fetcher keeps a window of
+     *        pages in flight and decodes them as they complete, so
+     *        decode overlaps modeled storage latency. Faults then act
+     *        on individual in-flight page reads (ring-level retry with
+     *        backoff; CRC-caught bit flips re-read just that page).
+     *        Shared across workers; must outlive the manager. Delivered
+     *        batches are bit-identical to the blocking path.
      */
     PreprocessManager(const RmConfig& config, PartitionStore& store,
                       PreprocessMode mode, int num_workers,
                       size_t queue_capacity = 8, bool prefetch = true,
-                      ThreadPool* decode_pool = nullptr);
+                      ThreadPool* decode_pool = nullptr,
+                      IoRing* io_ring = nullptr);
 
     /** Stops workers and drains the queue. */
     ~PreprocessManager();
@@ -121,6 +134,10 @@ class PreprocessManager
      * semantics, reusing @p reader and dp.batch buffers. */
     void fetchDecode(uint64_t id, ColumnarFileReader& reader,
                      DecodedPartition& dp);
+    /** Async-ring variant of fetchDecode: page-granular reads via
+     * @p reader's IoRing, fault handling inside the ring. */
+    void fetchDecodeAsync(uint64_t id, AsyncPartitionReader& reader,
+                          DecodedPartition& dp);
     /** Transform + enqueue one decoded partition; returns its shell. */
     void transformAndDeliver(DecodedPartition& dp, BatchArena& arena);
     std::unique_ptr<MiniBatch> takeRecycledBatch();
@@ -133,6 +150,7 @@ class PreprocessManager
     int num_workers_;
     bool prefetch_;
     ThreadPool* decode_pool_;
+    IoRing* io_ring_;
 
     std::mutex mu_;
     std::condition_variable queue_not_empty_;

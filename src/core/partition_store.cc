@@ -74,4 +74,11 @@ PartitionStore::faultInjectionEnabled() const
     return faults_ != nullptr;
 }
 
+const FaultInjector*
+PartitionStore::faultInjector() const
+{
+    std::scoped_lock lock(mu_);
+    return faults_;
+}
+
 }  // namespace presto

@@ -65,6 +65,13 @@ class PartitionStore
     /** True when a fault injector is installed and active. */
     bool faultInjectionEnabled() const;
 
+    /**
+     * The installed fault injector (nullptr when none is active). The
+     * async read path hands this to an IoRing so page-granular reads
+     * draw from the same deterministic fault oracle as fetchPartition.
+     */
+    const FaultInjector* faultInjector() const;
+
     const RawDataGenerator& generator() const { return generator_; }
 
   private:

@@ -1,0 +1,186 @@
+#include "io/async_reader.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace presto {
+
+AsyncPartitionReader::AsyncPartitionReader(IoRing& ring,
+                                           AsyncReadOptions options)
+    : ring_(ring), consumer_(ring.registerConsumer()), options_(options)
+{
+    PRESTO_CHECK(options_.queue_depth > 0, "queue depth must be positive");
+    PRESTO_CHECK(options_.max_page_attempts > 0,
+                 "page attempt budget must be positive");
+    slots_.resize(options_.queue_depth);
+}
+
+Status
+AsyncPartitionReader::submitPage(std::span<const uint8_t> file,
+                                 uint64_t partition_id, size_t plan_index,
+                                 uint32_t attempt)
+{
+    size_t slot_index;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        PRESTO_CHECK(!free_slots_.empty(), "no free prefetch slot");
+        slot_index = free_slots_.back();
+        free_slots_.pop_back();
+    }
+    Slot& slot = slots_[slot_index];
+    const PageReadPlan& plan = plans_[plan_index];
+    slot.plan = plan_index;
+    slot.attempt = attempt;
+    slot.buf.resize(plan.frame_bytes);
+
+    IoRequest req;
+    req.src = file.subspan(plan.offset, plan.frame_bytes);
+    req.dest = slot.buf.data();
+    req.stream_id = partition_id;
+    req.offset = plan.offset;
+    req.attempt = attempt;
+    req.user_data = slot_index;
+    ring_.submit(consumer_, req);
+    return Status::okStatus();
+}
+
+void
+AsyncPartitionReader::decodeSlot(size_t slot_index, RowBatch* out)
+{
+    Slot& slot = slots_[slot_index];
+    const PageReadPlan& plan = plans_[slot.plan];
+    Status st = reader_.completePage(
+        plan, {slot.buf.data(), plan.frame_bytes}, *out);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    free_slots_.push_back(slot_index);
+    if (decodes_pending_ > 0)
+        --decodes_pending_;
+    if (st.ok()) {
+        --remaining_;
+    } else if (st.code() == StatusCode::kCorruption &&
+               slot.attempt + 1 < options_.max_page_attempts) {
+        // A damaged frame (e.g. bit flip acquired in flight) is re-read
+        // with a fresh attempt ordinal so its fault draws differ.
+        retries_.emplace_back(slot.plan, slot.attempt + 1);
+        ++stats_.corrupt_page_rereads;
+    } else if (error_.ok()) {
+        error_ = std::move(st);
+    }
+    cv_.notify_all();
+}
+
+Status
+AsyncPartitionReader::read(std::span<const uint8_t> file,
+                           uint64_t partition_id, RowBatch& out)
+{
+    PRESTO_RETURN_IF_ERROR(reader_.open(file));
+    PRESTO_RETURN_IF_ERROR(reader_.planPageReads(plans_));
+    PRESTO_RETURN_IF_ERROR(reader_.beginReadInto(out));
+
+    stats_ = AsyncReadStats{};
+    stats_.pages = plans_.size();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        free_slots_.clear();
+        for (size_t s = 0; s < slots_.size(); ++s)
+            free_slots_.push_back(s);
+        retries_.clear();
+        remaining_ = plans_.size();
+        decodes_pending_ = 0;
+        error_ = Status::okStatus();
+    }
+
+    size_t next_plan = 0;
+    size_t ring_outstanding = 0;
+    for (;;) {
+        // Top up the prefetch window: corrupt-page re-reads first, then
+        // fresh pages, while slots are free.
+        for (;;) {
+            size_t plan_index;
+            uint32_t attempt = 0;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (!error_.ok() || free_slots_.empty())
+                    break;
+                if (!retries_.empty()) {
+                    plan_index = retries_.back().first;
+                    attempt = retries_.back().second;
+                    retries_.pop_back();
+                } else if (next_plan < plans_.size()) {
+                    plan_index = next_plan++;
+                } else {
+                    break;
+                }
+            }
+            PRESTO_RETURN_IF_ERROR(
+                submitPage(file, partition_id, plan_index, attempt));
+            ++ring_outstanding;
+        }
+
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            if (!error_.ok())
+                break;
+            if (remaining_ == 0 && ring_outstanding == 0 &&
+                decodes_pending_ == 0) {
+                break;
+            }
+            if (ring_outstanding == 0) {
+                // Every missing page is either decoding on the pool or
+                // sitting in the retry queue; wait for movement.
+                cv_.wait(lock, [this] {
+                    return decodes_pending_ == 0 || !retries_.empty() ||
+                           !error_.ok();
+                });
+                continue;
+            }
+        }
+
+        IoCompletion c = ring_.waitCompletion(consumer_);
+        --ring_outstanding;
+        stats_.device_retries += c.retries;
+        stats_.modeled_storage_sec += c.latency_sec;
+        const auto slot_index = static_cast<size_t>(c.user_data);
+        if (!c.status.ok()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            free_slots_.push_back(slot_index);
+            if (error_.ok())
+                error_ = std::move(c.status);
+            continue;
+        }
+        stats_.bytes_read += c.bytes;
+        if (pool_ != nullptr) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++decodes_pending_;
+            }
+            pool_->submit([this, slot_index, out_ptr = &out] {
+                decodeSlot(slot_index, out_ptr);
+            });
+        } else {
+            decodeSlot(slot_index, &out);
+        }
+    }
+
+    // Unwind before returning on failure: in-flight requests still
+    // target slot buffers, and pool tasks still touch this reader.
+    while (ring_outstanding > 0) {
+        IoCompletion c = ring_.waitCompletion(consumer_);
+        --ring_outstanding;
+        stats_.device_retries += c.retries;
+        stats_.modeled_storage_sec += c.latency_sec;
+    }
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return decodes_pending_ == 0; });
+        if (!error_.ok())
+            return error_;
+    }
+    return reader_.finishReadInto(out);
+}
+
+}  // namespace presto

@@ -6,9 +6,12 @@
 
 namespace presto {
 
-CpuWorkerModel::CpuWorkerModel(const RmConfig& config)
-    : config_(config), work_(TransformWork::expected(config))
+CpuWorkerModel::CpuWorkerModel(const RmConfig& config,
+                               double decode_sec_per_value)
+    : config_(config), work_(TransformWork::expected(config)),
+      decode_sec_per_value_(decode_sec_per_value)
 {
+    PRESTO_CHECK(decode_sec_per_value_ > 0, "non-positive decode cost");
 }
 
 LatencyBreakdown
@@ -28,7 +31,7 @@ CpuWorkerModel::batchLatencyLocalRead() const
 {
     LatencyBreakdown b;
     b.extract_read = rawEncodedBytes(config_) / cal::kSsdReadBytesPerSec;
-    b.extract_decode = work_.raw_values * cal::kCpuDecodeSecPerValue;
+    b.extract_decode = work_.raw_values * decode_sec_per_value_;
     b.bucketize = work_.bucketize_values * work_.bucketize_levels *
                   cal::kCpuBucketizeSecPerValueLevel;
     b.sigrid_hash = work_.hash_values * cal::kCpuHashSecPerValue;

@@ -12,6 +12,7 @@
 
 #include "datagen/rm_config.h"
 #include "models/breakdown.h"
+#include "models/calibration.h"
 #include "ops/preprocessor.h"
 
 namespace presto {
@@ -20,7 +21,16 @@ namespace presto {
 class CpuWorkerModel
 {
   public:
-    explicit CpuWorkerModel(const RmConfig& config);
+    /**
+     * @param decode_sec_per_value Extract(Decode) cost. Defaults to the
+     *        calibrated Xeon constant; pass one of the measured
+     *        cal::kMeasured*DecodeSecPerValue rates (provenance:
+     *        BENCH_decode.json) to re-anchor the model to this host's
+     *        real decoders.
+     */
+    explicit CpuWorkerModel(
+        const RmConfig& config,
+        double decode_sec_per_value = cal::kCpuDecodeSecPerValue);
 
     /**
      * Latency to preprocess one mini-batch on one dedicated core,
@@ -49,6 +59,7 @@ class CpuWorkerModel
   private:
     RmConfig config_;
     TransformWork work_;
+    double decode_sec_per_value_;
 };
 
 }  // namespace presto

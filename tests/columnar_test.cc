@@ -194,9 +194,13 @@ TEST(EncodingTest, ChooseIntEncodingPicksSensibly)
 {
     EXPECT_EQ(enc::chooseIntEncoding(makeData(DataShape::kRuns, 4096, 1)),
               Encoding::kRle);
+    // Monotone offsets: mode-2 kBitPacked (frame-of-reference over
+    // deltas) packs the bounded deltas into 6 bits each, beating the
+    // one-byte-per-delta kDeltaVarint on size and decoding on the
+    // shift/mask path instead of byte-wise varints.
     EXPECT_EQ(
         enc::chooseIntEncoding(makeData(DataShape::kMonotone, 4096, 1)),
-        Encoding::kDeltaVarint);
+        Encoding::kBitPacked);
     // Few-distinct data packs its dictionary indices into fixed-width
     // bits, which beats the varint-index kDictionary encoding on size.
     EXPECT_EQ(

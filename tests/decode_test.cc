@@ -337,6 +337,20 @@ makeDictPayload(const std::vector<int64_t>& dict,
     return payload;
 }
 
+/** Build a mode-2 (frame-of-reference over deltas) payload by hand. */
+std::vector<uint8_t>
+makeDeltaPayload(int64_t first, int64_t base,
+                 const std::vector<uint64_t>& excesses, unsigned width)
+{
+    std::vector<uint8_t> payload{2};  // mode 2
+    enc::putVarint(payload, enc::zigZag(first));
+    enc::putVarint(payload, enc::zigZag(base));
+    payload.push_back(static_cast<uint8_t>(width));
+    const auto packed = packBits(excesses, width);
+    payload.insert(payload.end(), packed.begin(), packed.end());
+    return payload;
+}
+
 TEST(BitPackedTest, DirectModeDecodesEveryWidth)
 {
     std::mt19937_64 rng(5);
@@ -396,6 +410,130 @@ TEST(BitPackedTest, DictModeDecodesHandCraftedPayloads)
     }
 }
 
+TEST(BitPackedTest, DeltaModeDecodesEveryWidth)
+{
+    std::mt19937_64 rng(8);
+    for (unsigned width = 0; width <= 64; ++width) {
+        for (size_t n : {size_t{1}, size_t{2}, size_t{64}, size_t{777}}) {
+            const uint64_t mask =
+                width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+            const auto first = static_cast<int64_t>(rng());
+            const auto base = static_cast<int64_t>(rng()) % 1'000;
+            std::vector<uint64_t> excesses(n - 1);
+            std::vector<int64_t> expect(n);
+            expect[0] = first;
+            uint64_t prev = static_cast<uint64_t>(first);
+            for (size_t i = 1; i < n; ++i) {
+                excesses[i - 1] = rng() & mask;
+                // Wraparound add is the documented semantics.
+                prev += static_cast<uint64_t>(base) + excesses[i - 1];
+                expect[i] = static_cast<int64_t>(prev);
+            }
+            const auto payload =
+                makeDeltaPayload(first, base, excesses, width);
+            std::vector<int64_t> out, dict;
+            ASSERT_TRUE(enc::decodeI64Reference(Encoding::kBitPacked,
+                                                payload, n, out, dict)
+                            .ok())
+                << "width=" << width << " n=" << n;
+            ASSERT_EQ(out, expect) << "width=" << width << " n=" << n;
+            expectReferenceAndFastAgree(
+                Encoding::kBitPacked, payload, n,
+                "bitpacked delta width=" + std::to_string(width) +
+                    " n=" + std::to_string(n));
+        }
+    }
+}
+
+TEST(BitPackedTest, EncoderPicksDeltaModeForMonotoneOffsets)
+{
+    // A CSR offset array: monotone, deltas in [0, 37). kDeltaVarint
+    // spends one byte per delta; mode-2 kBitPacked packs them into 6
+    // bits plus a constant-size header.
+    const auto offsets = makeValues(Shape::kMonotone, 4096, 9);
+    EXPECT_EQ(enc::chooseIntEncoding(offsets), Encoding::kBitPacked);
+    const auto payload = enc::encodeBitPacked(offsets);
+    ASSERT_FALSE(payload.empty());
+    EXPECT_EQ(payload[0], 2) << "expected frame-of-reference-over-deltas";
+    EXPECT_LT(payload.size(), enc::encodeDeltaVarint(offsets).size());
+    std::vector<int64_t> out, dict;
+    ASSERT_TRUE(enc::decodeI64Reference(Encoding::kBitPacked, payload,
+                                        offsets.size(), out, dict)
+                    .ok());
+    EXPECT_EQ(out, offsets);
+    expectReferenceAndFastAgree(Encoding::kBitPacked, payload,
+                                offsets.size(), "monotone offsets");
+
+    // A constant-stride sequence packs into width 0: header only.
+    std::vector<int64_t> strided(1000);
+    for (size_t i = 0; i < strided.size(); ++i)
+        strided[i] = 17 + static_cast<int64_t>(i) * 1024;
+    const auto strided_payload = enc::encodeBitPacked(strided);
+    ASSERT_FALSE(strided_payload.empty());
+    EXPECT_EQ(strided_payload[0], 2);
+    EXPECT_LT(strided_payload.size(), size_t{16});
+    ASSERT_TRUE(enc::decodeI64Reference(Encoding::kBitPacked,
+                                        strided_payload, strided.size(),
+                                        out, dict)
+                    .ok());
+    EXPECT_EQ(out, strided);
+    expectReferenceAndFastAgree(Encoding::kBitPacked, strided_payload,
+                                strided.size(), "constant stride");
+}
+
+TEST(BitPackedTest, DeltaModeAdversarialPayloadsRejected)
+{
+    const auto good = makeDeltaPayload(10, -3, {1, 2, 3, 4, 5, 6}, 5);
+    {
+        std::vector<int64_t> out, dict;
+        ASSERT_TRUE(enc::decodeI64Reference(Encoding::kBitPacked, good, 7,
+                                            out, dict)
+                        .ok());
+    }
+
+    std::vector<std::pair<std::string, std::vector<uint8_t>>> bad;
+    // zigZag(10) and zigZag(-3) are single varint bytes, so the width
+    // byte sits at index 3.
+    auto mutated = [&](const std::string& name, auto&& fn) {
+        std::vector<uint8_t> p = good;
+        fn(p);
+        bad.emplace_back(name, std::move(p));
+    };
+    mutated("width 65", [](auto& p) { p[3] = 65; });
+    mutated("packed block too long", [](auto& p) { p.push_back(0); });
+    mutated("packed block too short", [](auto& p) { p.pop_back(); });
+    mutated("nonzero trailing bits", [](auto& p) { p.back() |= 0xc0; });
+    bad.emplace_back("mode byte only", std::vector<uint8_t>{2});
+    bad.emplace_back("truncated first varint",
+                     std::vector<uint8_t>{2, 0x80});
+    bad.emplace_back("truncated base varint",
+                     std::vector<uint8_t>{2, 0x00, 0x80});
+    bad.emplace_back("missing width byte",
+                     std::vector<uint8_t>{2, 0x00, 0x00});
+
+    for (const auto& [name, payload] : bad) {
+        std::vector<int64_t> out, dict;
+        EXPECT_EQ(enc::decodeI64Reference(Encoding::kBitPacked, payload, 7,
+                                          out, dict)
+                      .code(),
+                  StatusCode::kCorruption)
+            << name;
+        expectReferenceAndFastAgree(Encoding::kBitPacked, payload, 7,
+                                    name);
+    }
+
+    // count == 0 has no value[0] to anchor the prefix sum: reject even
+    // a structurally plausible payload.
+    const auto empty_ok_shape = makeDeltaPayload(0, 0, {}, 0);
+    std::vector<int64_t> out, dict;
+    EXPECT_EQ(enc::decodeI64Reference(Encoding::kBitPacked,
+                                      empty_ok_shape, 0, out, dict)
+                  .code(),
+              StatusCode::kCorruption);
+    expectReferenceAndFastAgree(Encoding::kBitPacked, empty_ok_shape, 0,
+                                "mode 2 with count 0");
+}
+
 TEST(BitPackedTest, AdversarialPayloadsAreRejectedEverywhere)
 {
     // Base 10 zigzags to a single varint byte, so the payload layout is
@@ -415,7 +553,7 @@ TEST(BitPackedTest, AdversarialPayloadsAreRejectedEverywhere)
         fn(p);
         bad.emplace_back(name, std::move(p));
     };
-    mutated("mode 2", [](auto& p) { p[0] = 2; });
+    mutated("mode 3", [](auto& p) { p[0] = 3; });
     mutated("mode 255", [](auto& p) { p[0] = 255; });
     mutated("width 65", [](auto& p) { p[2] = 65; });
     mutated("packed block too long",
