@@ -7,7 +7,9 @@
  * integer page encoding at every SIMD dispatch level against the
  * byte-wise reference decoders, CRC32C bytes/s of the table vs the
  * SSE4.2 implementation, page-parallel whole-file decode over a
- * ThreadPool, and the end-to-end RM1 Extract+Transform rows/s with the
+ * ThreadPool, the LZ page codec (kernel compress/decompress rates plus
+ * the file-level stored ratio and decode cost of codec on vs off), and
+ * the end-to-end RM1 Extract+Transform rows/s with the
  * fast paths off vs on. Every timed kernel is differentially checked
  * against its reference first; any mismatch exits nonzero, so a perf
  * number can never be reported for a wrong decoder.
@@ -306,6 +308,118 @@ runFileDecode(const BenchConfig& bc)
 }
 
 /**
+ * LZ page codec: kernel-level compress/decompress rates on
+ * representative page payloads, and the file-level effect of the codec
+ * (stored ratio and serial-decode cost) on a compressible partition.
+ * The decompress rate and stored ratio rows feed
+ * cal::kMeasuredLzDecompressBytesPerSec / kMeasuredLzStoredRatio.
+ */
+void
+runCompressedPages(const BenchConfig& bc)
+{
+    std::printf("  \"compressed_pages\": {\n");
+
+    // --- codec kernels on page-shaped payloads ---------------------------
+    struct Corpus {
+        const char* name;
+        std::vector<uint8_t> raw;
+    };
+    const auto clustered = valuesFor(Encoding::kVarint, bc.values);
+    Rng rng(23);
+    std::vector<uint8_t> random_bytes(bc.values);
+    for (auto& b : random_bytes)
+        b = static_cast<uint8_t>(rng.next());
+    const Corpus corpora[] = {
+        {"varint_clustered_ids", enc::encodeVarint(clustered)},
+        {"plain_i64_clustered_ids", enc::encodePlainI64(clustered)},
+        {"random_bytes", std::move(random_bytes)},
+    };
+
+    std::printf("    \"codec\": [\n");
+    for (size_t c = 0; c < std::size(corpora); ++c) {
+        const auto& raw = corpora[c].raw;
+        const auto packed = enc::lzCompress(raw);
+        std::vector<uint8_t> back(raw.size());
+        if (!enc::lzDecompress(packed, back).ok() || back != raw)
+            mismatch("lz codec", corpora[c].name);
+
+        std::vector<uint8_t> scratch;
+        const double comp_secs = bestSeconds(bc.reps, [&] {
+            enc::lzCompress(raw, scratch);
+        });
+        const double decomp_secs = bestSeconds(bc.reps, [&] {
+            if (!enc::lzDecompress(packed, back).ok())
+                mismatch("lz codec", corpora[c].name);
+        });
+        const double gb = static_cast<double>(raw.size()) / 1e9;
+        std::printf("      {\"corpus\": \"%s\", \"raw_bytes\": %zu, "
+                    "\"compressed_bytes\": %zu, \"ratio\": %.3f,\n"
+                    "       \"compress\": {\"seconds\": %.6e, "
+                    "\"raw_gb_per_sec\": %.4f},\n"
+                    "       \"decompress\": {\"seconds\": %.6e, "
+                    "\"raw_gb_per_sec\": %.4f}}%s\n",
+                    corpora[c].name, raw.size(), packed.size(),
+                    static_cast<double>(raw.size()) /
+                        static_cast<double>(packed.size()),
+                    comp_secs, gb / comp_secs, decomp_secs,
+                    gb / decomp_secs,
+                    c + 1 < std::size(corpora) ? "," : "");
+    }
+    std::printf("    ],\n");
+
+    // --- file-level codec on/off on a compressible partition -------------
+    // RM2 rows are ~9 KB encoded, so this stays an order of magnitude
+    // smaller than the RM1 file above at the same row count.
+    RmConfig cfg = rmConfig(2);
+    cfg.batch_size = static_cast<int>(
+        std::min<size_t>(bc.values, 65536));
+    RawDataGenerator gen(cfg);
+    const RowBatch batch = gen.generatePartition(0);
+    WriterOptions off;
+    off.codec = PageCodec::kNone;
+    const auto with_lz = ColumnarFileWriter().write(batch, 0);
+    const auto without = ColumnarFileWriter(off).write(batch, 0);
+
+    ColumnarFileReader lz_reader, plain_reader;
+    RowBatch a, b;
+    if (!lz_reader.open(with_lz).ok() || !lz_reader.readAllInto(a).ok() ||
+        !plain_reader.open(without).ok() ||
+        !plain_reader.readAllInto(b).ok() || !(a == b))
+        mismatch("file codec", "lz vs none differential");
+
+    const double lz_secs = bestSeconds(bc.reps, [&] {
+        if (!lz_reader.open(with_lz).ok() ||
+            !lz_reader.readAllInto(a).ok())
+            mismatch("file codec", "lz decode");
+    });
+    const double plain_secs = bestSeconds(bc.reps, [&] {
+        if (!plain_reader.open(without).ok() ||
+            !plain_reader.readAllInto(b).ok())
+            mismatch("file codec", "plain decode");
+    });
+
+    const double rows = static_cast<double>(batch.numRows());
+    std::printf("    \"file\": {\n"
+                "      \"workload\": \"RM2\",\n"
+                "      \"rows\": %zu,\n"
+                "      \"bytes_codec_on\": %zu,\n"
+                "      \"bytes_codec_off\": %zu,\n"
+                "      \"stored_ratio\": %.3f,\n"
+                "      \"codec_on\": {\"seconds\": %.6e, "
+                "\"rows_per_sec\": %.4e},\n"
+                "      \"codec_off\": {\"seconds\": %.6e, "
+                "\"rows_per_sec\": %.4e},\n"
+                "      \"decode_slowdown\": %.3f\n"
+                "    }\n"
+                "  },\n",
+                batch.numRows(), with_lz.size(), without.size(),
+                static_cast<double>(with_lz.size()) /
+                    static_cast<double>(without.size()),
+                lz_secs, rows / lz_secs, plain_secs, rows / plain_secs,
+                lz_secs / plain_secs);
+}
+
+/**
  * End-to-end RM1 Extract+Transform (open + readAllInto + preprocessInto),
  * with the Extract fast paths pinned off (reference decoders + table
  * CRC) vs on (dispatched decoders + SSE4.2 CRC). Transform runs at the
@@ -401,6 +515,7 @@ main(int argc, char** argv)
     runCrc(bc);
     runDecodeKernels(bc);
     runFileDecode(bc);
+    runCompressedPages(bc);
     runEndToEnd(bc);
     std::printf("}\n");
     return 0;

@@ -25,8 +25,15 @@ main()
     headers.push_back("Disagg(64)/PreSto");
     TablePrinter table(std::move(headers));
 
+    // Compressed-PSF variant: both sides read LZ-compressed pages
+    // (fewer delivery bytes, extra decompress term; constants from
+    // BENCH_decode.json).
+    const PageCompressionModel lz{cal::kMeasuredLzStoredRatio,
+                                  cal::kMeasuredLzDecompressBytesPerSec};
+
     double ratio_sum = 0;
     double measured_ratio_sum = 0;
+    double compressed_ratio_sum = 0;
     for (const auto& cfg : allRmConfigs()) {
         CpuWorkerModel cpu(cfg);
         // Measured-decode variant: the CPU worker with Extract(Decode)
@@ -34,7 +41,9 @@ main()
         // (BENCH_decode.json via cal::kMeasuredSimdDecodeSecPerValue).
         CpuWorkerModel cpu_measured(cfg,
                                     cal::kMeasuredSimdDecodeSecPerValue);
+        CpuWorkerModel cpu_lz(cfg, cal::kCpuDecodeSecPerValue, lz);
         IspDeviceModel ssd(IspParams::smartSsd(), cfg);
+        IspDeviceModel ssd_lz(IspParams::smartSsdCompressed(), cfg);
         const double base = cpu.throughput(1);
 
         std::vector<std::string> row = {cfg.name};
@@ -46,6 +55,8 @@ main()
         ratio_sum += d64_ratio;
         measured_ratio_sum +=
             cpu_measured.throughput(64) / ssd.throughput();
+        compressed_ratio_sum +=
+            cpu_lz.throughput(64) / ssd_lz.throughput();
         row.push_back(formatDouble(d64_ratio, 2) + "x");
         table.addRow(std::move(row));
     }
@@ -55,6 +66,9 @@ main()
     std::printf("Same ratio with measured SIMD decode on the CPU worker "
                 "(BENCH_decode.json): %.2fx\n",
                 measured_ratio_sum / 5);
+    std::printf("Same ratio with LZ-compressed PSF pages on both sides "
+                "(stored ratio %.2f, BENCH_decode.json): %.2fx\n",
+                cal::kMeasuredLzStoredRatio, compressed_ratio_sum / 5);
     std::printf("Paper reference: one SmartSSD beats Disagg(32) on every "
                 "workload; Disagg(64) wins by ~27%% at 2x the cost.\n");
     return 0;

@@ -39,8 +39,14 @@ main()
     TablePrinter table({"System", "Extract(Read)", "Extract(Decode)",
                         "Bucketize", "SigridHash", "Log", "Others", "Total",
                         "Latency"});
+    // Compressed-PSF what-if: LZ pages shrink delivery and add a
+    // decompress term on both sides (constants from BENCH_decode.json).
+    const PageCompressionModel lz{cal::kMeasuredLzStoredRatio,
+                                  cal::kMeasuredLzDecompressBytesPerSec};
+
     double speedup_sum = 0, speedup_max = 0;
     double measured_speedup_sum = 0;
+    double compressed_speedup_sum = 0;
     double extract_share_sum = 0;
     for (const auto& cfg : allRmConfigs()) {
         const LatencyBreakdown disagg =
@@ -50,8 +56,14 @@ main()
         const LatencyBreakdown measured =
             CpuWorkerModel(cfg, cal::kMeasuredSimdDecodeSecPerValue)
                 .batchLatency();
+        const LatencyBreakdown disagg_lz =
+            CpuWorkerModel(cfg, cal::kCpuDecodeSecPerValue, lz)
+                .batchLatency();
         const LatencyBreakdown presto =
             IspDeviceModel(IspParams::smartSsd(), cfg).batchLatency();
+        const LatencyBreakdown presto_lz =
+            IspDeviceModel(IspParams::smartSsdCompressed(), cfg)
+                .batchLatency();
         const double norm = disagg.total();
         addBreakdownRow(table, cfg.name + " Disagg", disagg, norm);
         addBreakdownRow(table, cfg.name + " Disagg(m.dec)", measured,
@@ -63,6 +75,7 @@ main()
         speedup_sum += speedup;
         speedup_max = std::max(speedup_max, speedup);
         measured_speedup_sum += measured.total() / presto.total();
+        compressed_speedup_sum += disagg_lz.total() / presto_lz.total();
         extract_share_sum += presto.extractShare();
     }
     table.print();
@@ -75,6 +88,13 @@ main()
                 cal::kMeasuredSimdDecodeSecPerValue * 1e9,
                 cal::kCpuDecodeSecPerValue * 1e9,
                 measured_speedup_sum / 5);
+    std::printf("With LZ-compressed PSF pages on both sides (stored "
+                "ratio %.2f, decompress %.1f/%.1f GB/s cpu/isp): "
+                "average %.1fx\n",
+                cal::kMeasuredLzStoredRatio,
+                cal::kMeasuredLzDecompressBytesPerSec / 1e9,
+                cal::kIspDecompressBytesPerSec / 1e9,
+                compressed_speedup_sum / 5);
     std::printf("PreSto Extract share of its own latency: %.1f%% average "
                 "(paper: 40.8%%)\n",
                 extract_share_sum / 5 * 100.0);

@@ -56,7 +56,7 @@ getString(std::span<const uint8_t> in, size_t& pos, std::string& s)
 /** Append framed pages for an int64 sequence; returns stream metadata. */
 StreamMeta
 writeI64Stream(std::vector<uint8_t>& out, std::span<const int64_t> values,
-               bool force_plain)
+               const WriterOptions& options)
 {
     StreamMeta meta;
     meta.offset = out.size();
@@ -65,8 +65,9 @@ writeI64Stream(std::vector<uint8_t>& out, std::span<const int64_t> values,
     do {
         const size_t n = std::min(values.size() - pos, kMaxValuesPerPage);
         const auto slice = values.subspan(pos, n);
-        const Encoding encoding =
-            force_plain ? Encoding::kPlainI64 : enc::chooseIntEncoding(slice);
+        const Encoding encoding = options.force_plain
+                                      ? Encoding::kPlainI64
+                                      : enc::chooseIntEncoding(slice);
         std::vector<uint8_t> payload;
         switch (encoding) {
           case Encoding::kPlainI64:
@@ -90,7 +91,27 @@ writeI64Stream(std::vector<uint8_t>& out, std::span<const int64_t> values,
           case Encoding::kPlainF32:
             PRESTO_PANIC("float encoding chosen for int stream");
         }
-        writePageFrame(out, encoding, static_cast<uint32_t>(n), payload);
+        // chooseIntEncoding ranks candidates by *pre-compression* size
+        // (e.g. kBitPacked strips redundancy the codec would otherwise
+        // find), but some pages invert under compression: low-entropy
+        // plain bytes can LZ below a varint/bit-packed payload. Frame
+        // both candidates and keep the smaller, so enabling a codec
+        // never loses to force_plain on any page.
+        static thread_local std::vector<uint8_t> frame;
+        frame.clear();
+        writePageFrame(frame, encoding, static_cast<uint32_t>(n), payload,
+                       options.codec);
+        if (options.codec != PageCodec::kNone &&
+            encoding != Encoding::kPlainI64) {
+            static thread_local std::vector<uint8_t> plain_frame;
+            plain_frame.clear();
+            writePageFrame(plain_frame, Encoding::kPlainI64,
+                           static_cast<uint32_t>(n),
+                           enc::encodePlainI64(slice), options.codec);
+            if (plain_frame.size() < frame.size())
+                frame.swap(plain_frame);
+        }
+        out.insert(out.end(), frame.begin(), frame.end());
         ++meta.num_pages;
         pos += n;
     } while (pos < values.size());
@@ -100,7 +121,8 @@ writeI64Stream(std::vector<uint8_t>& out, std::span<const int64_t> values,
 
 /** Append framed pages for a float sequence; returns stream metadata. */
 StreamMeta
-writeF32Stream(std::vector<uint8_t>& out, std::span<const float> values)
+writeF32Stream(std::vector<uint8_t>& out, std::span<const float> values,
+               const WriterOptions& options)
 {
     StreamMeta meta;
     meta.offset = out.size();
@@ -110,7 +132,7 @@ writeF32Stream(std::vector<uint8_t>& out, std::span<const float> values)
         const size_t n = std::min(values.size() - pos, kMaxValuesPerPage);
         const auto payload = enc::encodePlainF32(values.subspan(pos, n));
         writePageFrame(out, Encoding::kPlainF32, static_cast<uint32_t>(n),
-                       payload);
+                       payload, options.codec);
         ++meta.num_pages;
         pos += n;
     } while (pos < values.size());
@@ -161,13 +183,13 @@ ColumnarFileWriter::write(const RowBatch& batch, uint64_t partition_id) const
             std::vector<int64_t> lengths(col.numRows());
             for (size_t r = 0; r < col.numRows(); ++r)
                 lengths[r] = static_cast<int64_t>(col.rowLength(r));
+            meta.streams.push_back(writeI64Stream(out, lengths, options_));
             meta.streams.push_back(
-                writeI64Stream(out, lengths, options_.force_plain));
-            meta.streams.push_back(
-                writeI64Stream(out, col.values(), options_.force_plain));
+                writeI64Stream(out, col.values(), options_));
         } else {
             const auto& col = batch.dense(c);
-            meta.streams.push_back(writeF32Stream(out, col.values()));
+            meta.streams.push_back(
+                writeF32Stream(out, col.values(), options_));
         }
         columns.push_back(std::move(meta));
     }
@@ -304,18 +326,21 @@ ColumnarFileReader::decodeStreamSerial(const StreamMeta& stream, bool as_f32,
         PRESTO_RETURN_IF_ERROR(readPageFrame(data_, pos, page));
         if (off + page.value_count > stream.value_count)
             return Status::corruption("stream value count mismatch");
+        // CRC (verified above, over the stored bytes) precedes this
+        // decompression, so a damaged compressed page never reaches
+        // the codec.
+        std::span<const uint8_t> raw;
+        PRESTO_RETURN_IF_ERROR(pagePayload(page, decomp_, raw));
         if (as_f32) {
             PRESTO_RETURN_IF_ERROR(enc::decodeF32Into(
-                page.encoding, page.payload, page.value_count,
-                f32_out + off));
+                page.encoding, raw, page.value_count, f32_out + off));
         } else if (enc::fastDecodeEnabled()) {
             PRESTO_RETURN_IF_ERROR(enc::decodeI64Into(
-                page.encoding, page.payload, page.value_count,
-                i64_out + off, dict_));
+                page.encoding, raw, page.value_count, i64_out + off,
+                dict_));
         } else {
             PRESTO_RETURN_IF_ERROR(enc::decodeI64Reference(
-                page.encoding, page.payload, page.value_count, page_i64_,
-                dict_));
+                page.encoding, raw, page.value_count, page_i64_, dict_));
             std::copy(page_i64_.begin(), page_i64_.end(), i64_out + off);
         }
         off += page.value_count;
@@ -386,23 +411,27 @@ ColumnarFileReader::decodePageTask(size_t t)
     PageView page;
     Status st = readPageFrame(data_, pos, page);
     if (st.ok()) {
+        // Worker-local scratch: pages of one stream decode
+        // concurrently, so the member buffers cannot be shared here.
+        static thread_local std::vector<uint8_t> tl_decomp;
+        std::span<const uint8_t> raw;
+        st = pagePayload(page, tl_decomp, raw);
+        if (!st.ok()) {
+            task_status_[t] = std::move(st);
+            return;
+        }
         if (par_f32_) {
-            st = enc::decodeF32Into(page.encoding, page.payload,
-                                    page.value_count,
+            st = enc::decodeF32Into(page.encoding, raw, page.value_count,
                                     par_f32_out_ + task.out_offset);
         } else if (enc::fastDecodeEnabled()) {
-            // Worker-local dictionary scratch: pages of one stream
-            // decode concurrently, so the member buffer cannot be
-            // shared here.
             static thread_local std::vector<int64_t> tl_dict;
-            st = enc::decodeI64Into(page.encoding, page.payload,
-                                    page.value_count,
+            st = enc::decodeI64Into(page.encoding, raw, page.value_count,
                                     par_i64_out_ + task.out_offset,
                                     tl_dict);
         } else {
             static thread_local std::vector<int64_t> tl_out;
             static thread_local std::vector<int64_t> tl_dict;
-            st = enc::decodeI64Reference(page.encoding, page.payload,
+            st = enc::decodeI64Reference(page.encoding, raw,
                                          page.value_count, tl_out, tl_dict);
             if (st.ok()) {
                 std::copy(tl_out.begin(), tl_out.end(),
@@ -671,19 +700,26 @@ ColumnarFileReader::completePage(const PageReadPlan& plan,
 {
     if (!async_active_)
         return Status::failedPrecondition("no async read in progress");
-    // CRC verification happens here, before any decode, so a bit flip
-    // acquired in flight is caught per page.
+    // CRC verification happens here, before any decompress or decode,
+    // so a bit flip acquired in flight is caught per page — including
+    // flips inside a *compressed* payload, which fail the CRC (over
+    // the compressed bytes) without the codec ever running.
     size_t pos = 0;
     PageView page;
     PRESTO_RETURN_IF_ERROR(readPageFrame(frame, pos, page));
     if (pos != frame.size() || page.value_count != plan.value_count)
         return Status::corruption("page frame disagrees with read plan");
 
+    // Worker-local scratch: pages may decode on a shared pool
+    // concurrently, so the member buffers cannot be used here.
+    static thread_local std::vector<uint8_t> tl_decomp;
+    std::span<const uint8_t> raw;
+    PRESTO_RETURN_IF_ERROR(pagePayload(page, tl_decomp, raw));
+
     const ColumnMeta& meta = footer_.columns[plan.column];
     if (meta.kind != FeatureKind::kSparse) {
         float* dst = out.mutableDense(plan.column).mutableValues().data();
-        return enc::decodeF32Into(page.encoding, page.payload,
-                                  page.value_count,
+        return enc::decodeF32Into(page.encoding, raw, page.value_count,
                                   dst + plan.out_offset);
     }
     int64_t* dst =
@@ -691,17 +727,14 @@ ColumnarFileReader::completePage(const PageReadPlan& plan,
             ? async_lengths_[plan.column].data()
             : out.mutableSparse(plan.column).mutableValues().data();
     if (enc::fastDecodeEnabled()) {
-        // Worker-local dictionary scratch: pages may decode on a shared
-        // pool concurrently, so the member buffer cannot be used here.
         static thread_local std::vector<int64_t> tl_dict;
-        return enc::decodeI64Into(page.encoding, page.payload,
-                                  page.value_count, dst + plan.out_offset,
-                                  tl_dict);
+        return enc::decodeI64Into(page.encoding, raw, page.value_count,
+                                  dst + plan.out_offset, tl_dict);
     }
     static thread_local std::vector<int64_t> tl_out;
     static thread_local std::vector<int64_t> tl_dict;
     PRESTO_RETURN_IF_ERROR(enc::decodeI64Reference(
-        page.encoding, page.payload, page.value_count, tl_out, tl_dict));
+        page.encoding, raw, page.value_count, tl_out, tl_dict));
     std::copy(tl_out.begin(), tl_out.end(), dst + plan.out_offset);
     return Status::okStatus();
 }

@@ -80,6 +80,15 @@ struct PageReadPlan {
 struct WriterOptions {
     /** Force a specific encoding for sparse values (nullopt = choose). */
     bool force_plain = false;
+    /**
+     * Per-page compression applied to encoded payloads. The writer
+     * stores a page compressed only when that strictly shrinks its
+     * frame, so dense already-packed pages (kBitPacked indices,
+     * high-entropy hashed ids) typically stay uncompressed while
+     * redundant pages shrink. kNone disables compression entirely
+     * (byte-compatible with pre-codec PSF files).
+     */
+    PageCodec codec = PageCodec::kLz;
 };
 
 /**
@@ -247,6 +256,7 @@ class ColumnarFileReader
     ThreadPool* pool_ = nullptr;
     // Per-reader scratch reused across pages/partitions so the decode
     // loop is allocation-free once warmed up.
+    std::vector<uint8_t> decomp_;
     std::vector<int64_t> page_i64_;
     std::vector<int64_t> dict_;
     std::vector<int64_t> lengths_;

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-page compression codecs for the PSF format.
+ *
+ * The paper's Extract stage decompresses columnar pages before decoding
+ * them; PSF models that with an optional per-page codec applied to the
+ * *encoded* payload (the page CRC covers the compressed bytes, so
+ * corruption is caught before any decompression runs).
+ *
+ * kLz is an LZ4-style byte-oriented LZ77 implemented in-repo (no
+ * external dependency). Block format, borrowed from the LZ4 block spec:
+ *
+ *   sequence := token u8
+ *               [literal-length extension bytes]   if (token >> 4) == 15
+ *               literals                           (token >> 4) + ext bytes
+ *               offset u16 LE                      1..65535, back-reference
+ *               [match-length extension bytes]     if (token & 15) == 15
+ *
+ *   - token high nibble: literal run length (15 = add following bytes,
+ *     each 0..255, until a byte != 255).
+ *   - token low nibble: match length - 4 (same 15/255 extension rule);
+ *     the minimum match is 4 bytes.
+ *   - matches may overlap their output (offset < length copies
+ *     byte-by-byte, giving RLE-like runs).
+ *   - the final sequence is literals-only: the stream ends immediately
+ *     after its literals and its match nibble must be zero.
+ *
+ * Decompression is fully bounds-checked: any truncated, overlong, or
+ * otherwise malformed stream (including one that does not decompress to
+ * exactly the advertised raw size) returns kCorruption and never reads
+ * or writes out of bounds.
+ */
+#ifndef PRESTO_COLUMNAR_COMPRESS_H_
+#define PRESTO_COLUMNAR_COMPRESS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace presto {
+
+/** Page codec identifiers (stable on-disk values; 0 is never stored). */
+enum class PageCodec : uint8_t {
+    kNone = 0,  ///< uncompressed page (no codec byte in the frame)
+    kLz = 1,    ///< in-repo LZ4-style byte codec (see file comment)
+};
+
+/** Human-readable codec name. */
+const char* pageCodecName(PageCodec codec);
+
+namespace enc {
+
+/**
+ * Compress @p in with the kLz codec, appending to @p out (cleared
+ * first; capacity is reused across calls). The result always
+ * decompresses to @p in exactly; it is not guaranteed to be smaller
+ * (high-entropy input expands by up to ~1/255 + a few bytes).
+ */
+void lzCompress(std::span<const uint8_t> in, std::vector<uint8_t>& out);
+
+/** Convenience form of lzCompress(). */
+std::vector<uint8_t> lzCompress(std::span<const uint8_t> in);
+
+/**
+ * Decompress a kLz stream into exactly @p out.size() bytes.
+ * @return kCorruption for any malformed input: truncated literals or
+ * extension bytes, a zero or out-of-window match offset, output
+ * overrun, a non-zero match nibble on the final sequence, or a stream
+ * that ends before filling @p out.
+ */
+Status lzDecompress(std::span<const uint8_t> in, std::span<uint8_t> out);
+
+}  // namespace enc
+}  // namespace presto
+
+#endif  // PRESTO_COLUMNAR_COMPRESS_H_

@@ -26,8 +26,8 @@ partitionFileName(uint64_t partition_id)
 
 }  // namespace
 
-DatasetWriter::DatasetWriter(std::string directory)
-    : directory_(std::move(directory))
+DatasetWriter::DatasetWriter(std::string directory, WriterOptions options)
+    : directory_(std::move(directory)), writer_(options)
 {
 }
 
@@ -47,7 +47,7 @@ DatasetWriter::addPartition(const RowBatch& batch, uint64_t partition_id)
             return Status::invalidArgument("duplicate partition id");
     }
 
-    const auto bytes = ColumnarFileWriter().write(batch, partition_id);
+    const auto bytes = writer_.write(batch, partition_id);
     PartitionEntry entry;
     entry.partition_id = partition_id;
     entry.file_name = partitionFileName(partition_id);

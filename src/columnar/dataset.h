@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "columnar/columnar_file.h"
 #include "common/status.h"
 #include "tabular/row_batch.h"
 
@@ -41,8 +42,13 @@ struct DatasetManifest {
 class DatasetWriter
 {
   public:
-    /** @param directory Must already exist and be writable. */
-    explicit DatasetWriter(std::string directory);
+    /**
+     * @param directory Must already exist and be writable.
+     * @param options Per-partition PSF writer knobs (encoding choice,
+     *        page compression).
+     */
+    explicit DatasetWriter(std::string directory,
+                           WriterOptions options = {});
 
     /** Append one partition (encodes @p batch as PSF). */
     Status addPartition(const RowBatch& batch, uint64_t partition_id);
@@ -54,6 +60,7 @@ class DatasetWriter
 
   private:
     std::string directory_;
+    ColumnarFileWriter writer_;
     std::vector<PartitionEntry> entries_;
     uint64_t rows_per_partition_ = 0;
     bool finished_ = false;

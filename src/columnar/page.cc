@@ -8,6 +8,10 @@ namespace presto {
 
 namespace {
 
+/** Compression attempts below this payload size cannot pay for the
+ *  extra frame bytes plus codec overhead often enough to matter. */
+constexpr size_t kMinCompressPayload = 32;
+
 void
 putU32(std::vector<uint8_t>& out, uint32_t v)
 {
@@ -42,6 +46,36 @@ writePageFrame(std::vector<uint8_t>& out, Encoding encoding,
     putU32(out, crc);
 }
 
+PageCodec
+writePageFrame(std::vector<uint8_t>& out, Encoding encoding,
+               uint32_t value_count, std::span<const uint8_t> payload,
+               PageCodec codec)
+{
+    if (codec == PageCodec::kNone || payload.size() < kMinCompressPayload) {
+        writePageFrame(out, encoding, value_count, payload);
+        return PageCodec::kNone;
+    }
+    // Writer-local scratch: compression only runs while building
+    // partitions, never on the (allocation-free) read path.
+    static thread_local std::vector<uint8_t> compressed;
+    enc::lzCompress(payload, compressed);
+    if (compressed.size() + kCompressedPageExtraBytes >= payload.size()) {
+        writePageFrame(out, encoding, value_count, payload);
+        return PageCodec::kNone;
+    }
+    const size_t header_pos = out.size();
+    out.push_back(static_cast<uint8_t>(encoding) | kPageCompressedFlag);
+    putU32(out, value_count);
+    putU32(out, static_cast<uint32_t>(compressed.size()));
+    out.push_back(static_cast<uint8_t>(codec));
+    putU32(out, static_cast<uint32_t>(payload.size()));
+    out.insert(out.end(), compressed.begin(), compressed.end());
+    const uint32_t crc =
+        crc32c(out.data() + header_pos, out.size() - header_pos);
+    putU32(out, crc);
+    return codec;
+}
+
 namespace {
 
 Status
@@ -51,28 +85,49 @@ parseFrame(std::span<const uint8_t> in, size_t& pos, PageView& page,
     const size_t header_size = 1 + 4 + 4;
     if (pos + header_size > in.size())
         return Status::corruption("truncated page header");
-    const uint8_t enc_byte = in[pos];
+    const uint8_t enc_byte = in[pos] & ~kPageCompressedFlag;
+    const bool compressed = (in[pos] & kPageCompressedFlag) != 0;
     if (enc_byte > static_cast<uint8_t>(Encoding::kBitPacked))
         return Status::corruption("unknown page encoding");
     const uint32_t value_count = getU32(in, pos + 1);
     if (value_count > kMaxValuesPerPage)
         return Status::corruption("page value count exceeds maximum");
     const uint32_t payload_size = getU32(in, pos + 5);
-    if (pos + header_size + payload_size + 4 > in.size())
+    const size_t extra = compressed ? kCompressedPageExtraBytes : 0;
+    if (pos + header_size + extra + payload_size + 4 > in.size())
         return Status::corruption("truncated page payload");
+
+    PageCodec codec = PageCodec::kNone;
+    uint32_t raw_size = payload_size;
+    if (compressed) {
+        const uint8_t codec_byte = in[pos + header_size];
+        if (codec_byte == static_cast<uint8_t>(PageCodec::kNone) ||
+            codec_byte > static_cast<uint8_t>(PageCodec::kLz))
+            return Status::corruption("unknown page codec");
+        codec = static_cast<PageCodec>(codec_byte);
+        raw_size = getU32(in, pos + header_size + 1);
+        if (raw_size > kMaxPageRawBytes)
+            return Status::corruption("page raw size exceeds maximum");
+        // The writer compresses only when it strictly shrinks the
+        // frame; an overlong compressed payload is damage.
+        if (payload_size + kCompressedPageExtraBytes >= raw_size)
+            return Status::corruption(
+                "compressed page not smaller than raw");
+    }
     if (verify_crc) {
-        const uint32_t stored_crc =
-            getU32(in, pos + header_size + payload_size);
-        const uint32_t actual_crc =
-            crc32c(in.data() + pos, header_size + payload_size);
+        const size_t covered = header_size + extra + payload_size;
+        const uint32_t stored_crc = getU32(in, pos + covered);
+        const uint32_t actual_crc = crc32c(in.data() + pos, covered);
         if (stored_crc != actual_crc)
             return Status::corruption("page checksum mismatch");
     }
 
     page.encoding = static_cast<Encoding>(enc_byte);
+    page.codec = codec;
     page.value_count = value_count;
-    page.payload = in.subspan(pos + header_size, payload_size);
-    pos += header_size + payload_size + 4;
+    page.raw_size = raw_size;
+    page.payload = in.subspan(pos + header_size + extra, payload_size);
+    pos += header_size + extra + payload_size + 4;
     return Status::okStatus();
 }
 
@@ -88,6 +143,21 @@ Status
 scanPageFrame(std::span<const uint8_t> in, size_t& pos, PageView& page)
 {
     return parseFrame(in, pos, page, /*verify_crc=*/false);
+}
+
+Status
+pagePayload(const PageView& page, std::vector<uint8_t>& scratch,
+            std::span<const uint8_t>& raw)
+{
+    if (page.codec == PageCodec::kNone) {
+        raw = page.payload;
+        return Status::okStatus();
+    }
+    scratch.resize(page.raw_size);
+    PRESTO_RETURN_IF_ERROR(
+        enc::lzDecompress(page.payload, {scratch.data(), scratch.size()}));
+    raw = {scratch.data(), scratch.size()};
+    return Status::okStatus();
 }
 
 }  // namespace presto

@@ -3,9 +3,25 @@
  * Page framing for columnar files.
  *
  * A page is the unit of encoding and integrity checking:
- *   [encoding u8][value_count u32][payload_size u32][payload][crc32c u32]
- * The CRC covers the header fields and the payload, so any bit flip in a
- * stored page is detected at read time.
+ *
+ *   uncompressed (compression flag clear):
+ *     [encoding u8][value_count u32][payload_size u32][payload][crc32c u32]
+ *
+ *   compressed (encoding byte has kPageCompressedFlag set):
+ *     [encoding u8 | 0x80][value_count u32][payload_size u32]
+ *     [codec u8][raw_size u32][compressed payload][crc32c u32]
+ *
+ * payload_size is always the number of *stored* payload bytes (the
+ * compressed size when the flag is set); raw_size is the decompressed
+ * payload size the decoder must reproduce. The CRC covers everything
+ * from the encoding byte through the stored payload — i.e. the
+ * *compressed* bytes — so any bit flip in a stored page is detected at
+ * read time, before a single byte is decompressed or decoded.
+ *
+ * The writer stores a page compressed only when that strictly shrinks
+ * the frame (compressed_size + kCompressedPageExtraBytes < raw_size);
+ * readers reject frames violating this invariant, so an "overlong"
+ * compressed frame can only come from damage.
  */
 #ifndef PRESTO_COLUMNAR_PAGE_H_
 #define PRESTO_COLUMNAR_PAGE_H_
@@ -14,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "columnar/compress.h"
 #include "columnar/encoding.h"
 #include "common/status.h"
 
@@ -22,7 +39,11 @@ namespace presto {
 /** In-memory view of one decoded page frame. */
 struct PageView {
     Encoding encoding = Encoding::kPlainF32;
+    PageCodec codec = PageCodec::kNone;
     uint32_t value_count = 0;
+    /** Decompressed payload size; equals payload.size() when kNone. */
+    uint32_t raw_size = 0;
+    /** Stored payload bytes (compressed when codec != kNone). */
     std::span<const uint8_t> payload;
 };
 
@@ -32,17 +53,41 @@ inline constexpr size_t kMaxValuesPerPage = 65536;
 /** Serialized page-frame overhead in bytes (header + crc). */
 inline constexpr size_t kPageFrameBytes = 1 + 4 + 4 + 4;
 
-/** Append one framed page to @p out. */
+/** Compression flag on the frame's encoding byte. */
+inline constexpr uint8_t kPageCompressedFlag = 0x80;
+
+/** Extra frame bytes of a compressed page (codec u8 + raw_size u32). */
+inline constexpr size_t kCompressedPageExtraBytes = 1 + 4;
+
+/**
+ * Maximum decompressed payload bytes a frame may claim. The writer's
+ * densest legal payload (a full dictionary page of maximum-length
+ * varints) stays well under this, so larger claims can only come from
+ * damage and would make the reader allocate unbounded scratch.
+ */
+inline constexpr size_t kMaxPageRawBytes = size_t{2} << 20;
+
+/** Append one framed page to @p out, stored uncompressed. */
 void writePageFrame(std::vector<uint8_t>& out, Encoding encoding,
                     uint32_t value_count, std::span<const uint8_t> payload);
+
+/**
+ * Append one framed page, compressing the payload with @p codec when
+ * that strictly shrinks the frame (kNone never compresses).
+ * @return the codec actually stored.
+ */
+PageCodec writePageFrame(std::vector<uint8_t>& out, Encoding encoding,
+                         uint32_t value_count,
+                         std::span<const uint8_t> payload, PageCodec codec);
 
 /**
  * Parse the page frame at @p pos (advanced past the frame) and verify its
  * checksum.
  * @return kCorruption for truncation, CRC mismatch, an unknown encoding
- * byte, or a value count above kMaxValuesPerPage (the writer never
- * exceeds it, so larger counts can only come from damage and would
- * otherwise make the decoder allocate unbounded output).
+ * or codec byte, a value count above kMaxValuesPerPage, a raw size
+ * above kMaxPageRawBytes, or a compressed payload that is not strictly
+ * smaller than its raw form (the writer never produces those, so they
+ * can only come from damage).
  */
 Status readPageFrame(std::span<const uint8_t> in, size_t& pos,
                      PageView& page);
@@ -56,6 +101,16 @@ Status readPageFrame(std::span<const uint8_t> in, size_t& pos,
  */
 Status scanPageFrame(std::span<const uint8_t> in, size_t& pos,
                      PageView& page);
+
+/**
+ * Materialize the page's *raw* (decoded-ready) payload: the stored
+ * bytes for an uncompressed page, or the decompression of them into
+ * @p scratch (resized to raw_size; capacity reused across calls, so a
+ * warmed-up decode loop stays allocation-free). Call only after
+ * readPageFrame() verified the CRC.
+ */
+Status pagePayload(const PageView& page, std::vector<uint8_t>& scratch,
+                   std::span<const uint8_t>& raw);
 
 }  // namespace presto
 

@@ -8,6 +8,20 @@
 
 namespace presto {
 
+/**
+ * Effect of optional PSF page compression on a worker model. Defaults
+ * model an uncompressed dataset, so every existing anchor is unchanged
+ * unless a variant opts in.
+ */
+struct PageCompressionModel {
+    /** Stored bytes / raw encoded bytes after per-page compression
+     *  (1.0 = uncompressed; < 1 shrinks the read/delivery stage). */
+    double stored_ratio = 1.0;
+    /** Decompressor output rate in raw bytes/second; 0 disables the
+     *  Extract(Decode)-side decompress term. */
+    double decompress_bytes_per_sec = 0;
+};
+
 /** Seconds spent in each preprocessing step for one mini-batch. */
 struct LatencyBreakdown {
     double extract_read = 0;    ///< fetch encoded bytes (network or P2P)

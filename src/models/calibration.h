@@ -59,22 +59,22 @@ inline constexpr double kCpuSecPerFeature = 10e-6;
 // Fig 11/12 models so the analytical curves can be re-anchored to this
 // host instead of the calibrated Xeon constant.
 
-/** Reference (scalar, TorchArrow-like) varint decode: 7.98e7 values/s
- *  => 12.5 ns/value, which independently corroborates the calibrated
+/** Reference (scalar, TorchArrow-like) varint decode: 7.45e7 values/s
+ *  => 13.4 ns/value, which independently corroborates the calibrated
  *  kCpuDecodeSecPerValue = 13 ns anchor above. */
-inline constexpr double kMeasuredDecodeRefValuesPerSec = 7.98e7;
+inline constexpr double kMeasuredDecodeRefValuesPerSec = 7.45e7;
 
 /** Vectorized varint decode (the dominant sparse-page encoding):
- *  2.54e8 values/s. */
-inline constexpr double kMeasuredDecodeSimdValuesPerSec = 2.54e8;
+ *  2.68e8 values/s. */
+inline constexpr double kMeasuredDecodeSimdValuesPerSec = 2.68e8;
 
-/** Vectorized dictionary-page decode: 7.50e8 values/s. */
-inline constexpr double kMeasuredDictDecodeValuesPerSec = 7.50e8;
+/** Vectorized dictionary-page decode: 7.43e8 values/s. */
+inline constexpr double kMeasuredDictDecodeValuesPerSec = 7.43e8;
 
 /** Vectorized bit-packed decode (incl. the FOR-over-deltas mode):
- *  1.23e9 values/s — ~3.9x the delta-varint reference it replaces for
+ *  1.24e9 values/s — ~3.9x the delta-varint reference it replaces for
  *  monotone offset streams. */
-inline constexpr double kMeasuredBitPackedValuesPerSec = 1.23e9;
+inline constexpr double kMeasuredBitPackedValuesPerSec = 1.24e9;
 
 /** Sec/value of the measured scalar reference decoder. */
 inline constexpr double kMeasuredCpuDecodeSecPerValue =
@@ -83,6 +83,25 @@ inline constexpr double kMeasuredCpuDecodeSecPerValue =
 /** Sec/value of the measured vectorized decode path. */
 inline constexpr double kMeasuredSimdDecodeSecPerValue =
     1.0 / kMeasuredDecodeSimdValuesPerSec;
+
+// --- Page compression (PSF LZ codec) -------------------------------------
+//
+// PSF pages may carry an LZ-compressed payload (src/columnar/compress.h).
+// Compression shrinks the Extract(Read)/delivery stage by the stored
+// ratio and adds a decompress term to Extract(Decode); the constants
+// below parameterize the "compressed PSF" variants of the Fig 11/12
+// models. Measured values come from the committed BENCH_decode.json
+// (compressed_pages section on this host).
+
+/** Measured LZ decompress rate of the in-repo codec on compressible
+ *  plain-i64 pages, in raw (decompressed) output bytes per second. */
+inline constexpr double kMeasuredLzDecompressBytesPerSec = 1.4e9;
+
+/** Measured stored/raw ratio of an LZ-compressed RM2 PSF partition
+ *  (hashed-id pages stay uncompressed because the writer only keeps
+ *  strictly-smaller pages, so the file-level ratio is well above the
+ *  per-page ratio of its compressible pages). */
+inline constexpr double kMeasuredLzStoredRatio = 0.81;
 
 /** Co-located workers (Fig 3) share the host with the training-side
  *  input pipeline; effective throughput per core drops by this factor
@@ -176,6 +195,12 @@ inline constexpr double kIspConvertValuesPerSec = 0.32e9;
 /** Fixed per-batch overhead (XRT kernel invocation + RPC to the train
  *  manager). */
 inline constexpr double kIspFixedSecPerBatch = 3.5e-3;
+
+/** Modeled FPGA LZ-decompressor unit: a sequence-reconstruction stage
+ *  retiring ~4 output bytes/cycle at the Table II clock (not a paper
+ *  unit — parameterizes the compressed-PSF what-if in bench_fig11/12;
+ *  IspParams leaves it off by default). */
+inline constexpr double kIspDecompressBytesPerSec = kFpgaClockHz * 4.0;
 
 /** Concurrent mini-batch streams per SmartSSD. Feature-unit groups work
  *  on independent partitions, so device throughput exceeds 1/latency

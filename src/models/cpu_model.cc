@@ -7,11 +7,18 @@
 namespace presto {
 
 CpuWorkerModel::CpuWorkerModel(const RmConfig& config,
-                               double decode_sec_per_value)
+                               double decode_sec_per_value,
+                               PageCompressionModel compression)
     : config_(config), work_(TransformWork::expected(config)),
-      decode_sec_per_value_(decode_sec_per_value)
+      decode_sec_per_value_(decode_sec_per_value),
+      compression_(compression)
 {
     PRESTO_CHECK(decode_sec_per_value_ > 0, "non-positive decode cost");
+    PRESTO_CHECK(compression_.stored_ratio > 0 &&
+                     compression_.stored_ratio <= 1.0,
+                 "stored ratio outside (0, 1]");
+    PRESTO_CHECK(compression_.decompress_bytes_per_sec >= 0,
+                 "negative decompress rate");
 }
 
 LatencyBreakdown
@@ -19,7 +26,9 @@ CpuWorkerModel::batchLatency() const
 {
     LatencyBreakdown b = batchLatencyLocalRead();
     // Remote Extract: encoded bytes over the 10 GbE link, chunked RPCs.
-    const double bytes = rawEncodedBytes(config_);
+    // Compression shrinks the wire bytes by the stored ratio.
+    const double bytes =
+        rawEncodedBytes(config_) * compression_.stored_ratio;
     const double rpcs = bytes / cal::kRpcChunkBytes + 1.0;
     b.extract_read =
         bytes / cal::kNetworkBytesPerSec + rpcs * cal::kRpcFixedSec;
@@ -30,8 +39,13 @@ LatencyBreakdown
 CpuWorkerModel::batchLatencyLocalRead() const
 {
     LatencyBreakdown b;
-    b.extract_read = rawEncodedBytes(config_) / cal::kSsdReadBytesPerSec;
+    const double raw_bytes = rawEncodedBytes(config_);
+    b.extract_read = raw_bytes * compression_.stored_ratio /
+                     cal::kSsdReadBytesPerSec;
     b.extract_decode = work_.raw_values * decode_sec_per_value_;
+    if (compression_.decompress_bytes_per_sec > 0)
+        b.extract_decode +=
+            raw_bytes / compression_.decompress_bytes_per_sec;
     b.bucketize = work_.bucketize_values * work_.bucketize_levels *
                   cal::kCpuBucketizeSecPerValueLevel;
     b.sigrid_hash = work_.hash_values * cal::kCpuHashSecPerValue;

@@ -27,10 +27,14 @@ class CpuWorkerModel
      *        cal::kMeasured*DecodeSecPerValue rates (provenance:
      *        BENCH_decode.json) to re-anchor the model to this host's
      *        real decoders.
+     * @param compression Page-compression effect: scales Extract(Read)
+     *        bytes by the stored ratio and charges a decompress term in
+     *        Extract(Decode). Defaults to uncompressed (no effect).
      */
     explicit CpuWorkerModel(
         const RmConfig& config,
-        double decode_sec_per_value = cal::kCpuDecodeSecPerValue);
+        double decode_sec_per_value = cal::kCpuDecodeSecPerValue,
+        PageCompressionModel compression = {});
 
     /**
      * Latency to preprocess one mini-batch on one dedicated core,
@@ -60,6 +64,7 @@ class CpuWorkerModel
     RmConfig config_;
     TransformWork work_;
     double decode_sec_per_value_;
+    PageCompressionModel compression_;
 };
 
 }  // namespace presto

@@ -29,6 +29,16 @@ IspParams::smartSsd()
 }
 
 IspParams
+IspParams::smartSsdCompressed()
+{
+    IspParams p = smartSsd();
+    p.name = "PreSto (SmartSSD, LZ pages)";
+    p.compression.stored_ratio = cal::kMeasuredLzStoredRatio;
+    p.compression.decompress_bytes_per_sec = cal::kIspDecompressBytesPerSec;
+    return p;
+}
+
+IspParams
 IspParams::prestoU280()
 {
     IspParams p = smartSsd();
@@ -64,7 +74,9 @@ IspDeviceModel::IspDeviceModel(IspParams params, const RmConfig& config)
 double
 IspDeviceModel::deliverSeconds() const
 {
-    const double bytes = rawEncodedBytes(config_);
+    // Compressed pages move fewer bytes over the delivery path.
+    const double bytes =
+        rawEncodedBytes(config_) * params_.compression.stored_ratio;
     if (params_.placement == AcceleratorPlacement::kDisaggregated) {
         const double rpcs = bytes / cal::kRpcChunkBytes + 1.0;
         return bytes / cal::kNetworkBytesPerSec + rpcs * cal::kRpcFixedSec;
@@ -75,7 +87,13 @@ IspDeviceModel::deliverSeconds() const
 double
 IspDeviceModel::decodeSeconds() const
 {
-    return work_.raw_values / params_.decode_values_per_sec;
+    double sec = work_.raw_values / params_.decode_values_per_sec;
+    // The decompressor sits in front of the Decoder unit and streams the
+    // raw payload into it, so the two serialize within a page.
+    if (params_.compression.decompress_bytes_per_sec > 0)
+        sec += rawEncodedBytes(config_) /
+               params_.compression.decompress_bytes_per_sec;
+    return sec;
 }
 
 double

@@ -37,9 +37,17 @@ struct IspParams {
     int batch_concurrency = 1;         ///< independent mini-batch streams
     double watts = 0;                  ///< measured active power
     double dollars = 0;                ///< CapEx per device
+    /** Page-compression effect: stored_ratio scales the delivery bytes,
+     *  decompress_bytes_per_sec adds a front-end decompressor stage
+     *  ahead of the Decoder unit. Off by default (paper build). */
+    PageCompressionModel compression;
 
     /** The SmartSSD build (Table II, 223 MHz, 25 W envelope). */
     static IspParams smartSsd();
+
+    /** The SmartSSD build reading LZ-compressed PSF pages through a
+     *  modeled decompressor unit (cal::kIspDecompressBytesPerSec). */
+    static IspParams smartSsdCompressed();
 
     /** PreSto on a discrete U280 in the storage node (Fig 16). */
     static IspParams prestoU280();

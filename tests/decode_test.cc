@@ -665,6 +665,321 @@ TEST(DecodeFuzzTest, RandomGarbagePayloadsAgree)
     }
 }
 
+// --- LZ page codec ---------------------------------------------------------
+
+enum class ByteShape {
+    kZeros,
+    kRuns,
+    kCycle,
+    kTextish,
+    kRamp,
+    kRandom,
+};
+
+const std::vector<ByteShape> kByteShapes{
+    ByteShape::kZeros, ByteShape::kRuns,   ByteShape::kCycle,
+    ByteShape::kTextish, ByteShape::kRamp, ByteShape::kRandom};
+
+std::vector<uint8_t>
+makeBytes(ByteShape shape, size_t n, uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<uint8_t> v(n);
+    for (size_t i = 0; i < n; ++i) {
+        switch (shape) {
+          case ByteShape::kZeros: v[i] = 0; break;
+          case ByteShape::kRuns:
+            v[i] = static_cast<uint8_t>((i / 97) % 7);
+            break;
+          case ByteShape::kCycle:
+            v[i] = static_cast<uint8_t>(i % 23);
+            break;
+          case ByteShape::kTextish:
+            v[i] = static_cast<uint8_t>(
+                "the quick brown fox "[rng() % 20]);
+            break;
+          case ByteShape::kRamp:
+            v[i] = static_cast<uint8_t>(i >> 3);
+            break;
+          case ByteShape::kRandom:
+            v[i] = static_cast<uint8_t>(rng());
+            break;
+        }
+    }
+    return v;
+}
+
+TEST(LzCodecTest, RoundTripAcrossShapesAndSizes)
+{
+    const std::vector<size_t> sizes{0,   1,    2,    3,     4,    5,
+                                    15,  16,   17,   255,   256,  257,
+                                    999, 4096, 65535, 70000, 262144};
+    for (ByteShape shape : kByteShapes) {
+        for (size_t n : sizes) {
+            const auto raw = makeBytes(shape, n, n * 31 + 7);
+            const auto packed = enc::lzCompress(raw);
+            std::vector<uint8_t> back(raw.size());
+            ASSERT_TRUE(enc::lzDecompress(packed, back).ok())
+                << "shape=" << static_cast<int>(shape) << " n=" << n;
+            ASSERT_EQ(back, raw)
+                << "shape=" << static_cast<int>(shape) << " n=" << n;
+        }
+    }
+}
+
+TEST(LzCodecTest, CompressibleInputShrinksRandomInputBounded)
+{
+    const auto runs = makeBytes(ByteShape::kRuns, 65536, 1);
+    EXPECT_LT(enc::lzCompress(runs).size(), runs.size() / 4);
+
+    // High-entropy input may expand, but only by the literal-run
+    // bookkeeping: ~1 byte per 255 literals plus a small constant.
+    const auto random = makeBytes(ByteShape::kRandom, 65536, 2);
+    EXPECT_LE(enc::lzCompress(random).size(),
+              random.size() + random.size() / 255 + 16);
+}
+
+TEST(LzCodecTest, TruncatedStreamsRejectedOrStillExact)
+{
+    // Every proper prefix must either be rejected as corruption or —
+    // when the cut lands on a sequence boundary after the output is
+    // already complete (e.g. dropping a trailing empty-literals token)
+    // — still reproduce the raw bytes exactly. It must never succeed
+    // with different output.
+    for (ByteShape shape :
+         {ByteShape::kRuns, ByteShape::kTextish, ByteShape::kRandom}) {
+        const auto raw = makeBytes(shape, 5000, 11);
+        const auto packed = enc::lzCompress(raw);
+        for (size_t keep = 0; keep < packed.size(); ++keep) {
+            std::vector<uint8_t> out(raw.size(), 0xee);
+            const Status st = enc::lzDecompress(
+                std::span<const uint8_t>(packed.data(), keep), out);
+            if (st.ok()) {
+                ASSERT_EQ(out, raw)
+                    << "prefix of " << keep
+                    << " bytes accepted with wrong content";
+            } else {
+                ASSERT_EQ(st.code(), StatusCode::kCorruption);
+            }
+        }
+    }
+}
+
+TEST(LzCodecTest, MutatedStreamsNeverCrashOrProduceWrongSize)
+{
+    std::mt19937_64 rng(4242);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const ByteShape shape = kByteShapes[rng() % kByteShapes.size()];
+        const auto raw = makeBytes(shape, rng() % 3000, rng());
+        auto packed = enc::lzCompress(raw);
+        switch (rng() % 3) {
+          case 0:
+            if (!packed.empty())
+                packed[rng() % packed.size()] ^=
+                    static_cast<uint8_t>(1u << (rng() % 8));
+            break;
+          case 1:
+            packed.resize(packed.size() -
+                          std::min(packed.size(), rng() % 8 + 1));
+            break;
+          default:
+            packed.push_back(static_cast<uint8_t>(rng()));
+            break;
+        }
+        // Exact-size output buffer: ASan/UBSan turn any out-of-bounds
+        // write into a failure. A mutated stream may still decompress
+        // (the page CRC is what rejects it in a real frame); it must
+        // just never crash or mis-size.
+        std::vector<uint8_t> out(raw.size());
+        (void)enc::lzDecompress(packed, out);
+    }
+}
+
+TEST(LzCodecTest, RandomGarbageNeverCrashes)
+{
+    std::mt19937_64 rng(271828);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::vector<uint8_t> garbage(rng() % 512);
+        for (auto& b : garbage)
+            b = static_cast<uint8_t>(rng());
+        std::vector<uint8_t> out(rng() % 1024);
+        (void)enc::lzDecompress(garbage, out);
+    }
+}
+
+// --- compressed page frames ------------------------------------------------
+
+void
+appendU32Le(std::vector<uint8_t>& out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+/**
+ * Hand-build a compressed page frame with an arbitrary (possibly
+ * invalid) header but a *correct* CRC, so a rejection can only come
+ * from the parser's structural checks — not from the checksum.
+ */
+std::vector<uint8_t>
+buildFrameWithValidCrc(uint8_t enc_byte, uint32_t value_count,
+                       uint32_t payload_size, uint8_t codec_byte,
+                       uint32_t raw_size, std::span<const uint8_t> stored)
+{
+    std::vector<uint8_t> out;
+    out.push_back(enc_byte);
+    appendU32Le(out, value_count);
+    appendU32Le(out, payload_size);
+    out.push_back(codec_byte);
+    appendU32Le(out, raw_size);
+    out.insert(out.end(), stored.begin(), stored.end());
+    appendU32Le(out, crc32c(out.data(), out.size()));
+    return out;
+}
+
+TEST(PageCodecTest, CompressedFramesRoundTripAllEncodings)
+{
+    for (Encoding encoding : kIntEncodings) {
+        for (Shape shape : kShapes) {
+            const auto values = makeValues(shape, 2048, 77);
+            const auto payload = encodeAs(encoding, values);
+            std::vector<uint8_t> frame;
+            const PageCodec stored_as =
+                writePageFrame(frame, encoding, 2048, payload,
+                               PageCodec::kLz);
+
+            size_t pos = 0;
+            PageView page;
+            ASSERT_TRUE(readPageFrame(frame, pos, page).ok());
+            EXPECT_EQ(pos, frame.size());
+            EXPECT_EQ(page.codec, stored_as);
+            EXPECT_EQ(page.encoding, encoding);
+            EXPECT_EQ(page.raw_size, payload.size());
+
+            std::vector<uint8_t> scratch;
+            std::span<const uint8_t> raw;
+            ASSERT_TRUE(pagePayload(page, scratch, raw).ok());
+            ASSERT_EQ(raw.size(), payload.size());
+            EXPECT_TRUE(std::equal(raw.begin(), raw.end(),
+                                   payload.begin()))
+                << encodingName(encoding) << " shape "
+                << static_cast<int>(shape);
+        }
+    }
+}
+
+TEST(PageCodecTest, IncompressiblePageStoredBitIdenticalToUncompressed)
+{
+    // Hashed-id style payloads do not shrink; the writer must fall back
+    // to the exact uncompressed frame bytes, keeping old readers'
+    // expectations (and old files) valid.
+    const auto values = makeValues(Shape::kUniform, 4096, 5);
+    const auto payload = enc::encodeVarint(values);
+
+    std::vector<uint8_t> with_codec;
+    const PageCodec stored_as = writePageFrame(
+        with_codec, Encoding::kVarint, 4096, payload, PageCodec::kLz);
+    std::vector<uint8_t> plain;
+    writePageFrame(plain, Encoding::kVarint, 4096, payload);
+
+    EXPECT_EQ(stored_as, PageCodec::kNone);
+    EXPECT_EQ(with_codec, plain);
+}
+
+TEST(PageCodecTest, BitPackedInteractsWithCodecBySize)
+{
+    // A cyclic pattern bit-packs *and* still has byte-level repetition
+    // left for the codec; random small-range data bit-packs to
+    // near-incompressible bits and must stay uncompressed.
+    std::vector<int64_t> cyclic(8192), random_small(8192);
+    std::mt19937_64 rng(17);
+    for (size_t i = 0; i < cyclic.size(); ++i) {
+        cyclic[i] = static_cast<int64_t>(i % 16);
+        random_small[i] = static_cast<int64_t>(rng() % 256);
+    }
+
+    std::vector<uint8_t> frame;
+    EXPECT_EQ(writePageFrame(frame, Encoding::kBitPacked,
+                             static_cast<uint32_t>(cyclic.size()),
+                             enc::encodeBitPacked(cyclic), PageCodec::kLz),
+              PageCodec::kLz);
+    frame.clear();
+    EXPECT_EQ(writePageFrame(frame, Encoding::kBitPacked,
+                             static_cast<uint32_t>(random_small.size()),
+                             enc::encodeBitPacked(random_small),
+                             PageCodec::kLz),
+              PageCodec::kNone);
+}
+
+TEST(PageCodecTest, TruncatedCompressedFramesRejected)
+{
+    const auto values = makeValues(Shape::kRuns, 4096, 3);
+    const auto payload = enc::encodePlainI64(values);
+    std::vector<uint8_t> frame;
+    ASSERT_EQ(writePageFrame(frame, Encoding::kPlainI64, 4096, payload,
+                             PageCodec::kLz),
+              PageCodec::kLz);
+    for (size_t keep = 0; keep < frame.size(); ++keep) {
+        std::span<const uint8_t> prefix(frame.data(), keep);
+        size_t pos = 0;
+        PageView page;
+        EXPECT_EQ(readPageFrame(prefix, pos, page).code(),
+                  StatusCode::kCorruption)
+            << "prefix of " << keep << " bytes accepted";
+    }
+}
+
+TEST(PageCodecTest, MalformedCodecHeadersRejectedDespiteValidCrc)
+{
+    const auto raw = makeBytes(ByteShape::kRuns, 1024, 9);
+    const auto packed = enc::lzCompress(raw);
+    ASSERT_LT(packed.size() + kCompressedPageExtraBytes, raw.size());
+    const uint8_t enc_lz =
+        static_cast<uint8_t>(Encoding::kPlainI64) | kPageCompressedFlag;
+    const auto n = static_cast<uint32_t>(raw.size() / 8);
+    const auto psize = static_cast<uint32_t>(packed.size());
+    const auto rsize = static_cast<uint32_t>(raw.size());
+
+    struct Case {
+        const char* what;
+        std::vector<uint8_t> frame;
+    };
+    const Case cases[] = {
+        {"compression flag with codec byte kNone",
+         buildFrameWithValidCrc(enc_lz, n, psize, 0, rsize, packed)},
+        {"unknown codec byte",
+         buildFrameWithValidCrc(enc_lz, n, psize, 9, rsize, packed)},
+        {"raw size above kMaxPageRawBytes",
+         buildFrameWithValidCrc(enc_lz, n, psize, 1,
+                                static_cast<uint32_t>(kMaxPageRawBytes + 1),
+                                packed)},
+        {"stored payload not smaller than raw (overlong frame)",
+         buildFrameWithValidCrc(enc_lz, n, psize, 1, psize, packed)},
+        {"raw size of zero with stored bytes",
+         buildFrameWithValidCrc(enc_lz, n, psize, 1, 0, packed)},
+    };
+    for (const auto& c : cases) {
+        size_t pos = 0;
+        PageView page;
+        EXPECT_EQ(readPageFrame(c.frame, pos, page).code(),
+                  StatusCode::kCorruption)
+            << c.what;
+    }
+
+    // Control: the same builder with a consistent header parses fine,
+    // proving the rejections above come from the header checks.
+    auto good = buildFrameWithValidCrc(enc_lz, n, psize, 1, rsize, packed);
+    size_t pos = 0;
+    PageView page;
+    ASSERT_TRUE(readPageFrame(good, pos, page).ok());
+    std::vector<uint8_t> scratch;
+    std::span<const uint8_t> got;
+    ASSERT_TRUE(pagePayload(page, scratch, got).ok());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), raw.begin()));
+}
+
 // --- CRC32C ----------------------------------------------------------------
 
 TEST(Crc32cTest, KnownVectorAndEmptyInput)

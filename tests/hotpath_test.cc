@@ -499,6 +499,54 @@ TEST(ZeroAllocTest, SteadyStateDecodeLoopCoversEveryIntEncoding)
     EXPECT_EQ(raw, batch);
 }
 
+TEST(ZeroAllocTest, SteadyStateDecodeOfCompressedPagesDoesNotAllocate)
+{
+    // LZ-compressed pages route decode through the reader's decompress
+    // scratch; once that is warm the loop must stay allocation-free,
+    // same as the uncompressed path. RM2's clustered ids give the codec
+    // real work — assert that so the test cannot pass vacuously.
+    RmConfig cfg = rmConfig(2);
+    cfg.batch_size = 512;
+    RawDataGenerator gen(cfg);
+    const auto encoded =
+        ColumnarFileWriter().write(gen.generatePartition(0), 0);
+
+    ColumnarFileReader reader;
+    ASSERT_TRUE(reader.open(encoded).ok());
+    size_t compressed_pages = 0;
+    for (const auto& col : reader.footer().columns) {
+        for (const auto& stream : col.streams) {
+            size_t pos = stream.offset;
+            for (uint32_t p = 0; p < stream.num_pages; ++p) {
+                PageView page;
+                ASSERT_TRUE(scanPageFrame(encoded, pos, page).ok());
+                if (page.codec != PageCodec::kNone)
+                    ++compressed_pages;
+            }
+        }
+    }
+    ASSERT_GT(compressed_pages, 0u) << "no page compressed";
+
+    RowBatch raw;
+    for (int warm = 0; warm < 3; ++warm) {
+        ASSERT_TRUE(reader.open(encoded).ok());
+        ASSERT_TRUE(reader.readAllInto(raw).ok());
+    }
+
+    bool all_ok = true;
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    for (int i = 0; i < 8; ++i) {
+        all_ok = all_ok && reader.open(encoded).ok();
+        all_ok = all_ok && reader.readAllInto(raw).ok();
+    }
+    g_count_allocs.store(false);
+
+    ASSERT_TRUE(all_ok);
+    EXPECT_EQ(g_alloc_count.load(), 0u)
+        << "compressed-page decode loop heap-allocated";
+}
+
 TEST(ZeroAllocTest, SteadyStateIspEmulatorLoopDoesNotAllocate)
 {
     RmConfig cfg = rmConfig(1);

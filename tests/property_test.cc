@@ -255,6 +255,74 @@ TEST_P(BitFlipCorruption, IspEmulatorNeverReturnsWrongData)
 INSTANTIATE_TEST_SUITE_P(Workloads, BitFlipCorruption,
                          ::testing::Values(1, 2, 5));
 
+/**
+ * Corruption inside a *compressed* page payload must be caught by the
+ * page CRC — which covers the stored (compressed) bytes — before the
+ * decompressor ever runs. The returned status message proves which
+ * check fired: frame-level "page checksum mismatch", never an "lz: ..."
+ * decompressor error.
+ */
+TEST(CompressedPageCorruption, CrcFiresBeforeDecompress)
+{
+    RmConfig cfg = rmConfig(2);
+    cfg.batch_size = 256;
+    RawDataGenerator gen(cfg);
+    const RowBatch raw = gen.generatePartition(5);
+    const auto pristine = ColumnarFileWriter().write(raw, 5);
+
+    // Locate every compressed page's stored payload in the file.
+    ColumnarFileReader meta_reader;
+    ASSERT_TRUE(meta_reader.open(pristine).ok());
+    struct Region {
+        size_t begin, size;
+    };
+    std::vector<Region> payloads;
+    for (const auto& col : meta_reader.footer().columns) {
+        for (const auto& stream : col.streams) {
+            const std::span<const uint8_t> bytes(
+                pristine.data() + stream.offset, stream.byte_size);
+            size_t pos = 0;
+            for (uint32_t p = 0; p < stream.num_pages; ++p) {
+                PageView page;
+                ASSERT_TRUE(readPageFrame(bytes, pos, page).ok());
+                if (page.codec != PageCodec::kNone)
+                    payloads.push_back(
+                        {static_cast<size_t>(page.payload.data() -
+                                             pristine.data()),
+                         page.payload.size()});
+            }
+        }
+    }
+    ASSERT_FALSE(payloads.empty())
+        << "no page compressed; corruption test is vacuous";
+
+    Rng rng(404);
+    int trials = 0;
+    for (const auto& region : payloads) {
+        for (int flip = 0; flip < 8; ++flip, ++trials) {
+            auto corrupted = pristine;
+            const size_t byte =
+                region.begin + rng.uniformInt(region.size);
+            corrupted[byte] ^= static_cast<uint8_t>(
+                1u << rng.uniformInt(uint64_t{8}));
+
+            ColumnarFileReader reader;
+            Status st = reader.open(corrupted);
+            StatusOr<RowBatch> decoded =
+                st.ok() ? reader.readAll() : StatusOr<RowBatch>(st);
+            ASSERT_FALSE(decoded.ok())
+                << "payload flip in trial " << trials
+                << " escaped detection";
+            EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+            EXPECT_NE(decoded.status().toString().find(
+                          "page checksum mismatch"),
+                      std::string::npos)
+                << "trial " << trials << " failed past the CRC: "
+                << decoded.status().toString();
+        }
+    }
+}
+
 // --- CacheSim vs oracle LRU ------------------------------------------------------------
 
 /** Naive fully-associative LRU oracle. */

@@ -13,8 +13,9 @@
  *       Run the standard Transform plan on one partition and summarize
  *       the train-ready tensors.
  *   decode <dir> [--partition I] [--reps N]
- *       Time page decode per encoding on one partition, reference vs.
- *       dispatched SIMD kernels.
+ *       Time page decode per (encoding, codec) bucket on one partition,
+ *       reference vs. dispatched SIMD kernels, and report per-bucket
+ *       stored/raw bytes and the achieved compression ratio.
  *   provision --rm N [--gpus G]
  *       Print the T/P provisioning decision for a training job.
  *   io [--rm N] [--rows R] [--qd D] [--emulate-latency 0|1]
@@ -297,14 +298,15 @@ cmdDecode(const Args& args)
         return 1;
     }
 
-    // Bucket every page of every stream by encoding; the payload spans
-    // point into `bytes`, which outlives the timing loops.
+    // Bucket every page of every stream by (encoding, codec); the
+    // payload spans point into `bytes`, which outlives the timing loops.
     struct Bucket {
         std::vector<PageView> pages;
         uint64_t values = 0;
-        uint64_t payload_bytes = 0;
+        uint64_t stored_bytes = 0;  ///< on-disk (possibly compressed)
+        uint64_t raw_bytes = 0;     ///< decompressed payload bytes
     };
-    std::map<Encoding, Bucket> buckets;
+    std::map<std::pair<Encoding, PageCodec>, Bucket> buckets;
     for (const auto& col : file.footer().columns) {
         for (const auto& stream : col.streams) {
             size_t pos = stream.offset;
@@ -316,29 +318,35 @@ cmdDecode(const Args& args)
                                  col.name.c_str(), st.toString().c_str());
                     return 1;
                 }
-                Bucket& b = buckets[page.encoding];
+                Bucket& b = buckets[{page.encoding, page.codec}];
                 b.pages.push_back(page);
                 b.values += page.value_count;
-                b.payload_bytes += page.payload.size();
+                b.stored_bytes += page.payload.size();
+                b.raw_bytes += page.raw_size;
             }
         }
     }
 
-    // Best-of-reps wall time for one full pass over a bucket's pages.
+    // Best-of-reps wall time for one full pass over a bucket's pages
+    // (decompress + decode: the work the Extract stage actually does).
     std::vector<float> f32;
     std::vector<int64_t> i64;
     std::vector<int64_t> dict;
+    std::vector<uint8_t> decomp;
     const auto timeBucket = [&](Encoding e, const Bucket& b) -> double {
         double best = 0;
         for (size_t r = 0; r < reps; ++r) {
             const auto t0 = std::chrono::steady_clock::now();
             for (const PageView& page : b.pages) {
-                const Status st =
-                    e == Encoding::kPlainF32
-                        ? enc::decodeF32(e, page.payload,
-                                         page.value_count, f32)
-                        : enc::decodeI64(e, page.payload,
-                                         page.value_count, i64, dict);
+                std::span<const uint8_t> raw;
+                Status st = pagePayload(page, decomp, raw);
+                if (st.ok()) {
+                    st = e == Encoding::kPlainF32
+                             ? enc::decodeF32(e, raw, page.value_count,
+                                              f32)
+                             : enc::decodeI64(e, raw, page.value_count,
+                                              i64, dict);
+                }
                 if (!st.ok()) {
                     std::fprintf(stderr, "decode failed: %s\n",
                                  st.toString().c_str());
@@ -356,26 +364,43 @@ cmdDecode(const Args& args)
     std::printf("partition %zu (%s), simd level %s, best of %zu reps\n",
                 index, entry.file_name.c_str(),
                 simdLevelName(activeSimdLevel()), reps);
-    TablePrinter table({"Encoding", "Pages", "Values", "Payload",
-                        "Ref Mval/s", "Fast Mval/s", "Speedup"});
-    for (const auto& [encoding, bucket] : buckets) {
+    TablePrinter table({"Encoding", "Codec", "Pages", "Values", "Stored",
+                        "Raw", "Ratio", "Ref Mval/s", "Fast Mval/s",
+                        "Speedup"});
+    uint64_t stored_total = 0;
+    uint64_t raw_total = 0;
+    for (const auto& [key, bucket] : buckets) {
+        const auto& [encoding, codec] = key;
         const bool prev = enc::setFastDecodeEnabled(false);
         const double ref = timeBucket(encoding, bucket);
         enc::setFastDecodeEnabled(true);
         const double fast = timeBucket(encoding, bucket);
         enc::setFastDecodeEnabled(prev);
         const double mvals = static_cast<double>(bucket.values) / 1e6;
-        char ref_s[32], fast_s[32], speedup[32];
+        char ratio[32], ref_s[32], fast_s[32], speedup[32];
+        std::snprintf(ratio, sizeof(ratio), "%.2fx",
+                      static_cast<double>(bucket.raw_bytes) /
+                          static_cast<double>(bucket.stored_bytes));
         std::snprintf(ref_s, sizeof(ref_s), "%.1f", mvals / ref);
         std::snprintf(fast_s, sizeof(fast_s), "%.1f", mvals / fast);
         std::snprintf(speedup, sizeof(speedup), "%.2fx", ref / fast);
         table.addRow(
-            {encodingName(encoding), std::to_string(bucket.pages.size()),
+            {encodingName(encoding), pageCodecName(codec),
+             std::to_string(bucket.pages.size()),
              std::to_string(bucket.values),
-             formatBytes(static_cast<double>(bucket.payload_bytes)),
+             formatBytes(static_cast<double>(bucket.stored_bytes)),
+             formatBytes(static_cast<double>(bucket.raw_bytes)), ratio,
              ref_s, fast_s, speedup});
+        stored_total += bucket.stored_bytes;
+        raw_total += bucket.raw_bytes;
     }
     table.print();
+    std::printf("pages store %s for %s of encoded payload (%.2fx "
+                "compression)\n",
+                formatBytes(static_cast<double>(stored_total)).c_str(),
+                formatBytes(static_cast<double>(raw_total)).c_str(),
+                static_cast<double>(raw_total) /
+                    static_cast<double>(stored_total));
     return 0;
 }
 
