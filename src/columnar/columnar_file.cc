@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/crc32.h"
+#include "common/durable_file.h"
 #include "common/thread_pool.h"
 
 namespace presto {
@@ -224,8 +225,41 @@ Status
 ColumnarFileReader::open(std::span<const uint8_t> data)
 {
     open_ = false;
+    footer_only_ = false;
     bytes_touched_ = 0;
     data_ = data;
+    file_size_ = data.size();
+
+    if (data.size() < 4)
+        return Status::corruption("file too small for PSF framing");
+    if (std::memcmp(data.data(), kMagic, 4) != 0)
+        return Status::corruption("bad header magic");
+    return parseFooterRegion(data, 0, data.size());
+}
+
+Status
+ColumnarFileReader::openTail(std::span<const uint8_t> tail,
+                             uint64_t file_size)
+{
+    open_ = false;
+    footer_only_ = true;
+    bytes_touched_ = 0;
+    data_ = {};
+    file_size_ = file_size;
+
+    if (tail.size() > file_size)
+        return Status::invalidArgument("tail larger than the file");
+    // The header magic is outside the tail; the footer CRC and trailer
+    // magic below still authenticate the directory before any plan or
+    // page is trusted.
+    return parseFooterRegion(tail, file_size - tail.size(), file_size);
+}
+
+Status
+ColumnarFileReader::parseFooterRegion(std::span<const uint8_t> region,
+                                      uint64_t region_base,
+                                      uint64_t file_size)
+{
     // Reset the footer in place: column/stream vectors (and the name
     // strings inside them) keep their capacity across open() calls, so
     // re-opening same-shaped partitions does not allocate.
@@ -233,20 +267,22 @@ ColumnarFileReader::open(std::span<const uint8_t> data)
     footer_.partition_id = 0;
 
     const size_t trailer = 4 + 4 + 4;  // size + crc + magic
-    if (data.size() < 4 + trailer)
+    if (file_size < 4 + trailer || region.size() < trailer)
         return Status::corruption("file too small for PSF framing");
-    if (std::memcmp(data.data(), kMagic, 4) != 0)
-        return Status::corruption("bad header magic");
-    if (std::memcmp(data.data() + data.size() - 4, kMagic, 4) != 0)
+    if (std::memcmp(region.data() + region.size() - 4, kMagic, 4) != 0)
         return Status::corruption("bad trailer magic");
 
-    const size_t size_pos = data.size() - trailer;
-    const uint32_t footer_size = getU32(data, size_pos);
-    const uint32_t footer_crc = getU32(data, size_pos + 4);
-    if (footer_size > size_pos - 4)
+    const size_t size_pos = region.size() - trailer;
+    const uint32_t footer_size = getU32(region, size_pos);
+    const uint32_t footer_crc = getU32(region, size_pos + 4);
+    if (footer_size > file_size - trailer - 4)
         return Status::corruption("footer size exceeds file");
+    if (footer_size > size_pos)
+        return Status::corruption("footer not covered by provided tail");
     const size_t footer_pos = size_pos - footer_size;
-    const auto footer_bytes = data.subspan(footer_pos, footer_size);
+    // Absolute offset where the data region ends (== footer start).
+    const uint64_t data_end = region_base + footer_pos;
+    const auto footer_bytes = region.subspan(footer_pos, footer_size);
     if (crc32c(footer_bytes.data(), footer_bytes.size()) != footer_crc)
         return Status::corruption("footer checksum mismatch");
 
@@ -287,7 +323,7 @@ ColumnarFileReader::open(std::span<const uint8_t> data)
             PRESTO_RETURN_IF_ERROR(
                 enc::getVarint(footer_bytes, pos, num_pages));
             stream.num_pages = static_cast<uint32_t>(num_pages);
-            if (stream.offset + stream.byte_size > footer_pos)
+            if (stream.offset + stream.byte_size > data_end)
                 return Status::corruption("stream extends past data region");
             // Defensive: the writer caps pages at kMaxValuesPerPage, so
             // a larger claim can only come from footer damage and would
@@ -303,6 +339,52 @@ ColumnarFileReader::open(std::span<const uint8_t> data)
 
     bytes_touched_ = footer_size + trailer + 4;
     open_ = true;
+    return Status::okStatus();
+}
+
+Status
+ColumnarFileReader::validatePlans(std::span<const PageReadPlan> plans) const
+{
+    if (!open_)
+        return Status::failedPrecondition("reader is not open");
+    const size_t trailer = 4 + 4 + 4;
+    const uint64_t body_end = file_size_ - trailer;
+    // Per-(column, stream) coverage cursors. Plans must visit each
+    // stream's pages in order and cover its value range exactly, the
+    // same invariant planPageReads() establishes by scanning.
+    std::vector<std::vector<uint64_t>> covered(footer_.columns.size());
+    for (size_t c = 0; c < footer_.columns.size(); ++c)
+        covered[c].assign(footer_.columns[c].streams.size(), 0);
+    for (const PageReadPlan& plan : plans) {
+        if (plan.column >= footer_.columns.size())
+            return Status::corruption("plan names an unknown column");
+        const ColumnMeta& col = footer_.columns[plan.column];
+        if (plan.stream >= col.streams.size())
+            return Status::corruption("plan names an unknown stream");
+        const StreamMeta& stream = col.streams[plan.stream];
+        if (plan.frame_bytes < kPageFrameBytes)
+            return Status::corruption("plan frame impossibly small");
+        if (plan.offset < stream.offset ||
+            plan.offset + plan.frame_bytes >
+                stream.offset + stream.byte_size ||
+            plan.offset + plan.frame_bytes > body_end) {
+            return Status::corruption("plan frame outside its stream");
+        }
+        uint64_t& cursor = covered[plan.column][plan.stream];
+        if (plan.out_offset != cursor ||
+            plan.out_offset + plan.value_count > stream.value_count) {
+            return Status::corruption(
+                "plan output range disagrees with footer");
+        }
+        cursor += plan.value_count;
+    }
+    for (size_t c = 0; c < footer_.columns.size(); ++c) {
+        for (size_t s = 0; s < footer_.columns[c].streams.size(); ++s) {
+            if (covered[c][s] != footer_.columns[c].streams[s].value_count)
+                return Status::corruption(
+                    "plans do not cover every stream value");
+        }
+    }
     return Status::okStatus();
 }
 
@@ -516,6 +598,9 @@ ColumnarFileReader::readColumns(const std::vector<std::string>& names)
 {
     if (!open_)
         return Status::failedPrecondition("reader is not open");
+    if (footer_only_)
+        return Status::failedPrecondition(
+            "reader is footer-only (whole-stream decode needs the body)");
 
     Schema schema;
     std::vector<const ColumnMeta*> selected;
@@ -582,6 +667,9 @@ ColumnarFileReader::readAllInto(RowBatch& out)
 {
     if (!open_)
         return Status::failedPrecondition("reader is not open");
+    if (footer_only_)
+        return Status::failedPrecondition(
+            "reader is footer-only (whole-stream decode needs the body)");
     if (!schemaMatches(out)) {
         auto fresh = readAll();
         PRESTO_RETURN_IF_ERROR(fresh.status());
@@ -609,6 +697,9 @@ ColumnarFileReader::planPageReads(std::vector<PageReadPlan>& plans)
 {
     if (!open_)
         return Status::failedPrecondition("reader is not open");
+    if (footer_only_)
+        return Status::failedPrecondition(
+            "reader is footer-only (planning scans the page frames)");
     plans.clear();
     for (size_t c = 0; c < footer_.columns.size(); ++c) {
         const ColumnMeta& meta = footer_.columns[c];
@@ -779,14 +870,10 @@ ColumnarFileReader::finishReadInto(RowBatch& out)
 Status
 saveToFile(const std::string& path, std::span<const uint8_t> bytes)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        return Status::notFound("cannot open for writing: " + path);
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    if (!out)
-        return Status::corruption("short write to " + path);
-    return Status::okStatus();
+    // Crash-atomic publish (temp + fsync + rename + dir fsync): readers
+    // of a partition or manifest either see the previous complete file
+    // or the new complete one, never a torn prefix.
+    return writeFileDurable(path, bytes);
 }
 
 StatusOr<std::vector<uint8_t>>

@@ -125,6 +125,28 @@ class ColumnarFileReader
     /** Parse and validate the footer. Keeps a reference to @p data. */
     Status open(std::span<const uint8_t> data);
 
+    /**
+     * Footer-only open from the file's tail bytes, for file-backed
+     * reads where the body stays on storage: @p tail is the last
+     * tail.size() bytes of a @p file_size-byte PSF file and must cover
+     * the footer and trailer. Whole-stream decode and planPageReads()
+     * need the body and fail with kFailedPrecondition on a footer-only
+     * reader; the async split (beginReadInto / completePage /
+     * finishReadInto) works unchanged because page frames arrive from
+     * the caller. Page plans come from the caller too (e.g. a segment
+     * store's journal), validated with validatePlans().
+     */
+    Status openTail(std::span<const uint8_t> tail, uint64_t file_size);
+
+    /**
+     * Check externally supplied page plans against the open footer:
+     * every frame must lie inside the file body, land within its
+     * stream's directory entry, and cover each stream's value range
+     * exactly. Plans that pass cannot make completePage() write
+     * outside the buffers beginReadInto() sized.
+     */
+    Status validatePlans(std::span<const PageReadPlan> plans) const;
+
     const FileFooter& footer() const { return footer_; }
     bool isOpen() const { return open_; }
 
@@ -216,7 +238,7 @@ class ColumnarFileReader
     uint64_t
     totalDataBytes() const
     {
-        return data_.size();
+        return file_size_;
     }
 
   private:
@@ -227,6 +249,10 @@ class ColumnarFileReader
         uint32_t value_count = 0;
     };
 
+    /** Shared footer parse of open()/openTail(). @p region ends at the
+        file's last byte; @p region_base is its absolute offset. */
+    Status parseFooterRegion(std::span<const uint8_t> region,
+                             uint64_t region_base, uint64_t file_size);
     Status decodeDense(const ColumnMeta& meta, DenseColumn& out);
     Status decodeSparse(const ColumnMeta& meta, SparseColumn& out);
     Status decodeDenseInto(const ColumnMeta& meta,
@@ -252,6 +278,8 @@ class ColumnarFileReader
     std::span<const uint8_t> data_;
     FileFooter footer_;
     bool open_ = false;
+    bool footer_only_ = false;
+    uint64_t file_size_ = 0;
     uint64_t bytes_touched_ = 0;
     ThreadPool* pool_ = nullptr;
     // Per-reader scratch reused across pages/partitions so the decode

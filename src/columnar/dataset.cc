@@ -14,7 +14,13 @@ namespace {
 
 constexpr const char* kManifestName = "MANIFEST";
 constexpr const char* kManifestMagic = "PSFDATASET";
-constexpr int kManifestVersion = 1;
+// Version 2 appends a "CRC <crc32c>" trailer line covering every
+// preceding byte, so a torn manifest (crash mid-write on a filesystem
+// without atomic rename, or a truncating copy) reads as corruption
+// instead of silently dropping trailing partitions. Version 1 (no
+// trailer) is still accepted for datasets written before the bump.
+constexpr int kManifestVersion = 2;
+constexpr const char* kManifestCrcTag = "CRC ";
 
 std::string
 partitionFileName(uint64_t partition_id)
@@ -71,7 +77,12 @@ DatasetWriter::finish()
         out << e.partition_id << " " << e.file_name << " " << e.byte_size
             << " " << e.crc << "\n";
     }
-    const std::string text = out.str();
+    std::string text = out.str();
+    const uint32_t crc = crc32c(
+        reinterpret_cast<const uint8_t*>(text.data()), text.size());
+    text += kManifestCrcTag;
+    text += std::to_string(crc);
+    text += "\n";
     PRESTO_RETURN_IF_ERROR(saveToFile(
         directory_ + "/" + kManifestName,
         std::span<const uint8_t>(
@@ -90,7 +101,8 @@ DatasetReader::open(const std::string& directory)
     auto bytes = loadFromFile(directory + "/" + kManifestName);
     if (!bytes.ok())
         return bytes.status();
-    std::istringstream in(std::string(bytes->begin(), bytes->end()));
+    const std::string text(bytes->begin(), bytes->end());
+    std::istringstream in(text);
 
     std::string magic;
     int version = 0;
@@ -99,8 +111,29 @@ DatasetReader::open(const std::string& directory)
         magic != kManifestMagic) {
         return Status::corruption("bad manifest header");
     }
-    if (version != kManifestVersion)
+    if (version != 1 && version != kManifestVersion)
         return Status::unimplemented("unsupported manifest version");
+    if (version == kManifestVersion) {
+        // The CRC trailer must be the complete last line; anything else
+        // means the manifest was torn or tampered with.
+        if (text.empty() || text.back() != '\n')
+            return Status::corruption(
+                "manifest not newline-terminated (torn write?)");
+        const size_t body_len = text.rfind(kManifestCrcTag);
+        if (body_len == std::string::npos ||
+            (body_len != 0 && text[body_len - 1] != '\n')) {
+            return Status::corruption(
+                "manifest missing CRC trailer (torn write?)");
+        }
+        uint32_t stored = 0;
+        std::istringstream tail(text.substr(body_len + 4));
+        if (!(tail >> stored))
+            return Status::corruption("unparsable manifest CRC trailer");
+        const uint32_t actual = crc32c(
+            reinterpret_cast<const uint8_t*>(text.data()), body_len);
+        if (actual != stored)
+            return Status::corruption("manifest checksum mismatch");
+    }
 
     for (uint64_t i = 0; i < manifest_.num_partitions; ++i) {
         PartitionEntry e;

@@ -1,0 +1,147 @@
+#include "common/durable_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace presto {
+
+namespace {
+
+std::string
+errnoMessage(const std::string& what, const std::string& path)
+{
+    return what + " " + path + ": " + std::strerror(errno);
+}
+
+/** Write all of @p bytes to @p fd (handles partial write() returns). */
+Status
+writeAll(int fd, std::span<const uint8_t> bytes, const std::string& path)
+{
+    size_t done = 0;
+    while (done < bytes.size()) {
+        const ssize_t n = ::write(fd, bytes.data() + done,
+                                  bytes.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::unavailable(errnoMessage("write to", path));
+        }
+        done += static_cast<size_t>(n);
+    }
+    return Status::okStatus();
+}
+
+}  // namespace
+
+std::string
+dirnameOf(const std::string& path)
+{
+    const size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+Status
+fsyncDirOf(const std::string& path)
+{
+    const std::string dir = dirnameOf(path);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return Status::unavailable(errnoMessage("open directory", dir));
+    Status st = fsyncFd(fd, dir);
+    ::close(fd);
+    return st;
+}
+
+Status
+fsyncFd(int fd, const std::string& path)
+{
+    if (::fsync(fd) != 0)
+        return Status::unavailable(errnoMessage("fsync", path));
+    return Status::okStatus();
+}
+
+Status
+writeFileDurable(const std::string& path, std::span<const uint8_t> bytes)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return Status::unavailable(errnoMessage("open for writing", tmp));
+    Status st = writeAll(fd, bytes, tmp);
+    if (st.ok())
+        st = fsyncFd(fd, tmp);
+    ::close(fd);
+    if (!st.ok()) {
+        ::unlink(tmp.c_str());
+        return st;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return Status::unavailable(errnoMessage("rename to", path));
+    }
+    return fsyncDirOf(path);
+}
+
+StatusOr<uint64_t>
+fileSizeOf(const std::string& path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return Status::notFound(errnoMessage("stat", path));
+    return static_cast<uint64_t>(st.st_size);
+}
+
+StatusOr<int>
+openReadOnly(const std::string& path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return Status::notFound(errnoMessage("open for reading", path));
+    return fd;
+}
+
+Status
+preadExact(int fd, uint8_t* dst, size_t len, uint64_t offset,
+           const std::string& path)
+{
+    size_t done = 0;
+    while (done < len) {
+        const ssize_t n =
+            ::pread(fd, dst + done, len - done,
+                    static_cast<off_t>(offset + done));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::unavailable(errnoMessage("pread", path));
+        }
+        if (n == 0)
+            return Status::corruption("short pread (file truncated?): " +
+                                      path);
+        done += static_cast<size_t>(n);
+    }
+    return Status::okStatus();
+}
+
+Status
+readFileRange(const std::string& path, uint64_t offset, size_t len,
+              std::vector<uint8_t>& out)
+{
+    auto fd = openReadOnly(path);
+    if (!fd.ok())
+        return fd.status();
+    out.resize(len);
+    Status st = preadExact(*fd, out.data(), len, offset, path);
+    ::close(*fd);
+    return st;
+}
+
+}  // namespace presto

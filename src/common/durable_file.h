@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Durable POSIX file primitives shared by the dataset writer and the
+ * persistent segment store.
+ *
+ * The crash model these helpers target is the standard one for
+ * journaled stores: after a crash, a file write may be torn at any byte
+ * offset, but a rename that was followed by an fsync of its directory
+ * is atomic and durable. The canonical crash-atomic publish is
+ * therefore
+ *
+ *   write temp -> fsync temp -> rename over target -> fsync directory
+ *
+ * which writeFileDurable() implements; readers then either see the old
+ * complete file or the new complete file, never a torn mix.
+ */
+#ifndef PRESTO_COMMON_DURABLE_FILE_H_
+#define PRESTO_COMMON_DURABLE_FILE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace presto {
+
+/** Directory component of @p path ("." when there is none). */
+std::string dirnameOf(const std::string& path);
+
+/** fsync the directory containing @p path (making renames durable). */
+Status fsyncDirOf(const std::string& path);
+
+/** fsync one open descriptor. */
+Status fsyncFd(int fd, const std::string& path);
+
+/** Crash-atomic whole-file publish: temp + fsync + rename + dir fsync. */
+Status writeFileDurable(const std::string& path,
+                        std::span<const uint8_t> bytes);
+
+/** Size of the file at @p path (kNotFound when absent). */
+StatusOr<uint64_t> fileSizeOf(const std::string& path);
+
+/** Open @p path read-only. */
+StatusOr<int> openReadOnly(const std::string& path);
+
+/** Read exactly @p len bytes at @p offset (kCorruption on short read). */
+Status preadExact(int fd, uint8_t* dst, size_t len, uint64_t offset,
+                  const std::string& path);
+
+/** Read a byte range of a file into @p out (resized to @p len). */
+Status readFileRange(const std::string& path, uint64_t offset, size_t len,
+                     std::vector<uint8_t>& out);
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_DURABLE_FILE_H_

@@ -15,6 +15,7 @@ enum : uint64_t {
     kDrawCorruption = 0xc0de,
     kDrawBitIndex = 0xb17,
     kDrawTimeout = 0x7173,
+    kDrawTornLength = 0x70a2,
 };
 
 }  // namespace
@@ -24,7 +25,7 @@ FaultSpec::anyFaults() const
 {
     return !fail_stops.empty() || !stragglers.empty() ||
            transient_read_error_prob > 0.0 || corruption_prob > 0.0 ||
-           read_timeout_prob > 0.0;
+           read_timeout_prob > 0.0 || crash_at_durable_op >= 0;
 }
 
 FaultInjector::FaultInjector(FaultSpec spec) : spec_(std::move(spec))
@@ -120,6 +121,24 @@ FaultInjector::readTimeout(uint64_t stream, uint64_t event) const
     if (spec_.read_timeout_prob <= 0.0)
         return false;
     return unitDraw(kDrawTimeout, stream, event) < spec_.read_timeout_prob;
+}
+
+bool
+FaultInjector::crashAtDurableOp(uint64_t op_index) const
+{
+    return spec_.crash_at_durable_op >= 0 &&
+           op_index ==
+               static_cast<uint64_t>(spec_.crash_at_durable_op);
+}
+
+uint64_t
+FaultInjector::tornWriteLength(uint64_t stream, uint64_t event,
+                               uint64_t full_len) const
+{
+    const uint64_t h =
+        mix64(mix64(spec_.seed ^ mix64(kDrawTornLength)) ^
+              (mix64(stream) + 0x9e3779b97f4a7c15ULL * event));
+    return h % (full_len + 1);
 }
 
 double

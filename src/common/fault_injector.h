@@ -73,6 +73,17 @@ struct FaultSpec {
      */
     double read_timeout_prob = 0.0;
 
+    /**
+     * Crash point for durable-write sequences (segment store). Counting
+     * the store's durable operations (journal appends, file writes,
+     * renames, directory syncs) from zero, the operation with this
+     * index "crashes": a data write lands only a torn prefix (length
+     * drawn by tornWriteLength), a rename/sync simply never happens,
+     * and every later operation fails with kAborted. -1 never crashes.
+     * Enumerating this index over a workload visits every crash window.
+     */
+    int64_t crash_at_durable_op = -1;
+
     /** True when any fault class is active. */
     bool anyFaults() const;
 };
@@ -112,6 +123,18 @@ class FaultInjector
 
     /** Whether in-flight request attempt @p event on @p stream times out. */
     bool readTimeout(uint64_t stream, uint64_t event) const;
+
+    /** Whether durable operation @p op_index is the injected crash. */
+    bool crashAtDurableOp(uint64_t op_index) const;
+
+    /**
+     * Bytes of a @p full_len-byte durable write that reach the medium
+     * when the crash interrupts it: a deterministic draw in
+     * [0, full_len] keyed on (stream, event), so sweeping crash points
+     * also sweeps torn-tail lengths.
+     */
+    uint64_t tornWriteLength(uint64_t stream, uint64_t event,
+                             uint64_t full_len) const;
 
     /**
      * Backoff before retry @p retry (0-based) of a failed read:

@@ -14,6 +14,7 @@ statusCodeName(StatusCode code)
       case StatusCode::kUnimplemented:      return "UNIMPLEMENTED";
       case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
       case StatusCode::kUnavailable:        return "UNAVAILABLE";
+      case StatusCode::kAborted:            return "ABORTED";
     }
     return "UNKNOWN";
 }

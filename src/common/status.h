@@ -26,6 +26,7 @@ enum class StatusCode {
     kUnimplemented,
     kFailedPrecondition,
     kUnavailable,  ///< transient failure; retrying may succeed
+    kAborted,      ///< operation cut short (e.g. injected crash point)
 };
 
 /** Human-readable name for a StatusCode. */
@@ -91,6 +92,12 @@ class Status
     unavailable(std::string msg)
     {
         return Status(StatusCode::kUnavailable, std::move(msg));
+    }
+
+    static Status
+    aborted(std::string msg)
+    {
+        return Status(StatusCode::kAborted, std::move(msg));
     }
 
     bool ok() const { return code_ == StatusCode::kOk; }

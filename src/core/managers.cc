@@ -154,6 +154,26 @@ PreprocessManager::fetchDecodeAsync(uint64_t id,
     // and timeouts retry inside the ring with backoff, and a CRC-caught
     // bit flip re-reads just that page instead of refetching the whole
     // partition as the blocking path does.
+    //
+    // With persistence enabled the partition lives in the on-disk
+    // segment store, and every page frame arrives through a real
+    // pread issued by the ring's device workers — the cold-read path —
+    // with identical retry and CRC semantics.
+    SegmentStore* segments = store_.segmentStore();
+    if (segments != nullptr) {
+        auto sid = store_.persistPartition(id);
+        PRESTO_CHECK(sid.ok(), "partition ", id,
+                     " not persistable: ", sid.status().toString());
+        Status st = segments->readSegment(*sid, reader, dp.batch);
+        PRESTO_CHECK(st.ok(), "segment ", *sid, " of partition ", id,
+                     " unreadable: ", st.toString());
+        const AsyncReadStats& rs = reader.lastReadStats();
+        dp.raw_bytes = reader.reader().totalDataBytes();
+        dp.bytes_touched = reader.reader().bytesTouched();
+        dp.transient_errors = rs.device_retries;
+        dp.corrupt_refetches = rs.corrupt_page_rereads;
+        return;
+    }
     const auto& encoded = store_.partition(id);
     Status st = reader.read(encoded, id, dp.batch);
     PRESTO_CHECK(st.ok(), "partition ", id,

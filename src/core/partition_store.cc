@@ -54,6 +54,36 @@ PartitionStore::fetchPartition(uint64_t partition_id, uint64_t attempt)
     return bytes;
 }
 
+void
+PartitionStore::enablePersistence(SegmentStore* segments)
+{
+    std::scoped_lock lock(mu_);
+    segments_ = segments;
+}
+
+SegmentStore*
+PartitionStore::segmentStore() const
+{
+    std::scoped_lock lock(mu_);
+    return segments_;
+}
+
+StatusOr<uint64_t>
+PartitionStore::persistPartition(uint64_t partition_id)
+{
+    SegmentStore* segments = segmentStore();
+    if (segments == nullptr)
+        return Status::failedPrecondition("persistence is not enabled");
+    auto existing = segments->segmentForPartition(partition_id);
+    if (existing.ok())
+        return existing->meta.segment_id;
+    if (existing.status().code() != StatusCode::kNotFound)
+        return existing.status();
+    // First touch: encode (or reuse the cached encoding) and commit.
+    const std::vector<uint8_t>& encoded = partition(partition_id);
+    return segments->appendEncoded(encoded, partition_id);
+}
+
 uint64_t
 PartitionStore::partitionBytes(uint64_t partition_id)
 {

@@ -20,6 +20,7 @@
 #include "columnar/columnar_file.h"
 #include "common/fault_injector.h"
 #include "datagen/generator.h"
+#include "store/segment_store.h"
 
 namespace presto {
 
@@ -74,10 +75,32 @@ class PartitionStore
 
     const RawDataGenerator& generator() const { return generator_; }
 
+    /**
+     * Persistence mode: back this store with an on-disk SegmentStore
+     * (not owned; must outlive this object; nullptr disables). Once
+     * enabled, persistPartition() commits partitions as durable
+     * segments and the async Extract path streams their pages from
+     * real storage through the IoRing instead of from the in-memory
+     * cache.
+     */
+    void enablePersistence(SegmentStore* segments);
+
+    /** The backing segment store (nullptr when persistence is off). */
+    SegmentStore* segmentStore() const;
+
+    /**
+     * Ensure @p partition_id is durably committed, encoding and
+     * appending it on first call; idempotent afterwards (recovered
+     * segments from an earlier process are reused, not rewritten).
+     * @return the live segment id holding the partition.
+     */
+    StatusOr<uint64_t> persistPartition(uint64_t partition_id);
+
   private:
     const RawDataGenerator& generator_;
     ColumnarFileWriter writer_;
     const FaultInjector* faults_ = nullptr;
+    SegmentStore* segments_ = nullptr;
     mutable std::mutex mu_;
     std::map<uint64_t, std::vector<uint8_t>> partitions_;
 };

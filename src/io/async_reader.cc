@@ -19,7 +19,7 @@ AsyncPartitionReader::AsyncPartitionReader(IoRing& ring,
 }
 
 Status
-AsyncPartitionReader::submitPage(std::span<const uint8_t> file,
+AsyncPartitionReader::submitPage(std::span<const uint8_t> file, int fd,
                                  uint64_t partition_id, size_t plan_index,
                                  uint32_t attempt)
 {
@@ -37,7 +37,12 @@ AsyncPartitionReader::submitPage(std::span<const uint8_t> file,
     slot.buf.resize(plan.frame_bytes);
 
     IoRequest req;
-    req.src = file.subspan(plan.offset, plan.frame_bytes);
+    if (fd >= 0) {
+        req.fd = fd;
+        req.length = plan.frame_bytes;
+    } else {
+        req.src = file.subspan(plan.offset, plan.frame_bytes);
+    }
     req.dest = slot.buf.data();
     req.stream_id = partition_id;
     req.offset = plan.offset;
@@ -80,7 +85,28 @@ AsyncPartitionReader::read(std::span<const uint8_t> file,
     PRESTO_RETURN_IF_ERROR(reader_.open(file));
     PRESTO_RETURN_IF_ERROR(reader_.planPageReads(plans_));
     PRESTO_RETURN_IF_ERROR(reader_.beginReadInto(out));
+    return runRead(file, /*fd=*/-1, partition_id, out);
+}
 
+Status
+AsyncPartitionReader::readFile(const FileReadSource& src,
+                               uint64_t partition_id, RowBatch& out)
+{
+    PRESTO_RETURN_IF_ERROR(reader_.openTail(src.tail, src.file_size));
+    // Plans come from outside the file (a journal); prove they are
+    // consistent with the footer before any of them sizes a buffer or
+    // lands a decode, so a stale or corrupt plan set cannot write out
+    // of bounds — it is rejected here as corruption instead.
+    PRESTO_RETURN_IF_ERROR(reader_.validatePlans(src.plans));
+    plans_.assign(src.plans.begin(), src.plans.end());
+    PRESTO_RETURN_IF_ERROR(reader_.beginReadInto(out));
+    return runRead({}, src.fd, partition_id, out);
+}
+
+Status
+AsyncPartitionReader::runRead(std::span<const uint8_t> file, int fd,
+                              uint64_t partition_id, RowBatch& out)
+{
     stats_ = AsyncReadStats{};
     stats_.pages = plans_.size();
     {
@@ -117,7 +143,7 @@ AsyncPartitionReader::read(std::span<const uint8_t> file,
                 }
             }
             PRESTO_RETURN_IF_ERROR(
-                submitPage(file, partition_id, plan_index, attempt));
+                submitPage(file, fd, partition_id, plan_index, attempt));
             ++ring_outstanding;
         }
 

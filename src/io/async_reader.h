@@ -78,6 +78,30 @@ class AsyncPartitionReader
     Status read(std::span<const uint8_t> file, uint64_t partition_id,
                 RowBatch& out);
 
+    /**
+     * File-backed source for readFile(): the PSF body stays on storage
+     * and every page frame arrives via pread through the ring. The
+     * descriptor is caller-owned and must stay open for the read; the
+     * tail must cover the footer + trailer; the plans come from outside
+     * (e.g. a segment store's journal) and are re-validated against the
+     * footer before any page is fetched.
+     */
+    struct FileReadSource {
+        int fd = -1;
+        uint64_t file_size = 0;
+        std::span<const uint8_t> tail;
+        std::span<const PageReadPlan> plans;
+    };
+
+    /**
+     * Same decode pipeline as read(), but page frames are pread() from
+     * @p src.fd by the ring's device workers instead of copied from a
+     * memory span — the cold-read path of the persistent segment store.
+     * Retry/backoff, CRC re-read, and fault semantics are identical.
+     */
+    Status readFile(const FileReadSource& src, uint64_t partition_id,
+                    RowBatch& out);
+
     const AsyncReadStats& lastReadStats() const { return stats_; }
 
     /** Footer / byte-touch access for the file of the last read(). */
@@ -90,8 +114,13 @@ class AsyncPartitionReader
         uint32_t attempt = 0;
     };
 
-    Status submitPage(std::span<const uint8_t> file, uint64_t partition_id,
-                      size_t plan_index, uint32_t attempt);
+    /** Shared submit/reap/decode loop of read()/readFile(); @p fd < 0
+        means memory-backed (@p file), else file-backed via pread. */
+    Status runRead(std::span<const uint8_t> file, int fd,
+                   uint64_t partition_id, RowBatch& out);
+    Status submitPage(std::span<const uint8_t> file, int fd,
+                      uint64_t partition_id, size_t plan_index,
+                      uint32_t attempt);
     void decodeSlot(size_t slot_index, RowBatch* out);
 
     IoRing& ring_;

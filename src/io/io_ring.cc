@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/durable_file.h"
 #include "common/logging.h"
 #include "common/rng.h"
 
@@ -17,6 +18,13 @@ sleepSec(double seconds)
 {
     if (seconds > 0)
         std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/** Bytes a request delivers: pread length (file) or src size (memory). */
+uint64_t
+requestBytes(const IoRequest& req)
+{
+    return req.fd >= 0 ? req.length : req.src.size();
 }
 
 }  // namespace
@@ -69,7 +77,7 @@ IoRing::registerConsumer()
 void
 IoRing::submit(uint32_t consumer, const IoRequest& req)
 {
-    PRESTO_CHECK(req.dest != nullptr || req.src.empty(),
+    PRESTO_CHECK(req.dest != nullptr || requestBytes(req) == 0,
                  "submit without a destination buffer");
     std::unique_lock<std::mutex> lock(mu_);
     PRESTO_CHECK(consumer < next_consumer_, "unregistered consumer");
@@ -86,7 +94,7 @@ IoRing::submit(uint32_t consumer, const IoRequest& req)
 bool
 IoRing::trySubmit(uint32_t consumer, const IoRequest& req)
 {
-    PRESTO_CHECK(req.dest != nullptr || req.src.empty(),
+    PRESTO_CHECK(req.dest != nullptr || requestBytes(req) == 0,
                  "submit without a destination buffer");
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -218,8 +226,9 @@ IoRing::processRequest(const Sqe& sqe)
     c.user_data = req.user_data;
     c.state = IoRequestState::kCompleted;
 
+    const uint64_t req_bytes = requestBytes(req);
     const double service =
-        serviceSeconds(req.src.size()) * options_.latency_scale;
+        serviceSeconds(req_bytes) * options_.latency_scale;
     const int max_retries =
         faults != nullptr ? faults->spec().max_read_retries : 0;
     uint32_t tries = 0;
@@ -263,14 +272,28 @@ IoRing::processRequest(const Sqe& sqe)
 
     bool corrupted = false;
     if (c.status.ok()) {
-        if (!req.src.empty())
+        if (req.fd >= 0) {
+            // Real storage: pread the range off the (kept-open) file. A
+            // failure here is a genuine I/O error, surfaced as-is.
+            Status st = req.length == 0
+                            ? Status::okStatus()
+                            : preadExact(req.fd, req.dest, req.length,
+                                         req.offset, "io-ring fd");
+            if (!st.ok()) {
+                c.status = std::move(st);
+                c.state = IoRequestState::kFailed;
+            }
+        } else if (!req.src.empty()) {
             std::memcpy(req.dest, req.src.data(), req.src.size());
-        c.bytes = req.src.size();
+        }
+    }
+    if (c.status.ok()) {
+        c.bytes = req_bytes;
         // Silent in-flight corruption: flip one bit of the delivered
         // copy. The device reports success; only the page CRC can tell.
-        if (faults != nullptr && !req.src.empty() &&
+        if (faults != nullptr && req_bytes != 0 &&
             faults->corruptionOccurs(req.stream_id, base_event + tries)) {
-            faults->corruptBytes({req.dest, req.src.size()}, req.stream_id,
+            faults->corruptBytes({req.dest, req_bytes}, req.stream_id,
                                  base_event + tries);
             corrupted = true;
         }

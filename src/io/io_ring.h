@@ -60,13 +60,26 @@ enum class IoRequestState : uint8_t {
 const char* ioRequestStateName(IoRequestState state);
 
 /**
- * One submission-queue entry: copy @p src (a device-resident byte
- * range) into caller-owned @p dest. The source span stays valid until
- * the completion is reaped; the destination must hold src.size() bytes.
+ * One submission-queue entry: deliver a device-resident byte range into
+ * caller-owned @p dest. Two backends share the queue:
+ *
+ *  - memory-backed (@p fd < 0): copy @p src into @p dest. The source
+ *    span stays valid until the completion is reaped.
+ *  - file-backed (@p fd >= 0): pread() @p length bytes at @p offset of
+ *    the (caller-owned, kept-open) descriptor into @p dest; @p src is
+ *    ignored. A short or failing pread completes the request as kFailed
+ *    with the pread's status — it is a real I/O error, not an injected
+ *    one, so the in-ring retry budget does not apply.
+ *
+ * Either way the destination must hold the full request, and injected
+ * faults (transients, timeouts, silent bit flips) act identically on
+ * both backends.
  */
 struct IoRequest {
-    std::span<const uint8_t> src;  ///< device-resident bytes to read
+    std::span<const uint8_t> src;  ///< device-resident bytes (fd < 0)
     uint8_t* dest = nullptr;       ///< caller-owned destination buffer
+    int fd = -1;             ///< file-backed source descriptor (-1 = none)
+    uint32_t length = 0;     ///< bytes to pread when fd >= 0
     uint64_t stream_id = 0;  ///< fault-draw stream (e.g. partition id)
     uint64_t offset = 0;     ///< device byte offset (fault/timing identity)
     uint32_t attempt = 0;    ///< caller-level re-read ordinal (fault identity)

@@ -1,0 +1,265 @@
+#include "store/journal.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace presto {
+
+namespace {
+
+void
+putU32(std::vector<uint8_t>& out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t
+getU32(std::span<const uint8_t> in, size_t pos)
+{
+    return static_cast<uint32_t>(in[pos]) |
+           static_cast<uint32_t>(in[pos + 1]) << 8 |
+           static_cast<uint32_t>(in[pos + 2]) << 16 |
+           static_cast<uint32_t>(in[pos + 3]) << 24;
+}
+
+void
+putString(std::vector<uint8_t>& out, const std::string& s)
+{
+    enc::putVarint(out, s.size());
+    for (char c : s)
+        out.push_back(static_cast<uint8_t>(c));
+}
+
+Status
+getString(std::span<const uint8_t> in, size_t& pos, std::string& s)
+{
+    uint64_t len = 0;
+    PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, len));
+    if (pos + len > in.size())
+        return Status::corruption("truncated string in journal record");
+    s.assign(reinterpret_cast<const char*>(in.data() + pos), len);
+    pos += len;
+    return Status::okStatus();
+}
+
+void
+putMeta(std::vector<uint8_t>& out, const SegmentMeta& meta)
+{
+    enc::putVarint(out, meta.segment_id);
+    enc::putVarint(out, meta.partition_id);
+    putString(out, meta.file_name);
+    enc::putVarint(out, meta.byte_size);
+    enc::putVarint(out, meta.file_crc);
+    enc::putVarint(out, meta.num_rows);
+    enc::putVarint(out, meta.tail_bytes);
+    enc::putVarint(out, meta.plans.size());
+    for (const PageReadPlan& plan : meta.plans) {
+        enc::putVarint(out, plan.offset);
+        enc::putVarint(out, plan.frame_bytes);
+        enc::putVarint(out, plan.value_count);
+        enc::putVarint(out, plan.out_offset);
+        enc::putVarint(out, plan.column);
+        enc::putVarint(out, plan.stream);
+    }
+}
+
+Status
+getMeta(std::span<const uint8_t> in, size_t& pos, SegmentMeta& meta)
+{
+    uint64_t u = 0;
+    PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, meta.segment_id));
+    PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, meta.partition_id));
+    PRESTO_RETURN_IF_ERROR(getString(in, pos, meta.file_name));
+    PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, meta.byte_size));
+    PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, u));
+    meta.file_crc = static_cast<uint32_t>(u);
+    PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, meta.num_rows));
+    PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, u));
+    meta.tail_bytes = static_cast<uint32_t>(u);
+    uint64_t num_plans = 0;
+    PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, num_plans));
+    if (num_plans > in.size())
+        return Status::corruption("implausible plan count in journal");
+    meta.plans.clear();
+    meta.plans.reserve(num_plans);
+    for (uint64_t p = 0; p < num_plans; ++p) {
+        PageReadPlan plan;
+        PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, plan.offset));
+        PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, u));
+        plan.frame_bytes = static_cast<uint32_t>(u);
+        PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, u));
+        plan.value_count = static_cast<uint32_t>(u);
+        PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, plan.out_offset));
+        PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, u));
+        plan.column = static_cast<uint32_t>(u);
+        PRESTO_RETURN_IF_ERROR(enc::getVarint(in, pos, u));
+        plan.stream = static_cast<uint32_t>(u);
+        meta.plans.push_back(plan);
+    }
+    return Status::okStatus();
+}
+
+Status
+decodePayload(std::span<const uint8_t> payload, JournalRecord& record)
+{
+    if (payload.empty())
+        return Status::corruption("empty journal record");
+    const uint8_t kind = payload[0];
+    if (kind < static_cast<uint8_t>(JournalRecordKind::kSegmentWriting) ||
+        kind > static_cast<uint8_t>(JournalRecordKind::kCheckpoint)) {
+        return Status::corruption("unknown journal record kind");
+    }
+    record = JournalRecord{};
+    record.kind = static_cast<JournalRecordKind>(kind);
+    size_t pos = 1;
+    switch (record.kind) {
+      case JournalRecordKind::kSegmentWriting:
+        PRESTO_RETURN_IF_ERROR(
+            enc::getVarint(payload, pos, record.segment_id));
+        PRESTO_RETURN_IF_ERROR(
+            enc::getVarint(payload, pos, record.partition_id));
+        PRESTO_RETURN_IF_ERROR(getString(payload, pos, record.file_name));
+        break;
+      case JournalRecordKind::kSegmentSealed:
+        PRESTO_RETURN_IF_ERROR(getMeta(payload, pos, record.meta));
+        record.segment_id = record.meta.segment_id;
+        break;
+      case JournalRecordKind::kSegmentCompacted:
+        PRESTO_RETURN_IF_ERROR(
+            enc::getVarint(payload, pos, record.segment_id));
+        PRESTO_RETURN_IF_ERROR(
+            enc::getVarint(payload, pos, record.new_segment_id));
+        break;
+      case JournalRecordKind::kSegmentRetired:
+        PRESTO_RETURN_IF_ERROR(
+            enc::getVarint(payload, pos, record.segment_id));
+        break;
+      case JournalRecordKind::kSegmentQuarantined:
+        PRESTO_RETURN_IF_ERROR(
+            enc::getVarint(payload, pos, record.segment_id));
+        PRESTO_RETURN_IF_ERROR(getString(payload, pos, record.reason));
+        break;
+      case JournalRecordKind::kCheckpoint:
+        PRESTO_RETURN_IF_ERROR(
+            enc::getVarint(payload, pos, record.next_segment_id));
+        break;
+    }
+    if (pos != payload.size())
+        return Status::corruption("trailing bytes in journal record");
+    return Status::okStatus();
+}
+
+}  // namespace
+
+const char kJournalMagic[4] = {'P', 'S', 'J', '1'};
+
+const char*
+journalRecordKindName(JournalRecordKind kind)
+{
+    switch (kind) {
+      case JournalRecordKind::kSegmentWriting:     return "writing";
+      case JournalRecordKind::kSegmentSealed:      return "sealed";
+      case JournalRecordKind::kSegmentCompacted:   return "compacted";
+      case JournalRecordKind::kSegmentRetired:     return "retired";
+      case JournalRecordKind::kSegmentQuarantined: return "quarantined";
+      case JournalRecordKind::kCheckpoint:         return "checkpoint";
+    }
+    return "unknown";
+}
+
+std::vector<uint8_t>
+encodeJournalFrame(const JournalRecord& record)
+{
+    std::vector<uint8_t> payload;
+    payload.push_back(static_cast<uint8_t>(record.kind));
+    switch (record.kind) {
+      case JournalRecordKind::kSegmentWriting:
+        enc::putVarint(payload, record.segment_id);
+        enc::putVarint(payload, record.partition_id);
+        putString(payload, record.file_name);
+        break;
+      case JournalRecordKind::kSegmentSealed:
+        putMeta(payload, record.meta);
+        break;
+      case JournalRecordKind::kSegmentCompacted:
+        enc::putVarint(payload, record.segment_id);
+        enc::putVarint(payload, record.new_segment_id);
+        break;
+      case JournalRecordKind::kSegmentRetired:
+        enc::putVarint(payload, record.segment_id);
+        break;
+      case JournalRecordKind::kSegmentQuarantined:
+        enc::putVarint(payload, record.segment_id);
+        putString(payload, record.reason);
+        break;
+      case JournalRecordKind::kCheckpoint:
+        enc::putVarint(payload, record.next_segment_id);
+        break;
+    }
+    std::vector<uint8_t> frame;
+    frame.reserve(8 + payload.size());
+    putU32(frame, static_cast<uint32_t>(payload.size()));
+    putU32(frame, crc32c(payload.data(), payload.size()));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    return frame;
+}
+
+std::vector<uint8_t>
+encodeJournalHeader()
+{
+    std::vector<uint8_t> out;
+    for (char c : kJournalMagic)
+        out.push_back(static_cast<uint8_t>(c));
+    return out;
+}
+
+Status
+replayJournal(std::span<const uint8_t> bytes, JournalReplay& out)
+{
+    out = JournalReplay{};
+    if (bytes.size() < 4)
+        return Status::corruption("journal too small for its header");
+    if (std::memcmp(bytes.data(), kJournalMagic, 4) != 0)
+        return Status::corruption("bad journal magic");
+
+    size_t pos = 4;
+    for (;;) {
+        if (pos == bytes.size())
+            break;  // clean end
+        if (bytes.size() - pos < 8) {
+            out.torn_reason = "torn frame header";
+            break;
+        }
+        const uint32_t len = getU32(bytes, pos);
+        const uint32_t crc = getU32(bytes, pos + 4);
+        if (len > bytes.size() - pos - 8) {
+            out.torn_reason = "torn frame payload";
+            break;
+        }
+        const auto payload = bytes.subspan(pos + 8, len);
+        if (crc32c(payload.data(), payload.size()) != crc) {
+            out.torn_reason = "frame checksum mismatch";
+            break;
+        }
+        JournalRecord record;
+        if (!decodePayload(payload, record).ok()) {
+            // A CRC-valid but undecodable payload can only be a torn
+            // write that happened to keep its checksum (or software
+            // damage); either way the append-only damage model says
+            // nothing after it is trustworthy.
+            out.torn_reason = "undecodable record payload";
+            break;
+        }
+        out.records.push_back(std::move(record));
+        pos += 8 + len;
+    }
+    out.valid_bytes = pos;
+    out.torn_bytes = bytes.size() - pos;
+    return Status::okStatus();
+}
+
+}  // namespace presto

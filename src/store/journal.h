@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Append-only, CRC-framed journal of segment lifecycle for the
+ * persistent segment store.
+ *
+ * The journal is the store's single source of truth: a segment exists
+ * iff its kSegmentSealed record is durable (the commit point), and the
+ * later kSegmentCompacted / kSegmentRetired / kSegmentQuarantined
+ * records move it through the lifecycle
+ *
+ *   written -> sealed -> compacted -> retired
+ *
+ * Layout:
+ *   "PSJ1"                      4-byte header magic
+ *   frame*                      records, each framed as
+ *     payload_len u32
+ *     payload_crc u32           crc32c over the payload bytes
+ *     payload                   [kind u8][kind-specific varint fields]
+ *
+ * Damage model: the journal is only ever appended to (or atomically
+ * rewritten whole at a checkpoint), so a crash can tear exclusively the
+ * *tail*. Replay therefore stops at the first frame whose length or CRC
+ * does not check out and reports every byte from there on as the torn
+ * tail; everything before it is intact by construction.
+ */
+#ifndef PRESTO_STORE_JOURNAL_H_
+#define PRESTO_STORE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/columnar_file.h"
+#include "common/status.h"
+
+namespace presto {
+
+/** Journal record kinds (stable on-disk values). */
+enum class JournalRecordKind : uint8_t {
+    kSegmentWriting = 1,      ///< segment file about to be written
+    kSegmentSealed = 2,       ///< segment durable + verified (commit point)
+    kSegmentCompacted = 3,    ///< segment superseded by a rewrite
+    kSegmentRetired = 4,      ///< segment file deleted
+    kSegmentQuarantined = 5,  ///< segment failed a CRC check
+    kCheckpoint = 6,          ///< first record of a rewritten journal
+};
+
+/** Human-readable kind name (for the CLI and reports). */
+const char* journalRecordKindName(JournalRecordKind kind);
+
+/**
+ * Durable description of one sealed segment. The page plans are the
+ * same PageReadPlan vector planPageReads() produced at seal time; they
+ * ride in the journal (CRC-framed) so a cold read needs to pread only
+ * the file tail plus the planned page frames, never a full scan.
+ */
+struct SegmentMeta {
+    uint64_t segment_id = 0;
+    uint64_t partition_id = 0;
+    std::string file_name;
+    uint64_t byte_size = 0;   ///< whole segment file size
+    uint32_t file_crc = 0;    ///< crc32c over the whole file
+    uint64_t num_rows = 0;
+    uint32_t tail_bytes = 0;  ///< footer + trailer span at the file end
+    std::vector<PageReadPlan> plans;
+};
+
+/** One decoded journal record (fields used depend on kind). */
+struct JournalRecord {
+    JournalRecordKind kind = JournalRecordKind::kSegmentWriting;
+    SegmentMeta meta;              ///< kSealed: the full segment
+    uint64_t segment_id = 0;       ///< kWriting/kCompacted/kRetired/kQuar.
+    uint64_t partition_id = 0;     ///< kWriting
+    std::string file_name;         ///< kWriting
+    uint64_t new_segment_id = 0;   ///< kCompacted: the replacement
+    std::string reason;            ///< kQuarantined
+    uint64_t next_segment_id = 0;  ///< kCheckpoint: id allocator floor
+};
+
+/** Result of replaying journal bytes. */
+struct JournalReplay {
+    std::vector<JournalRecord> records;  ///< intact records, in order
+    uint64_t valid_bytes = 0;   ///< prefix length that replayed cleanly
+    uint64_t torn_bytes = 0;    ///< trailing bytes dropped as torn
+    std::string torn_reason;    ///< why the scan stopped (empty if clean)
+};
+
+/** The 4-byte journal header magic. */
+extern const char kJournalMagic[4];
+
+/** Serialize one record as a CRC-framed journal frame. */
+std::vector<uint8_t> encodeJournalFrame(const JournalRecord& record);
+
+/** Serialize the 4-byte journal header. */
+std::vector<uint8_t> encodeJournalHeader();
+
+/**
+ * Replay journal bytes: validate the header, then decode frames until
+ * the bytes run out or a frame fails its length/CRC/payload check —
+ * everything from the first bad frame on is reported as the torn tail,
+ * never an error (that is the journal's crash signature). Only a
+ * missing/bad *header* is a hard corruption, since appends cannot
+ * damage it.
+ */
+Status replayJournal(std::span<const uint8_t> bytes, JournalReplay& out);
+
+}  // namespace presto
+
+#endif  // PRESTO_STORE_JOURNAL_H_

@@ -1,0 +1,107 @@
+#include "store/store_fs.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/durable_file.h"
+
+namespace presto {
+
+namespace {
+
+Status
+writeAll(int fd, std::span<const uint8_t> bytes, const std::string& path)
+{
+    size_t done = 0;
+    while (done < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + done, bytes.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::unavailable("write to " + path + ": " +
+                                       std::strerror(errno));
+        }
+        done += static_cast<size_t>(n);
+    }
+    return Status::okStatus();
+}
+
+Status
+appendToFile(const std::string& path, std::span<const uint8_t> bytes,
+             bool do_fsync)
+{
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0)
+        return Status::unavailable("open for append " + path + ": " +
+                                   std::strerror(errno));
+    Status st = writeAll(fd, bytes, path);
+    if (st.ok() && do_fsync)
+        st = fsyncFd(fd, path);
+    ::close(fd);
+    return st;
+}
+
+}  // namespace
+
+bool
+StoreIo::drawCrash(uint64_t full_len, uint64_t& torn_len)
+{
+    if (faults_ == nullptr || !faults_->crashAtDurableOp(ops_))
+        return false;
+    torn_len = faults_->tornWriteLength(/*stream=*/ops_, /*event=*/0,
+                                        full_len);
+    return true;
+}
+
+Status
+StoreIo::appendDurable(const std::string& path,
+                       std::span<const uint8_t> bytes)
+{
+    if (crashed_)
+        return Status::aborted("store crashed at an injected crash point");
+    uint64_t torn_len = 0;
+    const bool crash = drawCrash(bytes.size(), torn_len);
+    ++ops_;
+    if (crash) {
+        crashed_ = true;
+        // The torn prefix reaches the file, the fsync never does —
+        // recovery must drop it as the journal's torn tail.
+        (void)appendToFile(path, bytes.subspan(0, torn_len),
+                           /*do_fsync=*/false);
+        return Status::aborted("injected crash during journal append");
+    }
+    return appendToFile(path, bytes, /*do_fsync=*/true);
+}
+
+Status
+StoreIo::publishDurable(const std::string& path,
+                        std::span<const uint8_t> bytes)
+{
+    if (crashed_)
+        return Status::aborted("store crashed at an injected crash point");
+    uint64_t torn_len = 0;
+    const bool crash = drawCrash(bytes.size(), torn_len);
+    ++ops_;
+    if (crash) {
+        crashed_ = true;
+        // Crash inside writeFileDurable()'s window: the temp file holds
+        // a torn prefix and the rename never happens, so the target
+        // path is untouched (absent for a new file, old content for a
+        // rewrite). Recovery must treat the leftover temp as garbage.
+        const std::string tmp = path + ".tmp";
+        const int fd =
+            ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            (void)writeAll(fd, bytes.subspan(0, torn_len), tmp);
+            ::close(fd);
+        }
+        return Status::aborted("injected crash during file publish");
+    }
+    return writeFileDurable(path, bytes);
+}
+
+}  // namespace presto

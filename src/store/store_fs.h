@@ -1,0 +1,77 @@
+/**
+ * @file
+ * StoreIo: the segment store's durable-operation layer, with
+ * deterministic crash-point injection.
+ *
+ * Every state change the store makes goes through exactly one of two
+ * durable operations:
+ *
+ *   appendDurable()   - append bytes to the journal, then fsync
+ *   publishDurable()  - crash-atomic whole-file publish
+ *                       (temp + fsync + rename + dir fsync)
+ *
+ * StoreIo numbers these operations 0, 1, 2, ... in issue order. With a
+ * FaultInjector whose spec sets crash_at_durable_op = k, operation k
+ * "crashes": the write is torn at a seed-derived byte length (an
+ * append leaves a torn journal tail; a publish leaves only a torn temp
+ * file, since the rename never happens), the operation returns
+ * kAborted, and every later operation fails kAborted immediately — the
+ * process is "dead" as far as the store is concerned. Re-opening the
+ * store directory then exercises recovery against precisely the k-th
+ * crash window, and sweeping k over a workload's operation count
+ * covers every window the workload has.
+ */
+#ifndef PRESTO_STORE_STORE_FS_H_
+#define PRESTO_STORE_STORE_FS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/fault_injector.h"
+#include "common/status.h"
+
+namespace presto {
+
+class StoreIo
+{
+  public:
+    explicit StoreIo(const FaultInjector* faults = nullptr)
+        : faults_(faults)
+    {}
+
+    /**
+     * Append @p bytes to the file at @p path (created if absent) and
+     * fsync it. On an injected crash, a torn prefix of @p bytes is
+     * appended instead and kAborted is returned.
+     */
+    Status appendDurable(const std::string& path,
+                         std::span<const uint8_t> bytes);
+
+    /**
+     * Crash-atomic whole-file publish. On an injected crash, only
+     * "@p path.tmp" exists afterwards, holding a torn prefix — the
+     * rename (the atomic step) never happened.
+     */
+    Status publishDurable(const std::string& path,
+                          std::span<const uint8_t> bytes);
+
+    /** Durable operations issued so far (== the next op's index). */
+    uint64_t durableOps() const { return ops_; }
+
+    /** True once an injected crash fired; all further ops abort. */
+    bool crashed() const { return crashed_; }
+
+  private:
+    /** Returns true when the op now being issued is the crash point;
+        @p torn_len receives the injected torn write length. */
+    bool drawCrash(uint64_t full_len, uint64_t& torn_len);
+
+    const FaultInjector* faults_;
+    uint64_t ops_ = 0;
+    bool crashed_ = false;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_STORE_STORE_FS_H_

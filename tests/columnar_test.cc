@@ -635,5 +635,145 @@ TEST(FileTest, DatasetWriterHonorsCodecOption)
     EXPECT_EQ(*a, batch);
 }
 
+// --- manifest durability ----------------------------------------------------
+
+/** Write a three-partition dataset into a fresh temp dir. */
+std::string
+writeDataset(const std::string& name)
+{
+    const std::string dir = ::testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    DatasetWriter writer(dir);
+    for (uint64_t p = 0; p < 3; ++p)
+        EXPECT_TRUE(writer.addPartition(smallBatch(1, 64, p), p).ok());
+    EXPECT_TRUE(writer.finish().ok());
+    return dir;
+}
+
+TEST(FileTest, TruncatedManifestIsCorruption)
+{
+    // Regression: a torn manifest must read as corruption at open()
+    // time — never as a shorter-but-valid dataset. Truncate at every
+    // byte offset; only the full file may open.
+    const std::string dir = writeDataset("psf_ds_torn");
+    const std::string manifest = dir + "/MANIFEST";
+    auto full = loadFromFile(manifest);
+    ASSERT_TRUE(full.ok());
+    for (size_t keep = 0; keep < full->size(); ++keep) {
+        std::vector<uint8_t> torn(full->begin(), full->begin() + keep);
+        ASSERT_TRUE(saveToFile(manifest, torn).ok());
+        DatasetReader reader;
+        const Status st = reader.open(dir);
+        EXPECT_FALSE(st.ok()) << "opened with " << keep << " bytes";
+    }
+    ASSERT_TRUE(saveToFile(manifest, *full).ok());
+    DatasetReader reader;
+    ASSERT_TRUE(reader.open(dir).ok());
+    EXPECT_EQ(reader.manifest().partitions.size(), 3u);
+}
+
+TEST(FileTest, ManifestBitFlipIsCorruption)
+{
+    const std::string dir = writeDataset("psf_ds_flip");
+    const std::string manifest = dir + "/MANIFEST";
+    auto full = loadFromFile(manifest);
+    ASSERT_TRUE(full.ok());
+    // Flip one digit of a partition line (keeps the line parseable).
+    std::vector<uint8_t> damaged = *full;
+    const size_t second_line = std::string(full->begin(), full->end())
+                                   .find('\n') + 1;
+    for (size_t i = second_line; i < damaged.size(); ++i) {
+        if (damaged[i] >= '0' && damaged[i] <= '8') {
+            ++damaged[i];
+            break;
+        }
+    }
+    ASSERT_NE(damaged, *full);
+    ASSERT_TRUE(saveToFile(manifest, damaged).ok());
+    DatasetReader reader;
+    EXPECT_EQ(reader.open(dir).code(), StatusCode::kCorruption);
+}
+
+// --- footer-only open (tail) and external plan validation -------------------
+
+TEST(FileTest, OpenTailMatchesFullOpenAndGuardsBodyReads)
+{
+    const RowBatch batch = smallBatch(2, 200);
+    const auto bytes = ColumnarFileWriter().write(batch, 9);
+
+    ColumnarFileReader full;
+    ASSERT_TRUE(full.open(bytes).ok());
+    std::vector<PageReadPlan> plans;
+    ASSERT_TRUE(full.planPageReads(plans).ok());
+    // Tail = footer + size/crc/trailer (bytesTouched minus the header
+    // magic accounted by open()).
+    const size_t tail_bytes = full.bytesTouched() - 4;
+
+    ColumnarFileReader tail;
+    ASSERT_TRUE(
+        tail.openTail(std::span<const uint8_t>(bytes).last(tail_bytes),
+                      bytes.size())
+            .ok());
+    EXPECT_EQ(tail.footer().num_rows, full.footer().num_rows);
+    EXPECT_EQ(tail.footer().partition_id, 9u);
+    EXPECT_EQ(tail.totalDataBytes(), bytes.size());
+
+    // Whole-stream decode needs the body: footer-only must refuse.
+    RowBatch out;
+    EXPECT_EQ(tail.readAllInto(out).code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(tail.readAll().status().code(),
+              StatusCode::kFailedPrecondition);
+    std::vector<PageReadPlan> tail_plans;
+    EXPECT_EQ(tail.planPageReads(tail_plans).code(),
+              StatusCode::kFailedPrecondition);
+
+    // But external plans validate, and the async split decodes the
+    // same batch from caller-supplied frames.
+    ASSERT_TRUE(tail.validatePlans(plans).ok());
+    ASSERT_TRUE(tail.beginReadInto(out).ok());
+    for (const PageReadPlan& plan : plans) {
+        const auto frame =
+            std::span<const uint8_t>(bytes).subspan(plan.offset,
+                                                    plan.frame_bytes);
+        ASSERT_TRUE(tail.completePage(plan, frame, out).ok());
+    }
+    ASSERT_TRUE(tail.finishReadInto(out).ok());
+    EXPECT_EQ(out, batch);
+}
+
+TEST(FileTest, ValidatePlansRejectsDamage)
+{
+    const RowBatch batch = smallBatch(1, 300);
+    const auto bytes = ColumnarFileWriter().write(batch, 1);
+    ColumnarFileReader reader;
+    ASSERT_TRUE(reader.open(bytes).ok());
+    std::vector<PageReadPlan> plans;
+    ASSERT_TRUE(reader.planPageReads(plans).ok());
+    ASSERT_TRUE(reader.validatePlans(plans).ok());
+    ASSERT_FALSE(plans.empty());
+
+    auto damaged = plans;
+    damaged[0].offset += 1;  // frame leaves its stream
+    EXPECT_EQ(reader.validatePlans(damaged).code(),
+              StatusCode::kCorruption);
+
+    damaged = plans;
+    damaged[0].value_count += 1;  // output range disagrees
+    EXPECT_EQ(reader.validatePlans(damaged).code(),
+              StatusCode::kCorruption);
+
+    damaged = plans;
+    damaged.pop_back();  // stream not fully covered
+    EXPECT_EQ(reader.validatePlans(damaged).code(),
+              StatusCode::kCorruption);
+
+    damaged = plans;
+    damaged[0].column = 1000;  // unknown column
+    EXPECT_EQ(reader.validatePlans(damaged).code(),
+              StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace presto

@@ -8,11 +8,15 @@
  */
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
 
 #include "common/crc32.h"
+#include "common/durable_file.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/managers.h"
@@ -383,6 +387,100 @@ TEST(ManagerIoTest, RingPlusSharedDecodePoolDeliversIdentically)
                                 /*queue_capacity=*/8, /*prefetch=*/true,
                                 &pool, &ring);
     EXPECT_EQ(drainChecksum(async_mgr, batches), reference);
+}
+
+// --- file-backed (pread) requests -------------------------------------------
+
+TEST(IoRingTest, FdBackedRequestPreadsTheRange)
+{
+    std::vector<uint8_t> device(8192);
+    for (size_t i = 0; i < device.size(); ++i)
+        device[i] = static_cast<uint8_t>(mix64(i) >> 3);
+    const std::string path = ::testing::TempDir() + "io_ring_fd.bin";
+    ASSERT_TRUE(saveToFile(path, device).ok());
+    auto fd = openReadOnly(path);
+    ASSERT_TRUE(fd.ok());
+
+    IoRing ring;
+    const uint32_t me = ring.registerConsumer();
+    std::vector<uint8_t> dst(1000, 0);
+
+    IoRequest req;
+    req.fd = *fd;
+    req.length = static_cast<uint32_t>(dst.size());
+    req.offset = 4096;
+    req.dest = dst.data();
+    req.user_data = 5;
+    ring.submit(me, req);
+
+    const IoCompletion c = ring.waitCompletion(me);
+    EXPECT_TRUE(c.status.ok());
+    EXPECT_EQ(c.bytes, dst.size());
+    EXPECT_TRUE(std::equal(dst.begin(), dst.end(),
+                           device.begin() + 4096));
+    // Timing model charges the pread like any other request.
+    EXPECT_DOUBLE_EQ(c.latency_sec, ring.serviceSeconds(dst.size()));
+    ::close(*fd);
+}
+
+TEST(IoRingTest, FdBackedReadPastEofFails)
+{
+    const std::string path = ::testing::TempDir() + "io_ring_eof.bin";
+    ASSERT_TRUE(saveToFile(path, std::vector<uint8_t>(100, 7)).ok());
+    auto fd = openReadOnly(path);
+    ASSERT_TRUE(fd.ok());
+
+    IoRing ring;
+    const uint32_t me = ring.registerConsumer();
+    std::vector<uint8_t> dst(64);
+    IoRequest req;
+    req.fd = *fd;
+    req.length = static_cast<uint32_t>(dst.size());
+    req.offset = 80;  // only 20 bytes remain
+    req.dest = dst.data();
+    ring.submit(me, req);
+
+    const IoCompletion c = ring.waitCompletion(me);
+    EXPECT_EQ(c.state, IoRequestState::kFailed);
+    EXPECT_EQ(c.status.code(), StatusCode::kCorruption);
+    EXPECT_EQ(c.bytes, 0u);
+    ::close(*fd);
+}
+
+TEST(AsyncReaderTest, ReadFileMatchesMemoryRead)
+{
+    const RmConfig cfg = smallConfig();
+    RawDataGenerator gen(cfg);
+    PartitionStore store(gen);
+    const auto& encoded = store.partition(3);
+
+    const std::string path = ::testing::TempDir() + "async_readfile.psf";
+    ASSERT_TRUE(saveToFile(path, encoded).ok());
+
+    ColumnarFileReader blocking;
+    RowBatch expect;
+    ASSERT_TRUE(blocking.open(encoded).ok());
+    // bytesTouched() right after open = header magic + footer region;
+    // drop the leading magic to get the tail the store would persist.
+    const size_t tail_bytes = blocking.bytesTouched() - 4;
+    ASSERT_TRUE(blocking.readAllInto(expect).ok());
+    std::vector<PageReadPlan> plans;
+    ASSERT_TRUE(blocking.planPageReads(plans).ok());
+
+    auto fd = openReadOnly(path);
+    ASSERT_TRUE(fd.ok());
+    IoRing ring;
+    AsyncPartitionReader reader(ring);
+    AsyncPartitionReader::FileReadSource src;
+    src.fd = *fd;
+    src.file_size = encoded.size();
+    src.tail = std::span<const uint8_t>(encoded).last(tail_bytes);
+    src.plans = plans;
+    RowBatch got;
+    ASSERT_TRUE(reader.readFile(src, 3, got).ok());
+    ::close(*fd);
+    EXPECT_TRUE(got == expect);
+    EXPECT_EQ(reader.lastReadStats().pages, plans.size());
 }
 
 }  // namespace
