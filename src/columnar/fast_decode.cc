@@ -125,7 +125,9 @@ gatherDictScalar(const int64_t* dict, uint64_t dict_size, int64_t* inout,
 }
 
 // --- dispatch ------------------------------------------------------------
-// kAvx512 intentionally maps to the AVX2 kernels: these loops are
+// Plain varint decode has a true AVX-512 tier (vpcompressb boundary
+// extraction; needs the byte-compaction CPU bits on top of kAvx512).
+// The other kernels map kAvx512 to the AVX2 variants: those loops are
 // load/shuffle bound and a 512-bit variant measured no faster.
 
 bool
@@ -133,7 +135,10 @@ decodeVarintsBatch(const uint8_t* in, size_t size, size_t& pos, uint64_t* out,
                    size_t count)
 {
 #if defined(PRESTO_HAVE_X86_SIMD)
-    if (activeSimdLevel() != SimdLevel::kScalar)
+    const SimdLevel level = activeSimdLevel();
+    if (level == SimdLevel::kAvx512 && avx512ByteCompactionSupported())
+        return decodeVarintsAvx512(in, size, pos, out, count);
+    if (level != SimdLevel::kScalar)
         return decodeVarintsAvx2(in, size, pos, out, count);
 #endif
     return decodeVarintsSwar(in, size, pos, out, count);

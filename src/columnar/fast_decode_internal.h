@@ -12,8 +12,11 @@
  *  - portable SWAR kernels (fast_decode.cc): 8-byte word loads, used at
  *    SimdLevel::kScalar and on non-x86 builds;
  *  - AVX2 kernels (fast_decode_avx2.cc, per-file -mavx2): used at
- *    kAvx2 and kAvx512 (the decode loops are load/shuffle bound, so a
- *    512-bit variant adds nothing on current cores).
+ *    kAvx2, and at kAvx512 for everything but plain varint decode (those
+ *    loops are load/shuffle bound, so a 512-bit variant adds nothing);
+ *  - an AVX-512 varint kernel (fast_decode_avx512.cc): vpcompressb
+ *    boundary extraction over 64-byte windows, used at kAvx512 when the
+ *    CPU has the byte-compaction extensions (BW + VBMI + VBMI2).
  *
  * Every tier is bit-identical: same outputs for valid input, failure
  * (-> kCorruption at the caller) for exactly the same malformed inputs.
@@ -322,6 +325,13 @@ void unpackBitsAvx2(const uint8_t* in, size_t in_bytes, size_t width,
                     size_t count, uint64_t* out);
 bool gatherDictAvx2(const int64_t* dict, uint64_t dict_size, int64_t* inout,
                     size_t count);
+
+// --- AVX-512 kernels (fast_decode_avx512.cc) -----------------------------
+// Requires the byte-compaction extensions (BW + VBMI + VBMI2) on top of
+// SimdLevel::kAvx512 — see avx512ByteCompactionSupported(). 64-byte
+// windows, vpcompressb boundary extraction, vpermb payload alignment.
+bool decodeVarintsAvx512(const uint8_t* in, size_t size, size_t& pos,
+                         uint64_t* out, size_t count);
 #endif
 
 // --- dispatched entry points used by encoding.cc -------------------------

@@ -4,9 +4,7 @@
 
 #include "columnar/columnar_file.h"
 #include "common/logging.h"
-#include "ops/fast_ops.h"
-#include "ops/hash.h"
-#include "ops/ops.h"
+#include "ops/opvm.h"
 
 namespace presto {
 
@@ -20,7 +18,7 @@ constexpr size_t kPeBufferValues = 4096;
 IspEmulator::IspEmulator(const RmConfig& config, int num_feature_units,
                          ThreadPool* decode_pool)
     : config_(config), num_feature_units_(num_feature_units),
-      reference_plan_(config), bucketizer_(reference_plan_.boundaries()),
+      reference_plan_(config),
       unit_used_(static_cast<size_t>(num_feature_units > 0
                                          ? num_feature_units
                                          : 1))
@@ -56,36 +54,27 @@ IspEmulator::processInto(std::span<const uint8_t> encoded_partition,
     const RowBatch& raw = raw_;
     counters_.decoded_values = raw.totalValues();
 
-    const auto& schema = raw.schema();
-    const size_t batch = raw.numRows();
-    const auto label_idx = schema.indexOf("label");
-    if (!label_idx.has_value())
-        return Status::corruption("partition lacks a label column");
-    const auto& dense_idx = schema.indicesOfKind(FeatureKind::kDense);
-    const auto& sparse_idx = schema.indicesOfKind(FeatureKind::kSparse);
-    if (dense_idx.size() != config_.num_dense ||
-        sparse_idx.size() != config_.num_sparse) {
+    const CompiledProgram& prog = reference_plan_.program();
+    if (raw.schema().fingerprint() != prog.inputSchema().fingerprint()) {
         return Status::corruption(
             "partition schema does not match the workload");
     }
 
+    const size_t batch = raw.numRows();
     mb.batch_size = batch;
-    mb.num_dense = config_.num_dense;
-    mb.dense.resize(batch * config_.num_dense);
-    mb.labels.assign(raw.dense(*label_idx).values().begin(),
-                     raw.dense(*label_idx).values().end());
-    mb.sparse.resize(config_.totalSparseFeatures());
-    counters_.convert_values += batch;  // labels through the out stage
+    mb.num_dense = prog.numDense();
+    mb.dense.resize(batch * prog.numDense());
+    mb.sparse.resize(prog.numSparse());
 
     const auto levels = static_cast<uint64_t>(
         std::log2(static_cast<double>(config_.bucket_size)) + 1.0);
 
     std::fill(unit_used_.begin(), unit_used_.end(), 0);
-    auto engageUnit = [&](size_t feature) {
-        unit_used_[feature % unit_used_.size()] = 1;
+    auto engageUnit = [&](size_t stream) {
+        unit_used_[stream % unit_used_.size()] = 1;
     };
 
-    // Process one feature's value stream through a PE in double-buffered
+    // Process one output's value stream through a PE in double-buffered
     // chunks: while chunk i is being transformed, chunk i+1 would be
     // fetched from device DRAM — each chunk boundary is a buffer swap.
     auto chunked = [&](size_t total, auto&& body) {
@@ -96,83 +85,77 @@ IspEmulator::processInto(std::span<const uint8_t> encoded_partition,
         }
     };
 
-    // --- Generation + dense Normalization units (one stream per dense
-    // feature, PEs engaged round-robin).
-    for (size_t f = 0; f < config_.num_dense; ++f) {
-        engageUnit(f);
-        const auto& col = raw.dense(dense_idx[f]);
-        std::vector<float>& values = arena_.f32(f);
-        values.assign(col.values().begin(), col.values().end());
-
-        chunked(values.size(), [&](size_t pos, size_t len) {
-            std::span<float> chunk(values.data() + pos, len);
-            fillMissingInPlaceFast(chunk, 0.0f);
-        });
-
-        if (f < config_.num_generated) {
-            auto& jag = mb.sparse[config_.num_sparse + f];
-            jag.feature_name = "generated_" + std::to_string(f);
+    // Each PE executes the same compiled bytecode chain the CPU path
+    // runs, one fused pass per stream; the unit counters stay
+    // analytically exact because the per-value op counts of a fused
+    // chain equal the sum of its constituent ops.
+    for (const CompiledOutput& out : prog.outputs()) {
+        switch (out.kind) {
+          case PlanOutput::Kind::kLabel: {
+            const auto& col = raw.dense(out.source);
+            mb.labels.assign(col.values().begin(), col.values().end());
+            counters_.convert_values += batch;  // labels through DMA-out
+            break;
+          }
+          case PlanOutput::Kind::kDense: {
+            // Generation + dense Normalization unit: FillMissing + Log
+            // fused in the PE pipeline, strided DMA-out gather.
+            engageUnit(out.unit_stream);
+            const auto& col = raw.dense(out.source);
+            chunked(batch, [&](size_t pos, size_t len) {
+                prog.runDenseRange(
+                    out, col.values().data() + pos, len,
+                    mb.dense.data() + pos * prog.numDense() + out.slot,
+                    prog.numDense());
+            });
+            counters_.log_values += batch;
+            counters_.convert_values += batch;
+            break;
+          }
+          case PlanOutput::Kind::kSparse: {
+            // Sparse Normalization unit: SigridHash straight from the
+            // decoded stream into the output tensor.
+            engageUnit(out.unit_stream);
+            const auto& col = raw.sparse(out.source);
+            auto& jag = mb.sparse[out.slot];
+            jag.feature_name = out.name;
+            jag.values.resize(col.numValues());
+            chunked(jag.values.size(), [&](size_t pos, size_t len) {
+                prog.runHashRange(out, col.values().data() + pos, len,
+                                  jag.values.data() + pos);
+            });
+            counters_.hash_values += jag.values.size();
+            jag.lengths.resize(batch);
+            for (size_t r = 0; r < batch; ++r)
+                jag.lengths[r] = static_cast<uint32_t>(col.rowLength(r));
+            counters_.convert_values += jag.values.size();
+            break;
+          }
+          case PlanOutput::Kind::kGenerated: {
+            // Rides its source dense feature's unit: Fill + Bucketize +
+            // SigridHash in one fused PE pass over the decoded stream.
+            engageUnit(out.unit_stream);
+            const auto& col = raw.dense(out.source);
+            auto& jag = mb.sparse[out.slot];
+            jag.feature_name = out.name;
             jag.values.resize(batch);
             chunked(batch, [&](size_t pos, size_t len) {
-                bucketizer_.bucketizeInto(
-                    std::span<const float>(values.data() + pos, len),
-                    std::span<int64_t>(jag.values.data() + pos, len));
+                prog.runGeneratedRange(out, col.values().data() + pos,
+                                       len, jag.values.data() + pos);
             });
             counters_.bucketize_values += batch;
             counters_.bucketize_levels += batch * levels;
-
-            const uint64_t seed =
-                reference_plan_.hashSeed(config_.num_sparse + f);
-            chunked(batch, [&](size_t pos, size_t len) {
-                sigridHashInPlaceFast(
-                    std::span<int64_t>(jag.values.data() + pos, len),
-                    seed, reference_plan_.tableSize());
-            });
             counters_.hash_values += batch;
             jag.lengths.assign(batch, 1);
-            // Generated indices also leave through the conversion stage.
             counters_.convert_values += batch;
+            break;
+          }
         }
-
-        chunked(values.size(), [&](size_t pos, size_t len) {
-            logTransformInPlaceFast(
-                std::span<float>(values.data() + pos, len));
-        });
-        counters_.log_values += values.size();
-
-        // Conversion unit: gather the column into the row-major matrix.
-        for (size_t r = 0; r < batch; ++r)
-            mb.dense[r * config_.num_dense + f] = values[r];
-        counters_.convert_values += values.size();
-    }
-
-    // --- Sparse Normalization units.
-    for (size_t f = 0; f < config_.num_sparse; ++f) {
-        engageUnit(config_.num_dense + f);
-        const auto& col = raw.sparse(sparse_idx[f]);
-        auto& jag = mb.sparse[f];
-        jag.feature_name = schema.feature(sparse_idx[f]).name;
-        jag.values.resize(col.values().size());
-
-        const uint64_t seed = reference_plan_.hashSeed(f);
-        chunked(jag.values.size(), [&](size_t pos, size_t len) {
-            sigridHashInto(
-                std::span<const int64_t>(col.values().data() + pos, len),
-                std::span<int64_t>(jag.values.data() + pos, len), seed,
-                reference_plan_.tableSize());
-        });
-        counters_.hash_values += jag.values.size();
-
-        jag.lengths.resize(batch);
-        for (size_t r = 0; r < batch; ++r)
-            jag.lengths[r] = static_cast<uint32_t>(col.rowLength(r));
-        counters_.convert_values += jag.values.size();
     }
 
     for (char used : unit_used_)
         counters_.feature_units_used += used != 0;
 
-    arena_.noteBatch();
     PRESTO_CHECK(mb.consistent(), "emulator produced a bad batch");
     return Status::okStatus();
 }

@@ -10,6 +10,11 @@
  * microarchitecture's dataflow computes the right thing and (b)
  * producing per-unit work counters that cross-check the analytical
  * TransformWork model priced by models/isp_model.
+ *
+ * The datapath executes the same compiled bytecode program as the CPU
+ * path (ops/opvm.h), streamed through the PEs in double-buffered
+ * kPeBufferValues chunks — the PE's fused pipeline is exactly a fused
+ * op chain, so emulation and CPU execution share one lowering.
  */
 #ifndef PRESTO_CORE_ISP_EMULATOR_H_
 #define PRESTO_CORE_ISP_EMULATOR_H_
@@ -88,13 +93,11 @@ class IspEmulator
   private:
     RmConfig config_;
     int num_feature_units_;
-    Preprocessor reference_plan_;  ///< seeds/boundaries shared with CPU path
-    FastBucketizer bucketizer_;    ///< Generation unit search pipeline
+    Preprocessor reference_plan_;  ///< owns the compiled standard program
     IspUnitCounters counters_;
     // Device DRAM stand-ins, reused across partitions.
     ColumnarFileReader reader_;
     RowBatch raw_;
-    BatchArena arena_;
     std::vector<char> unit_used_;  ///< per-PE engagement scratch
 };
 

@@ -8,11 +8,35 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "io/async_reader.h"
+#include "models/calibration.h"
 #include "models/cpu_model.h"
 #include "models/gpu_model.h"
 #include "models/isp_model.h"
 
 namespace presto {
+
+namespace {
+
+/**
+ * Fetch-stage share of one partition's measured cost. Extract decodes
+ * w.raw_values at the vectorized page-decode rate while Transform
+ * retires w.output_values through the fused op-chain VM; both rates are
+ * measured on this host (models/calibration.h, provenance
+ * BENCH_decode.json / BENCH_fused.json), so the staged-pipeline split
+ * tracks the real kernels instead of assuming the stages cost the same.
+ */
+double
+measuredFetchShare(const RmConfig& config)
+{
+    const TransformWork w = TransformWork::expected(config);
+    const double fetch =
+        w.raw_values * cal::kMeasuredSimdDecodeSecPerValue;
+    const double transform =
+        w.output_values * cal::kMeasuredFusedSecPerValue;
+    return fetch / (fetch + transform);
+}
+
+}  // namespace
 
 PreprocessManager::PreprocessManager(const RmConfig& config,
                                      PartitionStore& store,
@@ -23,11 +47,17 @@ PreprocessManager::PreprocessManager(const RmConfig& config,
     : config_(config), store_(store), mode_(mode), preprocessor_(config),
       queue_capacity_(queue_capacity), num_workers_(num_workers),
       prefetch_(prefetch), decode_pool_(decode_pool), io_ring_(io_ring),
-      decoded_capacity_(2 * static_cast<size_t>(
-                                num_workers > 0 ? num_workers : 1))
+      fetch_share_(measuredFetchShare(config))
 {
     PRESTO_CHECK(num_workers_ >= 1, "need at least one worker");
     PRESTO_CHECK(queue_capacity_ >= 1, "queue capacity must be positive");
+    // Prefetch window: one decoded partition per worker plus the
+    // fetchers' lead, sized from the same measured split (a fetch-heavy
+    // workload earns a deeper window because its transformers drain
+    // slower relative to the fetchers filling it).
+    decoded_capacity_ = std::max<size_t>(
+        2, static_cast<size_t>(
+               std::ceil(num_workers_ * (1.0 + fetch_share_))));
 }
 
 PreprocessManager::~PreprocessManager()
@@ -55,12 +85,22 @@ PreprocessManager::start(size_t total_batches)
             workers_.emplace_back([this] { workerLoop(); });
         return;
     }
-    // Staged pipeline: roughly half the budget fetches+decodes ahead
-    // while the other half transforms, so Extract of partition N+1
-    // overlaps Transform of partition N. A single-worker budget still
-    // gets one thread per stage — that is the minimal double buffer.
-    const int fetchers = std::max(1, num_workers_ / 2);
+    // Staged pipeline: dedicated fetchers decode partition N+1 while
+    // transform workers run partition N. The budget splits in
+    // proportion to the measured per-partition stage costs (see
+    // measuredFetchShare) instead of a static half/half: a decode-heavy
+    // workload (long sparse rows) earns more fetchers, a transform-heavy
+    // one more transformers. A single-worker budget still gets one
+    // thread per stage — that is the minimal double buffer.
+    int fetchers =
+        static_cast<int>(std::lround(num_workers_ * fetch_share_));
+    fetchers = std::clamp(fetchers, 1, std::max(1, num_workers_ - 1));
     const int transformers = std::max(1, num_workers_ - fetchers);
+    inform("staged pipeline (", config_.name, "): ", fetchers,
+           " fetch + ", transformers,
+           " transform workers, measured fetch share ",
+           static_cast<int>(std::lround(fetch_share_ * 100)),
+           "%, prefetch window ", decoded_capacity_);
     active_fetchers_ = fetchers;
     workers_.reserve(static_cast<size_t>(fetchers + transformers));
     for (int w = 0; w < fetchers; ++w)

@@ -151,6 +151,9 @@ class PreprocessManager
     bool prefetch_;
     ThreadPool* decode_pool_;
     IoRing* io_ring_;
+    // Fetch-stage share of the worker budget, derived from the measured
+    // decode vs fused-transform rates for this workload (see start()).
+    double fetch_share_;
 
     std::mutex mu_;
     std::condition_variable queue_not_empty_;

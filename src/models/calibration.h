@@ -84,6 +84,22 @@ inline constexpr double kMeasuredCpuDecodeSecPerValue =
 inline constexpr double kMeasuredSimdDecodeSecPerValue =
     1.0 / kMeasuredDecodeSimdValuesPerSec;
 
+// --- Measured fused-transform rate (BENCH_fused.json on the dev host) ----
+//
+// bench_fused measures the compiled op-chain VM (src/ops/opvm.h): the
+// whole standard Transform — feature generation, normalization, and
+// conversion — executed in one SIMD pass per column. One rate covers the
+// pipeline because fusion collapses the per-op costs into a single
+// value-granular walk.
+
+/** Fused Transform: output values retired per second on one core
+ *  (RM1 end-to-end, best dispatched SIMD level). */
+inline constexpr double kMeasuredFusedValuesPerSec = 1.36e8;
+
+/** Sec/output-value of the measured fused Transform path. */
+inline constexpr double kMeasuredFusedSecPerValue =
+    1.0 / kMeasuredFusedValuesPerSec;
+
 // --- Page compression (PSF LZ codec) -------------------------------------
 //
 // PSF pages may carry an LZ-compressed payload (src/columnar/compress.h).

@@ -8,10 +8,12 @@ namespace presto {
 
 CpuWorkerModel::CpuWorkerModel(const RmConfig& config,
                                double decode_sec_per_value,
-                               PageCompressionModel compression)
+                               PageCompressionModel compression,
+                               double transform_sec_per_value)
     : config_(config), work_(TransformWork::expected(config)),
       decode_sec_per_value_(decode_sec_per_value),
-      compression_(compression)
+      compression_(compression),
+      transform_sec_per_value_(transform_sec_per_value)
 {
     PRESTO_CHECK(decode_sec_per_value_ > 0, "non-positive decode cost");
     PRESTO_CHECK(compression_.stored_ratio > 0 &&
@@ -46,6 +48,27 @@ CpuWorkerModel::batchLatencyLocalRead() const
     if (compression_.decompress_bytes_per_sec > 0)
         b.extract_decode +=
             raw_bytes / compression_.decompress_bytes_per_sec;
+    if (transform_sec_per_value_ > 0) {
+        // Fused op-chain VM: generation, normalization and conversion
+        // run as one value-granular pass (BENCH_fused.json), so the
+        // Transform costs one measured rate over the output values.
+        // The pass time is attributed to the classic stage buckets in
+        // proportion to the values each stage touches, keeping the
+        // Figure 5/12 breakdown shapes inspectable.
+        const double fused =
+            work_.output_values * transform_sec_per_value_;
+        const double parts = work_.bucketize_values + work_.hash_values +
+                             work_.dense_values;
+        b.bucketize =
+            parts > 0 ? fused * work_.bucketize_values / parts : 0.0;
+        b.sigrid_hash =
+            parts > 0 ? fused * work_.hash_values / parts : 0.0;
+        b.log = parts > 0 ? fused * work_.dense_values / parts : fused;
+        b.other = cal::kCpuFixedSecPerBatch +
+                  static_cast<double>(work_.num_features) *
+                      cal::kCpuSecPerFeature;
+        return b;
+    }
     b.bucketize = work_.bucketize_values * work_.bucketize_levels *
                   cal::kCpuBucketizeSecPerValueLevel;
     b.sigrid_hash = work_.hash_values * cal::kCpuHashSecPerValue;

@@ -30,11 +30,19 @@ class CpuWorkerModel
      * @param compression Page-compression effect: scales Extract(Read)
      *        bytes by the stored ratio and charges a decompress term in
      *        Extract(Decode). Defaults to uncompressed (no effect).
+     * @param transform_sec_per_value Optional fused-Transform cost.
+     *        <= 0 (default) keeps the calibrated per-operator TorchArrow
+     *        stage costs; pass cal::kMeasuredFusedSecPerValue
+     *        (provenance: BENCH_fused.json) to model a worker running
+     *        the compiled op-chain VM, where feature generation,
+     *        normalization and conversion collapse into one
+     *        value-granular pass.
      */
     explicit CpuWorkerModel(
         const RmConfig& config,
         double decode_sec_per_value = cal::kCpuDecodeSecPerValue,
-        PageCompressionModel compression = {});
+        PageCompressionModel compression = {},
+        double transform_sec_per_value = 0);
 
     /**
      * Latency to preprocess one mini-batch on one dedicated core,
@@ -65,6 +73,7 @@ class CpuWorkerModel
     TransformWork work_;
     double decode_sec_per_value_;
     PageCompressionModel compression_;
+    double transform_sec_per_value_;
 };
 
 }  // namespace presto

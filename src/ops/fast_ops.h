@@ -109,6 +109,10 @@ class FastBucketizer
 
     size_t size() const { return bounds_.size(); }
 
+    /** Raw boundary/bisection arrays (the fused op-chain VM's operands). */
+    const std::vector<float>& bounds() const { return bounds_; }
+    const std::vector<int32_t>& halves() const { return halves_; }
+
   private:
     std::vector<float> bounds_;    ///< sorted boundary copy (owned)
     std::vector<int32_t> halves_;  ///< bisection step sizes, largest first

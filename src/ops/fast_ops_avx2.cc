@@ -3,11 +3,15 @@
 // fastLog1p operation sequence and must not gain FMAs). Only reached
 // when __builtin_cpu_supports("avx2") at runtime.
 //
-// Every kernel is bit-identical to its scalar counterpart:
-//  - hashIntoAvx2 computes the exact 64-bit hash with decomposed 32-bit
+// The per-register bodies live in fast_ops_avx2_inl.h so the fused
+// op-chain VM (opvm_avx2.cc) executes the exact same instruction
+// sequences; these whole-column wrappers just add the loop and the
+// scalar tails. Every kernel is bit-identical to its scalar
+// counterpart:
+//  - hashMod4 computes the exact 64-bit hash with decomposed 32-bit
 //    multiplies and an exact Barrett reduction for the modulo;
-//  - logAvx2 replays fastLog1p's IEEE op sequence lane-wise;
-//  - bucketizeAvx2 runs the same value-independent bisection schedule as
+//  - log8 replays fastLog1p's IEEE op sequence lane-wise;
+//  - bucketize8 runs the same value-independent bisection schedule as
 //    the scalar halves loop, with gathers instead of scalar loads.
 #include <immintrin.h>
 
@@ -15,45 +19,11 @@
 #include <cstdint>
 
 #include "ops/fast_math.h"
+#include "ops/fast_ops_avx2_inl.h"
 #include "ops/fast_ops_internal.h"
 #include "ops/hash.h"
 
 namespace presto::simd_detail {
-
-namespace {
-
-/** Low 64 bits of a*b per lane (b_hi32 = b >> 32 hoisted). */
-inline __m256i
-mullo64(__m256i a, __m256i b, __m256i b_hi32)
-{
-    __m256i lo = _mm256_mul_epu32(a, b);
-    __m256i t1 = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
-    __m256i t2 = _mm256_mul_epu32(a, b_hi32);
-    return _mm256_add_epi64(
-        lo, _mm256_slli_epi64(_mm256_add_epi64(t1, t2), 32));
-}
-
-/** High 64 bits of the unsigned 128-bit product a*b. */
-inline __m256i
-mulhi64u(__m256i a, __m256i b, __m256i b_hi)
-{
-    const __m256i lo32 = _mm256_set1_epi64x(0xffffffffLL);
-    __m256i a_hi = _mm256_srli_epi64(a, 32);
-    __m256i p0 = _mm256_mul_epu32(a, b);
-    __m256i p1 = _mm256_mul_epu32(a, b_hi);
-    __m256i p2 = _mm256_mul_epu32(a_hi, b);
-    __m256i p3 = _mm256_mul_epu32(a_hi, b_hi);
-    __m256i mid = _mm256_add_epi64(
-        _mm256_add_epi64(_mm256_srli_epi64(p0, 32),
-                         _mm256_and_si256(p1, lo32)),
-        _mm256_and_si256(p2, lo32));
-    return _mm256_add_epi64(
-        _mm256_add_epi64(p3, _mm256_srli_epi64(p1, 32)),
-        _mm256_add_epi64(_mm256_srli_epi64(p2, 32),
-                         _mm256_srli_epi64(mid, 32)));
-}
-
-}  // namespace
 
 void
 hashIntoAvx2(const int64_t* src, int64_t* dst, size_t n, uint64_t seed,
@@ -61,49 +31,14 @@ hashIntoAvx2(const int64_t* src, int64_t* dst, size_t n, uint64_t seed,
 {
     // Callers guarantee max_value >= 2 (d == 1 short-circuits upstream),
     // so magic = floor(2^64 / d) fits in 64 bits.
-    const auto ud = static_cast<uint64_t>(max_value);
-    const auto magic =
-        static_cast<uint64_t>((static_cast<__uint128_t>(1) << 64) / ud);
-    const __m256i vk1 = _mm256_set1_epi64x(static_cast<long long>(kHashK1));
-    const __m256i vk1h = _mm256_srli_epi64(vk1, 32);
-    const __m256i vk2 = _mm256_set1_epi64x(static_cast<long long>(kHashK2));
-    const __m256i vk2h = _mm256_srli_epi64(vk2, 32);
-    const __m256i vk3 = _mm256_set1_epi64x(static_cast<long long>(kHashK3));
-    const __m256i vk3h = _mm256_srli_epi64(vk3, 32);
-    const __m256i vseed = _mm256_set1_epi64x(static_cast<long long>(seed));
-    const __m256i vseedk =
-        _mm256_set1_epi64x(static_cast<long long>(seed * kHashK1));
-    const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(magic));
-    const __m256i vmh = _mm256_srli_epi64(vm, 32);
-    const __m256i vd = _mm256_set1_epi64x(static_cast<long long>(ud));
-    const __m256i vdh = _mm256_srli_epi64(vd, 32);
-    // AVX2 has only signed 64-bit compares; XOR with the sign bit turns
-    // an unsigned compare into a signed one.
-    const __m256i bias =
-        _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
-    const __m256i vdm1b = _mm256_xor_si256(
-        _mm256_set1_epi64x(static_cast<long long>(ud - 1)), bias);
+    const auto c =
+        Avx2HashConsts::make(seed, static_cast<uint64_t>(max_value));
     size_t i = 0;
     for (; i + 4 <= n; i += 4) {
         __m256i h = _mm256_loadu_si256(
             reinterpret_cast<const __m256i*>(src + i));
-        h = _mm256_xor_si256(h, vseedk);
-        h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 33));
-        h = mullo64(h, vk1, vk1h);
-        h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 33));
-        h = mullo64(h, vk2, vk2h);
-        h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 33));
-        h = _mm256_xor_si256(h, vseed);
-        h = mullo64(h, vk3, vk3h);
-        h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 29));
-        // Barrett: q = floor(h * magic / 2^64) is h/d or h/d - 1; one
-        // conditional subtract lands r in [0, d).
-        __m256i q = mulhi64u(h, vm, vmh);
-        __m256i r = _mm256_sub_epi64(h, mullo64(q, vd, vdh));
-        __m256i ge =
-            _mm256_cmpgt_epi64(_mm256_xor_si256(r, bias), vdm1b);
-        r = _mm256_sub_epi64(r, _mm256_and_si256(ge, vd));
-        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), r);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                            hashMod4(h, c));
     }
     for (; i < n; ++i)
         dst[i] = sigridHashMod(src[i], seed, max_value);
@@ -112,62 +47,9 @@ hashIntoAvx2(const int64_t* src, int64_t* dst, size_t n, uint64_t seed,
 void
 logAvx2(float* v, size_t n)
 {
-    const __m256 one = _mm256_set1_ps(1.0f);
-    const __m256 zero = _mm256_setzero_ps();
-    const __m256 half = _mm256_set1_ps(0.5f);
-    const __m256 sqrthf = _mm256_set1_ps(0.707106781186547524f);
-    const __m256i mmask = _mm256_set1_epi32(0x807fffff);
-    const __m256i mbits = _mm256_set1_epi32(0x3f000000);
-    const __m256i e126 = _mm256_set1_epi32(126);
-    const __m256 inf = _mm256_set1_ps(INFINITY);
     size_t i = 0;
-    for (; i + 8 <= n; i += 8) {
-        __m256 x0 = _mm256_loadu_ps(v + i);
-        // Clamp negatives to zero; blendv keeps NaN lanes (cmp is false).
-        __m256 ltz = _mm256_cmp_ps(x0, zero, _CMP_LT_OQ);
-        __m256 x = _mm256_blendv_ps(x0, zero, ltz);
-        __m256 u = _mm256_add_ps(one, x);
-        __m256i ui = _mm256_castps_si256(u);
-        __m256i e = _mm256_sub_epi32(
-            _mm256_and_si256(_mm256_srli_epi32(ui, 23),
-                             _mm256_set1_epi32(0xff)),
-            e126);
-        __m256 m = _mm256_castsi256_ps(
-            _mm256_or_si256(_mm256_and_si256(ui, mmask), mbits));
-        __m256 lo = _mm256_cmp_ps(m, sqrthf, _CMP_LT_OQ);
-        e = _mm256_add_epi32(e, _mm256_castps_si256(lo));  // mask == -1
-        m = _mm256_sub_ps(_mm256_add_ps(m, _mm256_and_ps(lo, m)), one);
-        __m256 z = _mm256_mul_ps(m, m);
-        __m256 y = _mm256_set1_ps(7.0376836292e-2f);
-        auto step = [&](float c) {
-            y = _mm256_add_ps(_mm256_mul_ps(y, m), _mm256_set1_ps(c));
-        };
-        step(-1.1514610310e-1f);
-        step(1.1676998740e-1f);
-        step(-1.2420140846e-1f);
-        step(1.4249322787e-1f);
-        step(-1.6668057665e-1f);
-        step(2.0000714765e-1f);
-        step(-2.4999993993e-1f);
-        step(3.3333331174e-1f);
-        y = _mm256_mul_ps(_mm256_mul_ps(y, m), z);
-        __m256 fe = _mm256_cvtepi32_ps(e);
-        y = _mm256_add_ps(
-            y, _mm256_mul_ps(fe, _mm256_set1_ps(-2.12194440e-4f)));
-        y = _mm256_sub_ps(y, _mm256_mul_ps(half, z));
-        __m256 r = _mm256_add_ps(m, y);
-        r = _mm256_add_ps(
-            r, _mm256_mul_ps(fe, _mm256_set1_ps(0.693359375f)));
-        // r == logfCore(u); log1p = r * (x / (u - 1)).
-        __m256 res =
-            _mm256_mul_ps(r, _mm256_div_ps(x, _mm256_sub_ps(u, one)));
-        __m256 ueq1 = _mm256_cmp_ps(u, one, _CMP_EQ_OQ);
-        res = _mm256_blendv_ps(res, x, ueq1);
-        __m256 nan = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
-        __m256 isinf = _mm256_cmp_ps(x, inf, _CMP_EQ_OQ);
-        res = _mm256_blendv_ps(res, x, _mm256_or_ps(nan, isinf));
-        _mm256_storeu_ps(v + i, res);
-    }
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(v + i, log8(_mm256_loadu_ps(v + i)));
     for (; i < n; ++i) {
         const float x = v[i] < 0.0f ? 0.0f : v[i];
         v[i] = fastLog1p(x);
@@ -179,11 +61,8 @@ fillAvx2(float* v, size_t n, float fill)
 {
     const __m256 vf = _mm256_set1_ps(fill);
     size_t i = 0;
-    for (; i + 8 <= n; i += 8) {
-        __m256 x = _mm256_loadu_ps(v + i);
-        __m256 nan = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
-        _mm256_storeu_ps(v + i, _mm256_blendv_ps(x, vf, nan));
-    }
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(v + i, fill8(_mm256_loadu_ps(v + i), vf));
     for (; i < n; ++i) {
         if (std::isnan(v[i]))
             v[i] = fill;
@@ -197,21 +76,8 @@ bucketizeAvx2(const float* values, int64_t* out, size_t n,
 {
     size_t i = 0;
     for (; i + 8 <= n; i += 8) {
-        __m256 x = _mm256_loadu_ps(values + i);
-        __m256i base = _mm256_setzero_si256();
-        for (size_t s = 0; s < num_halves; ++s) {
-            const int32_t half = halves[s];
-            __m256i idx =
-                _mm256_add_epi32(base, _mm256_set1_epi32(half - 1));
-            __m256 bv = _mm256_i32gather_ps(bounds, idx, 4);
-            __m256 le = _mm256_cmp_ps(bv, x, _CMP_LE_OQ);
-            base = _mm256_add_epi32(
-                base, _mm256_and_si256(_mm256_castps_si256(le),
-                                       _mm256_set1_epi32(half)));
-        }
-        __m256 bv = _mm256_i32gather_ps(bounds, base, 4);
-        __m256 le = _mm256_cmp_ps(bv, x, _CMP_LE_OQ);
-        base = _mm256_sub_epi32(base, _mm256_castps_si256(le));  // +1 if le
+        __m256i base = bucketize8(_mm256_loadu_ps(values + i), bounds,
+                                  halves, num_halves);
         __m128i lo = _mm256_castsi256_si128(base);
         __m128i hi = _mm256_extracti128_si256(base, 1);
         _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),

@@ -1,12 +1,26 @@
 #include "ops/plan.h"
 
+#include <atomic>
 #include <unordered_set>
 
 #include "common/rng.h"
 #include "ops/hash.h"
+#include "ops/opvm.h"
 #include "ops/preprocessor.h"
 
 namespace presto {
+
+namespace {
+
+std::atomic<uint64_t> g_validation_count{0};
+
+}  // namespace
+
+uint64_t
+planValidationCount()
+{
+    return g_validation_count.load(std::memory_order_relaxed);
+}
 
 size_t
 TransformPlan::numDenseOutputs() const
@@ -31,6 +45,7 @@ TransformPlan::numSparseOutputs() const
 Status
 TransformPlan::validate(const Schema& schema) const
 {
+    g_validation_count.fetch_add(1, std::memory_order_relaxed);
     std::unordered_set<std::string> names;
     size_t labels = 0;
     for (const auto& out : outputs_) {
@@ -140,15 +155,17 @@ TransformPlan::standard(const RmConfig& config)
 }
 
 PlanExecutor::PlanExecutor(TransformPlan plan, const Schema& input_schema)
-    : plan_(std::move(plan)), input_schema_(input_schema)
+    : program_(std::make_shared<const CompiledProgram>(
+          CompiledProgram::compile(std::move(plan), input_schema)))
 {
-    const Status st = plan_.validate(input_schema_);
-    PRESTO_CHECK(st.ok(), "invalid plan: ", st.toString());
-
-    source_index_.reserve(plan_.outputs().size());
-    boundary_slot_.reserve(plan_.outputs().size());
-    for (const auto& out : plan_.outputs()) {
-        source_index_.push_back(*input_schema_.indexOf(out.source_feature));
+    // Metadata for the unfused reference path only; the compiled program
+    // carries its own copy of everything the fused path needs.
+    const TransformPlan& p = program_->plan();
+    source_index_.reserve(p.outputs().size());
+    boundary_slot_.reserve(p.outputs().size());
+    for (const auto& out : p.outputs()) {
+        source_index_.push_back(
+            *program_->inputSchema().indexOf(out.source_feature));
         if (out.kind == PlanOutput::Kind::kGenerated) {
             boundary_slot_.push_back(static_cast<int>(boundaries_.size()));
             boundaries_.push_back(BucketBoundaries::makeLogSpaced(
@@ -160,10 +177,33 @@ PlanExecutor::PlanExecutor(TransformPlan plan, const Schema& input_schema)
     }
 }
 
+const TransformPlan&
+PlanExecutor::plan() const
+{
+    return program_->plan();
+}
+
 MiniBatch
 PlanExecutor::run(const RowBatch& raw) const
 {
-    PRESTO_CHECK(raw.schema() == input_schema_,
+    MiniBatch mb;
+    BatchArena arena;
+    program_->run(raw, mb, arena);
+    return mb;
+}
+
+void
+PlanExecutor::runInto(const RowBatch& raw, MiniBatch& out, BatchArena& arena,
+                      ThreadPool* pool) const
+{
+    program_->run(raw, out, arena, pool);
+}
+
+MiniBatch
+PlanExecutor::runUnfused(const RowBatch& raw) const
+{
+    const TransformPlan& plan_ = program_->plan();
+    PRESTO_CHECK(raw.schema() == program_->inputSchema(),
                  "batch schema does not match the plan's input schema");
     const size_t batch = raw.numRows();
 

@@ -17,17 +17,22 @@
 #define PRESTO_OPS_PLAN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "common/batch_arena.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "datagen/rm_config.h"
 #include "ops/ops.h"
 #include "tabular/minibatch.h"
 #include "tabular/row_batch.h"
 
 namespace presto {
+
+class CompiledProgram;  // ops/opvm.h
 
 /** Dense-chain operator step. */
 struct DenseOp {
@@ -129,28 +134,59 @@ class TransformPlan
 
 /**
  * Executes a TransformPlan over raw batches.
+ *
+ * Construction compiles the plan once into a fused bytecode program
+ * (ops/opvm.h): validation and lowering happen here, never per batch.
+ * run()/runInto() execute the compiled program in a single SIMD pass
+ * per column; runUnfused() keeps the original one-pass-per-operator
+ * reference path for differential testing and benchmarking.
  */
 class PlanExecutor
 {
   public:
     /**
-     * Validates @p plan against @p input_schema; panics on invalid plans
+     * Compiles @p plan against @p input_schema; panics on invalid plans
      * (use TransformPlan::validate first for recoverable handling).
      */
     PlanExecutor(TransformPlan plan, const Schema& input_schema);
 
-    /** Run the plan on one raw batch. */
+    /** Run the compiled (fused) plan on one raw batch. */
     MiniBatch run(const RowBatch& raw) const;
 
-    const TransformPlan& plan() const { return plan_; }
+    /**
+     * Allocation-free form of run(): writes into @p out (buffers reused
+     * across calls), borrows fallback scratch from @p arena, optionally
+     * fans one task per output onto @p pool. Zero steady-state heap
+     * allocations after a warm-up batch.
+     */
+    void runInto(const RowBatch& raw, MiniBatch& out, BatchArena& arena,
+                 ThreadPool* pool = nullptr) const;
+
+    /**
+     * Reference executor: one whole-column pass per operator with a
+     * materialized intermediate between steps. Bit-identical to run();
+     * kept as the differential-test oracle and the bench baseline.
+     */
+    MiniBatch runUnfused(const RowBatch& raw) const;
+
+    const TransformPlan& plan() const;
+
+    /** The cached compiled program run() executes. */
+    const CompiledProgram& program() const { return *program_; }
 
   private:
-    TransformPlan plan_;
-    Schema input_schema_;
+    std::shared_ptr<const CompiledProgram> program_;
     std::vector<size_t> source_index_;  ///< per output, input column
     std::vector<BucketBoundaries> boundaries_;  ///< per generated output
     std::vector<int> boundary_slot_;    ///< per output, index or -1
 };
+
+/**
+ * Total TransformPlan::validate() calls so far. Test hook for the
+ * validate-once contract: compiling a plan validates it exactly once,
+ * and running a cached program never validates again.
+ */
+uint64_t planValidationCount();
 
 }  // namespace presto
 

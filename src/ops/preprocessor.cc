@@ -4,7 +4,6 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
-#include "ops/hash.h"
 
 namespace presto {
 
@@ -59,6 +58,9 @@ Preprocessor::Preprocessor(const RmConfig& config)
 {
     PRESTO_CHECK(config_.num_generated <= config_.num_dense,
                  "cannot generate more sparse features than dense inputs");
+    program_ = CompiledProgram::compile(
+        TransformPlan::standard(config_),
+        Schema::makeRecSys(config_.num_dense, config_.num_sparse));
 }
 
 uint64_t
@@ -81,83 +83,7 @@ Preprocessor::preprocessInto(const RowBatch& raw, MiniBatch& mb,
                              BatchArena& arena, ThreadPool* pool) const
 {
     PRESTO_CHECK(raw.complete(), "raw batch is incomplete");
-    const auto& schema = raw.schema();
-    const size_t batch = raw.numRows();
-
-    const auto label_idx = schema.indexOf("label");
-    PRESTO_CHECK(label_idx.has_value(), "raw batch lacks a label column");
-    const auto& dense_idx = schema.indicesOfKind(FeatureKind::kDense);
-    const auto& sparse_idx = schema.indicesOfKind(FeatureKind::kSparse);
-    PRESTO_CHECK(dense_idx.size() == config_.num_dense,
-                 "dense feature count mismatch");
-    PRESTO_CHECK(sparse_idx.size() == config_.num_sparse,
-                 "sparse feature count mismatch");
-
-    mb.batch_size = batch;
-    mb.num_dense = config_.num_dense;
-    mb.dense.resize(batch * config_.num_dense);
-    mb.labels.assign(raw.dense(*label_idx).values().begin(),
-                     raw.dense(*label_idx).values().end());
-    mb.sparse.resize(config_.totalSparseFeatures());
-
-    // One scratch slot per dense feature, created before the fan-out so
-    // parallel tasks only do (thread-safe) distinct-slot lookups.
-    arena.prepareF32(config_.num_dense);
-
-    // Dense path: FillMissing -> (maybe Bucketize into a generated table)
-    // -> Log, one task per feature (inter-feature parallelism).
-    auto denseTask = [&](size_t f) {
-        const auto& col = raw.dense(dense_idx[f]);
-        std::vector<float>& values = arena.f32(f);
-        values.assign(col.values().begin(), col.values().end());
-        fillMissingInPlaceFast(values, 0.0f);
-
-        if (f < config_.num_generated) {
-            auto& jag = mb.sparse[config_.num_sparse + f];
-            jag.feature_name = "generated_" + std::to_string(f);
-            jag.values.resize(batch);
-            fast_bucketizer_.bucketizeInto(values, jag.values);
-            sigridHashInPlaceFast(
-                jag.values, hashSeed(config_.num_sparse + f), table_size_);
-            jag.lengths.assign(batch, 1);
-        }
-
-        logTransformInPlaceFast(values);
-        // Column-major gather into the row-major dense matrix.
-        for (size_t r = 0; r < batch; ++r)
-            mb.dense[r * config_.num_dense + f] = values[r];
-    };
-
-    // Sparse path: SigridHash per table, straight from the raw column
-    // into the output tensor (no intermediate copy).
-    auto sparseTask = [&](size_t f) {
-        const auto& col = raw.sparse(sparse_idx[f]);
-        auto& jag = mb.sparse[f];
-        jag.feature_name = schema.feature(sparse_idx[f]).name;
-        jag.values.resize(col.values().size());
-        sigridHashInto(col.values(), jag.values, hashSeed(f), table_size_);
-        jag.lengths.resize(batch);
-        for (size_t r = 0; r < batch; ++r)
-            jag.lengths[r] = static_cast<uint32_t>(col.rowLength(r));
-    };
-
-    const size_t total_tasks = config_.num_dense + config_.num_sparse;
-    auto runTask = [&](size_t t) {
-        if (t < config_.num_dense)
-            denseTask(t);
-        else
-            sparseTask(t - config_.num_dense);
-    };
-
-    if (pool != nullptr) {
-        pool->parallelFor(total_tasks, runTask);
-    } else {
-        for (size_t t = 0; t < total_tasks; ++t)
-            runTask(t);
-    }
-
-    arena.noteBatch();
-    PRESTO_CHECK(mb.consistent(), "produced inconsistent minibatch");
+    program_.run(raw, mb, arena, pool);
 }
 
 }  // namespace presto

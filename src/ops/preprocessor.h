@@ -23,6 +23,7 @@
 #include "datagen/rm_config.h"
 #include "ops/fast_ops.h"
 #include "ops/ops.h"
+#include "ops/opvm.h"
 #include "tabular/minibatch.h"
 #include "tabular/row_batch.h"
 
@@ -64,8 +65,11 @@ struct TransformWork {
 /**
  * Executes the Transform plan of one RmConfig.
  *
- * Thread-safe for concurrent preprocess() calls; the optional pool
- * parallelizes across features (inter-feature parallelism).
+ * Construction compiles TransformPlan::standard(config) once into a
+ * fused bytecode program (ops/opvm.h); every preprocess call executes
+ * that cached program in a single SIMD pass per column. Thread-safe for
+ * concurrent preprocess() calls; the optional pool parallelizes across
+ * features (inter-feature parallelism).
  */
 class Preprocessor
 {
@@ -102,11 +106,15 @@ class Preprocessor
     /** Embedding-table size used as SigridHash max value. */
     int64_t tableSize() const { return table_size_; }
 
+    /** The cached compiled program preprocess() executes. */
+    const CompiledProgram& program() const { return program_; }
+
   private:
     RmConfig config_;
     BucketBoundaries boundaries_;
     FastBucketizer fast_bucketizer_;
     int64_t table_size_;
+    CompiledProgram program_;
 };
 
 }  // namespace presto

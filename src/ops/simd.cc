@@ -86,6 +86,19 @@ setSimdLevel(SimdLevel level)
     return level;
 }
 
+bool
+avx512ByteCompactionSupported()
+{
+#if defined(PRESTO_HAVE_X86_SIMD)
+    static const bool supported = __builtin_cpu_supports("avx512bw") &&
+                                  __builtin_cpu_supports("avx512vbmi") &&
+                                  __builtin_cpu_supports("avx512vbmi2");
+    return supported;
+#else
+    return false;
+#endif
+}
+
 const char*
 simdLevelName(SimdLevel level)
 {

@@ -36,6 +36,15 @@ SimdLevel setSimdLevel(SimdLevel level);
 /** Short lowercase name ("scalar", "avx2", "avx512"). */
 const char* simdLevelName(SimdLevel level);
 
+/**
+ * True when the CPU also has the AVX-512 byte-compaction extensions
+ * (BW + VBMI + VBMI2: vpermb/vpcompressb) used by the 64-byte varint
+ * decode tier. Checked separately because kAvx512 itself requires only
+ * F + DQ; on cores without these bits the varint decoder stays on the
+ * AVX2 kernels.
+ */
+bool avx512ByteCompactionSupported();
+
 }  // namespace presto
 
 #endif  // PRESTO_OPS_SIMD_H_

@@ -33,6 +33,15 @@ Schema::add(FeatureSpec spec)
     }
     kind_indices_[static_cast<size_t>(spec.kind)].push_back(
         features_.size());
+    // FNV-1a over (kind, name bytes, terminator); the terminator keeps
+    // ("ab","c") and ("a","bc") sequences distinct.
+    auto fold = [this](uint8_t byte) {
+        fingerprint_ = (fingerprint_ ^ byte) * 0x100000001b3ULL;
+    };
+    fold(static_cast<uint8_t>(spec.kind));
+    for (const char ch : spec.name)
+        fold(static_cast<uint8_t>(ch));
+    fold(0xff);
     features_.push_back(std::move(spec));
 }
 

@@ -63,6 +63,15 @@ class Schema
     std::optional<size_t> indexOf(const std::string& name) const;
 
     /**
+     * Order-sensitive 64-bit digest of the feature list (names + kinds),
+     * maintained incrementally by add(). Lets per-batch schema checks be
+     * O(1) instead of comparing every feature spec; equal schemas always
+     * have equal fingerprints (callers fall back to operator== only to
+     * diagnose a mismatch).
+     */
+    uint64_t fingerprint() const { return fingerprint_; }
+
+    /**
      * Indices of all features of a given kind, in schema order.
      * Maintained incrementally by add(), so the hot path can call this
      * per batch without allocating.
@@ -84,6 +93,7 @@ class Schema
     size_t num_dense_ = 0;
     size_t num_sparse_ = 0;
     size_t num_labels_ = 0;
+    uint64_t fingerprint_ = 0xcbf29ce484222325ULL;  ///< FNV-1a state
 };
 
 }  // namespace presto

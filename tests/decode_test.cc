@@ -1,7 +1,7 @@
 /**
  * @file
  * Differential, adversarial, and parallel-decode tests for the
- * vectorized Extract path: the dispatched SWAR/AVX2 decoders and the
+ * vectorized Extract path: the dispatched SWAR/AVX2/AVX-512 decoders and the
  * hardware CRC32C must be bit-identical to their byte-wise references
  * on every input — including malformed ones, where both sides must make
  * the same accept/reject decision — and page-parallel stream decode
@@ -216,6 +216,63 @@ TEST(DecodeDifferentialTest, FastDecodeToggleRoutesBothPaths)
     EXPECT_TRUE(enc::setFastDecodeEnabled(true) == false);
     EXPECT_EQ(fast_out, ref_out);
     EXPECT_EQ(fast_out, values);
+}
+
+TEST(DecodeDifferentialTest, VarintLengthPatternsStressWindowedKernels)
+{
+    // Deliberate encoded-length patterns aimed at the windowed varint
+    // kernels (32-byte SWAR/AVX2 blocks, 64-byte AVX-512 groups): long
+    // single-byte runs (the cont==0 fast path), uniform lengths that
+    // tile or straddle the window, cyclic mixes, and sparse 9..10-byte
+    // varints that force the validating fallback mid-window. Counts sit
+    // just off multiples of the window sizes so the buffer-tail and
+    // window-straddle resume paths both run.
+    std::mt19937_64 rng(20240809);
+    auto valueOfLen = [&rng](int len) {
+        // Encoded length len <=> raw value in [2^(7(len-1)), 2^(7len)-1].
+        const uint64_t lo = len == 1 ? 0ull : 1ull << (7 * (len - 1));
+        const uint64_t hi = len == 10 ? ~0ull : (1ull << (7 * len)) - 1;
+        return static_cast<int64_t>(lo + rng() % (hi - lo + 1));
+    };
+    struct Stream
+    {
+        std::string what;
+        std::vector<int64_t> values;
+    };
+    std::vector<Stream> streams;
+    for (int len = 1; len <= 10; ++len) {
+        std::vector<int64_t> v(257);
+        for (auto& x : v)
+            x = valueOfLen(len);
+        streams.push_back(
+            {"uniform len=" + std::to_string(len), std::move(v)});
+    }
+    {
+        std::vector<int64_t> v(1001);
+        for (size_t i = 0; i < v.size(); ++i)
+            v[i] = valueOfLen(static_cast<int>(i % 8) + 1);
+        streams.push_back({"cycling len 1..8", std::move(v)});
+    }
+    {
+        // Mostly single-byte with a rare wide varint: alternates the
+        // wide kernels between the all-single-byte path and the grouped
+        // (or overlong-fallback) path within one decode.
+        std::vector<int64_t> v(1001);
+        for (size_t i = 0; i < v.size(); ++i)
+            v[i] = i % 97 == 0 ? valueOfLen(9) : valueOfLen(1);
+        streams.push_back({"sparse overlong", std::move(v)});
+    }
+    {
+        std::vector<int64_t> v(1001);
+        for (auto& x : v)
+            x = valueOfLen(static_cast<int>(rng() % 10) + 1);
+        streams.push_back({"random len 1..10", std::move(v)});
+    }
+    for (const Stream& s : streams) {
+        const auto payload = encodeAs(Encoding::kVarint, s.values);
+        expectReferenceAndFastAgree(Encoding::kVarint, payload,
+                                    s.values.size(), "varint " + s.what);
+    }
 }
 
 // --- varint validation -----------------------------------------------------

@@ -32,6 +32,7 @@
 #include "ops/fast_ops.h"
 #include "ops/hash.h"
 #include "ops/ops.h"
+#include "ops/plan.h"
 #include "ops/preprocessor.h"
 #include "ops/simd.h"
 
@@ -404,6 +405,34 @@ TEST(ZeroAllocTest, SteadyStatePreprocessLoopDoesNotAllocate)
     EXPECT_EQ(g_alloc_count.load(), 0u)
         << "steady-state fetch+decode+transform loop heap-allocated";
     EXPECT_EQ(arena.slotAllocations(), slots);
+    EXPECT_EQ(batchChecksum(mb), want);
+}
+
+TEST(ZeroAllocTest, SteadyStatePlanExecutorRunIntoDoesNotAllocate)
+{
+    // The fused bytecode VM behind PlanExecutor (and Preprocessor) must
+    // stream values register-to-register: once buffers are sized, a
+    // compiled plan's runInto performs zero heap allocations per batch.
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 512;
+    RawDataGenerator gen(cfg);
+    const RowBatch raw = gen.generatePartition(0);
+    const PlanExecutor exec(TransformPlan::standard(cfg), raw.schema());
+
+    MiniBatch mb;
+    BatchArena arena;
+    for (int warm = 0; warm < 3; ++warm)
+        exec.runInto(raw, mb, arena);
+    const uint64_t want = batchChecksum(mb);
+
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    for (int i = 0; i < 8; ++i)
+        exec.runInto(raw, mb, arena);
+    g_count_allocs.store(false);
+
+    EXPECT_EQ(g_alloc_count.load(), 0u)
+        << "fused-VM steady-state runInto heap-allocated";
     EXPECT_EQ(batchChecksum(mb), want);
 }
 

@@ -124,6 +124,35 @@ TEST(CpuModelTest, LatencyGrowsWithGeneratedFeatures)
     EXPECT_NEAR(b3.bucketize / b2.bucketize, 2.0, 0.01);
 }
 
+TEST(CpuModelTest, FusedTransformRateShrinksTransformOnly)
+{
+    // The measured fused-VM rate replaces the calibrated per-operator
+    // transform costs: Extract is untouched, the transform stages
+    // shrink, and the measured rate governs the new transform time.
+    for (int rm : {1, 2, 5}) {
+        const RmConfig cfg = rmConfig(rm);
+        const LatencyBreakdown base =
+            CpuWorkerModel(cfg).batchLatency();
+        const CpuWorkerModel fused_model(
+            cfg, cal::kCpuDecodeSecPerValue, {},
+            cal::kMeasuredFusedSecPerValue);
+        const LatencyBreakdown fused = fused_model.batchLatency();
+        EXPECT_DOUBLE_EQ(fused.extract_read, base.extract_read);
+        EXPECT_DOUBLE_EQ(fused.extract_decode, base.extract_decode);
+        const double base_transform =
+            base.bucketize + base.sigrid_hash + base.log;
+        const double fused_transform =
+            fused.bucketize + fused.sigrid_hash + fused.log;
+        EXPECT_LT(fused_transform, base_transform) << "RM" << rm;
+        EXPECT_NEAR(fused_transform,
+                    fused_model.work().output_values *
+                        cal::kMeasuredFusedSecPerValue,
+                    1e-12)
+            << "RM" << rm;
+        EXPECT_LT(fused.total(), base.total()) << "RM" << rm;
+    }
+}
+
 TEST(CpuModelDeathTest, NegativeCoresPanics)
 {
     CpuWorkerModel cpu(rmConfig(1));

@@ -29,6 +29,9 @@
  *       records. --demo N first commits N synthetic partitions;
  *       --verify 1 re-checksums every page frame of every live
  *       segment.
+ *   plan [--rm N]
+ *       Compile the standard Transform plan for workload RM N and print
+ *       the fused bytecode program's disassembly.
  */
 #include <chrono>
 #include <cstdio>
@@ -117,7 +120,8 @@ usage()
         "  decode <dir> [--partition I] [--reps N]\n"
         "  provision --rm N [--gpus G]\n"
         "  io [--rm N] [--rows R] [--qd D] [--emulate-latency 0|1]\n"
-        "  store <dir> [--demo N] [--verify 1] [--rm N] [--rows R]\n");
+        "  store <dir> [--demo N] [--verify 1] [--rm N] [--rows R]\n"
+        "  plan [--rm N]\n");
     return 2;
 }
 
@@ -659,6 +663,18 @@ cmdStore(const Args& args)
     return 0;
 }
 
+int
+cmdPlan(const Args& args)
+{
+    const int rm = static_cast<int>(args.getInt("rm", 1));
+    const RmConfig cfg = rmConfig(rm);
+    const Preprocessor prep(cfg);
+    std::printf("%s: standard transform plan, compiled\n",
+                cfg.name.c_str());
+    std::fputs(prep.program().disassemble().c_str(), stdout);
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -684,5 +700,7 @@ main(int argc, char** argv)
         return cmdIo(args);
     if (cmd == "store")
         return cmdStore(args);
+    if (cmd == "plan")
+        return cmdPlan(args);
     return usage();
 }
