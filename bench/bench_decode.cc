@@ -18,6 +18,7 @@
  * ctest "perf" smoke label; numbers are then noisy but the differential
  * checks still run.)
  */
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -28,6 +29,7 @@
 
 #include "columnar/columnar_file.h"
 #include "columnar/encoding.h"
+#include "columnar/entropy.h"
 #include "common/batch_arena.h"
 #include "common/crc32.h"
 #include "common/rng.h"
@@ -419,6 +421,169 @@ runCompressedPages(const BenchConfig& bc)
                 lz_secs / plain_secs);
 }
 
+[[noreturn]] void
+gateFail(const char* gate, double got, double bound)
+{
+    std::fprintf(stderr,
+                 "FATAL: perf gate %s failed: got %.4f vs bound %.4f\n",
+                 gate, got, bound);
+    std::exit(1);
+}
+
+/**
+ * Entropy page codec: canonical-Huffman kernel rates on page-shaped
+ * payloads, and the file-level effect of widening the codec menu from
+ * LZ-only to {plain, LZ, entropy, LZ+entropy} on RM1. The decompress
+ * rate and stored-ratio rows feed
+ * cal::kMeasuredHuffDecompressBytesPerSec / kMeasuredEntropyStoredRatio.
+ *
+ * Self-enforcing gates: the full menu must store strictly fewer bytes
+ * than LZ-only (always, including --quick — the writer only picks a
+ * codec when it is strictly smaller, so this catches menu-selection
+ * regressions even on noisy runs). In full mode two absolute gates are
+ * also enforced: RM1 stored ratio < 0.815, and Huffman decode >= 1 GB/s
+ * on the best (most skewed) corpus — the kind of page the
+ * strictly-smallest menu rule actually entropy-codes; near-
+ * incompressible payloads fall back to LZ or plain frames and never
+ * reach this decoder.
+ */
+void
+runEntropyPages(const BenchConfig& bc, bool quick)
+{
+    std::printf("  \"entropy_pages\": {\n");
+
+    // --- kernel rates on page-shaped payloads ----------------------------
+    struct Corpus {
+        const char* name;
+        std::vector<uint8_t> raw;
+    };
+    const auto clustered = valuesFor(Encoding::kVarint, bc.values);
+    // Dense-float page: clustered exponents, near-uniform mantissa tail.
+    Rng frng(31);
+    std::vector<uint8_t> dense_f32(bc.values * sizeof(float));
+    for (size_t i = 0; i < bc.values; ++i) {
+        const float f = static_cast<float>(frng.uniform(0.0, 8.0));
+        std::memcpy(dense_f32.data() + i * sizeof(float), &f, sizeof(f));
+    }
+    const Corpus corpora[] = {
+        {"varint_clustered_ids", enc::encodeVarint(clustered)},
+        {"plain_i64_clustered_ids", enc::encodePlainI64(clustered)},
+        {"dense_f32_uniform", std::move(dense_f32)},
+    };
+
+    double best_decode_gbps = 0.0;
+    std::printf("    \"codec\": [\n");
+    for (size_t c = 0; c < std::size(corpora); ++c) {
+        const auto& raw = corpora[c].raw;
+        const auto packed = enc::huffCompress(raw);
+        std::vector<uint8_t> back(raw.size());
+        if (!enc::huffDecompress(packed, back).ok() || back != raw)
+            mismatch("huff codec", corpora[c].name);
+
+        std::vector<uint8_t> scratch;
+        const double comp_secs = bestSeconds(bc.reps, [&] {
+            enc::huffCompress(raw, scratch);
+        });
+        const double decomp_secs = bestSeconds(bc.reps, [&] {
+            if (!enc::huffDecompress(packed, back).ok())
+                mismatch("huff codec", corpora[c].name);
+        });
+        const double gb = static_cast<double>(raw.size()) / 1e9;
+        best_decode_gbps = std::max(best_decode_gbps, gb / decomp_secs);
+        std::printf("      {\"corpus\": \"%s\", \"raw_bytes\": %zu, "
+                    "\"compressed_bytes\": %zu, \"ratio\": %.3f,\n"
+                    "       \"compress\": {\"seconds\": %.6e, "
+                    "\"raw_gb_per_sec\": %.4f},\n"
+                    "       \"decompress\": {\"seconds\": %.6e, "
+                    "\"raw_gb_per_sec\": %.4f}}%s\n",
+                    corpora[c].name, raw.size(), packed.size(),
+                    static_cast<double>(raw.size()) /
+                        static_cast<double>(packed.size()),
+                    comp_secs, gb / comp_secs, decomp_secs,
+                    gb / decomp_secs,
+                    c + 1 < std::size(corpora) ? "," : "");
+    }
+    std::printf("    ],\n");
+
+    // --- file-level menu widening on RM1 ---------------------------------
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = static_cast<int>(
+        std::min<size_t>(bc.values, 65536));
+    RawDataGenerator gen(cfg);
+    const RowBatch batch = gen.generatePartition(0);
+    WriterOptions off, lz_only, full;
+    off.codec = PageCodec::kNone;
+    lz_only.codec = PageCodec::kLz;
+    full.codec = PageCodec::kLzEntropy;
+    const auto without = ColumnarFileWriter(off).write(batch, 0);
+    const auto with_lz = ColumnarFileWriter(lz_only).write(batch, 0);
+    const auto with_full = ColumnarFileWriter(full).write(batch, 0);
+
+    ColumnarFileReader full_reader, lz_reader;
+    RowBatch a, b;
+    if (!full_reader.open(with_full).ok() ||
+        !full_reader.readAllInto(a).ok() ||
+        !lz_reader.open(with_lz).ok() || !lz_reader.readAllInto(b).ok() ||
+        !(a == b))
+        mismatch("file codec", "full menu vs lz differential");
+
+    const double full_secs = bestSeconds(bc.reps, [&] {
+        if (!full_reader.open(with_full).ok() ||
+            !full_reader.readAllInto(a).ok())
+            mismatch("file codec", "full menu decode");
+    });
+    const double lz_secs = bestSeconds(bc.reps, [&] {
+        if (!lz_reader.open(with_lz).ok() ||
+            !lz_reader.readAllInto(b).ok())
+            mismatch("file codec", "lz decode");
+    });
+
+    const double rows = static_cast<double>(batch.numRows());
+    const double ratio_full = static_cast<double>(with_full.size()) /
+                              static_cast<double>(without.size());
+    const double ratio_lz = static_cast<double>(with_lz.size()) /
+                            static_cast<double>(without.size());
+    std::printf("    \"file\": {\n"
+                "      \"workload\": \"RM1\",\n"
+                "      \"rows\": %zu,\n"
+                "      \"bytes_codec_off\": %zu,\n"
+                "      \"bytes_lz_only\": %zu,\n"
+                "      \"bytes_full_menu\": %zu,\n"
+                "      \"stored_ratio_lz\": %.3f,\n"
+                "      \"stored_ratio_full_menu\": %.3f,\n"
+                "      \"lz_only\": {\"seconds\": %.6e, "
+                "\"rows_per_sec\": %.4e},\n"
+                "      \"full_menu\": {\"seconds\": %.6e, "
+                "\"rows_per_sec\": %.4e, \"decode_slowdown_vs_lz\": "
+                "%.3f}\n"
+                "    },\n"
+                "    \"gates\": {\"full_menu_lt_lz_bytes\": true, "
+                "\"stored_ratio_bound\": 0.815, "
+                "\"huff_decode_gb_per_sec_min\": 1.0, "
+                "\"absolute_gates_enforced\": %s}\n"
+                "  },\n",
+                batch.numRows(), without.size(), with_lz.size(),
+                with_full.size(), ratio_lz, ratio_full, lz_secs,
+                rows / lz_secs, full_secs, rows / full_secs,
+                full_secs / lz_secs, quick ? "false" : "true");
+
+    // Relative gate: always on. The menu picks the strictly-smallest
+    // frame per page, so the full menu can never store more than
+    // LZ-only; "equal" would mean entropy never won a single page.
+    if (!(with_full.size() < with_lz.size()))
+        gateFail("full_menu_bytes < lz_only_bytes",
+                 static_cast<double>(with_full.size()),
+                 static_cast<double>(with_lz.size()));
+    if (!quick) {
+        if (!(ratio_full < 0.815))
+            gateFail("rm1_stored_ratio_full_menu < 0.815", ratio_full,
+                     0.815);
+        if (!(best_decode_gbps >= 1.0))
+            gateFail("huff_decode_gb_per_sec >= 1.0", best_decode_gbps,
+                     1.0);
+    }
+}
+
 /**
  * End-to-end RM1 Extract+Transform (open + readAllInto + preprocessInto),
  * with the Extract fast paths pinned off (reference decoders + table
@@ -516,6 +681,7 @@ main(int argc, char** argv)
     runDecodeKernels(bc);
     runFileDecode(bc);
     runCompressedPages(bc);
+    runEntropyPages(bc, quick);
     runEndToEnd(bc);
     std::printf("}\n");
     return 0;

@@ -1,5 +1,6 @@
 #include "cachesim/op_traces.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace presto {
@@ -114,6 +115,42 @@ OpTraceRunner::runLog(const RmConfig& config)
     result.total_access_bytes = touched;
     result.dram_bytes = result.stats.dramBytes(cache_.config().line_bytes);
     return result;
+}
+
+std::vector<uint32_t>
+columnAccessHeat(const RmConfig& config)
+{
+    // Quantization full scale; matches kMaxStreamHeat (columnar_file.h)
+    // without a cachesim -> columnar dependency (the writer clamps).
+    constexpr double kHeatScale = 1000.0;
+
+    // Per-row downstream access bytes, mirroring the trace generators'
+    // per-value patterns (runLog / runBucketize / runSigridHash).
+    std::vector<double> bytes_per_row;
+    bytes_per_row.push_back(4.0);  // label: conversion read
+    const double probes =
+        std::ceil(std::log2(std::max<double>(2, config.bucket_size)));
+    for (size_t d = 0; d < config.num_dense; ++d) {
+        double b = 8.0;  // Log: 4 B read + 4 B write in place
+        if (d < config.num_generated)
+            b += 4.0 + 4.0 * probes + 8.0;  // Bucketize read+probes+write
+        bytes_per_row.push_back(b);
+    }
+    const double per_sparse =
+        16.0 * std::max(1.0, config.avg_sparse_length);
+    for (size_t s = 0; s < config.num_sparse; ++s)
+        bytes_per_row.push_back(per_sparse);
+
+    double max_bytes = 0;
+    for (double b : bytes_per_row)
+        max_bytes = std::max(max_bytes, b);
+    std::vector<uint32_t> heat(bytes_per_row.size(), 0);
+    if (max_bytes <= 0)
+        return heat;
+    for (size_t i = 0; i < heat.size(); ++i)
+        heat[i] = static_cast<uint32_t>(
+            std::lround(bytes_per_row[i] / max_bytes * kHeatScale));
+    return heat;
 }
 
 }  // namespace presto

@@ -12,6 +12,7 @@
 #define PRESTO_CACHESIM_OP_TRACES_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "cachesim/cache.h"
 #include "common/rng.h"
@@ -58,6 +59,25 @@ class OpTraceRunner
     CacheSim cache_;
     Rng rng_;
 };
+
+/**
+ * Per-column access heat of @p config's raw batch layout (label, then
+ * dense, then sparse — Schema::makeRecSys order), derived analytically
+ * from the same per-value access patterns the trace generators replay:
+ *
+ *   label     4 B/value   (conversion read)
+ *   dense     8 B/value   Log read+write, plus — for the first
+ *             num_generated dense features — Bucketize's 4 B input
+ *             read, log2(bucket_size) boundary probes and 8 B output
+ *             write
+ *   sparse    16 B/id * avg ids/row   SigridHash read+write per id
+ *
+ * Heat is per *row* downstream access bytes, quantized so the hottest
+ * column maps to kMaxStreamHeat (columnar_file.h); feed the result to
+ * WriterOptions::column_heat so the async reader can stripe hot pages
+ * across flash channels.
+ */
+std::vector<uint32_t> columnAccessHeat(const RmConfig& config);
 
 }  // namespace presto
 

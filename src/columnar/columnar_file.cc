@@ -192,6 +192,9 @@ ColumnarFileWriter::write(const RowBatch& batch, uint64_t partition_id) const
             meta.streams.push_back(
                 writeF32Stream(out, col.values(), options_));
         }
+        if (c < options_.column_heat.size())
+            for (auto& s : meta.streams)
+                s.heat = std::min(options_.column_heat[c], kMaxStreamHeat);
         columns.push_back(std::move(meta));
     }
 
@@ -209,6 +212,7 @@ ColumnarFileWriter::write(const RowBatch& batch, uint64_t partition_id) const
             enc::putVarint(footer, s.byte_size);
             enc::putVarint(footer, s.value_count);
             enc::putVarint(footer, s.num_pages);
+            enc::putVarint(footer, s.heat);
         }
     }
 
@@ -323,6 +327,12 @@ ColumnarFileReader::parseFooterRegion(std::span<const uint8_t> region,
             PRESTO_RETURN_IF_ERROR(
                 enc::getVarint(footer_bytes, pos, num_pages));
             stream.num_pages = static_cast<uint32_t>(num_pages);
+            uint64_t heat = 0;
+            PRESTO_RETURN_IF_ERROR(
+                enc::getVarint(footer_bytes, pos, heat));
+            if (heat > kMaxStreamHeat)
+                return Status::corruption("stream heat out of range");
+            stream.heat = static_cast<uint32_t>(heat);
             if (stream.offset + stream.byte_size > data_end)
                 return Status::corruption("stream extends past data region");
             // Defensive: the writer caps pages at kMaxValuesPerPage, so
@@ -736,6 +746,96 @@ ColumnarFileReader::planPageReads(std::vector<PageReadPlan>& plans)
         }
     }
     return Status::okStatus();
+}
+
+void
+assignChannelPlacement(const FileFooter& footer, int num_channels,
+                       std::vector<PageReadPlan>& plans)
+{
+    if (num_channels <= 0)
+        num_channels = 1;
+    uint32_t max_heat = 0;
+    for (const auto& col : footer.columns)
+        for (const auto& s : col.streams)
+            max_heat = std::max(max_heat, s.heat);
+    if (max_heat == 0) {
+        for (auto& plan : plans) {
+            plan.channel = -1;
+            plan.hot = false;
+        }
+        return;
+    }
+    const uint32_t hot_threshold = (max_heat + 1) / 2;
+
+    // Stream ordinals (file order) key the per-stream cold byte totals.
+    std::vector<std::vector<uint32_t>> ordinal(footer.columns.size());
+    uint32_t next_ordinal = 0;
+    for (size_t c = 0; c < footer.columns.size(); ++c) {
+        ordinal[c].resize(footer.columns[c].streams.size());
+        for (size_t s = 0; s < footer.columns[c].streams.size(); ++s)
+            ordinal[c][s] = next_ordinal++;
+    }
+
+    // Pass 1: classify, stripe hot pages round-robin, and total each
+    // cold stream's service cost. Cost is a fixed flash-read term plus
+    // the transfer bytes (placementPageCost), because a 16-byte length
+    // page still costs a full flash page read — balancing raw bytes
+    // would pile the fixed costs onto whichever channels draw the tiny
+    // streams. Hot costs seed the per-channel load so the cold
+    // balancing below accounts for them.
+    std::vector<uint64_t> load(static_cast<size_t>(num_channels), 0);
+    std::vector<uint64_t> cold_cost(next_ordinal, 0);
+    uint32_t hot_rr = 0;
+    for (auto& plan : plans) {
+        if (plan.column >= footer.columns.size() ||
+            plan.stream >= footer.columns[plan.column].streams.size()) {
+            plan.channel = -1;
+            plan.hot = false;
+            continue;
+        }
+        const StreamMeta& stream =
+            footer.columns[plan.column].streams[plan.stream];
+        plan.hot = stream.heat >= hot_threshold;
+        if (plan.hot) {
+            plan.channel = static_cast<int32_t>(
+                hot_rr++ % static_cast<uint32_t>(num_channels));
+            load[static_cast<size_t>(plan.channel)] +=
+                placementPageCost(plan.frame_bytes);
+        } else {
+            cold_cost[ordinal[plan.column][plan.stream]] +=
+                placementPageCost(plan.frame_bytes);
+        }
+    }
+
+    // Pass 2: place each cold stream whole on one channel — heaviest
+    // stream first onto the least-loaded channel — so streams of very
+    // different sizes (a 16-byte length stream beside a multi-page
+    // value stream) cannot pile the heavy ones onto a channel subset.
+    std::vector<uint32_t> by_weight;
+    for (uint32_t o = 0; o < next_ordinal; ++o)
+        if (cold_cost[o] > 0)
+            by_weight.push_back(o);
+    std::stable_sort(by_weight.begin(), by_weight.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return cold_cost[a] > cold_cost[b];
+                     });
+    std::vector<int32_t> cold_channel(next_ordinal, 0);
+    for (uint32_t o : by_weight) {
+        size_t best = 0;
+        for (size_t c = 1; c < load.size(); ++c)
+            if (load[c] < load[best])
+                best = c;
+        cold_channel[o] = static_cast<int32_t>(best);
+        load[best] += cold_cost[o];
+    }
+    for (auto& plan : plans) {
+        if (plan.hot)
+            continue;
+        if (plan.column >= footer.columns.size() ||
+            plan.stream >= footer.columns[plan.column].streams.size())
+            continue;  // invalid plan, forced to -1 above
+        plan.channel = cold_channel[ordinal[plan.column][plan.stream]];
+    }
 }
 
 Status

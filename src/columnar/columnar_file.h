@@ -39,7 +39,18 @@ struct StreamMeta {
     uint64_t byte_size = 0;    ///< total framed bytes of this stream
     uint64_t value_count = 0;  ///< decoded values across all pages
     uint32_t num_pages = 0;
+    /**
+     * Access heat: relative per-value downstream access cost of this
+     * stream's column (from cachesim op traces or a supplied
+     * histogram), quantized to [0, kMaxStreamHeat]. 0 = unknown/cold.
+     * The async reader stripes pages of hot streams round-robin across
+     * distinct flash channels; cold streams stay channel-contiguous.
+     */
+    uint32_t heat = 0;
 };
+
+/** Upper bound of StreamMeta::heat (quantization full scale). */
+inline constexpr uint32_t kMaxStreamHeat = 1000;
 
 /** Directory entry for one column. */
 struct ColumnMeta {
@@ -74,6 +85,11 @@ struct PageReadPlan {
     uint64_t out_offset = 0;   ///< index of the first value in its stream
     uint32_t column = 0;       ///< footer column index
     uint32_t stream = 0;       ///< stream index within the column
+    // Transient placement hints, assigned at read time from the footer's
+    // heat metadata (never serialized — the PSJ journal format carries
+    // only the six fields above; recovery re-derives placement).
+    int32_t channel = -1;      ///< preferred flash channel, -1 = any
+    bool hot = false;          ///< page belongs to a hot (striped) stream
 };
 
 /** Writer knobs. */
@@ -81,14 +97,24 @@ struct WriterOptions {
     /** Force a specific encoding for sparse values (nullopt = choose). */
     bool force_plain = false;
     /**
-     * Per-page compression applied to encoded payloads. The writer
-     * stores a page compressed only when that strictly shrinks its
-     * frame, so dense already-packed pages (kBitPacked indices,
-     * high-entropy hashed ids) typically stay uncompressed while
-     * redundant pages shrink. kNone disables compression entirely
-     * (byte-compatible with pre-codec PSF files).
+     * Per-page compression applied to encoded payloads. The value
+     * selects the candidate menu writePageFrame() may try (kLzEntropy
+     * = the full {lz, entropy, lz+entropy} menu); the strictly
+     * smallest frame is stored, so dense already-packed pages
+     * (kBitPacked indices, high-entropy hashed ids) typically stay
+     * uncompressed while redundant or skewed pages shrink. kNone
+     * disables compression entirely (byte-compatible with pre-codec
+     * PSF files).
      */
-    PageCodec codec = PageCodec::kLz;
+    PageCodec codec = PageCodec::kLzEntropy;
+    /**
+     * Optional per-column access heat (same order as the batch's
+     * columns), quantized into StreamMeta::heat by the writer; both
+     * streams of a sparse column inherit the column's heat. Empty =
+     * no heat metadata (every stream written cold). Values above
+     * kMaxStreamHeat are clamped. See cachesim columnAccessHeat().
+     */
+    std::vector<uint32_t> column_heat;
 };
 
 /**
@@ -301,6 +327,35 @@ class ColumnarFileReader
     std::vector<std::vector<int64_t>> async_lengths_;
     bool async_active_ = false;
 };
+
+/**
+ * Relative service cost of one page read for channel balancing: a
+ * fixed flash-read + controller term (expressed in transfer-byte
+ * equivalents) plus the frame's transfer bytes. Without the fixed
+ * term, byte-balancing would treat a 16-byte length page as free even
+ * though it still occupies its channel for a full flash page read.
+ */
+inline uint64_t
+placementPageCost(uint64_t frame_bytes)
+{
+    return 32 * 1024 + frame_bytes;
+}
+
+/**
+ * Assign transient channel-placement hints to validated @p plans from
+ * the footer's heat metadata (RecFlash-style frequency-aware mapping):
+ * pages of *hot* streams — heat at least half the hottest stream's —
+ * are striped round-robin across @p num_channels distinct flash
+ * channels so the IoRing's per-channel workers serve them in parallel;
+ * pages of cold streams stay channel-contiguous (one channel per whole
+ * stream, chosen heaviest-stream-first onto the least-loaded channel
+ * so total bytes balance across channels). With no heat metadata (all
+ * zero) every plan keeps channel -1 (any worker). Plans may come from
+ * planPageReads() or from a segment journal; the hints are transient
+ * and never serialized.
+ */
+void assignChannelPlacement(const FileFooter& footer, int num_channels,
+                            std::vector<PageReadPlan>& plans);
 
 /** Write PSF bytes to a filesystem path. */
 Status saveToFile(const std::string& path, std::span<const uint8_t> bytes);

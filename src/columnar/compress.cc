@@ -10,8 +10,10 @@ const char*
 pageCodecName(PageCodec codec)
 {
     switch (codec) {
-      case PageCodec::kNone: return "none";
-      case PageCodec::kLz:   return "lz";
+      case PageCodec::kNone:      return "none";
+      case PageCodec::kLz:        return "lz";
+      case PageCodec::kEntropy:   return "entropy";
+      case PageCodec::kLzEntropy: return "lz+entropy";
     }
     return "?";
 }

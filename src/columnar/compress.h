@@ -43,8 +43,10 @@ namespace presto {
 
 /** Page codec identifiers (stable on-disk values; 0 is never stored). */
 enum class PageCodec : uint8_t {
-    kNone = 0,  ///< uncompressed page (no codec byte in the frame)
-    kLz = 1,    ///< in-repo LZ4-style byte codec (see file comment)
+    kNone = 0,      ///< uncompressed page (no codec byte in the frame)
+    kLz = 1,        ///< in-repo LZ4-style byte codec (see file comment)
+    kEntropy = 2,   ///< canonical-Huffman entropy coding (entropy.h)
+    kLzEntropy = 3, ///< kLz stream entropy-coded as a whole (entropy.h)
 };
 
 /** Human-readable codec name. */

@@ -72,8 +72,19 @@ void writePageFrame(std::vector<uint8_t>& out, Encoding encoding,
                     uint32_t value_count, std::span<const uint8_t> payload);
 
 /**
- * Append one framed page, compressing the payload with @p codec when
- * that strictly shrinks the frame (kNone never compresses).
+ * Append one framed page, compressing the payload when that strictly
+ * shrinks the frame. @p codec selects the candidate menu the writer
+ * may try:
+ *
+ *   kNone      store plain, always
+ *   kLz        {plain, lz}
+ *   kEntropy   {plain, entropy}
+ *   kLzEntropy {plain, lz, entropy, lz+entropy} — the full menu
+ *
+ * The strictly-smallest framed candidate wins; ties go to the earlier
+ * (cheaper-to-decode) menu entry. When every compressed candidate
+ * loses, the page is stored as a plain frame — bit-identical to the
+ * plain writePageFrame() overload, with no codec/raw_size bytes.
  * @return the codec actually stored.
  */
 PageCodec writePageFrame(std::vector<uint8_t>& out, Encoding encoding,
@@ -106,8 +117,9 @@ Status scanPageFrame(std::span<const uint8_t> in, size_t& pos,
  * Materialize the page's *raw* (decoded-ready) payload: the stored
  * bytes for an uncompressed page, or the decompression of them into
  * @p scratch (resized to raw_size; capacity reused across calls, so a
- * warmed-up decode loop stays allocation-free). Call only after
- * readPageFrame() verified the CRC.
+ * warmed-up decode loop stays allocation-free — kLzEntropy's
+ * intermediate LZ stream lives in a thread-local buffer with the same
+ * warm-up property). Call only after readPageFrame() verified the CRC.
  */
 Status pagePayload(const PageView& page, std::vector<uint8_t>& scratch,
                    std::span<const uint8_t>& raw);

@@ -15,7 +15,10 @@ AsyncPartitionReader::AsyncPartitionReader(IoRing& ring,
     PRESTO_CHECK(options_.queue_depth > 0, "queue depth must be positive");
     PRESTO_CHECK(options_.max_page_attempts > 0,
                  "page attempt budget must be positive");
-    slots_.resize(options_.queue_depth);
+    // queue_depth frames in flight on the device plus queue_depth - 1
+    // completed frames waiting for decode, so reaping a completion
+    // never has to stall on a decode before the window can refill.
+    slots_.resize(2 * options_.queue_depth - 1);
 }
 
 Status
@@ -48,6 +51,18 @@ AsyncPartitionReader::submitPage(std::span<const uint8_t> file, int fd,
     req.offset = plan.offset;
     req.attempt = attempt;
     req.user_data = slot_index;
+    switch (options_.placement) {
+      case ChannelPlacement::kNone:
+        break;
+      case ChannelPlacement::kAddress:
+        req.channel = static_cast<int32_t>(
+            (plan.offset / std::max<uint64_t>(1, options_.address_stripe_bytes)) %
+            static_cast<uint64_t>(ring_.options().workers));
+        break;
+      case ChannelPlacement::kHeat:
+        req.channel = plan.channel;
+        break;
+    }
     ring_.submit(consumer_, req);
     return Status::okStatus();
 }
@@ -84,6 +99,9 @@ AsyncPartitionReader::read(std::span<const uint8_t> file,
 {
     PRESTO_RETURN_IF_ERROR(reader_.open(file));
     PRESTO_RETURN_IF_ERROR(reader_.planPageReads(plans_));
+    if (options_.placement == ChannelPlacement::kHeat)
+        assignChannelPlacement(reader_.footer(), ring_.options().workers,
+                               plans_);
     PRESTO_RETURN_IF_ERROR(reader_.beginReadInto(out));
     return runRead(file, /*fd=*/-1, partition_id, out);
 }
@@ -99,6 +117,11 @@ AsyncPartitionReader::readFile(const FileReadSource& src,
     // of bounds — it is rejected here as corruption instead.
     PRESTO_RETURN_IF_ERROR(reader_.validatePlans(src.plans));
     plans_.assign(src.plans.begin(), src.plans.end());
+    // Journal plans never carry placement; re-derive it from the
+    // footer's heat metadata at read time.
+    if (options_.placement == ChannelPlacement::kHeat)
+        assignChannelPlacement(reader_.footer(), ring_.options().workers,
+                               plans_);
     PRESTO_RETURN_IF_ERROR(reader_.beginReadInto(out));
     return runRead({}, src.fd, partition_id, out);
 }
@@ -120,12 +143,79 @@ AsyncPartitionReader::runRead(std::span<const uint8_t> file, int fd,
         error_ = Status::okStatus();
     }
 
+    // Submission order. With channel hints (kHeat placement), submit
+    // channel-interleaved — the channel with the least service cost
+    // submitted so far goes next — instead of in file order, so the
+    // in-flight window spans distinct channels even where consecutive
+    // pages of one cold stream share one. completePage() is
+    // order-independent, so only the schedule changes, not the result.
+    std::vector<size_t> order(plans_.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    if (std::any_of(plans_.begin(), plans_.end(),
+                    [](const PageReadPlan& p) { return p.channel >= 0; })) {
+        std::vector<std::vector<size_t>> queues;  // bucket 0 = unpinned
+        for (size_t i = 0; i < plans_.size(); ++i) {
+            const int32_t ch = plans_[i].channel;
+            const size_t b = ch >= 0 ? static_cast<size_t>(ch) + 1 : 0;
+            if (queues.size() <= b)
+                queues.resize(b + 1);
+            queues[b].push_back(i);
+        }
+        std::vector<uint64_t> cost(queues.size(), 0);
+        std::vector<size_t> head(queues.size(), 0);
+        order.clear();
+        while (order.size() < plans_.size()) {
+            size_t best = queues.size();
+            for (size_t b = 0; b < queues.size(); ++b) {
+                if (head[b] >= queues[b].size())
+                    continue;
+                if (best == queues.size() || cost[b] < cost[best])
+                    best = b;
+            }
+            const size_t i = queues[best][head[best]++];
+            order.push_back(i);
+            cost[best] += placementPageCost(plans_[i].frame_bytes);
+        }
+    }
+
     size_t next_plan = 0;
     size_t ring_outstanding = 0;
-    for (;;) {
-        // Top up the prefetch window: corrupt-page re-reads first, then
-        // fresh pages, while slots are free.
-        for (;;) {
+    std::vector<size_t> ready;  ///< completed frames awaiting decode
+    std::vector<IoCompletion> reaped;
+
+    // Account one reaped completion, then route its slot to the decode
+    // backlog (or the decode pool).
+    auto handleCompletion = [&](IoCompletion& c) {
+        stats_.device_retries += c.retries;
+        stats_.modeled_storage_sec += c.latency_sec;
+        const auto slot_index = static_cast<size_t>(c.user_data);
+        if (!c.status.ok()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            free_slots_.push_back(slot_index);
+            if (error_.ok())
+                error_ = std::move(c.status);
+            return;
+        }
+        stats_.bytes_read += c.bytes;
+        if (pool_ != nullptr) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++decodes_pending_;
+            }
+            pool_->submit([this, slot_index, out_ptr = &out] {
+                decodeSlot(slot_index, out_ptr);
+            });
+        } else {
+            ready.push_back(slot_index);
+        }
+    };
+
+    // Top up the device window: corrupt-page re-reads first, then
+    // fresh pages, while slots are free and fewer than queue_depth
+    // requests are in flight.
+    auto topUp = [&]() -> Status {
+        while (ring_outstanding < options_.queue_depth) {
             size_t plan_index;
             uint32_t attempt = 0;
             {
@@ -136,8 +226,8 @@ AsyncPartitionReader::runRead(std::span<const uint8_t> file, int fd,
                     plan_index = retries_.back().first;
                     attempt = retries_.back().second;
                     retries_.pop_back();
-                } else if (next_plan < plans_.size()) {
-                    plan_index = next_plan++;
+                } else if (next_plan < order.size()) {
+                    plan_index = order[next_plan++];
                 } else {
                     break;
                 }
@@ -145,6 +235,34 @@ AsyncPartitionReader::runRead(std::span<const uint8_t> file, int fd,
             PRESTO_RETURN_IF_ERROR(
                 submitPage(file, fd, partition_id, plan_index, attempt));
             ++ring_outstanding;
+        }
+        return Status::okStatus();
+    };
+
+    Status loop_status = Status::okStatus();
+    for (;;) {
+        loop_status = topUp();
+        if (!loop_status.ok())
+            break;
+
+        // Reap whatever is already complete before the CPU sinks into
+        // a decode, so the device window refills first and the flash
+        // channels keep working underneath the decode.
+        if (ring_outstanding > 0) {
+            reaped.clear();
+            ring_outstanding -= ring_.reapCompletions(consumer_, reaped);
+            if (!reaped.empty()) {
+                for (IoCompletion& c : reaped)
+                    handleCompletion(c);
+                continue;  // refill the window before decoding
+            }
+        }
+
+        if (!ready.empty()) {
+            const size_t slot_index = ready.front();
+            ready.erase(ready.begin());
+            decodeSlot(slot_index, &out);
+            continue;
         }
 
         {
@@ -168,28 +286,7 @@ AsyncPartitionReader::runRead(std::span<const uint8_t> file, int fd,
 
         IoCompletion c = ring_.waitCompletion(consumer_);
         --ring_outstanding;
-        stats_.device_retries += c.retries;
-        stats_.modeled_storage_sec += c.latency_sec;
-        const auto slot_index = static_cast<size_t>(c.user_data);
-        if (!c.status.ok()) {
-            std::lock_guard<std::mutex> lock(mu_);
-            free_slots_.push_back(slot_index);
-            if (error_.ok())
-                error_ = std::move(c.status);
-            continue;
-        }
-        stats_.bytes_read += c.bytes;
-        if (pool_ != nullptr) {
-            {
-                std::lock_guard<std::mutex> lock(mu_);
-                ++decodes_pending_;
-            }
-            pool_->submit([this, slot_index, out_ptr = &out] {
-                decodeSlot(slot_index, out_ptr);
-            });
-        } else {
-            decodeSlot(slot_index, &out);
-        }
+        handleCompletion(c);
     }
 
     // Unwind before returning on failure: in-flight requests still
@@ -206,6 +303,8 @@ AsyncPartitionReader::runRead(std::span<const uint8_t> file, int fd,
         if (!error_.ok())
             return error_;
     }
+    if (!loop_status.ok())
+        return loop_status;
     return reader_.finishReadInto(out);
 }
 

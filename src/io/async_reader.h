@@ -37,12 +37,36 @@ namespace presto {
 
 class ThreadPool;
 
+/** How page requests are mapped to the ring's flash channels. */
+enum class ChannelPlacement : uint8_t {
+    kNone = 0,     ///< no affinity: any device worker (legacy behavior)
+    kAddress = 1,  ///< address-striped: channel = (offset / stripe) % C
+    kHeat = 2,     ///< frequency-aware: assignChannelPlacement() hints
+};
+
 /** Per-read knobs. */
 struct AsyncReadOptions {
-    /** Pages in flight or decoding at once (the prefetch window). */
+    /**
+     * Page requests in flight on the device at once. Up to
+     * queue_depth - 1 completed frames additionally wait in a decode
+     * backlog so the device window refills before the CPU sinks into a
+     * decode; queue_depth = 1 therefore stays the strictly-alternating
+     * blocking schedule (one page's storage wait, then its decode).
+     */
     size_t queue_depth = 8;
     /** Whole-page re-reads before a CRC failure becomes fatal. */
     uint32_t max_page_attempts = 16;
+    /**
+     * Channel placement of page requests. kHeat stripes pages of hot
+     * streams (footer heat metadata) round-robin across distinct
+     * channels and keeps cold streams channel-contiguous, so channel
+     * parallelism and entropy packing compound; with no heat metadata
+     * it degrades to kNone. kAddress models a conventional
+     * address-interleaved SSD mapping (the striping baseline).
+     */
+    ChannelPlacement placement = ChannelPlacement::kNone;
+    /** Stripe size of kAddress placement, in bytes. */
+    uint64_t address_stripe_bytes = 64 * 1024;
 };
 
 /** Counters for the most recent read(). */

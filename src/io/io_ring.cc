@@ -53,7 +53,7 @@ IoRing::IoRing(IoRingOptions options) : options_(options)
         Histogram(0.0, options_.latency_hist_max_sec, 1000);
     workers_.reserve(static_cast<size_t>(options_.workers));
     for (int w = 0; w < options_.workers; ++w)
-        workers_.emplace_back([this] { deviceLoop(); });
+        workers_.emplace_back([this, w] { deviceLoop(w); });
 }
 
 IoRing::~IoRing()
@@ -88,7 +88,7 @@ IoRing::submit(uint32_t consumer, const IoRequest& req)
     stats_.queue_depth.add(static_cast<double>(depth));
     stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
     lock.unlock();
-    sq_nonempty_.notify_one();
+    sq_nonempty_.notify_all();
 }
 
 bool
@@ -107,7 +107,7 @@ IoRing::trySubmit(uint32_t consumer, const IoRequest& req)
         stats_.queue_depth.add(static_cast<double>(depth));
         stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
     }
-    sq_nonempty_.notify_one();
+    sq_nonempty_.notify_all();
     return true;
 }
 
@@ -188,18 +188,30 @@ IoRing::serviceSeconds(uint64_t bytes) const
 }
 
 void
-IoRing::deviceLoop()
+IoRing::deviceLoop(int worker)
 {
+    // Channel-pinned entries (req.channel >= 0) are served only by the
+    // worker owning that channel, in per-channel FIFO order; unpinned
+    // entries go to whichever worker reaches them first. During
+    // shutdown every worker drains any remaining entry so pinned
+    // requests cannot be stranded behind a stopped peer.
+    const auto eligible = [this, worker](const Sqe& sqe) {
+        return stop_ || sqe.req.channel < 0 ||
+               sqe.req.channel % options_.workers == worker;
+    };
     for (;;) {
         Sqe sqe;
         {
             std::unique_lock<std::mutex> lock(mu_);
-            sq_nonempty_.wait(lock,
-                              [this] { return stop_ || !sq_.empty(); });
-            if (sq_.empty())
+            auto it = sq_.end();
+            sq_nonempty_.wait(lock, [this, &eligible, &it] {
+                it = std::find_if(sq_.begin(), sq_.end(), eligible);
+                return stop_ || it != sq_.end();
+            });
+            if (it == sq_.end())
                 return;  // stop requested and nothing left to service
-            sqe = std::move(sq_.front());
-            sq_.pop_front();
+            sqe = std::move(*it);
+            sq_.erase(it);
             ++in_flight_;
             stats_.max_in_flight =
                 std::max(stats_.max_in_flight,

@@ -84,6 +84,14 @@ struct IoRequest {
     uint64_t offset = 0;     ///< device byte offset (fault/timing identity)
     uint32_t attempt = 0;    ///< caller-level re-read ordinal (fault identity)
     uint64_t user_data = 0;  ///< opaque cookie echoed in the completion
+    /**
+     * Flash-channel affinity: -1 (default) lets any device worker pick
+     * the request up (legacy behavior); >= 0 pins it to the worker
+     * serving channel (channel % workers), which is how frequency-aware
+     * placement turns hot-page striping into real channel parallelism.
+     * Pinned requests keep FIFO order per channel.
+     */
+    int32_t channel = -1;
 };
 
 /** One completion-queue entry. */
@@ -210,7 +218,7 @@ class IoRing
         uint32_t consumer = 0;
     };
 
-    void deviceLoop();
+    void deviceLoop(int worker);
     void processRequest(const Sqe& sqe);
 
     IoRingOptions options_;

@@ -20,6 +20,11 @@ struct PageCompressionModel {
     /** Decompressor output rate in raw bytes/second; 0 disables the
      *  Extract(Decode)-side decompress term. */
     double decompress_bytes_per_sec = 0;
+    /** Entropy (canonical-Huffman) stage output rate in raw
+     *  bytes/second; 0 disables the term. A kLzEntropy page decodes
+     *  Huffman first, then LZ, so the stage serializes with the
+     *  decompress term above. */
+    double entropy_decode_bytes_per_sec = 0;
 };
 
 /** Seconds spent in each preprocessing step for one mini-batch. */

@@ -119,6 +119,19 @@ inline constexpr double kMeasuredLzDecompressBytesPerSec = 1.4e9;
  *  per-page ratio of its compressible pages). */
 inline constexpr double kMeasuredLzStoredRatio = 0.81;
 
+/** Measured decode rate of the in-repo canonical-Huffman entropy
+ *  decoder (columnar/entropy.h) on the skewed pages the writer's
+ *  strictly-smallest rule actually entropy-codes, in raw output bytes
+ *  per second (BENCH_decode.json entropy_pages, best corpus on this
+ *  host; near-incompressible payloads never reach this decoder because
+ *  the menu keeps them plain or LZ-only). */
+inline constexpr double kMeasuredHuffDecodeBytesPerSec = 1.9e9;
+
+/** Measured stored/raw ratio of an RM1 PSF partition written with the
+ *  full per-page codec menu (plain / LZ / entropy / LZ+entropy,
+ *  strictly-smallest wins), from BENCH_decode.json entropy_pages. */
+inline constexpr double kMeasuredEntropyStoredRatio = 0.77;
+
 /** Co-located workers (Fig 3) share the host with the training-side
  *  input pipeline; effective throughput per core drops by this factor
  *  relative to a dedicated disaggregated core. Reconciles Fig 3's <20%
@@ -217,6 +230,14 @@ inline constexpr double kIspFixedSecPerBatch = 3.5e-3;
  *  unit — parameterizes the compressed-PSF what-if in bench_fig11/12;
  *  IspParams leaves it off by default). */
 inline constexpr double kIspDecompressBytesPerSec = kFpgaClockHz * 4.0;
+
+/** Modeled FPGA canonical-Huffman unit in front of the decompressor:
+ *  a flat-table code lookup retiring ~2 output bytes/cycle at the
+ *  Table II clock (half the LZ unit's rate — each output byte costs a
+ *  serial table probe, pipelined two-wide across the format's
+ *  independent bitstream lanes). Parameterizes the entropy-PSF what-if
+ *  in bench_fig11/12; IspParams leaves it off by default. */
+inline constexpr double kIspEntropyDecodeBytesPerSec = kFpgaClockHz * 2.0;
 
 /** Concurrent mini-batch streams per SmartSSD. Feature-unit groups work
  *  on independent partitions, so device throughput exceeds 1/latency

@@ -21,6 +21,8 @@ CpuWorkerModel::CpuWorkerModel(const RmConfig& config,
                  "stored ratio outside (0, 1]");
     PRESTO_CHECK(compression_.decompress_bytes_per_sec >= 0,
                  "negative decompress rate");
+    PRESTO_CHECK(compression_.entropy_decode_bytes_per_sec >= 0,
+                 "negative entropy decode rate");
 }
 
 LatencyBreakdown
@@ -48,6 +50,9 @@ CpuWorkerModel::batchLatencyLocalRead() const
     if (compression_.decompress_bytes_per_sec > 0)
         b.extract_decode +=
             raw_bytes / compression_.decompress_bytes_per_sec;
+    if (compression_.entropy_decode_bytes_per_sec > 0)
+        b.extract_decode +=
+            raw_bytes / compression_.entropy_decode_bytes_per_sec;
     if (transform_sec_per_value_ > 0) {
         // Fused op-chain VM: generation, normalization and conversion
         // run as one value-granular pass (BENCH_fused.json), so the

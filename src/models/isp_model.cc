@@ -39,6 +39,17 @@ IspParams::smartSsdCompressed()
 }
 
 IspParams
+IspParams::smartSsdEntropy()
+{
+    IspParams p = smartSsdCompressed();
+    p.name = "PreSto (SmartSSD, entropy pages)";
+    p.compression.stored_ratio = cal::kMeasuredEntropyStoredRatio;
+    p.compression.entropy_decode_bytes_per_sec =
+        cal::kIspEntropyDecodeBytesPerSec;
+    return p;
+}
+
+IspParams
 IspParams::prestoU280()
 {
     IspParams p = smartSsd();
@@ -93,6 +104,9 @@ IspDeviceModel::decodeSeconds() const
     if (params_.compression.decompress_bytes_per_sec > 0)
         sec += rawEncodedBytes(config_) /
                params_.compression.decompress_bytes_per_sec;
+    if (params_.compression.entropy_decode_bytes_per_sec > 0)
+        sec += rawEncodedBytes(config_) /
+               params_.compression.entropy_decode_bytes_per_sec;
     return sec;
 }
 

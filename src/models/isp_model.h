@@ -49,6 +49,12 @@ struct IspParams {
      *  modeled decompressor unit (cal::kIspDecompressBytesPerSec). */
     static IspParams smartSsdCompressed();
 
+    /** The SmartSSD build reading full-codec-menu (entropy) pages: the
+     *  LZ decompressor plus a modeled Huffman unit in front of it
+     *  (cal::kIspEntropyDecodeBytesPerSec), at the tighter stored
+     *  ratio the entropy menu measures (BENCH_decode.json). */
+    static IspParams smartSsdEntropy();
+
     /** PreSto on a discrete U280 in the storage node (Fig 16). */
     static IspParams prestoU280();
 

@@ -1,6 +1,7 @@
 #include "ops/opvm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/logging.h"
@@ -153,6 +154,69 @@ applyHashPasses(const OpInstr* ops, size_t nops,
 
 }  // namespace
 
+std::vector<OpInstr>
+simplifyF32Chain(std::vector<OpInstr> ops)
+{
+    const auto nan_free_below = [&](size_t j) {
+        // True when no NaN can reach ops[j]: an earlier non-NaN fill
+        // scrubbed NaNs and every op since preserves NaN-freeness.
+        bool clean = false;
+        for (size_t i = 0; i < j; ++i) {
+            switch (ops[i].op) {
+              case OpCode::kFill:
+                if (!std::isnan(ops[i].a))
+                    clean = true;
+                // fill(NaN) maps NaN to NaN: clean stays clean.
+                break;
+              case OpCode::kLog:
+                break;  // log1p(max(x, 0)) of non-NaN is non-NaN
+              case OpCode::kClamp:
+                if (std::isnan(ops[i].a) || std::isnan(ops[i].b))
+                    clean = false;  // NaN bound may surface (per tier)
+                break;
+              default:
+                clean = false;  // not an f32-stage op; be conservative
+                break;
+            }
+        }
+        return clean;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t k = 0; k + 1 < ops.size() && !changed; ++k) {
+            OpInstr& cur = ops[k];
+            OpInstr& next = ops[k + 1];
+            if (cur.op == OpCode::kClamp && next.op == OpCode::kClamp &&
+                !std::isnan(cur.a) && !std::isnan(cur.b) &&
+                !std::isnan(next.a) && !std::isnan(next.b)) {
+                // clamp(a1,b1);clamp(a2,b2) == clamp(max(a1,a2),
+                // min(max(b1,a2),b2)) — exactly these operand orders,
+                // so signed-zero ties resolve as the composition does.
+                const float lo = std::max(cur.a, next.a);
+                const float hi = std::min(std::max(cur.b, next.a), next.b);
+                cur.a = lo;
+                cur.b = hi;
+                ops.erase(ops.begin() + static_cast<ptrdiff_t>(k) + 1);
+                changed = true;
+            } else if (cur.op == OpCode::kFill &&
+                       next.op == OpCode::kFill && std::isnan(cur.a)) {
+                // Earlier fill dominated by the adjacent later one.
+                ops.erase(ops.begin() + static_cast<ptrdiff_t>(k));
+                changed = true;
+            }
+        }
+        for (size_t k = 0; k < ops.size() && !changed; ++k) {
+            if (ops[k].op == OpCode::kFill && nan_free_below(k)) {
+                ops.erase(ops.begin() + static_cast<ptrdiff_t>(k));
+                changed = true;
+            }
+        }
+    }
+    return ops;
+}
+
 CompiledProgram
 CompiledProgram::compile(TransformPlan plan, const Schema& input_schema)
 {
@@ -201,6 +265,14 @@ CompiledProgram::compile(TransformPlan plan, const Schema& input_schema)
             }
             c.code.push_back(in);
             ++c.num_f32;
+        }
+        // Chain-level algebraic simplification: the code holds only
+        // f32-stage ops at this point, so simplify wholesale and
+        // remember the original length for the disassembly.
+        c.unsimplified_f32 = c.num_f32;
+        if (c.num_f32 > 1) {
+            c.code = simplifyF32Chain(std::move(c.code));
+            c.num_f32 = static_cast<uint32_t>(c.code.size());
         }
         if (out.kind == PlanOutput::Kind::kGenerated) {
             OpInstr in;
@@ -476,6 +548,9 @@ CompiledProgram::disassemble() const
            << "\" <- col " << out.source << ", slot " << out.slot;
         if (!out.fused)
             os << "  ; NOT fused (chain > " << kMaxFusedChainOps << " ops)";
+        if (out.num_f32 != out.unsimplified_f32)
+            os << "  ; simplified " << out.unsimplified_f32 << " -> "
+               << out.num_f32 << " f32 ops";
         os << "\n";
         if (out.prefix_cap != SIZE_MAX)
             os << "    firstx     cap=" << out.prefix_cap

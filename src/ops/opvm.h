@@ -73,6 +73,28 @@ struct OpInstr {
     int32_t table = -1;      ///< kBucketize: boundary-table index
 };
 
+/**
+ * Chain-level algebraic simplification of an f32-stage instruction
+ * sequence (kFill/kLog/kClamp only), run by compile() and exposed for
+ * direct testing. Bit-identical to executing the original chain on any
+ * input (including NaN payloads and signed zeros), on every SIMD tier:
+ *
+ *  - adjacent clamps fold into one: clamp(a1,b1);clamp(a2,b2) ->
+ *    clamp(max(a1,a2), min(max(b1,a2),b2)), skipped when any bound is
+ *    NaN (NaN bounds behave differently per tier and must stay as
+ *    written);
+ *  - fill(a1);fill(a2) with a1 NaN: the earlier fill is dominated by
+ *    the later one and dropped (any NaN -> a1' (still NaN) -> a2);
+ *  - a fill is dead and dropped when an earlier fill with a non-NaN
+ *    value precedes it with only NaN-free ops between (kLog never
+ *    produces NaN from non-NaN input; kClamp with non-NaN bounds
+ *    neither) — no NaN can reach it. fill(NaN) with no prior fill is
+ *    NOT dropped: it rewrites NaN payloads.
+ *
+ * Iterates to fixpoint (dropping a fill can make two clamps adjacent).
+ */
+std::vector<OpInstr> simplifyF32Chain(std::vector<OpInstr> ops);
+
 /** The compiled form of one PlanOutput. */
 struct CompiledOutput {
     PlanOutput::Kind kind = PlanOutput::Kind::kDense;
@@ -94,6 +116,13 @@ struct CompiledOutput {
     std::vector<OpInstr> code;  ///< [f32 ops][kBucketize?][kHash ops]
     uint32_t num_f32 = 0;       ///< leading f32-stage instructions
     uint32_t num_hash = 0;      ///< trailing hash-stage instructions
+    /**
+     * f32-stage length before chain-level algebraic simplification
+     * (adjacent-clamp folding and dead-fill elimination, see
+     * simplifyF32Chain()); equals num_f32 when nothing was folded.
+     * Disassembly surfaces the difference.
+     */
+    uint32_t unsimplified_f32 = 0;
     bool fused = true;          ///< false: some stage > kMaxFusedChainOps
 };
 

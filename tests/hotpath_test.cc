@@ -543,6 +543,7 @@ TEST(ZeroAllocTest, SteadyStateDecodeOfCompressedPagesDoesNotAllocate)
     ColumnarFileReader reader;
     ASSERT_TRUE(reader.open(encoded).ok());
     size_t compressed_pages = 0;
+    size_t entropy_pages = 0;
     for (const auto& col : reader.footer().columns) {
         for (const auto& stream : col.streams) {
             size_t pos = stream.offset;
@@ -551,10 +552,17 @@ TEST(ZeroAllocTest, SteadyStateDecodeOfCompressedPagesDoesNotAllocate)
                 ASSERT_TRUE(scanPageFrame(encoded, pos, page).ok());
                 if (page.codec != PageCodec::kNone)
                     ++compressed_pages;
+                if (page.codec == PageCodec::kEntropy ||
+                    page.codec == PageCodec::kLzEntropy)
+                    ++entropy_pages;
             }
         }
     }
     ASSERT_GT(compressed_pages, 0u) << "no page compressed";
+    // The default menu is kLzEntropy: entropy-coded pages must be part
+    // of the loop (their table build + bitstream decode included) or
+    // the zero-alloc claim would not cover the new codec.
+    ASSERT_GT(entropy_pages, 0u) << "no page entropy-coded";
 
     RowBatch raw;
     for (int warm = 0; warm < 3; ++warm) {

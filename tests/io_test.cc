@@ -19,6 +19,7 @@
 #include "common/durable_file.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "cachesim/op_traces.h"
 #include "core/managers.h"
 #include "core/partition_store.h"
 #include "datagen/generator.h"
@@ -481,6 +482,134 @@ TEST(AsyncReaderTest, ReadFileMatchesMemoryRead)
     ::close(*fd);
     EXPECT_TRUE(got == expect);
     EXPECT_EQ(reader.lastReadStats().pages, plans.size());
+}
+
+// --- flash-channel affinity -------------------------------------------------
+
+TEST(IoRingTest, ChannelPinnedRequestsKeepPerChannelFifoOrder)
+{
+    IoRingOptions opt;
+    opt.workers = 4;
+    IoRing ring(opt);
+    const uint32_t me = ring.registerConsumer();
+    std::vector<uint8_t> device(256, 0x11);
+    std::vector<std::vector<uint8_t>> dst(24,
+                                          std::vector<uint8_t>(256, 0));
+
+    // Interleave submissions across two pinned channels; each channel
+    // is served by exactly one worker, so its completions must pop in
+    // submission order even though the channels race each other.
+    IoRequest req;
+    req.src = device;
+    for (uint64_t i = 0; i < dst.size(); ++i) {
+        req.dest = dst[i].data();
+        req.channel = static_cast<int32_t>(i % 2);
+        req.user_data = i;
+        ring.submit(me, req);
+    }
+    ring.drain();
+
+    std::vector<IoCompletion> got;
+    ASSERT_EQ(ring.reapCompletions(me, got), dst.size());
+    uint64_t last_even = 0, last_odd = 0;
+    for (const IoCompletion& c : got) {
+        ASSERT_TRUE(c.status.ok());
+        uint64_t& last = (c.user_data % 2 == 0) ? last_even : last_odd;
+        EXPECT_GE(c.user_data, last) << "channel FIFO order violated";
+        last = c.user_data;
+    }
+    for (const auto& d : dst)
+        EXPECT_EQ(d, device);
+}
+
+TEST(IoRingTest, MixedPinnedAndUnpinnedRequestsAllCompleteAndDrain)
+{
+    // Channels above the worker count wrap (channel % workers) and
+    // unpinned requests keep the legacy any-worker behavior; nothing
+    // may be stranded on the SQ at drain or destruction.
+    IoRingOptions opt;
+    opt.workers = 2;
+    IoRing ring(opt);
+    const uint32_t me = ring.registerConsumer();
+    std::vector<uint8_t> device(128, 0x3c);
+    std::vector<std::vector<uint8_t>> dst(40,
+                                          std::vector<uint8_t>(128, 0));
+
+    IoRequest req;
+    req.src = device;
+    for (uint64_t i = 0; i < dst.size(); ++i) {
+        req.dest = dst[i].data();
+        req.channel = static_cast<int32_t>(i % 5) - 1;  // -1..3
+        req.user_data = i;
+        ring.submit(me, req);
+    }
+    ring.drain();
+
+    const IoRingStats stats = ring.statsSnapshot();
+    EXPECT_EQ(stats.submitted, dst.size());
+    EXPECT_EQ(stats.completed, dst.size());
+    EXPECT_EQ(stats.failed, 0u);
+    std::vector<IoCompletion> got;
+    EXPECT_EQ(ring.reapCompletions(me, got), dst.size());
+    for (const auto& d : dst)
+        EXPECT_EQ(d, device);
+}
+
+TEST(AsyncReaderTest, PlacementModesAreBitIdenticalToBlockingRead)
+{
+    const RmConfig cfg = smallConfig();
+    RawDataGenerator gen(cfg);
+    WriterOptions wopts;
+    wopts.column_heat = columnAccessHeat(cfg);
+    PartitionStore store(gen, wopts);
+    const auto& encoded = store.partition(0);
+
+    ColumnarFileReader blocking;
+    RowBatch expect;
+    ASSERT_TRUE(blocking.open(encoded).ok());
+    ASSERT_TRUE(blocking.readAllInto(expect).ok());
+
+    for (const ChannelPlacement placement :
+         {ChannelPlacement::kNone, ChannelPlacement::kAddress,
+          ChannelPlacement::kHeat}) {
+        IoRingOptions ropt;
+        ropt.workers = 4;
+        IoRing ring(ropt);
+        AsyncReadOptions opt;
+        opt.queue_depth = 4;
+        opt.placement = placement;
+        AsyncPartitionReader reader(ring, opt);
+        RowBatch got;
+        ASSERT_TRUE(reader.read(encoded, 0, got).ok())
+            << static_cast<int>(placement);
+        EXPECT_TRUE(got == expect)
+            << "placement " << static_cast<int>(placement);
+        EXPECT_EQ(reader.reader().bytesTouched(),
+                  blocking.bytesTouched());
+    }
+}
+
+TEST(AsyncReaderTest, HeatPlacementWithoutMetadataDegradesToAnyChannel)
+{
+    // A file written without heat metadata must read fine under kHeat
+    // (all plans stay channel -1, the legacy any-worker path).
+    const RmConfig cfg = smallConfig();
+    RawDataGenerator gen(cfg);
+    PartitionStore store(gen);
+    const auto& encoded = store.partition(1);
+
+    ColumnarFileReader blocking;
+    RowBatch expect;
+    ASSERT_TRUE(blocking.open(encoded).ok());
+    ASSERT_TRUE(blocking.readAllInto(expect).ok());
+
+    IoRing ring;
+    AsyncReadOptions opt;
+    opt.placement = ChannelPlacement::kHeat;
+    AsyncPartitionReader reader(ring, opt);
+    RowBatch got;
+    ASSERT_TRUE(reader.read(encoded, 1, got).ok());
+    EXPECT_TRUE(got == expect);
 }
 
 }  // namespace

@@ -502,9 +502,14 @@ TEST(FusedFallbackTest, OverlongChainRunsUnfusedAndMatches)
         out.kind = PlanOutput::Kind::kDense;
         out.output_name = "d";
         out.source_feature = "dense_0";
+        // Alternate log/clamp so chain-level simplification (which folds
+        // adjacent clamps) cannot shrink the chain under the fuse limit.
         for (size_t k = 0; k < kMaxFusedChainOps + 4; ++k) {
-            out.dense_ops.push_back(DenseOp::clamp(
-                -1000.0f + static_cast<float>(k), 1000.0f));
+            if (k % 2 == 0)
+                out.dense_ops.push_back(DenseOp::log());
+            else
+                out.dense_ops.push_back(DenseOp::clamp(
+                    -1000.0f + static_cast<float>(k), 1000.0f));
         }
         plan.add(std::move(out));
     }
@@ -521,6 +526,157 @@ TEST(FusedFallbackTest, OverlongChainRunsUnfusedAndMatches)
     for (const CompiledOutput& out : exec.program().outputs())
         EXPECT_FALSE(out.fused) << out.name;
     expectFusedMatchesUnfusedEverywhere(exec, batch, "overlong chains");
+}
+
+// --- chain-level algebraic simplification ----------------------------------
+
+namespace {
+
+OpInstr
+fillInstr(float v)
+{
+    OpInstr i;
+    i.op = OpCode::kFill;
+    i.a = v;
+    return i;
+}
+
+OpInstr
+clampInstr(float lo, float hi)
+{
+    OpInstr i;
+    i.op = OpCode::kClamp;
+    i.a = lo;
+    i.b = hi;
+    return i;
+}
+
+OpInstr
+logInstr()
+{
+    OpInstr i;
+    i.op = OpCode::kLog;
+    return i;
+}
+
+}  // namespace
+
+TEST(SimplifyTest, OverlongFoldableClampChainCompilesFusedAndMatches)
+{
+    // The dual of OverlongChainRunsUnfusedAndMatches: a chain of 20
+    // adjacent clamps used to overflow the fuse limit and fall back to
+    // whole-column passes; chain simplification folds it to one clamp,
+    // so it now compiles fused — and must stay bit-identical to the
+    // reference one-pass-per-operator execution on adversarial floats.
+    const Schema schema = Schema::makeRecSys(1, 0);
+    std::mt19937_64 rng(11);
+    RowBatch batch(schema);
+    batch.addColumn(DenseColumn(std::vector<float>(256, 1.0f)));
+    std::vector<float> values(256);
+    for (auto& v : values)
+        v = fuzzFloat(rng);
+    batch.addColumn(DenseColumn(std::move(values)));
+
+    TransformPlan plan;
+    PlanOutput out;
+    out.kind = PlanOutput::Kind::kDense;
+    out.output_name = "d";
+    out.source_feature = "dense_0";
+    for (size_t k = 0; k < kMaxFusedChainOps + 4; ++k) {
+        out.dense_ops.push_back(
+            DenseOp::clamp(-1000.0f + static_cast<float>(k), 1000.0f));
+    }
+    plan.add(std::move(out));
+
+    const PlanExecutor exec(plan, schema);
+    const CompiledOutput& compiled = exec.program().outputs()[0];
+    EXPECT_TRUE(compiled.fused);
+    EXPECT_EQ(compiled.num_f32, 1u);
+    EXPECT_EQ(compiled.unsimplified_f32, kMaxFusedChainOps + 4);
+    EXPECT_NE(exec.program().disassemble().find("simplified 20 -> 1"),
+              std::string::npos);
+    expectFusedMatchesUnfusedEverywhere(exec, batch, "folded clamps");
+}
+
+TEST(SimplifyTest, FillChainsSimplifyAndStayBitIdentical)
+{
+    // fill(NaN);fill(5) collapses to fill(5); the later fill(7) is dead
+    // (no NaN survives fill(5) through a non-NaN-bound clamp). Executed
+    // results must be bit-identical on NaN-payload inputs everywhere.
+    const Schema schema = Schema::makeRecSys(1, 0);
+    std::mt19937_64 rng(13);
+    RowBatch batch(schema);
+    batch.addColumn(DenseColumn(std::vector<float>(256, 1.0f)));
+    std::vector<float> values(256);
+    for (auto& v : values)
+        v = fuzzFloat(rng);
+    batch.addColumn(DenseColumn(std::move(values)));
+
+    TransformPlan plan;
+    PlanOutput out;
+    out.kind = PlanOutput::Kind::kDense;
+    out.output_name = "d";
+    out.source_feature = "dense_0";
+    out.dense_ops = {
+        DenseOp::fillMissing(std::numeric_limits<float>::quiet_NaN()),
+        DenseOp::fillMissing(5.0f), DenseOp::clamp(0.0f, 1.0f),
+        DenseOp::fillMissing(7.0f)};
+    plan.add(std::move(out));
+
+    const PlanExecutor exec(plan, schema);
+    const CompiledOutput& compiled = exec.program().outputs()[0];
+    EXPECT_EQ(compiled.num_f32, 2u);
+    EXPECT_EQ(compiled.unsimplified_f32, 4u);
+    expectFusedMatchesUnfusedEverywhere(exec, batch, "fill chains");
+}
+
+TEST(SimplifyTest, SimplifyF32ChainUnits)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+
+    // Adjacent clamps fold with exact bound arithmetic.
+    {
+        const auto got = simplifyF32Chain(
+            {clampInstr(-5.0f, 10.0f), clampInstr(0.0f, 8.0f)});
+        ASSERT_EQ(got.size(), 1u);
+        EXPECT_EQ(got[0].a, 0.0f);
+        EXPECT_EQ(got[0].b, 8.0f);
+    }
+    // A NaN bound blocks the fold: NaN-bound clamp semantics are
+    // tier-dependent and must execute as written.
+    {
+        const auto got = simplifyF32Chain(
+            {clampInstr(0.0f, nan), clampInstr(1.0f, 2.0f)});
+        EXPECT_EQ(got.size(), 2u);
+    }
+    // fill(NaN) with no earlier fill rewrites NaN payloads: kept.
+    {
+        const auto got = simplifyF32Chain({fillInstr(nan)});
+        EXPECT_EQ(got.size(), 1u);
+    }
+    // fill(NaN);fill(b): the earlier fill is dominated and dropped.
+    {
+        const auto got =
+            simplifyF32Chain({fillInstr(nan), fillInstr(3.0f)});
+        ASSERT_EQ(got.size(), 1u);
+        EXPECT_EQ(got[0].op, OpCode::kFill);
+        EXPECT_EQ(got[0].a, 3.0f);
+    }
+    // A fill behind a non-NaN fill and NaN-free ops is dead.
+    {
+        const auto got = simplifyF32Chain(
+            {fillInstr(1.0f), logInstr(), fillInstr(2.0f)});
+        ASSERT_EQ(got.size(), 2u);
+        EXPECT_EQ(got[0].op, OpCode::kFill);
+        EXPECT_EQ(got[1].op, OpCode::kLog);
+    }
+    // ...but live when a NaN-bound clamp intervenes (it can pass NaN
+    // through on some tiers — conservatively keep the later fill).
+    {
+        const auto got = simplifyF32Chain(
+            {fillInstr(1.0f), clampInstr(0.0f, nan), fillInstr(2.0f)});
+        EXPECT_EQ(got.size(), 3u);
+    }
 }
 
 // --- validate-once contract ------------------------------------------------

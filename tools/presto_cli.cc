@@ -15,7 +15,13 @@
  *   decode <dir> [--partition I] [--reps N]
  *       Time page decode per (encoding, codec) bucket on one partition,
  *       reference vs. dispatched SIMD kernels, and report per-bucket
- *       stored/raw bytes and the achieved compression ratio.
+ *       stored/raw bytes, entropy-table overhead, and the achieved
+ *       compression ratio.
+ *   pages <dir> [--partition I] [--heat] [--channels C]
+ *       List every page frame with its codec, stored size and stream
+ *       heat; --heat additionally shows the frequency-aware channel
+ *       placement (hot pages striped, cold streams contiguous) and the
+ *       per-channel occupancy.
  *   provision --rm N [--gpus G]
  *       Print the T/P provisioning decision for a training job.
  *   io [--rm N] [--rows R] [--qd D] [--emulate-latency 0|1]
@@ -41,8 +47,10 @@
 #include <string>
 #include <vector>
 
+#include "cachesim/op_traces.h"
 #include "columnar/columnar_file.h"
 #include "columnar/dataset.h"
+#include "columnar/entropy.h"
 #include "common/table_printer.h"
 #include "common/units.h"
 #include "core/isp_emulator.h"
@@ -68,9 +76,16 @@ class Args
     {
         for (int i = 2; i < argc; ++i) {
             std::string arg = argv[i];
-            if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
-                flags_.emplace_back(arg.substr(2), argv[i + 1]);
-                ++i;
+            if (arg.rfind("--", 0) == 0) {
+                // A flag followed by another flag (or nothing) is a
+                // bare boolean switch, e.g. `pages <dir> --heat`.
+                if (i + 1 < argc &&
+                    std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                    flags_.emplace_back(arg.substr(2), argv[i + 1]);
+                    ++i;
+                } else {
+                    flags_.emplace_back(arg.substr(2), "1");
+                }
             } else {
                 positional_.push_back(std::move(arg));
             }
@@ -118,6 +133,7 @@ usage()
         "  verify <dir>\n"
         "  transform <dir> [--partition I] [--backend cpu|isp]\n"
         "  decode <dir> [--partition I] [--reps N]\n"
+        "  pages <dir> [--partition I] [--heat] [--channels C]\n"
         "  provision --rm N [--gpus G]\n"
         "  io [--rm N] [--rows R] [--qd D] [--emulate-latency 0|1]\n"
         "  store <dir> [--demo N] [--verify 1] [--rm N] [--rows R]\n"
@@ -142,7 +158,11 @@ cmdGen(const Args& args)
     opts.seed = static_cast<uint64_t>(seed);
     RawDataGenerator gen(cfg, opts);
 
-    DatasetWriter writer(dir);
+    // Heat-annotated writes: the async reader stripes pages of hot
+    // columns (per the cachesim access model) across flash channels.
+    WriterOptions wopts;
+    wopts.column_heat = columnAccessHeat(cfg);
+    DatasetWriter writer(dir, wopts);
     for (long p = 0; p < partitions; ++p) {
         if (Status st = writer.addPartition(
                 gen.generatePartition(static_cast<uint64_t>(p)),
@@ -318,6 +338,7 @@ cmdDecode(const Args& args)
         uint64_t values = 0;
         uint64_t stored_bytes = 0;  ///< on-disk (possibly compressed)
         uint64_t raw_bytes = 0;     ///< decompressed payload bytes
+        uint64_t table_bytes = 0;   ///< entropy code-length table bytes
     };
     std::map<std::pair<Encoding, PageCodec>, Bucket> buckets;
     for (const auto& col : file.footer().columns) {
@@ -336,6 +357,12 @@ cmdDecode(const Args& args)
                 b.values += page.value_count;
                 b.stored_bytes += page.payload.size();
                 b.raw_bytes += page.raw_size;
+                if (page.codec == PageCodec::kEntropy ||
+                    page.codec == PageCodec::kLzEntropy) {
+                    HuffStreamInfo info;
+                    if (enc::huffStreamInfo(page.payload, info).ok())
+                        b.table_bytes += info.table_bytes;
+                }
             }
         }
     }
@@ -378,8 +405,8 @@ cmdDecode(const Args& args)
                 index, entry.file_name.c_str(),
                 simdLevelName(activeSimdLevel()), reps);
     TablePrinter table({"Encoding", "Codec", "Pages", "Values", "Stored",
-                        "Raw", "Ratio", "Ref Mval/s", "Fast Mval/s",
-                        "Speedup"});
+                        "Raw", "Tbl", "Ratio", "Ref Mval/s",
+                        "Fast Mval/s", "Speedup"});
     uint64_t stored_total = 0;
     uint64_t raw_total = 0;
     for (const auto& [key, bucket] : buckets) {
@@ -402,8 +429,11 @@ cmdDecode(const Args& args)
              std::to_string(bucket.pages.size()),
              std::to_string(bucket.values),
              formatBytes(static_cast<double>(bucket.stored_bytes)),
-             formatBytes(static_cast<double>(bucket.raw_bytes)), ratio,
-             ref_s, fast_s, speedup});
+             formatBytes(static_cast<double>(bucket.raw_bytes)),
+             bucket.table_bytes == 0
+                 ? std::string("-")
+                 : formatBytes(static_cast<double>(bucket.table_bytes)),
+             ratio, ref_s, fast_s, speedup});
         stored_total += bucket.stored_bytes;
         raw_total += bucket.raw_bytes;
     }
@@ -414,6 +444,103 @@ cmdDecode(const Args& args)
                 formatBytes(static_cast<double>(raw_total)).c_str(),
                 static_cast<double>(raw_total) /
                     static_cast<double>(stored_total));
+    return 0;
+}
+
+int
+cmdPages(const Args& args)
+{
+    if (args.positional().empty())
+        return usage();
+    const auto index = static_cast<size_t>(args.getInt("partition", 0));
+    const bool heat_view = args.getInt("heat", 0) != 0;
+    const int channels = static_cast<int>(args.getInt("channels", 4));
+    DatasetReader reader;
+    if (Status st = reader.open(args.positional()[0]); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.toString().c_str());
+        return 1;
+    }
+    if (index >= reader.manifest().partitions.size()) {
+        std::fprintf(stderr, "no partition %zu\n", index);
+        return 1;
+    }
+    const auto& entry = reader.manifest().partitions[index];
+    auto bytes = loadFromFile(args.positional()[0] + "/" + entry.file_name);
+    if (!bytes.ok()) {
+        std::fprintf(stderr, "%s\n", bytes.status().toString().c_str());
+        return 1;
+    }
+    ColumnarFileReader file;
+    if (Status st = file.open(*bytes); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.toString().c_str());
+        return 1;
+    }
+    std::vector<PageReadPlan> plans;
+    if (Status st = file.planPageReads(plans); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.toString().c_str());
+        return 1;
+    }
+    if (heat_view)
+        assignChannelPlacement(file.footer(), channels, plans);
+
+    std::printf("partition %zu (%s): %zu page frame(s)%s\n", index,
+                entry.file_name.c_str(), plans.size(),
+                heat_view ? ", heat-aware channel placement" : "");
+    TablePrinter table(
+        heat_view
+            ? std::vector<std::string>{"Page", "Column", "Stream",
+                                       "Codec", "Stored", "Heat",
+                                       "Class", "Channel"}
+            : std::vector<std::string>{"Page", "Column", "Stream",
+                                       "Codec", "Stored", "Heat"});
+    std::vector<uint64_t> hot_per_channel, cold_per_channel;
+    if (heat_view && channels > 0) {
+        hot_per_channel.assign(static_cast<size_t>(channels), 0);
+        cold_per_channel.assign(static_cast<size_t>(channels), 0);
+    }
+    for (size_t i = 0; i < plans.size(); ++i) {
+        const PageReadPlan& plan = plans[i];
+        const ColumnMeta& col = file.footer().columns[plan.column];
+        size_t pos = plan.offset;
+        PageView page;
+        if (Status st = readPageFrame(*bytes, pos, page); !st.ok()) {
+            std::fprintf(stderr, "page %zu: %s\n", i,
+                         st.toString().c_str());
+            return 1;
+        }
+        std::vector<std::string> row{
+            std::to_string(i), col.name,
+            col.kind == FeatureKind::kSparse
+                ? (plan.stream == 0 ? "lengths" : "values")
+                : "values",
+            pageCodecName(page.codec),
+            formatBytes(static_cast<double>(plan.frame_bytes)),
+            std::to_string(col.streams[plan.stream].heat)};
+        if (heat_view) {
+            row.push_back(plan.hot ? "hot" : "cold");
+            row.push_back(plan.channel < 0 ? "-"
+                                           : std::to_string(plan.channel));
+            if (plan.channel >= 0 && plan.channel < channels) {
+                auto& per = plan.hot ? hot_per_channel : cold_per_channel;
+                ++per[static_cast<size_t>(plan.channel)];
+            }
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+
+    if (heat_view && !hot_per_channel.empty()) {
+        std::printf("\nchannel occupancy (hot pages striped round-robin, "
+                    "cold streams contiguous):\n");
+        TablePrinter occ({"Channel", "Hot Pages", "Cold Pages"});
+        for (int c = 0; c < channels; ++c)
+            occ.addRow({std::to_string(c),
+                        std::to_string(
+                            hot_per_channel[static_cast<size_t>(c)]),
+                        std::to_string(
+                            cold_per_channel[static_cast<size_t>(c)])});
+        occ.print();
+    }
     return 0;
 }
 
@@ -694,6 +821,8 @@ main(int argc, char** argv)
         return cmdTransform(args);
     if (cmd == "decode")
         return cmdDecode(args);
+    if (cmd == "pages")
+        return cmdPages(args);
     if (cmd == "provision")
         return cmdProvision(args);
     if (cmd == "io")
