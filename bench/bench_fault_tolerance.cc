@@ -130,20 +130,47 @@ emitPoolCurve()
             spec.fail_stops.push_back({f, 2000.0 + 1000.0 * f});
         const FaultInjector faults(spec);
         const PoolResult r = pool.run(jobs, faults);
+        // Split rejects by machine-readable kind so the curves
+        // distinguish admission-time rejects from fault evictions.
         int rejected = 0;
-        for (const auto& jr : r.jobs)
-            rejected += jr.rejected ? 1 : 0;
+        int rejected_demand = 0;
+        int rejected_capacity_lost = 0;
+        int rejected_slo = 0;
+        for (const auto& jr : r.jobs) {
+            if (!jr.rejected)
+                continue;
+            ++rejected;
+            switch (jr.reject_kind) {
+            case RejectKind::kDemandExceedsPool:
+                ++rejected_demand;
+                break;
+            case RejectKind::kCapacityLost:
+                ++rejected_capacity_lost;
+                break;
+            case RejectKind::kSloBudget:
+                ++rejected_slo;
+                break;
+            case RejectKind::kNone:
+                break;
+            }
+        }
         std::printf(
             "      {\"failure_rate\": %.2f, "
             "\"devices_failed\": %d, "
+            "\"replacements_requested\": %d, "
             "\"replacements_granted\": %d, "
             "\"mean_reprovision_latency_sec\": %.4f, "
             "\"capacity_loss_device_sec\": %.4f, "
             "\"rejected_jobs\": %d, "
+            "\"rejects_by_reason\": {\"%s\": %d, \"%s\": %d, \"%s\": %d}, "
             "\"mean_wait_sec\": %.4f}%s\n",
-            rate, r.devices_failed, r.replacements_granted,
-            r.mean_reprovision_latency_sec, r.capacity_loss_device_sec,
-            rejected, r.mean_wait_sec,
+            rate, r.devices_failed, r.replacements_requested,
+            r.replacements_granted, r.mean_reprovision_latency_sec,
+            r.capacity_loss_device_sec, rejected,
+            rejectKindName(RejectKind::kDemandExceedsPool), rejected_demand,
+            rejectKindName(RejectKind::kCapacityLost), rejected_capacity_lost,
+            rejectKindName(RejectKind::kSloBudget), rejected_slo,
+            r.mean_wait_sec,
             i + 1 < std::size(kRates) ? "," : "");
     }
     std::printf("    ]\n  }\n");

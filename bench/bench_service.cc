@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Service-tier scenario bench: one simulated day of multi-tenant
+ * ingestion under diurnal traffic from millions of users, replayed on
+ * the DES engine (service/service_scenario.h). Prints deterministic
+ * JSON (committed as BENCH_service.json); identical seeds produce
+ * byte-identical output, which CI checks by running it twice.
+ *
+ * The bench is self-enforcing. It runs the same traffic twice —
+ * admission control on ("controlled") and off ("uncontrolled") — and
+ * exits non-zero unless all of the following hold:
+ *
+ *   1. controlled: every *admitted* tenant's p99 batch latency meets
+ *      its SLO through the diurnal peak, the 1.6x load spike, and two
+ *      injected device fail-stops;
+ *   2. controlled: the oversubscribing late joiner is rejected at
+ *      admission time with an explicit reason;
+ *   3. uncontrolled: the same joiner is admitted and violates its SLO —
+ *      overload that admission control would have named up front
+ *      surfaces as silent latency instead;
+ *   4. the tenant whose trainer stalls fills its bounded output queue
+ *      exactly to capacity and never beyond it (backpressure, not
+ *      unbounded buffering).
+ *
+ * Usage: bench_service [--quick]   (--quick compresses the day to one
+ * hour; rates, fractions-of-day windows, and all gates are unchanged)
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/service_scenario.h"
+
+using namespace presto;
+
+namespace {
+
+constexpr double kFullDaySec = 86400.0;
+
+/** The day's cast: three steady tenants plus an oversubscribing joiner. */
+std::vector<ScenarioTenant>
+makeTenants(double day)
+{
+    // --quick shrinks the day; scaling the populations by the same
+    // factor keeps every per-second rate (and thus every gate) intact.
+    const double scale = day / kFullDaySec;
+    // All demand curves peak at 0.55 day, on top of the load spike.
+    const double phase = 0.30 * day;
+
+    std::vector<ScenarioTenant> tenants;
+
+    ScenarioTenant ranker;
+    ranker.name = "ranker";
+    ranker.users = 2.0e6 * scale;
+    ranker.requests_per_user_per_day = 400;
+    ranker.samples_per_batch = 1024;
+    ranker.traffic.diurnal = {0, 0.35, day, phase};
+    ranker.traffic.spikes = {{0.55 * day, 0.60 * day, 1.6}};
+    ranker.weight = 2.0;
+    ranker.slo_p99_sec = 1.0;
+    ranker.queue_capacity = 12;
+    tenants.push_back(ranker);
+
+    ScenarioTenant retrieval;
+    retrieval.name = "retrieval";
+    retrieval.users = 1.0e6 * scale;
+    retrieval.requests_per_user_per_day = 500;
+    retrieval.samples_per_batch = 1024;
+    retrieval.traffic.diurnal = {0, 0.35, day, phase};
+    retrieval.traffic.spikes = {{0.55 * day, 0.60 * day, 1.6}};
+    retrieval.slo_p99_sec = 1.5;
+    retrieval.queue_capacity = 12;
+    tenants.push_back(retrieval);
+
+    // Best-effort evaluation job whose trainer stalls mid-morning: its
+    // bounded output queue is the backpressure gate.
+    ScenarioTenant eval;
+    eval.name = "eval";
+    eval.users = 6.0e5 * scale;
+    eval.requests_per_user_per_day = 1000;
+    eval.samples_per_batch = 1024;
+    eval.traffic.diurnal = {0, 0.30, day, phase};
+    eval.queue_capacity = 8;
+    eval.stall_start_sec = 0.30 * day;
+    eval.stall_end_sec = 0.35 * day;
+    tenants.push_back(eval);
+
+    // Oversubscribing backfill job joining mid-day: its peak demand
+    // alone is ~60% of the fleet, pushing projected utilization past
+    // the stable limit.
+    ScenarioTenant backfill;
+    backfill.name = "backfill";
+    backfill.users = 6.0e6 * scale;
+    backfill.requests_per_user_per_day = 625;
+    backfill.samples_per_batch = 1024;
+    backfill.traffic.diurnal = {0, 0.35, day, phase};
+    backfill.slo_p99_sec = 1.0;
+    backfill.queue_capacity = 24;
+    backfill.join_sec = 0.40 * day;
+    tenants.push_back(backfill);
+
+    return tenants;
+}
+
+void
+printTenant(const TenantReport& t, const ScenarioTenant& spec, bool last)
+{
+    std::printf(
+        "      {\"name\": \"%s\", \"users\": %.0f, \"weight\": %.1f, "
+        "\"slo_p99_sec\": %.2f, \"admitted\": %s, "
+        "\"reject_reason\": \"%s\", \"projected_p99_sec\": %.6e,\n"
+        "       \"arrivals\": %llu, \"served\": %llu, "
+        "\"mean_latency_sec\": %.6e, \"p99_latency_sec\": %.6e, "
+        "\"max_latency_sec\": %.6e,\n"
+        "       \"queue_capacity\": %zu, \"max_queue_occupancy\": %zu, "
+        "\"backlog_peak\": %llu, \"slo_met\": %s}%s\n",
+        t.name.c_str(), spec.users, spec.weight, spec.slo_p99_sec,
+        t.admitted ? "true" : "false", t.reject_reason.c_str(),
+        t.projected_p99_sec,
+        static_cast<unsigned long long>(t.arrivals),
+        static_cast<unsigned long long>(t.served), t.mean_latency_sec,
+        t.p99_latency_sec, t.max_latency_sec, t.queue_capacity,
+        t.max_queue_occupancy,
+        static_cast<unsigned long long>(t.backlog_peak),
+        t.slo_met ? "true" : "false", last ? "" : ",");
+}
+
+void
+printRun(const char* key, const ScenarioReport& r,
+         const std::vector<ScenarioTenant>& tenants)
+{
+    std::printf(
+        "  \"%s\": {\n"
+        "    \"devices_failed\": %llu, \"fleet_utilization\": %.4f, "
+        "\"busy_device_sec\": %.6e, \"total_arrivals\": %llu, "
+        "\"total_served\": %llu,\n"
+        "    \"tenants\": [\n",
+        key, static_cast<unsigned long long>(r.devices_failed),
+        r.fleet_utilization, r.busy_device_sec,
+        static_cast<unsigned long long>(r.total_arrivals),
+        static_cast<unsigned long long>(r.total_served));
+    for (size_t i = 0; i < r.tenants.size(); ++i)
+        printTenant(r.tenants[i], tenants[i], i + 1 == r.tenants.size());
+    std::printf("    ]\n  },\n");
+}
+
+const TenantReport*
+find(const ScenarioReport& r, const std::string& name)
+{
+    for (const TenantReport& t : r.tenants) {
+        if (t.name == name)
+            return &t;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    const double day = quick ? 3600.0 : kFullDaySec;
+    const std::vector<ScenarioTenant> tenants = makeTenants(day);
+
+    ScenarioOptions options;
+    options.devices = 24;
+    options.service_sec = 0.25;
+    options.duration_sec = day;
+    options.faults.fail_stops = {{3, 0.56 * day}, {11, 0.57 * day}};
+
+    options.admission_control = true;
+    const ScenarioReport controlled = runServiceScenario(options, tenants);
+    options.admission_control = false;
+    const ScenarioReport uncontrolled = runServiceScenario(options, tenants);
+
+    // --- Gates -----------------------------------------------------------
+    bool admitted_meet_slo = true;
+    for (const TenantReport& t : controlled.tenants) {
+        if (t.admitted && !t.slo_met)
+            admitted_meet_slo = false;
+    }
+
+    const TenantReport* backfill_c = find(controlled, "backfill");
+    const bool overload_rejected = backfill_c != nullptr &&
+                                   !backfill_c->admitted &&
+                                   !backfill_c->reject_reason.empty();
+
+    bool uncontrolled_violates = false;
+    for (const TenantReport& t : uncontrolled.tenants) {
+        if (t.admitted && !t.slo_met)
+            uncontrolled_violates = true;
+    }
+
+    const TenantReport* eval_c = find(controlled, "eval");
+    const TenantReport* eval_u = find(uncontrolled, "eval");
+    const bool queue_bounded =
+        eval_c != nullptr && eval_u != nullptr &&
+        eval_c->max_queue_occupancy == eval_c->queue_capacity &&
+        eval_u->max_queue_occupancy <= eval_u->queue_capacity;
+
+    const bool gates_ok = admitted_meet_slo && overload_rejected &&
+                          uncontrolled_violates && queue_bounded;
+
+    std::printf("{\n"
+                "  \"bench\": \"service\",\n"
+                "  \"quick\": %s,\n"
+                "  \"devices\": %d,\n"
+                "  \"service_sec\": %.3f,\n"
+                "  \"duration_sec\": %.0f,\n"
+                "  \"seed\": %llu,\n",
+                quick ? "true" : "false", options.devices,
+                options.service_sec, options.duration_sec,
+                static_cast<unsigned long long>(options.seed));
+    printRun("controlled", controlled, tenants);
+    printRun("uncontrolled", uncontrolled, tenants);
+    std::printf("  \"gates\": {\"admitted_meet_slo_controlled\": %s, "
+                "\"overload_rejected_with_reason\": %s, "
+                "\"uncontrolled_violates_slo\": %s, "
+                "\"stalled_queue_bounded\": %s},\n"
+                "  \"gates_ok\": %s\n}\n",
+                admitted_meet_slo ? "true" : "false",
+                overload_rejected ? "true" : "false",
+                uncontrolled_violates ? "true" : "false",
+                queue_bounded ? "true" : "false",
+                gates_ok ? "true" : "false");
+
+    if (!gates_ok) {
+        std::fprintf(stderr, "bench_service: gate failure (see JSON)\n");
+        return 1;
+    }
+    return 0;
+}

@@ -18,8 +18,44 @@ PartitionStore::partition(uint64_t partition_id)
         it = partitions_
                  .emplace(partition_id, writer_.write(raw, partition_id))
                  .first;
+        cache_order_.push_back(partition_id);
+        cached_bytes_ += it->second.size();
+        // Evict oldest entries past the budget — but never the one just
+        // requested, whose reference we are about to return.
+        while (cache_budget_bytes_ > 0 &&
+               cached_bytes_ > cache_budget_bytes_ &&
+               cache_order_.front() != partition_id) {
+            auto victim = partitions_.find(cache_order_.front());
+            cache_order_.pop_front();
+            if (victim == partitions_.end())
+                continue;
+            cached_bytes_ -= victim->second.size();
+            partitions_.erase(victim);
+            ++evictions_;
+        }
     }
     return it->second;
+}
+
+void
+PartitionStore::setCacheBudget(uint64_t bytes)
+{
+    std::scoped_lock lock(mu_);
+    cache_budget_bytes_ = bytes;
+}
+
+uint64_t
+PartitionStore::cachedBytes() const
+{
+    std::scoped_lock lock(mu_);
+    return cached_bytes_;
+}
+
+uint64_t
+PartitionStore::evictions() const
+{
+    std::scoped_lock lock(mu_);
+    return evictions_;
 }
 
 void

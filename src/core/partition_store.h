@@ -13,6 +13,7 @@
 #define PRESTO_CORE_PARTITION_STORE_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -35,8 +36,30 @@ class PartitionStore
     explicit PartitionStore(const RawDataGenerator& generator,
                             WriterOptions writer_options = {});
 
-    /** Encoded PSF bytes of a partition (generated on first access). */
+    /**
+     * Encoded PSF bytes of a partition (generated on first access).
+     * With a cache budget set, the reference is only guaranteed valid
+     * until the next partition() call on any thread — long-lived
+     * callers should use fetchPartition(), which returns a copy.
+     */
     const std::vector<uint8_t>& partition(uint64_t partition_id);
+
+    /**
+     * Bound the encoded-partition cache to @p bytes (0 = unlimited,
+     * the default). When an insert pushes the cache over budget, the
+     * oldest cached partitions are evicted (FIFO); partition content is
+     * a pure function of (generator seed, id), so an evicted partition
+     * re-materializes bit-identically on its next access. This is what
+     * lets a continuously running service stream unboundedly many
+     * epochs through a bounded memory footprint.
+     */
+    void setCacheBudget(uint64_t bytes);
+
+    /** Encoded bytes currently cached. */
+    uint64_t cachedBytes() const;
+
+    /** Partitions evicted by the cache budget so far. */
+    uint64_t evictions() const;
 
     /**
      * Install a fault injector for fetchPartition (nullptr disables;
@@ -103,6 +126,10 @@ class PartitionStore
     SegmentStore* segments_ = nullptr;
     mutable std::mutex mu_;
     std::map<uint64_t, std::vector<uint8_t>> partitions_;
+    std::deque<uint64_t> cache_order_;  ///< insertion order for eviction
+    uint64_t cache_budget_bytes_ = 0;   ///< 0 = unlimited
+    uint64_t cached_bytes_ = 0;
+    uint64_t evictions_ = 0;
 };
 
 }  // namespace presto

@@ -37,7 +37,24 @@ struct PoolJob {
     double duration_sec = 0;  ///< training time once running
     int rm_id = 1;
     int num_gpus = 8;
+    /**
+     * Admission SLO budget: reject at arrival when the projected wait
+     * for capacity (outstanding committed device-seconds / pool size)
+     * already exceeds this. 0 = no budget (wait forever).
+     */
+    double max_wait_slo_sec = 0;
 };
+
+/** Why a job was rejected (machine-readable form of reject_reason). */
+enum class RejectKind {
+    kNone = 0,            ///< not rejected
+    kDemandExceedsPool,   ///< can never fit in this pool
+    kCapacityLost,        ///< starved by fail-stop capacity loss
+    kSloBudget,           ///< projected wait exceeds max_wait_slo_sec
+};
+
+/** Short stable label of a RejectKind ("none", "demand", ...). */
+const char* rejectKindName(RejectKind kind);
 
 /** Per-job outcome. */
 struct PoolJobResult {
@@ -48,6 +65,9 @@ struct PoolJobResult {
     double finish_sec = 0;
     bool rejected = false;        ///< never admitted (devices == 0)
     std::string reject_reason;    ///< empty unless rejected
+    RejectKind reject_kind = RejectKind::kNone;
+    /** Projected capacity wait computed at arrival (SLO admission). */
+    double projected_wait_sec = 0;
 
     int devices_lost = 0;  ///< fail-stops that hit this job's allocation
     /** Summed wait from each device loss to its replacement grant. */
@@ -67,6 +87,7 @@ struct PoolResult {
     double mean_wait_sec = 0;
 
     int devices_failed = 0;          ///< fail-stops that removed a device
+    int replacements_requested = 0;  ///< device losses that hit a running job
     int replacements_granted = 0;    ///< lost devices re-provisioned
     double mean_reprovision_latency_sec = 0;
     /** Total device-seconds jobs ran short of their allocation. */

@@ -44,6 +44,12 @@ struct DenseOp {
     static DenseOp fillMissing(float value) { return {Kind::kFillMissing, value, 0}; }
     static DenseOp log() { return {Kind::kLog, 0, 0}; }
     static DenseOp clamp(float lo, float hi) { return {Kind::kClamp, lo, hi}; }
+
+    friend bool
+    operator==(const DenseOp& x, const DenseOp& y)
+    {
+        return x.kind == y.kind && x.a == y.a && x.b == y.b;
+    }
 };
 
 /** Sparse-chain operator step. */
@@ -72,6 +78,13 @@ struct SparseOp {
         op.max_ids = max_ids;
         return op;
     }
+
+    friend bool
+    operator==(const SparseOp& x, const SparseOp& y)
+    {
+        return x.kind == y.kind && x.seed == y.seed &&
+               x.max_value == y.max_value && x.max_ids == y.max_ids;
+    }
 };
 
 /** One output tensor of the plan. */
@@ -91,6 +104,16 @@ struct PlanOutput {
     std::vector<DenseOp> dense_ops;
     std::vector<SparseOp> sparse_ops;
     size_t bucket_boundaries = 0;  ///< kGenerated: boundary count (m)
+
+    friend bool
+    operator==(const PlanOutput& x, const PlanOutput& y)
+    {
+        return x.kind == y.kind && x.output_name == y.output_name &&
+               x.source_feature == y.source_feature &&
+               x.dense_ops == y.dense_ops &&
+               x.sparse_ops == y.sparse_ops &&
+               x.bucket_boundaries == y.bucket_boundaries;
+    }
 };
 
 /**
@@ -127,6 +150,12 @@ class TransformPlan
      * Matches Preprocessor bit for bit.
      */
     static TransformPlan standard(const RmConfig& config);
+
+    friend bool
+    operator==(const TransformPlan& x, const TransformPlan& y)
+    {
+        return x.outputs_ == y.outputs_;
+    }
 
   private:
     std::vector<PlanOutput> outputs_;

@@ -1,0 +1,654 @@
+#include "ops/plan_json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+namespace presto {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader. The repo deliberately carries no third-party
+// dependencies, and plan documents are small hand-written configs, so a
+// strict recursive-descent parser over a tiny value model is all that
+// is needed. No \uXXXX escapes (plan identifiers are ASCII).
+// ---------------------------------------------------------------------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/** Map keeps members by insertion order irrelevant; plans are small. */
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+struct JsonValue {
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0;
+    /** Exact value for integer tokens (64-bit hash seeds do not survive
+        a double round-trip). Valid when is_integer. */
+    bool is_integer = false;
+    uint64_t integer = 0;
+    bool negative = false;  ///< integer token had a leading '-'
+    std::string string;
+    std::shared_ptr<JsonArray> array;
+    std::shared_ptr<JsonObject> object;
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    Status
+    parse(JsonValue& out)
+    {
+        skipWs();
+        if (Status st = parseValue(out); !st.ok())
+            return st;
+        skipWs();
+        if (pos_ != text_.size())
+            return error("trailing characters after document");
+        return Status::okStatus();
+    }
+
+  private:
+    Status
+    error(const std::string& message) const
+    {
+        return Status::invalidArgument("plan JSON, line " +
+                                       std::to_string(line_) + ": " +
+                                       message);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '\n')
+                ++line_;
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                return;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    parseValue(JsonValue& out)
+    {
+        if (pos_ >= text_.size())
+            return error("unexpected end of document");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.type = JsonValue::Type::kString;
+            return parseString(out.string);
+        }
+        if (c == 't' || c == 'f')
+            return parseBool(out);
+        if (c == 'n') {
+            if (text_.substr(pos_, 4) != "null")
+                return error("bad literal");
+            pos_ += 4;
+            out.type = JsonValue::Type::kNull;
+            return Status::okStatus();
+        }
+        return parseNumber(out);
+    }
+
+    Status
+    parseBool(JsonValue& out)
+    {
+        out.type = JsonValue::Type::kBool;
+        if (text_.substr(pos_, 4) == "true") {
+            pos_ += 4;
+            out.boolean = true;
+            return Status::okStatus();
+        }
+        if (text_.substr(pos_, 5) == "false") {
+            pos_ += 5;
+            out.boolean = false;
+            return Status::okStatus();
+        }
+        return error("bad literal");
+    }
+
+    Status
+    parseNumber(JsonValue& out)
+    {
+        const size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return error("expected a value");
+        const std::string token(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        out.number = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return error("malformed number '" + token + "'");
+        out.type = JsonValue::Type::kNumber;
+        // Pure-digit tokens also keep their exact 64-bit value.
+        out.negative = token[0] == '-';
+        const std::string digits =
+            out.negative ? token.substr(1) : token;
+        out.is_integer =
+            !digits.empty() &&
+            digits.find_first_not_of("0123456789") == std::string::npos;
+        if (out.is_integer) {
+            errno = 0;
+            out.integer = std::strtoull(digits.c_str(), &end, 10);
+            if (errno == ERANGE)
+                out.is_integer = false;
+        }
+        return Status::okStatus();
+    }
+
+    Status
+    parseString(std::string& out)
+    {
+        if (!consume('"'))
+            return error("expected a string");
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return Status::okStatus();
+            if (c == '\n')
+                return error("unterminated string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return error("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'n': out.push_back('\n'); break;
+            case 't': out.push_back('\t'); break;
+            case 'r': out.push_back('\r'); break;
+            default:
+                return error(std::string("unsupported escape '\\") + esc +
+                             "'");
+            }
+        }
+        return error("unterminated string");
+    }
+
+    Status
+    parseArray(JsonValue& out)
+    {
+        consume('[');
+        out.type = JsonValue::Type::kArray;
+        out.array = std::make_shared<JsonArray>();
+        skipWs();
+        if (consume(']'))
+            return Status::okStatus();
+        for (;;) {
+            JsonValue element;
+            skipWs();
+            if (Status st = parseValue(element); !st.ok())
+                return st;
+            out.array->push_back(std::move(element));
+            skipWs();
+            if (consume(']'))
+                return Status::okStatus();
+            if (!consume(','))
+                return error("expected ',' or ']' in array");
+        }
+    }
+
+    Status
+    parseObject(JsonValue& out)
+    {
+        consume('{');
+        out.type = JsonValue::Type::kObject;
+        out.object = std::make_shared<JsonObject>();
+        skipWs();
+        if (consume('}'))
+            return Status::okStatus();
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (Status st = parseString(key); !st.ok())
+                return st;
+            skipWs();
+            if (!consume(':'))
+                return error("expected ':' after key \"" + key + "\"");
+            skipWs();
+            JsonValue value;
+            if (Status st = parseValue(value); !st.ok())
+                return st;
+            out.object->emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (consume('}'))
+                return Status::okStatus();
+            if (!consume(','))
+                return error("expected ',' or '}' in object");
+        }
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    size_t line_ = 1;
+};
+
+// ---------------------------------------------------------------------
+// JSON -> TransformPlan interpretation.
+// ---------------------------------------------------------------------
+
+const JsonValue*
+findMember(const JsonValue& object, const std::string& key)
+{
+    for (const auto& [k, v] : *object.object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+Status
+requireString(const JsonValue& object, const std::string& key,
+              const std::string& context, std::string& out)
+{
+    const JsonValue* member = findMember(object, key);
+    if (member == nullptr ||
+        member->type != JsonValue::Type::kString) {
+        return Status::invalidArgument(context + ": missing string field \"" +
+                                       key + "\"");
+    }
+    out = member->string;
+    return Status::okStatus();
+}
+
+Status
+requireNumber(const JsonValue& object, const std::string& key,
+              const std::string& context, double& out)
+{
+    const JsonValue* member = findMember(object, key);
+    if (member == nullptr ||
+        member->type != JsonValue::Type::kNumber) {
+        return Status::invalidArgument(context + ": missing number field \"" +
+                                       key + "\"");
+    }
+    out = member->number;
+    return Status::okStatus();
+}
+
+/** Exact unsigned integer field (hash seeds need all 64 bits). */
+Status
+requireUint(const JsonValue& object, const std::string& key,
+            const std::string& context, uint64_t& out)
+{
+    const JsonValue* member = findMember(object, key);
+    if (member == nullptr || member->type != JsonValue::Type::kNumber ||
+        !member->is_integer || member->negative) {
+        return Status::invalidArgument(
+            context + ": missing non-negative integer field \"" + key +
+            "\"");
+    }
+    out = member->integer;
+    return Status::okStatus();
+}
+
+Status
+checkKnownKeys(const JsonValue& object, const std::string& context,
+               std::initializer_list<const char*> known)
+{
+    for (const auto& [key, value] : *object.object) {
+        bool found = false;
+        for (const char* k : known)
+            found = found || key == k;
+        if (!found) {
+            return Status::invalidArgument(context + ": unknown field \"" +
+                                           key + "\"");
+        }
+    }
+    return Status::okStatus();
+}
+
+Status
+parseDenseOp(const JsonValue& value, const std::string& context,
+             DenseOp& out)
+{
+    if (value.type != JsonValue::Type::kObject)
+        return Status::invalidArgument(context + ": op must be an object");
+    std::string op;
+    if (Status st = requireString(value, "op", context, op); !st.ok())
+        return st;
+    if (op == "fill_missing") {
+        if (Status st = checkKnownKeys(value, context, {"op", "value"});
+            !st.ok()) {
+            return st;
+        }
+        double fill = 0;
+        if (Status st = requireNumber(value, "value", context, fill);
+            !st.ok()) {
+            return st;
+        }
+        out = DenseOp::fillMissing(static_cast<float>(fill));
+        return Status::okStatus();
+    }
+    if (op == "log") {
+        if (Status st = checkKnownKeys(value, context, {"op"}); !st.ok())
+            return st;
+        out = DenseOp::log();
+        return Status::okStatus();
+    }
+    if (op == "clamp") {
+        if (Status st = checkKnownKeys(value, context, {"op", "lo", "hi"});
+            !st.ok()) {
+            return st;
+        }
+        double lo = 0;
+        double hi = 0;
+        if (Status st = requireNumber(value, "lo", context, lo); !st.ok())
+            return st;
+        if (Status st = requireNumber(value, "hi", context, hi); !st.ok())
+            return st;
+        out = DenseOp::clamp(static_cast<float>(lo),
+                             static_cast<float>(hi));
+        return Status::okStatus();
+    }
+    return Status::invalidArgument(context + ": unknown dense op \"" + op +
+                                   "\"");
+}
+
+Status
+parseSparseOp(const JsonValue& value, const std::string& context,
+              SparseOp& out)
+{
+    if (value.type != JsonValue::Type::kObject)
+        return Status::invalidArgument(context + ": op must be an object");
+    std::string op;
+    if (Status st = requireString(value, "op", context, op); !st.ok())
+        return st;
+    if (op == "sigrid_hash") {
+        if (Status st = checkKnownKeys(value, context,
+                                       {"op", "seed", "max_value"});
+            !st.ok()) {
+            return st;
+        }
+        uint64_t seed = 0;
+        uint64_t max_value = 0;
+        if (Status st = requireUint(value, "seed", context, seed);
+            !st.ok()) {
+            return st;
+        }
+        if (Status st = requireUint(value, "max_value", context, max_value);
+            !st.ok()) {
+            return st;
+        }
+        out = SparseOp::sigridHash(seed, static_cast<int64_t>(max_value));
+        return Status::okStatus();
+    }
+    if (op == "first_x") {
+        if (Status st = checkKnownKeys(value, context, {"op", "max_ids"});
+            !st.ok()) {
+            return st;
+        }
+        uint64_t max_ids = 0;
+        if (Status st = requireUint(value, "max_ids", context, max_ids);
+            !st.ok()) {
+            return st;
+        }
+        out = SparseOp::firstX(static_cast<size_t>(max_ids));
+        return Status::okStatus();
+    }
+    return Status::invalidArgument(context + ": unknown sparse op \"" + op +
+                                   "\"");
+}
+
+Status
+parseOutput(const JsonValue& value, size_t index, PlanOutput& out)
+{
+    const std::string context = "outputs[" + std::to_string(index) + "]";
+    if (value.type != JsonValue::Type::kObject)
+        return Status::invalidArgument(context + ": must be an object");
+    if (Status st = checkKnownKeys(value, context,
+                                   {"kind", "name", "source", "dense_ops",
+                                    "sparse_ops", "bucket_boundaries"});
+        !st.ok()) {
+        return st;
+    }
+    std::string kind;
+    if (Status st = requireString(value, "kind", context, kind); !st.ok())
+        return st;
+    if (kind == "label") {
+        out.kind = PlanOutput::Kind::kLabel;
+    } else if (kind == "dense") {
+        out.kind = PlanOutput::Kind::kDense;
+    } else if (kind == "sparse") {
+        out.kind = PlanOutput::Kind::kSparse;
+    } else if (kind == "generated") {
+        out.kind = PlanOutput::Kind::kGenerated;
+    } else {
+        return Status::invalidArgument(context + ": unknown kind \"" + kind +
+                                       "\"");
+    }
+    if (Status st = requireString(value, "name", context, out.output_name);
+        !st.ok()) {
+        return st;
+    }
+    if (Status st =
+            requireString(value, "source", context, out.source_feature);
+        !st.ok()) {
+        return st;
+    }
+    if (const JsonValue* ops = findMember(value, "dense_ops");
+        ops != nullptr) {
+        if (ops->type != JsonValue::Type::kArray)
+            return Status::invalidArgument(context +
+                                           ": dense_ops must be an array");
+        for (size_t i = 0; i < ops->array->size(); ++i) {
+            DenseOp op;
+            if (Status st = parseDenseOp(
+                    (*ops->array)[i],
+                    context + ".dense_ops[" + std::to_string(i) + "]", op);
+                !st.ok()) {
+                return st;
+            }
+            out.dense_ops.push_back(op);
+        }
+    }
+    if (const JsonValue* ops = findMember(value, "sparse_ops");
+        ops != nullptr) {
+        if (ops->type != JsonValue::Type::kArray)
+            return Status::invalidArgument(context +
+                                           ": sparse_ops must be an array");
+        for (size_t i = 0; i < ops->array->size(); ++i) {
+            SparseOp op;
+            if (Status st = parseSparseOp(
+                    (*ops->array)[i],
+                    context + ".sparse_ops[" + std::to_string(i) + "]", op);
+                !st.ok()) {
+                return st;
+            }
+            out.sparse_ops.push_back(op);
+        }
+    }
+    if (findMember(value, "bucket_boundaries") != nullptr) {
+        uint64_t boundaries = 0;
+        if (Status st = requireUint(value, "bucket_boundaries", context,
+                                    boundaries);
+            !st.ok()) {
+            return st;
+        }
+        out.bucket_boundaries = static_cast<size_t>(boundaries);
+    }
+    return Status::okStatus();
+}
+
+// ---------------------------------------------------------------------
+// TransformPlan -> JSON emission.
+// ---------------------------------------------------------------------
+
+std::string
+escapeJson(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** Shortest float form that round-trips (%.9g covers float exactly). */
+std::string
+formatNumber(double value)
+{
+    char buf[48];
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", value);
+    }
+    return buf;
+}
+
+std::string
+denseOpToJson(const DenseOp& op)
+{
+    switch (op.kind) {
+    case DenseOp::Kind::kFillMissing:
+        return "{\"op\": \"fill_missing\", \"value\": " +
+               formatNumber(op.a) + "}";
+    case DenseOp::Kind::kLog:
+        return "{\"op\": \"log\"}";
+    case DenseOp::Kind::kClamp:
+        return "{\"op\": \"clamp\", \"lo\": " + formatNumber(op.a) +
+               ", \"hi\": " + formatNumber(op.b) + "}";
+    }
+    return "{}";
+}
+
+std::string
+sparseOpToJson(const SparseOp& op)
+{
+    switch (op.kind) {
+    case SparseOp::Kind::kSigridHash:
+        return "{\"op\": \"sigrid_hash\", \"seed\": " +
+               std::to_string(op.seed) +
+               ", \"max_value\": " + std::to_string(op.max_value) + "}";
+    case SparseOp::Kind::kFirstX:
+        return "{\"op\": \"first_x\", \"max_ids\": " +
+               std::to_string(op.max_ids) + "}";
+    }
+    return "{}";
+}
+
+const char*
+kindName(PlanOutput::Kind kind)
+{
+    switch (kind) {
+    case PlanOutput::Kind::kLabel: return "label";
+    case PlanOutput::Kind::kDense: return "dense";
+    case PlanOutput::Kind::kSparse: return "sparse";
+    case PlanOutput::Kind::kGenerated: return "generated";
+    }
+    return "unknown";
+}
+
+}  // namespace
+
+StatusOr<TransformPlan>
+parsePlanJson(std::string_view json)
+{
+    JsonValue doc;
+    if (Status st = JsonParser(json).parse(doc); !st.ok())
+        return st;
+    if (doc.type != JsonValue::Type::kObject)
+        return Status::invalidArgument("plan JSON: document must be an "
+                                       "object with an \"outputs\" array");
+    if (Status st = checkKnownKeys(doc, "plan", {"outputs"}); !st.ok())
+        return st;
+    const JsonValue* outputs = findMember(doc, "outputs");
+    if (outputs == nullptr || outputs->type != JsonValue::Type::kArray)
+        return Status::invalidArgument(
+            "plan JSON: missing \"outputs\" array");
+    TransformPlan plan;
+    for (size_t i = 0; i < outputs->array->size(); ++i) {
+        PlanOutput out;
+        if (Status st = parseOutput((*outputs->array)[i], i, out); !st.ok())
+            return st;
+        plan.add(std::move(out));
+    }
+    return plan;
+}
+
+std::string
+planToJson(const TransformPlan& plan)
+{
+    std::string out = "{\n  \"outputs\": [\n";
+    const auto& outputs = plan.outputs();
+    for (size_t i = 0; i < outputs.size(); ++i) {
+        const PlanOutput& output = outputs[i];
+        out += "    {\"kind\": \"" + std::string(kindName(output.kind)) +
+               "\", \"name\": \"" + escapeJson(output.output_name) +
+               "\", \"source\": \"" + escapeJson(output.source_feature) +
+               "\"";
+        if (output.bucket_boundaries > 0) {
+            out += ",\n     \"bucket_boundaries\": " +
+                   std::to_string(output.bucket_boundaries);
+        }
+        if (!output.dense_ops.empty()) {
+            out += ",\n     \"dense_ops\": [";
+            for (size_t j = 0; j < output.dense_ops.size(); ++j) {
+                if (j > 0)
+                    out += ",\n                   ";
+                out += denseOpToJson(output.dense_ops[j]);
+            }
+            out += "]";
+        }
+        if (!output.sparse_ops.empty()) {
+            out += ",\n     \"sparse_ops\": [";
+            for (size_t j = 0; j < output.sparse_ops.size(); ++j) {
+                if (j > 0)
+                    out += ",\n                    ";
+                out += sparseOpToJson(output.sparse_ops[j]);
+            }
+            out += "]";
+        }
+        out += "}";
+        out += i + 1 < outputs.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+}  // namespace presto

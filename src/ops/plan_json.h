@@ -1,0 +1,54 @@
+/**
+ * @file
+ * JSON authoring format for TransformPlans.
+ *
+ * ML engineers iterate on feature definitions far faster than on C++
+ * code; a plan they can write, diff, and review as text is the service
+ * tier's configuration surface (TenantSpec::plan). The format mirrors
+ * PlanOutput one to one:
+ *
+ *     {
+ *       "outputs": [
+ *         {"kind": "label", "name": "label", "source": "label"},
+ *         {"kind": "dense", "name": "d0", "source": "dense_0",
+ *          "dense_ops": [{"op": "fill_missing", "value": 0.0},
+ *                        {"op": "log"},
+ *                        {"op": "clamp", "lo": 0.0, "hi": 10.0}]},
+ *         {"kind": "sparse", "name": "s0", "source": "sparse_0",
+ *          "sparse_ops": [{"op": "sigrid_hash", "seed": 42,
+ *                          "max_value": 100000},
+ *                         {"op": "first_x", "max_ids": 20}]},
+ *         {"kind": "generated", "name": "g0", "source": "dense_1",
+ *          "bucket_boundaries": 256,
+ *          "sparse_ops": [{"op": "sigrid_hash", "seed": 7,
+ *                          "max_value": 65536}]}
+ *       ]
+ *     }
+ *
+ * parsePlanJson() accepts any JSON text of that shape (parse errors and
+ * unknown fields are kInvalidArgument with a line number); planToJson()
+ * emits it canonically, and the pair round-trips exactly:
+ * parsePlanJson(planToJson(p)) == p for every plan. Semantic checks
+ * (sources exist, names unique) remain TransformPlan::validate()'s job
+ * against a concrete schema.
+ */
+#ifndef PRESTO_OPS_PLAN_JSON_H_
+#define PRESTO_OPS_PLAN_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "ops/plan.h"
+
+namespace presto {
+
+/** Parse a JSON plan document into a TransformPlan. */
+StatusOr<TransformPlan> parsePlanJson(std::string_view json);
+
+/** Emit @p plan as canonical, indented plan JSON. */
+std::string planToJson(const TransformPlan& plan);
+
+}  // namespace presto
+
+#endif  // PRESTO_OPS_PLAN_JSON_H_

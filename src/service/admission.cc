@@ -1,0 +1,83 @@
+#include "service/admission.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace presto {
+
+namespace {
+
+std::string
+formatSec(double sec)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3fs", sec);
+    return buf;
+}
+
+std::string
+formatRho(double rho)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", rho);
+    return buf;
+}
+
+}  // namespace
+
+double
+projectedP99Sec(double service_sec, double rho)
+{
+    if (rho >= 1.0)
+        return 1e9;  // saturated: latency grows without bound
+    return service_sec * (1.0 + kP99WaitFactor * rho / (1.0 - rho));
+}
+
+AdmissionDecision
+evaluateAdmission(const std::vector<AdmissionInput>& admitted,
+                  const AdmissionInput& candidate, double servers)
+{
+    PRESTO_CHECK(servers > 0, "admission needs a positive fleet size");
+    AdmissionDecision decision;
+
+    double demand = candidate.peak_batches_per_sec * candidate.service_sec;
+    for (const AdmissionInput& t : admitted)
+        demand += t.peak_batches_per_sec * t.service_sec;
+    const double rho = demand / servers;
+    decision.projected_utilization = rho;
+    decision.projected_p99_sec = projectedP99Sec(candidate.service_sec, rho);
+
+    if (rho >= kMaxStableUtilization) {
+        decision.reason =
+            "projected peak utilization " + formatRho(rho) +
+            " exceeds stable limit " + formatRho(kMaxStableUtilization);
+        return decision;
+    }
+    if (candidate.slo_p99_sec > 0 &&
+        decision.projected_p99_sec > candidate.slo_p99_sec) {
+        decision.reason = "projected p99 " +
+                          formatSec(decision.projected_p99_sec) +
+                          " exceeds SLO budget " +
+                          formatSec(candidate.slo_p99_sec);
+        return decision;
+    }
+    // Admitting the candidate raises everyone's queueing delay: an
+    // already-admitted tenant's budget also vetoes the admission.
+    for (const AdmissionInput& t : admitted) {
+        if (t.slo_p99_sec <= 0)
+            continue;
+        const double p99 = projectedP99Sec(t.service_sec, rho);
+        if (p99 > t.slo_p99_sec) {
+            decision.reason = "would push tenant " + t.tenant +
+                              " to projected p99 " + formatSec(p99) +
+                              " past its SLO budget " +
+                              formatSec(t.slo_p99_sec);
+            return decision;
+        }
+    }
+    decision.admitted = true;
+    return decision;
+}
+
+}  // namespace presto

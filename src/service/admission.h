@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Admission control for the multi-tenant ingestion service.
+ *
+ * A tenant asks to stream preprocessed batches at some peak rate with a
+ * p99 batch-latency SLO. The controller decides — *before* any work is
+ * queued — whether the fleet can absorb the tenant without pushing any
+ * admitted tenant (including the candidate) past its SLO budget, and
+ * rejects with an explicit reason otherwise. Rejecting at admission
+ * time is the service-tier analogue of PoolScheduler's reject-with-
+ * reason plumbing: overload surfaces as a named decision, never as
+ * silent queue growth.
+ *
+ * The projection is an intentionally simple, documented heuristic (see
+ * docs/SERVICE.md): with aggregate peak utilization
+ *
+ *     rho = sum_i(peak_rate_i * service_sec_i) / servers
+ *
+ * a tenant's projected p99 batch latency is
+ *
+ *     p99 ~= service_sec * (1 + kP99WaitFactor * rho / (1 - rho))
+ *
+ * i.e. service time plus an M/M/c-flavored queueing term that blows up
+ * as rho -> 1. Utilization at or beyond kMaxStableUtilization is
+ * rejected outright: no latency promise survives a saturated fleet.
+ * The same projection drives both the threaded IngestService and the
+ * DES service scenario, so bench_service exercises exactly the policy
+ * the service ships.
+ */
+#ifndef PRESTO_SERVICE_ADMISSION_H_
+#define PRESTO_SERVICE_ADMISSION_H_
+
+#include <string>
+#include <vector>
+
+namespace presto {
+
+/** Queue-delay multiplier of the p99 projection. */
+inline constexpr double kP99WaitFactor = 3.0;
+
+/** Peak utilization beyond which no admission is accepted. */
+inline constexpr double kMaxStableUtilization = 0.95;
+
+/** One tenant's declared load, as seen by the admission controller. */
+struct AdmissionInput {
+    std::string tenant;
+    double peak_batches_per_sec = 0;  ///< worst-case demand (diurnal peak
+                                      ///< x spike factor)
+    double service_sec = 0;           ///< per-batch preprocessing time
+    double slo_p99_sec = 0;           ///< 0 = best effort (no budget)
+};
+
+/** Outcome of one admission evaluation. */
+struct AdmissionDecision {
+    bool admitted = false;
+    std::string reason;  ///< empty when admitted
+    /** Peak fleet utilization with the candidate admitted. */
+    double projected_utilization = 0;
+    /** Candidate's projected p99 batch latency with it admitted. */
+    double projected_p99_sec = 0;
+};
+
+/** Projected p99 batch latency at utilization @p rho (heuristic). */
+double projectedP99Sec(double service_sec, double rho);
+
+/**
+ * Evaluate admitting @p candidate on a fleet of @p servers parallel
+ * workers already serving @p admitted. Pure function of its inputs.
+ */
+AdmissionDecision evaluateAdmission(
+    const std::vector<AdmissionInput>& admitted,
+    const AdmissionInput& candidate, double servers);
+
+}  // namespace presto
+
+#endif  // PRESTO_SERVICE_ADMISSION_H_

@@ -1,0 +1,277 @@
+#include "service/dataset_catalog.h"
+
+#include <algorithm>
+#include <set>
+
+#include "columnar/columnar_file.h"
+#include "common/logging.h"
+
+namespace presto {
+
+/**
+ * Shared state of one registered dataset. Immutable after registration
+ * except for the published head (atomic) and the shard stores' internal
+ * caches (internally locked). Pinned readers share ownership, so a
+ * reader outlives both the catalog and any later re-registration.
+ */
+struct CatalogDataset {
+    DatasetSpec spec;
+    std::unique_ptr<RawDataGenerator> generator;
+    /** One PartitionStore per shard, all over the same generator. */
+    std::vector<std::unique_ptr<PartitionStore>> shards;
+    /** Durable backing per shard (empty in memory-only mode). */
+    std::vector<SegmentStore*> segment_shards;
+
+    /** Serializes publishes of this dataset. */
+    std::mutex publish_mu;
+    /** Newest fully-published epoch (0 = none). The release store in
+        publishEpoch() is the single atomic-publish point. */
+    std::atomic<uint64_t> head{0};
+
+    bool persistent() const { return !segment_shards.empty(); }
+    size_t numShards() const { return shards.size(); }
+};
+
+EpochReader::EpochReader(std::shared_ptr<CatalogDataset> state,
+                         uint64_t epoch, size_t partitions)
+    : state_(std::move(state)), epoch_(epoch), partitions_(partitions)
+{
+}
+
+const RmConfig&
+EpochReader::config() const
+{
+    PRESTO_CHECK(valid(), "reading through an unpinned EpochReader");
+    return state_->spec.config;
+}
+
+const Schema&
+EpochReader::schema() const
+{
+    PRESTO_CHECK(valid(), "reading through an unpinned EpochReader");
+    return state_->generator->schema();
+}
+
+uint64_t
+EpochReader::partitionId(size_t index) const
+{
+    PRESTO_CHECK(valid() && index < partitions_,
+                 "epoch partition index out of range");
+    return epochPartitionId(epoch_, index);
+}
+
+size_t
+EpochReader::shardOf(size_t index) const
+{
+    PRESTO_CHECK(valid() && index < partitions_,
+                 "epoch partition index out of range");
+    return index % state_->numShards();
+}
+
+StatusOr<std::vector<uint8_t>>
+EpochReader::fetchEncoded(size_t index, uint64_t attempt) const
+{
+    if (!valid())
+        return Status::failedPrecondition("EpochReader is not pinned");
+    if (index >= partitions_) {
+        return Status::outOfRange(
+            "partition " + std::to_string(index) + " >= epoch size " +
+            std::to_string(partitions_));
+    }
+    return state_->shards[index % state_->numShards()]->fetchPartition(
+        partitionId(index), attempt);
+}
+
+Status
+EpochReader::readPartition(size_t index, RowBatch& out) const
+{
+    auto encoded = fetchEncoded(index);
+    if (!encoded.ok())
+        return encoded.status();
+    ColumnarFileReader reader;
+    if (Status st = reader.open(*encoded); !st.ok())
+        return st;
+    return reader.readAllInto(out);
+}
+
+namespace {
+
+/**
+ * Head recovery over persistent shards: epoch e is published iff every
+ * one of its partitions has a live segment on its shard. Epochs are
+ * published sequentially, so the head is the longest prefix of complete
+ * epochs — a crash mid-publish of e leaves e incomplete and the head at
+ * e - 1.
+ */
+uint64_t
+recoverHead(const DatasetSpec& spec,
+            const std::vector<SegmentStore*>& segment_shards)
+{
+    std::set<uint64_t> live;
+    for (SegmentStore* store : segment_shards) {
+        for (const SegmentInfo& info : store->listSegments()) {
+            if (info.state == SegmentState::kSealed ||
+                info.state == SegmentState::kCompacted)
+                live.insert(info.meta.partition_id);
+        }
+    }
+    uint64_t head = 0;
+    for (uint64_t epoch = 1;; ++epoch) {
+        bool complete = true;
+        for (uint64_t i = 0; i < spec.partitions_per_epoch; ++i) {
+            if (live.count(epochPartitionId(epoch, i)) == 0) {
+                complete = false;
+                break;
+            }
+        }
+        if (!complete)
+            break;
+        head = epoch;
+    }
+    return head;
+}
+
+}  // namespace
+
+Status
+DatasetCatalog::registerDataset(DatasetSpec spec,
+                                std::vector<SegmentStore*> segment_shards)
+{
+    if (spec.name.empty())
+        return Status::invalidArgument("dataset name must not be empty");
+    if (spec.partitions_per_epoch == 0 ||
+        spec.partitions_per_epoch > kMaxPartitionsPerEpoch) {
+        return Status::invalidArgument(
+            "partitions_per_epoch must be in [1, " +
+            std::to_string(kMaxPartitionsPerEpoch) + "]");
+    }
+    const size_t num_shards =
+        segment_shards.empty() ? spec.shards : segment_shards.size();
+    if (num_shards == 0)
+        return Status::invalidArgument("dataset needs at least one shard");
+
+    auto state = std::make_shared<CatalogDataset>();
+    state->spec = std::move(spec);
+    state->spec.shards = num_shards;
+    state->generator = std::make_unique<RawDataGenerator>(
+        state->spec.config, state->spec.generator);
+    state->segment_shards = std::move(segment_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+        auto shard = std::make_unique<PartitionStore>(*state->generator);
+        if (state->spec.cache_budget_bytes > 0)
+            shard->setCacheBudget(state->spec.cache_budget_bytes);
+        if (state->persistent())
+            shard->enablePersistence(state->segment_shards[s]);
+        state->shards.push_back(std::move(shard));
+    }
+    if (state->persistent()) {
+        state->head.store(recoverHead(state->spec, state->segment_shards),
+                          std::memory_order_release);
+    }
+
+    std::scoped_lock lock(mu_);
+    if (datasets_.count(state->spec.name) != 0) {
+        return Status::failedPrecondition("dataset already registered: " +
+                                          state->spec.name);
+    }
+    datasets_.emplace(state->spec.name, std::move(state));
+    return Status::okStatus();
+}
+
+StatusOr<std::shared_ptr<CatalogDataset>>
+DatasetCatalog::find(const std::string& dataset) const
+{
+    std::scoped_lock lock(mu_);
+    auto it = datasets_.find(dataset);
+    if (it == datasets_.end())
+        return Status::notFound("unknown dataset: " + dataset);
+    return it->second;
+}
+
+StatusOr<uint64_t>
+DatasetCatalog::publishEpoch(const std::string& dataset)
+{
+    auto state = find(dataset);
+    if (!state.ok())
+        return state.status();
+    CatalogDataset& ds = **state;
+
+    std::scoped_lock publish_lock(ds.publish_mu);
+    const uint64_t epoch = ds.head.load(std::memory_order_acquire) + 1;
+    for (uint64_t i = 0; i < ds.spec.partitions_per_epoch; ++i) {
+        const uint64_t pid = epochPartitionId(epoch, i);
+        PartitionStore& shard = *ds.shards[i % ds.numShards()];
+        if (ds.persistent()) {
+            // Crash-atomic durable commit; idempotent across a
+            // crash-and-republish (recovered segments are reused). The
+            // final partition's seal record completes the epoch.
+            if (auto seg = shard.persistPartition(pid); !seg.ok()) {
+                return Status(
+                    seg.status().code(),
+                    "publish of epoch " + std::to_string(epoch) +
+                        " aborted at partition " + std::to_string(i) +
+                        ": " + seg.status().message());
+            }
+        } else {
+            shard.partition(pid);  // materialize
+        }
+    }
+    // Atomic publish: the head moves only once every partition of the
+    // epoch is committed; concurrent pins see either epoch-1 or epoch,
+    // never a partial epoch.
+    ds.head.store(epoch, std::memory_order_release);
+    return epoch;
+}
+
+StatusOr<EpochReader>
+DatasetCatalog::pin(const std::string& dataset) const
+{
+    auto state = find(dataset);
+    if (!state.ok())
+        return state.status();
+    const uint64_t head = (*state)->head.load(std::memory_order_acquire);
+    if (head == 0) {
+        return Status::failedPrecondition(
+            "dataset has no published epoch: " + dataset);
+    }
+    return EpochReader(*state, head,
+                       (*state)->spec.partitions_per_epoch);
+}
+
+StatusOr<EpochReader>
+DatasetCatalog::pin(const std::string& dataset, uint64_t epoch) const
+{
+    auto state = find(dataset);
+    if (!state.ok())
+        return state.status();
+    const uint64_t head = (*state)->head.load(std::memory_order_acquire);
+    if (epoch == 0 || epoch > head) {
+        return Status::outOfRange(
+            "epoch " + std::to_string(epoch) + " of " + dataset +
+            " is not published (head " + std::to_string(head) + ")");
+    }
+    return EpochReader(*state, epoch,
+                       (*state)->spec.partitions_per_epoch);
+}
+
+StatusOr<uint64_t>
+DatasetCatalog::headEpoch(const std::string& dataset) const
+{
+    auto state = find(dataset);
+    if (!state.ok())
+        return state.status();
+    return (*state)->head.load(std::memory_order_acquire);
+}
+
+std::vector<std::string>
+DatasetCatalog::datasets() const
+{
+    std::scoped_lock lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(datasets_.size());
+    for (const auto& [name, state] : datasets_)
+        names.push_back(name);
+    return names;
+}
+
+}  // namespace presto

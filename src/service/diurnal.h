@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Diurnal traffic model for the service-tier DES scenario.
+ *
+ * Recommendation inference — and therefore the training-data ingestion
+ * that feeds on its logs — follows the day/night cycle of the user
+ * population: demand swings sinusoidally around a mean with occasional
+ * short spikes (product launches, retraining storms). The scenario
+ * models a tenant's offered batch rate as
+ *
+ *     rate(t) = mean * (1 + amplitude * sin(2*pi*(t - phase)/period))
+ *
+ * multiplied by the factor of any spike window containing t.
+ *
+ * Arrivals are drawn *per one-second slot* with a counter-based key
+ * (seed, tenant, slot), not from a shared stream: the number and
+ * placement of arrivals in a slot is a pure function of those three
+ * values, so the generated traffic is bit-identical regardless of how
+ * many tenants exist or in what order the simulator fires events.
+ */
+#ifndef PRESTO_SERVICE_DIURNAL_H_
+#define PRESTO_SERVICE_DIURNAL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/distributions.h"
+
+namespace presto {
+
+inline constexpr double kTwoPi = 6.283185307179586;
+
+/** Sinusoidal day/night demand curve. */
+struct DiurnalModel {
+    double mean_batches_per_sec = 1.0;
+    double amplitude = 0.0;      ///< peak swing as a fraction of mean [0,1)
+    double period_sec = 86400;   ///< one simulated day
+    double phase_sec = 0;        ///< shifts the peak within the day
+
+    double
+    rate(double t) const
+    {
+        const double angle = kTwoPi * (t - phase_sec) / period_sec;
+        return mean_batches_per_sec * (1.0 + amplitude * std::sin(angle));
+    }
+};
+
+/** Temporary demand multiplier over [start_sec, end_sec). */
+struct SpikeWindow {
+    double start_sec = 0;
+    double end_sec = 0;
+    double factor = 1.0;
+};
+
+/** One tenant's full offered-load model. */
+struct TrafficModel {
+    DiurnalModel diurnal;
+    std::vector<SpikeWindow> spikes;
+
+    /** Offered batch rate at time @p t (diurnal x active spikes). */
+    double
+    rate(double t) const
+    {
+        double r = diurnal.rate(t);
+        for (const SpikeWindow& s : spikes) {
+            if (t >= s.start_sec && t < s.end_sec)
+                r *= s.factor;
+        }
+        return r > 0.0 ? r : 0.0;
+    }
+
+    /** Worst-case rate over the cycle: diurnal peak x largest spike. */
+    double
+    peakRate() const
+    {
+        double peak = diurnal.mean_batches_per_sec *
+                      (1.0 + diurnal.amplitude);
+        double worst_spike = 1.0;
+        for (const SpikeWindow& s : spikes)
+            worst_spike = std::max(worst_spike, s.factor);
+        return peak * worst_spike;
+    }
+};
+
+/**
+ * Arrival offsets (seconds past the slot start, ascending) of one
+ * tenant's one-second slot starting at @p slot seconds. Poisson count at
+ * the slot-midpoint rate, offsets uniform in the slot; everything is
+ * keyed on (seed, tenant, slot) alone.
+ */
+inline std::vector<double>
+slotArrivals(const TrafficModel& traffic, uint64_t seed, uint64_t tenant,
+             uint64_t slot)
+{
+    const double rate =
+        traffic.rate(static_cast<double>(slot) + 0.5);
+    if (rate <= 0.0)
+        return {};
+    Rng rng(mix64(seed ^ mix64(tenant + 1) ^ mix64(slot * 0x51ab5) ^
+                  0xd1a2d1a2d1a2d1a2ULL));
+    const uint64_t count = PoissonSampler(rate).sample(rng);
+    std::vector<double> offsets(count);
+    for (double& offset : offsets)
+        offset = rng.uniform();
+    std::sort(offsets.begin(), offsets.end());
+    return offsets;
+}
+
+}  // namespace presto
+
+#endif  // PRESTO_SERVICE_DIURNAL_H_

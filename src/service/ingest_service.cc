@@ -1,0 +1,320 @@
+#include "service/ingest_service.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "models/calibration.h"
+
+namespace presto {
+
+/**
+ * All mutable fields are guarded by the service mutex except the
+ * production step itself (fetch + decode + transform), which runs
+ * unlocked on whatever worker claimed the session; `in_flight` keeps
+ * claims exclusive, so per-session delivery order is partition order.
+ */
+struct IngestService::Session {
+    uint64_t id = 0;
+    TenantSpec spec;
+    EpochReader reader;
+    std::unique_ptr<PlanExecutor> executor;
+    double service_sec_estimate = 0;
+
+    std::deque<DeliveredBatch> queue;
+    std::condition_variable queue_cv;  ///< consumers: batch or closure
+    bool in_flight = false;            ///< a worker is producing for us
+    bool closing = false;
+    Status error;  ///< first production failure (delivered after drain)
+
+    double vtime = 0;  ///< weighted-fair virtual time
+    uint64_t next_index = 0;
+    uint64_t produced = 0;
+    uint64_t delivered = 0;
+    size_t max_queue_occupancy = 0;
+
+    bool
+    eligible() const
+    {
+        return !closing && error.ok() && !in_flight &&
+               queue.size() < spec.queue_capacity;
+    }
+};
+
+IngestService::IngestService(DatasetCatalog& catalog,
+                             ServiceOptions options)
+    : catalog_(catalog), options_(options)
+{
+    PRESTO_CHECK(options_.workers >= 1,
+                 "service needs at least one worker");
+    workers_.reserve(static_cast<size_t>(options_.workers));
+    for (int i = 0; i < options_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+IngestService::~IngestService()
+{
+    {
+        std::scoped_lock lock(mu_);
+        stopping_ = true;
+        for (auto& [id, session] : sessions_)
+            session->queue_cv.notify_all();
+        work_cv_.notify_all();
+    }
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+double
+IngestService::estimateServiceSec(const RmConfig& config) const
+{
+    if (options_.service_sec_override > 0)
+        return options_.service_sec_override;
+    // Decode + fused transform at the measured calibration rates; the
+    // admission projection only needs the right order of magnitude.
+    const double values = config.rawValuesPerBatch();
+    return values * (cal::kMeasuredSimdDecodeSecPerValue +
+                     cal::kMeasuredFusedSecPerValue);
+}
+
+std::vector<AdmissionInput>
+IngestService::admittedInputsLocked() const
+{
+    std::vector<AdmissionInput> admitted;
+    admitted.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) {
+        if (session->closing)
+            continue;
+        AdmissionInput input;
+        input.tenant = session->spec.name;
+        input.peak_batches_per_sec = session->spec.peak_batches_per_sec;
+        input.service_sec = session->service_sec_estimate;
+        input.slo_p99_sec = session->spec.slo_p99_sec;
+        admitted.push_back(std::move(input));
+    }
+    return admitted;
+}
+
+AdmissionDecision
+IngestService::admissionProbe(const TenantSpec& spec) const
+{
+    AdmissionInput candidate;
+    candidate.tenant = spec.name;
+    candidate.peak_batches_per_sec = spec.peak_batches_per_sec;
+    candidate.slo_p99_sec = spec.slo_p99_sec;
+    auto config = catalog_.pin(spec.dataset);
+    candidate.service_sec =
+        config.ok() ? estimateServiceSec(config->config()) : 0.0;
+
+    std::scoped_lock lock(mu_);
+    return evaluateAdmission(admittedInputsLocked(), candidate,
+                             static_cast<double>(options_.workers));
+}
+
+StatusOr<uint64_t>
+IngestService::openSession(const TenantSpec& spec)
+{
+    if (spec.queue_capacity == 0)
+        return Status::invalidArgument("queue_capacity must be >= 1");
+    auto reader = spec.epoch == 0
+                      ? catalog_.pin(spec.dataset)
+                      : catalog_.pin(spec.dataset, spec.epoch);
+    if (!reader.ok())
+        return reader.status();
+
+    auto session = std::make_shared<Session>();
+    session->spec = spec;
+    session->reader = *reader;
+    session->service_sec_estimate =
+        estimateServiceSec(reader->config());
+    TransformPlan plan = spec.plan.has_value()
+                             ? *spec.plan
+                             : TransformPlan::standard(reader->config());
+    if (Status st = plan.validate(reader->schema()); !st.ok())
+        return st;
+    session->executor = std::make_unique<PlanExecutor>(
+        std::move(plan), reader->schema());
+
+    std::scoped_lock lock(mu_);
+    if (stopping_)
+        return Status::aborted("service is shutting down");
+    if (options_.admission_control) {
+        AdmissionInput candidate;
+        candidate.tenant = spec.name;
+        candidate.peak_batches_per_sec = spec.peak_batches_per_sec;
+        candidate.service_sec = session->service_sec_estimate;
+        candidate.slo_p99_sec = spec.slo_p99_sec;
+        const AdmissionDecision decision =
+            evaluateAdmission(admittedInputsLocked(), candidate,
+                              static_cast<double>(options_.workers));
+        if (!decision.admitted) {
+            return Status::failedPrecondition(
+                "tenant " + spec.name + " rejected: " + decision.reason);
+        }
+    }
+    // A joining tenant starts at the minimum live virtual time so it
+    // neither starves others nor replays the backlog it never had.
+    double min_vtime = std::numeric_limits<double>::infinity();
+    for (const auto& [id, other] : sessions_) {
+        if (!other->closing)
+            min_vtime = std::min(min_vtime, other->vtime);
+    }
+    session->vtime = std::isfinite(min_vtime) ? min_vtime : 0.0;
+    session->id = next_session_id_++;
+    sessions_.emplace(session->id, session);
+    work_cv_.notify_all();
+    return session->id;
+}
+
+std::shared_ptr<IngestService::Session>
+IngestService::findSession(uint64_t session_id) const
+{
+    std::scoped_lock lock(mu_);
+    auto it = sessions_.find(session_id);
+    return it == sessions_.end() ? nullptr : it->second;
+}
+
+void
+IngestService::workerLoop()
+{
+    std::unique_lock lock(mu_);
+    for (;;) {
+        if (stopping_)
+            return;
+        // Weighted-fair pick: eligible session with the smallest
+        // virtual time (ties: lowest id, keeping runs deterministic).
+        std::shared_ptr<Session> pick;
+        for (const auto& [id, session] : sessions_) {
+            if (!session->eligible())
+                continue;
+            if (pick == nullptr || session->vtime < pick->vtime)
+                pick = session;
+        }
+        if (pick == nullptr) {
+            work_cv_.wait(lock);
+            continue;
+        }
+        pick->in_flight = true;
+        pick->vtime += 1.0 / pick->spec.weight;
+        const uint64_t index =
+            pick->next_index % pick->reader.numPartitions();
+        ++pick->next_index;
+        lock.unlock();
+
+        // Fetch + decode + transform outside the lock.
+        DeliveredBatch out;
+        out.epoch = pick->reader.epoch();
+        out.partition_index = index;
+        RowBatch raw;
+        Status st = pick->reader.readPartition(index, raw);
+        if (st.ok()) {
+            out.batch = std::make_unique<MiniBatch>(
+                pick->executor->run(raw));
+        }
+
+        lock.lock();
+        pick->in_flight = false;
+        if (!st.ok()) {
+            pick->error = st;
+        } else if (!pick->closing) {
+            out.sequence = pick->produced++;
+            pick->queue.push_back(std::move(out));
+            pick->max_queue_occupancy =
+                std::max(pick->max_queue_occupancy, pick->queue.size());
+        }
+        pick->queue_cv.notify_all();
+        // The session may still be eligible (queue not full) and other
+        // sessions may have gained eligibility; loop re-evaluates.
+    }
+}
+
+StatusOr<DeliveredBatch>
+IngestService::nextBatch(uint64_t session_id)
+{
+    std::shared_ptr<Session> session = findSession(session_id);
+    if (session == nullptr) {
+        return Status::notFound("unknown session " +
+                                std::to_string(session_id));
+    }
+    std::unique_lock lock(mu_);
+    session->queue_cv.wait(lock, [&] {
+        return !session->queue.empty() || session->closing || stopping_ ||
+               !session->error.ok();
+    });
+    if (!session->queue.empty()) {
+        DeliveredBatch batch = std::move(session->queue.front());
+        session->queue.pop_front();
+        ++session->delivered;
+        work_cv_.notify_all();  // queue space: session eligible again
+        return batch;
+    }
+    if (!session->error.ok())
+        return session->error;
+    return Status::aborted("session " + std::to_string(session_id) +
+                           " closed");
+}
+
+Status
+IngestService::closeSession(uint64_t session_id)
+{
+    std::unique_lock lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+        return Status::notFound("unknown session " +
+                                std::to_string(session_id));
+    }
+    std::shared_ptr<Session> session = it->second;
+    session->closing = true;
+    session->queue_cv.notify_all();
+    // Wait out an in-flight production so the worker never touches a
+    // session the map no longer owns. (The shared_ptr would keep it
+    // alive regardless; this keeps shutdown deterministic.)
+    session->queue_cv.wait(lock, [&] { return !session->in_flight; });
+    sessions_.erase(session_id);
+    work_cv_.notify_all();
+    return Status::okStatus();
+}
+
+StatusOr<SessionStats>
+IngestService::sessionStats(uint64_t session_id) const
+{
+    std::scoped_lock lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+        return Status::notFound("unknown session " +
+                                std::to_string(session_id));
+    }
+    const Session& s = *it->second;
+    SessionStats stats;
+    stats.tenant = s.spec.name;
+    stats.epoch = s.reader.epoch();
+    stats.produced = s.produced;
+    stats.delivered = s.delivered;
+    stats.queue_capacity = s.spec.queue_capacity;
+    stats.max_queue_occupancy = s.max_queue_occupancy;
+    stats.service_sec_estimate = s.service_sec_estimate;
+    return stats;
+}
+
+std::vector<SessionStats>
+IngestService::allSessionStats() const
+{
+    std::scoped_lock lock(mu_);
+    std::vector<SessionStats> all;
+    all.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) {
+        const Session& s = *session;
+        SessionStats stats;
+        stats.tenant = s.spec.name;
+        stats.epoch = s.reader.epoch();
+        stats.produced = s.produced;
+        stats.delivered = s.delivered;
+        stats.queue_capacity = s.spec.queue_capacity;
+        stats.max_queue_occupancy = s.max_queue_occupancy;
+        stats.service_sec_estimate = s.service_sec_estimate;
+        all.push_back(std::move(stats));
+    }
+    return all;
+}
+
+}  // namespace presto

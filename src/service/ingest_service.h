@@ -1,0 +1,175 @@
+/**
+ * @file
+ * IngestService: multi-tenant streaming preprocessing sessions.
+ *
+ * The batch pipeline (core/managers.h) runs one dataset for one
+ * consumer and exits. A production ingestion tier instead runs
+ * continuously: many tenants (training jobs) each open a *session*
+ * against a catalog dataset and stream train-ready mini-batches at
+ * whatever rate their trainer consumes them. This module provides that
+ * layer on top of DatasetCatalog + the opvm transform stack:
+ *
+ *  - Sessions pin an epoch at open (or a caller-chosen one) — a
+ *    tenant's stream replays bit-identically even while newer epochs
+ *    are being published under it.
+ *  - An admission controller (admission.h) gates openSession(): a
+ *    tenant whose declared demand would push any admitted tenant past
+ *    its p99 SLO budget is rejected with an explicit reason.
+ *  - A shared pool of preprocessing workers serves all admitted
+ *    sessions under weighted-fair queueing: each produced batch
+ *    advances the session's virtual time by 1/weight, and workers
+ *    always serve the eligible session with the smallest virtual time,
+ *    so a tenant with weight 2 gets twice the throughput of a weight-1
+ *    tenant under contention.
+ *  - Trainer-demand backpressure: each session's output queue is
+ *    bounded at its configured capacity, and a session is only
+ *    *eligible* for production while it has queue space. A stalled
+ *    trainer therefore throttles its own fetch/transform work to a
+ *    full queue — never unbounded buffering — while other tenants keep
+ *    the workers busy.
+ *
+ * Batches within one session are delivered strictly in partition order
+ * (the service keeps at most one production in flight per session);
+ * parallelism comes from serving many sessions at once.
+ */
+#ifndef PRESTO_SERVICE_INGEST_SERVICE_H_
+#define PRESTO_SERVICE_INGEST_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "ops/plan.h"
+#include "service/admission.h"
+#include "service/dataset_catalog.h"
+#include "tabular/minibatch.h"
+
+namespace presto {
+
+/** One tenant's session request. */
+struct TenantSpec {
+    std::string name;
+    std::string dataset;  ///< catalog dataset to stream
+    double weight = 1.0;  ///< weighted-fair share under contention
+    /** p99 batch-latency SLO budget; 0 = best effort (no admission
+        veto on this tenant's behalf). */
+    double slo_p99_sec = 0;
+    /** Declared peak demand, used by admission control. 0 = declare
+        nothing (admitted unless the fleet is already saturated). */
+    double peak_batches_per_sec = 0;
+    /** Output queue bound: maximum batches buffered ahead of the
+        trainer (must be >= 1). */
+    size_t queue_capacity = 4;
+    /** Epoch to pin (0 = newest published at open). */
+    uint64_t epoch = 0;
+    /** Transform plan; unset runs TransformPlan::standard(config). */
+    std::optional<TransformPlan> plan;
+};
+
+/** Service-wide knobs. */
+struct ServiceOptions {
+    int workers = 2;  ///< shared preprocessing worker threads
+    bool admission_control = true;
+    /** Per-batch service-time estimate fed to admission control;
+        0 derives one from the dataset config and the measured decode +
+        fused-transform calibration rates. */
+    double service_sec_override = 0;
+};
+
+/** One delivered train-ready batch plus its provenance. */
+struct DeliveredBatch {
+    std::unique_ptr<MiniBatch> batch;
+    uint64_t epoch = 0;
+    uint64_t partition_index = 0;  ///< logical index within the epoch
+    uint64_t sequence = 0;         ///< 0-based delivery ordinal
+};
+
+/** Point-in-time counters of one session. */
+struct SessionStats {
+    std::string tenant;
+    uint64_t epoch = 0;
+    uint64_t produced = 0;   ///< batches transformed into the queue
+    uint64_t delivered = 0;  ///< batches handed to the trainer
+    size_t queue_capacity = 0;
+    size_t max_queue_occupancy = 0;  ///< high-water mark (bounded proof)
+    double service_sec_estimate = 0;
+};
+
+/**
+ * Continuously running multi-tenant preprocessing service. Thread-safe;
+ * the catalog must outlive the service.
+ */
+class IngestService
+{
+  public:
+    explicit IngestService(DatasetCatalog& catalog,
+                           ServiceOptions options = {});
+    ~IngestService();
+
+    IngestService(const IngestService&) = delete;
+    IngestService& operator=(const IngestService&) = delete;
+
+    /**
+     * Admit a tenant and start streaming. On rejection the status is
+     * kFailedPrecondition carrying the admission reason (see
+     * admissionProbe() for the full decision).
+     * @return session id for nextBatch()/closeSession().
+     */
+    StatusOr<uint64_t> openSession(const TenantSpec& spec);
+
+    /**
+     * Dry-run the admission decision for @p spec against the currently
+     * admitted set, without opening anything.
+     */
+    AdmissionDecision admissionProbe(const TenantSpec& spec) const;
+
+    /**
+     * Blocking fetch of the session's next batch (strict partition
+     * order, wrapping at the epoch end). Unblocks with kAborted when
+     * the session (or service) is closed, or with the production error
+     * once the queue drains after a failed fetch/transform.
+     */
+    StatusOr<DeliveredBatch> nextBatch(uint64_t session_id);
+
+    /** Stop production, unblock consumers, and drop the session. */
+    Status closeSession(uint64_t session_id);
+
+    /** Snapshot of one session's counters. */
+    StatusOr<SessionStats> sessionStats(uint64_t session_id) const;
+
+    /** Snapshots of all open sessions, by session id. */
+    std::vector<SessionStats> allSessionStats() const;
+
+    const ServiceOptions& options() const { return options_; }
+
+  private:
+    struct Session;
+
+    void workerLoop();
+    /** Per-batch service-time estimate for a dataset config. */
+    double estimateServiceSec(const RmConfig& config) const;
+    std::vector<AdmissionInput> admittedInputsLocked() const;
+    std::shared_ptr<Session> findSession(uint64_t session_id) const;
+
+    DatasetCatalog& catalog_;
+    ServiceOptions options_;
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;  ///< workers: eligibility changed
+    std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+    uint64_t next_session_id_ = 1;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_SERVICE_INGEST_SERVICE_H_

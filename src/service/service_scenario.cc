@@ -1,0 +1,283 @@
+#include "service/service_scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/logging.h"
+#include "service/admission.h"
+#include "sim/simulator.h"
+
+namespace presto {
+
+namespace {
+
+/** Live DES state of one tenant. */
+struct TenantState {
+    const ScenarioTenant* spec = nullptr;
+    size_t index = 0;  ///< input order; WFQ tie-break
+    bool admitted = false;
+
+    std::deque<double> backlog;  ///< arrival times awaiting a device
+    size_t in_flight = 0;        ///< batches being produced
+    size_t queue_occupancy = 0;  ///< produced, not yet consumed (stall)
+    double vtime = 0;
+
+    TenantReport report;
+    std::vector<double> latencies;
+
+    bool
+    eligible() const
+    {
+        return admitted && !backlog.empty() &&
+               queue_occupancy + in_flight < spec->queue_capacity;
+    }
+
+    bool
+    stalledAt(double t) const
+    {
+        return t >= spec->stall_start_sec && t < spec->stall_end_sec;
+    }
+};
+
+/** Whole-scenario DES state. */
+struct ScenarioState {
+    const ScenarioOptions* options = nullptr;
+    Simulator sim;
+    std::vector<ScenarioTenant> specs;  ///< private copy (rate derivation)
+    std::vector<TenantState> tenants;
+    int capacity = 0;  ///< surviving devices
+    int busy = 0;
+    double global_vtime = 0;
+    double busy_device_sec = 0;
+    uint64_t devices_failed = 0;
+    double lost_device_sec = 0;
+
+    void dispatch();
+    void arrive(TenantState& tenant);
+    void startSlotGenerator(TenantState& tenant, uint64_t slot);
+    std::vector<AdmissionInput> admittedInputs() const;
+};
+
+AdmissionInput
+inputFor(const ScenarioTenant& spec, double service_sec)
+{
+    AdmissionInput input;
+    input.tenant = spec.name;
+    input.peak_batches_per_sec = spec.traffic.peakRate();
+    input.service_sec = service_sec;
+    input.slo_p99_sec = spec.slo_p99_sec;
+    return input;
+}
+
+std::vector<AdmissionInput>
+ScenarioState::admittedInputs() const
+{
+    std::vector<AdmissionInput> admitted;
+    for (const TenantState& t : tenants) {
+        if (t.admitted)
+            admitted.push_back(inputFor(*t.spec, options->service_sec));
+    }
+    return admitted;
+}
+
+void
+ScenarioState::dispatch()
+{
+    while (busy < capacity) {
+        TenantState* pick = nullptr;
+        for (TenantState& tenant : tenants) {
+            if (!tenant.eligible())
+                continue;
+            if (pick == nullptr || tenant.vtime < pick->vtime)
+                pick = &tenant;
+        }
+        if (pick == nullptr)
+            return;
+        global_vtime = pick->vtime;
+        pick->vtime += 1.0 / pick->spec->weight;
+        const double arrival_time = pick->backlog.front();
+        pick->backlog.pop_front();
+        ++pick->in_flight;
+        pick->report.max_queue_occupancy =
+            std::max(pick->report.max_queue_occupancy,
+                     pick->queue_occupancy + pick->in_flight);
+        ++busy;
+        TenantState* tenant = pick;
+        sim.schedule(options->service_sec, [this, tenant, arrival_time] {
+            --busy;
+            --tenant->in_flight;
+            busy_device_sec += options->service_sec;
+            ++tenant->report.served;
+            tenant->latencies.push_back(sim.now() - arrival_time);
+            if (tenant->stalledAt(sim.now())) {
+                ++tenant->queue_occupancy;
+                tenant->report.max_queue_occupancy =
+                    std::max(tenant->report.max_queue_occupancy,
+                             tenant->queue_occupancy + tenant->in_flight);
+            }
+            dispatch();
+        });
+    }
+}
+
+void
+ScenarioState::arrive(TenantState& tenant)
+{
+    // A tenant returning from idle rejoins at the current system virtual
+    // time: its stale (small) vtime must not buy it a catch-up burst.
+    if (tenant.backlog.empty() && tenant.in_flight == 0)
+        tenant.vtime = std::max(tenant.vtime, global_vtime);
+    ++tenant.report.arrivals;
+    tenant.backlog.push_back(sim.now());
+    tenant.report.backlog_peak =
+        std::max(tenant.report.backlog_peak,
+                 static_cast<uint64_t>(tenant.backlog.size()));
+    dispatch();
+}
+
+void
+ScenarioState::startSlotGenerator(TenantState& tenant, uint64_t slot)
+{
+    if (static_cast<double>(slot) >= options->duration_sec)
+        return;
+    const double slot_start = static_cast<double>(slot);
+    for (double offset : slotArrivals(tenant.spec->traffic, options->seed,
+                                      tenant.index, slot)) {
+        const double when = slot_start + offset;
+        if (when < tenant.spec->join_sec || when >= options->duration_sec)
+            continue;
+        sim.scheduleAt(when, [this, &tenant] { arrive(tenant); });
+    }
+    sim.scheduleAt(slot_start + 1.0, [this, &tenant, slot] {
+        startSlotGenerator(tenant, slot + 1);
+    });
+}
+
+}  // namespace
+
+ScenarioReport
+runServiceScenario(const ScenarioOptions& options,
+                   const std::vector<ScenarioTenant>& tenants)
+{
+    PRESTO_CHECK(options.devices > 0, "scenario needs a fleet");
+    PRESTO_CHECK(options.service_sec > 0, "service time must be positive");
+
+    ScenarioState state;
+    state.options = &options;
+    state.capacity = options.devices;
+    state.specs = tenants;
+    state.tenants.resize(tenants.size());
+    for (size_t i = 0; i < state.specs.size(); ++i) {
+        ScenarioTenant& spec = state.specs[i];
+        PRESTO_CHECK(spec.queue_capacity > 0,
+                     "tenant queue capacity must be >= 1");
+        // Derive the diurnal mean from the user population when given.
+        if (spec.users > 0) {
+            PRESTO_CHECK(spec.samples_per_batch > 0,
+                         "samples per batch must be positive");
+            const double batches_per_day =
+                spec.users * spec.requests_per_user_per_day /
+                spec.samples_per_batch;
+            spec.traffic.diurnal.mean_batches_per_sec =
+                batches_per_day / spec.traffic.diurnal.period_sec;
+        }
+        TenantState& tenant = state.tenants[i];
+        tenant.spec = &spec;
+        tenant.index = i;
+        tenant.report.name = spec.name;
+        tenant.report.queue_capacity = spec.queue_capacity;
+    }
+
+    // Trainer-stall drains: at stall end the trainer catches up and the
+    // output queue empties. Scheduled first so a completion landing
+    // exactly at stall end is consumed, not queued.
+    for (TenantState& tenant : state.tenants) {
+        if (tenant.spec->stall_end_sec > tenant.spec->stall_start_sec &&
+            tenant.spec->stall_end_sec <= options.duration_sec) {
+            state.sim.scheduleAt(tenant.spec->stall_end_sec, [&] {
+                tenant.queue_occupancy = 0;
+                state.dispatch();
+            });
+        }
+    }
+
+    // Device fail-stops shrink the surviving fleet permanently.
+    FaultInjector faults(options.faults);
+    for (const FailStop& fail : faults.failStopsByTime()) {
+        if (fail.time_sec >= options.duration_sec ||
+            fail.device >= options.devices) {
+            continue;
+        }
+        state.sim.scheduleAt(fail.time_sec, [&state, &options, fail] {
+            if (state.capacity == 0)
+                return;
+            --state.capacity;
+            ++state.devices_failed;
+            state.lost_device_sec +=
+                options.duration_sec - fail.time_sec;
+        });
+    }
+
+    // Tenant joins: admission decision, then traffic. Same-time joins
+    // resolve in input order (insertion sequence).
+    for (TenantState& tenant : state.tenants) {
+        state.sim.scheduleAt(tenant.spec->join_sec, [&state, &tenant] {
+            const AdmissionDecision decision = evaluateAdmission(
+                state.admittedInputs(),
+                inputFor(*tenant.spec, state.options->service_sec),
+                static_cast<double>(state.options->devices));
+            tenant.report.projected_p99_sec = decision.projected_p99_sec;
+            if (!decision.admitted && state.options->admission_control) {
+                tenant.report.reject_reason = decision.reason;
+                return;
+            }
+            tenant.admitted = true;
+            tenant.report.admitted = true;
+            tenant.report.reject_reason.clear();
+            state.startSlotGenerator(
+                tenant,
+                static_cast<uint64_t>(tenant.spec->join_sec));
+        });
+    }
+
+    // Run to completion: arrivals stop at duration, then the backlog
+    // drains (overload tails show up as latency, never as lost work).
+    state.sim.run();
+
+    ScenarioReport report;
+    report.duration_sec = options.duration_sec;
+    report.devices = options.devices;
+    report.devices_failed = state.devices_failed;
+    report.capacity_device_sec =
+        static_cast<double>(options.devices) * options.duration_sec -
+        state.lost_device_sec;
+    report.busy_device_sec = state.busy_device_sec;
+    report.fleet_utilization =
+        report.capacity_device_sec > 0
+            ? state.busy_device_sec / report.capacity_device_sec
+            : 0.0;
+    for (TenantState& tenant : state.tenants) {
+        TenantReport& tr = tenant.report;
+        if (!tenant.latencies.empty()) {
+            std::sort(tenant.latencies.begin(), tenant.latencies.end());
+            double sum = 0;
+            for (double latency : tenant.latencies)
+                sum += latency;
+            tr.mean_latency_sec =
+                sum / static_cast<double>(tenant.latencies.size());
+            tr.max_latency_sec = tenant.latencies.back();
+            const size_t p99_index = static_cast<size_t>(
+                0.99 * static_cast<double>(tenant.latencies.size() - 1));
+            tr.p99_latency_sec = tenant.latencies[p99_index];
+        }
+        tr.slo_met = tenant.spec->slo_p99_sec <= 0 ||
+                     tr.p99_latency_sec <= tenant.spec->slo_p99_sec;
+        report.total_arrivals += tr.arrivals;
+        report.total_served += tr.served;
+        report.tenants.push_back(std::move(tr));
+    }
+    return report;
+}
+
+}  // namespace presto

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Discrete-event replay of the multi-tenant ingestion service under
+ * diurnal traffic from millions of simulated users.
+ *
+ * The threaded IngestService cannot be run for a simulated day inside a
+ * test, so this scenario replays the same policies — admission control
+ * (admission.h), weighted-fair device scheduling, and bounded
+ * per-tenant output queues — on the DES engine (sim/simulator.h) at
+ * full fleet scale: a pool of ISP devices serves batch requests from
+ * tenants whose offered load follows diurnal curves with load spikes
+ * (diurnal.h), while FaultInjector fail-stops remove devices mid-day.
+ *
+ * The scenario is the evidence generator for docs/SERVICE.md and
+ * bench_service: identical seeds and options produce bit-identical
+ * reports, so its two headline claims are enforceable in CI —
+ *
+ *  1. with admission control on, every *admitted* tenant's p99 batch
+ *     latency stays within its SLO through the diurnal peak, the load
+ *     spike, and the injected device failures, while the uncontrolled
+ *     baseline (same traffic, admission off) violates it; and
+ *  2. a tenant whose trainer stalls fills its bounded output queue and
+ *     throttles — max occupancy never exceeds the configured capacity —
+ *     instead of buffering without bound.
+ */
+#ifndef PRESTO_SERVICE_SERVICE_SCENARIO_H_
+#define PRESTO_SERVICE_SERVICE_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "service/diurnal.h"
+
+namespace presto {
+
+/** One simulated tenant (training job) of the scenario. */
+struct ScenarioTenant {
+    std::string name;
+    /**
+     * User population behind this tenant's traffic. When > 0, the
+     * diurnal mean rate is derived as
+     * users * requests_per_user_per_day / samples_per_batch / period,
+     * overriding traffic.diurnal.mean_batches_per_sec: each user
+     * request contributes one training sample, and samples are
+     * aggregated into fixed-size batches before preprocessing.
+     */
+    double users = 0;
+    double requests_per_user_per_day = 0;
+    double samples_per_batch = 1;
+    TrafficModel traffic;
+    double weight = 1.0;       ///< weighted-fair share
+    double slo_p99_sec = 0;    ///< p99 batch-latency budget (0 = none)
+    size_t queue_capacity = 8; ///< bounded output queue toward the trainer
+    /** Admission request time; tenants may join mid-day. */
+    double join_sec = 0;
+    /** Trainer stall window [start, end): output queue is not drained. */
+    double stall_start_sec = 0;
+    double stall_end_sec = 0;
+};
+
+/** Fleet and policy knobs of one scenario run. */
+struct ScenarioOptions {
+    int devices = 24;            ///< ISP fleet size
+    double service_sec = 0.25;   ///< per-batch preprocessing time
+    double duration_sec = 86400; ///< simulated span (one day)
+    uint64_t seed = 0x5e21f1ce;
+    bool admission_control = true;
+    FaultSpec faults;  ///< fail_stops remove devices at their times
+};
+
+/** Per-tenant outcome of a scenario run. */
+struct TenantReport {
+    std::string name;
+    bool admitted = false;
+    std::string reject_reason;  ///< admission reason when rejected
+    double projected_p99_sec = 0;  ///< admission-time projection
+    uint64_t arrivals = 0;  ///< batch requests offered while admitted
+    uint64_t served = 0;    ///< batches produced by the fleet
+    double mean_latency_sec = 0;
+    double p99_latency_sec = 0;
+    double max_latency_sec = 0;
+    size_t queue_capacity = 0;
+    size_t max_queue_occupancy = 0;  ///< includes in-flight reservations
+    uint64_t backlog_peak = 0;       ///< max requests waiting for a device
+    bool slo_met = true;  ///< p99 <= slo (true when no SLO declared)
+};
+
+/** Whole-fleet outcome of a scenario run. */
+struct ScenarioReport {
+    std::vector<TenantReport> tenants;  ///< in input order
+    double duration_sec = 0;
+    int devices = 0;
+    uint64_t devices_failed = 0;
+    double capacity_device_sec = 0;  ///< surviving device-seconds
+    double busy_device_sec = 0;
+    double fleet_utilization = 0;  ///< busy / surviving capacity
+    uint64_t total_arrivals = 0;
+    uint64_t total_served = 0;
+};
+
+/**
+ * Run the scenario to completion. Deterministic: the report is a pure
+ * function of (options, tenants).
+ */
+ScenarioReport runServiceScenario(const ScenarioOptions& options,
+                                  const std::vector<ScenarioTenant>& tenants);
+
+}  // namespace presto
+
+#endif  // PRESTO_SERVICE_SERVICE_SCENARIO_H_

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the JSON plan authoring format (ops/plan_json.h): exact
+ * round-tripping (including full-width 64-bit hash seeds), strict
+ * parse-error reporting with line numbers, and execution equivalence
+ * between a parsed plan and its in-code original.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "datagen/generator.h"
+#include "datagen/rm_config.h"
+#include "ops/plan.h"
+#include "ops/plan_json.h"
+
+namespace presto {
+namespace {
+
+RmConfig
+smallConfig()
+{
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 64;
+    return cfg;
+}
+
+TEST(PlanJsonTest, StandardPlanRoundTripsExactly)
+{
+    const TransformPlan plan = TransformPlan::standard(smallConfig());
+    const std::string json = planToJson(plan);
+
+    auto parsed = parsePlanJson(json);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_TRUE(parsed.value() == plan);
+
+    // Canonical emission is a fixed point: emit(parse(emit(p))) ==
+    // emit(p), byte for byte.
+    EXPECT_EQ(planToJson(parsed.value()), json);
+}
+
+TEST(PlanJsonTest, Preserves64BitSeedsExactly)
+{
+    // 2^63 + epsilon class seeds lose low bits through a double; the
+    // parser must keep integer tokens exact.
+    const uint64_t seed = 0x8618cc44cb71b832ULL;  // 9663429661392591922
+    TransformPlan plan;
+    PlanOutput out;
+    out.kind = PlanOutput::Kind::kSparse;
+    out.output_name = "s0";
+    out.source_feature = "sparse_0";
+    out.sparse_ops = {SparseOp::sigridHash(seed, 1'000'003),
+                      SparseOp::firstX(20)};
+    plan.add(out);
+
+    auto parsed = parsePlanJson(planToJson(plan));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    ASSERT_EQ(parsed.value().outputs().size(), 1u);
+    EXPECT_EQ(parsed.value().outputs()[0].sparse_ops[0].seed, seed);
+    EXPECT_TRUE(parsed.value() == plan);
+}
+
+TEST(PlanJsonTest, AcceptsDocumentedExample)
+{
+    const char* json = R"({
+      "outputs": [
+        {"kind": "label", "name": "label", "source": "label"},
+        {"kind": "dense", "name": "d0", "source": "dense_0",
+         "dense_ops": [{"op": "fill_missing", "value": 0.0},
+                       {"op": "log"},
+                       {"op": "clamp", "lo": 0.0, "hi": 10.0}]},
+        {"kind": "generated", "name": "g0", "source": "dense_1",
+         "bucket_boundaries": 256,
+         "sparse_ops": [{"op": "sigrid_hash", "seed": 7,
+                         "max_value": 65536}]}
+      ]
+    })";
+    auto parsed = parsePlanJson(json);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    const auto& outputs = parsed.value().outputs();
+    ASSERT_EQ(outputs.size(), 3u);
+    EXPECT_EQ(outputs[0].kind, PlanOutput::Kind::kLabel);
+    ASSERT_EQ(outputs[1].dense_ops.size(), 3u);
+    EXPECT_EQ(outputs[1].dense_ops[2].b, 10.0f);
+    EXPECT_EQ(outputs[2].kind, PlanOutput::Kind::kGenerated);
+    EXPECT_EQ(outputs[2].bucket_boundaries, 256u);
+}
+
+TEST(PlanJsonTest, ReportsErrorsWithLineNumbers)
+{
+    // Unterminated string on line 3.
+    auto broken = parsePlanJson("{\n \"outputs\": [\n {\"kind\": \"lab");
+    ASSERT_FALSE(broken.ok());
+    EXPECT_EQ(broken.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(broken.status().message().find("line 3"),
+              std::string::npos);
+
+    auto trailing = parsePlanJson("{\"outputs\": []} extra");
+    ASSERT_FALSE(trailing.ok());
+
+    auto unknown_field = parsePlanJson(
+        R"({"outputs": [{"kind": "label", "name": "l",
+            "source": "label", "surprise": 1}]})");
+    ASSERT_FALSE(unknown_field.ok());
+    EXPECT_NE(unknown_field.status().message().find("surprise"),
+              std::string::npos);
+
+    auto bad_kind = parsePlanJson(
+        R"({"outputs": [{"kind": "labe1", "name": "l", "source": "l"}]})");
+    ASSERT_FALSE(bad_kind.ok());
+
+    auto negative_seed = parsePlanJson(
+        R"({"outputs": [{"kind": "sparse", "name": "s", "source": "s",
+            "sparse_ops": [{"op": "sigrid_hash", "seed": -1,
+                            "max_value": 10}]}]})");
+    ASSERT_FALSE(negative_seed.ok());
+}
+
+TEST(PlanJsonTest, ParsedPlanExecutesBitIdentically)
+{
+    const RmConfig cfg = smallConfig();
+    const TransformPlan original = TransformPlan::standard(cfg);
+    auto parsed = parsePlanJson(planToJson(original));
+    ASSERT_TRUE(parsed.ok());
+
+    RawDataGenerator generator(cfg, {});
+    const RowBatch raw = generator.generatePartition(3);
+    ASSERT_TRUE(original.validate(generator.schema()).ok());
+
+    const MiniBatch want = PlanExecutor(original, generator.schema()).run(raw);
+    const MiniBatch got =
+        PlanExecutor(parsed.value(), generator.schema()).run(raw);
+
+    EXPECT_EQ(got.batch_size, want.batch_size);
+    EXPECT_EQ(got.dense, want.dense);
+    EXPECT_EQ(got.labels, want.labels);
+    ASSERT_EQ(got.sparse.size(), want.sparse.size());
+    for (size_t i = 0; i < want.sparse.size(); ++i) {
+        EXPECT_EQ(got.sparse[i].feature_name, want.sparse[i].feature_name);
+        EXPECT_EQ(got.sparse[i].values, want.sparse[i].values);
+        EXPECT_EQ(got.sparse[i].lengths, want.sparse[i].lengths);
+    }
+}
+
+}  // namespace
+}  // namespace presto

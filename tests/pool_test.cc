@@ -4,6 +4,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "common/fault_injector.h"
 #include "core/pool_scheduler.h"
 #include "core/provisioner.h"
 
@@ -130,6 +131,95 @@ TEST(PoolSchedulerTest, DeterministicAcrossRuns)
         EXPECT_DOUBLE_EQ(a.jobs[i].start_sec, b.jobs[i].start_sec);
         EXPECT_DOUBLE_EQ(a.jobs[i].finish_sec, b.jobs[i].finish_sec);
     }
+}
+
+TEST(PoolSchedulerTest, RejectKindsAreTagged)
+{
+    PoolScheduler pool(2);
+    const PoolResult r = pool.run({job(0, 100, 5, 64), job(0, 10, 1, 1)});
+    EXPECT_EQ(r.jobs[0].reject_kind, RejectKind::kDemandExceedsPool);
+    EXPECT_EQ(r.jobs[1].reject_kind, RejectKind::kNone);
+    EXPECT_STREQ(rejectKindName(r.jobs[0].reject_kind),
+                 "demand_exceeds_pool");
+    EXPECT_STREQ(rejectKindName(RejectKind::kCapacityLost),
+                 "capacity_lost");
+    EXPECT_STREQ(rejectKindName(RejectKind::kSloBudget), "slo_budget");
+    EXPECT_STREQ(rejectKindName(RejectKind::kNone), "none");
+}
+
+TEST(PoolSchedulerTest, SloBudgetRejectsUpFront)
+{
+    // RM5 occupies the whole 8-device pool for 100s; a job arriving
+    // at t=1 projects a ~99s wait for capacity.
+    PoolScheduler pool(8);
+    PoolJob blocked = job(1, 10, 5);
+    blocked.max_wait_slo_sec = 50.0;
+    PoolJob patient = job(2, 10, 5);
+    patient.max_wait_slo_sec = 300.0;
+    const PoolResult r = pool.run({job(0, 100, 5), blocked, patient});
+
+    EXPECT_FALSE(r.jobs[0].rejected);
+    EXPECT_TRUE(r.jobs[1].rejected);
+    EXPECT_EQ(r.jobs[1].reject_kind, RejectKind::kSloBudget);
+    EXPECT_NE(r.jobs[1].reject_reason.find("SLO budget"),
+              std::string::npos);
+    EXPECT_NEAR(r.jobs[1].projected_wait_sec, 99.0, 1e-9);
+
+    // Same projection, bigger budget: admitted and served after job 0.
+    EXPECT_FALSE(r.jobs[2].rejected);
+    EXPECT_DOUBLE_EQ(r.jobs[2].start_sec, 100.0);
+
+    // A declared budget that the projection honors costs nothing.
+    PoolJob easy = job(0, 10, 5);
+    easy.max_wait_slo_sec = 1.0;
+    const PoolResult idle = pool.run({easy});
+    EXPECT_FALSE(idle.jobs[0].rejected);
+    EXPECT_DOUBLE_EQ(idle.jobs[0].projected_wait_sec, 0.0);
+}
+
+TEST(PoolSchedulerTest, ReplacementRequestsAreCounted)
+{
+    // One RM5 job holds all 8 devices; two busy-device failures each
+    // queue a replacement request that can never be granted before the
+    // job ends.
+    PoolScheduler pool(8);
+    FaultSpec spec;
+    spec.fail_stops = {{0, 10.0}, {1, 20.0}};
+    const FaultInjector faults(spec);
+    const PoolResult r = pool.run({job(0, 100, 5)}, faults);
+
+    EXPECT_EQ(r.devices_failed, 2);
+    EXPECT_EQ(r.replacements_requested, 2);
+    EXPECT_EQ(r.replacements_granted, 0);
+    EXPECT_EQ(r.jobs[0].devices_lost, 2);
+
+    // With a spare device idle, the first failure is absorbed silently
+    // and no replacement is requested for it.
+    PoolScheduler roomy(9);
+    FaultSpec one;
+    one.fail_stops = {{0, 10.0}};
+    const PoolResult absorbed = roomy.run({job(0, 100, 5)},
+                                          FaultInjector(one));
+    EXPECT_EQ(absorbed.devices_failed, 1);
+    EXPECT_EQ(absorbed.replacements_requested, 0);
+}
+
+TEST(PoolSchedulerTest, StarvedJobTaggedCapacityLost)
+{
+    // The RM5 job runs on all 8 devices and loses one permanently; the
+    // follower needs 8 devices but only 7 survive the trace.
+    PoolScheduler pool(8);
+    FaultSpec spec;
+    spec.fail_stops = {{0, 10.0}};
+    const FaultInjector faults(spec);
+    const PoolResult r =
+        pool.run({job(0, 100, 5), job(5, 10, 5)}, faults);
+
+    EXPECT_FALSE(r.jobs[0].rejected);
+    EXPECT_TRUE(r.jobs[1].rejected);
+    EXPECT_EQ(r.jobs[1].reject_kind, RejectKind::kCapacityLost);
+    EXPECT_NE(r.jobs[1].reject_reason.find("capacity lost"),
+              std::string::npos);
 }
 
 TEST(PoolSchedulerDeathTest, BadInputsPanic)

@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Service-tier tests: epoch-versioned DatasetCatalog (including crash
+ * mid-publish and recovery), admission control, the threaded
+ * IngestService (backpressure, strict order, epoch pinning), the DES
+ * service scenario (fair shares, determinism, bounded queues), and the
+ * PartitionStore cache budget the catalog builds on.
+ */
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "core/partition_store.h"
+#include "datagen/generator.h"
+#include "service/admission.h"
+#include "service/dataset_catalog.h"
+#include "service/ingest_service.h"
+#include "service/service_scenario.h"
+#include "store/segment_store.h"
+
+namespace presto {
+namespace {
+
+RmConfig
+smallConfig()
+{
+    RmConfig cfg = rmConfig(1);
+    cfg.batch_size = 64;
+    return cfg;
+}
+
+DatasetSpec
+smallSpec(const std::string& name, size_t partitions = 4,
+          size_t shards = 2)
+{
+    DatasetSpec spec;
+    spec.name = name;
+    spec.config = smallConfig();
+    spec.generator.seed = 0xfeed;
+    spec.partitions_per_epoch = partitions;
+    spec.shards = shards;
+    return spec;
+}
+
+std::string
+freshDir(const std::string& name)
+{
+    const std::string dir = ::testing::TempDir() + name;
+    ::system(("rm -rf " + dir).c_str());
+    EXPECT_EQ(::mkdir(dir.c_str(), 0755), 0) << dir;
+    return dir;
+}
+
+std::vector<std::vector<uint8_t>>
+snapshotEpoch(const EpochReader& reader)
+{
+    std::vector<std::vector<uint8_t>> encoded;
+    for (size_t i = 0; i < reader.numPartitions(); ++i) {
+        auto bytes = reader.fetchEncoded(i);
+        EXPECT_TRUE(bytes.ok());
+        encoded.push_back(std::move(bytes.value()));
+    }
+    return encoded;
+}
+
+// --- Admission policy (pure function) --------------------------------
+
+TEST(AdmissionTest, AdmitsWithinBudgetRejectsSaturation)
+{
+    AdmissionInput light{"light", 2.0, 0.1, 1.0};
+    AdmissionDecision d = evaluateAdmission({}, light, 1.0);
+    EXPECT_TRUE(d.admitted);
+    EXPECT_TRUE(d.reason.empty());
+    EXPECT_NEAR(d.projected_utilization, 0.2, 1e-9);
+    EXPECT_NEAR(d.projected_p99_sec, projectedP99Sec(0.1, 0.2), 1e-12);
+
+    AdmissionInput heavy{"heavy", 20.0, 0.1, 0.0};
+    d = evaluateAdmission({light}, heavy, 1.0);
+    EXPECT_FALSE(d.admitted);
+    EXPECT_NE(d.reason.find("stable limit"), std::string::npos);
+}
+
+TEST(AdmissionTest, RejectsWhenAdmittedTenantSloWouldBreak)
+{
+    // Alone, "tight" projects well under its 0.15s budget.
+    AdmissionInput tight{"tight", 1.0, 0.1, 0.15};
+    ASSERT_TRUE(evaluateAdmission({}, tight, 1.0).admitted);
+
+    // The candidate stays under the stable-utilization limit but drags
+    // rho (and with it tight's projected p99) past tight's budget.
+    AdmissionInput pusher{"pusher", 6.0, 0.1, 0.0};
+    const AdmissionDecision d = evaluateAdmission({tight}, pusher, 1.0);
+    EXPECT_FALSE(d.admitted);
+    EXPECT_NE(d.reason.find("tight"), std::string::npos);
+}
+
+TEST(AdmissionTest, P99ProjectionMonotoneAndSaturating)
+{
+    EXPECT_NEAR(projectedP99Sec(0.2, 0.0), 0.2, 1e-12);
+    EXPECT_LT(projectedP99Sec(0.2, 0.3), projectedP99Sec(0.2, 0.8));
+    EXPECT_GE(projectedP99Sec(0.2, 1.0), 1e8);  // saturated: no promise
+}
+
+// --- DatasetCatalog, in-memory mode ----------------------------------
+
+TEST(DatasetCatalogTest, PublishAdvancesHeadAtomically)
+{
+    DatasetCatalog catalog;
+    ASSERT_TRUE(catalog.registerDataset(smallSpec("clicks")).ok());
+
+    auto head = catalog.headEpoch("clicks");
+    ASSERT_TRUE(head.ok());
+    EXPECT_EQ(head.value(), 0u);
+    EXPECT_FALSE(catalog.pin("clicks").ok());  // nothing published yet
+
+    auto epoch = catalog.publishEpoch("clicks");
+    ASSERT_TRUE(epoch.ok());
+    EXPECT_EQ(epoch.value(), 1u);
+
+    auto reader = catalog.pin("clicks");
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(reader.value().epoch(), 1u);
+    EXPECT_EQ(reader.value().numPartitions(), 4u);
+    EXPECT_EQ(reader.value().partitionId(2), epochPartitionId(1, 2));
+    EXPECT_EQ(reader.value().shardOf(3), 3u % 2u);
+
+    RowBatch rows;
+    ASSERT_TRUE(reader.value().readPartition(0, rows).ok());
+    EXPECT_EQ(rows.numRows(), smallConfig().batch_size);
+
+    EXPECT_FALSE(catalog.pin("clicks", 2).ok());  // future epoch
+    EXPECT_FALSE(catalog.pin("nope").ok());       // unknown dataset
+}
+
+TEST(DatasetCatalogTest, PinnedEpochBitIdenticalUnderConcurrentPublish)
+{
+    DatasetCatalog catalog;
+    ASSERT_TRUE(catalog.registerDataset(smallSpec("clicks")).ok());
+    ASSERT_TRUE(catalog.publishEpoch("clicks").ok());
+
+    auto reader = catalog.pin("clicks", 1);
+    ASSERT_TRUE(reader.ok());
+    const auto baseline = snapshotEpoch(reader.value());
+
+    // Publish four more epochs while the pinned reader replays its own.
+    std::thread publisher([&catalog] {
+        for (int i = 0; i < 4; ++i)
+            ASSERT_TRUE(catalog.publishEpoch("clicks").ok());
+    });
+    for (int pass = 0; pass < 8; ++pass)
+        EXPECT_EQ(snapshotEpoch(reader.value()), baseline);
+    publisher.join();
+
+    EXPECT_EQ(catalog.headEpoch("clicks").value(), 5u);
+    EXPECT_EQ(reader.value().epoch(), 1u);
+    EXPECT_EQ(snapshotEpoch(reader.value()), baseline);
+
+    // The pinned epoch outlives the catalog itself.
+    auto survivor = catalog.pin("clicks", 1);
+    ASSERT_TRUE(survivor.ok());
+    {
+        DatasetCatalog ephemeral;  // NOLINT: scope illustration
+    }
+    EXPECT_EQ(snapshotEpoch(survivor.value()), baseline);
+}
+
+// --- DatasetCatalog, persistent mode + crash mid-publish -------------
+
+std::unique_ptr<SegmentStore>
+openStore(const std::string& dir, const FaultInjector* faults)
+{
+    SegmentStoreOptions options;
+    options.directory = dir;
+    options.faults = faults;
+    auto store = SegmentStore::open(options);
+    EXPECT_TRUE(store.ok());
+    return std::move(store.value());
+}
+
+TEST(DatasetCatalogTest, CrashMidPublishLeavesHeadAndRecovers)
+{
+    const std::string dir_a = freshDir("svc_shard_a");
+    const std::string dir_b = freshDir("svc_shard_b");
+    std::vector<std::vector<uint8_t>> baseline;
+
+    // Phase 1: publish epoch 1 durably.
+    {
+        auto shard_a = openStore(dir_a, nullptr);
+        auto shard_b = openStore(dir_b, nullptr);
+        DatasetCatalog catalog;
+        ASSERT_TRUE(catalog
+                        .registerDataset(smallSpec("clicks"),
+                                         {shard_a.get(), shard_b.get()})
+                        .ok());
+        ASSERT_TRUE(catalog.publishEpoch("clicks").ok());
+        auto reader = catalog.pin("clicks", 1);
+        ASSERT_TRUE(reader.ok());
+        baseline = snapshotEpoch(reader.value());
+    }
+
+    // Phase 2: crash partway through publishing epoch 2. The head must
+    // not move and epoch 1 must stay bit-identical.
+    {
+        FaultSpec spec;
+        spec.crash_at_durable_op = 5;
+        FaultInjector faults(spec);
+        auto shard_a = openStore(dir_a, &faults);
+        auto shard_b = openStore(dir_b, &faults);
+        DatasetCatalog catalog;
+        ASSERT_TRUE(catalog
+                        .registerDataset(smallSpec("clicks"),
+                                         {shard_a.get(), shard_b.get()})
+                        .ok());
+        EXPECT_EQ(catalog.headEpoch("clicks").value(), 1u);
+
+        auto published = catalog.publishEpoch("clicks");
+        EXPECT_FALSE(published.ok());
+        EXPECT_EQ(catalog.headEpoch("clicks").value(), 1u);
+        EXPECT_FALSE(catalog.pin("clicks", 2).ok());
+    }
+
+    // Phase 3: recover without faults. The head resumes at the last
+    // fully-published epoch; re-publishing epoch 2 is idempotent over
+    // whatever partitions the crash left committed.
+    {
+        auto shard_a = openStore(dir_a, nullptr);
+        auto shard_b = openStore(dir_b, nullptr);
+        DatasetCatalog catalog;
+        ASSERT_TRUE(catalog
+                        .registerDataset(smallSpec("clicks"),
+                                         {shard_a.get(), shard_b.get()})
+                        .ok());
+        EXPECT_EQ(catalog.headEpoch("clicks").value(), 1u);
+
+        auto reader = catalog.pin("clicks", 1);
+        ASSERT_TRUE(reader.ok());
+        EXPECT_EQ(snapshotEpoch(reader.value()), baseline);
+
+        auto republished = catalog.publishEpoch("clicks");
+        ASSERT_TRUE(republished.ok());
+        EXPECT_EQ(republished.value(), 2u);
+        auto epoch2 = catalog.pin("clicks", 2);
+        ASSERT_TRUE(epoch2.ok());
+        RowBatch rows;
+        ASSERT_TRUE(epoch2.value().readPartition(1, rows).ok());
+        EXPECT_EQ(rows.numRows(), smallConfig().batch_size);
+        EXPECT_EQ(snapshotEpoch(reader.value()), baseline);
+    }
+}
+
+// --- IngestService (threaded) ----------------------------------------
+
+TEST(IngestServiceTest, BackpressureBoundsQueueAndPreservesOrder)
+{
+    DatasetCatalog catalog;
+    ASSERT_TRUE(catalog.registerDataset(smallSpec("clicks")).ok());
+    ASSERT_TRUE(catalog.publishEpoch("clicks").ok());
+
+    ServiceOptions options;
+    options.workers = 2;
+    IngestService service(catalog, options);
+
+    TenantSpec tenant;
+    tenant.name = "trainer";
+    tenant.dataset = "clicks";
+    tenant.queue_capacity = 2;
+    auto session = service.openSession(tenant);
+    ASSERT_TRUE(session.ok());
+
+    // Consume two epochs' worth; delivery is strictly sequential and
+    // wraps the 4-partition epoch.
+    for (uint64_t i = 0; i < 8; ++i) {
+        auto delivered = service.nextBatch(session.value());
+        ASSERT_TRUE(delivered.ok());
+        EXPECT_EQ(delivered.value().sequence, i);
+        EXPECT_EQ(delivered.value().partition_index, i % 4);
+        EXPECT_EQ(delivered.value().epoch, 1u);
+        ASSERT_NE(delivered.value().batch, nullptr);
+        EXPECT_EQ(delivered.value().batch->batch_size,
+                  smallConfig().batch_size);
+        EXPECT_TRUE(delivered.value().batch->consistent());
+    }
+
+    auto stats = service.sessionStats(session.value());
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().delivered, 8u);
+    EXPECT_GE(stats.value().produced, 8u);
+    EXPECT_LE(stats.value().max_queue_occupancy, tenant.queue_capacity);
+
+    ASSERT_TRUE(service.closeSession(session.value()).ok());
+    EXPECT_FALSE(service.nextBatch(session.value()).ok());
+    EXPECT_FALSE(service.closeSession(session.value()).ok());
+}
+
+TEST(IngestServiceTest, AdmissionRejectsOverloadWithReason)
+{
+    DatasetCatalog catalog;
+    ASSERT_TRUE(catalog.registerDataset(smallSpec("clicks")).ok());
+    ASSERT_TRUE(catalog.publishEpoch("clicks").ok());
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.service_sec_override = 0.1;
+    IngestService service(catalog, options);
+
+    TenantSpec modest;
+    modest.name = "modest";
+    modest.dataset = "clicks";
+    modest.peak_batches_per_sec = 5.0;
+    modest.slo_p99_sec = 1.0;
+    auto admitted = service.openSession(modest);
+    ASSERT_TRUE(admitted.ok());
+
+    TenantSpec greedy;
+    greedy.name = "greedy";
+    greedy.dataset = "clicks";
+    greedy.peak_batches_per_sec = 20.0;  // rho would hit 2.5
+    const AdmissionDecision probe = service.admissionProbe(greedy);
+    EXPECT_FALSE(probe.admitted);
+    EXPECT_FALSE(probe.reason.empty());
+
+    auto rejected = service.openSession(greedy);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(rejected.status().message().find("greedy"),
+              std::string::npos);
+
+    ASSERT_TRUE(service.closeSession(admitted.value()).ok());
+}
+
+TEST(IngestServiceTest, SessionsStayPinnedWhileHeadAdvances)
+{
+    DatasetCatalog catalog;
+    ASSERT_TRUE(catalog.registerDataset(smallSpec("clicks")).ok());
+    ASSERT_TRUE(catalog.publishEpoch("clicks").ok());
+
+    IngestService service(catalog);
+
+    TenantSpec tenant;
+    tenant.name = "replay";
+    tenant.dataset = "clicks";
+    auto session = service.openSession(tenant);
+    ASSERT_TRUE(session.ok());
+
+    ASSERT_TRUE(catalog.publishEpoch("clicks").ok());  // head -> 2
+
+    for (int i = 0; i < 6; ++i) {
+        auto delivered = service.nextBatch(session.value());
+        ASSERT_TRUE(delivered.ok());
+        EXPECT_EQ(delivered.value().epoch, 1u);  // pinned at open
+    }
+
+    TenantSpec fresh = tenant;
+    fresh.name = "fresh";
+    auto head_session = service.openSession(fresh);
+    ASSERT_TRUE(head_session.ok());
+    auto delivered = service.nextBatch(head_session.value());
+    ASSERT_TRUE(delivered.ok());
+    EXPECT_EQ(delivered.value().epoch, 2u);
+
+    ASSERT_TRUE(service.closeSession(session.value()).ok());
+    ASSERT_TRUE(service.closeSession(head_session.value()).ok());
+}
+
+// --- DES service scenario --------------------------------------------
+
+ScenarioTenant
+constantTenant(const std::string& name, double rate, double weight)
+{
+    ScenarioTenant tenant;
+    tenant.name = name;
+    tenant.traffic.diurnal.mean_batches_per_sec = rate;
+    tenant.traffic.diurnal.amplitude = 0;
+    tenant.weight = weight;
+    tenant.queue_capacity = 4;
+    return tenant;
+}
+
+TEST(ServiceScenarioTest, WeightedFairSharesUnderOverload)
+{
+    ScenarioOptions options;
+    options.devices = 1;
+    options.service_sec = 0.1;  // capacity 10/s vs 40/s offered
+    options.duration_sec = 300;
+    options.admission_control = false;
+
+    const ScenarioReport report = runServiceScenario(
+        options, {constantTenant("gold", 20, 2.0),
+                  constantTenant("bronze", 20, 1.0)});
+
+    ASSERT_EQ(report.tenants.size(), 2u);
+    const TenantReport& gold = report.tenants[0];
+    const TenantReport& bronze = report.tenants[1];
+
+    // The scenario is work-conserving: overload surfaces as latency,
+    // never as lost batches, so both tenants are fully served and the
+    // 2:1 weighted-fair device shares show up as gold waiting far less.
+    EXPECT_EQ(gold.served, gold.arrivals);
+    EXPECT_EQ(bronze.served, bronze.arrivals);
+    EXPECT_GT(bronze.mean_latency_sec, 1.3 * gold.mean_latency_sec);
+    EXPECT_GT(bronze.max_latency_sec, gold.max_latency_sec);
+    EXPECT_LT(gold.backlog_peak, bronze.backlog_peak);
+    EXPECT_GT(gold.backlog_peak, 0u);
+    EXPECT_GT(report.fleet_utilization, 0.95);
+}
+
+TEST(ServiceScenarioTest, DeterministicReplayAndBoundedStallQueue)
+{
+    ScenarioOptions options;
+    options.devices = 4;
+    options.service_sec = 0.1;
+    options.duration_sec = 400;
+    options.faults.fail_stops = {{1, 200.0}};
+
+    ScenarioTenant steady = constantTenant("steady", 8, 1.0);
+    steady.slo_p99_sec = 1.0;
+    ScenarioTenant stalled = constantTenant("stalled", 6, 1.0);
+    stalled.queue_capacity = 3;
+    stalled.stall_start_sec = 100;
+    stalled.stall_end_sec = 150;
+
+    const ScenarioReport first =
+        runServiceScenario(options, {steady, stalled});
+    const ScenarioReport second =
+        runServiceScenario(options, {steady, stalled});
+
+    ASSERT_EQ(first.tenants.size(), 2u);
+    EXPECT_EQ(first.devices_failed, 1u);
+    EXPECT_TRUE(first.tenants[0].slo_met);
+
+    // The stalled trainer fills its bounded queue exactly to capacity
+    // and never beyond: backpressure, not buffering.
+    EXPECT_EQ(first.tenants[1].max_queue_occupancy, 3u);
+    EXPECT_GT(first.tenants[1].backlog_peak, 3u);
+
+    // Bit-identical replay: same inputs, same report.
+    for (size_t i = 0; i < first.tenants.size(); ++i) {
+        EXPECT_EQ(first.tenants[i].served, second.tenants[i].served);
+        EXPECT_EQ(first.tenants[i].p99_latency_sec,
+                  second.tenants[i].p99_latency_sec);
+        EXPECT_EQ(first.tenants[i].max_latency_sec,
+                  second.tenants[i].max_latency_sec);
+    }
+    EXPECT_EQ(first.busy_device_sec, second.busy_device_sec);
+}
+
+TEST(ServiceScenarioTest, AdmissionControlGatesJoiner)
+{
+    ScenarioOptions options;
+    options.devices = 2;
+    options.service_sec = 0.1;  // capacity 20/s
+    options.duration_sec = 120;
+
+    ScenarioTenant anchor = constantTenant("anchor", 8, 1.0);
+    anchor.slo_p99_sec = 1.0;
+    ScenarioTenant flood = constantTenant("flood", 40, 1.0);
+    flood.join_sec = 30;
+
+    ScenarioReport controlled =
+        runServiceScenario(options, {anchor, flood});
+    EXPECT_TRUE(controlled.tenants[0].admitted);
+    EXPECT_FALSE(controlled.tenants[1].admitted);
+    EXPECT_FALSE(controlled.tenants[1].reject_reason.empty());
+    EXPECT_EQ(controlled.tenants[1].arrivals, 0u);
+
+    options.admission_control = false;
+    ScenarioReport open = runServiceScenario(options, {anchor, flood});
+    EXPECT_TRUE(open.tenants[1].admitted);
+    EXPECT_GT(open.tenants[1].arrivals, 0u);
+}
+
+// --- PartitionStore cache budget -------------------------------------
+
+TEST(PartitionStoreCacheTest, BudgetEvictsAndRematerializesIdentically)
+{
+    RawDataGenerator generator(smallConfig(), {});
+    PartitionStore store(generator);
+
+    auto first = store.fetchPartition(1);
+    ASSERT_TRUE(first.ok());
+    const uint64_t one_partition = store.partitionBytes(1);
+    ASSERT_GT(one_partition, 0u);
+
+    store.setCacheBudget(2 * one_partition + one_partition / 2);
+    for (uint64_t pid = 1; pid <= 8; ++pid)
+        ASSERT_TRUE(store.fetchPartition(pid).ok());
+
+    EXPECT_GT(store.evictions(), 0u);
+    EXPECT_LE(store.cachedBytes(), 2 * one_partition + one_partition / 2);
+
+    // Evicted partitions re-materialize bit-identically on demand.
+    auto again = store.fetchPartition(1);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value(), first.value());
+}
+
+}  // namespace
+}  // namespace presto

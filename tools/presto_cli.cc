@@ -35,9 +35,17 @@
  *       records. --demo N first commits N synthetic partitions;
  *       --verify 1 re-checksums every page frame of every live
  *       segment.
- *   plan [--rm N]
- *       Compile the standard Transform plan for workload RM N and print
- *       the fused bytecode program's disassembly.
+ *   plan [--rm N] [--file F] [--emit-json]
+ *       Compile a Transform plan and print the fused bytecode program's
+ *       disassembly. Default: the standard plan for workload RM N.
+ *       --file F parses a JSON plan document instead; --emit-json
+ *       prints the plan back as canonical plan JSON (authoring
+ *       round-trip) in place of the disassembly.
+ *   serve [--rm N] [--epochs E] [--partitions P] [--rows R]
+ *       Scripted demo of the multi-tenant ingestion service: publish E
+ *       epochs of an in-memory catalog dataset, admit weighted tenants,
+ *       reject an oversubscribed one with the admission reason, stream
+ *       a few batches per tenant, and print per-session statistics.
  */
 #include <chrono>
 #include <cstdio>
@@ -59,8 +67,11 @@
 #include "datagen/generator.h"
 #include "io/async_reader.h"
 #include "io/io_ring.h"
+#include "ops/plan_json.h"
 #include "ops/preprocessor.h"
 #include "ops/simd.h"
+#include "service/dataset_catalog.h"
+#include "service/ingest_service.h"
 #include "store/journal.h"
 #include "store/segment_store.h"
 
@@ -137,7 +148,8 @@ usage()
         "  provision --rm N [--gpus G]\n"
         "  io [--rm N] [--rows R] [--qd D] [--emulate-latency 0|1]\n"
         "  store <dir> [--demo N] [--verify 1] [--rm N] [--rows R]\n"
-        "  plan [--rm N]\n");
+        "  plan [--rm N] [--file F] [--emit-json]\n"
+        "  serve [--rm N] [--epochs E] [--partitions P] [--rows R]\n");
     return 2;
 }
 
@@ -794,11 +806,176 @@ int
 cmdPlan(const Args& args)
 {
     const int rm = static_cast<int>(args.getInt("rm", 1));
+    const bool emit_json = args.getInt("emit-json", 0) != 0;
     const RmConfig cfg = rmConfig(rm);
-    const Preprocessor prep(cfg);
-    std::printf("%s: standard transform plan, compiled\n",
+    const std::string file = args.getString("file", "");
+
+    TransformPlan plan;
+    std::string origin;
+    if (!file.empty()) {
+        auto bytes = loadFromFile(file);
+        if (!bytes.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         bytes.status().toString().c_str());
+            return 1;
+        }
+        auto parsed = parsePlanJson(std::string_view(
+            reinterpret_cast<const char*>(bytes->data()), bytes->size()));
+        if (!parsed.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         parsed.status().toString().c_str());
+            return 1;
+        }
+        plan = std::move(parsed).value();
+        origin = file;
+    } else {
+        plan = TransformPlan::standard(cfg);
+        origin = "standard plan for " + cfg.name;
+    }
+
+    if (emit_json) {
+        std::fputs(planToJson(plan).c_str(), stdout);
+        return 0;
+    }
+
+    // Validate against the RM schema, then compile and disassemble.
+    const Schema schema =
+        Schema::makeRecSys(cfg.num_dense, cfg.num_sparse);
+    if (Status st = plan.validate(schema); !st.ok()) {
+        std::fprintf(stderr, "plan invalid against %s schema: %s\n",
+                     cfg.name.c_str(), st.toString().c_str());
+        return 1;
+    }
+    const PlanExecutor executor(plan, schema);
+    std::printf("%s (%s schema), compiled\n", origin.c_str(),
                 cfg.name.c_str());
-    std::fputs(prep.program().disassemble().c_str(), stdout);
+    std::fputs(executor.program().disassemble().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdServe(const Args& args)
+{
+    const int rm = static_cast<int>(args.getInt("rm", 1));
+    const long epochs = args.getInt("epochs", 2);
+    const long partitions = args.getInt("partitions", 4);
+    const long rows = args.getInt("rows", 512);
+    const long batches = args.getInt("batches", 3);
+
+    DatasetSpec spec;
+    spec.name = "clicklog";
+    spec.config = rmConfig(rm);
+    spec.config.batch_size = static_cast<size_t>(rows);
+    spec.partitions_per_epoch = static_cast<size_t>(partitions);
+    spec.shards = 2;
+    DatasetCatalog catalog;
+    if (Status st = catalog.registerDataset(spec); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.toString().c_str());
+        return 1;
+    }
+    for (long e = 0; e < epochs; ++e) {
+        auto epoch = catalog.publishEpoch("clicklog");
+        if (!epoch.ok()) {
+            std::fprintf(stderr, "publish failed: %s\n",
+                         epoch.status().toString().c_str());
+            return 1;
+        }
+        std::printf("published epoch %llu (%ld partitions x %ld rows of "
+                    "%s across %zu shards)\n",
+                    static_cast<unsigned long long>(*epoch), partitions,
+                    rows, spec.config.name.c_str(), spec.shards);
+    }
+
+    ServiceOptions options;
+    options.workers = 2;
+    options.service_sec_override = 0.050;
+    IngestService service(catalog, options);
+
+    // Two well-behaved tenants at different weights, one oversubscribed
+    // tenant the admission controller must turn away with a reason.
+    TenantSpec heavy;
+    heavy.name = "ranker";
+    heavy.dataset = "clicklog";
+    heavy.weight = 2.0;
+    heavy.slo_p99_sec = 1.0;
+    heavy.peak_batches_per_sec = 8.0;
+    TenantSpec light = heavy;
+    light.name = "retrieval";
+    light.weight = 1.0;
+    light.slo_p99_sec = 2.0;
+    light.peak_batches_per_sec = 6.0;
+    light.epoch = 1;  // pinned one epoch behind the head
+    TenantSpec hog = heavy;
+    hog.name = "firehose";
+    hog.peak_batches_per_sec = 200.0;
+
+    std::vector<uint64_t> sessions;
+    for (const TenantSpec* tenant : {&heavy, &light}) {
+        auto session = service.openSession(*tenant);
+        if (!session.ok()) {
+            std::fprintf(stderr, "open %s failed: %s\n",
+                         tenant->name.c_str(),
+                         session.status().toString().c_str());
+            return 1;
+        }
+        std::printf("admitted %-9s weight %.0f, epoch %llu, session %llu\n",
+                    tenant->name.c_str(), tenant->weight,
+                    static_cast<unsigned long long>(
+                        tenant->epoch == 0 ? *catalog.headEpoch("clicklog")
+                                           : tenant->epoch),
+                    static_cast<unsigned long long>(*session));
+        sessions.push_back(*session);
+    }
+    auto rejected = service.openSession(hog);
+    if (rejected.ok()) {
+        std::fprintf(stderr, "expected the oversubscribed tenant to be "
+                             "rejected\n");
+        return 1;
+    }
+    std::printf("rejected %-9s %s\n", hog.name.c_str(),
+                rejected.status().message().c_str());
+
+    for (const uint64_t session : sessions) {
+        for (long i = 0; i < batches; ++i) {
+            auto batch = service.nextBatch(session);
+            if (!batch.ok()) {
+                std::fprintf(stderr, "nextBatch failed: %s\n",
+                             batch.status().toString().c_str());
+                return 1;
+            }
+            std::printf("session %llu batch %llu: epoch %llu partition "
+                        "%llu, %zu rows, %s of tensors\n",
+                        static_cast<unsigned long long>(session),
+                        static_cast<unsigned long long>(batch->sequence),
+                        static_cast<unsigned long long>(batch->epoch),
+                        static_cast<unsigned long long>(
+                            batch->partition_index),
+                        batch->batch->batch_size,
+                        formatBytes(static_cast<double>(
+                                        batch->batch->byteSize()))
+                            .c_str());
+        }
+    }
+
+    std::printf("\nper-session statistics:\n");
+    TablePrinter table({"Tenant", "Epoch", "Produced", "Delivered",
+                        "Queue Cap", "Max Queue", "Svc Est"});
+    for (const SessionStats& s : service.allSessionStats()) {
+        table.addRow({s.tenant, std::to_string(s.epoch),
+                      std::to_string(s.produced),
+                      std::to_string(s.delivered),
+                      std::to_string(s.queue_capacity),
+                      std::to_string(s.max_queue_occupancy),
+                      formatTime(s.service_sec_estimate)});
+    }
+    table.print();
+    for (const uint64_t session : sessions) {
+        if (Status st = service.closeSession(session); !st.ok()) {
+            std::fprintf(stderr, "close failed: %s\n",
+                         st.toString().c_str());
+            return 1;
+        }
+    }
     return 0;
 }
 
@@ -831,5 +1008,7 @@ main(int argc, char** argv)
         return cmdStore(args);
     if (cmd == "plan")
         return cmdPlan(args);
+    if (cmd == "serve")
+        return cmdServe(args);
     return usage();
 }
