@@ -12,6 +12,19 @@ const std::vector<uint8_t>&
 PartitionStore::partition(uint64_t partition_id)
 {
     std::scoped_lock lock(mu_);
+    return partitionLocked(partition_id);
+}
+
+std::vector<uint8_t>
+PartitionStore::partitionCopy(uint64_t partition_id)
+{
+    std::scoped_lock lock(mu_);
+    return partitionLocked(partition_id);
+}
+
+const std::vector<uint8_t>&
+PartitionStore::partitionLocked(uint64_t partition_id)
+{
     auto it = partitions_.find(partition_id);
     if (it == partitions_.end()) {
         RowBatch raw = generator_.generatePartition(partition_id);
@@ -69,22 +82,24 @@ StatusOr<std::vector<uint8_t>>
 PartitionStore::fetchPartition(uint64_t partition_id, uint64_t attempt)
 {
     // Fault draws key off (partition, attempt) — not thread schedule —
-    // so concurrent workers observe a reproducible fault pattern.
-    const std::vector<uint8_t>& pristine = partition(partition_id);
+    // so concurrent workers observe a reproducible fault pattern. The
+    // bytes are copied under the lock: with a cache budget set, a
+    // concurrent materialization may evict this partition at any time.
     const FaultInjector* faults = nullptr;
+    std::vector<uint8_t> bytes;
     {
         std::scoped_lock lock(mu_);
+        bytes = partitionLocked(partition_id);
         faults = faults_;
     }
     if (faults == nullptr)
-        return std::vector<uint8_t>(pristine);
+        return bytes;
     if (faults->transientReadError(partition_id, attempt)) {
         return Status::unavailable(
             "transient read error on partition " +
             std::to_string(partition_id) + " (attempt " +
             std::to_string(attempt) + ")");
     }
-    std::vector<uint8_t> bytes(pristine);
     if (faults->corruptionOccurs(partition_id, attempt))
         faults->corruptBytes(bytes, partition_id, attempt);
     return bytes;
@@ -116,14 +131,16 @@ PartitionStore::persistPartition(uint64_t partition_id)
     if (existing.status().code() != StatusCode::kNotFound)
         return existing.status();
     // First touch: encode (or reuse the cached encoding) and commit.
-    const std::vector<uint8_t>& encoded = partition(partition_id);
+    // Copied under the lock — the cache may evict it concurrently.
+    const std::vector<uint8_t> encoded = partitionCopy(partition_id);
     return segments->appendEncoded(encoded, partition_id);
 }
 
 uint64_t
 PartitionStore::partitionBytes(uint64_t partition_id)
 {
-    return partition(partition_id).size();
+    std::scoped_lock lock(mu_);
+    return partitionLocked(partition_id).size();
 }
 
 size_t

@@ -120,6 +120,13 @@ class PartitionStore
     StatusOr<uint64_t> persistPartition(uint64_t partition_id);
 
   private:
+    /** Materialize (if needed) and return @p partition_id; mu_ held. */
+    const std::vector<uint8_t>& partitionLocked(uint64_t partition_id);
+    /** Copy of the encoded bytes, taken while holding mu_ — safe
+        against concurrent eviction, unlike the reference from
+        partition(). */
+    std::vector<uint8_t> partitionCopy(uint64_t partition_id);
+
     const RawDataGenerator& generator_;
     ColumnarFileWriter writer_;
     const FaultInjector* faults_ = nullptr;

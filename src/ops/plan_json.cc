@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -94,10 +95,18 @@ class JsonParser
         if (pos_ >= text_.size())
             return error("unexpected end of document");
         const char c = text_[pos_];
-        if (c == '{')
-            return parseObject(out);
-        if (c == '[')
-            return parseArray(out);
+        if (c == '{' || c == '[') {
+            // Containers recurse one stack frame per nesting level;
+            // bound it so a pathological document ("[[[[...") fails
+            // cleanly instead of overflowing the stack.
+            if (depth_ >= kMaxDepth)
+                return error("nesting deeper than " +
+                             std::to_string(kMaxDepth) + " levels");
+            ++depth_;
+            Status st = c == '{' ? parseObject(out) : parseArray(out);
+            --depth_;
+            return st;
+        }
         if (c == '"') {
             out.type = JsonValue::Type::kString;
             return parseString(out.string);
@@ -255,9 +264,12 @@ class JsonParser
         }
     }
 
+    static constexpr int kMaxDepth = 64;
+
     std::string_view text_;
     size_t pos_ = 0;
     size_t line_ = 1;
+    int depth_ = 0;  ///< current container nesting level
 };
 
 // ---------------------------------------------------------------------
@@ -405,6 +417,13 @@ parseSparseOp(const JsonValue& value, const std::string& context,
         if (Status st = requireUint(value, "max_value", context, max_value);
             !st.ok()) {
             return st;
+        }
+        // max_value is consumed as a signed modulus; a uint64 above
+        // INT64_MAX would wrap negative instead of erroring.
+        if (max_value >
+            static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+            return Status::invalidArgument(
+                context + ": \"max_value\" exceeds the int64 range");
         }
         out = SparseOp::sigridHash(seed, static_cast<int64_t>(max_value));
         return Status::okStatus();

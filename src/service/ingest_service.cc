@@ -1,6 +1,7 @@
 #include "service/ingest_service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/logging.h"
@@ -102,9 +103,18 @@ IngestService::admissionProbe(const TenantSpec& spec) const
     candidate.tenant = spec.name;
     candidate.peak_batches_per_sec = spec.peak_batches_per_sec;
     candidate.slo_p99_sec = spec.slo_p99_sec;
-    auto config = catalog_.pin(spec.dataset);
-    candidate.service_sec =
-        config.ok() ? estimateServiceSec(config->config()) : 0.0;
+    // Pin exactly what openSession() would pin, so the probe never
+    // reports admitted for a spec openSession() would fail.
+    auto reader = spec.epoch == 0
+                      ? catalog_.pin(spec.dataset)
+                      : catalog_.pin(spec.dataset, spec.epoch);
+    if (!reader.ok()) {
+        AdmissionDecision decision;
+        decision.admitted = false;
+        decision.reason = reader.status().toString();
+        return decision;
+    }
+    candidate.service_sec = estimateServiceSec(reader->config());
 
     std::scoped_lock lock(mu_);
     return evaluateAdmission(admittedInputsLocked(), candidate,
@@ -116,6 +126,11 @@ IngestService::openSession(const TenantSpec& spec)
 {
     if (spec.queue_capacity == 0)
         return Status::invalidArgument("queue_capacity must be >= 1");
+    // A non-positive (or non-finite) weight corrupts the virtual-time
+    // bookkeeping: 1/0 starves the session forever, a negative weight
+    // monopolizes every worker.
+    if (!std::isfinite(spec.weight) || spec.weight <= 0)
+        return Status::invalidArgument("weight must be positive");
     auto reader = spec.epoch == 0
                       ? catalog_.pin(spec.dataset)
                       : catalog_.pin(spec.dataset, spec.epoch);

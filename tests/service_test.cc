@@ -10,6 +10,8 @@
 
 #include <sys/stat.h>
 
+#include <atomic>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -334,6 +336,62 @@ TEST(IngestServiceTest, AdmissionRejectsOverloadWithReason)
     ASSERT_TRUE(service.closeSession(admitted.value()).ok());
 }
 
+TEST(IngestServiceTest, RejectsDegenerateWeights)
+{
+    DatasetCatalog catalog;
+    ASSERT_TRUE(catalog.registerDataset(smallSpec("clicks")).ok());
+    ASSERT_TRUE(catalog.publishEpoch("clicks").ok());
+    IngestService service(catalog);
+
+    TenantSpec tenant;
+    tenant.name = "trainer";
+    tenant.dataset = "clicks";
+
+    // weight = 0 would starve via vtime += 1/0 = inf; negative would
+    // monopolize the workers. Both must be rejected up front.
+    for (double weight : {0.0, -1.0,
+                          std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::quiet_NaN()}) {
+        tenant.weight = weight;
+        auto session = service.openSession(tenant);
+        ASSERT_FALSE(session.ok()) << "weight=" << weight;
+        EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+    }
+
+    tenant.weight = 0.5;
+    auto session = service.openSession(tenant);
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(service.closeSession(session.value()).ok());
+}
+
+TEST(IngestServiceTest, AdmissionProbeMatchesOpenSessionOnBadSpecs)
+{
+    DatasetCatalog catalog;
+    ASSERT_TRUE(catalog.registerDataset(smallSpec("clicks")).ok());
+    ASSERT_TRUE(catalog.publishEpoch("clicks").ok());
+    IngestService service(catalog);
+
+    // Unknown dataset: the probe must not report admitted when
+    // openSession would fail to pin.
+    TenantSpec unknown;
+    unknown.name = "ghost";
+    unknown.dataset = "nope";
+    const AdmissionDecision bad_dataset = service.admissionProbe(unknown);
+    EXPECT_FALSE(bad_dataset.admitted);
+    EXPECT_FALSE(bad_dataset.reason.empty());
+    EXPECT_FALSE(service.openSession(unknown).ok());
+
+    // Unpublished epoch: same contract for the explicit-epoch pin.
+    TenantSpec future;
+    future.name = "early";
+    future.dataset = "clicks";
+    future.epoch = 7;
+    const AdmissionDecision bad_epoch = service.admissionProbe(future);
+    EXPECT_FALSE(bad_epoch.admitted);
+    EXPECT_FALSE(bad_epoch.reason.empty());
+    EXPECT_FALSE(service.openSession(future).ok());
+}
+
 TEST(IngestServiceTest, SessionsStayPinnedWhileHeadAdvances)
 {
     DatasetCatalog catalog;
@@ -498,6 +556,41 @@ TEST(PartitionStoreCacheTest, BudgetEvictsAndRematerializesIdentically)
     auto again = store.fetchPartition(1);
     ASSERT_TRUE(again.ok());
     EXPECT_EQ(again.value(), first.value());
+}
+
+TEST(PartitionStoreCacheTest, ConcurrentFetchesSurviveEviction)
+{
+    // Regression: fetchPartition used to copy from a reference after
+    // releasing the store lock, so a concurrent materialization could
+    // evict (destroy) the vector mid-copy under a tight budget. Several
+    // workers hammering a budget that holds ~1 partition makes that
+    // interleaving common; run under ASan for the UAF itself, and check
+    // bit-identical reads either way.
+    RawDataGenerator generator(smallConfig(), {});
+    PartitionStore store(generator);
+    const std::vector<uint8_t> want(store.partition(0));
+    store.setCacheBudget(store.partitionBytes(0) + 1);
+
+    std::atomic<bool> mismatch{false};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([&store, &want, &mismatch, t] {
+            for (uint64_t i = 0; i < 20; ++i) {
+                // Worker-dependent stride: everyone revisits partition
+                // 0 while others pull in evicting neighbours.
+                const uint64_t pid = (i + t) % 2 == 0 ? 0 : (i % 3) + 1;
+                auto bytes = store.fetchPartition(pid);
+                if (!bytes.ok() ||
+                    (pid == 0 && bytes.value() != want)) {
+                    mismatch = true;
+                }
+            }
+        });
+    }
+    for (std::thread& worker : workers)
+        worker.join();
+    EXPECT_FALSE(mismatch);
+    EXPECT_GT(store.evictions(), 0u);
 }
 
 }  // namespace
