@@ -20,17 +20,38 @@
  *      surfaces as silent latency instead;
  *   4. the tenant whose trainer stalls fills its bounded output queue
  *      exactly to capacity and never beyond it (backpressure, not
- *      unbounded buffering).
+ *      unbounded buffering);
+ *   5. retention (multi-day replay, "retention"): epochs publish every
+ *      few hours for --days simulated days while trainers pin a mix of
+ *      head and historical epochs — the modeled disk footprint stays
+ *      bounded by (retain_epochs + pinned old epochs) * epoch_bytes at
+ *      every retention pass, pinned epochs survive, and cold-epoch pin
+ *      latency exceeds the hot-tier (head) latency it is compared
+ *      against;
+ *   6. retention over real storage ("retention_store"): a persistent
+ *      DatasetCatalog over temp-dir SegmentStores publishes and
+ *      retires real epochs — measured live bytes stay bounded, the
+ *      pinned epoch replays bit-identically after newer epochs were
+ *      retired around it, the head is served from the hot memory tier,
+ *      and the scrub cursor prioritizes the pinned epoch's segments.
  *
- * Usage: bench_service [--quick]   (--quick compresses the day to one
- * hour; rates, fractions-of-day windows, and all gates are unchanged)
+ * Usage: bench_service [--quick] [--days N]
+ *   --quick compresses the day to one hour; rates, fractions-of-day
+ *   windows, and all gates are unchanged. --days (default 3) sets the
+ *   retention replay's length in (possibly compressed) days.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+#include <sys/stat.h>
+
+#include "service/dataset_catalog.h"
 #include "service/service_scenario.h"
+#include "store/segment_store.h"
 
 using namespace presto;
 
@@ -155,15 +176,248 @@ find(const ScenarioReport& r, const std::string& name)
     return nullptr;
 }
 
+/**
+ * The retention replay's cast: two head-followers, a trainer replaying
+ * one epoch behind until it catches up mid-run, and a historical
+ * backfill job that pins an old epoch for the whole run — the epoch
+ * retention must spare while newer ones retire around it.
+ */
+std::vector<ScenarioTenant>
+makeRetentionTenants(double day, double duration)
+{
+    const double scale = day / kFullDaySec;
+    const double phase = 0.30 * day;
+
+    std::vector<ScenarioTenant> tenants;
+
+    ScenarioTenant ranker;
+    ranker.name = "ranker";
+    ranker.users = 2.0e6 * scale;
+    ranker.requests_per_user_per_day = 400;
+    ranker.samples_per_batch = 1024;
+    ranker.traffic.diurnal = {0, 0.35, day, phase};
+    ranker.weight = 2.0;
+    ranker.slo_p99_sec = 1.0;
+    ranker.queue_capacity = 12;
+    tenants.push_back(ranker);
+
+    ScenarioTenant retrieval;
+    retrieval.name = "retrieval";
+    retrieval.users = 1.0e6 * scale;
+    retrieval.requests_per_user_per_day = 500;
+    retrieval.samples_per_batch = 1024;
+    retrieval.traffic.diurnal = {0, 0.35, day, phase};
+    retrieval.slo_p99_sec = 1.5;
+    retrieval.queue_capacity = 12;
+    tenants.push_back(retrieval);
+
+    // Replays one epoch behind the head (cold) until it catches up at
+    // mid-run, then follows the (hot) head like the others.
+    ScenarioTenant eval;
+    eval.name = "eval";
+    eval.users = 6.0e5 * scale;
+    eval.requests_per_user_per_day = 1000;
+    eval.samples_per_batch = 1024;
+    eval.traffic.diurnal = {0, 0.30, day, phase};
+    eval.queue_capacity = 8;
+    eval.pin_lag_epochs = 1;
+    eval.hold_pin_until_sec = 0.5 * duration;
+    tenants.push_back(eval);
+
+    // Historical backfill: joins late, pins two epochs back, and holds
+    // that pin to the end — its epoch must never be retired.
+    ScenarioTenant backfill;
+    backfill.name = "backfill";
+    backfill.users = 5.0e5 * scale;
+    backfill.requests_per_user_per_day = 400;
+    backfill.samples_per_batch = 1024;
+    backfill.traffic.diurnal = {0, 0.35, day, phase};
+    backfill.queue_capacity = 12;
+    backfill.join_sec = 0.25 * duration;
+    backfill.pin_lag_epochs = 2;
+    backfill.hold_pin_until_sec = duration;
+    tenants.push_back(backfill);
+
+    return tenants;
+}
+
+/** Outcome of the real-storage retention soak. */
+struct StoreSoak {
+    bool ran = false;
+    uint64_t epochs_published = 0;
+    uint64_t epochs_retired = 0;
+    uint64_t epochs_kept_pinned = 0;
+    uint64_t partitions_retired = 0;
+    uint64_t bytes_reclaimed = 0;
+    uint64_t epoch_bytes = 0;       ///< measured from epoch 1
+    uint64_t live_bytes_final = 0;
+    uint64_t bound_bytes = 0;       ///< final-pass footprint bound
+    uint64_t scrub_pages_total = 0;
+    uint64_t scrub_pages_prioritized = 0;
+    bool footprint_ok = false;      ///< live <= bound at every pass
+    bool pinned_never_retired = false;
+    bool pinned_replay_identical = false;
+    bool head_served_hot = false;   ///< head read hit the memory tier
+    bool pinned_served_cold = false;
+};
+
+/**
+ * Retention over real storage: publish kEpochs epochs into two
+ * temp-dir SegmentStore shards with retain_epochs = 2 while a reader
+ * pins epoch 1 the whole time, applying retention after every publish
+ * and checking the measured on-disk footprint against the policy
+ * bound. Everything printed is deterministic (content is a pure
+ * function of the seed; paths are not printed).
+ */
+StoreSoak
+runStoreSoak()
+{
+    constexpr uint64_t kEpochs = 6;
+    constexpr uint64_t kRetain = 2;
+
+    StoreSoak soak;
+    char tmpl[] = "/tmp/bench_service_store.XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr)
+        return soak;
+    const std::string root = tmpl;
+
+    {
+        std::vector<std::unique_ptr<SegmentStore>> stores;
+        std::vector<SegmentStore*> shards;
+        for (int s = 0; s < 2; ++s) {
+            const std::string dir = root + "/shard" + std::to_string(s);
+            if (::mkdir(dir.c_str(), 0755) != 0)
+                return soak;
+            SegmentStoreOptions opts;
+            opts.directory = dir;
+            auto store = SegmentStore::open(opts);
+            if (!store.ok())
+                return soak;
+            stores.push_back(std::move(store).value());
+            shards.push_back(stores.back().get());
+        }
+
+        DatasetSpec spec;
+        spec.name = "soak";
+        spec.config = rmConfig(1);
+        spec.config.batch_size = 64;
+        spec.generator.seed = 0xfeed;
+        spec.partitions_per_epoch = 4;
+        spec.cache_budget_bytes = 1 << 20;
+        spec.retain_epochs = kRetain;
+
+        DatasetCatalog catalog;
+        if (!catalog.registerDataset(spec, shards).ok())
+            return soak;
+        auto liveBytes = [&] {
+            auto bytes = catalog.liveBytes("soak");
+            return bytes.ok() ? *bytes : uint64_t{0};
+        };
+
+        if (!catalog.publishEpoch("soak").ok())
+            return soak;
+        soak.epochs_published = 1;
+        soak.epoch_bytes = liveBytes();
+        // Encoded epochs differ slightly in size (content-dependent
+        // encoding), so the footprint bound sums the measured size of
+        // each epoch that is allowed to stay live.
+        std::vector<uint64_t> epoch_sizes{0, soak.epoch_bytes};
+
+        // Pin epoch 1 for the whole soak and snapshot its bytes.
+        auto pinned = catalog.pin("soak", 1);
+        if (!pinned.ok())
+            return soak;
+        std::vector<std::vector<uint8_t>> snapshot;
+        for (size_t i = 0; i < pinned->numPartitions(); ++i) {
+            auto bytes = pinned->fetchEncoded(i);
+            if (!bytes.ok())
+                return soak;
+            snapshot.push_back(std::move(bytes).value());
+        }
+
+        soak.footprint_ok = true;
+        for (uint64_t epoch = 2; epoch <= kEpochs; ++epoch) {
+            const uint64_t before = liveBytes();
+            if (!catalog.publishEpoch("soak").ok())
+                return soak;
+            epoch_sizes.push_back(liveBytes() - before);
+            ++soak.epochs_published;
+            auto report = catalog.applyRetention("soak");
+            if (!report.ok())
+                return soak;
+            soak.epochs_retired += report->epochs_retired;
+            soak.epochs_kept_pinned += report->epochs_kept_pinned;
+            soak.partitions_retired += report->partitions_retired;
+            soak.bytes_reclaimed += report->bytes_reclaimed;
+            // Footprint bound: the newest kRetain epochs plus the
+            // pinned epoch 1 once it ages out of the retention window.
+            soak.bound_bytes = 0;
+            for (uint64_t live = epoch > kRetain ? epoch - kRetain + 1
+                                                 : 1;
+                 live <= epoch; ++live) {
+                soak.bound_bytes += epoch_sizes[live];
+            }
+            if (epoch > kRetain)
+                soak.bound_bytes += epoch_sizes[1];
+            if (liveBytes() > soak.bound_bytes)
+                soak.footprint_ok = false;
+        }
+        soak.live_bytes_final = liveBytes();
+
+        auto retired = catalog.epochRetired("soak", 1);
+        soak.pinned_never_retired = retired.ok() && !*retired;
+
+        // The pinned epoch replays bit-identically although every
+        // unpinned epoch between it and the retention window is gone.
+        soak.pinned_replay_identical = true;
+        for (size_t i = 0; i < pinned->numPartitions(); ++i) {
+            bool hot = false;
+            auto bytes = pinned->fetchEncoded(i, 0, &hot);
+            if (!bytes.ok() || *bytes != snapshot[i]) {
+                soak.pinned_replay_identical = false;
+                break;
+            }
+            if (!hot)
+                soak.pinned_served_cold = true;
+        }
+
+        // The head epoch is promoted into the hot memory tier.
+        auto head = catalog.pin("soak");
+        if (head.ok()) {
+            bool hot = false;
+            auto bytes = head->fetchEncoded(0, 0, &hot);
+            soak.head_served_hot = bytes.ok() && hot;
+        }
+
+        // Pin-aware scrub: with epoch 1 pinned, its segments carry
+        // priority > 0 and get verified ahead of the cold ones.
+        for (SegmentStore* store : shards) {
+            (void)store->scrubSome(64);
+            const ScrubCounters counters = store->scrubCounters();
+            soak.scrub_pages_total += counters.pages_total;
+            soak.scrub_pages_prioritized += counters.pages_prioritized;
+        }
+        soak.ran = true;
+    }
+    ::system(("rm -rf " + root).c_str());
+    return soak;
+}
+
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
     bool quick = false;
+    int days = 3;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--quick") == 0)
+        if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
+        } else if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
+            days = std::atoi(argv[++i]);
+            if (days < 1)
+                days = 1;
+        }
     }
 
     const double day = quick ? 3600.0 : kFullDaySec;
@@ -179,6 +433,25 @@ main(int argc, char** argv)
     const ScenarioReport controlled = runServiceScenario(options, tenants);
     options.admission_control = false;
     const ScenarioReport uncontrolled = runServiceScenario(options, tenants);
+
+    // Multi-day retention replay: epochs publish every day/8 while a
+    // mix of head-followers and historical pins stream; retention must
+    // keep the modeled footprint bounded the whole run.
+    const double retention_duration = day * days;
+    const std::vector<ScenarioTenant> retention_tenants =
+        makeRetentionTenants(day, retention_duration);
+    ScenarioOptions retention_options;
+    retention_options.devices = 24;
+    retention_options.service_sec = 0.25;
+    retention_options.duration_sec = retention_duration;
+    retention_options.lifecycle.publish_period_sec = day / 8.0;
+    retention_options.lifecycle.retain_epochs = 3;
+    retention_options.lifecycle.epoch_bytes = 1ull << 30;
+    retention_options.lifecycle.cold_extra_sec = 0.15;
+    const ScenarioReport retention =
+        runServiceScenario(retention_options, retention_tenants);
+
+    const StoreSoak soak = runStoreSoak();
 
     // --- Gates -----------------------------------------------------------
     bool admitted_meet_slo = true;
@@ -205,8 +478,38 @@ main(int argc, char** argv)
         eval_c->max_queue_occupancy == eval_c->queue_capacity &&
         eval_u->max_queue_occupancy <= eval_u->queue_capacity;
 
+    // Retention gates: footprint bounded with real retirements, the
+    // held historical pin survives and streams cold, and hot-tier
+    // (head) reads are both dominant and faster than cold-pin reads.
+    const LifecycleReport& lc = retention.lifecycle;
+    const bool retention_footprint_bounded =
+        lc.footprint_bounded && lc.epochs_retired > 0;
+    const TenantReport* backfill_r = find(retention, "backfill");
+    const bool pinned_epoch_survives =
+        backfill_r != nullptr && backfill_r->admitted &&
+        backfill_r->pinned_epoch != 0 && backfill_r->cold_served > 0 &&
+        lc.epochs_kept_pinned > 0;
+    const bool tiering_separates =
+        lc.hot_served > 0 && lc.cold_served > 0 &&
+        lc.hot_hit_rate >= 0.5 &&
+        lc.mean_cold_latency_sec > lc.mean_hot_latency_sec;
+
+    // Real-storage soak gates.
+    const bool store_footprint_bounded = soak.ran && soak.footprint_ok &&
+                                         soak.epochs_retired > 0;
+    const bool store_pinned_replay =
+        soak.ran && soak.pinned_never_retired &&
+        soak.pinned_replay_identical && soak.pinned_served_cold;
+    const bool store_tiering =
+        soak.ran && soak.head_served_hot &&
+        soak.scrub_pages_prioritized > 0;
+
     const bool gates_ok = admitted_meet_slo && overload_rejected &&
-                          uncontrolled_violates && queue_bounded;
+                          uncontrolled_violates && queue_bounded &&
+                          retention_footprint_bounded &&
+                          pinned_epoch_survives && tiering_separates &&
+                          store_footprint_bounded && store_pinned_replay &&
+                          store_tiering;
 
     std::printf("{\n"
                 "  \"bench\": \"service\",\n"
@@ -220,15 +523,105 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(options.seed));
     printRun("controlled", controlled, tenants);
     printRun("uncontrolled", uncontrolled, tenants);
+
+    std::printf(
+        "  \"retention\": {\n"
+        "    \"days\": %d, \"publish_period_sec\": %.1f, "
+        "\"retain_epochs\": %zu, \"epoch_bytes\": %llu, "
+        "\"cold_extra_sec\": %.3f,\n"
+        "    \"epochs_published\": %llu, \"epochs_retired\": %llu, "
+        "\"epochs_kept_pinned\": %llu, \"peak_live_epochs\": %llu, "
+        "\"peak_live_bytes\": %llu, \"final_live_bytes\": %llu, "
+        "\"footprint_bounded\": %s,\n"
+        "    \"hot_served\": %llu, \"cold_served\": %llu, "
+        "\"hot_hit_rate\": %.4f, \"mean_hot_latency_sec\": %.6e, "
+        "\"mean_cold_latency_sec\": %.6e, "
+        "\"p99_cold_latency_sec\": %.6e,\n"
+        "    \"tenants\": [\n",
+        days, retention_options.lifecycle.publish_period_sec,
+        retention_options.lifecycle.retain_epochs,
+        static_cast<unsigned long long>(
+            retention_options.lifecycle.epoch_bytes),
+        retention_options.lifecycle.cold_extra_sec,
+        static_cast<unsigned long long>(lc.epochs_published),
+        static_cast<unsigned long long>(lc.epochs_retired),
+        static_cast<unsigned long long>(lc.epochs_kept_pinned),
+        static_cast<unsigned long long>(lc.peak_live_epochs),
+        static_cast<unsigned long long>(lc.peak_live_bytes),
+        static_cast<unsigned long long>(lc.final_live_bytes),
+        lc.footprint_bounded ? "true" : "false",
+        static_cast<unsigned long long>(lc.hot_served),
+        static_cast<unsigned long long>(lc.cold_served),
+        lc.hot_hit_rate, lc.mean_hot_latency_sec,
+        lc.mean_cold_latency_sec, lc.p99_cold_latency_sec);
+    for (size_t i = 0; i < retention.tenants.size(); ++i) {
+        const TenantReport& t = retention.tenants[i];
+        const ScenarioTenant& spec = retention_tenants[i];
+        std::printf(
+            "      {\"name\": \"%s\", \"pin_lag_epochs\": %llu, "
+            "\"pinned_epoch\": %llu, \"hot_served\": %llu, "
+            "\"cold_served\": %llu, \"p99_latency_sec\": %.6e}%s\n",
+            t.name.c_str(),
+            static_cast<unsigned long long>(spec.pin_lag_epochs),
+            static_cast<unsigned long long>(t.pinned_epoch),
+            static_cast<unsigned long long>(t.hot_served),
+            static_cast<unsigned long long>(t.cold_served),
+            t.p99_latency_sec,
+            i + 1 == retention.tenants.size() ? "" : ",");
+    }
+    std::printf("    ]\n  },\n");
+
+    std::printf(
+        "  \"retention_store\": {\n"
+        "    \"ran\": %s, \"epochs_published\": %llu, "
+        "\"epochs_retired\": %llu, \"epochs_kept_pinned\": %llu, "
+        "\"partitions_retired\": %llu, \"bytes_reclaimed\": %llu,\n"
+        "    \"epoch_bytes\": %llu, \"final_live_bytes\": %llu, "
+        "\"bound_bytes\": %llu, \"footprint_ok\": %s,\n"
+        "    \"pinned_never_retired\": %s, "
+        "\"pinned_replay_identical\": %s, \"pinned_served_cold\": %s, "
+        "\"head_served_hot\": %s,\n"
+        "    \"scrub_pages_total\": %llu, "
+        "\"scrub_pages_prioritized\": %llu\n"
+        "  },\n",
+        soak.ran ? "true" : "false",
+        static_cast<unsigned long long>(soak.epochs_published),
+        static_cast<unsigned long long>(soak.epochs_retired),
+        static_cast<unsigned long long>(soak.epochs_kept_pinned),
+        static_cast<unsigned long long>(soak.partitions_retired),
+        static_cast<unsigned long long>(soak.bytes_reclaimed),
+        static_cast<unsigned long long>(soak.epoch_bytes),
+        static_cast<unsigned long long>(soak.live_bytes_final),
+        static_cast<unsigned long long>(soak.bound_bytes),
+        soak.footprint_ok ? "true" : "false",
+        soak.pinned_never_retired ? "true" : "false",
+        soak.pinned_replay_identical ? "true" : "false",
+        soak.pinned_served_cold ? "true" : "false",
+        soak.head_served_hot ? "true" : "false",
+        static_cast<unsigned long long>(soak.scrub_pages_total),
+        static_cast<unsigned long long>(soak.scrub_pages_prioritized));
+
     std::printf("  \"gates\": {\"admitted_meet_slo_controlled\": %s, "
                 "\"overload_rejected_with_reason\": %s, "
                 "\"uncontrolled_violates_slo\": %s, "
-                "\"stalled_queue_bounded\": %s},\n"
+                "\"stalled_queue_bounded\": %s,\n"
+                "            \"retention_footprint_bounded\": %s, "
+                "\"pinned_epoch_survives\": %s, "
+                "\"tiering_separates_hot_cold\": %s,\n"
+                "            \"store_footprint_bounded\": %s, "
+                "\"store_pinned_replay_identical\": %s, "
+                "\"store_hot_tier_and_scrub_priority\": %s},\n"
                 "  \"gates_ok\": %s\n}\n",
                 admitted_meet_slo ? "true" : "false",
                 overload_rejected ? "true" : "false",
                 uncontrolled_violates ? "true" : "false",
                 queue_bounded ? "true" : "false",
+                retention_footprint_bounded ? "true" : "false",
+                pinned_epoch_survives ? "true" : "false",
+                tiering_separates ? "true" : "false",
+                store_footprint_bounded ? "true" : "false",
+                store_pinned_replay ? "true" : "false",
+                store_tiering ? "true" : "false",
                 gates_ok ? "true" : "false");
 
     if (!gates_ok) {

@@ -15,6 +15,7 @@ statusCodeName(StatusCode code)
       case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
       case StatusCode::kUnavailable:        return "UNAVAILABLE";
       case StatusCode::kAborted:            return "ABORTED";
+      case StatusCode::kResourceExhausted:  return "RESOURCE_EXHAUSTED";
     }
     return "UNKNOWN";
 }

@@ -27,6 +27,7 @@ enum class StatusCode {
     kFailedPrecondition,
     kUnavailable,  ///< transient failure; retrying may succeed
     kAborted,      ///< operation cut short (e.g. injected crash point)
+    kResourceExhausted,  ///< a budget or quota cannot fit the request
 };
 
 /** Human-readable name for a StatusCode. */
@@ -98,6 +99,12 @@ class Status
     aborted(std::string msg)
     {
         return Status(StatusCode::kAborted, std::move(msg));
+    }
+
+    static Status
+    resourceExhausted(std::string msg)
+    {
+        return Status(StatusCode::kResourceExhausted, std::move(msg));
     }
 
     bool ok() const { return code_ == StatusCode::kOk; }

@@ -26,26 +26,31 @@ const std::vector<uint8_t>&
 PartitionStore::partitionLocked(uint64_t partition_id)
 {
     auto it = partitions_.find(partition_id);
-    if (it == partitions_.end()) {
-        RowBatch raw = generator_.generatePartition(partition_id);
-        it = partitions_
-                 .emplace(partition_id, writer_.write(raw, partition_id))
-                 .first;
-        cache_order_.push_back(partition_id);
-        cached_bytes_ += it->second.size();
-        // Evict oldest entries past the budget — but never the one just
-        // requested, whose reference we are about to return.
-        while (cache_budget_bytes_ > 0 &&
-               cached_bytes_ > cache_budget_bytes_ &&
-               cache_order_.front() != partition_id) {
-            auto victim = partitions_.find(cache_order_.front());
-            cache_order_.pop_front();
-            if (victim == partitions_.end())
-                continue;
-            cached_bytes_ -= victim->second.size();
-            partitions_.erase(victim);
-            ++evictions_;
-        }
+    if (it != partitions_.end())
+        return it->second;
+    RowBatch raw = generator_.generatePartition(partition_id);
+    return insertCacheLocked(partition_id, writer_.write(raw, partition_id));
+}
+
+const std::vector<uint8_t>&
+PartitionStore::insertCacheLocked(uint64_t partition_id,
+                                  std::vector<uint8_t> bytes)
+{
+    auto it = partitions_.emplace(partition_id, std::move(bytes)).first;
+    cache_order_.push_back(partition_id);
+    cached_bytes_ += it->second.size();
+    // Evict oldest entries past the budget — but never the one just
+    // requested, whose reference we are about to return.
+    while (cache_budget_bytes_ > 0 &&
+           cached_bytes_ > cache_budget_bytes_ &&
+           cache_order_.front() != partition_id) {
+        auto victim = partitions_.find(cache_order_.front());
+        cache_order_.pop_front();
+        if (victim == partitions_.end())
+            continue;
+        cached_bytes_ -= victim->second.size();
+        partitions_.erase(victim);
+        ++evictions_;
     }
     return it->second;
 }
@@ -79,8 +84,11 @@ PartitionStore::setFaultInjector(const FaultInjector* faults)
 }
 
 StatusOr<std::vector<uint8_t>>
-PartitionStore::fetchPartition(uint64_t partition_id, uint64_t attempt)
+PartitionStore::fetchPartition(uint64_t partition_id, uint64_t attempt,
+                               bool* hot_tier_hit)
 {
+    if (hot_tier_hit != nullptr)
+        *hot_tier_hit = false;
     // Fault draws key off (partition, attempt) — not thread schedule —
     // so concurrent workers observe a reproducible fault pattern. The
     // bytes are copied under the lock: with a cache budget set, a
@@ -89,7 +97,43 @@ PartitionStore::fetchPartition(uint64_t partition_id, uint64_t attempt)
     std::vector<uint8_t> bytes;
     {
         std::scoped_lock lock(mu_);
-        bytes = partitionLocked(partition_id);
+        if (retired_.count(partition_id) != 0) {
+            return Status::notFound("partition " +
+                                    std::to_string(partition_id) +
+                                    " is retired");
+        }
+        if (auto hot = hot_.find(partition_id); hot != hot_.end()) {
+            // Hot-tier hit: served from memory, never touches the
+            // device path — so no fault draw either.
+            ++hot_hits_;
+            if (hot_tier_hit != nullptr)
+                *hot_tier_hit = true;
+            return hot->second;
+        }
+        ++cold_fetches_;
+        auto cached = partitions_.find(partition_id);
+        if (cached != partitions_.end()) {
+            bytes = cached->second;
+        } else if (segments_ != nullptr) {
+            // Cold pin of an evicted partition in persistent mode:
+            // stream the encoded bytes back off the segment store
+            // rather than silently regenerating them.
+            auto info = segments_->segmentForPartition(partition_id);
+            if (info.ok()) {
+                auto raw = segments_->readSegmentRaw(
+                    info->meta.segment_id);
+                if (!raw.ok())
+                    return raw.status();
+                ++disk_reads_;
+                bytes = insertCacheLocked(partition_id, *std::move(raw));
+            } else if (info.status().code() == StatusCode::kNotFound) {
+                bytes = partitionLocked(partition_id);
+            } else {
+                return info.status();
+            }
+        } else {
+            bytes = partitionLocked(partition_id);
+        }
         faults = faults_;
     }
     if (faults == nullptr)
@@ -103,6 +147,152 @@ PartitionStore::fetchPartition(uint64_t partition_id, uint64_t attempt)
     if (faults->corruptionOccurs(partition_id, attempt))
         faults->corruptBytes(bytes, partition_id, attempt);
     return bytes;
+}
+
+void
+PartitionStore::setHotTierBudget(uint64_t bytes)
+{
+    std::scoped_lock lock(mu_);
+    hot_budget_bytes_ = bytes;
+    shrinkHotTierLocked();
+}
+
+void
+PartitionStore::shrinkHotTierLocked()
+{
+    const uint64_t budget = hot_budget_bytes_;
+    while (!hot_.empty() && (budget == 0 || hot_bytes_ > budget)) {
+        auto last = std::prev(hot_.end());
+        hot_bytes_ -= last->second.size();
+        hot_.erase(last);
+    }
+}
+
+Status
+PartitionStore::promotePartition(uint64_t partition_id)
+{
+    std::scoped_lock lock(mu_);
+    if (retired_.count(partition_id) != 0) {
+        return Status::notFound("partition " +
+                                std::to_string(partition_id) +
+                                " is retired");
+    }
+    if (hot_budget_bytes_ == 0)
+        return Status::failedPrecondition("hot tier is disabled");
+    if (hot_.count(partition_id) != 0)
+        return Status::okStatus();
+    // Materializing through the cache keeps hot bytes bit-identical to
+    // what a cold fetch would serve.
+    std::vector<uint8_t> bytes = partitionLocked(partition_id);
+    if (hot_bytes_ + bytes.size() > hot_budget_bytes_) {
+        return Status::resourceExhausted(
+            "hot tier budget exhausted (" +
+            std::to_string(hot_bytes_) + " + " +
+            std::to_string(bytes.size()) + " > " +
+            std::to_string(hot_budget_bytes_) + " bytes)");
+    }
+    hot_bytes_ += bytes.size();
+    hot_.emplace(partition_id, std::move(bytes));
+    return Status::okStatus();
+}
+
+void
+PartitionStore::demotePartition(uint64_t partition_id)
+{
+    std::scoped_lock lock(mu_);
+    auto it = hot_.find(partition_id);
+    if (it == hot_.end())
+        return;
+    hot_bytes_ -= it->second.size();
+    hot_.erase(it);
+}
+
+uint64_t
+PartitionStore::hotTierBytes() const
+{
+    std::scoped_lock lock(mu_);
+    return hot_bytes_;
+}
+
+size_t
+PartitionStore::hotTierCount() const
+{
+    std::scoped_lock lock(mu_);
+    return hot_.size();
+}
+
+uint64_t
+PartitionStore::hotTierHits() const
+{
+    std::scoped_lock lock(mu_);
+    return hot_hits_;
+}
+
+uint64_t
+PartitionStore::coldFetches() const
+{
+    std::scoped_lock lock(mu_);
+    return cold_fetches_;
+}
+
+uint64_t
+PartitionStore::diskReads() const
+{
+    std::scoped_lock lock(mu_);
+    return disk_reads_;
+}
+
+StatusOr<uint64_t>
+PartitionStore::retirePartition(uint64_t partition_id)
+{
+    // Mark first, drop memory, then retire segments. Marking before the
+    // durable retire is safe: retired_ is in-memory only, and the
+    // catalog's recovery path re-drives the durable retire after a
+    // crash, so the on-disk state still converges.
+    SegmentStore* segments = nullptr;
+    uint64_t reclaimed = 0;
+    {
+        std::scoped_lock lock(mu_);
+        if (!retired_.insert(partition_id).second)
+            return uint64_t{0};  // already retired
+        auto cached = partitions_.find(partition_id);
+        if (cached != partitions_.end()) {
+            cached_bytes_ -= cached->second.size();
+            if (segments_ == nullptr)
+                reclaimed += cached->second.size();
+            partitions_.erase(cached);
+        }
+        auto hot = hot_.find(partition_id);
+        if (hot != hot_.end()) {
+            hot_bytes_ -= hot->second.size();
+            hot_.erase(hot);
+        }
+        segments = segments_;
+    }
+    if (segments == nullptr)
+        return reclaimed;
+    // Retire every live segment holding the partition (compaction can
+    // leave several); each retire is journaled before its unlink, so a
+    // crash leaves a durable prefix that recovery completes.
+    for (;;) {
+        auto info = segments->segmentForPartition(partition_id);
+        if (info.status().code() == StatusCode::kNotFound)
+            break;
+        if (!info.ok())
+            return info.status();
+        if (Status st = segments->retireSegment(info->meta.segment_id);
+            !st.ok())
+            return st;
+        reclaimed += info->meta.byte_size;
+    }
+    return reclaimed;
+}
+
+bool
+PartitionStore::isRetired(uint64_t partition_id) const
+{
+    std::scoped_lock lock(mu_);
+    return retired_.count(partition_id) != 0;
 }
 
 void

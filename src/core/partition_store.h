@@ -16,6 +16,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "columnar/columnar_file.h"
@@ -74,11 +75,80 @@ class PartitionStore
      * read can fail transiently (kUnavailable) or deliver bytes with a
      * bit flipped — which the PSF page CRCs catch downstream, making
      * this the hook for exercising the corruption-recovery path.
+     *
+     * Tiering: a partition resident in the hot memory tier (see
+     * promotePartition) is served straight from memory — no device
+     * read, so no fault draw — and counted as a hot-tier hit. Any
+     * other fetch is a cold fetch: served from the encoded cache when
+     * present, re-read from the backing segment store (persistent
+     * mode, counted in diskReads()) or re-materialized from the
+     * generator otherwise. A retired partition is kNotFound.
+     *
      * @param attempt Retry ordinal of this fetch (0 = first try);
      *        part of the deterministic fault-draw identity.
+     * @param hot_tier_hit Optional: set to whether this fetch was
+     *        served from the hot tier.
      */
-    StatusOr<std::vector<uint8_t>> fetchPartition(uint64_t partition_id,
-                                                  uint64_t attempt = 0);
+    StatusOr<std::vector<uint8_t>> fetchPartition(
+        uint64_t partition_id, uint64_t attempt = 0,
+        bool* hot_tier_hit = nullptr);
+
+    // --- Hot memory tier -------------------------------------------------
+    //
+    // The hot tier holds the encoded bytes of the epoch trainers are
+    // actually streaming (the catalog promotes the head epoch into it).
+    // Hot entries are exempt from the FIFO cache eviction and are served
+    // without touching the device path at all; the tier is bounded by
+    // its own budget so promotion of a fat epoch degrades to partial
+    // residency instead of unbounded memory growth.
+
+    /**
+     * Bound the hot tier to @p bytes (0 = promotion disabled; the
+     * default). Shrinking the budget below current residency demotes
+     * hottest-last until it fits.
+     */
+    void setHotTierBudget(uint64_t bytes);
+
+    /**
+     * Pin @p partition_id's encoded bytes into the hot tier.
+     * kResourceExhausted when the budget cannot hold it (callers stop
+     * promoting the rest of the epoch); ok and idempotent otherwise.
+     */
+    Status promotePartition(uint64_t partition_id);
+
+    /** Drop @p partition_id from the hot tier (no-op when absent). */
+    void demotePartition(uint64_t partition_id);
+
+    /** Encoded bytes currently resident in the hot tier. */
+    uint64_t hotTierBytes() const;
+
+    /** Partitions currently resident in the hot tier. */
+    size_t hotTierCount() const;
+
+    /** Fetches served from the hot tier. */
+    uint64_t hotTierHits() const;
+
+    /** Fetches served outside the hot tier (cache, disk, generator). */
+    uint64_t coldFetches() const;
+
+    /** Cold fetches that re-read encoded bytes off the segment store. */
+    uint64_t diskReads() const;
+
+    // --- Retirement ------------------------------------------------------
+
+    /**
+     * Retire @p partition_id: durably retire every live segment holding
+     * it on the backing store (persistent mode; each retire record is
+     * journaled before the unlink, so a crash mid-retire recovers to
+     * the journal's prefix), then drop its cached and hot-tier bytes
+     * and refuse future fetches with kNotFound. Idempotent.
+     * @return encoded bytes reclaimed (disk bytes in persistent mode,
+     *         cached bytes otherwise).
+     */
+    StatusOr<uint64_t> retirePartition(uint64_t partition_id);
+
+    /** True when @p partition_id has been retired. */
+    bool isRetired(uint64_t partition_id) const;
 
     /** Encoded size of a partition in bytes. */
     uint64_t partitionBytes(uint64_t partition_id);
@@ -122,10 +192,17 @@ class PartitionStore
   private:
     /** Materialize (if needed) and return @p partition_id; mu_ held. */
     const std::vector<uint8_t>& partitionLocked(uint64_t partition_id);
+    /** Insert freshly obtained encoded bytes into the cache and evict
+        past the budget; mu_ held. Returns the cached entry. */
+    const std::vector<uint8_t>& insertCacheLocked(
+        uint64_t partition_id, std::vector<uint8_t> bytes);
     /** Copy of the encoded bytes, taken while holding mu_ — safe
         against concurrent eviction, unlike the reference from
         partition(). */
     std::vector<uint8_t> partitionCopy(uint64_t partition_id);
+    /** Demote hot entries (largest id first) until the tier fits its
+        budget; mu_ held. */
+    void shrinkHotTierLocked();
 
     const RawDataGenerator& generator_;
     ColumnarFileWriter writer_;
@@ -137,6 +214,13 @@ class PartitionStore
     uint64_t cache_budget_bytes_ = 0;   ///< 0 = unlimited
     uint64_t cached_bytes_ = 0;
     uint64_t evictions_ = 0;
+    std::map<uint64_t, std::vector<uint8_t>> hot_;  ///< hot memory tier
+    uint64_t hot_budget_bytes_ = 0;  ///< 0 = promotion disabled
+    uint64_t hot_bytes_ = 0;
+    uint64_t hot_hits_ = 0;
+    uint64_t cold_fetches_ = 0;
+    uint64_t disk_reads_ = 0;
+    std::set<uint64_t> retired_;  ///< retired partition ids
 };
 
 }  // namespace presto

@@ -22,19 +22,127 @@ struct CatalogDataset {
     /** Durable backing per shard (empty in memory-only mode). */
     std::vector<SegmentStore*> segment_shards;
 
-    /** Serializes publishes of this dataset. */
+    /** Serializes publishes (and retention passes) of this dataset. */
     std::mutex publish_mu;
     /** Newest fully-published epoch (0 = none). The release store in
         publishEpoch() is the single atomic-publish point. */
     std::atomic<uint64_t> head{0};
 
+    /**
+     * Linearizes pin() against retention. An epoch transitions to
+     * retired under this mutex only while its pin count is zero, and
+     * pin() checks retired_epochs under the same mutex — so a racing
+     * pin either lands first (sparing the epoch this pass) or fails.
+     */
+    std::mutex pins_mu;
+    std::map<uint64_t, uint64_t> pin_counts;  ///< epoch -> live pins
+    std::set<uint64_t> retired_epochs;
+
     bool persistent() const { return !segment_shards.empty(); }
     size_t numShards() const { return shards.size(); }
+
+    /** Effective per-shard hot tier budget (see DatasetSpec). */
+    uint64_t
+    hotTierBudget() const
+    {
+        return spec.hot_tier_bytes != 0 ? spec.hot_tier_bytes
+                                        : spec.cache_budget_bytes / 2;
+    }
 };
 
+namespace {
+
+/** Epoch a storage partition id belongs to. */
+constexpr uint64_t
+epochOfPartition(uint64_t partition_id)
+{
+    return partition_id >> 20;
+}
+
+/**
+ * Take a pin on @p epoch; the returned token releases it when the
+ * last copy dies. Fails when retention already retired the epoch.
+ */
+StatusOr<std::shared_ptr<void>>
+acquirePin(const std::shared_ptr<CatalogDataset>& state, uint64_t epoch)
+{
+    std::scoped_lock lock(state->pins_mu);
+    if (state->retired_epochs.count(epoch) != 0) {
+        return Status::notFound(
+            "epoch " + std::to_string(epoch) + " of " +
+            state->spec.name + " has been retired");
+    }
+    ++state->pin_counts[epoch];
+    return std::shared_ptr<void>(
+        static_cast<void*>(nullptr),
+        [state, epoch](void*) {
+            std::scoped_lock release(state->pins_mu);
+            auto it = state->pin_counts.find(epoch);
+            if (it != state->pin_counts.end() && --it->second == 0)
+                state->pin_counts.erase(it);
+        });
+}
+
+/**
+ * Move the hot tier to @p new_head: demote the previous head's
+ * partitions, then promote the new head's until a shard's budget runs
+ * out (partial residency — promotion failures are not errors).
+ */
+void
+promoteHeadEpoch(CatalogDataset& ds, uint64_t new_head, uint64_t old_head)
+{
+    if (ds.hotTierBudget() == 0 || new_head == old_head)
+        return;
+    const size_t num_shards = ds.numShards();
+    if (old_head != 0) {
+        for (uint64_t i = 0; i < ds.spec.partitions_per_epoch; ++i) {
+            ds.shards[i % num_shards]->demotePartition(
+                epochPartitionId(old_head, i));
+        }
+    }
+    if (new_head == 0)
+        return;
+    std::vector<bool> full(num_shards, false);
+    for (uint64_t i = 0; i < ds.spec.partitions_per_epoch; ++i) {
+        const size_t s = i % num_shards;
+        if (full[s])
+            continue;
+        Status st = ds.shards[s]->promotePartition(
+            epochPartitionId(new_head, i));
+        if (st.code() == StatusCode::kResourceExhausted)
+            full[s] = true;  // stop materializing for this shard
+    }
+}
+
+/**
+ * Retire every partition of @p epoch across the shards. Idempotent:
+ * already-retired partitions contribute nothing.
+ */
+StatusOr<std::pair<uint64_t, uint64_t>>  // (partitions, bytes)
+retireEpochPartitions(CatalogDataset& ds, uint64_t epoch)
+{
+    uint64_t partitions = 0;
+    uint64_t bytes = 0;
+    for (uint64_t i = 0; i < ds.spec.partitions_per_epoch; ++i) {
+        auto reclaimed = ds.shards[i % ds.numShards()]->retirePartition(
+            epochPartitionId(epoch, i));
+        if (!reclaimed.ok())
+            return reclaimed.status();
+        ++partitions;
+        bytes += *reclaimed;
+    }
+    return std::make_pair(partitions, bytes);
+}
+
+}  // namespace
+
 EpochReader::EpochReader(std::shared_ptr<CatalogDataset> state,
-                         uint64_t epoch, size_t partitions)
-    : state_(std::move(state)), epoch_(epoch), partitions_(partitions)
+                         uint64_t epoch, size_t partitions,
+                         std::shared_ptr<void> pin_token)
+    : state_(std::move(state)),
+      epoch_(epoch),
+      partitions_(partitions),
+      pin_token_(std::move(pin_token))
 {
 }
 
@@ -69,7 +177,8 @@ EpochReader::shardOf(size_t index) const
 }
 
 StatusOr<std::vector<uint8_t>>
-EpochReader::fetchEncoded(size_t index, uint64_t attempt) const
+EpochReader::fetchEncoded(size_t index, uint64_t attempt,
+                          bool* hot_tier_hit) const
 {
     if (!valid())
         return Status::failedPrecondition("EpochReader is not pinned");
@@ -79,13 +188,14 @@ EpochReader::fetchEncoded(size_t index, uint64_t attempt) const
             std::to_string(partitions_));
     }
     return state_->shards[index % state_->numShards()]->fetchPartition(
-        partitionId(index), attempt);
+        partitionId(index), attempt, hot_tier_hit);
 }
 
 Status
-EpochReader::readPartition(size_t index, RowBatch& out) const
+EpochReader::readPartition(size_t index, RowBatch& out,
+                           bool* hot_tier_hit) const
 {
-    auto encoded = fetchEncoded(index);
+    auto encoded = fetchEncoded(index, 0, hot_tier_hit);
     if (!encoded.ok())
         return encoded.status();
     ColumnarFileReader reader;
@@ -96,16 +206,27 @@ EpochReader::readPartition(size_t index, RowBatch& out) const
 
 namespace {
 
+/** What persistent-shard recovery derived from the journals. */
+struct RecoveredLifecycle {
+    uint64_t head = 0;  ///< newest fully-live epoch
+    /** Epochs below head that are not fully live: fully-retired ones
+        plus half-retired crash leftovers recovery must finish. */
+    std::set<uint64_t> retired;
+};
+
 /**
- * Head recovery over persistent shards: epoch e is published iff every
- * one of its partitions has a live segment on its shard. Epochs are
- * published sequentially, so the head is the longest prefix of complete
- * epochs — a crash mid-publish of e leaves e incomplete and the head at
- * e - 1.
+ * Head recovery over persistent shards: epoch e is fully live iff
+ * every one of its partitions has a live segment on its shard. With
+ * retention in play the live epochs are no longer a prefix, so the
+ * head is the NEWEST fully-live epoch; a partial epoch above it is a
+ * crash-mid-publish leftover (harmless — republish reuses its
+ * segments), while any non-fully-live epoch below it was (at least
+ * partly) retired — recovery completes those retires so every epoch
+ * ends fully live or fully retired.
  */
-uint64_t
-recoverHead(const DatasetSpec& spec,
-            const std::vector<SegmentStore*>& segment_shards)
+RecoveredLifecycle
+recoverLifecycle(const DatasetSpec& spec,
+                 const std::vector<SegmentStore*>& segment_shards)
 {
     std::set<uint64_t> live;
     for (SegmentStore* store : segment_shards) {
@@ -115,8 +236,22 @@ recoverHead(const DatasetSpec& spec,
                 live.insert(info.meta.partition_id);
         }
     }
-    uint64_t head = 0;
-    for (uint64_t epoch = 1;; ++epoch) {
+    RecoveredLifecycle out;
+    if (live.empty())
+        return out;
+    const uint64_t max_epoch = epochOfPartition(*live.rbegin());
+    for (uint64_t epoch = 1; epoch <= max_epoch; ++epoch) {
+        bool complete = true;
+        for (uint64_t i = 0; i < spec.partitions_per_epoch; ++i) {
+            if (live.count(epochPartitionId(epoch, i)) == 0) {
+                complete = false;
+                break;
+            }
+        }
+        if (complete)
+            out.head = epoch;
+    }
+    for (uint64_t epoch = 1; epoch < out.head; ++epoch) {
         bool complete = true;
         for (uint64_t i = 0; i < spec.partitions_per_epoch; ++i) {
             if (live.count(epochPartitionId(epoch, i)) == 0) {
@@ -125,10 +260,9 @@ recoverHead(const DatasetSpec& spec,
             }
         }
         if (!complete)
-            break;
-        head = epoch;
+            out.retired.insert(epoch);
     }
-    return head;
+    return out;
 }
 
 }  // namespace
@@ -160,13 +294,43 @@ DatasetCatalog::registerDataset(DatasetSpec spec,
         auto shard = std::make_unique<PartitionStore>(*state->generator);
         if (state->spec.cache_budget_bytes > 0)
             shard->setCacheBudget(state->spec.cache_budget_bytes);
+        if (state->hotTierBudget() > 0)
+            shard->setHotTierBudget(state->hotTierBudget());
         if (state->persistent())
             shard->enablePersistence(state->segment_shards[s]);
         state->shards.push_back(std::move(shard));
     }
     if (state->persistent()) {
-        state->head.store(recoverHead(state->spec, state->segment_shards),
-                          std::memory_order_release);
+        const RecoveredLifecycle recovered =
+            recoverLifecycle(state->spec, state->segment_shards);
+        state->head.store(recovered.head, std::memory_order_release);
+        // Finish any retire a crash interrupted: re-driving the
+        // journaled retires is idempotent, and marking the epoch
+        // retired up front keeps half-dead epochs unpinnable.
+        for (uint64_t epoch : recovered.retired) {
+            state->retired_epochs.insert(epoch);
+            if (auto done = retireEpochPartitions(*state, epoch);
+                !done.ok()) {
+                return done.status();
+            }
+        }
+        if (recovered.head != 0)
+            promoteHeadEpoch(*state, recovered.head, 0);
+        // Pin-aware scrub: pinned epochs' segments get verified first.
+        // (A store shared across datasets keeps the last hook wired.)
+        std::weak_ptr<CatalogDataset> weak = state;
+        for (SegmentStore* store : state->segment_shards) {
+            store->setScrubPriority([weak](uint64_t partition_id) {
+                auto ds = weak.lock();
+                if (ds == nullptr)
+                    return uint64_t{0};
+                std::scoped_lock pins(ds->pins_mu);
+                auto it =
+                    ds->pin_counts.find(epochOfPartition(partition_id));
+                return it == ds->pin_counts.end() ? uint64_t{0}
+                                                  : it->second;
+            });
+        }
     }
 
     std::scoped_lock lock(mu_);
@@ -220,6 +384,8 @@ DatasetCatalog::publishEpoch(const std::string& dataset)
     // epoch is committed; concurrent pins see either epoch-1 or epoch,
     // never a partial epoch.
     ds.head.store(epoch, std::memory_order_release);
+    // The new head is the hot epoch now; yesterday's moves to cold.
+    promoteHeadEpoch(ds, epoch, epoch - 1);
     return epoch;
 }
 
@@ -234,8 +400,11 @@ DatasetCatalog::pin(const std::string& dataset) const
         return Status::failedPrecondition(
             "dataset has no published epoch: " + dataset);
     }
-    return EpochReader(*state, head,
-                       (*state)->spec.partitions_per_epoch);
+    auto token = acquirePin(*state, head);
+    if (!token.ok())
+        return token.status();
+    return EpochReader(*state, head, (*state)->spec.partitions_per_epoch,
+                       *std::move(token));
 }
 
 StatusOr<EpochReader>
@@ -250,8 +419,104 @@ DatasetCatalog::pin(const std::string& dataset, uint64_t epoch) const
             "epoch " + std::to_string(epoch) + " of " + dataset +
             " is not published (head " + std::to_string(head) + ")");
     }
+    auto token = acquirePin(*state, epoch);
+    if (!token.ok())
+        return token.status();
     return EpochReader(*state, epoch,
-                       (*state)->spec.partitions_per_epoch);
+                       (*state)->spec.partitions_per_epoch,
+                       *std::move(token));
+}
+
+StatusOr<RetentionReport>
+DatasetCatalog::applyRetention(const std::string& dataset)
+{
+    auto found = find(dataset);
+    if (!found.ok())
+        return found.status();
+    const std::shared_ptr<CatalogDataset>& state = *found;
+    CatalogDataset& ds = *state;
+
+    RetentionReport report;
+    // Serialized with publishes so the pass sees a stable head and a
+    // half-finished publish is never misread as a retirable epoch.
+    std::scoped_lock publish_lock(ds.publish_mu);
+    const uint64_t head = ds.head.load(std::memory_order_acquire);
+    if (ds.spec.retain_epochs == 0 || head <= ds.spec.retain_epochs) {
+        std::scoped_lock pins(ds.pins_mu);
+        report.live_epochs = head - ds.retired_epochs.size();
+        return report;
+    }
+    const uint64_t retire_below = head - ds.spec.retain_epochs + 1;
+    for (uint64_t epoch = 1; epoch < retire_below; ++epoch) {
+        // Claim the epoch under pins_mu: only pin-free epochs flip to
+        // retired, and a pin that lost the race fails (acquirePin
+        // checks retired_epochs under the same mutex).
+        {
+            std::scoped_lock pins(ds.pins_mu);
+            if (ds.retired_epochs.count(epoch) != 0)
+                continue;
+            auto pinned = ds.pin_counts.find(epoch);
+            if (pinned != ds.pin_counts.end() && pinned->second > 0) {
+                ++report.epochs_kept_pinned;
+                continue;
+            }
+            ds.retired_epochs.insert(epoch);
+        }
+        auto done = retireEpochPartitions(ds, epoch);
+        if (!done.ok())
+            return done.status();
+        ++report.epochs_retired;
+        report.partitions_retired += done->first;
+        report.bytes_reclaimed += done->second;
+    }
+    std::scoped_lock pins(ds.pins_mu);
+    report.live_epochs = head - ds.retired_epochs.size();
+    return report;
+}
+
+StatusOr<uint64_t>
+DatasetCatalog::pinCount(const std::string& dataset, uint64_t epoch) const
+{
+    auto state = find(dataset);
+    if (!state.ok())
+        return state.status();
+    std::scoped_lock pins((*state)->pins_mu);
+    auto it = (*state)->pin_counts.find(epoch);
+    return it == (*state)->pin_counts.end() ? uint64_t{0} : it->second;
+}
+
+StatusOr<bool>
+DatasetCatalog::epochRetired(const std::string& dataset,
+                             uint64_t epoch) const
+{
+    auto state = find(dataset);
+    if (!state.ok())
+        return state.status();
+    std::scoped_lock pins((*state)->pins_mu);
+    return (*state)->retired_epochs.count(epoch) != 0;
+}
+
+StatusOr<uint64_t>
+DatasetCatalog::liveEpochs(const std::string& dataset) const
+{
+    auto state = find(dataset);
+    if (!state.ok())
+        return state.status();
+    const uint64_t head = (*state)->head.load(std::memory_order_acquire);
+    std::scoped_lock pins((*state)->pins_mu);
+    return head - (*state)->retired_epochs.size();
+}
+
+StatusOr<uint64_t>
+DatasetCatalog::liveBytes(const std::string& dataset) const
+{
+    auto state = find(dataset);
+    if (!state.ok())
+        return state.status();
+    uint64_t total = 0;
+    for (SegmentStore* store : (*state)->segment_shards)
+        total += store->liveBytes();
+    return total;
 }
 
 StatusOr<uint64_t>

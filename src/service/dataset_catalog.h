@@ -25,6 +25,13 @@
  *    crash that aborts a later publish — because partition content is a
  *    pure function of (dataset seed, partition id) and partition ids
  *    embed the epoch.
+ *  - applyRetention() bounds the steady-state footprint: old epochs
+ *    beyond the newest retain_epochs are retired through the segment
+ *    stores' journaled retire path — except epochs trainers still
+ *    pin, which survive until their last reader drops. The head epoch
+ *    is promoted into each shard's hot memory tier on publish, so hot
+ *    reads skip the device while cold pins stream from disk, and the
+ *    shards' scrub cursors prioritize pinned epochs' segments.
  *
  * Crash safety (persistent mode): every partition commit goes through
  * SegmentStore's crash-atomic intent->publish->seal protocol, so a
@@ -70,6 +77,32 @@ struct DatasetSpec {
      * evicted partitions re-materialize deterministically on demand.
      */
     uint64_t cache_budget_bytes = 0;
+    /**
+     * Retention policy: keep the newest @c retain_epochs published
+     * epochs plus any older epoch with live pins; applyRetention()
+     * retires the rest. 0 (the default) disables retention — every
+     * epoch stays live forever, PR 9 behavior.
+     */
+    size_t retain_epochs = 0;
+    /**
+     * Per-shard hot memory tier budget in bytes. The head epoch is
+     * promoted into the hot tier on publish so trainers streaming it
+     * skip the device path entirely (PartitionStore hot-tier hits);
+     * older pinned epochs stream cold from disk. 0 sizes the tier
+     * against the cache budget (cache_budget_bytes / 2); the tier is
+     * disabled when both are 0.
+     */
+    uint64_t hot_tier_bytes = 0;
+};
+
+/** What one applyRetention() pass did. */
+struct RetentionReport {
+    uint64_t epochs_retired = 0;       ///< epochs fully retired this pass
+    uint64_t epochs_kept_pinned = 0;   ///< eligible but pinned, spared
+    uint64_t partitions_retired = 0;
+    uint64_t bytes_reclaimed = 0;      ///< encoded bytes freed (disk in
+                                       ///< persistent mode)
+    uint64_t live_epochs = 0;          ///< epochs still live after pass
 };
 
 struct CatalogDataset;  // internal state, defined in dataset_catalog.cc
@@ -81,6 +114,12 @@ struct CatalogDataset;  // internal state, defined in dataset_catalog.cc
  * dataset state alive via shared ownership, so it remains valid after
  * the catalog itself is destroyed. Thread-safe (the underlying
  * partition stores lock internally).
+ *
+ * Pinning is visible to retention: while any reader (or copy) of an
+ * epoch is alive, applyRetention() will not retire that epoch, so the
+ * reader keeps replaying it bit-identically no matter how many newer
+ * epochs are published and retired around it. The pin releases when
+ * the last copy is destroyed.
  */
 class EpochReader
 {
@@ -106,23 +145,31 @@ class EpochReader
      * Encoded PSF bytes of logical partition @p index, fetched the way
      * a preprocessing worker reads them off the shard (subject to the
      * shard's fault injector, like PartitionStore::fetchPartition).
+     * @param hot_tier_hit Optional: whether the shard served this
+     *        fetch from its hot memory tier.
      */
-    StatusOr<std::vector<uint8_t>> fetchEncoded(size_t index,
-                                                uint64_t attempt = 0) const;
+    StatusOr<std::vector<uint8_t>> fetchEncoded(
+        size_t index, uint64_t attempt = 0,
+        bool* hot_tier_hit = nullptr) const;
 
-    /** Fetch + decode logical partition @p index into @p out. */
-    Status readPartition(size_t index, RowBatch& out) const;
+    /** Fetch + decode logical partition @p index into @p out.
+        @param hot_tier_hit Optional: as in fetchEncoded. */
+    Status readPartition(size_t index, RowBatch& out,
+                         bool* hot_tier_hit = nullptr) const;
 
     bool valid() const { return state_ != nullptr; }
 
   private:
     friend class DatasetCatalog;
     EpochReader(std::shared_ptr<CatalogDataset> state, uint64_t epoch,
-                size_t partitions);
+                size_t partitions, std::shared_ptr<void> pin_token);
 
     std::shared_ptr<CatalogDataset> state_;
     uint64_t epoch_ = 0;
     size_t partitions_ = 0;
+    /** RAII pin: keeps the epoch's catalog pin count positive for the
+        life of this reader and every copy of it. */
+    std::shared_ptr<void> pin_token_;
 };
 
 /**
@@ -168,6 +215,38 @@ class DatasetCatalog
 
     /** Newest published epoch of @p dataset (0 = none yet). */
     StatusOr<uint64_t> headEpoch(const std::string& dataset) const;
+
+    /**
+     * Apply the dataset's retention policy now: retire every epoch
+     * older than the newest spec.retain_epochs ones, except epochs
+     * with live pins (spared this pass, reported as kept_pinned) —
+     * they become eligible again once their last reader drops. A
+     * no-op when retain_epochs is 0.
+     *
+     * Retirement goes through the segment stores' journaled retire
+     * path (persistent mode), so a crash mid-pass leaves each epoch
+     * recoverable as either fully live or fully retired — recovery at
+     * the next registerDataset() finishes any half-retired epoch.
+     * Racing pin() calls are linearized against the pass: a pin
+     * either lands before the epoch is claimed (sparing it) or fails.
+     */
+    StatusOr<RetentionReport> applyRetention(const std::string& dataset);
+
+    /** Live pins on one epoch (0 when unpinned or retired). */
+    StatusOr<uint64_t> pinCount(const std::string& dataset,
+                                uint64_t epoch) const;
+
+    /** True when @p epoch has been retired by retention. */
+    StatusOr<bool> epochRetired(const std::string& dataset,
+                                uint64_t epoch) const;
+
+    /** Published epochs still live (head minus retired). */
+    StatusOr<uint64_t> liveEpochs(const std::string& dataset) const;
+
+    /** Live segment bytes across the dataset's persistent shards —
+        the steady-state disk footprint retention bounds. 0 in
+        memory-only mode. */
+    StatusOr<uint64_t> liveBytes(const std::string& dataset) const;
 
     /** Registered dataset names, sorted. */
     std::vector<std::string> datasets() const;

@@ -33,6 +33,8 @@ struct IngestService::Session {
     uint64_t produced = 0;
     uint64_t delivered = 0;
     size_t max_queue_occupancy = 0;
+    uint64_t hot_tier_hits = 0;
+    uint64_t cold_fetches = 0;
 
     bool
     eligible() const
@@ -221,7 +223,8 @@ IngestService::workerLoop()
         out.epoch = pick->reader.epoch();
         out.partition_index = index;
         RowBatch raw;
-        Status st = pick->reader.readPartition(index, raw);
+        bool hot_tier_hit = false;
+        Status st = pick->reader.readPartition(index, raw, &hot_tier_hit);
         if (st.ok()) {
             out.batch = std::make_unique<MiniBatch>(
                 pick->executor->run(raw));
@@ -229,6 +232,12 @@ IngestService::workerLoop()
 
         lock.lock();
         pick->in_flight = false;
+        if (st.ok()) {
+            if (hot_tier_hit)
+                ++pick->hot_tier_hits;
+            else
+                ++pick->cold_fetches;
+        }
         if (!st.ok()) {
             pick->error = st;
         } else if (!pick->closing) {
@@ -308,6 +317,8 @@ IngestService::sessionStats(uint64_t session_id) const
     stats.queue_capacity = s.spec.queue_capacity;
     stats.max_queue_occupancy = s.max_queue_occupancy;
     stats.service_sec_estimate = s.service_sec_estimate;
+    stats.hot_tier_hits = s.hot_tier_hits;
+    stats.cold_fetches = s.cold_fetches;
     return stats;
 }
 
@@ -327,6 +338,8 @@ IngestService::allSessionStats() const
         stats.queue_capacity = s.spec.queue_capacity;
         stats.max_queue_occupancy = s.max_queue_occupancy;
         stats.service_sec_estimate = s.service_sec_estimate;
+        stats.hot_tier_hits = s.hot_tier_hits;
+        stats.cold_fetches = s.cold_fetches;
         all.push_back(std::move(stats));
     }
     return all;

@@ -101,6 +101,11 @@ struct SessionStats {
     size_t queue_capacity = 0;
     size_t max_queue_occupancy = 0;  ///< high-water mark (bounded proof)
     double service_sec_estimate = 0;
+    /** Fetches served from the shard's hot memory tier (the session
+        streams the promoted head epoch). */
+    uint64_t hot_tier_hits = 0;
+    /** Fetches served cold: cache, disk, or re-materialization. */
+    uint64_t cold_fetches = 0;
 };
 
 /**

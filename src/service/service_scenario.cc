@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <set>
 
 #include "common/logging.h"
 #include "service/admission.h"
@@ -22,6 +23,7 @@ struct TenantState {
     size_t in_flight = 0;        ///< batches being produced
     size_t queue_occupancy = 0;  ///< produced, not yet consumed (stall)
     double vtime = 0;
+    uint64_t pinned_epoch = 0;   ///< 0 = lifecycle off / not joined
 
     TenantReport report;
     std::vector<double> latencies;
@@ -53,10 +55,31 @@ struct ScenarioState {
     uint64_t devices_failed = 0;
     double lost_device_sec = 0;
 
+    // Epoch lifecycle (lifecycle.publish_period_sec > 0).
+    uint64_t head_epoch = 0;
+    std::set<uint64_t> live_epoch_set;  ///< published, not retired
+    uint64_t live_bytes = 0;
+    LifecycleReport lifecycle;
+    std::vector<double> hot_latencies;
+    std::vector<double> cold_latencies;
+
     void dispatch();
     void arrive(TenantState& tenant);
     void startSlotGenerator(TenantState& tenant, uint64_t slot);
     std::vector<AdmissionInput> admittedInputs() const;
+
+    bool lifecycleOn() const
+    {
+        return options->lifecycle.publish_period_sec > 0;
+    }
+    /** Hot iff the tenant streams the promoted head epoch. */
+    bool tenantHot(const TenantState& t) const
+    {
+        return !lifecycleOn() || t.pinned_epoch == head_epoch;
+    }
+    void schedulePublish(double when);
+    void publishEpochEvent();
+    void pinAtJoin(TenantState& tenant);
 };
 
 AdmissionInput
@@ -103,13 +126,30 @@ ScenarioState::dispatch()
             std::max(pick->report.max_queue_occupancy,
                      pick->queue_occupancy + pick->in_flight);
         ++busy;
+        // Tiering classification happens at dispatch: a head-epoch
+        // stream is a hot-tier read, a lagged pin streams its cold
+        // epoch off disk and pays the extra device time.
+        const bool hot = tenantHot(*pick);
+        const double service =
+            options->service_sec +
+            (hot ? 0.0 : options->lifecycle.cold_extra_sec);
         TenantState* tenant = pick;
-        sim.schedule(options->service_sec, [this, tenant, arrival_time] {
+        sim.schedule(service, [this, tenant, arrival_time, hot, service] {
             --busy;
             --tenant->in_flight;
-            busy_device_sec += options->service_sec;
+            busy_device_sec += service;
             ++tenant->report.served;
-            tenant->latencies.push_back(sim.now() - arrival_time);
+            const double latency = sim.now() - arrival_time;
+            tenant->latencies.push_back(latency);
+            if (lifecycleOn()) {
+                if (hot) {
+                    ++tenant->report.hot_served;
+                    hot_latencies.push_back(latency);
+                } else {
+                    ++tenant->report.cold_served;
+                    cold_latencies.push_back(latency);
+                }
+            }
             if (tenant->stalledAt(sim.now())) {
                 ++tenant->queue_occupancy;
                 tenant->report.max_queue_occupancy =
@@ -134,6 +174,91 @@ ScenarioState::arrive(TenantState& tenant)
         std::max(tenant.report.backlog_peak,
                  static_cast<uint64_t>(tenant.backlog.size()));
     dispatch();
+}
+
+void
+ScenarioState::schedulePublish(double when)
+{
+    if (when >= options->duration_sec)
+        return;
+    sim.scheduleAt(when, [this, when] {
+        publishEpochEvent();
+        schedulePublish(when + options->lifecycle.publish_period_sec);
+    });
+}
+
+void
+ScenarioState::publishEpochEvent()
+{
+    const EpochLifecycleModel& model = options->lifecycle;
+    ++head_epoch;
+    live_epoch_set.insert(head_epoch);
+    live_bytes += model.epoch_bytes;
+    ++lifecycle.epochs_published;
+
+    // Head-following tenants re-pin the freshly promoted epoch; a
+    // tenant holding a historical pin keeps it until its hold expires.
+    for (TenantState& tenant : tenants) {
+        if (tenant.admitted && tenant.pinned_epoch != 0 &&
+            sim.now() >= tenant.spec->hold_pin_until_sec) {
+            tenant.pinned_epoch = head_epoch;
+        }
+    }
+
+    // Retention: retire epochs older than the newest retain_epochs,
+    // sparing any epoch a tenant still pins.
+    if (model.retain_epochs > 0 && head_epoch > model.retain_epochs) {
+        const uint64_t retire_below =
+            head_epoch - model.retain_epochs + 1;
+        std::set<uint64_t> pinned;
+        for (const TenantState& tenant : tenants) {
+            if (tenant.admitted && tenant.pinned_epoch != 0)
+                pinned.insert(tenant.pinned_epoch);
+        }
+        for (auto it = live_epoch_set.begin();
+             it != live_epoch_set.end() && *it < retire_below;) {
+            if (pinned.count(*it) != 0) {
+                ++lifecycle.epochs_kept_pinned;
+                ++it;
+                continue;
+            }
+            live_bytes -= model.epoch_bytes;
+            ++lifecycle.epochs_retired;
+            it = live_epoch_set.erase(it);
+        }
+        // The footprint gate, computed from an independent count of
+        // old pinned epochs — a retention bug that leaks epochs shows
+        // up as a violation instead of inflating its own bound.
+        uint64_t pinned_old = 0;
+        for (uint64_t epoch : pinned) {
+            if (epoch < retire_below)
+                ++pinned_old;
+        }
+        const uint64_t bound =
+            (model.retain_epochs + pinned_old) * model.epoch_bytes;
+        if (live_bytes > bound)
+            lifecycle.footprint_bounded = false;
+    }
+    lifecycle.peak_live_epochs =
+        std::max(lifecycle.peak_live_epochs,
+                 static_cast<uint64_t>(live_epoch_set.size()));
+    lifecycle.peak_live_bytes =
+        std::max(lifecycle.peak_live_bytes, live_bytes);
+}
+
+void
+ScenarioState::pinAtJoin(TenantState& tenant)
+{
+    if (!lifecycleOn() || head_epoch == 0)
+        return;
+    const uint64_t lag = tenant.spec->pin_lag_epochs;
+    const uint64_t desired = head_epoch > lag ? head_epoch - lag : 1;
+    // The lagged epoch may already be retired; pin the oldest live
+    // epoch at or after it (there is always one: the head is live).
+    auto it = live_epoch_set.lower_bound(desired);
+    PRESTO_CHECK(it != live_epoch_set.end(),
+                 "head epoch must be live at join");
+    tenant.pinned_epoch = *it;
 }
 
 void
@@ -189,6 +314,12 @@ runServiceScenario(const ScenarioOptions& options,
         tenant.report.queue_capacity = spec.queue_capacity;
     }
 
+    // Epoch publishes run first: at equal times (insertion order) the
+    // t = 0 publish precedes every t = 0 join, so a joining tenant
+    // always finds a published head to pin.
+    if (state.lifecycleOn())
+        state.schedulePublish(0.0);
+
     // Trainer-stall drains: at stall end the trainer catches up and the
     // output queue empties. Scheduled first so a completion landing
     // exactly at stall end is consumed, not queued.
@@ -235,6 +366,7 @@ runServiceScenario(const ScenarioOptions& options,
             tenant.admitted = true;
             tenant.report.admitted = true;
             tenant.report.reject_reason.clear();
+            state.pinAtJoin(tenant);
             state.startSlotGenerator(
                 tenant,
                 static_cast<uint64_t>(tenant.spec->join_sec));
@@ -273,9 +405,40 @@ runServiceScenario(const ScenarioOptions& options,
         }
         tr.slo_met = tenant.spec->slo_p99_sec <= 0 ||
                      tr.p99_latency_sec <= tenant.spec->slo_p99_sec;
+        tr.pinned_epoch = tenant.pinned_epoch;
         report.total_arrivals += tr.arrivals;
         report.total_served += tr.served;
         report.tenants.push_back(std::move(tr));
+    }
+    if (state.lifecycleOn()) {
+        LifecycleReport& lc = state.lifecycle;
+        lc.final_live_bytes = state.live_bytes;
+        lc.hot_served = state.hot_latencies.size();
+        lc.cold_served = state.cold_latencies.size();
+        const uint64_t total = lc.hot_served + lc.cold_served;
+        lc.hot_hit_rate =
+            total > 0 ? static_cast<double>(lc.hot_served) /
+                            static_cast<double>(total)
+                      : 0.0;
+        auto meanOf = [](const std::vector<double>& xs) {
+            if (xs.empty())
+                return 0.0;
+            double sum = 0;
+            for (double x : xs)
+                sum += x;
+            return sum / static_cast<double>(xs.size());
+        };
+        lc.mean_hot_latency_sec = meanOf(state.hot_latencies);
+        lc.mean_cold_latency_sec = meanOf(state.cold_latencies);
+        if (!state.cold_latencies.empty()) {
+            std::sort(state.cold_latencies.begin(),
+                      state.cold_latencies.end());
+            const size_t p99_index = static_cast<size_t>(
+                0.99 *
+                static_cast<double>(state.cold_latencies.size() - 1));
+            lc.p99_cold_latency_sec = state.cold_latencies[p99_index];
+        }
+        report.lifecycle = lc;
     }
     return report;
 }

@@ -58,6 +58,40 @@ struct ScenarioTenant {
     /** Trainer stall window [start, end): output queue is not drained. */
     double stall_start_sec = 0;
     double stall_end_sec = 0;
+    /**
+     * Epoch-lifecycle behavior (only with lifecycle.publish_period_sec
+     * set): pin this many epochs behind the head at join — 0 streams
+     * the hot head epoch, >= 1 replays a historical (cold) epoch. When
+     * the lagged epoch is already retired, the oldest live one at or
+     * after it is pinned instead.
+     */
+    uint64_t pin_lag_epochs = 0;
+    /**
+     * Keep the join-time pin until this simulated time; afterwards the
+     * tenant re-pins the head at each publish (a trainer finishing a
+     * historical replay and catching up). 0 = follow the head from the
+     * first publish after join.
+     */
+    double hold_pin_until_sec = 0;
+};
+
+/**
+ * Dataset epoch lifecycle driving retention and tiering in the DES
+ * replay — the scenario-level model of DatasetCatalog::applyRetention
+ * plus head-epoch hot-tier promotion.
+ */
+struct EpochLifecycleModel {
+    /** Seconds between epoch publishes (0 disables the lifecycle —
+        the pre-retention scenario shape). The first publish fires at
+        t = 0, before any same-time tenant join. */
+    double publish_period_sec = 0;
+    /** Retention: keep the newest this-many epochs (plus pinned). */
+    size_t retain_epochs = 2;
+    /** Modeled disk footprint of one epoch across the shards. */
+    uint64_t epoch_bytes = 0;
+    /** Extra per-batch service time when a tenant streams a cold
+        (non-head) epoch from disk instead of the hot memory tier. */
+    double cold_extra_sec = 0;
 };
 
 /** Fleet and policy knobs of one scenario run. */
@@ -68,6 +102,7 @@ struct ScenarioOptions {
     uint64_t seed = 0x5e21f1ce;
     bool admission_control = true;
     FaultSpec faults;  ///< fail_stops remove devices at their times
+    EpochLifecycleModel lifecycle;  ///< epoch publish/retention model
 };
 
 /** Per-tenant outcome of a scenario run. */
@@ -85,6 +120,35 @@ struct TenantReport {
     size_t max_queue_occupancy = 0;  ///< includes in-flight reservations
     uint64_t backlog_peak = 0;       ///< max requests waiting for a device
     bool slo_met = true;  ///< p99 <= slo (true when no SLO declared)
+    uint64_t hot_served = 0;   ///< batches served from the hot head epoch
+    uint64_t cold_served = 0;  ///< batches streamed from a cold epoch
+    uint64_t pinned_epoch = 0; ///< epoch pinned at scenario end
+};
+
+/** Lifecycle outcome of a scenario run (zeros when disabled). */
+struct LifecycleReport {
+    uint64_t epochs_published = 0;
+    uint64_t epochs_retired = 0;
+    /** Retention passes that spared an otherwise-eligible epoch
+        because a tenant still pinned it (one count per epoch per
+        pass). */
+    uint64_t epochs_kept_pinned = 0;
+    uint64_t peak_live_epochs = 0;
+    uint64_t peak_live_bytes = 0;
+    uint64_t final_live_bytes = 0;  ///< steady-state disk footprint
+    /**
+     * The footprint gate: true iff after every retention pass the
+     * modeled live bytes stayed within (retain_epochs + independently
+     * counted pinned-old epochs) * epoch_bytes — i.e. retention kept
+     * the multi-day replay's disk footprint bounded.
+     */
+    bool footprint_bounded = true;
+    uint64_t hot_served = 0;
+    uint64_t cold_served = 0;
+    double hot_hit_rate = 0;  ///< hot / (hot + cold)
+    double mean_hot_latency_sec = 0;
+    double mean_cold_latency_sec = 0;  ///< cold-epoch pin latency
+    double p99_cold_latency_sec = 0;
 };
 
 /** Whole-fleet outcome of a scenario run. */
@@ -98,6 +162,7 @@ struct ScenarioReport {
     double fleet_utilization = 0;  ///< busy / surviving capacity
     uint64_t total_arrivals = 0;
     uint64_t total_served = 0;
+    LifecycleReport lifecycle;  ///< epoch retention/tiering outcome
 };
 
 /**

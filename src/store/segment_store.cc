@@ -570,12 +570,64 @@ SegmentStore::compactOnce()
     return *new_id;
 }
 
+void
+SegmentStore::setScrubPriority(std::function<uint64_t(uint64_t)> priority)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    scrub_priority_ = std::move(priority);
+}
+
+ScrubCounters
+SegmentStore::scrubCounters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return scrub_counters_;
+}
+
+uint64_t
+SegmentStore::liveBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& [id, info] : segments_) {
+        if (info.state == SegmentState::kSealed ||
+            info.state == SegmentState::kCompacted) {
+            total += info.meta.byte_size;
+        }
+    }
+    return total;
+}
+
+StatusOr<std::vector<uint8_t>>
+SegmentStore::readSegmentRaw(uint64_t segment_id)
+{
+    SegmentInfo info;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto got = segmentLocked(segment_id);
+        if (!got.ok())
+            return got.status();
+        info = std::move(got).value();
+    }
+    auto bytes = loadFromFile(segmentPath(info.meta));
+    if (!bytes.ok())
+        return bytes.status();
+    if (crc32c(bytes->data(), bytes->size()) != info.meta.file_crc) {
+        Status st = Status::corruption("segment checksum mismatch");
+        std::lock_guard<std::mutex> lock(mu_);
+        (void)quarantineLocked(segment_id, st.message());
+        return st;
+    }
+    return *std::move(bytes);
+}
+
 StatusOr<uint64_t>
 SegmentStore::scrubSome(size_t max_pages)
 {
     // Snapshot the live segments; the cursor pair (segment, page)
     // resumes where the previous pass stopped and wraps at the end.
     std::vector<SegmentInfo> live;
+    std::function<uint64_t(uint64_t)> priority;
     uint64_t cursor_segment;
     uint64_t cursor_page;
     {
@@ -586,29 +638,52 @@ SegmentStore::scrubSome(size_t max_pages)
                 live.push_back(info);
             }
         }
+        priority = scrub_priority_;
         cursor_segment = scrub_cursor_segment_;
         cursor_page = scrub_cursor_page_;
     }
     if (live.empty())
         return uint64_t{0};
 
+    // Priorities are computed outside mu_: the hook may take its own
+    // locks (the catalog's pin-count mutex) and must never nest under
+    // the store mutex.
+    std::vector<uint64_t> prio(live.size(), 0);
+    if (priority) {
+        for (size_t i = 0; i < live.size(); ++i)
+            prio[i] = priority(live[i].meta.partition_id);
+    }
+    std::vector<size_t> order(live.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         if (prio[a] != prio[b])
+                             return prio[a] > prio[b];
+                         return live[a].meta.segment_id <
+                                live[b].meta.segment_id;
+                     });
+
+    // Resume at the cursor's segment if it is still live; pin churn
+    // can reorder or retire it between passes, in which case the pass
+    // restarts at the head of the (new) priority order.
     size_t start = 0;
-    while (start < live.size() &&
-           live[start].meta.segment_id < cursor_segment) {
+    while (start < order.size() &&
+           live[order[start]].meta.segment_id != cursor_segment) {
         ++start;
     }
-    if (start == live.size()) {
+    if (start == order.size()) {
         start = 0;
-        cursor_page = 0;
-    } else if (live[start].meta.segment_id != cursor_segment) {
         cursor_page = 0;
     }
 
     uint64_t verified = 0;
+    uint64_t prioritized = 0;
     std::vector<uint8_t> frame;
-    for (size_t step = 0; step < live.size() && verified < max_pages;
+    for (size_t step = 0; step < order.size() && verified < max_pages;
          ++step) {
-        const SegmentInfo& info = live[(start + step) % live.size()];
+        const size_t idx = order[(start + step) % order.size()];
+        const SegmentInfo& info = live[idx];
         const std::string path = segmentPath(info.meta);
         uint64_t page = step == 0 ? cursor_page : 0;
         for (; page < info.meta.plans.size() && verified < max_pages;
@@ -632,12 +707,16 @@ SegmentStore::scrubSome(size_t max_pages)
                 break;  // rest of this segment is moot
             }
             ++verified;
+            if (prio[idx] > 0)
+                ++prioritized;
         }
         cursor_segment = info.meta.segment_id;
         cursor_page = page;
         if (page >= info.meta.plans.size()) {
-            // Advance to the next segment id for the next pass.
-            cursor_segment = info.meta.segment_id + 1;
+            // Advance to the next segment in this pass's order.
+            cursor_segment =
+                live[order[(start + step + 1) % order.size()]]
+                    .meta.segment_id;
             cursor_page = 0;
         }
     }
@@ -645,6 +724,8 @@ SegmentStore::scrubSome(size_t max_pages)
         std::lock_guard<std::mutex> lock(mu_);
         scrub_cursor_segment_ = cursor_segment;
         scrub_cursor_page_ = cursor_page;
+        scrub_counters_.pages_total += verified;
+        scrub_counters_.pages_prioritized += prioritized;
     }
     return verified;
 }

@@ -41,6 +41,7 @@
 #ifndef PRESTO_STORE_SEGMENT_STORE_H_
 #define PRESTO_STORE_SEGMENT_STORE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -88,6 +89,12 @@ struct RecoveryReport {
 
     /** One line per decision, for the CLI and logs. */
     std::vector<std::string> decisions() const;
+};
+
+/** Scrub work accounting (see scrubSome / setScrubPriority). */
+struct ScrubCounters {
+    uint64_t pages_total = 0;        ///< page frames CRC-verified
+    uint64_t pages_prioritized = 0;  ///< of those, on priority>0 segments
 };
 
 /** Store configuration. */
@@ -159,11 +166,39 @@ class SegmentStore
     StatusOr<uint64_t> compactOnce();
 
     /**
-     * CRC-scrub up to @p max_pages page frames (round-robin across
-     * segments, resuming where the last pass stopped). A failing page
-     * quarantines its segment. @return pages verified this pass.
+     * CRC-scrub up to @p max_pages page frames, resuming where the
+     * last pass stopped. A failing page quarantines its segment.
+     * Without a priority hook, segments are visited round-robin in
+     * ascending id order; with one (setScrubPriority), each pass
+     * visits higher-priority segments first — the mechanism behind
+     * pin-aware scrubbing, where trainer-pinned epochs get verified
+     * ahead of cold ones. @return pages verified this pass.
      */
     StatusOr<uint64_t> scrubSome(size_t max_pages);
+
+    /**
+     * Install a scrub priority hook: given a partition id, return its
+     * priority (higher scrubs first; 0 = baseline). The hook is called
+     * outside the store mutex — it may take its own locks (the catalog
+     * hook takes the pin-count mutex) but must not call back into this
+     * store. nullptr restores plain ascending-id order.
+     */
+    void setScrubPriority(std::function<uint64_t(uint64_t)> priority);
+
+    /** Scrub work done so far (total and priority-driven pages). */
+    ScrubCounters scrubCounters() const;
+
+    /** Bytes of live (sealed or compacted-but-present) segment files —
+        the store's steady-state disk footprint. */
+    uint64_t liveBytes() const;
+
+    /**
+     * Whole-file blocking read of a live segment's encoded PSF bytes,
+     * CRC-verified against the sealed meta (mismatch quarantines), not
+     * decoded. The cold-tier path: lets a partition cache re-load
+     * encoded bytes off disk without paying a decode.
+     */
+    StatusOr<std::vector<uint8_t>> readSegmentRaw(uint64_t segment_id);
 
     /**
      * Submit one bounded maintenance tick (scrub + at most one
@@ -209,6 +244,10 @@ class SegmentStore
     uint64_t journal_bytes_ = 0;             // guarded by mu_
     uint64_t scrub_cursor_segment_ = 0;      // guarded by mu_
     uint64_t scrub_cursor_page_ = 0;         // guarded by mu_
+    ScrubCounters scrub_counters_;           // guarded by mu_
+    /** Priority hook (guarded by mu_ for the pointer; invoked outside
+        mu_ — see setScrubPriority). */
+    std::function<uint64_t(uint64_t)> scrub_priority_;
     bool maintenance_pending_ = false;       // guarded by mu_
     /** Segments already considered by compactOnce() (in-memory only —
         after a restart each gets one fresh look). Guarded by mu_. */

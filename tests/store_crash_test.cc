@@ -26,6 +26,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "common/durable_file.h"
 #include "common/fault_injector.h"
 #include "datagen/generator.h"
+#include "service/dataset_catalog.h"
 #include "store/segment_store.h"
 
 namespace presto {
@@ -220,6 +222,170 @@ verifyRecovered(const std::string& dir, const WorkloadOutcome& out)
     const auto journal_second = loadFromFile((*again)->journalPath());
     ASSERT_TRUE(journal_second.ok());
     EXPECT_TRUE(*journal_second == *journal_first);
+}
+
+// --- Catalog retention: crash sweep across the retire path -----------
+
+/** Per-epoch shard state: all partitions present, all gone, or mixed. */
+enum class EpochDisk { kFullyLive, kFullyRetired, kPartial };
+
+EpochDisk
+epochOnDisk(SegmentStore& shard_a, SegmentStore& shard_b,
+            uint64_t epoch, size_t partitions)
+{
+    size_t present = 0;
+    for (size_t i = 0; i < partitions; ++i) {
+        SegmentStore& shard = i % 2 == 0 ? shard_a : shard_b;
+        if (shard.segmentForPartition(epochPartitionId(epoch, i)).ok())
+            ++present;
+    }
+    if (present == partitions)
+        return EpochDisk::kFullyLive;
+    return present == 0 ? EpochDisk::kFullyRetired : EpochDisk::kPartial;
+}
+
+/**
+ * Crash sweep across DatasetCatalog::applyRetention: publish four
+ * epochs over two shards (retain two), then crash at every durable
+ * operation the retention pass performs. Recovery via
+ * registerDataset() must leave each epoch fully live or fully retired
+ * — a partially retired epoch below the head is finished, never
+ * served — and a fault-free retention pass afterwards converges to
+ * the policy's steady state.
+ */
+TEST(StoreCrashTest, RetentionSweepLeavesEpochsAtomic)
+{
+    const RmConfig config = smallConfig();
+    DatasetSpec spec;
+    spec.name = "clicks";
+    spec.config = config;
+    spec.generator.seed = 0xfeed;
+    spec.partitions_per_epoch = 4;
+    spec.retain_epochs = 2;
+
+    // Fault-free baseline: fixes the sweep window [publish_ops,
+    // total_ops) and the per-epoch encoded snapshots.
+    uint64_t publish_ops = 0;
+    uint64_t total_ops = 0;
+    std::vector<std::vector<std::vector<uint8_t>>> epochs(5);
+    {
+        const std::string dir_a = freshDir("ret_crash_base_a");
+        const std::string dir_b = freshDir("ret_crash_base_b");
+        SegmentStoreOptions opt_a;
+        opt_a.directory = dir_a;
+        SegmentStoreOptions opt_b;
+        opt_b.directory = dir_b;
+        auto shard_a = SegmentStore::open(opt_a);
+        auto shard_b = SegmentStore::open(opt_b);
+        ASSERT_TRUE(shard_a.ok() && shard_b.ok());
+        DatasetCatalog catalog;
+        ASSERT_TRUE(catalog
+                        .registerDataset(spec, {shard_a->get(),
+                                                shard_b->get()})
+                        .ok());
+        for (int i = 0; i < 4; ++i)
+            ASSERT_TRUE(catalog.publishEpoch("clicks").ok());
+        for (uint64_t epoch = 1; epoch <= 4; ++epoch) {
+            auto reader = catalog.pin("clicks", epoch);
+            ASSERT_TRUE(reader.ok());
+            for (size_t i = 0; i < 4; ++i) {
+                auto bytes = reader->fetchEncoded(i);
+                ASSERT_TRUE(bytes.ok());
+                epochs[epoch].push_back(std::move(bytes.value()));
+            }
+        }
+        // Each store checks the crash index against its own durable-op
+        // counter, so the sweep window is per-shard: crash index k
+        // lands in the retention phase once every shard has finished
+        // its publish ops, and some shard still has retention ops left.
+        // The shards' workloads are symmetric (two partitions per epoch
+        // each), so the windows coincide.
+        publish_ops = std::max((*shard_a)->durableOps(),
+                               (*shard_b)->durableOps());
+        ASSERT_TRUE(catalog.applyRetention("clicks").ok());
+        total_ops = std::max((*shard_a)->durableOps(),
+                             (*shard_b)->durableOps());
+    }
+    ASSERT_GT(total_ops, publish_ops);  // retirement is journaled
+
+    for (uint64_t k = publish_ops; k < total_ops; ++k) {
+        SCOPED_TRACE("crash at durable op " + std::to_string(k));
+        const std::string dir_a =
+            freshDir("ret_crash_" + std::to_string(k) + "_a");
+        const std::string dir_b =
+            freshDir("ret_crash_" + std::to_string(k) + "_b");
+        FaultSpec fault_spec;
+        fault_spec.crash_at_durable_op = static_cast<int64_t>(k);
+        FaultInjector faults(fault_spec);
+        {
+            // One injector shared by both shards: k counts durable
+            // ops across the whole catalog, like one machine dying.
+            SegmentStoreOptions opt_a;
+            opt_a.directory = dir_a;
+            SegmentStoreOptions opt_b;
+            opt_b.directory = dir_b;
+            opt_a.faults = &faults;
+            opt_b.faults = &faults;
+            auto shard_a = SegmentStore::open(opt_a);
+            auto shard_b = SegmentStore::open(opt_b);
+            ASSERT_TRUE(shard_a.ok() && shard_b.ok());
+            DatasetCatalog catalog;
+            ASSERT_TRUE(catalog
+                            .registerDataset(spec, {shard_a->get(),
+                                                    shard_b->get()})
+                            .ok());
+            for (int i = 0; i < 4; ++i)
+                ASSERT_TRUE(catalog.publishEpoch("clicks").ok());
+            auto report = catalog.applyRetention("clicks");
+            ASSERT_FALSE(report.ok());
+            EXPECT_EQ(report.status().code(), StatusCode::kAborted);
+        }
+
+        // Recover fault-free. registerDataset() must complete any
+        // half-retired epoch; epochs then split cleanly.
+        SegmentStoreOptions opt_a;
+        opt_a.directory = dir_a;
+        SegmentStoreOptions opt_b;
+        opt_b.directory = dir_b;
+        auto shard_a = SegmentStore::open(opt_a);
+        auto shard_b = SegmentStore::open(opt_b);
+        ASSERT_TRUE(shard_a.ok() && shard_b.ok());
+        DatasetCatalog catalog;
+        ASSERT_TRUE(catalog
+                        .registerDataset(spec, {shard_a->get(),
+                                                shard_b->get()})
+                        .ok());
+        ASSERT_EQ(catalog.headEpoch("clicks").value(), 4u);
+        for (uint64_t epoch = 1; epoch <= 4; ++epoch) {
+            const EpochDisk disk = epochOnDisk(**shard_a, **shard_b,
+                                               epoch, 4);
+            ASSERT_NE(disk, EpochDisk::kPartial)
+                << "epoch " << epoch << " recovered half-retired";
+            const bool retired =
+                catalog.epochRetired("clicks", epoch).value();
+            EXPECT_EQ(retired, disk == EpochDisk::kFullyRetired);
+            auto reader = catalog.pin("clicks", epoch);
+            ASSERT_EQ(reader.ok(), !retired);
+            if (retired)
+                continue;
+            // A surviving epoch replays bit-identically.
+            for (size_t i = 0; i < 4; ++i) {
+                auto bytes = reader->fetchEncoded(i);
+                ASSERT_TRUE(bytes.ok());
+                EXPECT_TRUE(*bytes == epochs[epoch][i])
+                    << "epoch " << epoch << " partition " << i;
+            }
+        }
+        // Retained epochs are never touched by the crash window.
+        EXPECT_FALSE(catalog.epochRetired("clicks", 3).value());
+        EXPECT_FALSE(catalog.epochRetired("clicks", 4).value());
+
+        // A fault-free pass converges to the policy's steady state.
+        ASSERT_TRUE(catalog.applyRetention("clicks").ok());
+        EXPECT_TRUE(catalog.epochRetired("clicks", 1).value());
+        EXPECT_TRUE(catalog.epochRetired("clicks", 2).value());
+        EXPECT_EQ(catalog.liveEpochs("clicks").value(), 2u);
+    }
 }
 
 TEST(StoreCrashTest, SweepEveryDurableOpCrashWindow)
